@@ -1,0 +1,61 @@
+// Ablation A4: hardware prefetching at the L4/DRAM-cache level. The paper
+// models no prefetching; this bounds how much a next-line or stride
+// prefetcher in the DRAM cache would change the NMM picture (prefetching
+// into the page cache trades extra NVM read traffic for latency).
+//
+// One runner captures the fronts; per-variant factories supply the backs.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "hms/designs/configs.hpp"
+
+int main() {
+  using namespace hms;
+  const auto cfg = bench::config_from_env();
+  const auto nvm = bench::nvm_from_env();
+  bench::print_banner("Ablation A4: DRAM-cache prefetching (NMM N6)", cfg);
+
+  sim::ExperimentRunner runner(cfg);
+  const auto& n6 = designs::n_config("N6");
+
+  using Kind = cache::PrefetcherConfig::Kind;
+  struct Variant {
+    const char* name;
+    cache::PrefetcherConfig pf;
+  };
+  const Variant variants[] = {
+      {"none", {}},
+      {"next-line x1", {Kind::NextLine, 1}},
+      {"next-line x4", {Kind::NextLine, 4}},
+      {"stride x2", {Kind::Stride, 2}},
+  };
+
+  TextTable table({"prefetcher", "norm-runtime", "norm-dynamic",
+                   "norm-energy", "norm-EDP"});
+  for (const auto& variant : variants) {
+    designs::DesignOptions options = cfg.design_options;
+    options.l4_prefetch = variant.pf;
+    designs::DesignFactory factory(cfg.scale_divisor,
+                                   mem::TechnologyRegistry::table1(),
+                                   options);
+    double runtime = 0, dynamic = 0, energy = 0, edp = 0;
+    for (const auto& workload : runner.suite()) {
+      auto back = factory.nvm_main_memory_back(
+          n6, nvm, runner.front(workload).footprint_bytes);
+      const auto r = runner.evaluate_back("N6", workload, *back);
+      runtime += r.normalized.runtime;
+      dynamic += r.normalized.dynamic;
+      energy += r.normalized.total_energy;
+      edp += r.normalized.edp;
+    }
+    const double n = static_cast<double>(runner.suite().size());
+    table.add_row({variant.name, fmt_fixed(runtime / n),
+                   fmt_fixed(dynamic / n), fmt_fixed(energy / n),
+                   fmt_fixed(edp / n)});
+  }
+  table.render(std::cout);
+  std::cout << "\n(prefetch fills are free of demand latency at the DRAM "
+               "cache but are charged as NVM reads; useless prefetches "
+               "therefore show up as dynamic-energy growth)\n";
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Ablation A1: replacement policy of the NMM DRAM page cache. The paper's
+// simulator is LRU-only; this quantifies how sensitive the Fig. 1-2 results
+// are to that choice.
+//
+// The L1-L3 front is policy-independent, so a single runner captures each
+// workload once and per-policy DesignFactory variants supply the backs.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "hms/designs/configs.hpp"
+
+int main() {
+  using namespace hms;
+  const auto cfg = bench::config_from_env();
+  const auto nvm = bench::nvm_from_env();
+  bench::print_banner("Ablation A1: DRAM-cache replacement policy (NMM N6)",
+                      cfg);
+
+  sim::ExperimentRunner runner(cfg);
+  const auto& n6 = designs::n_config("N6");
+
+  TextTable table({"policy", "norm-runtime", "norm-dynamic", "norm-static",
+                   "norm-energy", "norm-EDP"});
+  for (const auto policy :
+       {cache::PolicyKind::LRU, cache::PolicyKind::TreePLRU,
+        cache::PolicyKind::FIFO, cache::PolicyKind::Random,
+        cache::PolicyKind::SRRIP}) {
+    designs::DesignOptions options = cfg.design_options;
+    options.l4_policy = policy;
+    designs::DesignFactory variant(cfg.scale_divisor,
+                                   mem::TechnologyRegistry::table1(),
+                                   options);
+    double runtime = 0, dynamic = 0, leakage = 0, energy = 0, edp = 0;
+    for (const auto& workload : runner.suite()) {
+      auto back = variant.nvm_main_memory_back(
+          n6, nvm, runner.front(workload).footprint_bytes);
+      const auto r = runner.evaluate_back("N6", workload, *back);
+      runtime += r.normalized.runtime;
+      dynamic += r.normalized.dynamic;
+      leakage += r.normalized.leakage;
+      energy += r.normalized.total_energy;
+      edp += r.normalized.edp;
+    }
+    const double n = static_cast<double>(runner.suite().size());
+    table.add_row({std::string(cache::to_string(policy)),
+                   fmt_fixed(runtime / n), fmt_fixed(dynamic / n),
+                   fmt_fixed(leakage / n), fmt_fixed(energy / n),
+                   fmt_fixed(edp / n)});
+  }
+  table.render(std::cout);
+  std::cout << "\n(16-way page cache; differences bound the sensitivity of "
+               "Figures 1-2 to the paper's LRU assumption)\n";
+  return 0;
+}

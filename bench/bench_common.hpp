@@ -1,0 +1,121 @@
+// Shared scaffolding for the figure-regeneration benches.
+//
+// Every bench reads the same environment knobs so runs are reproducible and
+// cheap-by-default:
+//   HMS_SCALE       capacity/footprint divisor (power of two, default 64)
+//   HMS_ITERATIONS  kernel outer iterations (default 1)
+//   HMS_SEED        workload seed (default 42)
+//   HMS_SUITE       comma-separated workload list (default: paper suite)
+//   HMS_NVM         NVM technology for NMM/4LCNVM sweeps (default PCM)
+#pragma once
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "hms/common/csv.hpp"
+#include "hms/common/string_util.hpp"
+#include "hms/common/table.hpp"
+#include "hms/mem/technology.hpp"
+#include "hms/sim/experiment.hpp"
+
+namespace hms::bench {
+
+inline std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::strtoull(v, nullptr, 10) : fallback;
+}
+
+inline std::string env_str(const char* name, std::string fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::string(v) : fallback;
+}
+
+/// Experiment configuration from the environment (see file comment).
+inline sim::ExperimentConfig config_from_env() {
+  sim::ExperimentConfig cfg;
+  cfg.scale_divisor = env_u64("HMS_SCALE", 64);
+  cfg.footprint_divisor = cfg.scale_divisor;
+  cfg.seed = env_u64("HMS_SEED", 42);
+  cfg.iterations = static_cast<std::uint32_t>(env_u64("HMS_ITERATIONS", 1));
+  const std::string suite = env_str("HMS_SUITE", "");
+  if (!suite.empty()) {
+    for (const auto& name : split(suite, ',')) {
+      if (!trim(name).empty()) cfg.suite.emplace_back(trim(name));
+    }
+  }
+  return cfg;
+}
+
+inline mem::Technology nvm_from_env() {
+  return mem::technology_from_string(env_str("HMS_NVM", "PCM"));
+}
+
+inline void print_banner(const std::string& title,
+                         const sim::ExperimentConfig& cfg) {
+  std::cout << "== " << title << " ==\n"
+            << "scale divisor 1/" << cfg.scale_divisor << ", seed "
+            << cfg.seed << ", iterations " << cfg.iterations << "\n\n";
+}
+
+/// Renders a sweep as the paper's figure series: one row per config, the
+/// normalized metrics as columns.
+inline void print_suite_results(const std::string& caption,
+                                const std::vector<sim::SuiteResult>& results) {
+  std::cout << caption << "\n";
+  TextTable table({"config", "norm-runtime", "norm-dynamic", "norm-static",
+                   "norm-energy", "norm-EDP"});
+  for (const auto& r : results) {
+    table.add_row({r.config_name, fmt_fixed(r.runtime), fmt_fixed(r.dynamic),
+                   fmt_fixed(r.leakage), fmt_fixed(r.total_energy),
+                   fmt_fixed(r.edp)});
+  }
+  table.render(std::cout);
+  std::cout << "\n";
+}
+
+/// If HMS_CSV_DIR is set, writes a sweep's full per-workload data to
+/// <dir>/<name>.csv for plotting; otherwise does nothing.
+inline void maybe_write_csv(const std::string& name,
+                            const std::vector<sim::SuiteResult>& results) {
+  const std::string dir = env_str("HMS_CSV_DIR", "");
+  if (dir.empty()) return;
+  const std::string path = dir + "/" + name + ".csv";
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "warning: cannot write " << path << "\n";
+    return;
+  }
+  CsvWriter csv(out);
+  csv.header({"config", "workload", "norm_runtime", "norm_dynamic",
+              "norm_static", "norm_energy", "norm_edp"});
+  for (const auto& r : results) {
+    for (const auto& wr : r.per_workload) {
+      csv.row({r.config_name, wr.report.workload,
+               fmt_fixed(wr.normalized.runtime, 6),
+               fmt_fixed(wr.normalized.dynamic, 6),
+               fmt_fixed(wr.normalized.leakage, 6),
+               fmt_fixed(wr.normalized.total_energy, 6),
+               fmt_fixed(wr.normalized.edp, 6)});
+    }
+  }
+  std::cout << "(per-workload CSV written to " << path << ")\n";
+}
+
+/// Per-workload breakdown of one configuration.
+inline void print_per_workload(const std::string& caption,
+                               const sim::SuiteResult& result) {
+  std::cout << caption << "\n";
+  TextTable table({"workload", "norm-runtime", "norm-energy", "norm-EDP"});
+  for (const auto& wr : result.per_workload) {
+    table.add_row({wr.report.workload, fmt_fixed(wr.normalized.runtime),
+                   fmt_fixed(wr.normalized.total_energy),
+                   fmt_fixed(wr.normalized.edp)});
+  }
+  table.render(std::cout);
+  std::cout << "\n";
+}
+
+}  // namespace hms::bench

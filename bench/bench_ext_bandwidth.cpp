@@ -1,0 +1,57 @@
+// Extension E3: bandwidth-bound analysis. The paper motivates emerging
+// memories with the bandwidth memory wall but models latency only (Eq. 2);
+// this bench reports each design's binding level and how close its
+// bandwidth lower bound comes to the latency-model memory time (ratio > 1
+// means Eq. 1 is optimistic for that design).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "hms/designs/configs.hpp"
+#include "hms/model/amat.hpp"
+#include "hms/model/bandwidth.hpp"
+#include "hms/sim/simulator.hpp"
+
+int main() {
+  using namespace hms;
+  const auto cfg = bench::config_from_env();
+  bench::print_banner("Extension E3: bandwidth-bound analysis", cfg);
+
+  sim::ExperimentRunner runner(cfg);
+  const model::BandwidthParams bw;
+  std::cout << "Peak bandwidths (GB/s): DRAM " << bw.dram_gbs << ", PCM "
+            << bw.pcm_read_gbs << "r/" << bw.pcm_write_gbs << "w, STT-RAM "
+            << bw.sttram_gbs << ", FeRAM " << bw.feram_gbs << ", eDRAM "
+            << bw.edram_gbs << ", HMC " << bw.hmc_gbs << "\n\n";
+
+  TextTable table({"workload", "design", "binding level",
+                   "bw-bound / latency-time"});
+  for (const auto& workload : runner.suite()) {
+    const auto& capture = runner.front(workload);
+    const auto fp = capture.footprint_bytes;
+    struct Design {
+      const char* name;
+      std::unique_ptr<cache::MemoryHierarchy> back;
+    };
+    Design designs[] = {
+        {"base", runner.factory().base_back(fp)},
+        {"NMM N6/PCM",
+         runner.factory().nvm_main_memory_back(designs::n_config("N6"),
+                                               mem::Technology::PCM, fp)},
+        {"4LCNVM EH1/eDRAM+PCM",
+         runner.factory().four_level_cache_nvm_back(
+             designs::eh_config("EH1"), mem::Technology::eDRAM,
+             mem::Technology::PCM, fp)},
+    };
+    for (auto& design : designs) {
+      const auto profile = sim::replay_back(capture, *design.back);
+      const auto bound = model::bandwidth_bound(profile, bw);
+      const double ratio = model::bandwidth_limitation(profile, bw);
+      table.add_row({workload, design.name, bound.binding_level,
+                     fmt_fixed(ratio, 3)});
+    }
+  }
+  table.render(std::cout);
+  std::cout << "\n(ratios > 1 flag designs whose Eq. 1 runtime is "
+               "optimistic: the PCM write port is the usual culprit)\n";
+  return 0;
+}

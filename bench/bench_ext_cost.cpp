@@ -1,0 +1,99 @@
+// Extension E2: memory-system cost — the total-cost-of-ownership dimension
+// the paper defers to future work. Prices every design's memory system and
+// ranks them by cost-delay and cost-EDP.
+#include <functional>
+#include <iostream>
+#include <memory>
+
+#include "bench_common.hpp"
+#include "hms/designs/configs.hpp"
+#include "hms/model/cost.hpp"
+#include "hms/sim/simulator.hpp"
+
+int main() {
+  using namespace hms;
+  auto cfg = bench::config_from_env();
+  bench::print_banner("Extension E2: memory-system cost model", cfg);
+
+  sim::ExperimentRunner runner(cfg);
+  const model::CostParams prices;
+
+  std::cout << "Unit costs ($/GiB): DRAM " << prices.dram_usd_per_gib
+            << ", PCM " << prices.pcm_usd_per_gib << ", STT-RAM "
+            << prices.sttram_usd_per_gib << ", FeRAM "
+            << prices.feram_usd_per_gib << ", eDRAM "
+            << prices.edram_usd_per_gib << ", HMC "
+            << prices.hmc_usd_per_gib << ", SRAM "
+            << prices.sram_usd_per_gib << "\n\n";
+
+  TextTable table({"design", "memory cost ($)", "norm-runtime",
+                   "norm-energy", "cost-delay vs base", "cost-EDP vs base"});
+
+  const auto& factory = runner.factory();
+
+  struct Design {
+    std::string name;
+    std::function<std::unique_ptr<cache::MemoryHierarchy>(std::uint64_t)>
+        back;
+  };
+  const std::vector<Design> designs = {
+      {"base",
+       [&](std::uint64_t fp) { return factory.base_back(fp); }},
+      {"4LC EH1 (eDRAM)",
+       [&](std::uint64_t fp) {
+         return factory.four_level_cache_back(
+             designs::eh_config("EH1"), mem::Technology::eDRAM, fp);
+       }},
+      {"NMM N6 (PCM)",
+       [&](std::uint64_t fp) {
+         return factory.nvm_main_memory_back(designs::n_config("N6"),
+                                             mem::Technology::PCM, fp);
+       }},
+      {"4LCNVM EH1 (eDRAM+PCM)",
+       [&](std::uint64_t fp) {
+         return factory.four_level_cache_nvm_back(
+             designs::eh_config("EH1"), mem::Technology::eDRAM,
+             mem::Technology::PCM, fp);
+       }},
+  };
+
+  double base_cost_delay = 0.0, base_cost_edp = 0.0;
+  for (const auto& design : designs) {
+    // Average normalized metrics over the suite; cost from the profile
+    // (per-core sizing: each workload's own footprint).
+    double runtime = 0.0, energy = 0.0, cost_delay = 0.0, cost_edp = 0.0;
+    double cost_usd = 0.0;
+    for (const auto& workload : runner.suite()) {
+      const auto fp = runner.front(workload).footprint_bytes;
+      auto back = design.back(fp);
+      const auto result = runner.evaluate_back(design.name, workload, *back);
+      const auto profile = [&] {
+        // Rebuild combined profile for costing (evaluate_back consumed it).
+        auto b2 = design.back(fp);
+        return sim::replay_back(runner.front(workload), *b2);
+      }();
+      const auto cost = model::CostReport::make(profile, result.report,
+                                                prices);
+      runtime += result.normalized.runtime;
+      energy += result.normalized.total_energy;
+      cost_delay += cost.cost_delay;
+      cost_edp += cost.cost_edp;
+      cost_usd = cost.cost_usd;
+    }
+    const double n = static_cast<double>(runner.suite().size());
+    runtime /= n;
+    energy /= n;
+    if (design.name == "base") {
+      base_cost_delay = cost_delay;
+      base_cost_edp = cost_edp;
+    }
+    table.add_row({design.name, fmt_fixed(cost_usd, 2), fmt_fixed(runtime),
+                   fmt_fixed(energy),
+                   fmt_fixed(cost_delay / base_cost_delay),
+                   fmt_fixed(cost_edp / base_cost_edp)});
+  }
+  table.render(std::cout);
+  std::cout << "\n(NVM-backed designs buy capacity at a fraction of DRAM's "
+               "$/GiB; cost-delay folds the runtime penalty back in)\n";
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Extension E1: dynamic NDM partitioning — the paper's future work
+// ("explore dynamic partitioning, that may change between computation
+// phases"). Compares the static oracle placement (Figs. 7-8) against
+// epoch-based hot-region migration, including migration costs.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "hms/cache/dynamic_partition.hpp"
+
+int main() {
+  using namespace hms;
+  const auto cfg = bench::config_from_env();
+  const auto nvm = bench::nvm_from_env();
+  bench::print_banner("Extension E1: static oracle vs dynamic NDM (" +
+                          std::string(mem::to_string(nvm)) + ")",
+                      cfg);
+
+  sim::ExperimentRunner runner(cfg);
+  const auto oracle = runner.ndm_oracle(nvm);
+
+  TextTable table({"workload", "variant", "norm-runtime", "norm-energy",
+                   "norm-EDP", "migrations", "migrated"});
+  for (const auto& ndm : oracle) {
+    table.add_row({ndm.workload, "static oracle",
+                   fmt_fixed(ndm.result.normalized.runtime),
+                   fmt_fixed(ndm.result.normalized.total_energy),
+                   fmt_fixed(ndm.result.normalized.edp), "-", "-"});
+    auto back = runner.factory().nvm_plus_dram_dynamic_back(
+        nvm, runner.front(ndm.workload).footprint_bytes);
+    const auto result = runner.evaluate_back("NDM-dynamic", ndm.workload,
+                                             *back);
+    const auto& dyn = static_cast<const cache::DynamicPartitionBackend&>(
+        back->backend());
+    table.add_row({ndm.workload, "dynamic (epoch)",
+                   fmt_fixed(result.normalized.runtime),
+                   fmt_fixed(result.normalized.total_energy),
+                   fmt_fixed(result.normalized.edp),
+                   std::to_string(dyn.migrations()),
+                   fmt_bytes(dyn.migrated_bytes())});
+  }
+  table.render(std::cout);
+  std::cout << "\n(dynamic partitioning adapts the DRAM partition to phase "
+               "changes at the price of bulk region migrations; the paper "
+               "conjectured this could beat the static oracle)\n";
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Figures 1 and 2: NMM design (NVM main memory behind a DRAM page cache),
+// configurations N1-N9 of Table 3. Prints the normalized runtime series
+// (Fig. 1) and normalized energy series (Fig. 2), averaged over the suite,
+// plus the paper's headline checks (N5 best runtime, N6 best EDP/energy).
+#include <algorithm>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "hms/designs/configs.hpp"
+
+int main() {
+  using namespace hms;
+  const auto cfg = bench::config_from_env();
+  const auto nvm = bench::nvm_from_env();
+  bench::print_banner("Figures 1-2: NMM (" +
+                          std::string(mem::to_string(nvm)) +
+                          " main memory + DRAM cache), Table 3 configs",
+                      cfg);
+
+  std::cout << "Table 3: NMM configurations (capacity per core, unscaled)\n";
+  TextTable t3({"config", "DRAM capacity", "page size"});
+  for (const auto& n : designs::n_configs()) {
+    t3.add_row({n.name, fmt_bytes(n.dram_capacity_bytes),
+                fmt_bytes(n.page_bytes)});
+  }
+  t3.render(std::cout);
+  std::cout << "\n";
+
+  sim::ExperimentRunner runner(cfg);
+  const auto results = runner.nmm_sweep(nvm, designs::n_configs());
+
+  bench::print_suite_results(
+      "Figure 1 / Figure 2 series: suite-average normalized metrics "
+      "(base = L1-L3 + footprint DRAM):",
+      results);
+  bench::maybe_write_csv("fig1_2_nmm", results);
+
+  const auto best_runtime = std::min_element(
+      results.begin(), results.end(),
+      [](const auto& a, const auto& b) { return a.runtime < b.runtime; });
+  const auto best_energy = std::min_element(
+      results.begin(), results.end(), [](const auto& a, const auto& b) {
+        return a.total_energy < b.total_energy;
+      });
+  const auto best_edp = std::min_element(
+      results.begin(), results.end(),
+      [](const auto& a, const auto& b) { return a.edp < b.edp; });
+  std::cout << "least time overhead: " << best_runtime->config_name
+            << " (paper: N5)\n"
+            << "most energy savings: " << best_energy->config_name
+            << " (paper: N6)\n"
+            << "best EDP:            " << best_edp->config_name
+            << " (paper: N6)\n\n";
+
+  bench::print_per_workload("Per-workload breakdown at N6:",
+                            results[5]);
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Figures 3 and 4: 4LC design (eDRAM or HMC as L4 in front of DRAM),
+// configurations EH1-EH8 of Table 2. Prints normalized runtime (Fig. 3)
+// and normalized energy (Fig. 4) for both L4 technologies.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "hms/designs/configs.hpp"
+
+int main() {
+  using namespace hms;
+  const auto cfg = bench::config_from_env();
+  bench::print_banner("Figures 3-4: 4LC (eDRAM/HMC L4 + DRAM), Table 2",
+                      cfg);
+
+  std::cout << "Table 2: eDRAM/HMC configurations (capacity per core, "
+               "unscaled)\n";
+  TextTable t2({"config", "L4 capacity", "page size"});
+  for (const auto& eh : designs::eh_configs()) {
+    t2.add_row({eh.name, fmt_bytes(eh.l4_capacity_bytes),
+                fmt_bytes(eh.page_bytes)});
+  }
+  t2.render(std::cout);
+  std::cout << "\n";
+
+  sim::ExperimentRunner runner(cfg);
+  for (const auto l4 : {mem::Technology::eDRAM, mem::Technology::HMC}) {
+    const auto results = runner.four_lc_sweep(l4, designs::eh_configs());
+    bench::print_suite_results(
+        "Figure 3 / Figure 4 series, L4 = " +
+            std::string(mem::to_string(l4)) + ":",
+        results);
+    bench::maybe_write_csv(
+        "fig3_4_4lc_" + std::string(mem::to_string(l4)), results);
+  }
+  std::cout << "paper checks: EH1 (64 B pages) has the least time overhead "
+               "and the most energy saving; larger pages increase dynamic "
+               "energy.\n";
+  return 0;
+}

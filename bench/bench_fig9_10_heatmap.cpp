@@ -1,0 +1,93 @@
+// Figures 9 and 10: heat maps of NMM (N6 profile: 512 MB DRAM cache, 512 B
+// pages) normalized runtime as a function of read/write LATENCY multipliers
+// (Fig. 9) and normalized energy as a function of read/write ENERGY
+// multipliers (Fig. 10), both relative to DRAM.
+#include <iomanip>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "hms/designs/configs.hpp"
+#include "hms/sim/heatmap.hpp"
+
+namespace {
+
+void print_grid(const std::string& caption, const hms::sim::HeatMapGrid& g,
+                const char* row_label, const char* col_label) {
+  std::cout << caption << "\n";
+  std::cout << std::setw(10) << (std::string(row_label) + "\\" + col_label);
+  for (double r : g.read_multipliers) {
+    std::cout << std::setw(8) << hms::fmt_fixed(r, 0) + "x";
+  }
+  std::cout << "\n";
+  for (std::size_t w = 0; w < g.write_multipliers.size(); ++w) {
+    std::cout << std::setw(10) << hms::fmt_fixed(g.write_multipliers[w], 0) + "x";
+    for (std::size_t r = 0; r < g.read_multipliers.size(); ++r) {
+      std::cout << std::setw(8) << hms::fmt_fixed(g.at(w, r), 3);
+    }
+    std::cout << "\n";
+  }
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main() {
+  using namespace hms;
+  const auto cfg = bench::config_from_env();
+  bench::print_banner(
+      "Figures 9-10: latency/energy heat maps (NMM N6 profile)", cfg);
+
+  sim::ExperimentRunner runner(cfg);
+  std::vector<sim::HeatMapInput> inputs;
+  for (const auto& workload : runner.suite()) {
+    const auto& base = runner.base_report(workload);  // also builds anchor
+    const auto& capture = runner.front(workload);
+    auto back = runner.factory().nvm_main_memory_back(
+        designs::n_config("N6"), mem::Technology::PCM,
+        capture.footprint_bytes);
+    sim::HeatMapInput input;
+    input.workload = workload;
+    input.profile = sim::replay_back(capture, *back);
+    input.anchor = runner.anchor(workload);
+    input.base = base;
+    inputs.push_back(std::move(input));
+  }
+
+  sim::HeatMapper mapper(std::move(inputs));
+  const auto mults = sim::HeatMapper::default_multipliers();
+
+  const auto runtime = mapper.runtime_map(mults, mults);
+  print_grid(
+      "Figure 9: normalized runtime vs read (cols) / write (rows) "
+      "latency multipliers over DRAM:",
+      runtime, "wlat", "rlat");
+
+  const auto energy = mapper.energy_map(mults, mults);
+  print_grid(
+      "Figure 10: normalized total energy vs read (cols) / write (rows) "
+      "energy multipliers over DRAM:",
+      energy, "wen", "ren");
+
+  // Paper's headline observations.
+  auto idx = [&](double m) {
+    for (std::size_t i = 0; i < mults.size(); ++i) {
+      if (mults[i] == m) return i;
+    }
+    return std::size_t{0};
+  };
+  std::cout << "paper checks (Fig. 9): 5x read latency -> ~5% runtime "
+               "penalty (measured "
+            << fmt_fixed((runtime.at(idx(1.0), idx(5.0)) /
+                          runtime.at(idx(1.0), idx(1.0)) -
+                          1.0) * 100.0, 1)
+            << "%), 5x write latency -> ~1% (measured "
+            << fmt_fixed((runtime.at(idx(5.0), idx(1.0)) /
+                          runtime.at(idx(1.0), idx(1.0)) -
+                          1.0) * 100.0, 1)
+            << "%), 20x both -> ~17% (measured "
+            << fmt_fixed((runtime.at(idx(20.0), idx(20.0)) /
+                          runtime.at(idx(1.0), idx(1.0)) -
+                          1.0) * 100.0, 1)
+            << "%)\n";
+  return 0;
+}

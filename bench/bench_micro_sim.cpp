@@ -1,0 +1,106 @@
+// M1: google-benchmark microbenchmarks of the simulation substrate —
+// cache lookup throughput, full-hierarchy throughput, workload generation,
+// and residual-trace replay.
+#include <benchmark/benchmark.h>
+
+#include "hms/common/random.hpp"
+#include "hms/cache/hierarchy.hpp"
+#include "hms/designs/design.hpp"
+#include "hms/sim/simulator.hpp"
+#include "hms/trace/trace_buffer.hpp"
+#include "hms/workloads/registry.hpp"
+
+namespace {
+
+using namespace hms;
+
+void BM_CacheAccess(benchmark::State& state) {
+  cache::CacheConfig cfg;
+  const auto ways = static_cast<std::uint32_t>(state.range(0));
+  cfg.line_bytes = 64;
+  cfg.associativity = ways;
+  // 256 sets regardless of associativity (sets must be a power of two).
+  cfg.capacity_bytes = 64ull * ways * 256;
+  cache::SetAssocCache cache(cfg);
+  Xoshiro256 rng(42);
+  std::vector<Address> addresses(1 << 16);
+  for (auto& a : addresses) a = rng.below(1ull << 22) & ~7ull;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        cache.access(addresses[i & 0xffff], 8, AccessType::Load));
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CacheAccess)->Arg(1)->Arg(8)->Arg(20);
+
+void BM_HierarchyAccess(benchmark::State& state) {
+  designs::DesignFactory factory(64);
+  auto h = factory.base(16ull << 20);
+  Xoshiro256 rng(42);
+  std::vector<trace::MemoryAccess> accesses(1 << 16);
+  for (auto& a : accesses) {
+    a = trace::MemoryAccess{rng.below(16ull << 20) & ~7ull, 8,
+                            rng.chance(0.3) ? AccessType::Store
+                                            : AccessType::Load,
+                            0};
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    h->access(accesses[i & 0xffff]);
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_HierarchyAccess);
+
+void BM_WorkloadGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    auto w = workloads::make_workload(
+        "StreamTriad", workloads::WorkloadParams{4ull << 20, 42, 1});
+    trace::CountingSink sink;
+    w->run(sink);
+    benchmark::DoNotOptimize(sink.total());
+    state.SetItemsProcessed(
+        state.items_processed() + static_cast<std::int64_t>(sink.total()));
+  }
+}
+BENCHMARK(BM_WorkloadGeneration)->Unit(benchmark::kMillisecond);
+
+void BM_FrontCaptureAndReplay(benchmark::State& state) {
+  designs::DesignFactory factory(256);
+  const auto capture = sim::capture_front(
+      "CG", workloads::WorkloadParams{2ull << 20, 42, 1}, factory);
+  for (auto _ : state) {
+    auto back = factory.nvm_main_memory_back(
+        designs::n_config("N6"), mem::Technology::PCM,
+        capture.footprint_bytes);
+    benchmark::DoNotOptimize(sim::replay_back(capture, *back));
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<std::int64_t>(
+                                capture.residual.size()));
+  }
+}
+BENCHMARK(BM_FrontCaptureAndReplay)->Unit(benchmark::kMillisecond);
+
+void BM_TraceReplayOverhead(benchmark::State& state) {
+  trace::TraceBuffer buffer;
+  Xoshiro256 rng(7);
+  for (int i = 0; i < (1 << 18); ++i) {
+    buffer.access(trace::load(rng.below(1ull << 30) & ~63ull, 64));
+  }
+  trace::CountingSink sink;
+  for (auto _ : state) {
+    buffer.replay(sink);
+    benchmark::DoNotOptimize(sink.total());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(buffer.size()));
+}
+BENCHMARK(BM_TraceReplayOverhead)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,62 @@
+// Table 1: characteristics of the evaluated memory technologies, plus the
+// derived per-64 B-access latency/energy costs the models actually charge.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "hms/common/table.hpp"
+#include "hms/mem/refresh.hpp"
+#include "hms/mem/technology.hpp"
+
+int main() {
+  using namespace hms;
+  const auto& registry = mem::TechnologyRegistry::table1();
+
+  std::cout << "== Table 1: memory technology characteristics ==\n\n";
+  TextTable table({"technology", "read delay (ns)", "write delay (ns)",
+                   "read energy (pJ/bit)", "write energy (pJ/bit)",
+                   "non-volatile", "static (mW/MiB)"});
+  for (const auto& p : registry.all()) {
+    table.add_row({std::string(mem::to_string(p.technology)),
+                   fmt_fixed(p.read_latency.nanoseconds(), 2),
+                   fmt_fixed(p.write_latency.nanoseconds(), 2),
+                   fmt_fixed(p.read_pj_per_bit, 2),
+                   fmt_fixed(p.write_pj_per_bit, 2),
+                   p.non_volatile ? "yes" : "no",
+                   fmt_fixed(p.static_power_per_mib.milliwatts(), 2)});
+  }
+  table.render(std::cout);
+
+  std::cout << "\nDerived cost of one 64 B line transfer:\n";
+  TextTable derived({"technology", "read (ns)", "write (ns)", "read (nJ)",
+                     "write (nJ)"});
+  for (const auto& p : registry.all()) {
+    derived.add_row(
+        {std::string(mem::to_string(p.technology)),
+         fmt_fixed(p.read_latency.nanoseconds(), 2),
+         fmt_fixed(p.write_latency.nanoseconds(), 2),
+         fmt_fixed(p.access_energy(false, 64).picojoules() / 1000.0, 3),
+         fmt_fixed(p.access_energy(true, 64).picojoules() / 1000.0, 3)});
+  }
+  derived.render(std::cout);
+
+  std::cout << "\nStatic power of representative device sizes "
+               "(leakage + refresh):\n";
+  TextTable stat({"device", "capacity", "static power (mW)"});
+  const auto& dram = registry.get(mem::Technology::DRAM);
+  const auto& edram = registry.get(mem::Technology::eDRAM);
+  const auto& pcm = registry.get(mem::Technology::PCM);
+  stat.add_row({"DRAM main memory", "4 GiB",
+                fmt_fixed(mem::static_power(dram, 4ull << 30).milliwatts(),
+                          1)});
+  stat.add_row({"DRAM cache (N6)", "512 MiB",
+                fmt_fixed(mem::static_power(dram, 512ull << 20).milliwatts(),
+                          1)});
+  stat.add_row({"eDRAM L4 (EH1)", "16 MiB",
+                fmt_fixed(mem::static_power(edram, 16ull << 20).milliwatts(),
+                          1)});
+  stat.add_row({"PCM main memory", "4 GiB",
+                fmt_fixed(mem::static_power(pcm, 4ull << 30).milliwatts(),
+                          1)});
+  stat.render(std::cout);
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Table 4: characteristics of the benchmark suite — the paper's metadata
+// side by side with the scaled instantiation this harness simulates.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "hms/common/table.hpp"
+#include "hms/trace/sink.hpp"
+#include "hms/workloads/registry.hpp"
+
+int main() {
+  using namespace hms;
+  const auto cfg = bench::config_from_env();
+  bench::print_banner("Table 4: benchmark characteristics", cfg);
+
+  TextTable table({"suite", "benchmark", "paper fp/core", "paper time (s)",
+                   "scaled fp", "references", "loads", "stores", "inputs"});
+  for (const auto& name : (cfg.suite.empty() ? workloads::paper_suite()
+                                             : cfg.suite)) {
+    auto probe = workloads::make_workload(
+        name, workloads::WorkloadParams{1ull << 20, cfg.seed, 1});
+    const auto info = probe->info();
+    probe.reset();
+    const auto params = cfg.params_for(info);
+    auto w = workloads::make_workload(name, params);
+    trace::CountingSink counter;
+    w->run(counter);
+    table.add_row({info.suite, info.name,
+                   fmt_bytes(info.paper_footprint_bytes),
+                   fmt_fixed(info.paper_reference_seconds, 1),
+                   fmt_bytes(w->footprint_bytes()),
+                   std::to_string(counter.total()),
+                   std::to_string(counter.loads()),
+                   std::to_string(counter.stores()), info.inputs});
+  }
+  table.render(std::cout);
+  std::cout << "\n(scaled fp = paper footprint / " << cfg.footprint_divisor
+            << "; reference counts are the simulated streams fed to every "
+               "design)\n";
+  return 0;
+}

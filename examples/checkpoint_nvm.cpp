@@ -1,0 +1,82 @@
+// checkpoint_nvm: NVM as fast checkpoint memory.
+//
+// The paper's related work (Kannan et al., IPDPS'13) motivates NVM as
+// checkpoint storage. This example quantifies that scenario with the
+// library's device models: a BT solver checkpoints its full working set
+// every epoch, either to a PCM/STT-RAM/FeRAM device or to a disk-like
+// target, and the model reports the checkpoint time and energy overhead on
+// top of the base execution for a sweep of checkpoint frequencies.
+#include <iostream>
+#include <vector>
+
+#include "hms/common/table.hpp"
+#include "hms/designs/design.hpp"
+#include "hms/mem/memory_device.hpp"
+#include "hms/model/amat.hpp"
+#include "hms/model/energy.hpp"
+#include "hms/model/report.hpp"
+#include "hms/sim/simulator.hpp"
+#include "hms/workloads/registry.hpp"
+
+int main() {
+  using namespace hms;
+
+  designs::DesignFactory factory(64);
+  workloads::WorkloadParams params{(1815ull << 20) / 64, 42, 1};
+
+  // Base run: BT through the reference system.
+  const auto capture = sim::capture_front("BT", params, factory);
+  auto base_back = factory.base_back(capture.footprint_bytes);
+  const auto base_profile = sim::replay_back(capture, *base_back);
+  const auto anchor =
+      model::make_anchor(base_profile, capture.info.memory_bound_fraction);
+  const auto base =
+      model::evaluate("base", "BT", base_profile, anchor);
+
+  std::cout << "BT working set " << fmt_bytes(capture.footprint_bytes)
+            << ", base runtime "
+            << fmt_fixed(base.runtime.nanoseconds() / 1e6, 2)
+            << " ms (modeled), base energy "
+            << fmt_fixed(base.total_energy().millijoules(), 2) << " mJ\n\n";
+
+  // Checkpoint devices: sequential bulk write of the working set. The
+  // "disk" row uses flash-storage-class figures (the pre-NVM baseline).
+  struct Target {
+    const char* name;
+    double write_gbs;       // sustained sequential write bandwidth
+    double write_pj_per_bit;
+  };
+  const Target targets[] = {
+      {"PCM", 0.5, 210.3},
+      {"STT-RAM", 4.0, 67.7},
+      {"FeRAM", 1.6, 210.0},
+      {"flash SSD", 0.2, 30.0},
+  };
+
+  TextTable table({"target", "checkpoints", "ckpt time (ms)",
+                   "runtime overhead", "ckpt energy (mJ)",
+                   "energy overhead"});
+  const double bytes = static_cast<double>(capture.footprint_bytes);
+  for (const auto& target : targets) {
+    for (const int count : {1, 4, 16}) {
+      const double total_bytes = bytes * count;
+      const Time ckpt_time =
+          Time::from_ns(total_bytes / target.write_gbs);  // GB/s = B/ns
+      const Energy ckpt_energy =
+          Energy::from_pj(total_bytes * 8.0 * target.write_pj_per_bit);
+      table.add_row(
+          {target.name, std::to_string(count),
+           fmt_fixed(ckpt_time.nanoseconds() / 1e6, 2),
+           fmt_fixed(ckpt_time / base.runtime, 3),
+           fmt_fixed(ckpt_energy.millijoules(), 2),
+           fmt_fixed(ckpt_energy.picojoules() /
+                         base.total_energy().picojoules(),
+                     3)});
+    }
+  }
+  table.render(std::cout);
+  std::cout << "\n(STT-RAM's balanced write path makes it the natural "
+               "checkpoint target: PCM and flash pay heavily in either "
+               "energy or bandwidth)\n";
+  return 0;
+}

@@ -1,0 +1,159 @@
+// design_explorer: command-line sweep over designs, configurations, NVM
+// technologies, and workloads, with optional CSV output — the "what if"
+// tool for exploring the paper's design space beyond its published points.
+//
+// Usage:
+//   design_explorer [--workload NAME]... [--design base|4lc|nmm|ndm|4lcnvm]
+//                   [--nvm PCM|STTRAM|FeRAM] [--l4 eDRAM|HMC]
+//                   [--scale N] [--iterations N] [--seed N] [--csv]
+//
+// Examples:
+//   design_explorer --design nmm --nvm STTRAM --workload Graph500
+//   design_explorer --design 4lc --l4 HMC --csv
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "hms/common/csv.hpp"
+#include "hms/common/error.hpp"
+#include "hms/common/string_util.hpp"
+#include "hms/common/table.hpp"
+#include "hms/designs/configs.hpp"
+#include "hms/sim/experiment.hpp"
+#include "hms/workloads/registry.hpp"
+
+namespace {
+
+using namespace hms;
+
+struct Options {
+  std::vector<std::string> workloads;
+  std::string design = "nmm";
+  mem::Technology nvm = mem::Technology::PCM;
+  mem::Technology l4 = mem::Technology::eDRAM;
+  std::uint64_t scale = 64;
+  std::uint32_t iterations = 1;
+  std::uint64_t seed = 42;
+  bool csv = false;
+};
+
+Options parse(int argc, char** argv) {
+  Options opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      check(i + 1 < argc, "missing value for " + arg);
+      return argv[++i];
+    };
+    if (arg == "--workload") {
+      opts.workloads.push_back(value());
+    } else if (arg == "--design") {
+      opts.design = to_lower(value());
+    } else if (arg == "--nvm") {
+      opts.nvm = mem::technology_from_string(value());
+    } else if (arg == "--l4") {
+      opts.l4 = mem::technology_from_string(value());
+    } else if (arg == "--scale") {
+      opts.scale = std::stoull(value());
+    } else if (arg == "--iterations") {
+      opts.iterations = static_cast<std::uint32_t>(std::stoul(value()));
+    } else if (arg == "--seed") {
+      opts.seed = std::stoull(value());
+    } else if (arg == "--csv") {
+      opts.csv = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: design_explorer [--workload NAME]... "
+                   "[--design base|4lc|nmm|ndm|4lcnvm] [--nvm TECH] "
+                   "[--l4 eDRAM|HMC] [--scale N] [--iterations N] "
+                   "[--seed N] [--csv]\n";
+      std::exit(0);
+    } else {
+      throw Error("unknown argument: " + arg + " (try --help)");
+    }
+  }
+  return opts;
+}
+
+void emit(const Options& opts, const std::vector<sim::SuiteResult>& results) {
+  if (opts.csv) {
+    CsvWriter csv(std::cout);
+    csv.header({"design", "config", "workload", "norm_runtime",
+                "norm_dynamic", "norm_static", "norm_energy", "norm_edp"});
+    for (const auto& r : results) {
+      for (const auto& wr : r.per_workload) {
+        csv.row({opts.design, r.config_name, wr.report.workload,
+                 fmt_fixed(wr.normalized.runtime, 6),
+                 fmt_fixed(wr.normalized.dynamic, 6),
+                 fmt_fixed(wr.normalized.leakage, 6),
+                 fmt_fixed(wr.normalized.total_energy, 6),
+                 fmt_fixed(wr.normalized.edp, 6)});
+      }
+    }
+    return;
+  }
+  TextTable table({"config", "norm-runtime", "norm-energy", "norm-EDP"});
+  for (const auto& r : results) {
+    table.add_row({r.config_name, fmt_fixed(r.runtime),
+                   fmt_fixed(r.total_energy), fmt_fixed(r.edp)});
+  }
+  table.render(std::cout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Options opts = parse(argc, argv);
+
+    sim::ExperimentConfig cfg;
+    cfg.scale_divisor = opts.scale;
+    cfg.footprint_divisor = opts.scale;
+    cfg.seed = opts.seed;
+    cfg.iterations = opts.iterations;
+    cfg.suite = opts.workloads;  // empty -> paper suite
+    sim::ExperimentRunner runner(cfg);
+
+    if (!opts.csv) {
+      std::cout << "design=" << opts.design
+                << " nvm=" << mem::to_string(opts.nvm)
+                << " l4=" << mem::to_string(opts.l4)
+                << " scale=1/" << opts.scale << "\n\n";
+    }
+
+    if (opts.design == "base") {
+      TextTable table({"workload", "AMAT (ns)", "runtime (ms)",
+                       "energy (mJ)"});
+      for (const auto& w : runner.suite()) {
+        const auto& base = runner.base_report(w);
+        table.add_row({w, fmt_fixed(base.amat.nanoseconds(), 3),
+                       fmt_fixed(base.runtime.nanoseconds() / 1e6, 3),
+                       fmt_fixed(base.total_energy().millijoules(), 3)});
+      }
+      table.render(std::cout);
+    } else if (opts.design == "4lc") {
+      emit(opts, runner.four_lc_sweep(opts.l4, designs::eh_configs()));
+    } else if (opts.design == "nmm") {
+      emit(opts, runner.nmm_sweep(opts.nvm, designs::n_configs()));
+    } else if (opts.design == "4lcnvm") {
+      emit(opts, runner.four_lc_nvm_sweep(opts.l4, opts.nvm,
+                                          designs::eh_configs()));
+    } else if (opts.design == "ndm") {
+      const auto results = runner.ndm_oracle(opts.nvm);
+      TextTable table({"workload", "placement", "norm-runtime",
+                       "norm-energy", "norm-EDP"});
+      for (const auto& ndm : results) {
+        table.add_row({ndm.workload, ndm.chosen.name,
+                       fmt_fixed(ndm.result.normalized.runtime),
+                       fmt_fixed(ndm.result.normalized.total_energy),
+                       fmt_fixed(ndm.result.normalized.edp)});
+      }
+      table.render(std::cout);
+    } else {
+      throw Error("unknown design: " + opts.design);
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,57 @@
+// genomics_capacity: the capacity story on a genomics pipeline.
+//
+// Velvet-style assembly (the paper's motivating "memory-intensive genomics
+// application") holds a k-mer table far larger than per-core DRAM. This
+// example sweeps the NMM design's DRAM-cache size (N1 -> N3) and NVM
+// technology, showing how much DRAM can be removed before the runtime
+// penalty bites — the question the NMM design exists to answer.
+#include <iostream>
+
+#include "hms/common/table.hpp"
+#include "hms/designs/configs.hpp"
+#include "hms/sim/experiment.hpp"
+
+int main() {
+  using namespace hms;
+
+  sim::ExperimentConfig cfg;
+  cfg.scale_divisor = 64;
+  cfg.footprint_divisor = 64;
+  cfg.suite = {"Velvet"};
+  sim::ExperimentRunner runner(cfg);
+
+  const auto& capture = runner.front("Velvet");
+  std::cout << "Velvet assembly: footprint "
+            << fmt_bytes(capture.footprint_bytes) << " ("
+            << capture.front_profile.references << " references)\n"
+            << "ranges:";
+  for (const auto& r : capture.ranges) {
+    std::cout << " " << r.name << "=" << fmt_bytes(r.length);
+  }
+  std::cout << "\n\n";
+
+  for (const auto nvm : {mem::Technology::PCM, mem::Technology::STTRAM,
+                         mem::Technology::FeRAM}) {
+    std::cout << "NMM with " << mem::to_string(nvm)
+              << " main memory, DRAM cache shrinking 512->128 MB:\n";
+    TextTable table({"config", "DRAM cache", "page", "norm-runtime",
+                     "norm-energy", "norm-EDP"});
+    for (const char* name : {"N3", "N2", "N1"}) {
+      const auto& n = designs::n_config(name);
+      const auto results = runner.nmm_sweep(nvm, {n});
+      table.add_row({n.name, fmt_bytes(n.dram_capacity_bytes),
+                     fmt_bytes(n.page_bytes),
+                     fmt_fixed(results[0].runtime),
+                     fmt_fixed(results[0].total_energy),
+                     fmt_fixed(results[0].edp)});
+    }
+    table.render(std::cout);
+    std::cout << "\n";
+  }
+
+  std::cout << "Reading: smaller DRAM caches cut static energy but raise "
+               "NVM traffic; the sweet spot depends on the technology's "
+               "write cost (PCM/FeRAM write energy is ~20x DRAM, STT-RAM "
+               "is balanced).\n";
+  return 0;
+}

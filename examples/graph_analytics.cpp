@@ -1,0 +1,78 @@
+// graph_analytics: the data-intensive scenario from the paper's
+// introduction — a Graph500-style BFS whose working set dwarfs per-core
+// DRAM. Compares all four hybrid designs (plus the base system) on the
+// same captured stream and reports where each wins.
+#include <iostream>
+
+#include "hms/common/table.hpp"
+#include "hms/designs/configs.hpp"
+#include "hms/designs/design.hpp"
+#include "hms/model/report.hpp"
+#include "hms/sim/experiment.hpp"
+
+int main() {
+  using namespace hms;
+
+  sim::ExperimentConfig cfg;
+  cfg.scale_divisor = 64;
+  cfg.footprint_divisor = 64;
+  cfg.iterations = 2;  // two BFS roots
+  cfg.suite = {"Graph500"};
+  sim::ExperimentRunner runner(cfg);
+
+  const auto& capture = runner.front("Graph500");
+  std::cout << "Graph500 BFS: footprint "
+            << fmt_bytes(capture.footprint_bytes) << ", "
+            << capture.front_profile.references << " references, "
+            << capture.residual.size() << " post-L3 transactions\n\n";
+
+  const auto& factory = runner.factory();
+  const auto fp = capture.footprint_bytes;
+
+  TextTable table({"design", "configuration", "norm-runtime",
+                   "norm-energy", "norm-EDP"});
+  auto add = [&](const std::string& design, const std::string& config,
+                 cache::MemoryHierarchy& back) {
+    const auto result = runner.evaluate_back(design, "Graph500", back);
+    table.add_row({design, config, fmt_fixed(result.normalized.runtime),
+                   fmt_fixed(result.normalized.total_energy),
+                   fmt_fixed(result.normalized.edp)});
+  };
+
+  {
+    auto back = factory.base_back(fp);
+    add("base", "L1-L3 + DRAM", *back);
+  }
+  {
+    auto back = factory.four_level_cache_back(designs::eh_config("EH1"),
+                                              mem::Technology::eDRAM, fp);
+    add("4LC", "EH1 eDRAM L4 + DRAM", *back);
+  }
+  {
+    auto back = factory.nvm_main_memory_back(designs::n_config("N6"),
+                                             mem::Technology::PCM, fp);
+    add("NMM", "N6 DRAM$ + PCM", *back);
+  }
+  {
+    auto back = factory.four_level_cache_nvm_back(
+        designs::eh_config("EH1"), mem::Technology::eDRAM,
+        mem::Technology::PCM, fp);
+    add("4LCNVM", "EH1 eDRAM L4 + PCM", *back);
+  }
+  {
+    const auto ndm = runner.ndm_oracle(mem::Technology::PCM);
+    table.add_row({"NDM", "oracle: " + ndm[0].chosen.name,
+                   fmt_fixed(ndm[0].result.normalized.runtime),
+                   fmt_fixed(ndm[0].result.normalized.total_energy),
+                   fmt_fixed(ndm[0].result.normalized.edp)});
+  }
+  table.render(std::cout);
+
+  std::cout << "\nReading: for an irregular, large-footprint workload the "
+               "NMM design wins — the DRAM page cache absorbs the graph's "
+               "reuse while PCM supplies capacity without refresh power. "
+               "The L4-only designs pay NVM latency on every L3 miss, and "
+               "the static NDM split cannot separate hot from cold inside "
+               "the adjacency structure.\n";
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Quickstart: simulate one workload on the base system and on an NMM
+// design (PCM main memory behind a 512 MB DRAM cache), and print the
+// paper-style normalized comparison.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <iostream>
+
+#include "hms/common/table.hpp"
+#include "hms/designs/configs.hpp"
+#include "hms/designs/design.hpp"
+#include "hms/model/report.hpp"
+#include "hms/sim/simulator.hpp"
+#include "hms/workloads/registry.hpp"
+
+int main() {
+  using namespace hms;
+
+  // 1. Scale everything down 64x (capacities AND footprint) so the run
+  //    takes seconds while preserving the footprint/capacity ratios.
+  designs::DesignFactory factory(/*scale_divisor=*/64);
+
+  // 2. Instantiate a workload: NPB CG with a 24 MiB footprint
+  //    (= its 1.5 GB per-core Table 4 footprint / 64).
+  workloads::WorkloadParams params;
+  params.footprint_bytes = (1536ull << 20) / 64;
+  params.seed = 42;
+  params.iterations = 2;
+  auto cg = workloads::make_workload("CG", params);
+  std::cout << "workload: " << cg->info().name << " ("
+            << cg->info().suite << "), footprint "
+            << fmt_bytes(cg->footprint_bytes()) << "\n";
+
+  // 3. Run it ONCE through the shared L1-L3 front, capturing the residual
+  //    (post-L3) stream. This is the paper's online simulation: the full
+  //    address stream is consumed as the kernel executes.
+  const auto capture = sim::capture_front("CG", params, factory);
+  std::cout << "references: " << capture.front_profile.references
+            << ", residual stream: " << capture.residual.size()
+            << " transactions\n\n";
+
+  // 4. Replay the residual into the base design's memory and into the NMM
+  //    design's back (DRAM page cache + PCM).
+  auto base_back = factory.base_back(capture.footprint_bytes);
+  const auto base_profile = sim::replay_back(capture, *base_back);
+
+  auto nmm_back = factory.nvm_main_memory_back(
+      designs::n_config("N6"), mem::Technology::PCM,
+      capture.footprint_bytes);
+  const auto nmm_profile = sim::replay_back(capture, *nmm_back);
+
+  // 5. Evaluate both with the paper's models (Eqs. 1-4) and normalize.
+  const auto anchor =
+      model::make_anchor(base_profile, capture.info.memory_bound_fraction);
+  const auto base = model::evaluate("base", "CG", base_profile, anchor);
+  const auto nmm = model::evaluate("NMM-N6", "CG", nmm_profile, anchor);
+  const auto n = model::normalize(nmm, base);
+
+  std::cout << "base:   AMAT " << fmt_fixed(base.amat.nanoseconds(), 3)
+            << " ns, energy "
+            << fmt_fixed(base.total_energy().millijoules(), 3) << " mJ\n";
+  std::cout << "NMM-N6: AMAT " << fmt_fixed(nmm.amat.nanoseconds(), 3)
+            << " ns, energy "
+            << fmt_fixed(nmm.total_energy().millijoules(), 3) << " mJ\n\n";
+  std::cout << "normalized to base -> runtime " << fmt_fixed(n.runtime)
+            << "x, dynamic energy " << fmt_fixed(n.dynamic)
+            << "x, static energy " << fmt_fixed(n.leakage)
+            << "x, total energy " << fmt_fixed(n.total_energy)
+            << "x, EDP " << fmt_fixed(n.edp) << "x\n";
+  std::cout << "\n(the paper's NMM story: a small runtime overhead buys a "
+               "large static-energy saving from shrinking DRAM)\n";
+  return 0;
+}

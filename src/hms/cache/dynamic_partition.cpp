@@ -1,0 +1,123 @@
+#include "hms/cache/dynamic_partition.hpp"
+
+#include <algorithm>
+
+#include "hms/common/bitops.hpp"
+#include "hms/common/error.hpp"
+
+namespace hms::cache {
+
+DynamicPartitionBackend::DynamicPartitionBackend(
+    DynamicPartitionConfig config)
+    : config_(std::move(config)),
+      dram_(config_.dram),
+      nvm_(config_.nvm),
+      dram_regions_(config_.dram.capacity_bytes / config_.region_bytes) {
+  check_config(is_pow2(config_.region_bytes),
+               "DynamicPartitionBackend: region size must be a power of two");
+  check_config(dram_regions_ > 0,
+               "DynamicPartitionBackend: DRAM smaller than one region");
+  check_config(config_.epoch_accesses > 0,
+               "DynamicPartitionBackend: epoch must be positive");
+  check_config(config_.score_decay >= 0.0 && config_.score_decay < 1.0,
+               "DynamicPartitionBackend: decay must be in [0,1)");
+}
+
+bool DynamicPartitionBackend::in_dram(Address address) const {
+  const auto it = regions_.find(address / config_.region_bytes);
+  return it != regions_.end() && it->second.in_dram;
+}
+
+void DynamicPartitionBackend::touch(Address address, std::uint64_t bytes,
+                                    bool is_store) {
+  RegionState& region = regions_[address / config_.region_bytes];
+  ++region.epoch_count;
+  mem::MemoryDevice& device = region.in_dram ? dram_ : nvm_;
+  if (is_store) {
+    device.write(address, bytes);
+  } else {
+    device.read(address, bytes);
+  }
+  if (++accesses_in_epoch_ >= config_.epoch_accesses) {
+    rebalance();
+  }
+}
+
+void DynamicPartitionBackend::load(Address address, std::uint64_t bytes) {
+  touch(address, bytes, /*is_store=*/false);
+}
+
+void DynamicPartitionBackend::store(Address address, std::uint64_t bytes) {
+  touch(address, bytes, /*is_store=*/true);
+}
+
+void DynamicPartitionBackend::rebalance() {
+  accesses_in_epoch_ = 0;
+  ++epochs_;
+
+  // Fold the epoch's counts into the decayed scores.
+  std::vector<std::pair<double, std::uint64_t>> scored;  // (score, region)
+  scored.reserve(regions_.size());
+  for (auto& [id, state] : regions_) {
+    state.score = config_.score_decay * state.score +
+                  static_cast<double>(state.epoch_count);
+    state.epoch_count = 0;
+    scored.emplace_back(state.score, id);
+  }
+
+  // The hottest dram_regions_ regions should live in DRAM.
+  const std::size_t want =
+      std::min<std::size_t>(scored.size(),
+                            static_cast<std::size_t>(dram_regions_));
+  std::partial_sort(scored.begin(),
+                    scored.begin() + static_cast<std::ptrdiff_t>(want),
+                    scored.end(), [](const auto& a, const auto& b) {
+                      if (a.first != b.first) return a.first > b.first;
+                      return a.second < b.second;  // deterministic ties
+                    });
+
+  std::unordered_map<std::uint64_t, bool> target;
+  target.reserve(want);
+  for (std::size_t i = 0; i < want; ++i) {
+    target.emplace(scored[i].second, true);
+  }
+
+  for (auto& [id, state] : regions_) {
+    const bool should = target.count(id) > 0;
+    if (should == state.in_dram) continue;
+    const Address base = id * config_.region_bytes;
+    if (should) {
+      // Promote: bulk-read the region from NVM, bulk-write into DRAM.
+      nvm_.read(base, config_.region_bytes);
+      dram_.write(base, config_.region_bytes);
+      ++dram_resident_;
+    } else {
+      // Demote: bulk-read from DRAM, write back to NVM.
+      dram_.read(base, config_.region_bytes);
+      nvm_.write(base, config_.region_bytes);
+      --dram_resident_;
+    }
+    state.in_dram = should;
+    ++migrations_;
+  }
+}
+
+std::vector<LevelProfile> DynamicPartitionBackend::profiles() const {
+  auto make = [](const mem::MemoryDevice& device) {
+    LevelProfile p;
+    p.name = device.config().name;
+    p.tech = device.technology();
+    p.capacity_bytes = device.config().modeled_capacity_bytes != 0
+                           ? device.config().modeled_capacity_bytes
+                           : device.config().capacity_bytes;
+    p.loads = device.stats().reads;
+    p.stores = device.stats().writes + device.stats().migration_writes;
+    p.load_bytes = device.stats().read_bytes;
+    p.store_bytes = device.stats().write_bytes;
+    p.is_cache = false;
+    return p;
+  };
+  return {make(dram_), make(nvm_)};
+}
+
+}  // namespace hms::cache

@@ -1,0 +1,90 @@
+// DynamicPartitionBackend: epoch-based DRAM/NVM migration — the paper's
+// stated future work for the NDM design ("Further investigation should
+// explore dynamic partitioning, that may change between computation
+// phases").
+//
+// The address space is divided into fixed-size regions. During an epoch,
+// per-region access counts accumulate while traffic routes to whichever
+// device currently holds each region (everything starts in NVM). At epoch
+// boundaries the hottest regions (by an exponentially decayed score) are
+// promoted into DRAM up to its capacity, displacing colder residents.
+// Every migration is charged to both devices as a bulk region transfer, so
+// the models see the real cost of re-partitioning.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "hms/cache/hierarchy.hpp"
+#include "hms/mem/memory_device.hpp"
+
+namespace hms::cache {
+
+struct DynamicPartitionConfig {
+  mem::MemoryDeviceConfig dram;  ///< hot device (index 0)
+  mem::MemoryDeviceConfig nvm;   ///< cold device (index 1, default home)
+  /// Migration granularity.
+  std::uint64_t region_bytes = 1ull << 20;
+  /// Accesses between re-partitioning decisions.
+  std::uint64_t epoch_accesses = 64 * 1024;
+  /// Weight of history in the region score: score = decay*score + count.
+  double score_decay = 0.5;
+};
+
+/// See file comment.
+class DynamicPartitionBackend final : public MemoryBackend {
+ public:
+  explicit DynamicPartitionBackend(DynamicPartitionConfig config);
+
+  void load(Address address, std::uint64_t bytes) override;
+  void store(Address address, std::uint64_t bytes) override;
+  [[nodiscard]] std::vector<LevelProfile> profiles() const override;
+
+  [[nodiscard]] const mem::MemoryDevice& dram() const noexcept {
+    return dram_;
+  }
+  [[nodiscard]] const mem::MemoryDevice& nvm() const noexcept { return nvm_; }
+
+  /// True if the region holding `address` currently resides in DRAM.
+  [[nodiscard]] bool in_dram(Address address) const;
+
+  [[nodiscard]] std::uint64_t epochs() const noexcept { return epochs_; }
+  [[nodiscard]] std::uint64_t migrations() const noexcept {
+    return migrations_;
+  }
+  [[nodiscard]] std::uint64_t migrated_bytes() const noexcept {
+    return migrations_ * config_.region_bytes;
+  }
+  /// Number of regions DRAM can hold.
+  [[nodiscard]] std::uint64_t dram_region_capacity() const noexcept {
+    return dram_regions_;
+  }
+  [[nodiscard]] std::size_t resident_regions() const noexcept {
+    return dram_resident_;
+  }
+
+  /// Forces an epoch boundary now (mainly for tests).
+  void rebalance();
+
+ private:
+  struct RegionState {
+    std::uint64_t epoch_count = 0;
+    double score = 0.0;
+    bool in_dram = false;
+  };
+
+  void touch(Address address, std::uint64_t bytes, bool is_store);
+
+  DynamicPartitionConfig config_;
+  mem::MemoryDevice dram_;
+  mem::MemoryDevice nvm_;
+  std::uint64_t dram_regions_;
+  std::unordered_map<std::uint64_t, RegionState> regions_;
+  std::uint64_t accesses_in_epoch_ = 0;
+  std::uint64_t epochs_ = 0;
+  std::uint64_t migrations_ = 0;
+  std::size_t dram_resident_ = 0;
+};
+
+}  // namespace hms::cache

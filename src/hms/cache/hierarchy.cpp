@@ -1,0 +1,195 @@
+#include "hms/cache/hierarchy.hpp"
+
+#include <algorithm>
+
+#include "hms/common/bitops.hpp"
+#include "hms/common/error.hpp"
+
+namespace hms::cache {
+
+std::vector<LevelProfile> SingleMemoryBackend::profiles() const {
+  LevelProfile p;
+  p.name = device_.config().name;
+  p.tech = device_.technology();
+  p.capacity_bytes = device_.config().modeled_capacity_bytes != 0
+                         ? device_.config().modeled_capacity_bytes
+                         : device_.config().capacity_bytes;
+  p.loads = device_.stats().reads;
+  p.stores = device_.stats().writes + device_.stats().migration_writes;
+  p.load_bytes = device_.stats().read_bytes;
+  p.store_bytes = device_.stats().write_bytes;
+  p.is_cache = false;
+  return {p};
+}
+
+HierarchyProfile HierarchyProfile::combine(const HierarchyProfile& front,
+                                           const HierarchyProfile& back) {
+  HierarchyProfile merged;
+  merged.levels = front.levels;
+  merged.levels.insert(merged.levels.end(), back.levels.begin(),
+                       back.levels.end());
+  merged.references = front.references;
+  return merged;
+}
+
+MemoryHierarchy::MemoryHierarchy(std::vector<CacheLevelSpec> levels,
+                                 std::unique_ptr<MemoryBackend> backend)
+    : backend_(std::move(backend)) {
+  check(backend_ != nullptr, "MemoryHierarchy: backend required");
+  levels_.reserve(levels.size());
+  for (auto& spec : levels) {
+    levels_.emplace_back(std::move(spec));
+  }
+  // Line sizes must not shrink downstream: a fetch of the upstream line must
+  // fit in one downstream line (otherwise fills would straddle lines).
+  for (std::size_t i = 1; i < levels_.size(); ++i) {
+    check_config(levels_[i].cache.config().line_bytes >=
+                     levels_[i - 1].cache.config().line_bytes,
+                 "MemoryHierarchy: line size must be non-decreasing "
+                 "downstream");
+  }
+}
+
+const SetAssocCache& MemoryHierarchy::level(std::size_t i) const {
+  check(i < levels_.size(), "MemoryHierarchy: level index out of range");
+  return levels_[i].cache;
+}
+
+void MemoryHierarchy::access(const trace::MemoryAccess& a) {
+  check(a.size > 0, "MemoryHierarchy: zero-size access");
+  if (levels_.empty()) {
+    ++references_;
+    if (a.type == AccessType::Store) {
+      backend_->store(a.address, a.size);
+    } else {
+      backend_->load(a.address, a.size);
+    }
+    return;
+  }
+  const std::uint64_t line = levels_.front().cache.config().line_bytes;
+  Address addr = a.address;
+  std::uint64_t remaining = a.size;
+  while (remaining > 0) {
+    const Address line_end = align_down(addr, line) + line;
+    const std::uint64_t chunk =
+        std::min<std::uint64_t>(remaining, line_end - addr);
+    ++references_;
+    access_level(0, addr, chunk, a.type);
+    addr += chunk;
+    remaining -= chunk;
+  }
+}
+
+void MemoryHierarchy::access_level(std::size_t i, Address address,
+                                   std::uint64_t size, AccessType type,
+                                   bool from_prefetch) {
+  if (i == levels_.size()) {
+    if (type == AccessType::Store) {
+      backend_->store(address, size);
+    } else {
+      backend_->load(address, size);
+    }
+    return;
+  }
+  Level& level = levels_[i];
+  if (type == AccessType::Store) {
+    ++level.stores;
+    level.store_bytes += size;
+  } else {
+    ++level.loads;
+    level.load_bytes += size;
+  }
+  const AccessOutcome outcome = level.cache.access(address, size, type);
+  if (!outcome.hit) {
+    // Allocate-on-miss: fetch the full line from the next level (counted as
+    // a load there regardless of the triggering access type; paper §III.B:
+    // "every other access to fetch a cache line is counted as a read").
+    const std::uint64_t line = level.cache.config().line_bytes;
+    access_level(i + 1, align_down(address, line), line, AccessType::Load,
+                 from_prefetch);
+  }
+  if (outcome.writeback) {
+    access_level(i + 1, outcome.victim_address, outcome.writeback_bytes,
+                 AccessType::Store, from_prefetch);
+  }
+  // Trigger on demand misses and on demand hits of prefetched lines
+  // (tagged prefetching), so streaming patterns sustain a prefetch chain.
+  if ((!outcome.hit || outcome.prefetched_hit) && !from_prefetch &&
+      level.prefetch.kind != PrefetcherConfig::Kind::None) {
+    run_prefetcher(i, align_down(address, level.cache.config().line_bytes));
+  }
+}
+
+void MemoryHierarchy::run_prefetcher(std::size_t i, Address line_addr) {
+  Level& level = levels_[i];
+  const std::uint64_t line = level.cache.config().line_bytes;
+
+  std::int64_t stride = static_cast<std::int64_t>(line);
+  bool issue = true;
+  if (level.prefetch.kind == PrefetcherConfig::Kind::Stride) {
+    // Global stride detector: issue only when two consecutive trigger
+    // events (demand misses or tagged prefetched-hits) repeat the stride.
+    const std::int64_t observed =
+        level.have_miss ? static_cast<std::int64_t>(line_addr) -
+                              static_cast<std::int64_t>(level.last_miss)
+                        : 0;
+    issue = level.have_miss && observed != 0 &&
+            observed == level.last_stride;
+    stride = observed;
+    level.last_stride = observed;
+    level.last_miss = line_addr;
+    level.have_miss = true;
+    if (!issue) return;
+  }
+
+  for (std::uint32_t d = 1; d <= level.prefetch.degree; ++d) {
+    const std::int64_t target = static_cast<std::int64_t>(line_addr) +
+                                stride * static_cast<std::int64_t>(d);
+    if (target < 0) break;
+    const Address paddr = static_cast<Address>(target);
+    const AccessOutcome outcome =
+        level.cache.access(paddr, line, AccessType::Load, /*prefetch=*/true);
+    if (!outcome.hit) {
+      access_level(i + 1, paddr, line, AccessType::Load,
+                   /*from_prefetch=*/true);
+    }
+    if (outcome.writeback) {
+      access_level(i + 1, outcome.victim_address, outcome.writeback_bytes,
+                   AccessType::Store, /*from_prefetch=*/true);
+    }
+  }
+}
+
+void MemoryHierarchy::flush() {
+  for (std::size_t i = 0; i < levels_.size(); ++i) {
+    for (const auto& [address, bytes] : levels_[i].cache.flush()) {
+      access_level(i + 1, address, bytes, AccessType::Store);
+    }
+  }
+}
+
+HierarchyProfile MemoryHierarchy::profile() const {
+  HierarchyProfile p;
+  p.references = references_;
+  for (const auto& level : levels_) {
+    LevelProfile lp;
+    lp.name = level.cache.config().name;
+    lp.tech = level.tech;
+    lp.capacity_bytes = level.cache.config().modeled_capacity_bytes != 0
+                            ? level.cache.config().modeled_capacity_bytes
+                            : level.cache.config().capacity_bytes;
+    lp.loads = level.loads;
+    lp.stores = level.stores;
+    lp.load_bytes = level.load_bytes;
+    lp.store_bytes = level.store_bytes;
+    lp.is_cache = true;
+    lp.cache_stats = level.cache.stats();
+    p.levels.push_back(std::move(lp));
+  }
+  for (auto& mp : backend_->profiles()) {
+    p.levels.push_back(std::move(mp));
+  }
+  return p;
+}
+
+}  // namespace hms::cache

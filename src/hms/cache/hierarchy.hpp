@@ -1,0 +1,161 @@
+// MemoryHierarchy: the multi-level online simulation engine.
+//
+// A hierarchy is a stack of write-back caches over a MemoryBackend. Every
+// CPU reference enters the first level; a miss at level i triggers a
+// line-sized fetch from level i+1 (counted as a *load* there), and a dirty
+// eviction triggers a write-back (counted as a *store* there) — exactly the
+// accounting of paper Section III.B.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hms/cache/profile.hpp"
+#include "hms/cache/set_assoc_cache.hpp"
+#include "hms/mem/memory_device.hpp"
+#include "hms/mem/technology.hpp"
+#include "hms/trace/sink.hpp"
+
+namespace hms::cache {
+
+/// What lies behind the deepest simulated cache level.
+class MemoryBackend {
+ public:
+  virtual ~MemoryBackend() = default;
+
+  /// A line fetch arriving at main memory (read of `bytes`).
+  virtual void load(Address address, std::uint64_t bytes) = 0;
+  /// A dirty write-back arriving at main memory (write of `bytes`).
+  virtual void store(Address address, std::uint64_t bytes) = 0;
+  /// One profile entry per physical device behind this backend.
+  [[nodiscard]] virtual std::vector<LevelProfile> profiles() const = 0;
+};
+
+/// A single main-memory device (base, 4LC, NMM, 4LCNVM designs).
+class SingleMemoryBackend final : public MemoryBackend {
+ public:
+  explicit SingleMemoryBackend(mem::MemoryDeviceConfig config)
+      : device_(std::move(config)) {}
+
+  void load(Address address, std::uint64_t bytes) override {
+    device_.read(address, bytes);
+  }
+  void store(Address address, std::uint64_t bytes) override {
+    device_.write(address, bytes);
+  }
+  [[nodiscard]] std::vector<LevelProfile> profiles() const override;
+
+  [[nodiscard]] const mem::MemoryDevice& device() const noexcept {
+    return device_;
+  }
+  [[nodiscard]] mem::MemoryDevice& device() noexcept { return device_; }
+
+ private:
+  mem::MemoryDevice device_;
+};
+
+/// Captures residual traffic into an AccessSink instead of modeling a
+/// device — the front half of the front/back split (DESIGN.md §5).
+class CaptureBackend final : public MemoryBackend {
+ public:
+  explicit CaptureBackend(trace::AccessSink& sink) : sink_(&sink) {}
+
+  void load(Address address, std::uint64_t bytes) override {
+    sink_->access(trace::MemoryAccess{
+        address, static_cast<std::uint32_t>(bytes), AccessType::Load, 0});
+  }
+  void store(Address address, std::uint64_t bytes) override {
+    sink_->access(trace::MemoryAccess{
+        address, static_cast<std::uint32_t>(bytes), AccessType::Store, 0});
+  }
+  [[nodiscard]] std::vector<LevelProfile> profiles() const override {
+    return {};
+  }
+
+ private:
+  trace::AccessSink* sink_;
+};
+
+/// Hardware prefetcher attached to one cache level. Triggered by demand
+/// misses at that level; prefetched fills are fetched from the next level
+/// (costing latency and energy there) but are not charged as demand
+/// accesses at this level. Usefulness is tracked via the cache's
+/// prefetch_useful counter.
+struct PrefetcherConfig {
+  enum class Kind : std::uint8_t {
+    None,
+    NextLine,  ///< prefetch the `degree` sequentially following lines
+    Stride,    ///< detect a constant miss stride, prefetch along it
+  };
+  Kind kind = Kind::None;
+  std::uint32_t degree = 1;
+};
+
+/// One cache level of a hierarchy: simulation structure plus the technology
+/// that prices its accesses.
+struct CacheLevelSpec {
+  CacheConfig cache;
+  mem::TechnologyParams tech;
+  PrefetcherConfig prefetch;
+};
+
+/// See file comment.
+class MemoryHierarchy final : public trace::AccessSink {
+ public:
+  MemoryHierarchy(std::vector<CacheLevelSpec> levels,
+                  std::unique_ptr<MemoryBackend> backend);
+
+  /// Consumes one CPU reference (AccessSink interface). References that
+  /// straddle a first-level line boundary are split and counted per piece.
+  void access(const trace::MemoryAccess& a) override;
+
+  /// Drains all dirty lines downstream (level by level into memory).
+  /// Optional at end of run; the paper ignores terminal dirty state.
+  void flush();
+
+  [[nodiscard]] HierarchyProfile profile() const;
+
+  [[nodiscard]] std::size_t cache_levels() const noexcept {
+    return levels_.size();
+  }
+  [[nodiscard]] const SetAssocCache& level(std::size_t i) const;
+  [[nodiscard]] const MemoryBackend& backend() const noexcept {
+    return *backend_;
+  }
+  [[nodiscard]] MemoryBackend& backend() noexcept { return *backend_; }
+  [[nodiscard]] Count references() const noexcept { return references_; }
+
+ private:
+  struct Level {
+    SetAssocCache cache;
+    mem::TechnologyParams tech;
+    PrefetcherConfig prefetch;
+    Count loads = 0;
+    Count stores = 0;
+    std::uint64_t load_bytes = 0;
+    std::uint64_t store_bytes = 0;
+    // Stride-detector state (demand misses only).
+    Address last_miss = 0;
+    std::int64_t last_stride = 0;
+    bool have_miss = false;
+
+    explicit Level(CacheLevelSpec spec)
+        : cache(std::move(spec.cache)),
+          tech(spec.tech),
+          prefetch(spec.prefetch) {}
+  };
+
+  void access_level(std::size_t i, Address address, std::uint64_t size,
+                    AccessType type, bool from_prefetch = false);
+
+  /// Issues this level's prefetches after a demand miss on `line_addr`.
+  void run_prefetcher(std::size_t i, Address line_addr);
+
+  std::vector<Level> levels_;
+  std::unique_ptr<MemoryBackend> backend_;
+  Count references_ = 0;
+};
+
+}  // namespace hms::cache

@@ -1,0 +1,69 @@
+#include "hms/cache/partitioned_memory.hpp"
+
+#include "hms/common/error.hpp"
+
+namespace hms::cache {
+
+PartitionedMemoryBackend::PartitionedMemoryBackend(
+    std::vector<mem::MemoryDeviceConfig> devices,
+    std::vector<AddressRangeRule> rules, std::size_t default_device)
+    : rules_(std::move(rules)), default_device_(default_device) {
+  check_config(!devices.empty(),
+               "PartitionedMemoryBackend: need at least one device");
+  check_config(default_device < devices.size(),
+               "PartitionedMemoryBackend: default device out of range");
+  for (const auto& rule : rules_) {
+    check_config(rule.device_index < devices.size(),
+                 "PartitionedMemoryBackend: rule device out of range");
+    check_config(rule.length > 0,
+                 "PartitionedMemoryBackend: empty rule range");
+  }
+  devices_.reserve(devices.size());
+  for (auto& cfg : devices) {
+    devices_.emplace_back(std::move(cfg));
+  }
+}
+
+std::size_t PartitionedMemoryBackend::route(Address address) const noexcept {
+  for (const auto& rule : rules_) {
+    if (rule.contains(address)) return rule.device_index;
+  }
+  return default_device_;
+}
+
+void PartitionedMemoryBackend::load(Address address, std::uint64_t bytes) {
+  devices_[route(address)].read(address, bytes);
+}
+
+void PartitionedMemoryBackend::store(Address address, std::uint64_t bytes) {
+  devices_[route(address)].write(address, bytes);
+}
+
+const mem::MemoryDevice& PartitionedMemoryBackend::device(
+    std::size_t i) const {
+  check(i < devices_.size(),
+        "PartitionedMemoryBackend: device index out of range");
+  return devices_[i];
+}
+
+std::vector<LevelProfile> PartitionedMemoryBackend::profiles() const {
+  std::vector<LevelProfile> out;
+  out.reserve(devices_.size());
+  for (const auto& device : devices_) {
+    LevelProfile p;
+    p.name = device.config().name;
+    p.tech = device.technology();
+    p.capacity_bytes = device.config().modeled_capacity_bytes != 0
+                           ? device.config().modeled_capacity_bytes
+                           : device.config().capacity_bytes;
+    p.loads = device.stats().reads;
+    p.stores = device.stats().writes + device.stats().migration_writes;
+    p.load_bytes = device.stats().read_bytes;
+    p.store_bytes = device.stats().write_bytes;
+    p.is_cache = false;
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+}  // namespace hms::cache

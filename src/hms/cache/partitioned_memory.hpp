@@ -1,0 +1,56 @@
+// PartitionedMemoryBackend: the NDM design's main memory — a partitioned
+// address space across two (or more) devices, e.g. DRAM for hot ranges and
+// NVM for everything else (paper Section III.A, "NVM+DRAM").
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hms/cache/hierarchy.hpp"
+#include "hms/mem/memory_device.hpp"
+
+namespace hms::cache {
+
+/// Maps [base, base+length) to the device at `device_index`.
+struct AddressRangeRule {
+  Address base = 0;
+  std::uint64_t length = 0;
+  std::size_t device_index = 0;
+
+  [[nodiscard]] bool contains(Address a) const noexcept {
+    return a >= base && a - base < length;
+  }
+};
+
+/// See file comment. Addresses not matched by any rule go to the device at
+/// `default_device`.
+class PartitionedMemoryBackend final : public MemoryBackend {
+ public:
+  PartitionedMemoryBackend(std::vector<mem::MemoryDeviceConfig> devices,
+                           std::vector<AddressRangeRule> rules,
+                           std::size_t default_device);
+
+  void load(Address address, std::uint64_t bytes) override;
+  void store(Address address, std::uint64_t bytes) override;
+  [[nodiscard]] std::vector<LevelProfile> profiles() const override;
+
+  [[nodiscard]] std::size_t device_count() const noexcept {
+    return devices_.size();
+  }
+  [[nodiscard]] const mem::MemoryDevice& device(std::size_t i) const;
+  [[nodiscard]] const std::vector<AddressRangeRule>& rules() const noexcept {
+    return rules_;
+  }
+
+  /// Device index a given address routes to.
+  [[nodiscard]] std::size_t route(Address address) const noexcept;
+
+ private:
+  std::vector<mem::MemoryDevice> devices_;
+  std::vector<AddressRangeRule> rules_;
+  std::size_t default_device_;
+};
+
+}  // namespace hms::cache

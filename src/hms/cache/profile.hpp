@@ -1,0 +1,46 @@
+// HierarchyProfile: the data-movement statistics a simulation produces and
+// the performance/energy models consume (the paper's "cache statistics of
+// the target design", Section III.B).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hms/common/types.hpp"
+#include "hms/cache/set_assoc_cache.hpp"
+#include "hms/mem/technology.hpp"
+
+namespace hms::cache {
+
+/// Per-level transaction counts. `loads`/`stores` are the Loads_Li and
+/// Stores_Li of Eq. 2; the byte totals feed the bits-moved dynamic-energy
+/// accounting of Eq. 3.
+struct LevelProfile {
+  std::string name;
+  mem::TechnologyParams tech;
+  std::uint64_t capacity_bytes = 0;
+  Count loads = 0;
+  Count stores = 0;
+  std::uint64_t load_bytes = 0;
+  std::uint64_t store_bytes = 0;
+  bool is_cache = false;
+  CacheStats cache_stats;  ///< valid when is_cache
+
+  [[nodiscard]] Count accesses() const noexcept { return loads + stores; }
+};
+
+/// Statistics for one complete design simulation.
+struct HierarchyProfile {
+  std::vector<LevelProfile> levels;
+  /// CPU-issued references — the AMAT denominator ("Total Number of
+  /// References" in Eq. 2).
+  Count references = 0;
+
+  /// Concatenates a front (L1-L3) profile with the back (design-specific)
+  /// profile produced by replaying the front's residual stream. The front
+  /// supplies the reference count.
+  [[nodiscard]] static HierarchyProfile combine(const HierarchyProfile& front,
+                                                const HierarchyProfile& back);
+};
+
+}  // namespace hms::cache

@@ -1,0 +1,218 @@
+#include "hms/cache/replacement.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "hms/common/bitops.hpp"
+#include "hms/common/error.hpp"
+#include "hms/common/random.hpp"
+#include "hms/common/string_util.hpp"
+
+namespace hms::cache {
+
+std::string_view to_string(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::LRU:
+      return "LRU";
+    case PolicyKind::TreePLRU:
+      return "TreePLRU";
+    case PolicyKind::FIFO:
+      return "FIFO";
+    case PolicyKind::Random:
+      return "Random";
+    case PolicyKind::SRRIP:
+      return "SRRIP";
+  }
+  return "unknown";
+}
+
+PolicyKind policy_from_string(std::string_view name) {
+  for (PolicyKind k : {PolicyKind::LRU, PolicyKind::TreePLRU, PolicyKind::FIFO,
+                       PolicyKind::Random, PolicyKind::SRRIP}) {
+    if (iequals(name, to_string(k))) return k;
+  }
+  if (iequals(name, "plru")) return PolicyKind::TreePLRU;
+  throw Error("unknown replacement policy: " + std::string(name));
+}
+
+namespace {
+
+/// True LRU via a global 64-bit access clock.
+class LruPolicy final : public ReplacementPolicy {
+ public:
+  LruPolicy(std::uint32_t sets, std::uint32_t ways)
+      : ways_(ways), stamps_(std::size_t{sets} * ways, 0) {}
+
+  void on_insert(std::uint32_t set, std::uint32_t way) override {
+    stamps_[index(set, way)] = ++clock_;
+  }
+  void on_access(std::uint32_t set, std::uint32_t way) override {
+    stamps_[index(set, way)] = ++clock_;
+  }
+  std::uint32_t choose_victim(std::uint32_t set) override {
+    const std::size_t base = std::size_t{set} * ways_;
+    std::uint32_t victim = 0;
+    std::uint64_t oldest = stamps_[base];
+    for (std::uint32_t w = 1; w < ways_; ++w) {
+      if (stamps_[base + w] < oldest) {
+        oldest = stamps_[base + w];
+        victim = w;
+      }
+    }
+    return victim;
+  }
+
+ private:
+  [[nodiscard]] std::size_t index(std::uint32_t set,
+                                  std::uint32_t way) const noexcept {
+    return std::size_t{set} * ways_ + way;
+  }
+  std::uint32_t ways_;
+  std::uint64_t clock_ = 0;
+  std::vector<std::uint64_t> stamps_;
+};
+
+/// FIFO: like LRU but hits do not refresh the stamp.
+class FifoPolicy final : public ReplacementPolicy {
+ public:
+  FifoPolicy(std::uint32_t sets, std::uint32_t ways)
+      : ways_(ways), stamps_(std::size_t{sets} * ways, 0) {}
+
+  void on_insert(std::uint32_t set, std::uint32_t way) override {
+    stamps_[std::size_t{set} * ways_ + way] = ++clock_;
+  }
+  void on_access(std::uint32_t, std::uint32_t) override {}
+  std::uint32_t choose_victim(std::uint32_t set) override {
+    const std::size_t base = std::size_t{set} * ways_;
+    std::uint32_t victim = 0;
+    std::uint64_t oldest = stamps_[base];
+    for (std::uint32_t w = 1; w < ways_; ++w) {
+      if (stamps_[base + w] < oldest) {
+        oldest = stamps_[base + w];
+        victim = w;
+      }
+    }
+    return victim;
+  }
+
+ private:
+  std::uint32_t ways_;
+  std::uint64_t clock_ = 0;
+  std::vector<std::uint64_t> stamps_;
+};
+
+class RandomPolicy final : public ReplacementPolicy {
+ public:
+  RandomPolicy(std::uint32_t ways, std::uint64_t seed)
+      : ways_(ways), rng_(seed) {}
+
+  void on_insert(std::uint32_t, std::uint32_t) override {}
+  void on_access(std::uint32_t, std::uint32_t) override {}
+  std::uint32_t choose_victim(std::uint32_t) override {
+    return static_cast<std::uint32_t>(rng_.below(ways_));
+  }
+
+ private:
+  std::uint32_t ways_;
+  Xoshiro256 rng_;
+};
+
+/// Tree pseudo-LRU over a power-of-two number of ways. Each set holds
+/// ways-1 direction bits arranged as an implicit binary tree.
+class TreePlruPolicy final : public ReplacementPolicy {
+ public:
+  TreePlruPolicy(std::uint32_t sets, std::uint32_t ways)
+      : ways_(ways), bits_(std::size_t{sets} * (ways - 1), 0) {
+    check_config(is_pow2(ways),
+                 "TreePLRU requires power-of-two associativity");
+    levels_ = log2_exact(ways);
+  }
+
+  void on_insert(std::uint32_t set, std::uint32_t way) override {
+    touch(set, way);
+  }
+  void on_access(std::uint32_t set, std::uint32_t way) override {
+    touch(set, way);
+  }
+  std::uint32_t choose_victim(std::uint32_t set) override {
+    const std::size_t base = std::size_t{set} * (ways_ - 1);
+    std::size_t node = 0;
+    for (unsigned level = 0; level < levels_; ++level) {
+      const std::uint8_t bit = bits_[base + node];
+      node = 2 * node + 1 + bit;  // follow the cold direction
+    }
+    return static_cast<std::uint32_t>(node - (ways_ - 1));
+  }
+
+ private:
+  /// Flips the bits along the way's root path to point away from it.
+  void touch(std::uint32_t set, std::uint32_t way) {
+    const std::size_t base = std::size_t{set} * (ways_ - 1);
+    std::size_t node = way + (ways_ - 1);  // leaf index in implicit tree
+    while (node != 0) {
+      const std::size_t parent = (node - 1) / 2;
+      const bool went_right = (node == 2 * parent + 2);
+      // Mark the *other* side as the next victim direction.
+      bits_[base + parent] = went_right ? 0 : 1;
+      node = parent;
+    }
+  }
+
+  std::uint32_t ways_;
+  unsigned levels_ = 0;
+  std::vector<std::uint8_t> bits_;
+};
+
+/// SRRIP (Jaleel et al., ISCA'10) with 2-bit re-reference predictions.
+class SrripPolicy final : public ReplacementPolicy {
+ public:
+  static constexpr std::uint8_t kMaxRrpv = 3;  // 2-bit
+
+  SrripPolicy(std::uint32_t sets, std::uint32_t ways)
+      : ways_(ways), rrpv_(std::size_t{sets} * ways, kMaxRrpv) {}
+
+  void on_insert(std::uint32_t set, std::uint32_t way) override {
+    rrpv_[std::size_t{set} * ways_ + way] = kMaxRrpv - 1;  // "long" interval
+  }
+  void on_access(std::uint32_t set, std::uint32_t way) override {
+    rrpv_[std::size_t{set} * ways_ + way] = 0;  // hit promotion
+  }
+  std::uint32_t choose_victim(std::uint32_t set) override {
+    const std::size_t base = std::size_t{set} * ways_;
+    while (true) {
+      for (std::uint32_t w = 0; w < ways_; ++w) {
+        if (rrpv_[base + w] == kMaxRrpv) return w;
+      }
+      for (std::uint32_t w = 0; w < ways_; ++w) ++rrpv_[base + w];
+    }
+  }
+
+ private:
+  std::uint32_t ways_;
+  std::vector<std::uint8_t> rrpv_;
+};
+
+}  // namespace
+
+std::unique_ptr<ReplacementPolicy> make_policy(PolicyKind kind,
+                                               std::uint32_t sets,
+                                               std::uint32_t ways,
+                                               std::uint64_t seed) {
+  check_config(sets > 0 && ways > 0,
+               "make_policy: sets and ways must be positive");
+  switch (kind) {
+    case PolicyKind::LRU:
+      return std::make_unique<LruPolicy>(sets, ways);
+    case PolicyKind::TreePLRU:
+      return std::make_unique<TreePlruPolicy>(sets, ways);
+    case PolicyKind::FIFO:
+      return std::make_unique<FifoPolicy>(sets, ways);
+    case PolicyKind::Random:
+      return std::make_unique<RandomPolicy>(ways, seed);
+    case PolicyKind::SRRIP:
+      return std::make_unique<SrripPolicy>(sets, ways);
+  }
+  throw Error("make_policy: unhandled policy kind");
+}
+
+}  // namespace hms::cache

@@ -1,0 +1,45 @@
+// Replacement policies for the set-associative cache simulator.
+//
+// The paper's simulator uses LRU; the other policies support the A1
+// ablation bench (replacement sensitivity of the DRAM/L4 page caches).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+
+namespace hms::cache {
+
+enum class PolicyKind : std::uint8_t {
+  LRU,       ///< true least-recently-used (64-bit timestamps)
+  TreePLRU,  ///< tree pseudo-LRU (associativity must be a power of two)
+  FIFO,      ///< evict oldest insertion
+  Random,    ///< uniform random victim (deterministic generator)
+  SRRIP,     ///< static re-reference interval prediction, 2-bit RRPV
+};
+
+[[nodiscard]] std::string_view to_string(PolicyKind kind);
+[[nodiscard]] PolicyKind policy_from_string(std::string_view name);
+
+/// Per-set victim selection state. The cache guarantees `way < ways` and
+/// `set < sets` on every call, and consults `choose_victim` only when the
+/// set is full (invalid ways are filled first).
+class ReplacementPolicy {
+ public:
+  virtual ~ReplacementPolicy() = default;
+
+  /// A line was inserted into (set, way).
+  virtual void on_insert(std::uint32_t set, std::uint32_t way) = 0;
+  /// A resident line at (set, way) was hit.
+  virtual void on_access(std::uint32_t set, std::uint32_t way) = 0;
+  /// Chooses the victim way in a full set.
+  virtual std::uint32_t choose_victim(std::uint32_t set) = 0;
+};
+
+/// Factory. `seed` only affects Random. Throws hms::ConfigError for
+/// TreePLRU with non-power-of-two associativity.
+[[nodiscard]] std::unique_ptr<ReplacementPolicy> make_policy(
+    PolicyKind kind, std::uint32_t sets, std::uint32_t ways,
+    std::uint64_t seed = 0x5eed);
+
+}  // namespace hms::cache

@@ -1,0 +1,176 @@
+#include "hms/cache/set_assoc_cache.hpp"
+
+#include <bit>
+
+#include "hms/common/bitops.hpp"
+#include "hms/common/error.hpp"
+
+namespace hms::cache {
+
+SetAssocCache::SetAssocCache(CacheConfig config) : config_(std::move(config)) {
+  check_config(config_.capacity_bytes > 0, "cache: capacity must be positive");
+  check_config(is_pow2(config_.line_bytes),
+               "cache: line size must be a power of two");
+  check_config(config_.capacity_bytes % config_.line_bytes == 0,
+               "cache: capacity must be a multiple of the line size");
+  const std::uint64_t total_lines = config_.capacity_bytes / config_.line_bytes;
+  const std::uint64_t ways64 =
+      config_.associativity == 0 ? total_lines : config_.associativity;
+  check_config(ways64 > 0 && ways64 <= total_lines,
+               "cache: associativity exceeds number of lines");
+  check_config(total_lines % ways64 == 0,
+               "cache: lines must divide evenly into sets");
+  const std::uint64_t sets64 = total_lines / ways64;
+  check_config(is_pow2(sets64), "cache: number of sets must be a power of two");
+  check_config(sets64 <= 0xffffffffULL && ways64 <= 0xffffffffULL,
+               "cache: geometry too large");
+  sets_ = static_cast<std::uint32_t>(sets64);
+  ways_ = static_cast<std::uint32_t>(ways64);
+  line_shift_ = log2_exact(config_.line_bytes);
+  if (config_.sector_bytes != 0) {
+    check_config(is_pow2(config_.sector_bytes),
+                 "cache: sector size must be a power of two");
+    check_config(config_.sector_bytes <= config_.line_bytes,
+                 "cache: sector larger than line");
+    check_config(config_.line_bytes / config_.sector_bytes <= 64,
+                 "cache: more than 64 sectors per line");
+  }
+  ways_storage_.resize(std::size_t{sets_} * ways_);
+  policy_ = make_policy(config_.policy, sets_, ways_, config_.policy_seed);
+}
+
+std::uint32_t SetAssocCache::set_of(Address line_addr) const noexcept {
+  return static_cast<std::uint32_t>((line_addr >> line_shift_) &
+                                    (sets_ - 1));
+}
+
+std::uint64_t SetAssocCache::sector_mask(Address address,
+                                         std::uint64_t size) const noexcept {
+  if (config_.sector_bytes == 0) return ~std::uint64_t{0};
+  const std::uint64_t offset = address & (config_.line_bytes - 1);
+  const std::uint64_t first = offset / config_.sector_bytes;
+  const std::uint64_t last = (offset + size - 1) / config_.sector_bytes;
+  const std::uint64_t width = last - first + 1;
+  const std::uint64_t ones =
+      width >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << width) - 1);
+  return ones << first;
+}
+
+std::uint64_t SetAssocCache::dirty_bytes(std::uint64_t mask) const noexcept {
+  if (config_.sector_bytes == 0) return config_.line_bytes;
+  return static_cast<std::uint64_t>(std::popcount(mask)) *
+         config_.sector_bytes;
+}
+
+AccessOutcome SetAssocCache::access(Address address, std::uint64_t size,
+                                    AccessType type, bool prefetch) {
+  check(size > 0, "cache: zero-size access");
+  const Address line_addr = align_down(address, config_.line_bytes);
+  check(align_down(address + size - 1, config_.line_bytes) == line_addr,
+        "cache: access straddles a line boundary");
+  const std::uint32_t set = set_of(line_addr);
+  const Address tag = line_addr >> line_shift_;
+  const std::size_t base = std::size_t{set} * ways_;
+
+  AccessOutcome outcome;
+  // Lookup.
+  std::uint32_t invalid_way = ways_;
+  for (std::uint32_t w = 0; w < ways_; ++w) {
+    Way& way = ways_storage_[base + w];
+    if (way.valid && way.tag == tag) {
+      outcome.hit = true;
+      if (prefetch) return outcome;  // already resident: no-op
+      if (way.prefetched) {
+        way.prefetched = false;
+        outcome.prefetched_hit = true;
+        ++stats_.prefetch_useful;
+      }
+      if (type == AccessType::Store) {
+        ++stats_.store_hits;
+        way.dirty_mask |= sector_mask(address, size);
+      } else {
+        ++stats_.load_hits;
+      }
+      policy_->on_access(set, w);
+      return outcome;
+    }
+    if (!way.valid && invalid_way == ways_) invalid_way = w;
+  }
+
+  // Miss: allocate (write-allocate policy for loads and stores alike).
+  if (prefetch) {
+    ++stats_.prefetch_fills;
+  } else if (type == AccessType::Store) {
+    ++stats_.store_misses;
+  } else {
+    ++stats_.load_misses;
+  }
+  std::uint32_t victim_way = invalid_way;
+  if (victim_way == ways_) {
+    victim_way = policy_->choose_victim(set);
+    check(victim_way < ways_, "cache: policy returned invalid way");
+    Way& victim = ways_storage_[base + victim_way];
+    outcome.evicted = true;
+    ++stats_.evictions;
+    outcome.victim_address = victim.tag << line_shift_;
+    if (victim.dirty_mask != 0) {
+      outcome.writeback = true;
+      outcome.writeback_bytes = dirty_bytes(victim.dirty_mask);
+      ++stats_.writebacks;
+    }
+  } else {
+    ++valid_count_;
+  }
+  Way& slot = ways_storage_[base + victim_way];
+  slot.valid = true;
+  slot.tag = tag;
+  slot.dirty_mask =
+      (!prefetch && type == AccessType::Store) ? sector_mask(address, size)
+                                               : 0;
+  slot.prefetched = prefetch;
+  policy_->on_insert(set, victim_way);
+  return outcome;
+}
+
+bool SetAssocCache::contains(Address address) const {
+  const Address line_addr = align_down(address, config_.line_bytes);
+  const std::uint32_t set = set_of(line_addr);
+  const Address tag = line_addr >> line_shift_;
+  const std::size_t base = std::size_t{set} * ways_;
+  for (std::uint32_t w = 0; w < ways_; ++w) {
+    const Way& way = ways_storage_[base + w];
+    if (way.valid && way.tag == tag) return true;
+  }
+  return false;
+}
+
+bool SetAssocCache::is_dirty(Address address) const {
+  const Address line_addr = align_down(address, config_.line_bytes);
+  const std::uint32_t set = set_of(line_addr);
+  const Address tag = line_addr >> line_shift_;
+  const std::size_t base = std::size_t{set} * ways_;
+  for (std::uint32_t w = 0; w < ways_; ++w) {
+    const Way& way = ways_storage_[base + w];
+    if (way.valid && way.tag == tag) return way.dirty_mask != 0;
+  }
+  return false;
+}
+
+std::vector<std::pair<Address, std::uint64_t>> SetAssocCache::flush() {
+  std::vector<std::pair<Address, std::uint64_t>> dirty;
+  for (std::uint32_t set = 0; set < sets_; ++set) {
+    const std::size_t base = std::size_t{set} * ways_;
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+      Way& way = ways_storage_[base + w];
+      if (way.valid && way.dirty_mask != 0) {
+        dirty.emplace_back(way.tag << line_shift_,
+                           dirty_bytes(way.dirty_mask));
+      }
+      way = Way{};
+    }
+  }
+  valid_count_ = 0;
+  return dirty;
+}
+
+}  // namespace hms::cache

@@ -1,0 +1,141 @@
+// Set-associative write-back, write-allocate cache with dirty tracking —
+// the paper's core simulation structure (Section III.B), extended with
+// optional sector-granularity dirty bits (ablation A2).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hms/common/types.hpp"
+#include "hms/cache/replacement.hpp"
+
+namespace hms::cache {
+
+struct CacheConfig {
+  std::string name = "cache";
+  std::uint64_t capacity_bytes = 0;
+  /// Capacity the energy model should charge static power for; 0 = same as
+  /// capacity_bytes. Scaled-down simulations set this to the full-size
+  /// capacity so static/dynamic energy ratios match the unscaled system
+  /// (DESIGN.md, substitutions).
+  std::uint64_t modeled_capacity_bytes = 0;
+  /// Allocation unit. For L1-L3 this is the 64 B line; for the L4 / DRAM
+  /// caches it is the paper's "page size" parameter.
+  std::uint64_t line_bytes = 64;
+  /// 0 selects fully associative (ways == number of lines).
+  std::uint32_t associativity = 8;
+  PolicyKind policy = PolicyKind::LRU;
+  /// When nonzero, dirtiness is tracked per sector of this many bytes and
+  /// write-backs carry only the dirty sectors' bytes. Requires
+  /// line_bytes / sector_bytes <= 64. 0 = whole-line dirty granularity.
+  std::uint64_t sector_bytes = 0;
+  std::uint64_t policy_seed = 0x5eed;
+};
+
+/// Hit/miss/write-back counters (the simulator's raw output; paper §III.B).
+struct CacheStats {
+  Count load_hits = 0;
+  Count load_misses = 0;
+  Count store_hits = 0;
+  Count store_misses = 0;
+  Count evictions = 0;   ///< lines displaced (clean or dirty)
+  Count writebacks = 0;  ///< dirty lines displaced
+  Count prefetch_fills = 0;   ///< lines inserted by prefetch requests
+  Count prefetch_useful = 0;  ///< prefetched lines later hit by demand
+
+  [[nodiscard]] Count hits() const noexcept { return load_hits + store_hits; }
+  [[nodiscard]] Count misses() const noexcept {
+    return load_misses + store_misses;
+  }
+  [[nodiscard]] Count accesses() const noexcept { return hits() + misses(); }
+  [[nodiscard]] double miss_rate() const noexcept {
+    const Count total = accesses();
+    return total ? static_cast<double>(misses()) / static_cast<double>(total)
+                 : 0.0;
+  }
+};
+
+/// Result of one cache access, from which the hierarchy derives next-level
+/// traffic.
+struct AccessOutcome {
+  bool hit = false;
+  /// The demand hit consumed a line filled by prefetch — the trigger for
+  /// tagged prefetching (sustains prefetch chains on streaming patterns).
+  bool prefetched_hit = false;
+  /// A resident line was displaced to make room.
+  bool evicted = false;
+  /// The displaced line was dirty and must be written downstream.
+  bool writeback = false;
+  /// Line-aligned address of the displaced line (valid when evicted).
+  Address victim_address = 0;
+  /// Bytes the write-back carries (dirty sectors only in sector mode).
+  std::uint64_t writeback_bytes = 0;
+};
+
+/// See file comment. Accesses must not straddle a line boundary
+/// (use trace::LineSplitFilter upstream if they can).
+class SetAssocCache {
+ public:
+  explicit SetAssocCache(CacheConfig config);
+
+  SetAssocCache(SetAssocCache&&) noexcept = default;
+  SetAssocCache& operator=(SetAssocCache&&) noexcept = default;
+
+  /// Performs lookup and, on miss, allocation (write-allocate for both
+  /// loads and stores, per the paper's write-back model).
+  ///
+  /// `prefetch` marks a speculative fill request: hits are no-ops (no stat
+  /// or recency update), misses allocate the line tagged as prefetched and
+  /// count as prefetch_fills instead of demand misses. A later demand hit
+  /// on a prefetched line counts prefetch_useful.
+  AccessOutcome access(Address address, std::uint64_t size, AccessType type,
+                       bool prefetch = false);
+
+  /// Non-modifying presence check.
+  [[nodiscard]] bool contains(Address address) const;
+
+  /// Whether a resident line is dirty; false if absent.
+  [[nodiscard]] bool is_dirty(Address address) const;
+
+  /// Drains all dirty lines, invalidating the cache. Returns
+  /// (line-aligned address, write-back bytes) pairs in set order.
+  std::vector<std::pair<Address, std::uint64_t>> flush();
+
+  [[nodiscard]] const CacheConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const CacheStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::uint32_t sets() const noexcept { return sets_; }
+  [[nodiscard]] std::uint32_t ways() const noexcept { return ways_; }
+  [[nodiscard]] std::uint64_t lines() const noexcept {
+    return std::uint64_t{sets_} * ways_;
+  }
+  /// Number of currently valid lines.
+  [[nodiscard]] std::uint64_t occupancy() const noexcept { return valid_count_; }
+
+  void reset_stats() noexcept { stats_ = CacheStats{}; }
+
+ private:
+  struct Way {
+    Address tag = 0;
+    std::uint64_t dirty_mask = 0;  ///< nonzero => dirty
+    bool valid = false;
+    bool prefetched = false;  ///< filled by prefetch, not yet demand-hit
+  };
+
+  [[nodiscard]] std::uint32_t set_of(Address line_addr) const noexcept;
+  [[nodiscard]] std::uint64_t sector_mask(Address address,
+                                          std::uint64_t size) const noexcept;
+  [[nodiscard]] std::uint64_t dirty_bytes(std::uint64_t mask) const noexcept;
+
+  CacheConfig config_;
+  std::uint32_t sets_ = 0;
+  std::uint32_t ways_ = 0;
+  unsigned line_shift_ = 0;
+  std::uint64_t valid_count_ = 0;
+  std::vector<Way> ways_storage_;  ///< sets_ x ways_, row-major
+  std::unique_ptr<ReplacementPolicy> policy_;
+  CacheStats stats_;
+};
+
+}  // namespace hms::cache

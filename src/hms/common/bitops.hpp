@@ -1,0 +1,38 @@
+// Small bit-manipulation helpers used by the cache and memory models.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "hms/common/error.hpp"
+
+namespace hms {
+
+[[nodiscard]] constexpr bool is_pow2(std::uint64_t v) noexcept {
+  return v != 0 && (v & (v - 1)) == 0;
+}
+
+/// log2 of a power of two; throws if `v` is not a power of two.
+[[nodiscard]] inline unsigned log2_exact(std::uint64_t v) {
+  check(is_pow2(v), "log2_exact: value is not a power of two");
+  return static_cast<unsigned>(std::countr_zero(v));
+}
+
+/// Rounds `v` down to a multiple of pow2 `align` (align must be a power of 2).
+[[nodiscard]] constexpr std::uint64_t align_down(std::uint64_t v,
+                                                 std::uint64_t align) noexcept {
+  return v & ~(align - 1);
+}
+
+/// Rounds `v` up to a multiple of pow2 `align`.
+[[nodiscard]] constexpr std::uint64_t align_up(std::uint64_t v,
+                                               std::uint64_t align) noexcept {
+  return (v + align - 1) & ~(align - 1);
+}
+
+/// Smallest power of two >= v (v must be nonzero and representable).
+[[nodiscard]] constexpr std::uint64_t next_pow2(std::uint64_t v) noexcept {
+  return std::bit_ceil(v);
+}
+
+}  // namespace hms

@@ -1,0 +1,60 @@
+#include "hms/common/csv.hpp"
+
+#include <algorithm>
+
+#include "hms/common/error.hpp"
+
+namespace hms {
+
+std::string CsvWriter::escape(std::string_view cell) {
+  const bool needs_quote =
+      cell.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quote) return std::string(cell);
+  std::string out;
+  out.reserve(cell.size() + 2);
+  out.push_back('"');
+  for (char c : cell) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+void CsvWriter::write_cells(std::span<const std::string_view> cells) {
+  bool first = true;
+  for (auto cell : cells) {
+    if (!first) *out_ << ',';
+    first = false;
+    *out_ << escape(cell);
+  }
+  *out_ << '\n';
+}
+
+void CsvWriter::header(std::span<const std::string> columns) {
+  check(columns_ == 0, "CsvWriter: header already written");
+  check(!columns.empty(), "CsvWriter: empty header");
+  std::vector<std::string_view> views(columns.begin(), columns.end());
+  write_cells(views);
+  columns_ = columns.size();
+}
+
+void CsvWriter::header(std::initializer_list<std::string_view> columns) {
+  std::vector<std::string> owned(columns.begin(), columns.end());
+  header(owned);
+}
+
+void CsvWriter::row(std::span<const std::string> cells) {
+  check(columns_ == 0 || cells.size() == columns_,
+        "CsvWriter: row width does not match header");
+  std::vector<std::string_view> views(cells.begin(), cells.end());
+  write_cells(views);
+  ++rows_;
+}
+
+void CsvWriter::row(std::initializer_list<std::string_view> cells) {
+  std::vector<std::string> owned(cells.begin(), cells.end());
+  row(owned);
+}
+
+}  // namespace hms

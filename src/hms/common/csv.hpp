@@ -1,0 +1,38 @@
+// Minimal CSV emission for experiment results (RFC 4180 quoting).
+#pragma once
+
+#include <initializer_list>
+#include <ostream>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hms {
+
+/// Streams rows to an std::ostream as CSV. The header, once set, fixes the
+/// column count; writing a row of a different width throws hms::Error.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(&out) {}
+
+  void header(std::span<const std::string> columns);
+  void header(std::initializer_list<std::string_view> columns);
+
+  void row(std::span<const std::string> cells);
+  void row(std::initializer_list<std::string_view> cells);
+
+  [[nodiscard]] std::size_t rows_written() const noexcept { return rows_; }
+
+  /// Quotes a single cell per RFC 4180 (only when needed).
+  [[nodiscard]] static std::string escape(std::string_view cell);
+
+ private:
+  void write_cells(std::span<const std::string_view> cells);
+
+  std::ostream* out_;
+  std::size_t columns_ = 0;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace hms

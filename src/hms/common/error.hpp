@@ -1,0 +1,41 @@
+// Error handling: all precondition violations throw hms::Error so callers
+// (tests, examples, benches) get a message instead of UB.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace hms {
+
+/// Base exception for all hms failures.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a configuration is structurally invalid (non-power-of-two
+/// capacity, zero associativity, page smaller than upstream line, ...).
+class ConfigError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Thrown on malformed trace files or streams.
+class TraceError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Throws ConfigError with `message` unless `condition` holds.
+inline void check_config(bool condition, std::string_view message) {
+  if (!condition) throw ConfigError(std::string(message));
+}
+
+/// Throws Error with `message` unless `condition` holds. Used for
+/// preconditions that indicate a caller bug rather than bad user input.
+inline void check(bool condition, std::string_view message) {
+  if (!condition) throw Error(std::string(message));
+}
+
+}  // namespace hms

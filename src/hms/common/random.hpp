@@ -1,0 +1,131 @@
+// Deterministic pseudo-random number generation for workload synthesis.
+//
+// Workload kernels must reproduce bit-identical address streams across runs
+// and platforms given the same seed (DESIGN.md "Determinism"), so we carry
+// our own generator instead of relying on the unspecified std::mt19937
+// distributions: xoshiro256** seeded via SplitMix64, with explicitly
+// specified bounded-integer and floating-point mappings.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace hms {
+
+/// SplitMix64: used to expand a single 64-bit seed into generator state.
+class SplitMix64 {
+ public:
+  constexpr explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: fast, high-quality, 2^256-1 period. Satisfies
+/// std::uniform_random_bit_generator.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  constexpr explicit Xoshiro256(std::uint64_t seed = 0x9df3a1c25b6e48f7ULL) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  constexpr result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound), bound > 0. Lemire-style multiply-shift
+  /// mapping: tiny bias (< 2^-64 * bound) is irrelevant for workload
+  /// synthesis and keeps the stream platform-deterministic.
+  constexpr std::uint64_t below(std::uint64_t bound) {
+    __extension__ using Wide = unsigned __int128;
+    const auto x = (*this)();
+    return static_cast<std::uint64_t>((static_cast<Wide>(x) * bound) >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  constexpr std::uint64_t between(std::uint64_t lo, std::uint64_t hi) {
+    return lo + below(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  constexpr double uniform01() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability p.
+  constexpr bool chance(double p) { return uniform01() < p; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// Zipf-distributed sampler over [0, n): P(k) proportional to 1/(k+1)^s.
+/// Real data-intensive workloads touch their keys with heavy skew (hot
+/// hash-table entries, graph hubs, genome repeats); the workload kernels
+/// use this to reproduce that locality. Deterministic given the caller's
+/// Xoshiro256 stream. Construction is O(n); sampling O(log n).
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double s) : cdf_(n) {
+    double sum = 0.0;
+    for (std::size_t k = 0; k < n; ++k) {
+      sum += 1.0 / pow_s(static_cast<double>(k + 1), s);
+      cdf_[k] = sum;
+    }
+    for (auto& c : cdf_) c /= sum;
+  }
+
+  /// Draws a rank in [0, n); rank 0 is the hottest.
+  std::size_t operator()(Xoshiro256& rng) const {
+    const double u = rng.uniform01();
+    // First index with cdf >= u.
+    std::size_t lo = 0, hi = cdf_.size() - 1;
+    while (lo < hi) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      if (cdf_[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return cdf_.size(); }
+
+ private:
+  /// pow(base, s) without <cmath> in a header: exp/log via builtins.
+  static double pow_s(double base, double s) {
+    return __builtin_exp(s * __builtin_log(base));
+  }
+
+  std::vector<double> cdf_;
+};
+
+}  // namespace hms

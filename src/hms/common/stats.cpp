@@ -1,0 +1,107 @@
+#include "hms/common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "hms/common/error.hpp"
+
+namespace hms {
+
+void RunningStat::add(double x) {
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double RunningStat::variance() const noexcept {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStat::stddev() const noexcept { return std::sqrt(variance()); }
+
+void RunningStat::merge(const RunningStat& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double geometric_mean(std::span<const double> values) {
+  check(!values.empty(), "geometric_mean: empty input");
+  double log_sum = 0.0;
+  for (double v : values) {
+    check(v > 0.0, "geometric_mean: non-positive value");
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double arithmetic_mean(std::span<const double> values) {
+  check(!values.empty(), "arithmetic_mean: empty input");
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), width_((hi - lo) / static_cast<double>(bins)), counts_(bins) {
+  check(bins > 0, "Histogram: need at least one bin");
+  check(hi > lo, "Histogram: hi must exceed lo");
+}
+
+void Histogram::add(double x) noexcept {
+  auto idx = static_cast<std::int64_t>((x - lo_) / width_);
+  idx = std::clamp<std::int64_t>(idx, 0,
+                                 static_cast<std::int64_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+std::uint64_t Histogram::bin_count(std::size_t i) const {
+  check(i < counts_.size(), "Histogram: bin index out of range");
+  return counts_[i];
+}
+
+double Histogram::bin_lo(std::size_t i) const {
+  check(i < counts_.size(), "Histogram: bin index out of range");
+  return lo_ + width_ * static_cast<double>(i);
+}
+
+double Histogram::bin_hi(std::size_t i) const { return bin_lo(i) + width_; }
+
+double Histogram::quantile(double q) const {
+  check(q >= 0.0 && q <= 1.0, "Histogram::quantile: q outside [0,1]");
+  check(total_ > 0, "Histogram::quantile: empty histogram");
+  const double target = q * static_cast<double>(total_);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double next = cumulative + static_cast<double>(counts_[i]);
+    if (next >= target) {
+      const double frac =
+          counts_[i] == 0
+              ? 0.0
+              : (target - cumulative) / static_cast<double>(counts_[i]);
+      return bin_lo(i) + frac * width_;
+    }
+    cumulative = next;
+  }
+  return bin_hi(counts_.size() - 1);
+}
+
+}  // namespace hms

@@ -1,0 +1,72 @@
+// Streaming statistics used by experiment aggregation and the test suite.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace hms {
+
+/// Welford streaming mean/variance with min/max tracking.
+class RunningStat {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+
+  /// Merges another accumulator (Chan et al. parallel combination).
+  void merge(const RunningStat& other) noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Geometric mean of strictly positive values; throws hms::Error otherwise.
+/// The paper reports figure values as averages of per-benchmark normalized
+/// ratios; we expose both arithmetic and geometric means.
+[[nodiscard]] double geometric_mean(std::span<const double> values);
+
+/// Arithmetic mean; throws hms::Error on an empty span.
+[[nodiscard]] double arithmetic_mean(std::span<const double> values);
+
+/// Fixed-width histogram over [lo, hi); values outside are clamped into the
+/// first/last bin. Used by the wear-levelling ablation to report per-line
+/// write-count distributions.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::uint64_t bin_count(std::size_t i) const;
+  [[nodiscard]] double bin_lo(std::size_t i) const;
+  [[nodiscard]] double bin_hi(std::size_t i) const;
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+
+  /// Value below which `q` (0..1) of the mass lies, by linear interpolation
+  /// within the containing bin.
+  [[nodiscard]] double quantile(double q) const;
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace hms

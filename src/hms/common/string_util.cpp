@@ -1,0 +1,81 @@
+#include "hms/common/string_util.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdint>
+
+#include "hms/common/error.hpp"
+
+namespace hms {
+
+std::vector<std::string> split(std::string_view s, char delim) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    const auto pos = s.find(delim, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(s.substr(start));
+      break;
+    }
+    out.emplace_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+bool iequals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::uint64_t parse_byte_size(std::string_view input) {
+  const std::string_view s = trim(input);
+  check(!s.empty(), "parse_byte_size: empty input");
+  std::uint64_t value = 0;
+  const auto* begin = s.data();
+  const auto* end = s.data() + s.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  check(ec == std::errc{} && ptr != begin,
+        "parse_byte_size: no leading integer");
+  std::string suffix = to_lower(trim(std::string_view(
+      ptr, static_cast<std::size_t>(end - ptr))));
+  std::uint64_t mult = 1;
+  if (suffix.empty() || suffix == "b") {
+    mult = 1;
+  } else if (suffix == "k" || suffix == "kb" || suffix == "kib") {
+    mult = 1ULL << 10;
+  } else if (suffix == "m" || suffix == "mb" || suffix == "mib") {
+    mult = 1ULL << 20;
+  } else if (suffix == "g" || suffix == "gb" || suffix == "gib") {
+    mult = 1ULL << 30;
+  } else {
+    throw Error("parse_byte_size: unknown suffix '" + suffix + "'");
+  }
+  return value * mult;
+}
+
+}  // namespace hms

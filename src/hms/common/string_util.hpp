@@ -1,0 +1,27 @@
+// Small string helpers shared by CLI-style examples and report printers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hms {
+
+/// Splits on `delim`, keeping empty fields.
+[[nodiscard]] std::vector<std::string> split(std::string_view s, char delim);
+
+/// Strips ASCII whitespace from both ends.
+[[nodiscard]] std::string_view trim(std::string_view s);
+
+/// ASCII lowercase copy.
+[[nodiscard]] std::string to_lower(std::string_view s);
+
+/// True if `s` equals `other` ignoring ASCII case.
+[[nodiscard]] bool iequals(std::string_view a, std::string_view b);
+
+/// Parses a byte size with optional binary suffix: "64", "512B", "4KB",
+/// "4KiB", "16MB", "2GB" (KB/MB/GB treated as binary, matching the paper's
+/// usage). Throws hms::Error on malformed input.
+[[nodiscard]] std::uint64_t parse_byte_size(std::string_view s);
+
+}  // namespace hms

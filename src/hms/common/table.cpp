@@ -1,0 +1,97 @@
+#include "hms/common/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <iomanip>
+#include <sstream>
+
+#include "hms/common/error.hpp"
+
+namespace hms {
+
+namespace {
+
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  bool digit_seen = false;
+  for (char c : s) {
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      digit_seen = true;
+    } else if (c != '.' && c != '-' && c != '+' && c != 'e' && c != 'E' &&
+               c != '%' && c != 'x') {
+      return false;
+    }
+  }
+  return digit_seen;
+}
+
+}  // namespace
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  check(!header_.empty(), "TextTable: empty header");
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  check(cells.size() == header_.size(),
+        "TextTable: row width does not match header");
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::render(std::ostream& out) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) out << "  ";
+      const bool right = looks_numeric(row[c]);
+      out << (right ? std::right : std::left)
+          << std::setw(static_cast<int>(widths[c])) << row[c];
+    }
+    out << '\n';
+  };
+  emit(header_);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    if (c) out << "  ";
+    out << std::string(widths[c], '-');
+  }
+  out << '\n';
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string TextTable::to_string() const {
+  std::ostringstream oss;
+  render(oss);
+  return oss.str();
+}
+
+std::string fmt_fixed(double v, int digits) {
+  std::ostringstream oss;
+  oss << std::fixed << std::setprecision(digits) << v;
+  return oss.str();
+}
+
+std::string fmt_bytes(std::uint64_t bytes) {
+  constexpr std::uint64_t kib = 1024, mib = kib * 1024, gib = mib * 1024;
+  std::ostringstream oss;
+  if (bytes >= gib && bytes % gib == 0) {
+    oss << bytes / gib << " GiB";
+  } else if (bytes >= mib && bytes % mib == 0) {
+    oss << bytes / mib << " MiB";
+  } else if (bytes >= kib && bytes % kib == 0) {
+    oss << bytes / kib << " KiB";
+  } else {
+    oss << bytes << " B";
+  }
+  return oss.str();
+}
+
+}  // namespace hms

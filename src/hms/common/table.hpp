@@ -1,0 +1,42 @@
+// ASCII table rendering for bench/example output (the "same rows the paper
+// reports" requirement of the benchmark harness).
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace hms {
+
+/// Collects rows of string cells and renders a column-aligned ASCII table.
+/// Numeric-looking cells are right-aligned, text cells left-aligned.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Adds a data row; must match the header width.
+  void add_row(std::vector<std::string> cells);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Renders with a rule under the header, e.g.
+  ///   config  pages  norm-time
+  ///   ------  -----  ---------
+  ///   N1      4096       1.052
+  void render(std::ostream& out) const;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` significant decimal places (fixed).
+[[nodiscard]] std::string fmt_fixed(double v, int digits = 3);
+
+/// Formats a byte count using binary units ("64 B", "512 KiB", "20 MiB").
+[[nodiscard]] std::string fmt_bytes(std::uint64_t bytes);
+
+}  // namespace hms

@@ -1,0 +1,34 @@
+// Fundamental vocabulary types shared by every hms module.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace hms {
+
+/// Byte address in the simulated virtual address space.
+using Address = std::uint64_t;
+
+/// Counter type for access/hit/miss statistics. 64-bit: long simulations
+/// easily exceed 2^32 references.
+using Count = std::uint64_t;
+
+/// Whether a memory reference reads or writes.
+enum class AccessType : std::uint8_t { Load = 0, Store = 1 };
+
+[[nodiscard]] constexpr std::string_view to_string(AccessType t) noexcept {
+  return t == AccessType::Load ? "load" : "store";
+}
+
+/// Identifies the originating hardware context of a reference when streams
+/// from several cores are interleaved.
+using CoreId = std::uint32_t;
+
+namespace literals {
+// Binary byte-size literals: 4_KiB, 20_MiB, 2_GiB.
+constexpr std::uint64_t operator""_KiB(unsigned long long v) { return v << 10; }
+constexpr std::uint64_t operator""_MiB(unsigned long long v) { return v << 20; }
+constexpr std::uint64_t operator""_GiB(unsigned long long v) { return v << 30; }
+}  // namespace literals
+
+}  // namespace hms

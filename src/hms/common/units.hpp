@@ -1,0 +1,125 @@
+// Unit-safe physical quantities used by the performance and energy models.
+//
+// The paper's models mix nanoseconds (Table 1 latencies), picojoules-per-bit
+// (Table 1 energies), milliwatts (static power), and seconds (Table 4
+// runtimes). Mixing these up silently is the classic failure mode of energy
+// models, so each quantity is a distinct strong type with only the physically
+// meaningful operators defined (e.g. Power * Time -> Energy).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+
+namespace hms {
+
+namespace detail {
+
+/// CRTP base providing the arithmetic shared by all scalar quantities.
+template <typename Derived>
+struct Quantity {
+  double value = 0.0;
+
+  constexpr Quantity() = default;
+  constexpr explicit Quantity(double v) : value(v) {}
+
+  friend constexpr Derived operator+(Derived a, Derived b) {
+    return Derived{a.value + b.value};
+  }
+  friend constexpr Derived operator-(Derived a, Derived b) {
+    return Derived{a.value - b.value};
+  }
+  friend constexpr Derived operator*(Derived a, double s) {
+    return Derived{a.value * s};
+  }
+  friend constexpr Derived operator*(double s, Derived a) {
+    return Derived{a.value * s};
+  }
+  friend constexpr Derived operator/(Derived a, double s) {
+    return Derived{a.value / s};
+  }
+  /// Ratio of two like quantities is dimensionless.
+  friend constexpr double operator/(Derived a, Derived b) {
+    return a.value / b.value;
+  }
+  friend constexpr auto operator<=>(Derived a, Derived b) {
+    return a.value <=> b.value;
+  }
+  friend constexpr bool operator==(Derived a, Derived b) {
+    return a.value == b.value;
+  }
+  constexpr Derived& operator+=(Derived other) {
+    value += other.value;
+    return static_cast<Derived&>(*this);
+  }
+  constexpr Derived& operator-=(Derived other) {
+    value -= other.value;
+    return static_cast<Derived&>(*this);
+  }
+};
+
+}  // namespace detail
+
+/// Elapsed or access time, stored in nanoseconds.
+struct Time : detail::Quantity<Time> {
+  using Quantity::Quantity;
+  [[nodiscard]] constexpr double nanoseconds() const { return value; }
+  [[nodiscard]] constexpr double seconds() const { return value * 1e-9; }
+  [[nodiscard]] static constexpr Time from_ns(double ns) { return Time{ns}; }
+  [[nodiscard]] static constexpr Time from_seconds(double s) {
+    return Time{s * 1e9};
+  }
+};
+
+/// Energy, stored in picojoules.
+struct Energy : detail::Quantity<Energy> {
+  using Quantity::Quantity;
+  [[nodiscard]] constexpr double picojoules() const { return value; }
+  [[nodiscard]] constexpr double joules() const { return value * 1e-12; }
+  [[nodiscard]] constexpr double millijoules() const { return value * 1e-9; }
+  [[nodiscard]] static constexpr Energy from_pj(double pj) {
+    return Energy{pj};
+  }
+  [[nodiscard]] static constexpr Energy from_joules(double j) {
+    return Energy{j * 1e12};
+  }
+};
+
+/// Power, stored in milliwatts.
+struct Power : detail::Quantity<Power> {
+  using Quantity::Quantity;
+  [[nodiscard]] constexpr double milliwatts() const { return value; }
+  [[nodiscard]] constexpr double watts() const { return value * 1e-3; }
+  [[nodiscard]] static constexpr Power from_mw(double mw) { return Power{mw}; }
+  [[nodiscard]] static constexpr Power from_watts(double w) {
+    return Power{w * 1e3};
+  }
+};
+
+/// Power * Time = Energy (Eq. 4 of the paper).
+/// 1 mW * 1 ns = 1e-3 J/s * 1e-9 s = 1e-12 J = 1 pJ, so the stored
+/// representations multiply with no conversion factor.
+[[nodiscard]] constexpr Energy operator*(Power p, Time t) {
+  return Energy{p.value * t.value};
+}
+[[nodiscard]] constexpr Energy operator*(Time t, Power p) { return p * t; }
+
+/// Energy / Time = Power.
+[[nodiscard]] constexpr Power operator/(Energy e, Time t) {
+  return Power{e.value / t.value};
+}
+
+/// Energy-delay product, the paper's cross-design figure of merit
+/// (Section III.C). Stored in pJ * ns; only ratios of EDPs are meaningful
+/// to the study, so the unit never needs converting.
+struct EnergyDelay : detail::Quantity<EnergyDelay> {
+  using Quantity::Quantity;
+};
+
+[[nodiscard]] constexpr EnergyDelay operator*(Energy e, Time t) {
+  return EnergyDelay{e.value * t.value};
+}
+[[nodiscard]] constexpr EnergyDelay operator*(Time t, Energy e) {
+  return e * t;
+}
+
+}  // namespace hms

@@ -1,0 +1,48 @@
+#include "hms/designs/configs.hpp"
+
+#include "hms/common/error.hpp"
+#include "hms/common/string_util.hpp"
+
+namespace hms::designs {
+
+namespace {
+constexpr std::uint64_t kKiB = 1024;
+constexpr std::uint64_t kMiB = 1024 * 1024;
+}  // namespace
+
+const std::vector<EhConfig>& eh_configs() {
+  static const std::vector<EhConfig> table = {
+      {"EH1", 16 * kMiB, 64},   {"EH2", 16 * kMiB, 128},
+      {"EH3", 16 * kMiB, 256},  {"EH4", 16 * kMiB, 512},
+      {"EH5", 16 * kMiB, 1024}, {"EH6", 16 * kMiB, 2048},
+      {"EH7", 8 * kMiB, 2048},  {"EH8", 4 * kMiB, 2048},
+  };
+  return table;
+}
+
+const EhConfig& eh_config(std::string_view name) {
+  for (const auto& cfg : eh_configs()) {
+    if (iequals(cfg.name, name)) return cfg;
+  }
+  throw Error("unknown EH config: " + std::string(name));
+}
+
+const std::vector<NConfig>& n_configs() {
+  static const std::vector<NConfig> table = {
+      {"N1", 128 * kMiB, 4 * kKiB}, {"N2", 256 * kMiB, 4 * kKiB},
+      {"N3", 512 * kMiB, 4 * kKiB}, {"N4", 512 * kMiB, 2 * kKiB},
+      {"N5", 512 * kMiB, 1 * kKiB}, {"N6", 512 * kMiB, 512},
+      {"N7", 512 * kMiB, 256},      {"N8", 512 * kMiB, 128},
+      {"N9", 512 * kMiB, 64},
+  };
+  return table;
+}
+
+const NConfig& n_config(std::string_view name) {
+  for (const auto& cfg : n_configs()) {
+    if (iequals(cfg.name, name)) return cfg;
+  }
+  throw Error("unknown N config: " + std::string(name));
+}
+
+}  // namespace hms::designs

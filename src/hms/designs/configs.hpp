@@ -1,0 +1,49 @@
+// The paper's configuration tables: the Sandy Bridge reference caches, the
+// eDRAM/HMC L4 configurations (Table 2, EH1-EH8), and the NMM DRAM-cache
+// configurations (Table 3, N1-N9).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hms::designs {
+
+/// Table 2: L4 (eDRAM or HMC) capacity and page size, per core.
+/// The printed table repeats the "8 MB / 2048 B" row for EH7 and EH8; we
+/// keep EH7 as printed and read EH8 as the next halving (4 MB / 2048 B),
+/// documented in DESIGN.md.
+struct EhConfig {
+  std::string name;
+  std::uint64_t l4_capacity_bytes;
+  std::uint64_t page_bytes;
+};
+
+[[nodiscard]] const std::vector<EhConfig>& eh_configs();
+[[nodiscard]] const EhConfig& eh_config(std::string_view name);
+
+/// Table 3: NMM DRAM-cache capacity and page size, per core.
+struct NConfig {
+  std::string name;
+  std::uint64_t dram_capacity_bytes;
+  std::uint64_t page_bytes;
+};
+
+[[nodiscard]] const std::vector<NConfig>& n_configs();
+[[nodiscard]] const NConfig& n_config(std::string_view name);
+
+/// Reference (Sandy Bridge) cache geometry, paper Section III.A.
+struct ReferenceCaches {
+  std::uint64_t line_bytes = 64;
+  std::uint64_t l1_capacity = 32ull << 10;
+  std::uint32_t l1_ways = 8;
+  std::uint64_t l2_capacity = 256ull << 10;
+  std::uint32_t l2_ways = 8;
+  std::uint64_t l3_capacity = 20ull << 20;
+  std::uint32_t l3_ways = 20;
+};
+
+/// NDM design: fixed 512 MB DRAM partition (paper Section IV.A).
+inline constexpr std::uint64_t kNdmDramCapacity = 512ull << 20;
+
+}  // namespace hms::designs

@@ -1,0 +1,255 @@
+#include "hms/designs/design.hpp"
+
+#include "hms/cache/dynamic_partition.hpp"
+
+#include <algorithm>
+
+#include "hms/common/bitops.hpp"
+#include "hms/common/error.hpp"
+
+namespace hms::designs {
+
+namespace {
+
+/// Capacity of main-memory devices: footprint rounded up to a wear-line
+/// multiple ("DRAM large enough to contain the memory footprint",
+/// Section III.A).
+constexpr std::uint64_t kDeviceLineBytes = 256;
+
+}  // namespace
+
+DesignFactory::DesignFactory(std::uint64_t scale_divisor,
+                             const mem::TechnologyRegistry& registry,
+                             const DesignOptions& options)
+    : scale_(scale_divisor), registry_(registry), options_(options) {
+  check_config(is_pow2(scale_divisor),
+               "DesignFactory: scale divisor must be a power of two");
+}
+
+std::uint64_t DesignFactory::scaled(std::uint64_t capacity_bytes,
+                                    std::uint64_t floor_bytes) const {
+  return std::max(capacity_bytes / scale_, floor_bytes);
+}
+
+std::vector<cache::CacheLevelSpec> DesignFactory::front_levels() const {
+  const std::uint64_t line = reference_.line_bytes;
+  auto level = [&](std::string name, std::uint64_t capacity,
+                   std::uint32_t ways, int sram_level_index) {
+    cache::CacheLevelSpec spec;
+    spec.cache.name = std::move(name);
+    spec.cache.capacity_bytes = scaled(capacity, line * ways);
+    spec.cache.modeled_capacity_bytes = capacity;
+    spec.cache.line_bytes = line;
+    spec.cache.associativity = ways;
+    spec.cache.policy = cache::PolicyKind::LRU;
+    spec.tech = mem::sram_level(sram_level_index).as_params();
+    return spec;
+  };
+  return {
+      level("L1", reference_.l1_capacity, reference_.l1_ways, 1),
+      level("L2", reference_.l2_capacity, reference_.l2_ways, 2),
+      level("L3", reference_.l3_capacity, reference_.l3_ways, 3),
+  };
+}
+
+std::unique_ptr<cache::MemoryHierarchy> DesignFactory::front(
+    trace::AccessSink& residual) const {
+  return std::make_unique<cache::MemoryHierarchy>(
+      front_levels(), std::make_unique<cache::CaptureBackend>(residual));
+}
+
+cache::CacheLevelSpec DesignFactory::l4_level(const EhConfig& cfg,
+                                              mem::Technology l4_tech) const {
+  cache::CacheLevelSpec spec;
+  spec.cache.name = "L4-" + std::string(mem::to_string(l4_tech));
+  spec.cache.capacity_bytes =
+      scaled(cfg.l4_capacity_bytes, cfg.page_bytes * 16);
+  spec.cache.modeled_capacity_bytes = cfg.l4_capacity_bytes;
+  spec.cache.line_bytes = cfg.page_bytes;
+  spec.cache.associativity = 16;
+  spec.cache.policy = options_.l4_policy;
+  spec.cache.sector_bytes = options_.sector_bytes;
+  spec.tech = registry_.get(l4_tech);
+  spec.prefetch = options_.l4_prefetch;
+  return spec;
+}
+
+cache::CacheLevelSpec DesignFactory::dram_cache_level(
+    const NConfig& cfg) const {
+  cache::CacheLevelSpec spec;
+  spec.cache.name = "DRAM$";
+  spec.cache.capacity_bytes =
+      scaled(cfg.dram_capacity_bytes, cfg.page_bytes * 16);
+  spec.cache.modeled_capacity_bytes = cfg.dram_capacity_bytes;
+  spec.cache.line_bytes = cfg.page_bytes;
+  spec.cache.associativity = 16;
+  spec.cache.policy = options_.l4_policy;
+  spec.cache.sector_bytes = options_.sector_bytes;
+  spec.tech = registry_.get(mem::Technology::DRAM);
+  spec.prefetch = options_.l4_prefetch;
+  return spec;
+}
+
+mem::MemoryDeviceConfig DesignFactory::dram_device(
+    std::uint64_t capacity_bytes, std::string name) const {
+  mem::MemoryDeviceConfig cfg;
+  cfg.name = std::move(name);
+  cfg.technology = registry_.get(mem::Technology::DRAM);
+  cfg.capacity_bytes = align_up(std::max(capacity_bytes, kDeviceLineBytes),
+                                kDeviceLineBytes);
+  cfg.modeled_capacity_bytes = cfg.capacity_bytes * scale_;
+  cfg.line_bytes = kDeviceLineBytes;
+  return cfg;
+}
+
+mem::MemoryDeviceConfig DesignFactory::nvm_device(mem::Technology nvm_tech,
+                                                  std::uint64_t capacity_bytes,
+                                                  std::string name) const {
+  mem::MemoryDeviceConfig cfg;
+  cfg.name = std::move(name);
+  cfg.technology = registry_.get(nvm_tech);
+  cfg.capacity_bytes = align_up(std::max(capacity_bytes, kDeviceLineBytes),
+                                kDeviceLineBytes);
+  cfg.modeled_capacity_bytes = cfg.capacity_bytes * scale_;
+  cfg.line_bytes = kDeviceLineBytes;
+  cfg.track_endurance = options_.nvm_track_endurance;
+  cfg.wear_leveling = options_.nvm_wear_leveling;
+  cfg.gap_write_interval = options_.nvm_gap_write_interval;
+  return cfg;
+}
+
+// -- Back halves ------------------------------------------------------------
+
+std::unique_ptr<cache::MemoryHierarchy> DesignFactory::base_back(
+    std::uint64_t footprint_bytes) const {
+  return std::make_unique<cache::MemoryHierarchy>(
+      std::vector<cache::CacheLevelSpec>{},
+      std::make_unique<cache::SingleMemoryBackend>(
+          dram_device(footprint_bytes, "DRAM")));
+}
+
+std::unique_ptr<cache::MemoryHierarchy> DesignFactory::four_level_cache_back(
+    const EhConfig& cfg, mem::Technology l4_tech,
+    std::uint64_t footprint_bytes) const {
+  std::vector<cache::CacheLevelSpec> levels{l4_level(cfg, l4_tech)};
+  return std::make_unique<cache::MemoryHierarchy>(
+      std::move(levels), std::make_unique<cache::SingleMemoryBackend>(
+                             dram_device(footprint_bytes, "DRAM")));
+}
+
+std::unique_ptr<cache::MemoryHierarchy> DesignFactory::nvm_main_memory_back(
+    const NConfig& cfg, mem::Technology nvm_tech,
+    std::uint64_t footprint_bytes) const {
+  std::vector<cache::CacheLevelSpec> levels{dram_cache_level(cfg)};
+  return std::make_unique<cache::MemoryHierarchy>(
+      std::move(levels),
+      std::make_unique<cache::SingleMemoryBackend>(nvm_device(
+          nvm_tech, footprint_bytes,
+          std::string(mem::to_string(nvm_tech)))));
+}
+
+std::unique_ptr<cache::MemoryHierarchy>
+DesignFactory::four_level_cache_nvm_back(const EhConfig& cfg,
+                                         mem::Technology l4_tech,
+                                         mem::Technology nvm_tech,
+                                         std::uint64_t footprint_bytes) const {
+  std::vector<cache::CacheLevelSpec> levels{l4_level(cfg, l4_tech)};
+  return std::make_unique<cache::MemoryHierarchy>(
+      std::move(levels),
+      std::make_unique<cache::SingleMemoryBackend>(nvm_device(
+          nvm_tech, footprint_bytes,
+          std::string(mem::to_string(nvm_tech)))));
+}
+
+std::unique_ptr<cache::MemoryHierarchy> DesignFactory::nvm_plus_dram_back(
+    mem::Technology nvm_tech, std::vector<cache::AddressRangeRule> nvm_rules,
+    std::uint64_t footprint_bytes,
+    std::uint64_t dram_capacity_bytes) const {
+  for (auto& rule : nvm_rules) rule.device_index = 1;
+  std::vector<mem::MemoryDeviceConfig> devices;
+  devices.push_back(
+      dram_device(scaled(dram_capacity_bytes, kDeviceLineBytes), "DRAM"));
+  devices.push_back(nvm_device(nvm_tech, footprint_bytes,
+                               std::string(mem::to_string(nvm_tech))));
+  return std::make_unique<cache::MemoryHierarchy>(
+      std::vector<cache::CacheLevelSpec>{},
+      std::make_unique<cache::PartitionedMemoryBackend>(
+          std::move(devices), std::move(nvm_rules), /*default_device=*/0));
+}
+
+std::unique_ptr<cache::MemoryHierarchy>
+DesignFactory::nvm_plus_dram_dynamic_back(
+    mem::Technology nvm_tech, std::uint64_t footprint_bytes,
+    std::uint64_t dram_capacity_bytes, std::uint64_t region_bytes,
+    std::uint64_t epoch_accesses) const {
+  cache::DynamicPartitionConfig cfg;
+  cfg.dram = dram_device(scaled(dram_capacity_bytes, kDeviceLineBytes),
+                         "DRAM");
+  cfg.nvm = nvm_device(nvm_tech, footprint_bytes,
+                       std::string(mem::to_string(nvm_tech)));
+  cfg.region_bytes = std::max<std::uint64_t>(region_bytes / scale_, 4096);
+  cfg.epoch_accesses = epoch_accesses;
+  return std::make_unique<cache::MemoryHierarchy>(
+      std::vector<cache::CacheLevelSpec>{},
+      std::make_unique<cache::DynamicPartitionBackend>(std::move(cfg)));
+}
+
+// -- Complete hierarchies -----------------------------------------------------
+
+std::unique_ptr<cache::MemoryHierarchy> DesignFactory::base(
+    std::uint64_t footprint_bytes) const {
+  return std::make_unique<cache::MemoryHierarchy>(
+      front_levels(), std::make_unique<cache::SingleMemoryBackend>(
+                          dram_device(footprint_bytes, "DRAM")));
+}
+
+std::unique_ptr<cache::MemoryHierarchy> DesignFactory::four_level_cache(
+    const EhConfig& cfg, mem::Technology l4_tech,
+    std::uint64_t footprint_bytes) const {
+  auto levels = front_levels();
+  levels.push_back(l4_level(cfg, l4_tech));
+  return std::make_unique<cache::MemoryHierarchy>(
+      std::move(levels), std::make_unique<cache::SingleMemoryBackend>(
+                             dram_device(footprint_bytes, "DRAM")));
+}
+
+std::unique_ptr<cache::MemoryHierarchy> DesignFactory::nvm_main_memory(
+    const NConfig& cfg, mem::Technology nvm_tech,
+    std::uint64_t footprint_bytes) const {
+  auto levels = front_levels();
+  levels.push_back(dram_cache_level(cfg));
+  return std::make_unique<cache::MemoryHierarchy>(
+      std::move(levels),
+      std::make_unique<cache::SingleMemoryBackend>(nvm_device(
+          nvm_tech, footprint_bytes,
+          std::string(mem::to_string(nvm_tech)))));
+}
+
+std::unique_ptr<cache::MemoryHierarchy> DesignFactory::four_level_cache_nvm(
+    const EhConfig& cfg, mem::Technology l4_tech, mem::Technology nvm_tech,
+    std::uint64_t footprint_bytes) const {
+  auto levels = front_levels();
+  levels.push_back(l4_level(cfg, l4_tech));
+  return std::make_unique<cache::MemoryHierarchy>(
+      std::move(levels),
+      std::make_unique<cache::SingleMemoryBackend>(nvm_device(
+          nvm_tech, footprint_bytes,
+          std::string(mem::to_string(nvm_tech)))));
+}
+
+std::unique_ptr<cache::MemoryHierarchy> DesignFactory::nvm_plus_dram(
+    mem::Technology nvm_tech, std::vector<cache::AddressRangeRule> nvm_rules,
+    std::uint64_t footprint_bytes, std::uint64_t dram_capacity_bytes) const {
+  for (auto& rule : nvm_rules) rule.device_index = 1;
+  std::vector<mem::MemoryDeviceConfig> devices;
+  devices.push_back(
+      dram_device(scaled(dram_capacity_bytes, kDeviceLineBytes), "DRAM"));
+  devices.push_back(nvm_device(nvm_tech, footprint_bytes,
+                               std::string(mem::to_string(nvm_tech))));
+  return std::make_unique<cache::MemoryHierarchy>(
+      front_levels(), std::make_unique<cache::PartitionedMemoryBackend>(
+                          std::move(devices), std::move(nvm_rules),
+                          /*default_device=*/0));
+}
+
+}  // namespace hms::designs

@@ -1,0 +1,150 @@
+// DesignFactory: builds simulable MemoryHierarchy instances for the paper's
+// four designs plus the reference system (Section III.A).
+//
+// Every design shares the fixed L1-L3 front. To exploit that, the factory
+// can build the *front* (L1-L3 over a CaptureBackend) and the *back* of
+// each design separately; the experiment runner simulates the front once
+// per workload and replays the captured residual stream into each design's
+// back (DESIGN.md §5).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hms/cache/hierarchy.hpp"
+#include "hms/cache/partitioned_memory.hpp"
+#include "hms/designs/configs.hpp"
+#include "hms/mem/technology.hpp"
+#include "hms/trace/sink.hpp"
+
+namespace hms::designs {
+
+/// Options that apply across designs (ablation knobs).
+struct DesignOptions {
+  cache::PolicyKind l4_policy = cache::PolicyKind::LRU;
+  /// Hardware prefetcher on the L4/DRAM-cache level. Ablation A4.
+  cache::PrefetcherConfig l4_prefetch;
+  /// Sector size for L4/DRAM-cache dirty tracking; 0 = whole-page
+  /// write-backs (the paper's model). Ablation A2.
+  std::uint64_t sector_bytes = 0;
+  /// Enable Start-Gap wear levelling on NVM devices. Ablation A3.
+  bool nvm_wear_leveling = false;
+  /// Track per-line NVM endurance (implied by wear levelling).
+  bool nvm_track_endurance = false;
+  /// Start-Gap gap-move interval (psi). 100 is the published sweet spot
+  /// for multi-day horizons; short simulations need a smaller psi for the
+  /// gap to complete rotations.
+  std::uint64_t nvm_gap_write_interval = 100;
+};
+
+/// See file comment. `scale_divisor` shrinks every capacity (reference
+/// caches, L4, DRAM caches, NDM DRAM, and the implied main-memory sizing)
+/// by a power of two so scaled-down workload footprints exercise the same
+/// miss-rate regimes as the paper's full-size runs (DESIGN.md
+/// substitutions).
+class DesignFactory {
+ public:
+  explicit DesignFactory(
+      std::uint64_t scale_divisor = 1,
+      const mem::TechnologyRegistry& registry =
+          mem::TechnologyRegistry::table1(),
+      const DesignOptions& options = {});
+
+  [[nodiscard]] std::uint64_t scale_divisor() const noexcept {
+    return scale_;
+  }
+  [[nodiscard]] const mem::TechnologyRegistry& registry() const noexcept {
+    return registry_;
+  }
+
+  /// Scales a full-size capacity down (never below one line/page).
+  [[nodiscard]] std::uint64_t scaled(std::uint64_t capacity_bytes,
+                                     std::uint64_t floor_bytes) const;
+
+  /// The shared L1/L2/L3 front levels.
+  [[nodiscard]] std::vector<cache::CacheLevelSpec> front_levels() const;
+
+  /// Front hierarchy: L1-L3 over a CaptureBackend feeding `residual`.
+  [[nodiscard]] std::unique_ptr<cache::MemoryHierarchy> front(
+      trace::AccessSink& residual) const;
+
+  // -- Complete hierarchies (front + back), for direct use ---------------
+
+  /// Reference system: L1-L3 + DRAM sized to the workload footprint.
+  [[nodiscard]] std::unique_ptr<cache::MemoryHierarchy> base(
+      std::uint64_t footprint_bytes) const;
+
+  /// 4LC: L1-L3 + eDRAM/HMC L4 + DRAM.
+  [[nodiscard]] std::unique_ptr<cache::MemoryHierarchy> four_level_cache(
+      const EhConfig& cfg, mem::Technology l4_tech,
+      std::uint64_t footprint_bytes) const;
+
+  /// NMM: L1-L3 + DRAM page cache + NVM main memory.
+  [[nodiscard]] std::unique_ptr<cache::MemoryHierarchy> nvm_main_memory(
+      const NConfig& cfg, mem::Technology nvm_tech,
+      std::uint64_t footprint_bytes) const;
+
+  /// 4LCNVM: L1-L3 + eDRAM/HMC L4 + NVM main memory (no DRAM).
+  [[nodiscard]] std::unique_ptr<cache::MemoryHierarchy> four_level_cache_nvm(
+      const EhConfig& cfg, mem::Technology l4_tech, mem::Technology nvm_tech,
+      std::uint64_t footprint_bytes) const;
+
+  /// NDM: L1-L3 + partitioned DRAM/NVM main memory. `nvm_rules` routes
+  /// ranges to the NVM device (index 1); everything else goes to DRAM
+  /// (index 0). `dram_capacity_bytes` is the *unscaled* DRAM partition
+  /// size (default: the paper's 512 MB).
+  [[nodiscard]] std::unique_ptr<cache::MemoryHierarchy> nvm_plus_dram(
+      mem::Technology nvm_tech, std::vector<cache::AddressRangeRule> nvm_rules,
+      std::uint64_t footprint_bytes,
+      std::uint64_t dram_capacity_bytes = kNdmDramCapacity) const;
+
+  // -- Back halves (no L1-L3), for residual-stream replay ----------------
+
+  [[nodiscard]] std::unique_ptr<cache::MemoryHierarchy> base_back(
+      std::uint64_t footprint_bytes) const;
+  [[nodiscard]] std::unique_ptr<cache::MemoryHierarchy>
+  four_level_cache_back(const EhConfig& cfg, mem::Technology l4_tech,
+                        std::uint64_t footprint_bytes) const;
+  [[nodiscard]] std::unique_ptr<cache::MemoryHierarchy> nvm_main_memory_back(
+      const NConfig& cfg, mem::Technology nvm_tech,
+      std::uint64_t footprint_bytes) const;
+  [[nodiscard]] std::unique_ptr<cache::MemoryHierarchy>
+  four_level_cache_nvm_back(const EhConfig& cfg, mem::Technology l4_tech,
+                            mem::Technology nvm_tech,
+                            std::uint64_t footprint_bytes) const;
+  [[nodiscard]] std::unique_ptr<cache::MemoryHierarchy> nvm_plus_dram_back(
+      mem::Technology nvm_tech, std::vector<cache::AddressRangeRule> nvm_rules,
+      std::uint64_t footprint_bytes,
+      std::uint64_t dram_capacity_bytes = kNdmDramCapacity) const;
+
+  /// NDM with epoch-based dynamic partitioning (the paper's future-work
+  /// variant) instead of a static oracle placement. `region_bytes` and
+  /// `dram_capacity_bytes` are unscaled; the region shrinks with the scale
+  /// divisor (minimum 4 KiB).
+  [[nodiscard]] std::unique_ptr<cache::MemoryHierarchy>
+  nvm_plus_dram_dynamic_back(
+      mem::Technology nvm_tech, std::uint64_t footprint_bytes,
+      std::uint64_t dram_capacity_bytes = kNdmDramCapacity,
+      std::uint64_t region_bytes = 1ull << 20,
+      std::uint64_t epoch_accesses = 64 * 1024) const;
+
+ private:
+  [[nodiscard]] cache::CacheLevelSpec l4_level(const EhConfig& cfg,
+                                               mem::Technology l4_tech) const;
+  [[nodiscard]] cache::CacheLevelSpec dram_cache_level(
+      const NConfig& cfg) const;
+  [[nodiscard]] mem::MemoryDeviceConfig dram_device(
+      std::uint64_t capacity_bytes, std::string name) const;
+  [[nodiscard]] mem::MemoryDeviceConfig nvm_device(
+      mem::Technology nvm_tech, std::uint64_t capacity_bytes,
+      std::string name) const;
+
+  std::uint64_t scale_;
+  mem::TechnologyRegistry registry_;
+  DesignOptions options_;
+  ReferenceCaches reference_;
+};
+
+}  // namespace hms::designs

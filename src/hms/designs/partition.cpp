@@ -1,0 +1,148 @@
+#include "hms/designs/partition.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "hms/common/error.hpp"
+
+namespace hms::designs {
+
+RangeProfiler::RangeProfiler(const workloads::VirtualAddressSpace& vas)
+    : RangeProfiler(vas.ranges()) {}
+
+RangeProfiler::RangeProfiler(std::vector<workloads::AddressRange> ranges) {
+  usages_.reserve(ranges.size());
+  for (auto& r : ranges) {
+    usages_.push_back(RangeUsage{std::move(r), 0, 0});
+  }
+  std::sort(usages_.begin(), usages_.end(),
+            [](const RangeUsage& a, const RangeUsage& b) {
+              return a.range.base < b.range.base;
+            });
+}
+
+void RangeProfiler::access(const trace::MemoryAccess& a) {
+  // Binary search over the sorted, non-overlapping ranges.
+  auto it = std::upper_bound(
+      usages_.begin(), usages_.end(), a.address,
+      [](Address addr, const RangeUsage& u) { return addr < u.range.base; });
+  if (it == usages_.begin()) {
+    ++unmatched_;
+    return;
+  }
+  --it;
+  if (!it->range.contains(a.address)) {
+    ++unmatched_;
+    return;
+  }
+  if (a.type == AccessType::Store) {
+    ++it->stores;
+  } else {
+    ++it->loads;
+  }
+}
+
+std::vector<RangeUsage> merge_ranges(std::vector<RangeUsage> usages,
+                                     std::size_t max_candidates) {
+  check(max_candidates >= 1, "merge_ranges: need at least one candidate");
+  std::sort(usages.begin(), usages.end(),
+            [](const RangeUsage& a, const RangeUsage& b) {
+              return a.range.base < b.range.base;
+            });
+  while (usages.size() > max_candidates) {
+    // Find the adjacent pair with the most similar density (log-space so a
+    // 2x difference counts the same at any magnitude).
+    std::size_t best = 0;
+    double best_score = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i + 1 < usages.size(); ++i) {
+      const double da = usages[i].density() + 1.0;
+      const double db = usages[i + 1].density() + 1.0;
+      const double score = std::abs(std::log(da) - std::log(db));
+      if (score < best_score) {
+        best_score = score;
+        best = i;
+      }
+    }
+    RangeUsage& a = usages[best];
+    const RangeUsage& b = usages[best + 1];
+    a.range.name += "+" + b.range.name;
+    a.range.length = (b.range.base + b.range.length) - a.range.base;
+    a.loads += b.loads;
+    a.stores += b.stores;
+    usages.erase(usages.begin() + static_cast<std::ptrdiff_t>(best) + 1);
+  }
+  return usages;
+}
+
+namespace {
+
+Placement subset_placement(const std::vector<RangeUsage>& candidates,
+                           std::uint32_t mask, Count total_refs,
+                           std::uint64_t total_bytes) {
+  Placement p;
+  Count nvm_refs = 0;
+  std::uint64_t nvm_bytes = 0;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if ((mask & (1u << i)) == 0) continue;
+    const auto& c = candidates[i];
+    if (!p.name.empty()) p.name += ", ";
+    p.name += c.range.name;
+    p.nvm_rules.push_back(
+        cache::AddressRangeRule{c.range.base, c.range.length, 1});
+    nvm_refs += c.total();
+    nvm_bytes += c.range.length;
+  }
+  p.name = p.name.empty() ? "all-DRAM" : p.name + " -> NVM";
+  p.nvm_reference_fraction =
+      total_refs ? static_cast<double>(nvm_refs) /
+                       static_cast<double>(total_refs)
+                 : 0.0;
+  p.dram_bytes = total_bytes - nvm_bytes;
+  return p;
+}
+
+}  // namespace
+
+std::vector<Placement> enumerate_placements(
+    const std::vector<RangeUsage>& candidates) {
+  Count total_refs = 0;
+  std::uint64_t total_bytes = 0;
+  for (const auto& c : candidates) {
+    total_refs += c.total();
+    total_bytes += c.range.length;
+  }
+  std::vector<Placement> placements;
+  placements.push_back(
+      subset_placement(candidates, 0, total_refs, total_bytes));
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    placements.push_back(subset_placement(
+        candidates, std::uint32_t{1} << i, total_refs, total_bytes));
+  }
+  return placements;
+}
+
+std::vector<Placement> enumerate_subset_placements(
+    const std::vector<RangeUsage>& candidates,
+    std::uint64_t dram_capacity_bytes) {
+  check(candidates.size() <= 16,
+        "enumerate_subset_placements: too many candidates");
+  Count total_refs = 0;
+  std::uint64_t total_bytes = 0;
+  for (const auto& c : candidates) {
+    total_refs += c.total();
+    total_bytes += c.range.length;
+  }
+  std::vector<Placement> placements;
+  const std::uint32_t subsets = 1u << candidates.size();
+  placements.reserve(subsets);
+  for (std::uint32_t mask = 0; mask < subsets; ++mask) {
+    Placement p =
+        subset_placement(candidates, mask, total_refs, total_bytes);
+    p.feasible = p.dram_bytes <= dram_capacity_bytes;
+    placements.push_back(std::move(p));
+  }
+  return placements;
+}
+
+}  // namespace hms::designs

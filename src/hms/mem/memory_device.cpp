@@ -1,0 +1,59 @@
+#include "hms/mem/memory_device.hpp"
+
+#include "hms/common/bitops.hpp"
+#include "hms/common/error.hpp"
+
+namespace hms::mem {
+
+MemoryDevice::MemoryDevice(MemoryDeviceConfig config)
+    : config_(std::move(config)) {
+  check_config(config_.capacity_bytes > 0,
+               "MemoryDevice: capacity must be positive");
+  check_config(is_pow2(config_.line_bytes),
+               "MemoryDevice: line size must be a power of two");
+  check_config(config_.capacity_bytes % config_.line_bytes == 0,
+               "MemoryDevice: capacity must be a multiple of the line size");
+  if (config_.wear_leveling) config_.track_endurance = true;
+  if (config_.track_endurance) {
+    const std::uint64_t lines = config_.capacity_bytes / config_.line_bytes;
+    // Physical lines = logical + 1 when Start-Gap is active.
+    endurance_.emplace(lines + (config_.wear_leveling ? 1 : 0),
+                       config_.technology.endurance_writes);
+    if (config_.wear_leveling) {
+      leveler_.emplace(lines, config_.gap_write_interval);
+    }
+  }
+}
+
+std::uint64_t MemoryDevice::line_of(Address address) const {
+  const std::uint64_t logical =
+      (address / config_.line_bytes) %
+      (config_.capacity_bytes / config_.line_bytes);
+  return leveler_ ? leveler_->physical(logical) : logical;
+}
+
+void MemoryDevice::read(Address address, std::uint64_t bytes) {
+  (void)address;
+  ++stats_.reads;
+  stats_.read_bytes += bytes;
+}
+
+void MemoryDevice::write(Address address, std::uint64_t bytes) {
+  ++stats_.writes;
+  stats_.write_bytes += bytes;
+  if (!endurance_) return;
+  endurance_->record_write(line_of(address));
+  if (leveler_) {
+    const std::uint64_t extra = leveler_->on_write();
+    if (extra > 0) {
+      stats_.migration_writes += extra;
+      stats_.write_bytes += extra * config_.line_bytes;
+      // The migrated line lands in the pre-move gap slot, which is one
+      // above the gap's new position; charge its wear.
+      endurance_->record_write((leveler_->gap() + 1) %
+                               leveler_->physical_lines());
+    }
+  }
+}
+
+}  // namespace hms::mem

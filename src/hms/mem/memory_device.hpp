@@ -1,0 +1,88 @@
+// A terminal main-memory device: counts reads/writes and bytes moved, and
+// (for NVM) threads writes through endurance tracking and optional Start-Gap
+// wear levelling. The cache hierarchy's last level drives one or two (NDM)
+// of these.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "hms/common/types.hpp"
+#include "hms/common/units.hpp"
+#include "hms/mem/technology.hpp"
+#include "hms/mem/wear.hpp"
+
+namespace hms::mem {
+
+/// Configuration for a main-memory device.
+struct MemoryDeviceConfig {
+  std::string name = "mem";
+  TechnologyParams technology;
+  std::uint64_t capacity_bytes = 0;
+  /// Capacity for static-power modeling; 0 = capacity_bytes. See
+  /// cache::CacheConfig::modeled_capacity_bytes.
+  std::uint64_t modeled_capacity_bytes = 0;
+  /// Wear-tracking granularity; also the Start-Gap line size.
+  std::uint64_t line_bytes = 256;
+  /// Enable per-line endurance tracking (costs memory proportional to
+  /// capacity / line_bytes).
+  bool track_endurance = false;
+  /// Enable Start-Gap wear levelling (implies endurance tracking).
+  bool wear_leveling = false;
+  /// Start-Gap gap-move interval (writes between gap movements).
+  std::uint64_t gap_write_interval = 100;
+};
+
+/// Aggregate access counters for a device (the model's Eq. 2/3 inputs).
+struct DeviceStats {
+  Count reads = 0;
+  Count writes = 0;
+  std::uint64_t read_bytes = 0;
+  std::uint64_t write_bytes = 0;
+  /// Extra writes issued by the wear leveller's line migrations.
+  Count migration_writes = 0;
+
+  [[nodiscard]] Count total() const noexcept { return reads + writes; }
+};
+
+/// See file comment.
+class MemoryDevice {
+ public:
+  explicit MemoryDevice(MemoryDeviceConfig config);
+
+  /// Records a read of `bytes` at `address`.
+  void read(Address address, std::uint64_t bytes);
+
+  /// Records a write of `bytes` at `address`; updates wear state.
+  void write(Address address, std::uint64_t bytes);
+
+  [[nodiscard]] const MemoryDeviceConfig& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] const DeviceStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const TechnologyParams& technology() const noexcept {
+    return config_.technology;
+  }
+
+  /// Endurance metrics; only present when tracking was enabled.
+  [[nodiscard]] const EnduranceTracker* endurance() const noexcept {
+    return endurance_ ? &*endurance_ : nullptr;
+  }
+  [[nodiscard]] const StartGapWearLeveler* wear_leveler() const noexcept {
+    return leveler_ ? &*leveler_ : nullptr;
+  }
+
+  void reset_stats() noexcept { stats_ = DeviceStats{}; }
+
+ private:
+  [[nodiscard]] std::uint64_t line_of(Address address) const;
+
+  MemoryDeviceConfig config_;
+  DeviceStats stats_;
+  std::optional<EnduranceTracker> endurance_;
+  std::optional<StartGapWearLeveler> leveler_;
+};
+
+}  // namespace hms::mem

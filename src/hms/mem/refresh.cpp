@@ -1,0 +1,29 @@
+#include "hms/mem/refresh.hpp"
+
+#include "hms/common/error.hpp"
+
+namespace hms::mem {
+
+Power refresh_power(const RefreshParams& params,
+                    std::uint64_t capacity_bytes) {
+  check(params.row_bytes > 0, "refresh_power: row_bytes must be positive");
+  check(params.retention.nanoseconds() > 0.0,
+        "refresh_power: retention must be positive");
+  const double rows = static_cast<double>(capacity_bytes) /
+                      static_cast<double>(params.row_bytes);
+  const Energy per_period = params.row_refresh_energy * rows;
+  return per_period / params.retention;
+}
+
+Power static_power(const TechnologyParams& tech, std::uint64_t capacity_bytes,
+                   const RefreshParams& refresh) {
+  if (tech.non_volatile) return Power::from_mw(0.0);
+  Power total = tech.static_power(capacity_bytes);
+  const bool dram_class = tech.technology == Technology::DRAM ||
+                          tech.technology == Technology::eDRAM ||
+                          tech.technology == Technology::HMC;
+  if (dram_class) total += refresh_power(refresh, capacity_bytes);
+  return total;
+}
+
+}  // namespace hms::mem

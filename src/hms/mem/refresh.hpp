@@ -1,0 +1,38 @@
+// DRAM/eDRAM refresh power model.
+//
+// Volatile technologies spend background power on periodic refresh; the
+// paper folds this into per-capacity static power (Eq. 4). This model makes
+// the refresh component explicit so the ablation benches can vary refresh
+// interval and retention time independently of array leakage.
+#pragma once
+
+#include <cstdint>
+
+#include "hms/common/units.hpp"
+#include "hms/mem/technology.hpp"
+
+namespace hms::mem {
+
+struct RefreshParams {
+  /// Cell retention time; every row must be refreshed at least this often.
+  Time retention = Time::from_seconds(64e-3);  ///< 64 ms JEDEC default
+  /// Energy to refresh one row (DDR3-class: a few nJ per 8 KiB row, sized
+  /// so a 4 GiB device draws ~40 mW of refresh power).
+  Energy row_refresh_energy = Energy::from_pj(5000.0);
+  /// Bytes per refresh row.
+  std::uint64_t row_bytes = 8192;
+};
+
+/// Average refresh power of a device of `capacity_bytes`:
+///   rows * row_energy / retention.
+[[nodiscard]] Power refresh_power(const RefreshParams& params,
+                                  std::uint64_t capacity_bytes);
+
+/// Total static power of a device: technology leakage density x capacity,
+/// plus refresh when the technology is volatile DRAM-class (DRAM, eDRAM,
+/// HMC). Non-volatile technologies contribute nothing (paper assumption).
+[[nodiscard]] Power static_power(const TechnologyParams& tech,
+                                 std::uint64_t capacity_bytes,
+                                 const RefreshParams& refresh = {});
+
+}  // namespace hms::mem

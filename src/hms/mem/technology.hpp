@@ -1,0 +1,108 @@
+// Memory technology characterization (paper Table 1 + CACTI-style cache
+// parameters and static/refresh power constants).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "hms/common/units.hpp"
+
+namespace hms::mem {
+
+/// The technologies evaluated by the paper, plus SRAM for on-chip caches.
+enum class Technology : std::uint8_t {
+  SRAM,    ///< on-chip cache arrays (L1/L2/L3)
+  DRAM,    ///< commodity DDR DRAM ("RAM" row of Table 1)
+  PCM,     ///< phase-change memory
+  STTRAM,  ///< spin-torque-transfer magnetic RAM
+  FeRAM,   ///< ferro-electric RAM
+  eDRAM,   ///< embedded DRAM (on-chip L4 option)
+  HMC,     ///< Hybrid Memory Cube (off-chip stacked L4 option)
+};
+
+[[nodiscard]] std::string_view to_string(Technology t);
+
+/// Parses "dram", "PCM", "sttram", ... (case-insensitive).
+/// Throws hms::Error on unknown names.
+[[nodiscard]] Technology technology_from_string(std::string_view name);
+
+/// Device characterization used by the performance and energy models.
+///
+/// Latencies and dynamic energies for the non-SRAM rows are Table 1 of the
+/// paper verbatim (sources: CACTI for DRAM/eDRAM, an HMC prototype, the 2013
+/// ITRS report for PCM/STT-RAM, ISSCC'06 literature for FeRAM).
+///
+/// The paper states static/refresh power was taken from CACTI and the Micron
+/// power calculator but its printed table is corrupted; `static_power_per_mib`
+/// below carries documented values of the right relative magnitude
+/// (DESIGN.md, substitutions table).
+struct TechnologyParams {
+  Technology technology = Technology::DRAM;
+  Time read_latency;          ///< per-access read delay
+  Time write_latency;         ///< per-access write delay
+  double read_pj_per_bit = 0.0;
+  double write_pj_per_bit = 0.0;
+  Power static_power_per_mib;  ///< leakage + refresh, per MiB of capacity
+  bool non_volatile = false;
+  /// Writes a cell endures before wear-out; 0 means effectively unlimited.
+  std::uint64_t endurance_writes = 0;
+
+  [[nodiscard]] Time latency(bool is_store) const {
+    return is_store ? write_latency : read_latency;
+  }
+  [[nodiscard]] double pj_per_bit(bool is_store) const {
+    return is_store ? write_pj_per_bit : read_pj_per_bit;
+  }
+  /// Dynamic energy of moving `bytes` in one access of the given kind
+  /// (Eq. 3 building block: energy/bit x bits moved).
+  [[nodiscard]] Energy access_energy(bool is_store, std::uint64_t bytes) const {
+    return Energy::from_pj(pj_per_bit(is_store) *
+                           static_cast<double>(bytes) * 8.0);
+  }
+  /// Static power of a device of `capacity_bytes` (Eq. 4 building block).
+  [[nodiscard]] Power static_power(std::uint64_t capacity_bytes) const {
+    return static_power_per_mib *
+           (static_cast<double>(capacity_bytes) / (1024.0 * 1024.0));
+  }
+};
+
+/// Immutable registry of the paper's Table 1 plus SRAM cache parameters.
+class TechnologyRegistry {
+ public:
+  /// The default registry with the paper's published values.
+  [[nodiscard]] static const TechnologyRegistry& table1();
+
+  [[nodiscard]] const TechnologyParams& get(Technology t) const;
+  [[nodiscard]] const TechnologyParams& get(std::string_view name) const;
+
+  /// All registered technologies, in Table 1 order.
+  [[nodiscard]] const std::vector<TechnologyParams>& all() const {
+    return params_;
+  }
+
+  /// A copy with one technology's parameters replaced — used by the heat-map
+  /// sweeps (Figs. 9-10) that scale NVM latency/energy relative to DRAM.
+  [[nodiscard]] TechnologyRegistry with(const TechnologyParams& override_params)
+      const;
+
+ private:
+  std::vector<TechnologyParams> params_;
+};
+
+/// SRAM cache parameters by level. The paper took these from CACTI 6.0 for
+/// the Sandy Bridge reference (32 KB L1 / 256 KB L2 / 20 MB L3); these are
+/// CACTI-style values at 32 nm documented in technology.cpp.
+struct CacheTechnology {
+  Time access_latency;
+  double pj_per_bit = 0.0;
+  Power static_power_per_mib;
+
+  [[nodiscard]] TechnologyParams as_params() const;
+};
+
+/// L1/L2/L3 SRAM characterizations for the reference system.
+[[nodiscard]] const CacheTechnology& sram_level(int level);
+
+}  // namespace hms::mem

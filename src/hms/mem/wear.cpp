@@ -1,0 +1,74 @@
+#include "hms/mem/wear.hpp"
+
+#include <algorithm>
+
+#include "hms/common/error.hpp"
+
+namespace hms::mem {
+
+EnduranceTracker::EnduranceTracker(std::uint64_t lines,
+                                   std::uint64_t endurance_writes)
+    : writes_(lines, 0), endurance_(endurance_writes) {
+  check(lines > 0, "EnduranceTracker: need at least one line");
+}
+
+void EnduranceTracker::record_write(std::uint64_t line) {
+  check(line < writes_.size(), "EnduranceTracker: line out of range");
+  const std::uint64_t w = ++writes_[line];
+  ++total_;
+  max_ = std::max(max_, w);
+}
+
+double EnduranceTracker::mean_line_writes() const noexcept {
+  return static_cast<double>(total_) / static_cast<double>(writes_.size());
+}
+
+double EnduranceTracker::imbalance() const noexcept {
+  const double mean = mean_line_writes();
+  return mean > 0.0 ? static_cast<double>(max_) / mean : 1.0;
+}
+
+double EnduranceTracker::lifetime_consumed() const noexcept {
+  if (endurance_ == 0) return 0.0;
+  return static_cast<double>(max_) / static_cast<double>(endurance_);
+}
+
+std::uint64_t EnduranceTracker::writes_to(std::uint64_t line) const {
+  check(line < writes_.size(), "EnduranceTracker: line out of range");
+  return writes_[line];
+}
+
+StartGapWearLeveler::StartGapWearLeveler(std::uint64_t lines,
+                                         std::uint64_t gap_write_interval)
+    : lines_(lines), interval_(gap_write_interval), gap_(lines) {
+  check(lines > 0, "StartGapWearLeveler: need at least one line");
+  check(gap_write_interval > 0,
+        "StartGapWearLeveler: interval must be positive");
+}
+
+std::uint64_t StartGapWearLeveler::physical(std::uint64_t logical) const {
+  check(logical < lines_, "StartGapWearLeveler: logical line out of range");
+  const std::uint64_t m = lines_ + 1;
+  const std::uint64_t hole_offset = (gap_ + m - start_ % m) % m;
+  std::uint64_t p = (start_ + logical) % m;
+  if (hole_offset <= logical) p = (p + 1) % m;
+  return p;
+}
+
+std::uint64_t StartGapWearLeveler::on_write() {
+  if (++writes_since_move_ < interval_) return 0;
+  writes_since_move_ = 0;
+  const std::uint64_t m = lines_ + 1;
+  if (gap_ == start_ % m) {
+    // Hole sits at the rotation origin: re-normalizing start shifts the
+    // logical window without moving any data (the "wrap" step of Start-Gap).
+    start_ = (start_ + 1) % m;
+    return 0;
+  }
+  // Copy the line just below the gap into the gap; the gap moves down.
+  gap_ = (gap_ + m - 1) % m;
+  ++migrations_;
+  return 1;  // the migration itself is one extra device write
+}
+
+}  // namespace hms::mem

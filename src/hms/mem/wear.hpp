@@ -1,0 +1,85 @@
+// NVM endurance tracking and Start-Gap wear levelling.
+//
+// The paper notes (Section II.A) that PCM endurance is limited and that wear
+// levelling "does incur some overhead that adds variability in performance".
+// This module provides the substrate to quantify that remark: a per-line
+// write-count tracker and the Start-Gap remapper of Qureshi et al.
+// (MICRO'09), whose line migrations become extra device writes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hms/common/stats.hpp"
+#include "hms/common/types.hpp"
+
+namespace hms::mem {
+
+/// Tracks per-line write counts over a device of `lines` lines.
+/// Exposes the wear-imbalance metrics the ablation bench reports.
+class EnduranceTracker {
+ public:
+  EnduranceTracker(std::uint64_t lines, std::uint64_t endurance_writes);
+
+  void record_write(std::uint64_t line);
+
+  [[nodiscard]] std::uint64_t lines() const noexcept {
+    return static_cast<std::uint64_t>(writes_.size());
+  }
+  [[nodiscard]] std::uint64_t total_writes() const noexcept { return total_; }
+  [[nodiscard]] std::uint64_t max_line_writes() const noexcept { return max_; }
+  [[nodiscard]] double mean_line_writes() const noexcept;
+  /// max/mean write ratio; 1.0 = perfectly even wear.
+  [[nodiscard]] double imbalance() const noexcept;
+  /// Fraction of rated endurance consumed by the most-written line
+  /// (0 when endurance is unlimited).
+  [[nodiscard]] double lifetime_consumed() const noexcept;
+  [[nodiscard]] std::uint64_t writes_to(std::uint64_t line) const;
+
+ private:
+  std::vector<std::uint32_t> writes_;
+  std::uint64_t total_ = 0;
+  std::uint64_t max_ = 0;
+  std::uint64_t endurance_ = 0;
+};
+
+/// Start-Gap wear leveller: maintains one spare line and two registers
+/// (start, gap). Every `gap_write_interval` writes, the line just above the
+/// gap moves into the gap, shifting the gap down; when the gap wraps, start
+/// advances. The logical->physical mapping is
+///   physical = (logical + start) mod (n + 1), skipping the gap line,
+/// and remains a bijection at every step.
+class StartGapWearLeveler {
+ public:
+  /// `lines`: logical lines exposed; device must have lines + 1 physical
+  /// lines. `gap_write_interval`: writes between gap movements (psi in the
+  /// paper; 100 is the published sweet spot).
+  StartGapWearLeveler(std::uint64_t lines, std::uint64_t gap_write_interval);
+
+  /// Maps a logical line to its current physical line.
+  [[nodiscard]] std::uint64_t physical(std::uint64_t logical) const;
+
+  /// Notifies the leveller of one logical write; may trigger a gap move.
+  /// Returns the number of extra device writes caused by migration (0 or 1).
+  std::uint64_t on_write();
+
+  [[nodiscard]] std::uint64_t logical_lines() const noexcept { return lines_; }
+  [[nodiscard]] std::uint64_t physical_lines() const noexcept {
+    return lines_ + 1;
+  }
+  [[nodiscard]] std::uint64_t gap() const noexcept { return gap_; }
+  [[nodiscard]] std::uint64_t start() const noexcept { return start_; }
+  [[nodiscard]] std::uint64_t migrations() const noexcept {
+    return migrations_;
+  }
+
+ private:
+  std::uint64_t lines_;
+  std::uint64_t interval_;
+  std::uint64_t start_ = 0;
+  std::uint64_t gap_;  ///< physical index of the unused line
+  std::uint64_t writes_since_move_ = 0;
+  std::uint64_t migrations_ = 0;
+};
+
+}  // namespace hms::mem

@@ -1,0 +1,37 @@
+#include "hms/model/amat.hpp"
+
+#include "hms/common/error.hpp"
+
+namespace hms::model {
+
+Time total_access_time(const cache::HierarchyProfile& profile) {
+  Time total;
+  for (const auto& level : profile.levels) {
+    total += level.tech.read_latency * static_cast<double>(level.loads);
+    total += level.tech.write_latency * static_cast<double>(level.stores);
+  }
+  return total;
+}
+
+Time amat(const cache::HierarchyProfile& profile) {
+  check(profile.references > 0, "amat: profile has no references");
+  return total_access_time(profile) /
+         static_cast<double>(profile.references);
+}
+
+Time scaled_runtime(Time reference_runtime, Time amat_reference,
+                    Time amat_design) {
+  check(amat_reference.nanoseconds() > 0.0,
+        "scaled_runtime: reference AMAT must be positive");
+  return reference_runtime * (amat_design / amat_reference);
+}
+
+Time modeled_reference_runtime(
+    const cache::HierarchyProfile& reference_profile,
+    double memory_bound_fraction) {
+  check(memory_bound_fraction > 0.0 && memory_bound_fraction <= 1.0,
+        "modeled_reference_runtime: fraction must be in (0, 1]");
+  return total_access_time(reference_profile) / memory_bound_fraction;
+}
+
+}  // namespace hms::model

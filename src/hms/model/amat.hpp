@@ -1,0 +1,32 @@
+// Average Memory Access Time — Eq. 2 of the paper — and the Eq. 1 runtime
+// scaling built on it.
+#pragma once
+
+#include "hms/cache/profile.hpp"
+#include "hms/common/units.hpp"
+
+namespace hms::model {
+
+/// Total access time: sum over levels of
+///   loads_Li * read_latency_Li + stores_Li * write_latency_Li
+/// (the numerator of Eq. 2).
+[[nodiscard]] Time total_access_time(const cache::HierarchyProfile& profile);
+
+/// Eq. 2: total access time / total number of CPU references.
+/// Throws hms::Error when the profile has no references.
+[[nodiscard]] Time amat(const cache::HierarchyProfile& profile);
+
+/// Eq. 1: T_design = T_ref * AMAT_design / AMAT_ref.
+[[nodiscard]] Time scaled_runtime(Time reference_runtime, Time amat_reference,
+                                  Time amat_design);
+
+/// Models the reference wall-clock of a simulated run: the memory system is
+/// busy for total_access_time; dividing by the workload's memory-bound
+/// fraction yields wall-clock (fraction 1.0 = perfectly memory-bound).
+/// This replaces the paper's measured Table 4 T_ref for scaled-down runs;
+/// Eq. 1 ratios are unaffected by the choice (DESIGN.md).
+[[nodiscard]] Time modeled_reference_runtime(
+    const cache::HierarchyProfile& reference_profile,
+    double memory_bound_fraction);
+
+}  // namespace hms::model

@@ -1,0 +1,81 @@
+#include "hms/model/bandwidth.hpp"
+
+#include <algorithm>
+
+#include "hms/common/error.hpp"
+#include "hms/model/amat.hpp"
+
+namespace hms::model {
+
+namespace {
+
+/// Converts bytes at GB/s into nanoseconds (1 GB/s == 1 byte/ns).
+Time transfer_time(std::uint64_t bytes, double gbs) {
+  check(gbs > 0.0, "bandwidth: rate must be positive");
+  return Time::from_ns(static_cast<double>(bytes) / gbs);
+}
+
+}  // namespace
+
+double BandwidthParams::read_gbs(mem::Technology t) const {
+  switch (t) {
+    case mem::Technology::SRAM:
+      return sram_gbs;
+    case mem::Technology::DRAM:
+      return dram_gbs;
+    case mem::Technology::PCM:
+      return pcm_read_gbs;
+    case mem::Technology::STTRAM:
+      return sttram_gbs;
+    case mem::Technology::FeRAM:
+      return feram_gbs;
+    case mem::Technology::eDRAM:
+      return edram_gbs;
+    case mem::Technology::HMC:
+      return hmc_gbs;
+  }
+  throw Error("BandwidthParams: unknown technology");
+}
+
+double BandwidthParams::write_gbs(mem::Technology t) const {
+  if (t == mem::Technology::PCM) return pcm_write_gbs;
+  return read_gbs(t);
+}
+
+std::vector<LevelBandwidthDemand> bandwidth_demand(
+    const cache::HierarchyProfile& profile, const BandwidthParams& params) {
+  std::vector<LevelBandwidthDemand> out;
+  out.reserve(profile.levels.size());
+  for (const auto& level : profile.levels) {
+    LevelBandwidthDemand demand;
+    demand.name = level.name;
+    demand.read_time = transfer_time(
+        level.load_bytes, params.read_gbs(level.tech.technology));
+    demand.write_time = transfer_time(
+        level.store_bytes, params.write_gbs(level.tech.technology));
+    out.push_back(std::move(demand));
+  }
+  return out;
+}
+
+BandwidthBound bandwidth_bound(const cache::HierarchyProfile& profile,
+                               const BandwidthParams& params) {
+  BandwidthBound bound;
+  for (const auto& demand : bandwidth_demand(profile, params)) {
+    if (demand.total() > bound.bound) {
+      bound.bound = demand.total();
+      bound.binding_level = demand.name;
+    }
+  }
+  return bound;
+}
+
+double bandwidth_limitation(const cache::HierarchyProfile& profile,
+                            const BandwidthParams& params) {
+  const Time latency_time = total_access_time(profile);
+  check(latency_time.nanoseconds() > 0.0,
+        "bandwidth_limitation: empty profile");
+  return bandwidth_bound(profile, params).bound / latency_time;
+}
+
+}  // namespace hms::model

@@ -1,0 +1,71 @@
+// Bandwidth-bound analysis — a generalization the paper's AMAT model
+// omits. The paper motivates emerging memories with the bandwidth "memory
+// wall" (Section I), yet Eq. 2 is latency-only: it cannot see a level
+// saturating. This module computes, per level, the time the level's port
+// needs to move the profile's bytes at the technology's peak bandwidth,
+// and reports the binding level. A design whose bandwidth-bound time
+// exceeds its Eq. 2 latency time is bandwidth-limited and the Eq. 1
+// runtime is optimistic for it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hms/cache/profile.hpp"
+#include "hms/common/units.hpp"
+
+namespace hms::model {
+
+/// Peak sustained bandwidth per technology, GB/s. Defaults are 2014-era
+/// magnitudes: DDR3-1600 channel ~12.8, PCM prototypes strongly
+/// read/write asymmetric, HMC ~160 aggregate, on-die eDRAM and SRAM
+/// effectively core-speed.
+struct BandwidthParams {
+  double sram_gbs = 500.0;
+  double dram_gbs = 12.8;
+  double pcm_read_gbs = 2.0;
+  double pcm_write_gbs = 0.5;
+  double sttram_gbs = 4.0;
+  double feram_gbs = 1.6;
+  double edram_gbs = 100.0;
+  double hmc_gbs = 160.0;
+
+  /// Read-direction bandwidth for a technology.
+  [[nodiscard]] double read_gbs(mem::Technology t) const;
+  /// Write-direction bandwidth (differs only for PCM by default).
+  [[nodiscard]] double write_gbs(mem::Technology t) const;
+};
+
+/// Time one level's port needs for its recorded traffic.
+struct LevelBandwidthDemand {
+  std::string name;
+  Time read_time;
+  Time write_time;
+
+  [[nodiscard]] Time total() const { return read_time + write_time; }
+};
+
+/// Per-level port-occupancy times for a profile.
+[[nodiscard]] std::vector<LevelBandwidthDemand> bandwidth_demand(
+    const cache::HierarchyProfile& profile,
+    const BandwidthParams& params = {});
+
+/// The largest per-level occupancy — a lower bound on memory time no
+/// matter how well latency overlaps.
+struct BandwidthBound {
+  std::string binding_level;
+  Time bound;
+};
+
+[[nodiscard]] BandwidthBound bandwidth_bound(
+    const cache::HierarchyProfile& profile,
+    const BandwidthParams& params = {});
+
+/// Ratio of the bandwidth bound to the Eq. 2 latency-model total time;
+/// > 1 means the design is bandwidth-limited and Eq. 1 underestimates its
+/// runtime by at least this factor.
+[[nodiscard]] double bandwidth_limitation(
+    const cache::HierarchyProfile& profile,
+    const BandwidthParams& params = {});
+
+}  // namespace hms::model

@@ -1,0 +1,53 @@
+#include "hms/model/cost.hpp"
+
+#include "hms/common/error.hpp"
+
+namespace hms::model {
+
+double CostParams::usd_per_gib(mem::Technology t) const {
+  switch (t) {
+    case mem::Technology::SRAM:
+      return sram_usd_per_gib;
+    case mem::Technology::DRAM:
+      return dram_usd_per_gib;
+    case mem::Technology::PCM:
+      return pcm_usd_per_gib;
+    case mem::Technology::STTRAM:
+      return sttram_usd_per_gib;
+    case mem::Technology::FeRAM:
+      return feram_usd_per_gib;
+    case mem::Technology::eDRAM:
+      return edram_usd_per_gib;
+    case mem::Technology::HMC:
+      return hmc_usd_per_gib;
+  }
+  throw Error("CostParams: unknown technology");
+}
+
+double level_cost_usd(const cache::LevelProfile& level,
+                      const CostParams& params) {
+  const double gib =
+      static_cast<double>(level.capacity_bytes) / (1024.0 * 1024.0 * 1024.0);
+  return gib * params.usd_per_gib(level.tech.technology);
+}
+
+double memory_cost_usd(const cache::HierarchyProfile& profile,
+                       const CostParams& params) {
+  double total = 0.0;
+  for (const auto& level : profile.levels) {
+    total += level_cost_usd(level, params);
+  }
+  return total;
+}
+
+CostReport CostReport::make(const cache::HierarchyProfile& profile,
+                            const DesignReport& report,
+                            const CostParams& params) {
+  CostReport out;
+  out.cost_usd = memory_cost_usd(profile, params);
+  out.cost_delay = out.cost_usd * report.runtime.seconds();
+  out.cost_edp = out.cost_usd * report.edp().value;
+  return out;
+}
+
+}  // namespace hms::model

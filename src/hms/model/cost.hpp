@@ -1,0 +1,54 @@
+// Memory-system cost model — the total-cost-of-ownership angle the paper
+// explicitly defers to future work ("We have not factored in the cost
+// (e.g. total cost of ownership)").
+//
+// Each technology carries a $/GiB density-cost estimate; a design's memory
+// cost is the sum over its levels of capacity x unit cost. Combined with a
+// DesignReport this yields cost-performance metrics (cost x delay, cost x
+// EDP) for ranking designs under a budget.
+#pragma once
+
+#include "hms/cache/profile.hpp"
+#include "hms/model/report.hpp"
+
+namespace hms::model {
+
+/// Unit costs in $/GiB. Defaults are rough 2014-era estimates of the
+/// *relative* economics (the study only needs ratios): commodity DRAM as
+/// the anchor, PCM cheaper per bit (its capacity appeal), STT-RAM/FeRAM
+/// immature and expensive, on-die eDRAM and stacked HMC at a large area
+/// premium, SRAM cache area costliest of all.
+struct CostParams {
+  double sram_usd_per_gib = 2000.0;
+  double dram_usd_per_gib = 8.0;
+  double pcm_usd_per_gib = 4.0;
+  double sttram_usd_per_gib = 60.0;
+  double feram_usd_per_gib = 40.0;
+  double edram_usd_per_gib = 120.0;
+  double hmc_usd_per_gib = 40.0;
+
+  [[nodiscard]] double usd_per_gib(mem::Technology t) const;
+};
+
+/// Cost of one level: modeled capacity x unit cost.
+[[nodiscard]] double level_cost_usd(const cache::LevelProfile& level,
+                                    const CostParams& params = {});
+
+/// Total memory-system cost of a design profile.
+[[nodiscard]] double memory_cost_usd(const cache::HierarchyProfile& profile,
+                                     const CostParams& params = {});
+
+/// Cost-delay and cost-EDP figures of merit (lower is better); both are
+/// only meaningful as ratios between designs evaluated on the same
+/// workload.
+struct CostReport {
+  double cost_usd = 0.0;
+  double cost_delay = 0.0;  ///< $ x seconds
+  double cost_edp = 0.0;    ///< $ x (pJ x ns)
+
+  [[nodiscard]] static CostReport make(
+      const cache::HierarchyProfile& profile, const DesignReport& report,
+      const CostParams& params = {});
+};
+
+}  // namespace hms::model

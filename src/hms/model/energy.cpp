@@ -1,0 +1,34 @@
+#include "hms/model/energy.hpp"
+
+namespace hms::model {
+
+Energy dynamic_energy(const cache::HierarchyProfile& profile) {
+  Energy total;
+  for (const auto& level : profile.levels) {
+    total += level.tech.access_energy(/*is_store=*/false, level.load_bytes);
+    total += level.tech.access_energy(/*is_store=*/true, level.store_bytes);
+  }
+  return total;
+}
+
+Power static_power(const cache::HierarchyProfile& profile,
+                   const mem::RefreshParams& refresh) {
+  Power total;
+  for (const auto& level : profile.levels) {
+    total += mem::static_power(level.tech, level.capacity_bytes, refresh);
+  }
+  return total;
+}
+
+Energy static_energy(const cache::HierarchyProfile& profile, Time runtime,
+                     const mem::RefreshParams& refresh) {
+  return static_power(profile, refresh) * runtime;
+}
+
+EnergyBreakdown energy(const cache::HierarchyProfile& profile, Time runtime,
+                       const mem::RefreshParams& refresh) {
+  return EnergyBreakdown{dynamic_energy(profile),
+                         static_energy(profile, runtime, refresh)};
+}
+
+}  // namespace hms::model

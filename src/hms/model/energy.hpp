@@ -1,0 +1,39 @@
+// Energy models — Eqs. 3 and 4 of the paper — and the EDP figure of merit.
+#pragma once
+
+#include "hms/cache/profile.hpp"
+#include "hms/common/units.hpp"
+#include "hms/mem/refresh.hpp"
+
+namespace hms::model {
+
+/// Eq. 3: sum over levels of bits-moved x energy-per-bit, split by
+/// loads/stores. Uses the byte counts the hierarchy records per
+/// transaction (fetch granularity = level line/page size, the mechanism
+/// behind the paper's page-size energy results).
+[[nodiscard]] Energy dynamic_energy(const cache::HierarchyProfile& profile);
+
+/// Static power of the whole hierarchy: per-level leakage density x
+/// capacity, plus refresh for DRAM-class levels, zero for NVM
+/// (paper Section III.C).
+[[nodiscard]] Power static_power(const cache::HierarchyProfile& profile,
+                                 const mem::RefreshParams& refresh = {});
+
+/// Eq. 4: static energy = runtime x static power.
+[[nodiscard]] Energy static_energy(const cache::HierarchyProfile& profile,
+                                   Time runtime,
+                                   const mem::RefreshParams& refresh = {});
+
+/// Dynamic + static split for one design evaluation.
+struct EnergyBreakdown {
+  Energy dynamic;
+  Energy leakage;  ///< Eq. 4 static/refresh component
+
+  [[nodiscard]] Energy total() const { return dynamic + leakage; }
+};
+
+[[nodiscard]] EnergyBreakdown energy(const cache::HierarchyProfile& profile,
+                                     Time runtime,
+                                     const mem::RefreshParams& refresh = {});
+
+}  // namespace hms::model

@@ -1,0 +1,53 @@
+#include "hms/model/report.hpp"
+
+#include "hms/common/error.hpp"
+
+namespace hms::model {
+
+ReferenceAnchor make_anchor(const cache::HierarchyProfile& base_profile,
+                            double memory_bound_fraction) {
+  ReferenceAnchor anchor;
+  anchor.amat_ref = amat(base_profile);
+  anchor.runtime_ref =
+      modeled_reference_runtime(base_profile, memory_bound_fraction);
+  return anchor;
+}
+
+DesignReport evaluate(std::string design_name, std::string workload_name,
+                      const cache::HierarchyProfile& profile,
+                      const ReferenceAnchor& anchor,
+                      const mem::RefreshParams& refresh) {
+  DesignReport report;
+  report.design = std::move(design_name);
+  report.workload = std::move(workload_name);
+  report.references = profile.references;
+  report.amat = amat(profile);
+  report.runtime =
+      scaled_runtime(anchor.runtime_ref, anchor.amat_ref, report.amat);
+  const EnergyBreakdown e = energy(profile, report.runtime, refresh);
+  report.dynamic = e.dynamic;
+  report.leakage = e.leakage;
+  return report;
+}
+
+NormalizedReport normalize(const DesignReport& report,
+                           const DesignReport& base) {
+  check(base.runtime.nanoseconds() > 0.0, "normalize: zero base runtime");
+  check(base.total_energy().picojoules() > 0.0,
+        "normalize: zero base energy");
+  NormalizedReport n;
+  n.design = report.design;
+  n.workload = report.workload;
+  n.runtime = report.runtime / base.runtime;
+  n.dynamic = base.dynamic.picojoules() > 0.0
+                  ? report.dynamic / base.dynamic
+                  : 1.0;
+  n.leakage = base.leakage.picojoules() > 0.0
+                  ? report.leakage / base.leakage
+                  : 1.0;
+  n.total_energy = report.total_energy() / base.total_energy();
+  n.edp = report.edp() / base.edp();
+  return n;
+}
+
+}  // namespace hms::model

@@ -1,0 +1,63 @@
+// DesignReport: the full model output for one (design, workload) pair, and
+// its normalization against the base design — the quantity every figure of
+// the paper plots.
+#pragma once
+
+#include <string>
+
+#include "hms/cache/profile.hpp"
+#include "hms/common/units.hpp"
+#include "hms/mem/refresh.hpp"
+#include "hms/model/amat.hpp"
+#include "hms/model/energy.hpp"
+
+namespace hms::model {
+
+struct DesignReport {
+  std::string design;
+  std::string workload;
+  Count references = 0;
+  Time amat;
+  Time runtime;  ///< Eq. 1 scaled wall-clock
+  Energy dynamic;
+  Energy leakage;
+
+  [[nodiscard]] Energy total_energy() const { return dynamic + leakage; }
+  [[nodiscard]] EnergyDelay edp() const { return total_energy() * runtime; }
+};
+
+/// Figure values: everything divided by the base design's report.
+struct NormalizedReport {
+  std::string design;
+  std::string workload;
+  double runtime = 1.0;
+  double dynamic = 1.0;
+  double leakage = 1.0;
+  double total_energy = 1.0;
+  double edp = 1.0;
+};
+
+/// The per-workload baseline every design is compared against: the base
+/// system's AMAT and modeled reference runtime.
+struct ReferenceAnchor {
+  Time amat_ref;
+  Time runtime_ref;
+};
+
+/// Builds the anchor from the base (3-level SRAM + DRAM) profile.
+[[nodiscard]] ReferenceAnchor make_anchor(
+    const cache::HierarchyProfile& base_profile,
+    double memory_bound_fraction);
+
+/// Full evaluation of a design profile against an anchor.
+[[nodiscard]] DesignReport evaluate(std::string design_name,
+                                    std::string workload_name,
+                                    const cache::HierarchyProfile& profile,
+                                    const ReferenceAnchor& anchor,
+                                    const mem::RefreshParams& refresh = {});
+
+/// Ratio of `report` to `base` (base normalizes to all-ones).
+[[nodiscard]] NormalizedReport normalize(const DesignReport& report,
+                                         const DesignReport& base);
+
+}  // namespace hms::model

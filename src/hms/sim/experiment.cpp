@@ -1,0 +1,204 @@
+#include "hms/sim/experiment.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "hms/common/error.hpp"
+#include "hms/sim/parallel.hpp"
+#include "hms/workloads/registry.hpp"
+
+namespace hms::sim {
+
+workloads::WorkloadParams ExperimentConfig::params_for(
+    const workloads::WorkloadInfo& info) const {
+  workloads::WorkloadParams p;
+  p.footprint_bytes =
+      std::max<std::uint64_t>(info.paper_footprint_bytes / footprint_divisor,
+                              1ull << 20);
+  p.seed = seed;
+  p.iterations = iterations;
+  return p;
+}
+
+ExperimentRunner::ExperimentRunner(ExperimentConfig config)
+    : config_(std::move(config)),
+      factory_(config_.scale_divisor, mem::TechnologyRegistry::table1(),
+               config_.design_options),
+      suite_(config_.suite.empty() ? workloads::paper_suite()
+                                   : config_.suite) {}
+
+const FrontCapture& ExperimentRunner::front(const std::string& workload) {
+  auto it = fronts_.find(workload);
+  if (it != fronts_.end()) return it->second;
+  // Instantiate once to read the paper metadata needed for sizing.
+  auto probe = workloads::make_workload(
+      workload, workloads::WorkloadParams{1ull << 20, config_.seed, 1});
+  const auto params = config_.params_for(probe->info());
+  probe.reset();
+  auto capture = capture_front(workload, params, factory_);
+  return fronts_.emplace(workload, std::move(capture)).first->second;
+}
+
+const model::DesignReport& ExperimentRunner::base_report(
+    const std::string& workload) {
+  auto it = base_reports_.find(workload);
+  if (it != base_reports_.end()) return it->second;
+  const FrontCapture& capture = front(workload);
+  auto back = factory_.base_back(capture.footprint_bytes);
+  const auto profile = replay_back(capture, *back);
+  const auto anchor =
+      model::make_anchor(profile, capture.info.memory_bound_fraction);
+  anchors_.emplace(workload, anchor);
+  auto report = model::evaluate("base", workload, profile, anchor);
+  return base_reports_.emplace(workload, std::move(report)).first->second;
+}
+
+const model::ReferenceAnchor& ExperimentRunner::anchor(
+    const std::string& workload) {
+  (void)base_report(workload);  // ensures the anchor is computed
+  return anchors_.at(workload);
+}
+
+WorkloadResult ExperimentRunner::evaluate_back(const std::string& design_name,
+                                               const std::string& workload,
+                                               cache::MemoryHierarchy& back) {
+  const model::DesignReport& base = base_report(workload);
+  const FrontCapture& capture = front(workload);
+  const auto profile = replay_back(capture, back);
+  const auto& anchor = anchors_.at(workload);
+  WorkloadResult result;
+  result.report = model::evaluate(design_name, workload, profile, anchor);
+  result.normalized = model::normalize(result.report, base);
+  return result;
+}
+
+SuiteResult ExperimentRunner::average(
+    std::string config_name, std::vector<WorkloadResult> results) const {
+  check(!results.empty(), "SuiteResult: no workload results");
+  SuiteResult suite;
+  suite.config_name = std::move(config_name);
+  double runtime = 0, dynamic = 0, leakage = 0, total = 0, edp = 0;
+  for (const auto& r : results) {
+    runtime += r.normalized.runtime;
+    dynamic += r.normalized.dynamic;
+    leakage += r.normalized.leakage;
+    total += r.normalized.total_energy;
+    edp += r.normalized.edp;
+  }
+  const double n = static_cast<double>(results.size());
+  suite.runtime = runtime / n;
+  suite.dynamic = dynamic / n;
+  suite.leakage = leakage / n;
+  suite.total_energy = total / n;
+  suite.edp = edp / n;
+  suite.per_workload = std::move(results);
+  return suite;
+}
+
+template <typename Config, typename MakeBack>
+std::vector<SuiteResult> ExperimentRunner::sweep(
+    const std::vector<Config>& configs, const MakeBack& make_back) {
+  // Warm the shared caches serially: front captures and base reports
+  // insert into maps that the parallel tasks then only read.
+  for (const auto& workload : suite_) {
+    (void)base_report(workload);
+  }
+  std::vector<std::vector<WorkloadResult>> grid(
+      configs.size(), std::vector<WorkloadResult>(suite_.size()));
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(configs.size() * suite_.size());
+  for (std::size_t c = 0; c < configs.size(); ++c) {
+    for (std::size_t w = 0; w < suite_.size(); ++w) {
+      tasks.emplace_back([this, &configs, &make_back, &grid, c, w] {
+        const auto& workload = suite_[w];
+        auto back = make_back(configs[c],
+                              fronts_.at(workload).footprint_bytes);
+        grid[c][w] = evaluate_back(configs[c].name, workload, *back);
+      });
+    }
+  }
+  run_parallel(std::move(tasks), config_.threads);
+
+  std::vector<SuiteResult> out;
+  out.reserve(configs.size());
+  for (std::size_t c = 0; c < configs.size(); ++c) {
+    out.push_back(average(configs[c].name, std::move(grid[c])));
+  }
+  return out;
+}
+
+std::vector<SuiteResult> ExperimentRunner::nmm_sweep(
+    mem::Technology nvm, const std::vector<designs::NConfig>& configs) {
+  return sweep(configs,
+               [&](const designs::NConfig& cfg, std::uint64_t footprint) {
+                 return factory_.nvm_main_memory_back(cfg, nvm, footprint);
+               });
+}
+
+std::vector<SuiteResult> ExperimentRunner::four_lc_sweep(
+    mem::Technology l4, const std::vector<designs::EhConfig>& configs) {
+  return sweep(configs,
+               [&](const designs::EhConfig& cfg, std::uint64_t footprint) {
+                 return factory_.four_level_cache_back(cfg, l4, footprint);
+               });
+}
+
+std::vector<SuiteResult> ExperimentRunner::four_lc_nvm_sweep(
+    mem::Technology l4, mem::Technology nvm,
+    const std::vector<designs::EhConfig>& configs) {
+  return sweep(configs,
+               [&](const designs::EhConfig& cfg, std::uint64_t footprint) {
+                 return factory_.four_level_cache_nvm_back(cfg, l4, nvm,
+                                                           footprint);
+               });
+}
+
+std::vector<NdmResult> ExperimentRunner::ndm_oracle(mem::Technology nvm) {
+  std::vector<NdmResult> out;
+  out.reserve(suite_.size());
+  for (const auto& workload : suite_) {
+    const FrontCapture& capture = front(workload);
+    // Profile residual traffic per named range.
+    designs::RangeProfiler profiler(capture.ranges);
+    capture.residual.replay(profiler);
+
+    const auto candidates = designs::merge_ranges(profiler.usages(), 3);
+    // Capacity-constrained oracle: DRAM-resident bytes must fit the NDM
+    // design's fixed DRAM partition (512 MB unscaled).
+    const std::uint64_t dram_capacity =
+        factory_.scaled(designs::kNdmDramCapacity, 4096);
+    auto placements =
+        designs::enumerate_subset_placements(candidates, dram_capacity);
+    // If nothing fits (a single merged range can exceed the remaining
+    // budget), fall back to the placements that leave the least in DRAM.
+    if (std::none_of(placements.begin(), placements.end(),
+                     [](const auto& p) { return p.feasible; })) {
+      std::uint64_t least = std::numeric_limits<std::uint64_t>::max();
+      for (const auto& p : placements) least = std::min(least, p.dram_bytes);
+      for (auto& p : placements) p.feasible = p.dram_bytes == least;
+    }
+
+    NdmResult ndm;
+    ndm.workload = workload;
+    double best_edp = std::numeric_limits<double>::infinity();
+    for (const auto& placement : placements) {
+      auto back = factory_.nvm_plus_dram_back(nvm, placement.nvm_rules,
+                                              capture.footprint_bytes);
+      auto result = evaluate_back("NDM-" + placement.name, workload, *back);
+      ndm.all_placements.emplace_back(placement, result.normalized);
+      // Oracle choice: best EDP among feasible placements that use NVM.
+      if (placement.feasible && !placement.nvm_rules.empty() &&
+          result.normalized.edp < best_edp) {
+        best_edp = result.normalized.edp;
+        ndm.chosen = placement;
+        ndm.result = std::move(result);
+      }
+    }
+    check(!ndm.chosen.nvm_rules.empty(),
+          "ndm_oracle: no feasible non-trivial placement");
+    out.push_back(std::move(ndm));
+  }
+  return out;
+}
+
+}  // namespace hms::sim

@@ -1,0 +1,139 @@
+// ExperimentRunner: the harness behind every figure bench.
+//
+// Caches one front capture per workload (the L1-L3 pass is identical across
+// all designs), evaluates design backs by replaying the residual stream,
+// and aggregates per-workload normalized reports into the suite averages
+// the paper's figures plot.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hms/designs/configs.hpp"
+#include "hms/designs/design.hpp"
+#include "hms/designs/partition.hpp"
+#include "hms/model/report.hpp"
+#include "hms/sim/simulator.hpp"
+
+namespace hms::sim {
+
+struct ExperimentConfig {
+  /// Capacity scale divisor applied to every cache/DRAM size (power of 2).
+  std::uint64_t scale_divisor = 64;
+  /// Workload footprints = paper Table 4 footprint / footprint_divisor.
+  /// Keeping both divisors equal preserves footprint/capacity ratios.
+  std::uint64_t footprint_divisor = 64;
+  std::uint64_t seed = 42;
+  std::uint32_t iterations = 1;
+  /// Workloads to evaluate; defaults to the paper suite.
+  std::vector<std::string> suite;
+  designs::DesignOptions design_options;
+  /// Worker threads for config sweeps (0 = hardware concurrency).
+  unsigned threads = 0;
+
+  [[nodiscard]] workloads::WorkloadParams params_for(
+      const workloads::WorkloadInfo& info) const;
+};
+
+/// Per-workload evaluation of one design configuration.
+struct WorkloadResult {
+  model::DesignReport report;
+  model::NormalizedReport normalized;
+};
+
+/// Suite-level (averaged) evaluation of one design configuration — one bar
+/// of a paper figure.
+struct SuiteResult {
+  std::string config_name;
+  /// Arithmetic means of per-workload normalized values (the paper's
+  /// "average of normalized X of all benchmarks").
+  double runtime = 1.0;
+  double dynamic = 1.0;
+  double leakage = 1.0;
+  double total_energy = 1.0;
+  double edp = 1.0;
+  std::vector<WorkloadResult> per_workload;
+};
+
+/// One NDM oracle evaluation for a workload.
+struct NdmResult {
+  std::string workload;
+  designs::Placement chosen;
+  WorkloadResult result;
+  /// Every evaluated placement, including the all-DRAM anchor.
+  std::vector<std::pair<designs::Placement, model::NormalizedReport>>
+      all_placements;
+};
+
+/// See file comment.
+class ExperimentRunner {
+ public:
+  explicit ExperimentRunner(ExperimentConfig config);
+
+  [[nodiscard]] const ExperimentConfig& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] const designs::DesignFactory& factory() const noexcept {
+    return factory_;
+  }
+  [[nodiscard]] const std::vector<std::string>& suite() const noexcept {
+    return suite_;
+  }
+
+  /// Front capture for a workload (simulated on first use, then cached).
+  const FrontCapture& front(const std::string& workload);
+
+  /// Base-design report for a workload (cached).
+  const model::DesignReport& base_report(const std::string& workload);
+
+  /// The Eq. 1 reference anchor for a workload (computes the base report
+  /// on first use).
+  const model::ReferenceAnchor& anchor(const std::string& workload);
+
+  /// Evaluates a design back for one workload.
+  [[nodiscard]] WorkloadResult evaluate_back(
+      const std::string& design_name, const std::string& workload,
+      cache::MemoryHierarchy& back);
+
+  // -- Figure sweeps ------------------------------------------------------
+
+  /// Fig. 1-2: NMM with `nvm` main memory, one SuiteResult per N config.
+  [[nodiscard]] std::vector<SuiteResult> nmm_sweep(
+      mem::Technology nvm, const std::vector<designs::NConfig>& configs);
+
+  /// Fig. 3-4: 4LC with `l4` LLC, one SuiteResult per EH config.
+  [[nodiscard]] std::vector<SuiteResult> four_lc_sweep(
+      mem::Technology l4, const std::vector<designs::EhConfig>& configs);
+
+  /// Fig. 5-6: 4LCNVM, one SuiteResult per EH config.
+  [[nodiscard]] std::vector<SuiteResult> four_lc_nvm_sweep(
+      mem::Technology l4, mem::Technology nvm,
+      const std::vector<designs::EhConfig>& configs);
+
+  /// Fig. 7-8: NDM oracle, one result per workload.
+  [[nodiscard]] std::vector<NdmResult> ndm_oracle(mem::Technology nvm);
+
+ private:
+  [[nodiscard]] SuiteResult average(std::string config_name,
+                                    std::vector<WorkloadResult> results) const;
+
+  /// Shared sweep driver: warms every workload's front and base report
+  /// serially (they mutate the caches), then evaluates the config x
+  /// workload grid with `config_.threads` workers — each task builds its
+  /// own back hierarchy and only reads the shared caches.
+  template <typename Config, typename MakeBack>
+  [[nodiscard]] std::vector<SuiteResult> sweep(
+      const std::vector<Config>& configs, const MakeBack& make_back);
+
+  ExperimentConfig config_;
+  designs::DesignFactory factory_;
+  std::vector<std::string> suite_;
+  std::map<std::string, FrontCapture> fronts_;
+  std::map<std::string, model::DesignReport> base_reports_;
+  std::map<std::string, model::ReferenceAnchor> anchors_;
+};
+
+}  // namespace hms::sim

@@ -1,0 +1,90 @@
+#include "hms/sim/heatmap.hpp"
+
+#include "hms/common/error.hpp"
+#include "hms/mem/technology.hpp"
+
+namespace hms::sim {
+
+HeatMapper::HeatMapper(std::vector<HeatMapInput> inputs)
+    : inputs_(std::move(inputs)) {
+  check(!inputs_.empty(), "HeatMapper: no inputs");
+}
+
+std::vector<double> HeatMapper::default_multipliers() {
+  return {1.0, 2.0, 3.0, 5.0, 8.0, 10.0, 15.0, 20.0};
+}
+
+cache::HierarchyProfile HeatMapper::repriced(
+    const cache::HierarchyProfile& profile, double read_latency_mult,
+    double write_latency_mult, double read_energy_mult,
+    double write_energy_mult) {
+  const auto& dram =
+      mem::TechnologyRegistry::table1().get(mem::Technology::DRAM);
+  cache::HierarchyProfile out = profile;
+  bool found = false;
+  for (auto& level : out.levels) {
+    if (level.is_cache) continue;
+    // Hypothetical memory: DRAM scaled, non-volatile-like static profile
+    // (the paper's NVM assumption: no static power).
+    level.tech.read_latency = dram.read_latency * read_latency_mult;
+    level.tech.write_latency = dram.write_latency * write_latency_mult;
+    level.tech.read_pj_per_bit = dram.read_pj_per_bit * read_energy_mult;
+    level.tech.write_pj_per_bit = dram.write_pj_per_bit * write_energy_mult;
+    level.tech.non_volatile = true;
+    level.tech.static_power_per_mib = Power::from_mw(0.0);
+    found = true;
+  }
+  check(found, "HeatMapper: profile has no terminal memory level");
+  return out;
+}
+
+HeatMapGrid HeatMapper::runtime_map(
+    const std::vector<double>& read_multipliers,
+    const std::vector<double>& write_multipliers) const {
+  HeatMapGrid grid;
+  grid.read_multipliers = read_multipliers;
+  grid.write_multipliers = write_multipliers;
+  grid.values.assign(write_multipliers.size(),
+                     std::vector<double>(read_multipliers.size(), 0.0));
+  for (std::size_t w = 0; w < write_multipliers.size(); ++w) {
+    for (std::size_t r = 0; r < read_multipliers.size(); ++r) {
+      double sum = 0.0;
+      for (const auto& input : inputs_) {
+        const auto p = repriced(input.profile, read_multipliers[r],
+                                write_multipliers[w], 1.0, 1.0);
+        const auto report =
+            model::evaluate("heatmap", input.workload, p, input.anchor);
+        sum += report.runtime / input.base.runtime;
+      }
+      grid.values[w][r] = sum / static_cast<double>(inputs_.size());
+    }
+  }
+  return grid;
+}
+
+HeatMapGrid HeatMapper::energy_map(
+    const std::vector<double>& read_multipliers,
+    const std::vector<double>& write_multipliers) const {
+  HeatMapGrid grid;
+  grid.read_multipliers = read_multipliers;
+  grid.write_multipliers = write_multipliers;
+  grid.values.assign(write_multipliers.size(),
+                     std::vector<double>(read_multipliers.size(), 0.0));
+  for (std::size_t w = 0; w < write_multipliers.size(); ++w) {
+    for (std::size_t r = 0; r < read_multipliers.size(); ++r) {
+      double sum = 0.0;
+      for (const auto& input : inputs_) {
+        // Latency stays at DRAM parity; only energy-per-bit scales.
+        const auto p = repriced(input.profile, 1.0, 1.0,
+                                read_multipliers[r], write_multipliers[w]);
+        const auto report =
+            model::evaluate("heatmap", input.workload, p, input.anchor);
+        sum += report.total_energy() / input.base.total_energy();
+      }
+      grid.values[w][r] = sum / static_cast<double>(inputs_.size());
+    }
+  }
+  return grid;
+}
+
+}  // namespace hms::sim

@@ -1,0 +1,71 @@
+// HeatMapper — Figures 9 and 10.
+//
+// The paper generalizes its NMM results by re-pricing the captured NMM
+// execution profile (512 MB DRAM cache, 512 B pages) under a hypothetical
+// main memory whose read/write latency (Fig. 9) or read/write energy
+// (Fig. 10) is a multiple of DRAM's. Because the AMAT and energy models are
+// linear in the per-level counts, no re-simulation is needed: each cell is
+// an analytic re-evaluation of the same profile (DESIGN.md §5).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hms/cache/profile.hpp"
+#include "hms/model/report.hpp"
+
+namespace hms::sim {
+
+/// One captured (design profile, base report, anchor) triple per workload.
+struct HeatMapInput {
+  std::string workload;
+  cache::HierarchyProfile profile;  ///< NMM design profile
+  model::ReferenceAnchor anchor;
+  model::DesignReport base;
+};
+
+/// A dense multiplier grid with row = write multiplier, col = read
+/// multiplier (matching the paper's axes).
+struct HeatMapGrid {
+  std::vector<double> read_multipliers;
+  std::vector<double> write_multipliers;
+  /// values[w][r]: suite-average normalized runtime or energy.
+  std::vector<std::vector<double>> values;
+
+  [[nodiscard]] double at(std::size_t w, std::size_t r) const {
+    return values.at(w).at(r);
+  }
+};
+
+/// See file comment.
+class HeatMapper {
+ public:
+  explicit HeatMapper(std::vector<HeatMapInput> inputs);
+
+  /// Fig. 9: normalized runtime when the terminal memory's read/write
+  /// latency is (read_mult, write_mult) x DRAM latency.
+  [[nodiscard]] HeatMapGrid runtime_map(
+      const std::vector<double>& read_multipliers,
+      const std::vector<double>& write_multipliers) const;
+
+  /// Fig. 10: normalized total energy when the terminal memory's
+  /// read/write energy-per-bit is (read_mult, write_mult) x DRAM's.
+  [[nodiscard]] HeatMapGrid energy_map(
+      const std::vector<double>& read_multipliers,
+      const std::vector<double>& write_multipliers) const;
+
+  /// The paper's published multiplier axis (1x..20x).
+  [[nodiscard]] static std::vector<double> default_multipliers();
+
+ private:
+  /// Returns the profile with its terminal (non-cache) level's technology
+  /// replaced by scaled-DRAM parameters.
+  [[nodiscard]] static cache::HierarchyProfile repriced(
+      const cache::HierarchyProfile& profile, double read_latency_mult,
+      double write_latency_mult, double read_energy_mult,
+      double write_energy_mult);
+
+  std::vector<HeatMapInput> inputs_;
+};
+
+}  // namespace hms::sim

@@ -1,0 +1,20 @@
+// Minimal work pool for parallel config x workload sweeps.
+//
+// Every simulation object (hierarchy, workload, profile) is thread-confined;
+// tasks share nothing and results are merged after join, so a plain
+// atomic-counter worker loop suffices (no work stealing, no futures).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace hms::sim {
+
+/// Runs every task, distributing them over `threads` worker threads
+/// (0 = std::thread::hardware_concurrency). Exceptions thrown by tasks are
+/// collected; the first one is rethrown after all workers join.
+void run_parallel(std::vector<std::function<void()>> tasks,
+                  unsigned threads = 0);
+
+}  // namespace hms::sim

@@ -1,0 +1,34 @@
+#include "hms/sim/simulator.hpp"
+
+namespace hms::sim {
+
+cache::HierarchyProfile simulate(workloads::Workload& workload,
+                                 cache::MemoryHierarchy& h) {
+  workload.run(h);
+  return h.profile();
+}
+
+FrontCapture capture_front(const std::string& workload_name,
+                           const workloads::WorkloadParams& params,
+                           const designs::DesignFactory& factory) {
+  FrontCapture capture;
+  capture.workload_name = workload_name;
+  auto workload = workloads::make_workload(workload_name, params);
+  capture.info = workload->info();
+  capture.footprint_bytes = workload->footprint_bytes();
+  capture.ranges = workload->address_space().ranges();
+
+  auto front = factory.front(capture.residual);
+  workload->run(*front);
+  capture.front_profile = front->profile();
+  return capture;
+}
+
+cache::HierarchyProfile replay_back(const FrontCapture& capture,
+                                    cache::MemoryHierarchy& back) {
+  capture.residual.replay(back);
+  return cache::HierarchyProfile::combine(capture.front_profile,
+                                          back.profile());
+}
+
+}  // namespace hms::sim

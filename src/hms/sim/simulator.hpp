@@ -1,0 +1,44 @@
+// Simulator: executes a workload online against a hierarchy, and the
+// front/back capture utilities behind the experiment runner.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hms/cache/hierarchy.hpp"
+#include "hms/designs/design.hpp"
+#include "hms/trace/trace_buffer.hpp"
+#include "hms/workloads/registry.hpp"
+#include "hms/workloads/workload.hpp"
+
+namespace hms::sim {
+
+/// Runs `workload` directly into `hierarchy` (full online simulation) and
+/// returns the hierarchy's profile.
+[[nodiscard]] cache::HierarchyProfile simulate(workloads::Workload& workload,
+                                               cache::MemoryHierarchy& h);
+
+/// Everything the experiment layer needs from one front (L1-L3) pass of a
+/// workload: the residual stream, the front profile, and workload metadata.
+struct FrontCapture {
+  std::string workload_name;
+  workloads::WorkloadInfo info;
+  std::uint64_t footprint_bytes = 0;
+  std::vector<workloads::AddressRange> ranges;  ///< for the NDM oracle
+  cache::HierarchyProfile front_profile;
+  trace::TraceBuffer residual;  ///< post-L3 loads + dirty write-backs
+};
+
+/// Instantiates the named workload, runs it through the factory's L1-L3
+/// front once, and captures the residual stream.
+[[nodiscard]] FrontCapture capture_front(
+    const std::string& workload_name, const workloads::WorkloadParams& params,
+    const designs::DesignFactory& factory);
+
+/// Replays a capture's residual stream into a design's back hierarchy and
+/// returns the combined (front + back) profile.
+[[nodiscard]] cache::HierarchyProfile replay_back(
+    const FrontCapture& capture, cache::MemoryHierarchy& back);
+
+}  // namespace hms::sim

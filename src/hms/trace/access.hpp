@@ -1,0 +1,33 @@
+// The memory reference record that flows from instrumented workloads into
+// the cache simulator — the analog of the PEBIL-captured address stream
+// (paper Section III.B).
+#pragma once
+
+#include <cstdint>
+
+#include "hms/common/types.hpp"
+
+namespace hms::trace {
+
+/// One memory reference as issued by the (simulated) core.
+struct MemoryAccess {
+  Address address = 0;
+  std::uint32_t size = 8;  ///< bytes touched by the instruction
+  AccessType type = AccessType::Load;
+  CoreId core = 0;
+
+  friend constexpr bool operator==(const MemoryAccess&,
+                                   const MemoryAccess&) = default;
+};
+
+[[nodiscard]] constexpr MemoryAccess load(Address a, std::uint32_t size = 8,
+                                          CoreId core = 0) {
+  return MemoryAccess{a, size, AccessType::Load, core};
+}
+
+[[nodiscard]] constexpr MemoryAccess store(Address a, std::uint32_t size = 8,
+                                           CoreId core = 0) {
+  return MemoryAccess{a, size, AccessType::Store, core};
+}
+
+}  // namespace hms::trace

@@ -1,0 +1,38 @@
+#include "hms/trace/filters.hpp"
+
+#include <algorithm>
+
+#include "hms/common/bitops.hpp"
+
+namespace hms::trace {
+
+LineSplitFilter::LineSplitFilter(AccessSink& downstream,
+                                 std::uint64_t line_size)
+    : downstream_(&downstream), line_size_(line_size) {
+  check_config(is_pow2(line_size),
+               "LineSplitFilter: line size must be a power of two");
+}
+
+void LineSplitFilter::access(const MemoryAccess& a) {
+  const Address first_line = align_down(a.address, line_size_);
+  const Address last_line = align_down(a.address + a.size - 1, line_size_);
+  if (first_line == last_line) {
+    downstream_->access(a);
+    return;
+  }
+  Address addr = a.address;
+  std::uint64_t remaining = a.size;
+  while (remaining > 0) {
+    const Address line_end = align_down(addr, line_size_) + line_size_;
+    const std::uint64_t chunk = std::min<std::uint64_t>(remaining,
+                                                        line_end - addr);
+    MemoryAccess piece = a;
+    piece.address = addr;
+    piece.size = static_cast<std::uint32_t>(chunk);
+    downstream_->access(piece);
+    addr += chunk;
+    remaining -= chunk;
+  }
+}
+
+}  // namespace hms::trace

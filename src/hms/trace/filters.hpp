@@ -1,0 +1,91 @@
+// Stream filters: composable AccessSink adapters.
+#pragma once
+
+#include <cstdint>
+
+#include "hms/common/error.hpp"
+#include "hms/trace/sink.hpp"
+
+namespace hms::trace {
+
+/// Forwards every Nth reference (systematic sampling). Sampling a stream
+/// distorts locality, so this is only intended for quick profiling passes,
+/// never for the figure benches.
+class SamplingFilter final : public AccessSink {
+ public:
+  SamplingFilter(AccessSink& downstream, std::uint64_t period)
+      : downstream_(&downstream), period_(period) {
+    check(period > 0, "SamplingFilter: period must be positive");
+  }
+
+  void access(const MemoryAccess& a) override {
+    if (counter_++ % period_ == 0) downstream_->access(a);
+  }
+
+ private:
+  AccessSink* downstream_;
+  std::uint64_t period_;
+  std::uint64_t counter_ = 0;
+};
+
+/// Forwards only references inside [base, base+length).
+class RangeFilter final : public AccessSink {
+ public:
+  RangeFilter(AccessSink& downstream, Address base, std::uint64_t length)
+      : downstream_(&downstream), base_(base), end_(base + length) {}
+
+  void access(const MemoryAccess& a) override {
+    if (a.address >= base_ && a.address < end_) downstream_->access(a);
+  }
+
+  [[nodiscard]] Address base() const noexcept { return base_; }
+  [[nodiscard]] Address end() const noexcept { return end_; }
+
+ private:
+  AccessSink* downstream_;
+  Address base_;
+  Address end_;
+};
+
+/// Caps the stream at `limit` references, then drops the rest. Lets a bench
+/// bound simulation cost for very long kernels (the paper reduced iteration
+/// counts for the same reason).
+class TruncateFilter final : public AccessSink {
+ public:
+  TruncateFilter(AccessSink& downstream, std::uint64_t limit)
+      : downstream_(&downstream), limit_(limit) {}
+
+  void access(const MemoryAccess& a) override {
+    if (forwarded_ < limit_) {
+      downstream_->access(a);
+      ++forwarded_;
+    } else {
+      ++dropped_;
+    }
+  }
+
+  [[nodiscard]] std::uint64_t forwarded() const noexcept { return forwarded_; }
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+
+ private:
+  AccessSink* downstream_;
+  std::uint64_t limit_;
+  std::uint64_t forwarded_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+/// Splits references that straddle a line boundary into per-line references.
+/// Guarantees downstream consumers (caches) that every access touches one
+/// line of the given width only.
+class LineSplitFilter final : public AccessSink {
+ public:
+  LineSplitFilter(AccessSink& downstream, std::uint64_t line_size);
+
+  void access(const MemoryAccess& a) override;
+
+ private:
+  AccessSink* downstream_;
+  std::uint64_t line_size_;
+};
+
+}  // namespace hms::trace

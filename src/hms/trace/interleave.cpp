@@ -1,0 +1,31 @@
+#include "hms/trace/interleave.hpp"
+
+#include <vector>
+
+#include "hms/common/error.hpp"
+
+namespace hms::trace {
+
+void interleave(std::span<const TraceBuffer* const> streams, AccessSink& sink,
+                const InterleaveOptions& options) {
+  check(options.burst > 0, "interleave: burst must be positive");
+  std::vector<std::size_t> cursor(streams.size(), 0);
+  bool any = true;
+  while (any) {
+    any = false;
+    for (std::size_t s = 0; s < streams.size(); ++s) {
+      auto entries = streams[s]->entries();
+      for (std::uint32_t b = 0;
+           b < options.burst && cursor[s] < entries.size(); ++b) {
+        MemoryAccess a = entries[cursor[s]++];
+        a.core = static_cast<CoreId>(s);
+        a.address += options.region_stride * s;
+        sink.access(a);
+        any = true;
+      }
+      if (cursor[s] < entries.size()) any = true;
+    }
+  }
+}
+
+}  // namespace hms::trace

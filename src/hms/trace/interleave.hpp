@@ -1,0 +1,29 @@
+// Round-robin interleaving of per-core streams into one stream, used to
+// emulate multi-core pressure on shared levels. Each input stream is tagged
+// with its core id; addresses are optionally offset into disjoint per-core
+// regions (the paper evaluates capacity *per core*).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "hms/trace/sink.hpp"
+#include "hms/trace/trace_buffer.hpp"
+
+namespace hms::trace {
+
+struct InterleaveOptions {
+  /// References taken from one stream before rotating to the next.
+  std::uint32_t burst = 1;
+  /// If nonzero, core i's addresses are rebased by i * region_stride so the
+  /// cores occupy disjoint address regions.
+  std::uint64_t region_stride = 0;
+};
+
+/// Merges `streams` round-robin into `sink`, tagging accesses with the
+/// stream's index as core id. Streams of different lengths are drained in
+/// rotation until all are exhausted. Throws hms::Error if burst == 0.
+void interleave(std::span<const TraceBuffer* const> streams, AccessSink& sink,
+                const InterleaveOptions& options = {});
+
+}  // namespace hms::trace

@@ -1,0 +1,87 @@
+// AccessSink: the online consumption interface. Workload kernels emit each
+// reference into a sink as they execute, so no full trace is ever required
+// on disk — the paper's central framework property (Section III.B).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hms/trace/access.hpp"
+
+namespace hms::trace {
+
+/// Consumer of a memory reference stream. Implemented by the cache
+/// hierarchy, trace recorders, statistics collectors, and filters.
+class AccessSink {
+ public:
+  virtual ~AccessSink() = default;
+
+  /// Consumes one reference. Called once per simulated memory instruction,
+  /// in program order.
+  virtual void access(const MemoryAccess& a) = 0;
+};
+
+/// Discards everything; useful to measure generator-only cost.
+class NullSink final : public AccessSink {
+ public:
+  void access(const MemoryAccess&) override {}
+};
+
+/// Counts loads/stores and bytes; the cheapest useful sink.
+class CountingSink final : public AccessSink {
+ public:
+  void access(const MemoryAccess& a) override {
+    if (a.type == AccessType::Load) {
+      ++loads_;
+    } else {
+      ++stores_;
+    }
+    bytes_ += a.size;
+  }
+
+  [[nodiscard]] Count loads() const noexcept { return loads_; }
+  [[nodiscard]] Count stores() const noexcept { return stores_; }
+  [[nodiscard]] Count total() const noexcept { return loads_ + stores_; }
+  [[nodiscard]] std::uint64_t bytes() const noexcept { return bytes_; }
+
+ private:
+  Count loads_ = 0;
+  Count stores_ = 0;
+  std::uint64_t bytes_ = 0;
+};
+
+/// Forwards to a rebindable target; drops accesses while unbound. Lets
+/// long-lived producers (instrumented arrays) bind to the consumer only for
+/// the duration of a run.
+class ForwardingSink final : public AccessSink {
+ public:
+  void bind(AccessSink& target) noexcept { target_ = &target; }
+  void unbind() noexcept { target_ = nullptr; }
+  [[nodiscard]] bool bound() const noexcept { return target_ != nullptr; }
+
+  void access(const MemoryAccess& a) override {
+    if (target_ != nullptr) target_->access(a);
+  }
+
+ private:
+  AccessSink* target_ = nullptr;
+};
+
+/// Duplicates a stream into several sinks — this is how one workload
+/// execution drives many design configurations simultaneously (online
+/// multi-configuration simulation).
+class TeeSink final : public AccessSink {
+ public:
+  void add(AccessSink& sink) { sinks_.push_back(&sink); }
+
+  void access(const MemoryAccess& a) override {
+    for (auto* s : sinks_) s->access(a);
+  }
+
+  [[nodiscard]] std::size_t fan_out() const noexcept { return sinks_.size(); }
+
+ private:
+  std::vector<AccessSink*> sinks_;
+};
+
+}  // namespace hms::trace

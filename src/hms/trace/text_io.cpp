@@ -1,0 +1,61 @@
+#include "hms/trace/text_io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "hms/common/error.hpp"
+#include "hms/common/string_util.hpp"
+
+namespace hms::trace {
+
+std::string to_text(const MemoryAccess& a) {
+  std::ostringstream oss;
+  oss << (a.type == AccessType::Store ? 'S' : 'L') << " 0x" << std::hex
+      << a.address << std::dec << ' ' << a.size;
+  if (a.core != 0) oss << ' ' << a.core;
+  return oss.str();
+}
+
+void write_text_trace(std::ostream& out, const TraceBuffer& buffer) {
+  out << "# hms text trace, " << buffer.size() << " accesses\n";
+  for (const auto& a : buffer.entries()) {
+    out << to_text(a) << '\n';
+  }
+  if (!out) throw TraceError("text trace: write failed");
+}
+
+TraceBuffer read_text_trace(std::istream& in) {
+  TraceBuffer buffer;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string_view trimmed = trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    std::istringstream fields{std::string(trimmed)};
+    std::string kind, address_text;
+    std::uint64_t size = 0;
+    std::uint64_t core = 0;
+    fields >> kind >> address_text >> size;
+    if (fields.fail() || (kind != "L" && kind != "S") || size == 0) {
+      throw TraceError("text trace: malformed line " +
+                       std::to_string(line_no) + ": " + line);
+    }
+    fields >> core;  // optional
+    MemoryAccess a;
+    try {
+      a.address = std::stoull(address_text, nullptr, 0);
+    } catch (const std::exception&) {
+      throw TraceError("text trace: bad address on line " +
+                       std::to_string(line_no));
+    }
+    a.size = static_cast<std::uint32_t>(size);
+    a.type = kind == "S" ? AccessType::Store : AccessType::Load;
+    a.core = static_cast<CoreId>(core);
+    buffer.access(a);
+  }
+  return buffer;
+}
+
+}  // namespace hms::trace

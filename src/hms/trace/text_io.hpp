@@ -1,0 +1,27 @@
+// Human-readable trace format for debugging and tool interchange.
+//
+// One record per line: "<L|S> <hex address> <size> [core]", '#' comments
+// and blank lines ignored, e.g.
+//   # residual stream, CG seed 42
+//   L 0x10000040 64
+//   S 0x10000080 64 1
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "hms/trace/trace_buffer.hpp"
+
+namespace hms::trace {
+
+/// Writes one line per access. Throws hms::TraceError on stream failure.
+void write_text_trace(std::ostream& out, const TraceBuffer& buffer);
+
+/// Parses a text trace; throws hms::TraceError with the offending line
+/// number on malformed input.
+[[nodiscard]] TraceBuffer read_text_trace(std::istream& in);
+
+/// Formats a single access as its text-trace line (no newline).
+[[nodiscard]] std::string to_text(const MemoryAccess& a);
+
+}  // namespace hms::trace

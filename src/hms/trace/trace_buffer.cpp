@@ -1,0 +1,34 @@
+#include "hms/trace/trace_buffer.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "hms/common/bitops.hpp"
+
+namespace hms::trace {
+
+Count TraceBuffer::loads() const noexcept {
+  return static_cast<Count>(
+      std::count_if(accesses_.begin(), accesses_.end(), [](const auto& a) {
+        return a.type == AccessType::Load;
+      }));
+}
+
+Count TraceBuffer::stores() const noexcept {
+  return static_cast<Count>(accesses_.size()) - loads();
+}
+
+std::size_t TraceBuffer::footprint_lines(std::uint64_t line_size) const {
+  std::unordered_set<Address> lines;
+  lines.reserve(accesses_.size() / 4 + 1);
+  for (const auto& a : accesses_) {
+    const Address first = align_down(a.address, line_size);
+    const Address last = align_down(a.address + a.size - 1, line_size);
+    for (Address line = first; line <= last; line += line_size) {
+      lines.insert(line);
+    }
+  }
+  return lines.size();
+}
+
+}  // namespace hms::trace

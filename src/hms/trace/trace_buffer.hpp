@@ -1,0 +1,51 @@
+// In-memory trace recording and replay.
+//
+// Used for the front/back split (DESIGN.md §5): the residual stream behind
+// the fixed L1–L3 front is small, so it is recorded once per workload and
+// replayed into every design configuration.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "hms/trace/access.hpp"
+#include "hms/trace/sink.hpp"
+
+namespace hms::trace {
+
+/// Records a stream into memory; replayable any number of times.
+class TraceBuffer final : public AccessSink {
+ public:
+  TraceBuffer() = default;
+  explicit TraceBuffer(std::vector<MemoryAccess> accesses)
+      : accesses_(std::move(accesses)) {}
+
+  void access(const MemoryAccess& a) override { accesses_.push_back(a); }
+
+  void reserve(std::size_t n) { accesses_.reserve(n); }
+  void clear() noexcept { accesses_.clear(); }
+
+  [[nodiscard]] bool empty() const noexcept { return accesses_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return accesses_.size(); }
+  [[nodiscard]] std::span<const MemoryAccess> entries() const noexcept {
+    return accesses_;
+  }
+
+  /// Feeds the recorded stream, in order, into `sink`.
+  void replay(AccessSink& sink) const {
+    for (const auto& a : accesses_) sink.access(a);
+  }
+
+  /// Summary statistics of the recorded stream.
+  [[nodiscard]] Count loads() const noexcept;
+  [[nodiscard]] Count stores() const noexcept;
+  /// Number of distinct cache lines of width `line_size` touched —
+  /// the stream's footprint at that granularity.
+  [[nodiscard]] std::size_t footprint_lines(std::uint64_t line_size) const;
+
+ private:
+  std::vector<MemoryAccess> accesses_;
+};
+
+}  // namespace hms::trace

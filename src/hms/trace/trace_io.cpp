@@ -1,0 +1,116 @@
+#include "hms/trace/trace_io.hpp"
+
+#include <array>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "hms/common/error.hpp"
+
+namespace hms::trace {
+
+namespace {
+
+constexpr std::array<char, 4> kMagic = {'H', 'M', 'S', 'T'};
+constexpr std::uint32_t kVersion = 1;
+
+void put_varint(std::ostream& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    const char byte = static_cast<char>((v & 0x7f) | 0x80);
+    out.put(byte);
+    v >>= 7;
+  }
+  out.put(static_cast<char>(v));
+}
+
+std::uint64_t get_varint(std::istream& in) {
+  std::uint64_t v = 0;
+  int shift = 0;
+  while (true) {
+    const int c = in.get();
+    if (c == std::char_traits<char>::eof()) {
+      throw TraceError("trace: truncated varint");
+    }
+    v |= static_cast<std::uint64_t>(c & 0x7f) << shift;
+    if ((c & 0x80) == 0) break;
+    shift += 7;
+    if (shift >= 64) throw TraceError("trace: varint too long");
+  }
+  return v;
+}
+
+std::uint64_t zigzag(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+std::int64_t unzigzag(std::uint64_t v) {
+  return static_cast<std::int64_t>(v >> 1) ^ -static_cast<std::int64_t>(v & 1);
+}
+
+}  // namespace
+
+void write_trace(std::ostream& out, const TraceBuffer& buffer) {
+  out.write(kMagic.data(), kMagic.size());
+  std::uint32_t version = kVersion;
+  out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+  const std::uint64_t count = buffer.size();
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+
+  Address prev = 0;
+  for (const auto& a : buffer.entries()) {
+    const auto delta =
+        static_cast<std::int64_t>(a.address) - static_cast<std::int64_t>(prev);
+    put_varint(out, zigzag(delta));
+    put_varint(out, a.size);
+    const std::uint64_t meta =
+        (static_cast<std::uint64_t>(a.core) << 1) |
+        (a.type == AccessType::Store ? 1u : 0u);
+    put_varint(out, meta);
+    prev = a.address;
+  }
+  if (!out) throw TraceError("trace: write failed");
+}
+
+TraceBuffer read_trace(std::istream& in) {
+  std::array<char, 4> magic{};
+  in.read(magic.data(), magic.size());
+  if (!in || magic != kMagic) throw TraceError("trace: bad magic");
+  std::uint32_t version = 0;
+  in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  if (!in || version != kVersion) throw TraceError("trace: bad version");
+  std::uint64_t count = 0;
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!in) throw TraceError("trace: truncated header");
+
+  std::vector<MemoryAccess> accesses;
+  accesses.reserve(count);
+  Address prev = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    MemoryAccess a;
+    const std::int64_t delta = unzigzag(get_varint(in));
+    a.address = static_cast<Address>(static_cast<std::int64_t>(prev) + delta);
+    a.size = static_cast<std::uint32_t>(get_varint(in));
+    const std::uint64_t meta = get_varint(in);
+    a.type = (meta & 1) ? AccessType::Store : AccessType::Load;
+    a.core = static_cast<CoreId>(meta >> 1);
+    prev = a.address;
+    accesses.push_back(a);
+  }
+  return TraceBuffer(std::move(accesses));
+}
+
+void save_trace(const std::string& path, const TraceBuffer& buffer) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw TraceError("trace: cannot open for write: " + path);
+  write_trace(out, buffer);
+}
+
+TraceBuffer load_trace(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw TraceError("trace: cannot open for read: " + path);
+  return read_trace(in);
+}
+
+}  // namespace hms::trace

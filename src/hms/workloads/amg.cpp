@@ -1,0 +1,248 @@
+#include "hms/workloads/amg.hpp"
+
+#include <cmath>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "hms/common/error.hpp"
+#include "hms/workloads/workload_base.hpp"
+
+namespace hms::workloads {
+
+namespace {
+
+// Doubles per fine cell across the level hierarchy: x, b, r per level with
+// level sizes n^3 * (1 + 1/8 + 1/64 + ...) ~ 8/7 n^3; ~3 * 8/7 ~ 3.43
+// arrays of 8 bytes.
+constexpr double kBytesPerFineCell = 3.0 * 8.0 * 8.0 / 7.0;
+
+struct Level {
+  std::size_t n = 0;  ///< grid side
+  std::unique_ptr<Array<double>> x;
+  std::unique_ptr<Array<double>> b;
+  std::unique_ptr<Array<double>> r;
+};
+
+class AmgWorkload final : public WorkloadBase {
+ public:
+  explicit AmgWorkload(const WorkloadParams& params)
+      : WorkloadBase(
+            WorkloadInfo{
+                .name = "AMG2013",
+                .suite = "CORAL",
+                .inputs = "-r 72 72 72 -P 1 1 1 -pooldist 1",
+                .paper_footprint_bytes = 3072ull << 20,  // 3 GB
+                .paper_reference_seconds = 156.3,
+                .memory_bound_fraction = 0.60,
+            },
+            params) {
+    std::size_t n = fine_side(params.footprint_bytes);
+    int level_id = 0;
+    while (n >= 4) {
+      Level level;
+      level.n = n;
+      const std::size_t cells = n * n * n;
+      const std::string tag = "L" + std::to_string(level_id);
+      level.x = std::make_unique<Array<double>>(vas_, sink_, tag + "_x",
+                                                cells, 0.0);
+      level.b = std::make_unique<Array<double>>(vas_, sink_, tag + "_b",
+                                                cells, 0.0);
+      level.r = std::make_unique<Array<double>>(vas_, sink_, tag + "_r",
+                                                cells, 0.0);
+      levels_.push_back(std::move(level));
+      n /= 2;
+      ++level_id;
+    }
+    check(!levels_.empty(), "AMG: footprint too small for a 4^3 grid");
+    // Smooth RHS on the finest level (uninstrumented setup).
+    Level& fine = levels_.front();
+    for (std::size_t idx = 0; idx < fine.n * fine.n * fine.n; ++idx) {
+      fine.b->raw(idx) = std::sin(0.013 * static_cast<double>(idx));
+    }
+  }
+
+  [[nodiscard]] static std::size_t fine_side(std::uint64_t footprint) {
+    const double cells = static_cast<double>(footprint) / kBytesPerFineCell;
+    const auto side = static_cast<std::size_t>(std::cbrt(cells));
+    check(side >= 8, "AMG: footprint too small for an 8^3 fine grid");
+    return side;
+  }
+
+  [[nodiscard]] std::size_t levels() const noexcept { return levels_.size(); }
+  [[nodiscard]] std::size_t fine_grid() const noexcept {
+    return levels_.front().n;
+  }
+
+  /// A V-cycle on the Poisson-like system must reduce the fine residual
+  /// below the initial ||b||.
+  [[nodiscard]] bool validate() const override {
+    const Level& f = levels_.front();
+    double b_norm = 0.0;
+    for (std::size_t i = 0; i < f.n * f.n * f.n; ++i) {
+      b_norm += f.b->raw(i) * f.b->raw(i);
+    }
+    const double r = residual_norm();
+    return std::isfinite(r) && r < 0.9 * std::sqrt(b_norm);
+  }
+
+  /// Un-instrumented fine-level residual norm ||b - A x||.
+  [[nodiscard]] double residual_norm() const {
+    const Level& f = levels_.front();
+    const std::size_t n = f.n;
+    double sum = 0.0;
+    for (std::size_t k = 0; k < n; ++k) {
+      for (std::size_t j = 0; j < n; ++j) {
+        for (std::size_t i = 0; i < n; ++i) {
+          const double res = raw_residual_at(f, i, j, k);
+          sum += res * res;
+        }
+      }
+    }
+    return std::sqrt(sum);
+  }
+
+ private:
+  static std::size_t cell(std::size_t n, std::size_t i, std::size_t j,
+                          std::size_t k) noexcept {
+    return (k * n + j) * n + i;
+  }
+
+  /// 7-point Laplacian-like operator: A x = 6x - sum(neighbors), Dirichlet
+  /// zero boundary (out-of-grid neighbours read as 0).
+  [[nodiscard]] double raw_residual_at(const Level& l, std::size_t i,
+                                       std::size_t j, std::size_t k) const {
+    const std::size_t n = l.n;
+    auto at = [&](std::size_t ii, std::size_t jj, std::size_t kk) {
+      return l.x->raw(cell(n, ii, jj, kk));
+    };
+    double nb = 0.0;
+    if (i > 0) nb += at(i - 1, j, k);
+    if (i + 1 < n) nb += at(i + 1, j, k);
+    if (j > 0) nb += at(i, j - 1, k);
+    if (j + 1 < n) nb += at(i, j + 1, k);
+    if (k > 0) nb += at(i, j, k - 1);
+    if (k + 1 < n) nb += at(i, j, k + 1);
+    return l.b->raw(cell(n, i, j, k)) - (6.0 * at(i, j, k) - nb);
+  }
+
+  /// Instrumented neighbour sum with zero boundary.
+  [[nodiscard]] double neighbor_sum(Level& l, std::size_t i, std::size_t j,
+                                    std::size_t k) {
+    const std::size_t n = l.n;
+    double nb = 0.0;
+    if (i > 0) nb += l.x->get(cell(n, i - 1, j, k));
+    if (i + 1 < n) nb += l.x->get(cell(n, i + 1, j, k));
+    if (j > 0) nb += l.x->get(cell(n, i, j - 1, k));
+    if (j + 1 < n) nb += l.x->get(cell(n, i, j + 1, k));
+    if (k > 0) nb += l.x->get(cell(n, i, j, k - 1));
+    if (k + 1 < n) nb += l.x->get(cell(n, i, j, k + 1));
+    return nb;
+  }
+
+  void smooth(Level& l, int sweeps) {
+    constexpr double kOmega = 0.8;
+    const std::size_t n = l.n;
+    for (int s = 0; s < sweeps; ++s) {
+      for (std::size_t k = 0; k < n; ++k) {
+        for (std::size_t j = 0; j < n; ++j) {
+          for (std::size_t i = 0; i < n; ++i) {
+            const std::size_t c = cell(n, i, j, k);
+            const double nb = neighbor_sum(l, i, j, k);
+            const double xi = l.x->get(c);
+            const double res = l.b->get(c) - (6.0 * xi - nb);
+            l.x->set(c, xi + kOmega * res / 6.0);
+          }
+        }
+      }
+    }
+  }
+
+  void compute_residual(Level& l) {
+    const std::size_t n = l.n;
+    for (std::size_t k = 0; k < n; ++k) {
+      for (std::size_t j = 0; j < n; ++j) {
+        for (std::size_t i = 0; i < n; ++i) {
+          const std::size_t c = cell(n, i, j, k);
+          const double nb = neighbor_sum(l, i, j, k);
+          l.r->set(c, l.b->get(c) - (6.0 * l.x->get(c) - nb));
+        }
+      }
+    }
+  }
+
+  /// Restriction: coarse b = average of the 2^3 fine children residuals.
+  void restrict_residual(Level& fine, Level& coarse) {
+    const std::size_t nc = coarse.n;
+    const std::size_t nf = fine.n;
+    for (std::size_t k = 0; k < nc; ++k) {
+      for (std::size_t j = 0; j < nc; ++j) {
+        for (std::size_t i = 0; i < nc; ++i) {
+          double acc = 0.0;
+          for (std::size_t dk = 0; dk < 2; ++dk) {
+            for (std::size_t dj = 0; dj < 2; ++dj) {
+              for (std::size_t di = 0; di < 2; ++di) {
+                acc += fine.r->get(
+                    cell(nf, 2 * i + di, 2 * j + dj, 2 * k + dk));
+              }
+            }
+          }
+          coarse.b->set(cell(nc, i, j, k), acc / 8.0);
+          coarse.x->set(cell(nc, i, j, k), 0.0);
+        }
+      }
+    }
+  }
+
+  /// Prolongation: add the coarse correction to each of its fine children.
+  void prolong(Level& coarse, Level& fine) {
+    const std::size_t nc = coarse.n;
+    const std::size_t nf = fine.n;
+    for (std::size_t k = 0; k < nc; ++k) {
+      for (std::size_t j = 0; j < nc; ++j) {
+        for (std::size_t i = 0; i < nc; ++i) {
+          const double corr = coarse.x->get(cell(nc, i, j, k));
+          for (std::size_t dk = 0; dk < 2; ++dk) {
+            for (std::size_t dj = 0; dj < 2; ++dj) {
+              for (std::size_t di = 0; di < 2; ++di) {
+                const std::size_t f =
+                    cell(nf, 2 * i + di, 2 * j + dj, 2 * k + dk);
+                fine.x->set(f, fine.x->get(f) + corr);
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+
+  void vcycle(std::size_t depth) {
+    Level& l = levels_[depth];
+    if (depth + 1 == levels_.size()) {
+      smooth(l, 8);  // coarsest-level solve
+      return;
+    }
+    smooth(l, 2);  // pre-smooth
+    compute_residual(l);
+    restrict_residual(l, levels_[depth + 1]);
+    vcycle(depth + 1);
+    prolong(levels_[depth + 1], l);
+    smooth(l, 2);  // post-smooth
+  }
+
+  void execute() override {
+    for (std::uint32_t it = 0; it < params_.iterations; ++it) {
+      vcycle(0);
+    }
+  }
+
+  std::vector<Level> levels_;
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_amg(const WorkloadParams& params) {
+  return std::make_unique<AmgWorkload>(params);
+}
+
+}  // namespace hms::workloads

@@ -1,0 +1,18 @@
+// AMG: CORAL AMG2013 analog.
+//
+// A geometric multigrid V-cycle on a 3D 7-point Poisson system: weighted-
+// Jacobi smoothing (SpMV-shaped sweeps), residual restriction to a coarser
+// grid, recursive solve, prolongation back — the level-traversal and
+// fixed-pattern update behaviour of algebraic multigrid solvers (paper:
+// "updating points of the grid according to a fixed pattern").
+#pragma once
+
+#include <memory>
+
+#include "hms/workloads/workload.hpp"
+
+namespace hms::workloads {
+
+[[nodiscard]] std::unique_ptr<Workload> make_amg(const WorkloadParams& params);
+
+}  // namespace hms::workloads

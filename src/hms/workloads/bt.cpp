@@ -1,0 +1,179 @@
+#include "hms/workloads/bt.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+
+#include "hms/common/error.hpp"
+#include "hms/workloads/workload_base.hpp"
+
+namespace hms::workloads {
+
+namespace {
+
+constexpr std::size_t kComponents = 5;
+// Doubles per cell: u(5) + rhs(5) + a,b,c coefficients(3).
+constexpr std::size_t kDoublesPerCell = 2 * kComponents + 3;
+
+class BtWorkload final : public WorkloadBase {
+ public:
+  explicit BtWorkload(const WorkloadParams& params)
+      : WorkloadBase(
+            WorkloadInfo{
+                .name = "BT",
+                .suite = "NPB",
+                .inputs = "Class D",
+                .paper_footprint_bytes = 1815ull << 20,  // 1.69 GB
+                .paper_reference_seconds = 36.0,
+                .memory_bound_fraction = 0.55,
+            },
+            params),
+        n_(grid_side(params.footprint_bytes)),
+        u_(vas_, sink_, "u", kComponents * n_ * n_ * n_, 0.0),
+        rhs_(vas_, sink_, "rhs", kComponents * n_ * n_ * n_, 0.0),
+        a_(vas_, sink_, "coeff_a", n_ * n_ * n_, 0.0),
+        b_(vas_, sink_, "coeff_b", n_ * n_ * n_, 0.0),
+        c_(vas_, sink_, "coeff_c", n_ * n_ * n_, 0.0),
+        work_c_(vas_, sink_, "work_c", n_, 0.0),
+        work_d_(vas_, sink_, "work_d", n_, 0.0) {
+    initialize();
+  }
+
+  /// Grid edge length for a target footprint.
+  [[nodiscard]] static std::size_t grid_side(std::uint64_t footprint) {
+    const double cells =
+        static_cast<double>(footprint) / (kDoublesPerCell * sizeof(double));
+    const auto side = static_cast<std::size_t>(std::cbrt(cells));
+    check(side >= 4, "BT: footprint too small for a 4^3 grid");
+    return side;
+  }
+
+  [[nodiscard]] std::size_t grid() const noexcept { return n_; }
+
+  /// Un-instrumented max |u| over the grid, for validation.
+  [[nodiscard]] double max_abs_u() const {
+    double m = 0.0;
+    for (std::size_t i = 0; i < kComponents * n_ * n_ * n_; ++i) {
+      m = std::max(m, std::abs(u_.raw(i)));
+    }
+    return m;
+  }
+
+  /// The diagonally dominant system is a contraction: the solved field must
+  /// be finite, nonzero, and bounded by the RHS magnitude.
+  [[nodiscard]] bool validate() const override {
+    const double m = max_abs_u();
+    return std::isfinite(m) && m > 0.0 && m < 10.0;
+  }
+
+ private:
+  [[nodiscard]] std::size_t cell(std::size_t i, std::size_t j,
+                                 std::size_t k) const noexcept {
+    return (k * n_ + j) * n_ + i;
+  }
+
+  void initialize() {
+    // Diagonally dominant constant-coefficient system with a smooth RHS;
+    // raw writes keep setup out of the address stream.
+    for (std::size_t idx = 0; idx < n_ * n_ * n_; ++idx) {
+      a_.raw(idx) = -1.0;
+      b_.raw(idx) = 4.0 + 0.1 * rng_.uniform01();
+      c_.raw(idx) = -1.0;
+    }
+    for (std::size_t m = 0; m < kComponents; ++m) {
+      for (std::size_t idx = 0; idx < n_ * n_ * n_; ++idx) {
+        rhs_.raw(m * n_ * n_ * n_ + idx) =
+            std::sin(0.01 * static_cast<double>(idx + m));
+      }
+    }
+  }
+
+  /// Thomas algorithm along one grid line for one component.
+  /// `base` is the cell index of the line's first cell; `stride` is the
+  /// cell-index step along the line; `comp_off` selects the component plane.
+  void solve_line(std::size_t base, std::size_t stride,
+                  std::size_t comp_off) {
+    const std::size_t n = n_;
+    // Forward elimination.
+    {
+      const std::size_t c0 = base;
+      const double b0 = b_.get(c0);
+      work_c_.set(0, c_.get(c0) / b0);
+      work_d_.set(0, rhs_.get(comp_off + c0) / b0);
+    }
+    for (std::size_t i = 1; i < n; ++i) {
+      const std::size_t ci = base + i * stride;
+      const double ai = a_.get(ci);
+      const double w = b_.get(ci) - ai * work_c_.get(i - 1);
+      work_c_.set(i, c_.get(ci) / w);
+      work_d_.set(i, (rhs_.get(comp_off + ci) - ai * work_d_.get(i - 1)) / w);
+    }
+    // Back substitution into u.
+    double next = work_d_.get(n - 1);
+    u_.set(comp_off + base + (n - 1) * stride, next);
+    for (std::size_t i = n - 1; i-- > 0;) {
+      next = work_d_.get(i) - work_c_.get(i) * next;
+      u_.set(comp_off + base + i * stride, next);
+    }
+  }
+
+  void sweep_direction(int direction) {
+    const std::size_t n = n_;
+    const std::size_t plane = n * n;
+    for (std::size_t outer = 0; outer < n; ++outer) {
+      for (std::size_t inner = 0; inner < n; ++inner) {
+        std::size_t base = 0;
+        std::size_t stride = 0;
+        switch (direction) {
+          case 0:  // x lines: vary i, fix (j,k)
+            base = cell(0, inner, outer);
+            stride = 1;
+            break;
+          case 1:  // y lines
+            base = cell(inner, 0, outer);
+            stride = n;
+            break;
+          default:  // z lines
+            base = cell(inner, outer, 0);
+            stride = plane;
+            break;
+        }
+        for (std::size_t m = 0; m < kComponents; ++m) {
+          solve_line(base, stride, m * n * plane);
+        }
+      }
+    }
+  }
+
+  void execute() override {
+    const std::size_t cells = n_ * n_ * n_;
+    for (std::uint32_t it = 0; it < params_.iterations; ++it) {
+      for (int direction = 0; direction < 3; ++direction) {
+        sweep_direction(direction);
+      }
+      // Couple iterations: the solved field becomes the next RHS.
+      for (std::size_t m = 0; m < kComponents; ++m) {
+        for (std::size_t idx = 0; idx < cells; ++idx) {
+          rhs_.set(m * cells + idx, 0.8 * u_.get(m * cells + idx));
+        }
+      }
+    }
+  }
+
+  std::size_t n_;
+  Array<double> u_;
+  Array<double> rhs_;
+  Array<double> a_;
+  Array<double> b_;
+  Array<double> c_;
+  Array<double> work_c_;
+  Array<double> work_d_;
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_bt(const WorkloadParams& params) {
+  return std::make_unique<BtWorkload>(params);
+}
+
+}  // namespace hms::workloads

@@ -1,0 +1,18 @@
+// BT: NPB Block-Tridiagonal solver analog.
+//
+// ADI-style sweeps over a 3D structured grid: in each direction, every grid
+// line solves a tridiagonal system per solution component via the Thomas
+// algorithm. Memory behaviour matches NPB BT's signature: unit-stride
+// sweeps in x, n-strided in y, n^2-strided in z, with 5 solution components
+// per cell (paper Table 4: Class D, 1.69 GB/core).
+#pragma once
+
+#include <memory>
+
+#include "hms/workloads/workload.hpp"
+
+namespace hms::workloads {
+
+[[nodiscard]] std::unique_ptr<Workload> make_bt(const WorkloadParams& params);
+
+}  // namespace hms::workloads

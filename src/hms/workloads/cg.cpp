@@ -1,0 +1,180 @@
+#include "hms/workloads/cg.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "hms/common/error.hpp"
+#include "hms/workloads/workload_base.hpp"
+
+namespace hms::workloads {
+
+namespace {
+
+// Off-diagonal nonzeros per row (one triangle); total nnz/row ~ 2k+1.
+constexpr std::size_t kOffdiagPerRow = 6;
+// Bytes per row: values 8*(2k+1) + colidx 4*(2k+1) + rowptr 4 + 5 vectors.
+constexpr std::size_t kBytesPerRow =
+    12 * (2 * kOffdiagPerRow + 1) + 4 + 5 * 8;
+
+class CgWorkload final : public WorkloadBase {
+ public:
+  explicit CgWorkload(const WorkloadParams& params)
+      : WorkloadBase(
+            WorkloadInfo{
+                .name = "CG",
+                .suite = "CORAL",
+                .inputs = "Class D",
+                .paper_footprint_bytes = 1536ull << 20,  // 1.5 GB
+                .paper_reference_seconds = 54.8,
+                .memory_bound_fraction = 0.60,
+            },
+            params),
+        rows_(std::max<std::size_t>(params.footprint_bytes / kBytesPerRow,
+                                    64)),
+        structure_(build_structure()),
+        rowptr_(vas_, sink_, "rowptr",
+                rows_ + 1, 0),
+        colidx_(vas_, sink_, "colidx", structure_.colidx.size(), 0),
+        values_(vas_, sink_, "values", structure_.colidx.size(), 0.0),
+        x_(vas_, sink_, "x", rows_, 0.0),
+        r_(vas_, sink_, "r", rows_, 0.0),
+        p_(vas_, sink_, "p", rows_, 0.0),
+        q_(vas_, sink_, "q", rows_, 0.0),
+        b_(vas_, sink_, "b", rows_, 1.0) {
+    for (std::size_t i = 0; i <= rows_; ++i) {
+      rowptr_.raw(i) = structure_.rowptr[i];
+    }
+    for (std::size_t i = 0; i < structure_.colidx.size(); ++i) {
+      colidx_.raw(i) = structure_.colidx[i];
+      values_.raw(i) = structure_.values[i];
+    }
+  }
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+
+  /// CG on the SPD system must strictly reduce the residual from its
+  /// initial value ||b|| = sqrt(rows).
+  [[nodiscard]] bool validate() const override {
+    const double initial = std::sqrt(static_cast<double>(rows_));
+    const double final_norm = residual_norm();
+    return std::isfinite(final_norm) && final_norm < 0.9 * initial;
+  }
+
+  /// Un-instrumented residual norm ||b - A x||, for validation.
+  [[nodiscard]] double residual_norm() const {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < rows_; ++i) {
+      double axi = 0.0;
+      for (std::uint32_t e = rowptr_.raw(i); e < rowptr_.raw(i + 1); ++e) {
+        axi += values_.raw(e) * x_.raw(colidx_.raw(e));
+      }
+      const double d = b_.raw(i) - axi;
+      sum += d * d;
+    }
+    return std::sqrt(sum);
+  }
+
+ private:
+  struct Structure {
+    std::vector<std::uint32_t> rowptr;
+    std::vector<std::uint32_t> colidx;
+    std::vector<double> values;
+  };
+
+  /// Builds a random symmetric strictly-diagonally-dominant CSR matrix:
+  /// for each row, kOffdiagPerRow random partners j != i are mirrored so
+  /// A = A^T, and the diagonal exceeds the absolute row sum => SPD.
+  [[nodiscard]] Structure build_structure() {
+    std::vector<std::vector<std::pair<std::uint32_t, double>>> adj(rows_);
+    for (std::size_t i = 0; i < rows_; ++i) {
+      for (std::size_t e = 0; e < kOffdiagPerRow; ++e) {
+        auto j = static_cast<std::uint32_t>(rng_.below(rows_));
+        if (j == i) j = static_cast<std::uint32_t>((j + 1) % rows_);
+        const double v = -(0.25 + 0.5 * rng_.uniform01());
+        adj[i].emplace_back(j, v);
+        adj[j].emplace_back(static_cast<std::uint32_t>(i), v);
+      }
+    }
+    Structure s;
+    s.rowptr.resize(rows_ + 1, 0);
+    for (std::size_t i = 0; i < rows_; ++i) {
+      std::sort(adj[i].begin(), adj[i].end());
+      double offdiag_sum = 0.0;
+      for (const auto& [j, v] : adj[i]) offdiag_sum += std::abs(v);
+      s.colidx.push_back(static_cast<std::uint32_t>(i));
+      s.values.push_back(offdiag_sum + 1.0);  // dominant diagonal
+      for (const auto& [j, v] : adj[i]) {
+        s.colidx.push_back(j);
+        s.values.push_back(v);
+      }
+      s.rowptr[i + 1] = static_cast<std::uint32_t>(s.colidx.size());
+    }
+    return s;
+  }
+
+  /// Instrumented SpMV: out = A * in.
+  void spmv(Array<double>& out, const Array<double>& in) {
+    for (std::size_t i = 0; i < rows_; ++i) {
+      const std::uint32_t begin = rowptr_.get(i);
+      const std::uint32_t end = rowptr_.get(i + 1);
+      double acc = 0.0;
+      for (std::uint32_t e = begin; e < end; ++e) {
+        acc += values_.get(e) * in.get(colidx_.get(e));
+      }
+      out.set(i, acc);
+    }
+  }
+
+  /// Instrumented dot product.
+  [[nodiscard]] double dot(const Array<double>& a, const Array<double>& b) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < rows_; ++i) acc += a.get(i) * b.get(i);
+    return acc;
+  }
+
+  void execute() override {
+    // r = b - A x (x starts at 0) ; p = r.
+    for (std::size_t i = 0; i < rows_; ++i) {
+      const double bi = b_.get(i);
+      r_.set(i, bi);
+      p_.set(i, bi);
+    }
+    double rho = dot(r_, r_);
+    for (std::uint32_t it = 0; it < params_.iterations; ++it) {
+      spmv(q_, p_);
+      const double alpha = rho / dot(p_, q_);
+      for (std::size_t i = 0; i < rows_; ++i) {
+        x_.set(i, x_.get(i) + alpha * p_.get(i));
+        r_.set(i, r_.get(i) - alpha * q_.get(i));
+      }
+      const double rho_next = dot(r_, r_);
+      const double beta = rho_next / rho;
+      rho = rho_next;
+      for (std::size_t i = 0; i < rows_; ++i) {
+        p_.set(i, r_.get(i) + beta * p_.get(i));
+      }
+    }
+  }
+
+  std::size_t rows_;
+  Structure structure_;
+  Array<std::uint32_t> rowptr_;
+  Array<std::uint32_t> colidx_;
+  Array<double> values_;
+  Array<double> x_;
+  Array<double> r_;
+  Array<double> p_;
+  Array<double> q_;
+  Array<double> b_;
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_cg(const WorkloadParams& params) {
+  return std::make_unique<CgWorkload>(params);
+}
+
+}  // namespace hms::workloads

@@ -1,0 +1,17 @@
+// CG: NPB Conjugate-Gradient analog.
+//
+// Real conjugate-gradient iteration on a randomly structured symmetric
+// positive-definite sparse matrix in CSR form. The SpMV gathers through a
+// random column pattern — NPB CG's signature irregular access (paper:
+// "conjugate gradient solver with irregular memory access").
+#pragma once
+
+#include <memory>
+
+#include "hms/workloads/workload.hpp"
+
+namespace hms::workloads {
+
+[[nodiscard]] std::unique_ptr<Workload> make_cg(const WorkloadParams& params);
+
+}  // namespace hms::workloads

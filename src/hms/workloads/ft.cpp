@@ -1,0 +1,170 @@
+#include "hms/workloads/ft.hpp"
+
+#include <cmath>
+#include <cstddef>
+
+#include "hms/common/bitops.hpp"
+#include "hms/common/error.hpp"
+#include "hms/workloads/workload_base.hpp"
+
+namespace hms::workloads {
+
+namespace {
+
+// Doubles per cell: re + im.
+constexpr std::size_t kDoublesPerCell = 2;
+
+class FtWorkload final : public WorkloadBase {
+ public:
+  explicit FtWorkload(const WorkloadParams& params)
+      : WorkloadBase(
+            WorkloadInfo{
+                .name = "FT",
+                .suite = "NPB",
+                .inputs = "Class C (suite extension, not in Table 4)",
+                .paper_footprint_bytes = 1024ull << 20,
+                .paper_reference_seconds = 35.0,
+                .memory_bound_fraction = 0.60,
+            },
+            params),
+        dims_(grid_dims(params.footprint_bytes)),
+        re_(vas_, sink_, "re", cells(), 0.0),
+        im_(vas_, sink_, "im", cells(), 0.0) {
+    for (std::size_t i = 0; i < cells(); ++i) {
+      re_.raw(i) = std::cos(0.01 * static_cast<double>(i));
+      im_.raw(i) = 0.0;
+    }
+  }
+
+  struct Dims {
+    std::size_t x = 4, y = 4, z = 4;
+  };
+
+  /// Independent power-of-two dimensions (radix-2 per line) fitting the
+  /// footprint: the smallest dimension doubles while the grid still fits,
+  /// keeping the total within a factor of 2 of the target.
+  [[nodiscard]] static Dims grid_dims(std::uint64_t footprint) {
+    const std::uint64_t budget =
+        footprint / (kDoublesPerCell * sizeof(double));
+    check(budget >= 64, "FT: footprint too small for a 4^3 grid");
+    Dims d;
+    while (2 * d.x * d.y * d.z <= budget) {
+      std::size_t& smallest =
+          d.x <= d.y ? (d.x <= d.z ? d.x : d.z) : (d.y <= d.z ? d.y : d.z);
+      smallest *= 2;
+    }
+    return d;
+  }
+
+  [[nodiscard]] std::size_t cells() const noexcept {
+    return dims_.x * dims_.y * dims_.z;
+  }
+
+  /// Parseval-style check: forward+inverse along every dimension must
+  /// restore the input signal (up to rounding).
+  [[nodiscard]] bool validate() const override {
+    double err = 0.0;
+    const std::size_t samples = std::min<std::size_t>(cells(), 4096);
+    for (std::size_t i = 0; i < samples; ++i) {
+      const double expected = std::cos(0.01 * static_cast<double>(i));
+      err = std::max(err, std::abs(re_.raw(i) - expected));
+      err = std::max(err, std::abs(im_.raw(i)));
+    }
+    return err < 1e-6;
+  }
+
+ private:
+  /// In-place radix-2 FFT of an n-point line (base + stride addressing);
+  /// `inverse` flips the twiddle sign and normalizes.
+  void fft_line(std::size_t base, std::size_t stride, std::size_t n,
+                bool inverse) {
+    // Bit-reversal permutation (the irregular shuffle).
+    for (std::size_t i = 1, j = 0; i < n; ++i) {
+      std::size_t bit = n >> 1;
+      for (; j & bit; bit >>= 1) j ^= bit;
+      j ^= bit;
+      if (i < j) {
+        const std::size_t a = base + i * stride;
+        const std::size_t b = base + j * stride;
+        const double ra = re_.get(a), ia = im_.get(a);
+        const double rb = re_.get(b), ib = im_.get(b);
+        re_.set(a, rb);
+        im_.set(a, ib);
+        re_.set(b, ra);
+        im_.set(b, ia);
+      }
+    }
+    // Butterflies.
+    for (std::size_t len = 2; len <= n; len <<= 1) {
+      const double angle =
+          (inverse ? 2.0 : -2.0) * 3.14159265358979323846 /
+          static_cast<double>(len);
+      const double wr = std::cos(angle), wi = std::sin(angle);
+      for (std::size_t block = 0; block < n; block += len) {
+        double cr = 1.0, ci = 0.0;
+        for (std::size_t k = 0; k < len / 2; ++k) {
+          const std::size_t a = base + (block + k) * stride;
+          const std::size_t b = base + (block + k + len / 2) * stride;
+          const double ra = re_.get(a), ia = im_.get(a);
+          const double rb = re_.get(b), ib = im_.get(b);
+          const double tr = rb * cr - ib * ci;
+          const double ti = rb * ci + ib * cr;
+          re_.set(a, ra + tr);
+          im_.set(a, ia + ti);
+          re_.set(b, ra - tr);
+          im_.set(b, ia - ti);
+          const double ncr = cr * wr - ci * wi;
+          ci = cr * wi + ci * wr;
+          cr = ncr;
+        }
+      }
+    }
+    if (inverse) {
+      const double inv = 1.0 / static_cast<double>(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t a = base + i * stride;
+        re_.set(a, re_.get(a) * inv);
+        im_.set(a, im_.get(a) * inv);
+      }
+    }
+  }
+
+  void transform(bool inverse) {
+    const std::size_t nx = dims_.x, ny = dims_.y, nz = dims_.z;
+    const std::size_t plane = nx * ny;
+    for (std::size_t z = 0; z < nz; ++z) {        // x lines: stride 1
+      for (std::size_t y = 0; y < ny; ++y) {
+        fft_line((z * ny + y) * nx, 1, nx, inverse);
+      }
+    }
+    for (std::size_t z = 0; z < nz; ++z) {        // y lines: stride nx
+      for (std::size_t x = 0; x < nx; ++x) {
+        fft_line(z * plane + x, nx, ny, inverse);
+      }
+    }
+    for (std::size_t y = 0; y < ny; ++y) {        // z lines: stride nx*ny
+      for (std::size_t x = 0; x < nx; ++x) {
+        fft_line(y * nx + x, plane, nz, inverse);
+      }
+    }
+  }
+
+  void execute() override {
+    for (std::uint32_t it = 0; it < params_.iterations; ++it) {
+      transform(/*inverse=*/false);
+      transform(/*inverse=*/true);  // round-trip keeps data checkable
+    }
+  }
+
+  Dims dims_;
+  Array<double> re_;
+  Array<double> im_;
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_ft(const WorkloadParams& params) {
+  return std::make_unique<FtWorkload>(params);
+}
+
+}  // namespace hms::workloads

@@ -1,0 +1,18 @@
+// FT: NPB 3-D FFT analog (not in the paper's Table 4; provided for suite
+// completeness alongside the other NPB kernels).
+//
+// Performs real 1-D radix-2 FFT butterflies along each dimension of a 3-D
+// complex grid. Memory behaviour is FT's signature: unit-stride passes,
+// then passes strided by n and n^2, with the bit-reversal permutation's
+// irregular shuffles in between.
+#pragma once
+
+#include <memory>
+
+#include "hms/workloads/workload.hpp"
+
+namespace hms::workloads {
+
+[[nodiscard]] std::unique_ptr<Workload> make_ft(const WorkloadParams& params);
+
+}  // namespace hms::workloads

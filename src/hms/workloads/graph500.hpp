@@ -1,0 +1,19 @@
+// Graph500: breadth-first search on a Kronecker (R-MAT) graph.
+//
+// Implements the real Graph500 pipeline: R-MAT edge generation with the
+// reference (A,B,C,D) = (0.57, 0.19, 0.19, 0.05) probabilities, CSR
+// construction (kernel 1), and top-down queue-based BFS from random roots
+// (kernel 2). The pointer-chasing neighbour gathers are the paper's
+// representative "graph algorithm performance" workload (inputs "-s 22").
+#pragma once
+
+#include <memory>
+
+#include "hms/workloads/workload.hpp"
+
+namespace hms::workloads {
+
+[[nodiscard]] std::unique_ptr<Workload> make_graph500(
+    const WorkloadParams& params);
+
+}  // namespace hms::workloads

@@ -1,0 +1,170 @@
+#include "hms/workloads/hashing.hpp"
+
+#include <algorithm>
+#include <cstddef>
+
+#include "hms/common/bitops.hpp"
+#include "hms/common/error.hpp"
+#include "hms/workloads/workload_base.hpp"
+
+namespace hms::workloads {
+
+namespace {
+
+constexpr std::uint64_t kEmpty = 0;
+/// Key popularity skew. Real hashing workloads (the CORAL benchmark hashes
+/// genomic k-mers) touch keys with a heavy-tailed distribution; uniform
+/// keys would overstate the randomness of the memory stream.
+constexpr double kZipfSkew = 1.2;
+
+/// Finalizer of SplitMix64 — a strong 64-bit mixer.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// The benchmark streams keys from an input buffer (sequential scan) and
+/// probes an open-addressing table (skewed random access): the mix of
+/// spatial-local and irregular references that characterizes the CORAL
+/// Hash benchmark.
+class HashingWorkload final : public WorkloadBase {
+ public:
+  explicit HashingWorkload(const WorkloadParams& params)
+      : WorkloadBase(
+            WorkloadInfo{
+                .name = "Hashing",
+                .suite = "CORAL",
+                .inputs = "-m 30M -n 50K",
+                .paper_footprint_bytes = 4096ull << 20,  // 4 GB
+                .paper_reference_seconds = 389.6,
+                .memory_bound_fraction = 0.70,
+            },
+            params),
+        slots_(pick_slots(params.footprint_bytes)),
+        key_count_(pick_keys(params.footprint_bytes)),
+        keys_(vas_, sink_, "table_keys", slots_, kEmpty),
+        values_(vas_, sink_, "table_values", slots_, std::uint64_t{0}),
+        input_keys_(vas_, sink_, "input_keys", key_count_,
+                    std::uint64_t{0}) {
+    // The CORAL inputs ("-m 30M -n 50K") size the table far beyond the
+    // operation count: only a small fraction of the allocated slots is
+    // ever touched. Universe = slots/64 distinct keys, drawn Zipf-skewed.
+    ZipfSampler zipf(std::max<std::size_t>(slots_ / 64, 64), kZipfSkew);
+    for (std::size_t i = 0; i < key_count_; ++i) {
+      input_keys_.raw(i) = mix64(zipf(rng_) + 1) | 1;
+    }
+  }
+
+  /// Table (keys 8 B + values 8 B per slot) gets ~2/3 of the footprint.
+  [[nodiscard]] static std::size_t pick_slots(std::uint64_t footprint) {
+    check(footprint >= 16 * 1024, "Hashing: footprint too small");
+    std::uint64_t slots = next_pow2(2 * footprint / 3 / 16);
+    if (slots * 16 * 3 > footprint * 2) slots /= 2;
+    return slots;
+  }
+
+  /// Input key buffer gets the remaining ~1/3 (8 B keys).
+  [[nodiscard]] static std::size_t pick_keys(std::uint64_t footprint) {
+    return std::max<std::size_t>(footprint / 3 / 8, 64);
+  }
+
+  [[nodiscard]] std::size_t slots() const noexcept { return slots_; }
+  [[nodiscard]] std::uint64_t inserted() const noexcept { return inserted_; }
+  [[nodiscard]] std::uint64_t lookup_hits() const noexcept { return hits_; }
+  [[nodiscard]] std::uint64_t lookup_misses() const noexcept {
+    return misses_;
+  }
+
+  /// Spot-checks a sample of streamed keys and requires both hit and miss
+  /// lookups to have occurred.
+  [[nodiscard]] bool validate() const override {
+    if (inserted_ == 0 || hits_ == 0 || misses_ == 0) return false;
+    for (std::size_t i = 0; i < std::min<std::size_t>(key_count_, 64);
+         ++i) {
+      if (!contains_raw(input_keys_.raw(i))) return false;
+    }
+    return true;
+  }
+
+  /// Un-instrumented membership check, for validation.
+  [[nodiscard]] bool contains_raw(std::uint64_t key) const {
+    std::size_t i = static_cast<std::size_t>(mix64(key)) & (slots_ - 1);
+    for (std::size_t probes = 0; probes < slots_; ++probes) {
+      const std::uint64_t k = keys_.raw(i);
+      if (k == key) return true;
+      if (k == kEmpty) return false;
+      i = (i + 1) & (slots_ - 1);
+    }
+    return false;
+  }
+
+ private:
+  void insert(std::uint64_t key, std::uint64_t value) {
+    std::size_t i = static_cast<std::size_t>(mix64(key)) & (slots_ - 1);
+    while (true) {
+      const std::uint64_t k = keys_.get(i);
+      if (k == key) {
+        values_.set(i, value);
+        return;
+      }
+      if (k == kEmpty) {
+        keys_.set(i, key);
+        values_.set(i, value);
+        ++inserted_;
+        return;
+      }
+      i = (i + 1) & (slots_ - 1);
+    }
+  }
+
+  [[nodiscard]] bool lookup(std::uint64_t key) {
+    std::size_t i = static_cast<std::size_t>(mix64(key)) & (slots_ - 1);
+    while (true) {
+      const std::uint64_t k = keys_.get(i);
+      if (k == key) {
+        (void)values_.get(i);
+        return true;
+      }
+      if (k == kEmpty) return false;
+      i = (i + 1) & (slots_ - 1);
+    }
+  }
+
+  void execute() override {
+    // Insert phase: sequential scan of the input buffer, skewed probes.
+    for (std::size_t i = 0; i < key_count_; ++i) {
+      insert(input_keys_.get(i), i);
+    }
+    // Lookup phase: rescan the buffer; ~1/10 of the probes are corrupted
+    // keys that miss (the benchmark's negative lookups).
+    for (std::uint32_t it = 0; it < params_.iterations; ++it) {
+      for (std::size_t i = 0; i < key_count_; ++i) {
+        std::uint64_t key = input_keys_.get(i);
+        if (rng_.chance(0.10)) key ^= 0x8000000000000000ULL;
+        if (lookup(key)) {
+          ++hits_;
+        } else {
+          ++misses_;
+        }
+      }
+    }
+  }
+
+  std::size_t slots_;
+  std::size_t key_count_;
+  Array<std::uint64_t> keys_;
+  Array<std::uint64_t> values_;
+  Array<std::uint64_t> input_keys_;
+  std::uint64_t inserted_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_hashing(const WorkloadParams& params) {
+  return std::make_unique<HashingWorkload>(params);
+}
+
+}  // namespace hms::workloads

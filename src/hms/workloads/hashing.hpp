@@ -1,0 +1,18 @@
+// Hashing: CORAL Hash benchmark analog.
+//
+// Open-addressing (linear probing) hash table of 64-bit keys exercised by
+// an insert phase and a mixed hit/miss lookup phase — the data-centric
+// integer-hashing pattern the paper uses for "memory-intensive genomics
+// applications" (inputs "-m 30M -n 50K").
+#pragma once
+
+#include <memory>
+
+#include "hms/workloads/workload.hpp"
+
+namespace hms::workloads {
+
+[[nodiscard]] std::unique_ptr<Workload> make_hashing(
+    const WorkloadParams& params);
+
+}  // namespace hms::workloads

@@ -1,0 +1,72 @@
+// Instrumented containers: real data structures whose element accesses emit
+// MemoryAccess records into an AccessSink as a side effect.
+//
+// This is the source-level substitute for PEBIL binary instrumentation
+// (DESIGN.md substitutions table): kernels compute real results on real
+// data while the simulator observes their address stream online.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hms/common/error.hpp"
+#include "hms/trace/sink.hpp"
+#include "hms/workloads/virtual_address_space.hpp"
+
+namespace hms::workloads {
+
+/// A contiguous typed array placed in a VirtualAddressSpace.
+///
+/// `get`/`set` emit one load/store of sizeof(T) at the element's simulated
+/// address; `raw` bypasses instrumentation for setup/verification code whose
+/// accesses must not appear in the stream.
+template <typename T>
+class Array {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "Array elements must be trivially copyable");
+
+ public:
+  Array(VirtualAddressSpace& vas, trace::AccessSink& sink, std::string name,
+        std::size_t count, T init = T{})
+      : sink_(&sink),
+        base_(vas.allocate(std::move(name), count * sizeof(T))),
+        data_(count, init) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+  [[nodiscard]] Address base() const noexcept { return base_; }
+  [[nodiscard]] Address address_of(std::size_t i) const noexcept {
+    return base_ + i * sizeof(T);
+  }
+
+  /// Instrumented read.
+  [[nodiscard]] T get(std::size_t i) const {
+    sink_->access(trace::MemoryAccess{address_of(i), sizeof(T),
+                                      AccessType::Load, 0});
+    return data_[i];
+  }
+
+  /// Instrumented write.
+  void set(std::size_t i, T value) {
+    sink_->access(trace::MemoryAccess{address_of(i), sizeof(T),
+                                      AccessType::Store, 0});
+    data_[i] = value;
+  }
+
+  /// Instrumented read-modify-write (one load followed by one store).
+  template <typename F>
+  void update(std::size_t i, F&& f) {
+    set(i, f(get(i)));
+  }
+
+  /// Un-instrumented access for initialization and result checking.
+  [[nodiscard]] T& raw(std::size_t i) { return data_[i]; }
+  [[nodiscard]] const T& raw(std::size_t i) const { return data_[i]; }
+
+ private:
+  trace::AccessSink* sink_;
+  Address base_;
+  std::vector<T> data_;
+};
+
+}  // namespace hms::workloads

@@ -1,0 +1,114 @@
+#include "hms/workloads/is.hpp"
+
+#include <cstddef>
+
+#include "hms/common/bitops.hpp"
+#include "hms/common/error.hpp"
+#include "hms/workloads/workload_base.hpp"
+
+namespace hms::workloads {
+
+namespace {
+
+// Bytes per key: key 4 + rank 4, plus the bucket array amortized.
+constexpr std::size_t kBytesPerKey = 8;
+
+class IsWorkload final : public WorkloadBase {
+ public:
+  explicit IsWorkload(const WorkloadParams& params)
+      : WorkloadBase(
+            WorkloadInfo{
+                .name = "IS",
+                .suite = "NPB",
+                .inputs = "Class C (suite extension, not in Table 4)",
+                .paper_footprint_bytes = 1024ull << 20,
+                .paper_reference_seconds = 12.0,
+                .memory_bound_fraction = 0.75,
+            },
+            params),
+        keys_count_(pick_keys(params.footprint_bytes)),
+        bucket_count_(next_pow2(keys_count_ / 16 + 16)),
+        keys_(vas_, sink_, "keys", keys_count_, std::uint32_t{0}),
+        ranks_(vas_, sink_, "ranks", keys_count_, std::uint32_t{0}),
+        buckets_(vas_, sink_, "buckets", bucket_count_, std::uint32_t{0}) {
+    // NPB IS keys: Gaussian-ish sums of uniforms, here 2-fold sum for a
+    // triangular distribution over the bucket range (uninstrumented input
+    // generation).
+    for (std::size_t i = 0; i < keys_count_; ++i) {
+      const std::uint64_t a = rng_.below(bucket_count_);
+      const std::uint64_t b = rng_.below(bucket_count_);
+      keys_.raw(i) = static_cast<std::uint32_t>((a + b) / 2);
+    }
+  }
+
+  [[nodiscard]] static std::size_t pick_keys(std::uint64_t footprint) {
+    check(footprint >= 64 * 1024, "IS: footprint too small");
+    return footprint * 15 / 16 / kBytesPerKey;
+  }
+
+  [[nodiscard]] std::size_t keys() const noexcept { return keys_count_; }
+
+  /// The computed ranks must be a permutation that sorts the keys:
+  /// spot-check monotonicity via the rank array's defining property.
+  [[nodiscard]] bool validate() const override {
+    if (!ran_) return false;
+    // rank[i] is key i's position in sorted order: keys with smaller
+    // values must have smaller ranks (sample pairs).
+    Xoshiro256 probe(123);
+    for (int t = 0; t < 1000; ++t) {
+      const auto i = static_cast<std::size_t>(probe.below(keys_count_));
+      const auto j = static_cast<std::size_t>(probe.below(keys_count_));
+      if (keys_.raw(i) < keys_.raw(j) && ranks_.raw(i) >= ranks_.raw(j)) {
+        return false;
+      }
+      if (keys_.raw(i) == keys_.raw(j)) continue;
+      if (keys_.raw(i) > keys_.raw(j) && ranks_.raw(i) <= ranks_.raw(j)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  void execute() override {
+    for (std::uint32_t it = 0; it < params_.iterations; ++it) {
+      // Clear histogram (streaming writes).
+      for (std::size_t b = 0; b < bucket_count_; ++b) {
+        buckets_.set(b, 0);
+      }
+      // Histogram scatter: sequential key reads, data-dependent RMW.
+      for (std::size_t i = 0; i < keys_count_; ++i) {
+        const std::uint32_t key = keys_.get(i);
+        buckets_.update(key, [](std::uint32_t c) { return c + 1; });
+      }
+      // Exclusive prefix sum (streaming RMW).
+      std::uint32_t running = 0;
+      for (std::size_t b = 0; b < bucket_count_; ++b) {
+        const std::uint32_t count = buckets_.get(b);
+        buckets_.set(b, running);
+        running += count;
+      }
+      // Rank scatter: each key claims the next slot of its bucket.
+      for (std::size_t i = 0; i < keys_count_; ++i) {
+        const std::uint32_t key = keys_.get(i);
+        const std::uint32_t rank = buckets_.get(key);
+        buckets_.set(key, rank + 1);
+        ranks_.set(i, rank);
+      }
+    }
+  }
+
+  std::size_t keys_count_;
+  std::size_t bucket_count_;
+  Array<std::uint32_t> keys_;
+  Array<std::uint32_t> ranks_;
+  Array<std::uint32_t> buckets_;
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_is(const WorkloadParams& params) {
+  return std::make_unique<IsWorkload>(params);
+}
+
+}  // namespace hms::workloads

@@ -1,0 +1,18 @@
+// IS: NPB Integer Sort analog (suite extension, not in the paper's
+// Table 4).
+//
+// Bucketed counting sort of random integer keys: sequential key scans, a
+// histogram scatter into a bucket-count array, a prefix sum, and the
+// permutation scatter into the output ranks — NPB IS's characteristic mix
+// of streaming reads and data-dependent scattered writes.
+#pragma once
+
+#include <memory>
+
+#include "hms/workloads/workload.hpp"
+
+namespace hms::workloads {
+
+[[nodiscard]] std::unique_ptr<Workload> make_is(const WorkloadParams& params);
+
+}  // namespace hms::workloads

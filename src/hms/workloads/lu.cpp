@@ -1,0 +1,129 @@
+#include "hms/workloads/lu.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+
+#include "hms/common/error.hpp"
+#include "hms/workloads/workload_base.hpp"
+
+namespace hms::workloads {
+
+namespace {
+
+constexpr std::size_t kComponents = 5;
+// Doubles per cell: u(5) + rhs(5).
+constexpr std::size_t kDoublesPerCell = 2 * kComponents;
+
+class LuWorkload final : public WorkloadBase {
+ public:
+  explicit LuWorkload(const WorkloadParams& params)
+      : WorkloadBase(
+            WorkloadInfo{
+                .name = "LU",
+                .suite = "NPB",
+                .inputs = "Class C",
+                .paper_footprint_bytes = 819ull << 20,  // 0.8 GB
+                .paper_reference_seconds = 40.0,
+                .memory_bound_fraction = 0.50,
+            },
+            params),
+        n_(grid_side(params.footprint_bytes)),
+        u_(vas_, sink_, "u", kComponents * n_ * n_ * n_, 0.0),
+        rhs_(vas_, sink_, "rhs", kComponents * n_ * n_ * n_, 0.0) {
+    for (std::size_t m = 0; m < kComponents; ++m) {
+      for (std::size_t idx = 0; idx < n_ * n_ * n_; ++idx) {
+        rhs_.raw(m * n_ * n_ * n_ + idx) =
+            std::sin(0.015 * static_cast<double>(idx) +
+                     0.5 * static_cast<double>(m));
+      }
+    }
+  }
+
+  [[nodiscard]] static std::size_t grid_side(std::uint64_t footprint) {
+    const double cells =
+        static_cast<double>(footprint) / (kDoublesPerCell * sizeof(double));
+    const auto side = static_cast<std::size_t>(std::cbrt(cells));
+    check(side >= 4, "LU: footprint too small for a 4^3 grid");
+    return side;
+  }
+
+  [[nodiscard]] std::size_t grid() const noexcept { return n_; }
+
+  /// SSOR with omega in (0,2) on a dominant diagonal converges: the field
+  /// must be finite and bounded by max|rhs| / (diag - 3) = ~1/3.
+  [[nodiscard]] bool validate() const override {
+    double m = 0.0;
+    for (std::size_t i = 0; i < kComponents * n_ * n_ * n_; ++i) {
+      const double v = std::abs(u_.raw(i));
+      if (!std::isfinite(v)) return false;
+      m = std::max(m, v);
+    }
+    return m > 0.0 && m < 1.0;
+  }
+
+ private:
+  [[nodiscard]] std::size_t cell(std::size_t i, std::size_t j,
+                                 std::size_t k) const noexcept {
+    return (k * n_ + j) * n_ + i;
+  }
+
+  void execute() override {
+    constexpr double kOmega = 1.2;
+    constexpr double kDiag = 6.0;
+    const std::size_t n = n_;
+    const std::size_t cells = n * n * n;
+    for (std::uint32_t it = 0; it < params_.iterations; ++it) {
+      // Forward (lower-triangular) sweep.
+      for (std::size_t k = 1; k < n; ++k) {
+        for (std::size_t j = 1; j < n; ++j) {
+          for (std::size_t i = 1; i < n; ++i) {
+            const std::size_t c = cell(i, j, k);
+            for (std::size_t m = 0; m < kComponents; ++m) {
+              const std::size_t off = m * cells;
+              const double nb = u_.get(off + cell(i - 1, j, k)) +
+                                u_.get(off + cell(i, j - 1, k)) +
+                                u_.get(off + cell(i, j, k - 1));
+              const double old = u_.get(off + c);
+              const double updated =
+                  (1.0 - kOmega) * old +
+                  kOmega * (rhs_.get(off + c) + nb) / kDiag;
+              u_.set(off + c, updated);
+            }
+          }
+        }
+      }
+      // Backward (upper-triangular) sweep.
+      for (std::size_t k = n - 1; k-- > 0;) {
+        for (std::size_t j = n - 1; j-- > 0;) {
+          for (std::size_t i = n - 1; i-- > 0;) {
+            const std::size_t c = cell(i, j, k);
+            for (std::size_t m = 0; m < kComponents; ++m) {
+              const std::size_t off = m * cells;
+              const double nb = u_.get(off + cell(i + 1, j, k)) +
+                                u_.get(off + cell(i, j + 1, k)) +
+                                u_.get(off + cell(i, j, k + 1));
+              const double old = u_.get(off + c);
+              const double updated =
+                  (1.0 - kOmega) * old +
+                  kOmega * (rhs_.get(off + c) + nb) / kDiag;
+              u_.set(off + c, updated);
+            }
+          }
+        }
+      }
+    }
+  }
+
+  std::size_t n_;
+  Array<double> u_;
+  Array<double> rhs_;
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_lu(const WorkloadParams& params) {
+  return std::make_unique<LuWorkload>(params);
+}
+
+}  // namespace hms::workloads

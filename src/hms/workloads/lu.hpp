@@ -1,0 +1,18 @@
+// LU: NPB LU (SSOR) solver analog.
+//
+// Symmetric successive over-relaxation sweeps over a 3D grid with 5
+// solution components: a forward wavefront reading (i-1, j-1, k-1)
+// neighbours and a backward wavefront reading (i+1, j+1, k+1) neighbours —
+// NPB LU's characteristic dependence pattern (paper Table 4: Class C,
+// 0.8 GB/core).
+#pragma once
+
+#include <memory>
+
+#include "hms/workloads/workload.hpp"
+
+namespace hms::workloads {
+
+[[nodiscard]] std::unique_ptr<Workload> make_lu(const WorkloadParams& params);
+
+}  // namespace hms::workloads

@@ -1,0 +1,73 @@
+#include "hms/workloads/registry.hpp"
+
+#include <functional>
+#include <utility>
+
+#include "hms/common/error.hpp"
+#include "hms/common/string_util.hpp"
+#include "hms/workloads/amg.hpp"
+#include "hms/workloads/bt.hpp"
+#include "hms/workloads/cg.hpp"
+#include "hms/workloads/ft.hpp"
+#include "hms/workloads/graph500.hpp"
+#include "hms/workloads/hashing.hpp"
+#include "hms/workloads/is.hpp"
+#include "hms/workloads/lu.hpp"
+#include "hms/workloads/sp.hpp"
+#include "hms/workloads/stream_triad.hpp"
+#include "hms/workloads/velvet.hpp"
+
+namespace hms::workloads {
+
+namespace {
+
+using Factory =
+    std::function<std::unique_ptr<Workload>(const WorkloadParams&)>;
+
+const std::vector<std::pair<std::string, Factory>>& factories() {
+  static const std::vector<std::pair<std::string, Factory>> table = {
+      {"BT", make_bt},
+      {"SP", make_sp},
+      {"LU", make_lu},
+      {"CG", make_cg},
+      {"FT", make_ft},
+      {"IS", make_is},
+      {"AMG2013", make_amg},
+      {"Graph500", make_graph500},
+      {"Hashing", make_hashing},
+      {"Velvet", make_velvet},
+      {"StreamTriad", make_stream_triad},
+  };
+  return table;
+}
+
+}  // namespace
+
+std::unique_ptr<Workload> make_workload(std::string_view name,
+                                        const WorkloadParams& params) {
+  for (const auto& [key, factory] : factories()) {
+    if (iequals(key, name)) return factory(params);
+  }
+  if (iequals(name, "AMG")) return make_amg(params);
+  if (iequals(name, "Hash") || iequals(name, "Hashing-2")) {
+    return make_hashing(params);
+  }
+  throw Error("unknown workload: " + std::string(name));
+}
+
+const std::vector<std::string>& workload_names() {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> out;
+    for (const auto& [key, factory] : factories()) out.push_back(key);
+    return out;
+  }();
+  return names;
+}
+
+const std::vector<std::string>& paper_suite() {
+  static const std::vector<std::string> suite = {
+      "BT", "SP", "LU", "CG", "AMG2013", "Graph500", "Hashing", "Velvet"};
+  return suite;
+}
+
+}  // namespace hms::workloads

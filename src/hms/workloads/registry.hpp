@@ -1,0 +1,26 @@
+// WorkloadRegistry: name -> factory mapping plus the paper's evaluation
+// suite (Table 4 plus SP, which appears in the NDM figures).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "hms/workloads/workload.hpp"
+
+namespace hms::workloads {
+
+/// Creates a workload by name ("BT", "SP", "LU", "CG", "AMG2013",
+/// "Graph500", "Hashing", "Velvet", "StreamTriad"; case-insensitive).
+/// Throws hms::Error for unknown names.
+[[nodiscard]] std::unique_ptr<Workload> make_workload(
+    std::string_view name, const WorkloadParams& params);
+
+/// All registered workload names.
+[[nodiscard]] const std::vector<std::string>& workload_names();
+
+/// The paper's evaluation suite: the seven Table 4 entries plus SP.
+[[nodiscard]] const std::vector<std::string>& paper_suite();
+
+}  // namespace hms::workloads

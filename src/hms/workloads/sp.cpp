@@ -1,0 +1,202 @@
+#include "hms/workloads/sp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+
+#include "hms/common/error.hpp"
+#include "hms/workloads/workload_base.hpp"
+
+namespace hms::workloads {
+
+namespace {
+
+constexpr std::size_t kComponents = 5;
+// Doubles per cell: u(5) + rhs(5) + five diagonals.
+constexpr std::size_t kDoublesPerCell = 2 * kComponents + 5;
+
+class SpWorkload final : public WorkloadBase {
+ public:
+  explicit SpWorkload(const WorkloadParams& params)
+      : WorkloadBase(
+            WorkloadInfo{
+                .name = "SP",
+                .suite = "NPB",
+                .inputs = "Class C (reconstructed; used in Figs. 7-8)",
+                .paper_footprint_bytes = 1024ull << 20,
+                .paper_reference_seconds = 30.0,
+                .memory_bound_fraction = 0.55,
+            },
+            params),
+        n_(grid_side(params.footprint_bytes)),
+        u_(vas_, sink_, "u", kComponents * n_ * n_ * n_, 0.0),
+        rhs_(vas_, sink_, "rhs", kComponents * n_ * n_ * n_, 0.0),
+        d0_(vas_, sink_, "diag_m2", n_ * n_ * n_, 0.0),
+        d1_(vas_, sink_, "diag_m1", n_ * n_ * n_, 0.0),
+        d2_(vas_, sink_, "diag_0", n_ * n_ * n_, 0.0),
+        d3_(vas_, sink_, "diag_p1", n_ * n_ * n_, 0.0),
+        d4_(vas_, sink_, "diag_p2", n_ * n_ * n_, 0.0),
+        work_(vas_, sink_, "work", 4 * n_, 0.0) {
+    initialize();
+  }
+
+  [[nodiscard]] static std::size_t grid_side(std::uint64_t footprint) {
+    const double cells =
+        static_cast<double>(footprint) / (kDoublesPerCell * sizeof(double));
+    const auto side = static_cast<std::size_t>(std::cbrt(cells));
+    check(side >= 6, "SP: footprint too small for a 6^3 grid");
+    return side;
+  }
+
+  [[nodiscard]] std::size_t grid() const noexcept { return n_; }
+
+  /// Pentadiagonal system is diagonally dominant: the solution stays
+  /// finite and bounded by the RHS magnitude.
+  [[nodiscard]] bool validate() const override {
+    double m = 0.0;
+    for (std::size_t i = 0; i < kComponents * n_ * n_ * n_; ++i) {
+      const double v = std::abs(u_.raw(i));
+      if (!std::isfinite(v)) return false;
+      m = std::max(m, v);
+    }
+    return m > 0.0 && m < 10.0;
+  }
+
+ private:
+  [[nodiscard]] std::size_t cell(std::size_t i, std::size_t j,
+                                 std::size_t k) const noexcept {
+    return (k * n_ + j) * n_ + i;
+  }
+
+  void initialize() {
+    for (std::size_t idx = 0; idx < n_ * n_ * n_; ++idx) {
+      d0_.raw(idx) = -0.5;
+      d1_.raw(idx) = -1.0;
+      d2_.raw(idx) = 6.0 + 0.1 * rng_.uniform01();
+      d3_.raw(idx) = -1.0;
+      d4_.raw(idx) = -0.5;
+    }
+    for (std::size_t m = 0; m < kComponents; ++m) {
+      for (std::size_t idx = 0; idx < n_ * n_ * n_; ++idx) {
+        rhs_.raw(m * n_ * n_ * n_ + idx) =
+            std::cos(0.02 * static_cast<double>(idx) +
+                     static_cast<double>(m));
+      }
+    }
+  }
+
+  /// Pentadiagonal forward elimination + back substitution along a line.
+  /// Workspace layout (stride n): [0..n) alpha, [n..2n) beta, [2n..3n) z.
+  void solve_line(std::size_t base, std::size_t stride,
+                  std::size_t comp_off) {
+    const std::size_t n = n_;
+    auto alpha = [&](std::size_t i) { return i; };
+    auto beta = [&](std::size_t i) { return n + i; };
+    auto zi = [&](std::size_t i) { return 2 * n + i; };
+
+    // i = 0
+    {
+      const std::size_t c0 = base;
+      const double mu = d2_.get(c0);
+      work_.set(alpha(0), d3_.get(c0) / mu);
+      work_.set(beta(0), d4_.get(c0) / mu);
+      work_.set(zi(0), rhs_.get(comp_off + c0) / mu);
+    }
+    // i = 1
+    if (n > 1) {
+      const std::size_t c1 = base + stride;
+      const double l = d1_.get(c1);
+      const double mu = d2_.get(c1) - l * work_.get(alpha(0));
+      work_.set(alpha(1), (d3_.get(c1) - l * work_.get(beta(0))) / mu);
+      work_.set(beta(1), d4_.get(c1) / mu);
+      work_.set(zi(1),
+                (rhs_.get(comp_off + c1) - l * work_.get(zi(0))) / mu);
+    }
+    for (std::size_t i = 2; i < n; ++i) {
+      const std::size_t ci = base + i * stride;
+      const double e = d0_.get(ci);
+      const double l = d1_.get(ci) - e * work_.get(alpha(i - 2));
+      const double mu = d2_.get(ci) - e * work_.get(beta(i - 2)) -
+                        l * work_.get(alpha(i - 1));
+      work_.set(alpha(i), (d3_.get(ci) - l * work_.get(beta(i - 1))) / mu);
+      work_.set(beta(i), d4_.get(ci) / mu);
+      work_.set(zi(i), (rhs_.get(comp_off + ci) - e * work_.get(zi(i - 2)) -
+                        l * work_.get(zi(i - 1))) /
+                           mu);
+    }
+    // Back substitution.
+    double x1 = work_.get(zi(n - 1));
+    u_.set(comp_off + base + (n - 1) * stride, x1);
+    if (n > 1) {
+      double x2 = work_.get(zi(n - 2)) - work_.get(alpha(n - 2)) * x1;
+      u_.set(comp_off + base + (n - 2) * stride, x2);
+      for (std::size_t i = n - 2; i-- > 0;) {
+        const double x = work_.get(zi(i)) - work_.get(alpha(i)) * x2 -
+                         work_.get(beta(i)) * x1;
+        u_.set(comp_off + base + i * stride, x);
+        x1 = x2;
+        x2 = x;
+      }
+    }
+  }
+
+  void sweep_direction(int direction) {
+    const std::size_t n = n_;
+    const std::size_t plane = n * n;
+    for (std::size_t outer = 0; outer < n; ++outer) {
+      for (std::size_t inner = 0; inner < n; ++inner) {
+        std::size_t base = 0;
+        std::size_t stride = 0;
+        switch (direction) {
+          case 0:
+            base = cell(0, inner, outer);
+            stride = 1;
+            break;
+          case 1:
+            base = cell(inner, 0, outer);
+            stride = n;
+            break;
+          default:
+            base = cell(inner, outer, 0);
+            stride = plane;
+            break;
+        }
+        for (std::size_t m = 0; m < kComponents; ++m) {
+          solve_line(base, stride, m * n * plane);
+        }
+      }
+    }
+  }
+
+  void execute() override {
+    const std::size_t cells = n_ * n_ * n_;
+    for (std::uint32_t it = 0; it < params_.iterations; ++it) {
+      for (int direction = 0; direction < 3; ++direction) {
+        sweep_direction(direction);
+      }
+      for (std::size_t m = 0; m < kComponents; ++m) {
+        for (std::size_t idx = 0; idx < cells; ++idx) {
+          rhs_.set(m * cells + idx, 0.75 * u_.get(m * cells + idx));
+        }
+      }
+    }
+  }
+
+  std::size_t n_;
+  Array<double> u_;
+  Array<double> rhs_;
+  Array<double> d0_;
+  Array<double> d1_;
+  Array<double> d2_;
+  Array<double> d3_;
+  Array<double> d4_;
+  Array<double> work_;
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_sp(const WorkloadParams& params) {
+  return std::make_unique<SpWorkload>(params);
+}
+
+}  // namespace hms::workloads

@@ -1,0 +1,16 @@
+// SP: NPB Scalar-Pentadiagonal solver analog.
+//
+// Like BT but each line solves a pentadiagonal system (two sub- and two
+// super-diagonals), the distinguishing structure of NPB SP. Appears in the
+// paper's NDM per-workload results (Figs. 7-8).
+#pragma once
+
+#include <memory>
+
+#include "hms/workloads/workload.hpp"
+
+namespace hms::workloads {
+
+[[nodiscard]] std::unique_ptr<Workload> make_sp(const WorkloadParams& params);
+
+}  // namespace hms::workloads

@@ -1,0 +1,60 @@
+#include "hms/workloads/stream_triad.hpp"
+
+#include <cstddef>
+
+#include "hms/common/error.hpp"
+#include "hms/workloads/workload_base.hpp"
+
+namespace hms::workloads {
+
+namespace {
+
+class StreamTriadWorkload final : public WorkloadBase {
+ public:
+  explicit StreamTriadWorkload(const WorkloadParams& params)
+      : WorkloadBase(
+            WorkloadInfo{
+                .name = "StreamTriad",
+                .suite = "Synthetic",
+                .inputs = "triad",
+                .paper_footprint_bytes = 0,
+                .paper_reference_seconds = 0.0,
+                .memory_bound_fraction = 0.90,
+            },
+            params),
+        n_(pick_elements(params.footprint_bytes)),
+        a_(vas_, sink_, "a", n_, 0.0),
+        b_(vas_, sink_, "b", n_, 1.0),
+        c_(vas_, sink_, "c", n_, 2.0) {}
+
+  [[nodiscard]] static std::size_t pick_elements(std::uint64_t footprint) {
+    const std::size_t n = footprint / (3 * sizeof(double));
+    check(n >= 1, "StreamTriad: footprint too small");
+    return n;
+  }
+
+  [[nodiscard]] std::size_t elements() const noexcept { return n_; }
+
+ private:
+  void execute() override {
+    constexpr double kScalar = 3.0;
+    for (std::uint32_t it = 0; it < params_.iterations; ++it) {
+      for (std::size_t i = 0; i < n_; ++i) {
+        a_.set(i, b_.get(i) + kScalar * c_.get(i));
+      }
+    }
+  }
+
+  std::size_t n_;
+  Array<double> a_;
+  Array<double> b_;
+  Array<double> c_;
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_stream_triad(const WorkloadParams& params) {
+  return std::make_unique<StreamTriadWorkload>(params);
+}
+
+}  // namespace hms::workloads

@@ -1,0 +1,17 @@
+// STREAM triad: a(i) = b(i) + s * c(i).
+//
+// Not part of the paper's suite; included as a calibration workload with a
+// fully predictable stream (3 arrays, unit stride, 2:1 load:store on a) for
+// tests and the simulator-throughput microbench.
+#pragma once
+
+#include <memory>
+
+#include "hms/workloads/workload.hpp"
+
+namespace hms::workloads {
+
+[[nodiscard]] std::unique_ptr<Workload> make_stream_triad(
+    const WorkloadParams& params);
+
+}  // namespace hms::workloads

@@ -1,0 +1,252 @@
+#include "hms/workloads/velvet.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "hms/common/bitops.hpp"
+#include "hms/common/error.hpp"
+#include "hms/workloads/workload_base.hpp"
+
+namespace hms::workloads {
+
+namespace {
+
+constexpr unsigned kK = 21;             // k-mer length (odd, fits 2 bits/base)
+constexpr std::size_t kReadLength = 100;
+constexpr double kCoverage = 4.0;       // genome coverage by reads
+// Sequencing-error probability per base. Errors create unique junk k-mers
+// (each corrupts up to k table entries); modern short reads are ~0.1-0.5%.
+constexpr double kErrorRate = 0.002;
+// Fraction of the genome that is unique sequence; the rest is repeats
+// copied from the unique core, as in real genomes. Repeats give the k-mer
+// structures the hot-entry skew assemblers actually see.
+constexpr double kUniqueFraction = 0.125;
+constexpr std::uint32_t kNil = 0xffffffffu;
+
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// De Bruijn graph construction with Velvet's actual memory organization:
+/// a chained hash — a small bucket array of node indices plus an
+/// append-only node pool. Nodes are allocated in first-insertion order, so
+/// k-mers from the same genomic region sit on adjacent addresses and
+/// repeats re-touch previously allocated (hot) nodes; the pool itself is
+/// preallocated far beyond what the input fills, like the assembler's
+/// "Default" run.
+class VelvetWorkload final : public WorkloadBase {
+ public:
+  explicit VelvetWorkload(const WorkloadParams& params)
+      : WorkloadBase(
+            WorkloadInfo{
+                .name = "Velvet",
+                .suite = "Application",
+                .inputs = "Default",
+                .paper_footprint_bytes = 4096ull << 20,  // 4 GB
+                .paper_reference_seconds = 116.5,
+                .memory_bound_fraction = 0.65,
+            },
+            params),
+        pool_capacity_(pick_pool(params.footprint_bytes)),
+        genome_bases_(pick_genome(params.footprint_bytes)),
+        bucket_count_(pick_buckets(genome_bases_)),
+        read_count_(static_cast<std::size_t>(
+            kCoverage * static_cast<double>(genome_bases_) / kReadLength)),
+        reads_(vas_, sink_, "reads", read_count_ * kReadLength,
+               std::uint8_t{0}),
+        buckets_(vas_, sink_, "buckets", bucket_count_, kNil),
+        node_keys_(vas_, sink_, "node_keys", pool_capacity_,
+                   std::uint64_t{0}),
+        node_counts_(vas_, sink_, "node_counts", pool_capacity_,
+                     std::uint32_t{0}),
+        node_next_(vas_, sink_, "node_next", pool_capacity_, kNil) {
+    // Synthesize a repeat-rich genome (setup, uninstrumented — corresponds
+    // to Velvet's input files): a unique core plus segments copied from it.
+    std::vector<std::uint8_t> genome(genome_bases_);
+    const std::size_t core = std::max<std::size_t>(
+        static_cast<std::size_t>(kUniqueFraction *
+                                 static_cast<double>(genome_bases_)),
+        kReadLength * 2);
+    for (std::size_t i = 0; i < std::min(core, genome.size()); ++i) {
+      genome[i] = static_cast<std::uint8_t>(rng_.below(4));
+    }
+    std::size_t filled = std::min(core, genome.size());
+    while (filled < genome.size()) {
+      const std::size_t seg_len = std::min<std::size_t>(
+          200 + rng_.below(600), genome.size() - filled);
+      const std::size_t src = static_cast<std::size_t>(
+          rng_.below(core - std::min(seg_len, core - 1)));
+      for (std::size_t i = 0; i < seg_len; ++i) {
+        genome[filled + i] = genome[src + i];
+      }
+      filled += seg_len;
+    }
+    for (std::size_t r = 0; r < read_count_; ++r) {
+      const std::size_t start = static_cast<std::size_t>(
+          rng_.below(genome_bases_ - kReadLength));
+      for (std::size_t i = 0; i < kReadLength; ++i) {
+        std::uint8_t base = genome[start + i];
+        if (rng_.chance(kErrorRate)) {  // sequencing-error model
+          base = static_cast<std::uint8_t>((base + 1 + rng_.below(3)) & 3);
+        }
+        reads_.raw(r * kReadLength + i) = base;
+      }
+    }
+  }
+
+  /// Node pool (key 8 + count 4 + next 4 = 16 B) takes ~3/4 of the
+  /// footprint; only the distinct k-mers of the input fill it.
+  [[nodiscard]] static std::size_t pick_pool(std::uint64_t footprint) {
+    check(footprint >= 256 * 1024, "Velvet: footprint too small");
+    return static_cast<std::size_t>(3 * footprint / 4 / 16);
+  }
+
+  /// Genome sized so reads occupy ~10% of the footprint and distinct
+  /// k-mers (~0.29 x genome: unique core + error k-mers) fill well under
+  /// a third of the pool.
+  [[nodiscard]] static std::size_t pick_genome(std::uint64_t footprint) {
+    return static_cast<std::size_t>(footprint / 40);
+  }
+
+  /// Bucket array: ~2 slots per expected distinct k-mer.
+  [[nodiscard]] static std::size_t pick_buckets(std::size_t genome) {
+    return next_pow2(std::max<std::uint64_t>(
+        static_cast<std::uint64_t>(0.6 * static_cast<double>(genome)), 64));
+  }
+
+  [[nodiscard]] std::size_t distinct_kmers() const noexcept {
+    return nodes_used_;
+  }
+  [[nodiscard]] std::size_t contigs_walked() const noexcept {
+    return contigs_;
+  }
+  [[nodiscard]] std::size_t pool_capacity() const noexcept {
+    return pool_capacity_;
+  }
+
+  /// The first read's first k-mer must be in the graph, and the walk phase
+  /// must have produced contigs.
+  [[nodiscard]] bool validate() const override {
+    if (nodes_used_ == 0 || contigs_ == 0) return false;
+    if (nodes_used_ > pool_capacity_) return false;
+    constexpr std::uint64_t kKmerMask = (std::uint64_t{1} << (2 * kK)) - 1;
+    std::uint64_t kmer = 0;
+    for (std::size_t i = 0; i < kK; ++i) {
+      kmer = ((kmer << 2) | reads_.raw(i)) & kKmerMask;
+    }
+    return count_of_raw(kmer) >= 1;
+  }
+
+  /// Un-instrumented count lookup, for validation.
+  [[nodiscard]] std::uint32_t count_of_raw(std::uint64_t kmer) const {
+    std::uint32_t idx = buckets_.raw(
+        static_cast<std::size_t>(mix64(kmer)) & (bucket_count_ - 1));
+    while (idx != kNil) {
+      if (node_keys_.raw(idx) == kmer) return node_counts_.raw(idx);
+      idx = node_next_.raw(idx);
+    }
+    return 0;
+  }
+
+ private:
+  /// Inserts/increments a k-mer (instrumented chained-hash walk).
+  void bump(std::uint64_t kmer) {
+    const std::size_t b =
+        static_cast<std::size_t>(mix64(kmer)) & (bucket_count_ - 1);
+    const std::uint32_t head = buckets_.get(b);
+    std::uint32_t idx = head;
+    while (idx != kNil) {
+      if (node_keys_.get(idx) == kmer) {
+        node_counts_.update(idx, [](std::uint32_t c) { return c + 1; });
+        return;
+      }
+      idx = node_next_.get(idx);
+    }
+    check(nodes_used_ < pool_capacity_, "Velvet: node pool exhausted");
+    const auto fresh = static_cast<std::uint32_t>(nodes_used_++);
+    node_keys_.set(fresh, kmer);
+    node_counts_.set(fresh, 1);
+    node_next_.set(fresh, head);
+    buckets_.set(b, fresh);
+  }
+
+  /// Instrumented probe; returns count (0 if absent).
+  [[nodiscard]] std::uint32_t count_of(std::uint64_t kmer) {
+    std::uint32_t idx = buckets_.get(
+        static_cast<std::size_t>(mix64(kmer)) & (bucket_count_ - 1));
+    while (idx != kNil) {
+      if (node_keys_.get(idx) == kmer) return node_counts_.get(idx);
+      idx = node_next_.get(idx);
+    }
+    return 0;
+  }
+
+  void execute() override {
+    constexpr std::uint64_t kKmerMask = (std::uint64_t{1} << (2 * kK)) - 1;
+    // Phase 1: k-mer counting over all reads (sequential read scan +
+    // chained-hash updates).
+    for (std::size_t r = 0; r < read_count_; ++r) {
+      std::uint64_t kmer = 0;
+      for (std::size_t i = 0; i < kReadLength; ++i) {
+        const std::uint8_t base = reads_.get(r * kReadLength + i);
+        kmer = ((kmer << 2) | base) & kKmerMask;
+        if (i + 1 >= kK) bump(kmer);
+      }
+    }
+    // Phase 2: contig walking — from seed k-mers, repeatedly extend with
+    // the unique solid successor (4 probes per step).
+    const std::size_t walks = 1000 * params_.iterations;
+    for (std::size_t w = 0; w < walks; ++w) {
+      const std::size_t r =
+          static_cast<std::size_t>(rng_.below(read_count_));
+      std::uint64_t kmer = 0;
+      for (std::size_t i = 0; i < kK; ++i) {
+        kmer = ((kmer << 2) | reads_.get(r * kReadLength + i)) & kKmerMask;
+      }
+      std::size_t length = 0;
+      while (length < 200) {
+        std::uint64_t best = ~std::uint64_t{0};
+        std::uint32_t best_count = 1;  // require count >= 2 ("solid")
+        int candidates = 0;
+        for (std::uint64_t base = 0; base < 4; ++base) {
+          const std::uint64_t next = ((kmer << 2) | base) & kKmerMask;
+          const std::uint32_t c = count_of(next);
+          if (c > best_count) {
+            best = next;
+            best_count = c;
+            candidates = 1;
+          } else if (c == best_count && c > 1) {
+            ++candidates;
+          }
+        }
+        if (best == ~std::uint64_t{0} || candidates != 1) break;
+        kmer = best;
+        ++length;
+      }
+      ++contigs_;
+    }
+  }
+
+  std::size_t pool_capacity_;
+  std::size_t genome_bases_;
+  std::size_t bucket_count_;
+  std::size_t read_count_;
+  Array<std::uint8_t> reads_;
+  Array<std::uint32_t> buckets_;
+  Array<std::uint64_t> node_keys_;
+  Array<std::uint32_t> node_counts_;
+  Array<std::uint32_t> node_next_;
+  std::size_t nodes_used_ = 0;
+  std::size_t contigs_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<Workload> make_velvet(const WorkloadParams& params) {
+  return std::make_unique<VelvetWorkload>(params);
+}
+
+}  // namespace hms::workloads

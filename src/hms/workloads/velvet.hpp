@@ -1,0 +1,20 @@
+// Velvet: de novo short-read assembly analog (Zerbino & Birney).
+//
+// Builds a de Bruijn graph from synthetic short reads sampled off a random
+// genome: sequential read scanning, rolling 2-bit k-mer encoding, k-mer
+// counting in an open-addressing table (random access), and a contig-walk
+// phase that chases unique successors through the table — the mixed
+// sequential/irregular behaviour of genome assemblers (paper Table 4:
+// "Default", 4 GB/core).
+#pragma once
+
+#include <memory>
+
+#include "hms/workloads/workload.hpp"
+
+namespace hms::workloads {
+
+[[nodiscard]] std::unique_ptr<Workload> make_velvet(
+    const WorkloadParams& params);
+
+}  // namespace hms::workloads

@@ -1,0 +1,45 @@
+#include "hms/workloads/virtual_address_space.hpp"
+
+#include "hms/common/bitops.hpp"
+#include "hms/common/error.hpp"
+
+namespace hms::workloads {
+
+VirtualAddressSpace::VirtualAddressSpace(Address base, std::uint64_t alignment)
+    : base_(base), next_(base), alignment_(alignment) {
+  check_config(is_pow2(alignment), "VAS: alignment must be a power of two");
+  check_config(base % alignment == 0, "VAS: base must be aligned");
+}
+
+Address VirtualAddressSpace::allocate(std::string name, std::uint64_t bytes) {
+  check(bytes > 0, "VAS: zero-size allocation");
+  check(!has_range(name), "VAS: duplicate range name: " + name);
+  const Address range_base = next_;
+  next_ = align_up(next_ + bytes, alignment_);
+  total_ += bytes;
+  ranges_.push_back(AddressRange{std::move(name), range_base, bytes});
+  return range_base;
+}
+
+const AddressRange& VirtualAddressSpace::range(std::string_view name) const {
+  for (const auto& r : ranges_) {
+    if (r.name == name) return r;
+  }
+  throw Error("VAS: no such range: " + std::string(name));
+}
+
+bool VirtualAddressSpace::has_range(std::string_view name) const noexcept {
+  for (const auto& r : ranges_) {
+    if (r.name == name) return true;
+  }
+  return false;
+}
+
+const AddressRange* VirtualAddressSpace::find(Address a) const noexcept {
+  for (const auto& r : ranges_) {
+    if (r.contains(a)) return &r;
+  }
+  return nullptr;
+}
+
+}  // namespace hms::workloads

@@ -1,0 +1,69 @@
+// VirtualAddressSpace: a named-range allocator for workload data structures.
+//
+// Every kernel allocates its arrays here, so each simulated data structure
+// occupies a known contiguous address range. These ranges are exactly the
+// "contiguous range of addresses that accounts for the bulk of the memory
+// references" the paper's NDM oracle partitions between DRAM and NVM
+// (Section V, NDM results).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "hms/common/types.hpp"
+
+namespace hms::workloads {
+
+/// A named allocation.
+struct AddressRange {
+  std::string name;
+  Address base = 0;
+  std::uint64_t length = 0;
+
+  [[nodiscard]] Address end() const noexcept { return base + length; }
+  [[nodiscard]] bool contains(Address a) const noexcept {
+    return a >= base && a - base < length;
+  }
+};
+
+/// See file comment. Allocation is bump-pointer with page alignment;
+/// ranges never overlap and are never freed (kernels are one-shot).
+class VirtualAddressSpace {
+ public:
+  /// `base`: address of the first allocation (defaults clear of page 0);
+  /// `alignment`: allocation granularity (power of two).
+  explicit VirtualAddressSpace(Address base = 0x1000'0000,
+                               std::uint64_t alignment = 4096);
+
+  /// Reserves `bytes` under `name` and returns the range base.
+  /// Throws hms::Error if the name is already taken or bytes == 0.
+  Address allocate(std::string name, std::uint64_t bytes);
+
+  [[nodiscard]] const std::vector<AddressRange>& ranges() const noexcept {
+    return ranges_;
+  }
+  [[nodiscard]] const AddressRange& range(std::string_view name) const;
+  [[nodiscard]] bool has_range(std::string_view name) const noexcept;
+
+  /// Sum of all allocated range lengths — the workload footprint.
+  [[nodiscard]] std::uint64_t total_allocated() const noexcept {
+    return total_;
+  }
+  [[nodiscard]] Address base() const noexcept { return base_; }
+  /// One past the highest allocated address.
+  [[nodiscard]] Address top() const noexcept { return next_; }
+
+  /// The range containing `a`, or nullptr.
+  [[nodiscard]] const AddressRange* find(Address a) const noexcept;
+
+ private:
+  Address base_;
+  Address next_;
+  std::uint64_t alignment_;
+  std::uint64_t total_ = 0;
+  std::vector<AddressRange> ranges_;
+};
+
+}  // namespace hms::workloads

@@ -1,0 +1,21 @@
+#include "hms/workloads/workload_base.hpp"
+
+#include "hms/common/error.hpp"
+
+namespace hms::workloads {
+
+void WorkloadBase::run(trace::AccessSink& sink) {
+  check(!ran_, "Workload::run: kernels are one-shot; construct a fresh "
+               "instance (same seed reproduces the same stream)");
+  ran_ = true;
+  sink_.bind(sink);
+  try {
+    execute();
+  } catch (...) {
+    sink_.unbind();
+    throw;
+  }
+  sink_.unbind();
+}
+
+}  // namespace hms::workloads

@@ -1,0 +1,68 @@
+// The workload abstraction: a one-shot kernel that executes on real data and
+// emits its memory reference stream into an AccessSink (paper Section IV.B).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "hms/trace/sink.hpp"
+#include "hms/workloads/virtual_address_space.hpp"
+
+namespace hms::workloads {
+
+/// Static workload metadata, mirroring paper Table 4 where applicable.
+struct WorkloadInfo {
+  std::string name;
+  std::string suite;   ///< "NPB", "CORAL", "Application", "Synthetic"
+  std::string inputs;  ///< the paper's runtime command / class
+  /// Per-core footprint of the paper's full-size run (Table 4).
+  std::uint64_t paper_footprint_bytes = 0;
+  /// Reference-system execution time of the paper's run (Table 4).
+  double paper_reference_seconds = 0.0;
+  /// Fraction of wall-clock the reference run spends waiting on memory;
+  /// converts simulated memory time into modeled wall-clock (DESIGN.md).
+  double memory_bound_fraction = 0.5;
+};
+
+/// Parameters of one instantiation.
+struct WorkloadParams {
+  /// Target footprint of the scaled-down run. Kernels size their data
+  /// structures to approximate (never exceed by more than a page-rounding)
+  /// this total.
+  std::uint64_t footprint_bytes = 64ull << 20;
+  std::uint64_t seed = 42;
+  /// Outer iterations (sweeps / CG steps / BFS roots / ...). The paper also
+  /// reduced iteration counts "to keep the simulation time within
+  /// reasonable limits".
+  std::uint32_t iterations = 2;
+};
+
+/// A runnable kernel. Implementations allocate every data structure in
+/// their VirtualAddressSpace so the NDM partitioner can see named ranges.
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  [[nodiscard]] virtual const WorkloadInfo& info() const = 0;
+  [[nodiscard]] virtual const WorkloadParams& params() const = 0;
+
+  /// Executes the kernel once, emitting every memory reference into `sink`.
+  /// One-shot: calling run twice throws hms::Error.
+  virtual void run(trace::AccessSink& sink) = 0;
+
+  /// The named ranges of this instance's data structures.
+  [[nodiscard]] virtual const VirtualAddressSpace& address_space() const = 0;
+
+  /// Post-run self-check of kernel correctness — solver residuals, BFS
+  /// tree validity, hash-table membership, and similar. Only meaningful
+  /// after run(); returns false on numerical or structural failure.
+  [[nodiscard]] virtual bool validate() const { return true; }
+
+  /// Actual allocated footprint (after sizing to params().footprint_bytes).
+  [[nodiscard]] std::uint64_t footprint_bytes() const {
+    return address_space().total_allocated();
+  }
+};
+
+}  // namespace hms::workloads

@@ -1,0 +1,39 @@
+// Shared implementation scaffolding for the workload kernels.
+#pragma once
+
+#include "hms/common/random.hpp"
+#include "hms/trace/sink.hpp"
+#include "hms/workloads/instrumented.hpp"
+#include "hms/workloads/workload.hpp"
+
+namespace hms::workloads {
+
+/// Base class handling sink binding, one-shot enforcement, and common state.
+/// Kernels allocate their Array<T> members bound to `sink_` in their
+/// constructor and implement `execute()`.
+class WorkloadBase : public Workload {
+ public:
+  [[nodiscard]] const WorkloadInfo& info() const final { return info_; }
+  [[nodiscard]] const WorkloadParams& params() const final { return params_; }
+  [[nodiscard]] const VirtualAddressSpace& address_space() const final {
+    return vas_;
+  }
+
+  void run(trace::AccessSink& sink) final;
+
+ protected:
+  WorkloadBase(WorkloadInfo info, WorkloadParams params)
+      : info_(std::move(info)), params_(params), rng_(params.seed) {}
+
+  /// The kernel body; every instrumented access lands in the bound sink.
+  virtual void execute() = 0;
+
+  WorkloadInfo info_;
+  WorkloadParams params_;
+  Xoshiro256 rng_;
+  VirtualAddressSpace vas_;
+  trace::ForwardingSink sink_;
+  bool ran_ = false;
+};
+
+}  // namespace hms::workloads

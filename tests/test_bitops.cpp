@@ -1,0 +1,70 @@
+// Bit helpers (hms/common/bitops.hpp).
+#include <gtest/gtest.h>
+
+#include "hms/common/bitops.hpp"
+#include "hms/common/error.hpp"
+
+namespace hms {
+namespace {
+
+TEST(BitOps, IsPow2) {
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_TRUE(is_pow2(1ull << 40));
+  EXPECT_FALSE(is_pow2((1ull << 40) + 1));
+}
+
+TEST(BitOps, Log2Exact) {
+  EXPECT_EQ(log2_exact(1), 0u);
+  EXPECT_EQ(log2_exact(64), 6u);
+  EXPECT_EQ(log2_exact(1ull << 33), 33u);
+  EXPECT_THROW((void)log2_exact(0), Error);
+  EXPECT_THROW((void)log2_exact(3), Error);
+}
+
+TEST(BitOps, AlignDown) {
+  EXPECT_EQ(align_down(0, 64), 0u);
+  EXPECT_EQ(align_down(63, 64), 0u);
+  EXPECT_EQ(align_down(64, 64), 64u);
+  EXPECT_EQ(align_down(130, 64), 128u);
+}
+
+TEST(BitOps, AlignUp) {
+  EXPECT_EQ(align_up(0, 64), 0u);
+  EXPECT_EQ(align_up(1, 64), 64u);
+  EXPECT_EQ(align_up(64, 64), 64u);
+  EXPECT_EQ(align_up(65, 64), 128u);
+}
+
+TEST(BitOps, NextPow2) {
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(4), 4u);
+  EXPECT_EQ(next_pow2(1000), 1024u);
+}
+
+class AlignParamTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AlignParamTest, DownUpConsistency) {
+  const std::uint64_t align = GetParam();
+  for (std::uint64_t v : {0ull, 1ull, 63ull, 64ull, 65ull, 4095ull, 4096ull,
+                          1'000'000ull}) {
+    const auto d = align_down(v, align);
+    const auto u = align_up(v, align);
+    EXPECT_LE(d, v);
+    EXPECT_GE(u, v);
+    EXPECT_EQ(d % align, 0u);
+    EXPECT_EQ(u % align, 0u);
+    EXPECT_LT(v - d, align);
+    EXPECT_LT(u - v, align);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Alignments, AlignParamTest,
+                         ::testing::Values(1, 2, 64, 256, 4096, 1ull << 20));
+
+}  // namespace
+}  // namespace hms

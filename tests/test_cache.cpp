@@ -1,0 +1,264 @@
+// Set-associative cache (hms/cache/set_assoc_cache.hpp).
+#include <gtest/gtest.h>
+
+#include "hms/common/error.hpp"
+#include "hms/common/random.hpp"
+#include "hms/cache/set_assoc_cache.hpp"
+
+namespace hms::cache {
+namespace {
+
+CacheConfig small_cache(std::uint64_t capacity = 1024, std::uint64_t line = 64,
+                        std::uint32_t ways = 4) {
+  CacheConfig cfg;
+  cfg.name = "test";
+  cfg.capacity_bytes = capacity;
+  cfg.line_bytes = line;
+  cfg.associativity = ways;
+  return cfg;
+}
+
+TEST(Cache, Geometry) {
+  SetAssocCache c(small_cache(1024, 64, 4));
+  EXPECT_EQ(c.lines(), 16u);
+  EXPECT_EQ(c.ways(), 4u);
+  EXPECT_EQ(c.sets(), 4u);
+}
+
+TEST(Cache, FullyAssociativeViaZero) {
+  auto cfg = small_cache(1024, 64, 0);
+  SetAssocCache c(cfg);
+  EXPECT_EQ(c.sets(), 1u);
+  EXPECT_EQ(c.ways(), 16u);
+}
+
+TEST(Cache, ColdMissThenHit) {
+  SetAssocCache c(small_cache());
+  auto r1 = c.access(0x100, 8, AccessType::Load);
+  EXPECT_FALSE(r1.hit);
+  auto r2 = c.access(0x100, 8, AccessType::Load);
+  EXPECT_TRUE(r2.hit);
+  auto r3 = c.access(0x138, 8, AccessType::Load);  // same 64 B line
+  EXPECT_TRUE(r3.hit);
+  EXPECT_EQ(c.stats().load_misses, 1u);
+  EXPECT_EQ(c.stats().load_hits, 2u);
+}
+
+TEST(Cache, StoreMakesLineDirty) {
+  SetAssocCache c(small_cache());
+  c.access(0x40, 8, AccessType::Store);
+  EXPECT_TRUE(c.contains(0x40));
+  EXPECT_TRUE(c.is_dirty(0x40));
+  c.access(0x80, 8, AccessType::Load);
+  EXPECT_FALSE(c.is_dirty(0x80));
+}
+
+TEST(Cache, DirtyEvictionProducesWriteback) {
+  // 1 set of 4 ways at the chosen addresses: use a direct-mapped layout.
+  auto cfg = small_cache(256, 64, 1);  // 4 sets, direct mapped
+  SetAssocCache c(cfg);
+  c.access(0x000, 8, AccessType::Store);        // set 0, dirty
+  auto r = c.access(0x100, 8, AccessType::Load);  // same set, evicts
+  EXPECT_FALSE(r.hit);
+  EXPECT_TRUE(r.evicted);
+  EXPECT_TRUE(r.writeback);
+  EXPECT_EQ(r.victim_address, 0x000u);
+  EXPECT_EQ(r.writeback_bytes, 64u);
+  EXPECT_EQ(c.stats().writebacks, 1u);
+}
+
+TEST(Cache, CleanEvictionHasNoWriteback) {
+  auto cfg = small_cache(256, 64, 1);
+  SetAssocCache c(cfg);
+  c.access(0x000, 8, AccessType::Load);
+  auto r = c.access(0x100, 8, AccessType::Load);
+  EXPECT_TRUE(r.evicted);
+  EXPECT_FALSE(r.writeback);
+  EXPECT_EQ(c.stats().evictions, 1u);
+  EXPECT_EQ(c.stats().writebacks, 0u);
+}
+
+TEST(Cache, WriteAllocateOnStoreMiss) {
+  SetAssocCache c(small_cache());
+  auto r = c.access(0x200, 8, AccessType::Store);
+  EXPECT_FALSE(r.hit);
+  EXPECT_TRUE(c.contains(0x200));
+  EXPECT_TRUE(c.is_dirty(0x200));
+  EXPECT_EQ(c.stats().store_misses, 1u);
+}
+
+TEST(Cache, LruOrderWithinSet) {
+  auto cfg = small_cache(256, 64, 4);  // 1 set, 4 ways
+  SetAssocCache c(cfg);
+  // Fill 4 ways: lines 0,1,2,3 (all map to set 0 with one set).
+  for (Address a = 0; a < 4 * 64; a += 64) c.access(a, 8, AccessType::Load);
+  c.access(0, 8, AccessType::Load);  // refresh line 0
+  auto r = c.access(4 * 64, 8, AccessType::Load);  // evicts LRU = line 1
+  EXPECT_TRUE(r.evicted);
+  EXPECT_EQ(r.victim_address, 64u);
+  EXPECT_TRUE(c.contains(0));
+  EXPECT_FALSE(c.contains(64));
+}
+
+TEST(Cache, StraddlingAccessThrows) {
+  SetAssocCache c(small_cache());
+  EXPECT_THROW(c.access(60, 8, AccessType::Load), hms::Error);
+  EXPECT_THROW(c.access(0, 0, AccessType::Load), hms::Error);
+}
+
+TEST(Cache, OccupancyGrowsToCapacity) {
+  SetAssocCache c(small_cache(1024, 64, 4));
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    c.access(rng.below(1 << 20) & ~63ull, 8, AccessType::Load);
+  }
+  EXPECT_EQ(c.occupancy(), c.lines());
+}
+
+TEST(Cache, FlushReturnsDirtyLinesAndEmpties) {
+  SetAssocCache c(small_cache());
+  c.access(0x000, 8, AccessType::Store);
+  c.access(0x040, 8, AccessType::Load);
+  c.access(0x080, 8, AccessType::Store);
+  auto dirty = c.flush();
+  EXPECT_EQ(dirty.size(), 2u);
+  EXPECT_EQ(c.occupancy(), 0u);
+  EXPECT_FALSE(c.contains(0x000));
+  for (const auto& [addr, bytes] : dirty) {
+    EXPECT_EQ(bytes, 64u);
+    EXPECT_TRUE(addr == 0x000 || addr == 0x080);
+  }
+}
+
+TEST(Cache, StatsInvariants) {
+  SetAssocCache c(small_cache(512, 64, 2));
+  Xoshiro256 rng(17);
+  Count accesses = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const Address a = rng.below(1 << 14) & ~7ull;
+    const auto type = rng.chance(0.3) ? AccessType::Store : AccessType::Load;
+    c.access(a, 8, type);
+    ++accesses;
+  }
+  const auto& s = c.stats();
+  EXPECT_EQ(s.accesses(), accesses);
+  EXPECT_EQ(s.hits() + s.misses(), accesses);
+  EXPECT_LE(s.writebacks, s.evictions);
+  EXPECT_LE(s.evictions, s.misses());
+  EXPECT_GE(s.miss_rate(), 0.0);
+  EXPECT_LE(s.miss_rate(), 1.0);
+}
+
+TEST(Cache, MoreWaysNeverHurtWithLruSameSets) {
+  // Classic inclusion-style property: with the same number of SETS and
+  // LRU, doubling associativity (and thus capacity) cannot increase
+  // misses for any trace.
+  Xoshiro256 rng(23);
+  std::vector<std::pair<Address, AccessType>> trace;
+  for (int i = 0; i < 30000; ++i) {
+    trace.emplace_back(rng.below(1 << 15) & ~7ull,
+                       rng.chance(0.25) ? AccessType::Store
+                                        : AccessType::Load);
+  }
+  auto run = [&](std::uint32_t ways) {
+    CacheConfig cfg;
+    cfg.capacity_bytes = 64ull * 8 * ways;  // 8 sets x ways
+    cfg.line_bytes = 64;
+    cfg.associativity = ways;
+    SetAssocCache c(cfg);
+    for (const auto& [a, t] : trace) c.access(a, 8, t);
+    return c.stats().misses();
+  };
+  const Count m2 = run(2);
+  const Count m4 = run(4);
+  const Count m8 = run(8);
+  EXPECT_GE(m2, m4);
+  EXPECT_GE(m4, m8);
+}
+
+TEST(Cache, SectorDirtyTracksPartialWritebacks) {
+  CacheConfig cfg;
+  cfg.capacity_bytes = 4096;
+  cfg.line_bytes = 1024;
+  cfg.associativity = 1;  // 4 sets, direct mapped
+  cfg.sector_bytes = 64;
+  SetAssocCache c(cfg);
+  c.access(0x0000, 8, AccessType::Store);   // dirties sector 0 of line 0
+  c.access(0x0040, 8, AccessType::Store);   // dirties sector 1
+  auto r = c.access(0x1000, 8, AccessType::Load);  // same set -> evict
+  EXPECT_TRUE(r.writeback);
+  EXPECT_EQ(r.writeback_bytes, 128u);  // two dirty 64 B sectors only
+}
+
+TEST(Cache, WholeLineDirtyWithoutSectors) {
+  CacheConfig cfg;
+  cfg.capacity_bytes = 4096;
+  cfg.line_bytes = 1024;
+  cfg.associativity = 1;
+  SetAssocCache c(cfg);
+  c.access(0x0000, 8, AccessType::Store);
+  auto r = c.access(0x1000, 8, AccessType::Load);
+  EXPECT_TRUE(r.writeback);
+  EXPECT_EQ(r.writeback_bytes, 1024u);  // whole page
+}
+
+TEST(Cache, SectorConfigValidation) {
+  CacheConfig cfg;
+  cfg.capacity_bytes = 8192;
+  cfg.line_bytes = 8192;
+  cfg.associativity = 1;
+  cfg.sector_bytes = 64;  // 128 sectors > 64 limit
+  EXPECT_THROW(SetAssocCache{cfg}, hms::ConfigError);
+  cfg.sector_bytes = 128;  // 64 sectors: ok
+  EXPECT_NO_THROW(SetAssocCache{cfg});
+}
+
+TEST(Cache, ConfigValidation) {
+  auto bad = small_cache(0);
+  EXPECT_THROW(SetAssocCache{bad}, hms::ConfigError);
+  bad = small_cache(1000, 100);  // non-pow2 line
+  EXPECT_THROW(SetAssocCache{bad}, hms::ConfigError);
+  bad = small_cache(1024, 64, 32);  // assoc > lines
+  EXPECT_THROW(SetAssocCache{bad}, hms::ConfigError);
+  bad = small_cache(192, 64, 1);  // 3 sets: not a power of two
+  EXPECT_THROW(SetAssocCache{bad}, hms::ConfigError);
+}
+
+TEST(Cache, TwentyWayL3GeometryAccepted) {
+  // The Sandy Bridge L3: 20 MB, 20-way, 64 B lines -> 16384 sets.
+  CacheConfig cfg;
+  cfg.capacity_bytes = 20ull << 20;
+  cfg.line_bytes = 64;
+  cfg.associativity = 20;
+  SetAssocCache c(cfg);
+  EXPECT_EQ(c.sets(), 16384u);
+  EXPECT_EQ(c.ways(), 20u);
+}
+
+class PolicyMissRateTest : public ::testing::TestWithParam<PolicyKind> {};
+
+TEST_P(PolicyMissRateTest, AllPoliciesServeTraceConsistently) {
+  CacheConfig cfg = small_cache(2048, 64, 8);
+  cfg.policy = GetParam();
+  SetAssocCache c(cfg);
+  Xoshiro256 rng(31);
+  Count accesses = 0;
+  for (int i = 0; i < 20000; ++i) {
+    c.access(rng.below(1 << 14) & ~7ull, 8, AccessType::Load);
+    ++accesses;
+  }
+  EXPECT_EQ(c.stats().accesses(), accesses);
+  // Footprint (16 KiB) exceeds capacity (2 KiB): must both hit and miss.
+  EXPECT_GT(c.stats().hits(), 0u);
+  EXPECT_GT(c.stats().misses(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, PolicyMissRateTest,
+                         ::testing::Values(PolicyKind::LRU,
+                                           PolicyKind::TreePLRU,
+                                           PolicyKind::FIFO,
+                                           PolicyKind::Random,
+                                           PolicyKind::SRRIP));
+
+}  // namespace
+}  // namespace hms::cache

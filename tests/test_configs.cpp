@@ -1,0 +1,71 @@
+// Paper configuration tables (hms/designs/configs.hpp).
+#include <gtest/gtest.h>
+
+#include "hms/common/error.hpp"
+#include "hms/designs/configs.hpp"
+
+namespace hms::designs {
+namespace {
+
+TEST(Table2, EightConfigs) {
+  const auto& ehs = eh_configs();
+  ASSERT_EQ(ehs.size(), 8u);
+  // EH1-EH6: 16 MB with page sizes 64..2048.
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(ehs[static_cast<std::size_t>(i)].l4_capacity_bytes,
+              16ull << 20);
+    EXPECT_EQ(ehs[static_cast<std::size_t>(i)].page_bytes,
+              64ull << i);
+  }
+  EXPECT_EQ(ehs[6].l4_capacity_bytes, 8ull << 20);
+  EXPECT_EQ(ehs[6].page_bytes, 2048u);
+  // EH8 repaired from the corrupted printed row: next halving.
+  EXPECT_EQ(ehs[7].l4_capacity_bytes, 4ull << 20);
+  EXPECT_EQ(ehs[7].page_bytes, 2048u);
+}
+
+TEST(Table2, LookupByName) {
+  EXPECT_EQ(eh_config("EH1").page_bytes, 64u);
+  EXPECT_EQ(eh_config("eh5").page_bytes, 1024u);
+  EXPECT_THROW((void)eh_config("EH9"), hms::Error);
+}
+
+TEST(Table3, NineConfigs) {
+  const auto& ns = n_configs();
+  ASSERT_EQ(ns.size(), 9u);
+  EXPECT_EQ(ns[0].dram_capacity_bytes, 128ull << 20);
+  EXPECT_EQ(ns[0].page_bytes, 4096u);
+  EXPECT_EQ(ns[1].dram_capacity_bytes, 256ull << 20);
+  EXPECT_EQ(ns[2].dram_capacity_bytes, 512ull << 20);
+  // N3..N9: fixed 512 MB, page halving 4096 -> 64.
+  for (int i = 2; i < 9; ++i) {
+    EXPECT_EQ(ns[static_cast<std::size_t>(i)].dram_capacity_bytes,
+              512ull << 20);
+    EXPECT_EQ(ns[static_cast<std::size_t>(i)].page_bytes,
+              4096ull >> (i - 2));
+  }
+}
+
+TEST(Table3, LookupByName) {
+  EXPECT_EQ(n_config("N6").page_bytes, 512u);
+  EXPECT_EQ(n_config("n6").dram_capacity_bytes, 512ull << 20);
+  EXPECT_THROW((void)n_config("N10"), hms::Error);
+}
+
+TEST(ReferenceCaches, SandyBridgeGeometry) {
+  const ReferenceCaches ref;
+  EXPECT_EQ(ref.line_bytes, 64u);
+  EXPECT_EQ(ref.l1_capacity, 32ull << 10);
+  EXPECT_EQ(ref.l1_ways, 8u);
+  EXPECT_EQ(ref.l2_capacity, 256ull << 10);
+  EXPECT_EQ(ref.l2_ways, 8u);
+  EXPECT_EQ(ref.l3_capacity, 20ull << 20);
+  EXPECT_EQ(ref.l3_ways, 20u);
+}
+
+TEST(Ndm, FixedDramPartition) {
+  EXPECT_EQ(kNdmDramCapacity, 512ull << 20);
+}
+
+}  // namespace
+}  // namespace hms::designs

@@ -1,0 +1,74 @@
+// Cost model (hms/model/cost.hpp).
+#include <gtest/gtest.h>
+
+#include "hms/model/cost.hpp"
+
+namespace hms::model {
+namespace {
+
+using cache::HierarchyProfile;
+using cache::LevelProfile;
+using mem::Technology;
+
+LevelProfile level(Technology t, std::uint64_t capacity) {
+  LevelProfile p;
+  p.tech.technology = t;
+  p.capacity_bytes = capacity;
+  return p;
+}
+
+TEST(Cost, LevelCostScalesWithCapacity) {
+  const CostParams params;
+  const auto one = level_cost_usd(level(Technology::DRAM, 1ull << 30));
+  const auto four = level_cost_usd(level(Technology::DRAM, 4ull << 30));
+  EXPECT_DOUBLE_EQ(one, params.dram_usd_per_gib);
+  EXPECT_DOUBLE_EQ(four, 4.0 * one);
+}
+
+TEST(Cost, DefaultRelativeEconomics) {
+  const CostParams p;
+  // PCM is the cheap-capacity option; SRAM is by far the priciest.
+  EXPECT_LT(p.usd_per_gib(Technology::PCM),
+            p.usd_per_gib(Technology::DRAM));
+  EXPECT_GT(p.usd_per_gib(Technology::SRAM),
+            p.usd_per_gib(Technology::eDRAM));
+  EXPECT_GT(p.usd_per_gib(Technology::eDRAM),
+            p.usd_per_gib(Technology::DRAM));
+}
+
+TEST(Cost, MemoryCostSumsLevels) {
+  HierarchyProfile profile;
+  profile.levels.push_back(level(Technology::SRAM, 20ull << 20));
+  profile.levels.push_back(level(Technology::DRAM, 4ull << 30));
+  const CostParams p;
+  const double expected =
+      (20.0 / 1024.0) * p.sram_usd_per_gib + 4.0 * p.dram_usd_per_gib;
+  EXPECT_NEAR(memory_cost_usd(profile), expected, 1e-9);
+}
+
+TEST(Cost, NmmTradesDramForCheapPcm) {
+  // 512 MB DRAM + 4 GiB PCM costs less than 4 GiB DRAM — the paper's
+  // capacity-economics motivation.
+  HierarchyProfile base;
+  base.levels.push_back(level(Technology::DRAM, 4ull << 30));
+  HierarchyProfile nmm;
+  nmm.levels.push_back(level(Technology::DRAM, 512ull << 20));
+  nmm.levels.push_back(level(Technology::PCM, 4ull << 30));
+  EXPECT_LT(memory_cost_usd(nmm), memory_cost_usd(base));
+}
+
+TEST(Cost, CostReportCombinesRuntimeAndEdp) {
+  HierarchyProfile profile;
+  profile.levels.push_back(level(Technology::DRAM, 1ull << 30));
+  DesignReport report;
+  report.runtime = Time::from_seconds(2.0);
+  report.dynamic = Energy::from_pj(100.0);
+  report.leakage = Energy::from_pj(0.0);
+  const auto cost = CostReport::make(profile, report);
+  EXPECT_DOUBLE_EQ(cost.cost_usd, 8.0);
+  EXPECT_DOUBLE_EQ(cost.cost_delay, 16.0);
+  EXPECT_DOUBLE_EQ(cost.cost_edp, 8.0 * report.edp().value);
+}
+
+}  // namespace
+}  // namespace hms::model

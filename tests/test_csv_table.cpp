@@ -1,0 +1,91 @@
+// CsvWriter and TextTable (hms/common/csv.hpp, table.hpp).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "hms/common/csv.hpp"
+#include "hms/common/error.hpp"
+#include "hms/common/table.hpp"
+
+namespace hms {
+namespace {
+
+TEST(Csv, HeaderAndRows) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.header({"config", "runtime", "energy"});
+  csv.row({"N1", "1.05", "1.12"});
+  csv.row({"N6", "1.07", "0.79"});
+  EXPECT_EQ(out.str(),
+            "config,runtime,energy\nN1,1.05,1.12\nN6,1.07,0.79\n");
+  EXPECT_EQ(csv.rows_written(), 2u);
+}
+
+TEST(Csv, EscapesSpecialCharacters) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(Csv, RowWidthMismatchThrows) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.header({"a", "b"});
+  EXPECT_THROW(csv.row({"only-one"}), Error);
+}
+
+TEST(Csv, DoubleHeaderThrows) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.header({"a"});
+  EXPECT_THROW(csv.header({"b"}), Error);
+}
+
+TEST(Csv, RowsWithoutHeaderAllowed) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.row({"x", "y"});
+  csv.row({"1", "2", "3"});  // width unconstrained without header
+  EXPECT_EQ(csv.rows_written(), 2u);
+}
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", "1.5"});
+  t.add_row({"b", "10.25"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("-----"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  // Numeric column right-aligned: "10.25" ends at same column as header.
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TextTable, RejectsMismatchedRow) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only"}), Error);
+}
+
+TEST(TextTable, RejectsEmptyHeader) {
+  EXPECT_THROW(TextTable({}), Error);
+}
+
+TEST(FmtFixed, Precision) {
+  EXPECT_EQ(fmt_fixed(1.23456, 3), "1.235");
+  EXPECT_EQ(fmt_fixed(2.0, 1), "2.0");
+  EXPECT_EQ(fmt_fixed(-0.5, 2), "-0.50");
+}
+
+TEST(FmtBytes, BinaryUnits) {
+  EXPECT_EQ(fmt_bytes(64), "64 B");
+  EXPECT_EQ(fmt_bytes(512), "512 B");
+  EXPECT_EQ(fmt_bytes(1024), "1 KiB");
+  EXPECT_EQ(fmt_bytes(512 * 1024), "512 KiB");
+  EXPECT_EQ(fmt_bytes(20ull << 20), "20 MiB");
+  EXPECT_EQ(fmt_bytes(4ull << 30), "4 GiB");
+  EXPECT_EQ(fmt_bytes(1536), "1536 B");  // not a clean KiB multiple
+}
+
+}  // namespace
+}  // namespace hms

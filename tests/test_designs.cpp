@@ -1,0 +1,194 @@
+// DesignFactory: hierarchy construction for all five designs.
+#include <gtest/gtest.h>
+
+#include "hms/common/error.hpp"
+#include "hms/designs/design.hpp"
+#include "hms/trace/trace_buffer.hpp"
+
+namespace hms::designs {
+namespace {
+
+using cache::MemoryHierarchy;
+using cache::SingleMemoryBackend;
+using mem::Technology;
+
+constexpr std::uint64_t kFootprint = 8ull << 20;
+
+TEST(Factory, ScaleMustBePow2) {
+  EXPECT_NO_THROW(DesignFactory{64});
+  EXPECT_THROW(DesignFactory{48}, hms::ConfigError);
+}
+
+TEST(Factory, FrontLevelsMatchScaledReference) {
+  DesignFactory f(64);
+  const auto levels = f.front_levels();
+  ASSERT_EQ(levels.size(), 3u);
+  EXPECT_EQ(levels[0].cache.name, "L1");
+  EXPECT_EQ(levels[0].cache.capacity_bytes, (32ull << 10) / 64);
+  EXPECT_EQ(levels[1].cache.capacity_bytes, (256ull << 10) / 64);
+  EXPECT_EQ(levels[2].cache.capacity_bytes, (20ull << 20) / 64);
+  for (const auto& l : levels) {
+    EXPECT_EQ(l.cache.line_bytes, 64u);
+    EXPECT_EQ(l.tech.technology, Technology::SRAM);
+  }
+  EXPECT_EQ(levels[2].cache.associativity, 20u);
+}
+
+TEST(Factory, UnscaledFrontIsFullSize) {
+  DesignFactory f(1);
+  const auto levels = f.front_levels();
+  EXPECT_EQ(levels[2].cache.capacity_bytes, 20ull << 20);
+}
+
+TEST(Factory, ScaledFloorsAtUsableGeometry) {
+  DesignFactory f(1ull << 20);  // absurd scale
+  const auto levels = f.front_levels();
+  // Floor: one set of `ways` lines.
+  EXPECT_EQ(levels[0].cache.capacity_bytes, 64ull * 8);
+  // Must still construct valid hierarchies.
+  EXPECT_NO_THROW((void)f.base(kFootprint));
+}
+
+TEST(Factory, BaseDesign) {
+  DesignFactory f(64);
+  auto h = f.base(kFootprint);
+  EXPECT_EQ(h->cache_levels(), 3u);
+  const auto& backend =
+      static_cast<const SingleMemoryBackend&>(h->backend());
+  EXPECT_EQ(backend.device().technology().technology, Technology::DRAM);
+  // DRAM sized to the footprint ("large enough").
+  EXPECT_GE(backend.device().config().capacity_bytes, kFootprint);
+}
+
+TEST(Factory, FourLevelCacheAddsL4) {
+  DesignFactory f(64);
+  auto h = f.four_level_cache(eh_config("EH1"), Technology::eDRAM,
+                              kFootprint);
+  ASSERT_EQ(h->cache_levels(), 4u);
+  EXPECT_EQ(h->level(3).config().line_bytes, 64u);
+  EXPECT_EQ(h->level(3).config().capacity_bytes, (16ull << 20) / 64);
+  // HMC variant names the level accordingly.
+  auto h2 =
+      f.four_level_cache(eh_config("EH6"), Technology::HMC, kFootprint);
+  EXPECT_EQ(h2->level(3).config().name, "L4-HMC");
+  EXPECT_EQ(h2->level(3).config().line_bytes, 2048u);
+}
+
+TEST(Factory, NmmUsesDramCacheOverNvm) {
+  DesignFactory f(64);
+  auto h = f.nvm_main_memory(n_config("N6"), Technology::PCM, kFootprint);
+  ASSERT_EQ(h->cache_levels(), 4u);
+  EXPECT_EQ(h->level(3).config().name, "DRAM$");
+  EXPECT_EQ(h->level(3).config().capacity_bytes, (512ull << 20) / 64);
+  EXPECT_EQ(h->level(3).config().line_bytes, 512u);
+  const auto& backend =
+      static_cast<const SingleMemoryBackend&>(h->backend());
+  EXPECT_EQ(backend.device().technology().technology, Technology::PCM);
+}
+
+TEST(Factory, FourLcNvmHasNoDram) {
+  DesignFactory f(64);
+  auto h = f.four_level_cache_nvm(eh_config("EH1"), Technology::eDRAM,
+                                  Technology::STTRAM, kFootprint);
+  ASSERT_EQ(h->cache_levels(), 4u);
+  const auto& backend =
+      static_cast<const SingleMemoryBackend&>(h->backend());
+  EXPECT_EQ(backend.device().technology().technology, Technology::STTRAM);
+}
+
+TEST(Factory, NdmRoutesRulesToNvm) {
+  DesignFactory f(64);
+  std::vector<cache::AddressRangeRule> rules = {{0x10000, 0x10000, 999}};
+  auto h = f.nvm_plus_dram(Technology::FeRAM, rules, kFootprint);
+  EXPECT_EQ(h->cache_levels(), 3u);  // no extra cache level
+  const auto profiles = h->backend().profiles();
+  ASSERT_EQ(profiles.size(), 2u);
+  EXPECT_EQ(profiles[0].tech.technology, Technology::DRAM);
+  EXPECT_EQ(profiles[1].tech.technology, Technology::FeRAM);
+  // Rule device index is forced to the NVM device regardless of input.
+  h->access(trace::load(0x10000, 8));
+  const auto after = h->backend().profiles();
+  EXPECT_EQ(after[1].loads, 1u);
+}
+
+TEST(Factory, BackHierarchiesHaveNoFront) {
+  DesignFactory f(64);
+  EXPECT_EQ(f.base_back(kFootprint)->cache_levels(), 0u);
+  EXPECT_EQ(f.four_level_cache_back(eh_config("EH1"), Technology::eDRAM,
+                                    kFootprint)
+                ->cache_levels(),
+            1u);
+  EXPECT_EQ(f.nvm_main_memory_back(n_config("N1"), Technology::PCM,
+                                   kFootprint)
+                ->cache_levels(),
+            1u);
+  EXPECT_EQ(f.nvm_plus_dram_back(Technology::PCM, {}, kFootprint)
+                ->cache_levels(),
+            0u);
+}
+
+TEST(Factory, FrontFeedsCaptureSink) {
+  DesignFactory f(64);
+  trace::TraceBuffer residual;
+  auto front = f.front(residual);
+  EXPECT_EQ(front->cache_levels(), 3u);
+  front->access(trace::load(0x1000, 8));
+  // Cold miss must reach the capture backend.
+  EXPECT_EQ(residual.size(), 1u);
+  EXPECT_EQ(residual.entries()[0].size, 64u);
+}
+
+TEST(Factory, DesignOptionsPropagate) {
+  DesignOptions opts;
+  opts.l4_policy = cache::PolicyKind::FIFO;
+  opts.sector_bytes = 64;
+  opts.nvm_wear_leveling = true;
+  DesignFactory f(64, mem::TechnologyRegistry::table1(), opts);
+  auto h = f.nvm_main_memory(n_config("N6"), Technology::PCM, kFootprint);
+  EXPECT_EQ(h->level(3).config().policy, cache::PolicyKind::FIFO);
+  EXPECT_EQ(h->level(3).config().sector_bytes, 64u);
+  const auto& backend =
+      static_cast<const SingleMemoryBackend&>(h->backend());
+  EXPECT_TRUE(backend.device().config().wear_leveling);
+  EXPECT_NE(backend.device().wear_leveler(), nullptr);
+}
+
+TEST(Factory, AllTable2And3ConfigsConstruct) {
+  DesignFactory f(64);
+  for (const auto& eh : eh_configs()) {
+    for (Technology l4 : {Technology::eDRAM, Technology::HMC}) {
+      EXPECT_NO_THROW((void)f.four_level_cache(eh, l4, kFootprint))
+          << eh.name;
+      for (Technology nvm :
+           {Technology::PCM, Technology::STTRAM, Technology::FeRAM}) {
+        EXPECT_NO_THROW(
+            (void)f.four_level_cache_nvm(eh, l4, nvm, kFootprint))
+            << eh.name;
+      }
+    }
+  }
+  for (const auto& n : n_configs()) {
+    for (Technology nvm :
+         {Technology::PCM, Technology::STTRAM, Technology::FeRAM}) {
+      EXPECT_NO_THROW((void)f.nvm_main_memory(n, nvm, kFootprint))
+          << n.name;
+    }
+  }
+}
+
+TEST(Factory, UnscaledConfigsConstructToo) {
+  DesignFactory f(1);
+  for (const auto& n : n_configs()) {
+    EXPECT_NO_THROW(
+        (void)f.nvm_main_memory(n, Technology::PCM, 4ull << 30))
+        << n.name;
+  }
+  for (const auto& eh : eh_configs()) {
+    EXPECT_NO_THROW(
+        (void)f.four_level_cache(eh, Technology::eDRAM, 4ull << 30))
+        << eh.name;
+  }
+}
+
+}  // namespace
+}  // namespace hms::designs

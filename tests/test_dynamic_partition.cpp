@@ -1,0 +1,154 @@
+// DynamicPartitionBackend — epoch-based DRAM/NVM migration (the paper's
+// future-work NDM variant).
+#include <gtest/gtest.h>
+
+#include "hms/common/error.hpp"
+#include "hms/common/random.hpp"
+#include "hms/cache/dynamic_partition.hpp"
+
+namespace hms::cache {
+namespace {
+
+using mem::Technology;
+using mem::TechnologyRegistry;
+
+DynamicPartitionConfig config(std::uint64_t dram_capacity = 4ull << 20,
+                              std::uint64_t region = 1ull << 20,
+                              std::uint64_t epoch = 1000) {
+  DynamicPartitionConfig cfg;
+  cfg.dram.name = "DRAM";
+  cfg.dram.technology = TechnologyRegistry::table1().get(Technology::DRAM);
+  cfg.dram.capacity_bytes = dram_capacity;
+  cfg.dram.line_bytes = 256;
+  cfg.nvm.name = "PCM";
+  cfg.nvm.technology = TechnologyRegistry::table1().get(Technology::PCM);
+  cfg.nvm.capacity_bytes = 64ull << 20;
+  cfg.nvm.line_bytes = 256;
+  cfg.region_bytes = region;
+  cfg.epoch_accesses = epoch;
+  return cfg;
+}
+
+TEST(DynamicPartition, EverythingStartsInNvm) {
+  DynamicPartitionBackend b(config());
+  b.load(0x100, 64);
+  b.store(0x100, 64);
+  EXPECT_EQ(b.nvm().stats().reads, 1u);
+  EXPECT_EQ(b.nvm().stats().writes, 1u);
+  EXPECT_EQ(b.dram().stats().total(), 0u);
+  EXPECT_FALSE(b.in_dram(0x100));
+}
+
+TEST(DynamicPartition, HotRegionPromotesAfterEpoch) {
+  DynamicPartitionBackend b(config(4ull << 20, 1ull << 20, 100));
+  for (int i = 0; i < 100; ++i) b.load(0x1000, 64);  // region 0, hot
+  EXPECT_EQ(b.epochs(), 1u);
+  EXPECT_TRUE(b.in_dram(0x1000));
+  // Promotion cost: one bulk NVM read + one bulk DRAM write.
+  EXPECT_EQ(b.migrations(), 1u);
+  EXPECT_EQ(b.migrated_bytes(), 1ull << 20);
+  EXPECT_EQ(b.dram().stats().writes, 1u);
+  EXPECT_EQ(b.dram().stats().write_bytes, 1ull << 20);
+  // Subsequent traffic to the region lands in DRAM.
+  b.load(0x1000, 64);
+  EXPECT_EQ(b.dram().stats().reads, 1u);
+}
+
+TEST(DynamicPartition, CapacityLimitRespected) {
+  // DRAM holds 2 regions; touch 6 regions with distinct heat.
+  DynamicPartitionBackend b(config(2ull << 20, 1ull << 20, 600));
+  for (int r = 0; r < 6; ++r) {
+    for (int i = 0; i < 100; ++i) {
+      b.load(static_cast<Address>(r) << 20, 64);
+    }
+  }
+  EXPECT_GE(b.epochs(), 1u);
+  EXPECT_LE(b.resident_regions(), b.dram_region_capacity());
+}
+
+TEST(DynamicPartition, HottestRegionsWin) {
+  DynamicPartitionBackend b(config(2ull << 20, 1ull << 20, 1000));
+  // Region 0: 500 accesses, region 1: 300, region 2: 150, region 3: 50.
+  const int heats[] = {500, 300, 150, 50};
+  for (int r = 0; r < 4; ++r) {
+    for (int i = 0; i < heats[r]; ++i) {
+      b.load(static_cast<Address>(r) << 20, 64);
+    }
+  }
+  EXPECT_EQ(b.epochs(), 1u);
+  EXPECT_TRUE(b.in_dram(0ull << 20));
+  EXPECT_TRUE(b.in_dram(1ull << 20));
+  EXPECT_FALSE(b.in_dram(2ull << 20));
+  EXPECT_FALSE(b.in_dram(3ull << 20));
+}
+
+TEST(DynamicPartition, PhaseChangeSwapsResidents) {
+  DynamicPartitionBackend b(config(1ull << 20, 1ull << 20, 1000));
+  // Phase 1: region 0 hot.
+  for (int i = 0; i < 1000; ++i) b.load(0x0, 64);
+  EXPECT_TRUE(b.in_dram(0x0));
+  // Phase 2: region 5 hot for several epochs (decay must flush region 0's
+  // score).
+  for (int e = 0; e < 4; ++e) {
+    for (int i = 0; i < 1000; ++i) b.load(5ull << 20, 64);
+  }
+  EXPECT_TRUE(b.in_dram(5ull << 20));
+  EXPECT_FALSE(b.in_dram(0x0));
+  // A demotion happened: DRAM read + NVM write of the region.
+  EXPECT_GE(b.migrations(), 3u);
+  EXPECT_GT(b.nvm().stats().write_bytes, 0u);
+}
+
+TEST(DynamicPartition, ManualRebalance) {
+  DynamicPartitionBackend b(config(4ull << 20, 1ull << 20, 1ull << 60));
+  for (int i = 0; i < 10; ++i) b.load(0x0, 64);
+  EXPECT_FALSE(b.in_dram(0x0));
+  b.rebalance();
+  EXPECT_TRUE(b.in_dram(0x0));
+}
+
+TEST(DynamicPartition, ProfilesExposeBothDevices) {
+  DynamicPartitionBackend b(config());
+  b.load(0x0, 512);
+  const auto profiles = b.profiles();
+  ASSERT_EQ(profiles.size(), 2u);
+  EXPECT_EQ(profiles[0].name, "DRAM");
+  EXPECT_EQ(profiles[1].name, "PCM");
+  EXPECT_EQ(profiles[1].loads, 1u);
+  EXPECT_EQ(profiles[1].load_bytes, 512u);
+}
+
+TEST(DynamicPartition, ConfigValidation) {
+  auto bad = config();
+  bad.region_bytes = 3ull << 20;  // not a power of two
+  EXPECT_THROW(DynamicPartitionBackend{bad}, hms::ConfigError);
+  bad = config(512ull << 10, 1ull << 20);  // DRAM < one region
+  EXPECT_THROW(DynamicPartitionBackend{bad}, hms::ConfigError);
+  bad = config();
+  bad.epoch_accesses = 0;
+  EXPECT_THROW(DynamicPartitionBackend{bad}, hms::ConfigError);
+  bad = config();
+  bad.score_decay = 1.0;
+  EXPECT_THROW(DynamicPartitionBackend{bad}, hms::ConfigError);
+}
+
+TEST(DynamicPartition, DeterministicAcrossRuns) {
+  auto run = [] {
+    DynamicPartitionBackend b(config(2ull << 20, 1ull << 20, 500));
+    Xoshiro256 rng(9);
+    for (int i = 0; i < 20000; ++i) {
+      const Address a = rng.below(16ull << 20) & ~63ull;
+      if (rng.chance(0.3)) {
+        b.store(a, 64);
+      } else {
+        b.load(a, 64);
+      }
+    }
+    return std::make_tuple(b.migrations(), b.dram().stats().reads,
+                           b.nvm().stats().writes);
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace hms::cache

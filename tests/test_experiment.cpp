@@ -1,0 +1,138 @@
+// ExperimentRunner end-to-end: figure sweeps at tiny scale.
+#include <gtest/gtest.h>
+
+#include "hms/sim/experiment.hpp"
+
+namespace hms::sim {
+namespace {
+
+using mem::Technology;
+
+ExperimentConfig tiny_config() {
+  ExperimentConfig cfg;
+  cfg.scale_divisor = 512;
+  cfg.footprint_divisor = 512;
+  cfg.seed = 42;
+  cfg.iterations = 1;
+  cfg.suite = {"StreamTriad", "CG", "Hashing"};
+  return cfg;
+}
+
+TEST(Experiment, FrontIsCachedAcrossCalls) {
+  ExperimentRunner runner(tiny_config());
+  const auto& a = runner.front("CG");
+  const auto& b = runner.front("CG");
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(Experiment, BaseReportNormalizesToUnity) {
+  ExperimentRunner runner(tiny_config());
+  const auto& base = runner.base_report("CG");
+  EXPECT_EQ(base.design, "base");
+  EXPECT_GT(base.runtime.nanoseconds(), 0.0);
+  EXPECT_GT(base.total_energy().picojoules(), 0.0);
+  const auto n = model::normalize(base, base);
+  EXPECT_DOUBLE_EQ(n.runtime, 1.0);
+  EXPECT_DOUBLE_EQ(n.total_energy, 1.0);
+}
+
+TEST(Experiment, NmmSweepProducesOneResultPerConfig) {
+  ExperimentRunner runner(tiny_config());
+  const std::vector<designs::NConfig> configs = {designs::n_config("N1"),
+                                                 designs::n_config("N6")};
+  const auto results = runner.nmm_sweep(Technology::PCM, configs);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].config_name, "N1");
+  EXPECT_EQ(results[1].config_name, "N6");
+  for (const auto& r : results) {
+    EXPECT_EQ(r.per_workload.size(), 3u);
+    EXPECT_GT(r.runtime, 0.5);
+    EXPECT_LT(r.runtime, 3.0);
+    EXPECT_GT(r.total_energy, 0.0);
+  }
+}
+
+TEST(Experiment, NmmRuntimeNeverBeatsBaseByMuch) {
+  // NMM adds a level and a slower main memory: normalized runtime >= ~1.
+  ExperimentRunner runner(tiny_config());
+  const auto results =
+      runner.nmm_sweep(Technology::PCM, {designs::n_config("N3")});
+  for (const auto& wr : results[0].per_workload) {
+    EXPECT_GT(wr.normalized.runtime, 0.98) << wr.report.workload;
+  }
+}
+
+TEST(Experiment, FourLcSweep) {
+  ExperimentRunner runner(tiny_config());
+  const auto results =
+      runner.four_lc_sweep(Technology::eDRAM, {designs::eh_config("EH1")});
+  ASSERT_EQ(results.size(), 1u);
+  // An eDRAM L4 in front of DRAM cannot slow things dramatically.
+  EXPECT_LT(results[0].runtime, 1.5);
+}
+
+TEST(Experiment, FourLcNvmSweep) {
+  ExperimentRunner runner(tiny_config());
+  const auto results = runner.four_lc_nvm_sweep(
+      Technology::eDRAM, Technology::PCM, {designs::eh_config("EH1")});
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_GT(results[0].runtime, 0.0);
+  EXPECT_GT(results[0].total_energy, 0.0);
+}
+
+TEST(Experiment, NdmOracleChoosesNonTrivialPlacement) {
+  ExperimentRunner runner(tiny_config());
+  const auto results = runner.ndm_oracle(Technology::PCM);
+  ASSERT_EQ(results.size(), 3u);
+  for (const auto& ndm : results) {
+    EXPECT_FALSE(ndm.chosen.nvm_rules.empty()) << ndm.workload;
+    // All placements include the all-DRAM anchor plus the candidates.
+    EXPECT_GE(ndm.all_placements.size(), 2u);
+    EXPECT_EQ(ndm.all_placements[0].first.name, "all-DRAM");
+    // The oracle's choice is the best-EDP FEASIBLE non-trivial placement.
+    for (const auto& [placement, normalized] : ndm.all_placements) {
+      if (!placement.feasible || placement.nvm_rules.empty()) continue;
+      EXPECT_LE(ndm.result.normalized.edp, normalized.edp + 1e-9);
+    }
+    // The chosen placement respects the DRAM partition (or is the least
+    // infeasible fallback, still the minimum DRAM residency seen).
+    for (const auto& [placement, normalized] : ndm.all_placements) {
+      if (placement.feasible) {
+        EXPECT_LE(ndm.chosen.dram_bytes,
+                  ndm.all_placements[0].first.dram_bytes);
+        break;
+      }
+    }
+  }
+}
+
+TEST(Experiment, DefaultSuiteIsPaperSuite) {
+  ExperimentConfig cfg = tiny_config();
+  cfg.suite.clear();
+  ExperimentRunner runner(cfg);
+  EXPECT_EQ(runner.suite().size(), 8u);
+}
+
+TEST(Experiment, ParamsForScalesFootprint) {
+  const auto cfg = tiny_config();
+  workloads::WorkloadInfo info;
+  info.paper_footprint_bytes = 4096ull << 20;
+  const auto p = cfg.params_for(info);
+  EXPECT_EQ(p.footprint_bytes, (4096ull << 20) / 512);
+  // Tiny paper footprints floor at 1 MiB.
+  info.paper_footprint_bytes = 1ull << 20;
+  EXPECT_EQ(cfg.params_for(info).footprint_bytes, 1ull << 20);
+}
+
+TEST(Experiment, DeterministicAcrossRunners) {
+  ExperimentRunner r1(tiny_config());
+  ExperimentRunner r2(tiny_config());
+  const auto a = r1.nmm_sweep(Technology::PCM, {designs::n_config("N6")});
+  const auto b = r2.nmm_sweep(Technology::PCM, {designs::n_config("N6")});
+  EXPECT_DOUBLE_EQ(a[0].runtime, b[0].runtime);
+  EXPECT_DOUBLE_EQ(a[0].total_energy, b[0].total_energy);
+  EXPECT_DOUBLE_EQ(a[0].edp, b[0].edp);
+}
+
+}  // namespace
+}  // namespace hms::sim

@@ -1,0 +1,107 @@
+// HeatMapper — analytic latency/energy re-pricing (Figs. 9-10).
+#include <gtest/gtest.h>
+
+#include "hms/common/error.hpp"
+#include "hms/sim/experiment.hpp"
+#include "hms/sim/heatmap.hpp"
+
+namespace hms::sim {
+namespace {
+
+using mem::Technology;
+
+/// Builds heat-map inputs from a tiny NMM-N6 run.
+std::vector<HeatMapInput> tiny_inputs() {
+  ExperimentConfig cfg;
+  cfg.scale_divisor = 512;
+  cfg.footprint_divisor = 512;
+  cfg.suite = {"StreamTriad", "Hashing"};
+  ExperimentRunner runner(cfg);
+
+  std::vector<HeatMapInput> inputs;
+  for (const auto& workload : runner.suite()) {
+    const auto& base = runner.base_report(workload);
+    const auto& capture = runner.front(workload);
+    auto back = runner.factory().nvm_main_memory_back(
+        designs::n_config("N6"), Technology::PCM, capture.footprint_bytes);
+    const auto profile = replay_back(capture, *back);
+    HeatMapInput input;
+    input.workload = workload;
+    input.profile = profile;
+    input.anchor = runner.anchor(workload);
+    input.base = base;
+    inputs.push_back(std::move(input));
+  }
+  return inputs;
+}
+
+TEST(HeatMap, GridShapeMatchesAxes) {
+  HeatMapper mapper(tiny_inputs());
+  const std::vector<double> reads = {1.0, 5.0};
+  const std::vector<double> writes = {1.0, 2.0, 20.0};
+  const auto grid = mapper.runtime_map(reads, writes);
+  ASSERT_EQ(grid.values.size(), 3u);
+  ASSERT_EQ(grid.values[0].size(), 2u);
+  EXPECT_EQ(grid.read_multipliers, reads);
+  EXPECT_EQ(grid.write_multipliers, writes);
+}
+
+TEST(HeatMap, RuntimeMonotoneInBothAxes) {
+  HeatMapper mapper(tiny_inputs());
+  const auto mults = HeatMapper::default_multipliers();
+  const auto grid = mapper.runtime_map(mults, mults);
+  for (std::size_t w = 0; w < mults.size(); ++w) {
+    for (std::size_t r = 0; r + 1 < mults.size(); ++r) {
+      EXPECT_LE(grid.at(w, r), grid.at(w, r + 1) + 1e-12);
+    }
+  }
+  for (std::size_t r = 0; r < mults.size(); ++r) {
+    for (std::size_t w = 0; w + 1 < mults.size(); ++w) {
+      EXPECT_LE(grid.at(w, r), grid.at(w + 1, r) + 1e-12);
+    }
+  }
+}
+
+TEST(HeatMap, EnergyMonotoneInBothAxes) {
+  HeatMapper mapper(tiny_inputs());
+  const auto mults = HeatMapper::default_multipliers();
+  const auto grid = mapper.energy_map(mults, mults);
+  for (std::size_t w = 0; w < mults.size(); ++w) {
+    for (std::size_t r = 0; r + 1 < mults.size(); ++r) {
+      EXPECT_LE(grid.at(w, r), grid.at(w, r + 1) + 1e-12);
+    }
+  }
+}
+
+TEST(HeatMap, ReadsDominateWrites) {
+  // Paper: "an increase in read latency has higher impact than an increase
+  // in write latency" — memory reads (fetches) outnumber write-backs.
+  HeatMapper mapper(tiny_inputs());
+  const std::vector<double> mults = {1.0, 5.0};
+  const auto grid = mapper.runtime_map(mults, mults);
+  const double read_penalty = grid.at(0, 1) - grid.at(0, 0);
+  const double write_penalty = grid.at(1, 0) - grid.at(0, 0);
+  EXPECT_GT(read_penalty, write_penalty);
+}
+
+TEST(HeatMap, UnityCellNearBaseline) {
+  // At 1x/1x the synthetic memory IS DRAM; the only difference from base
+  // is the DRAM-cache level, so normalized runtime is close to 1.
+  HeatMapper mapper(tiny_inputs());
+  const auto grid = mapper.runtime_map({1.0}, {1.0});
+  EXPECT_GT(grid.at(0, 0), 0.8);
+  EXPECT_LT(grid.at(0, 0), 1.6);
+}
+
+TEST(HeatMap, DefaultMultipliersSpanPaperRange) {
+  const auto m = HeatMapper::default_multipliers();
+  EXPECT_DOUBLE_EQ(m.front(), 1.0);
+  EXPECT_DOUBLE_EQ(m.back(), 20.0);
+}
+
+TEST(HeatMap, EmptyInputsThrow) {
+  EXPECT_THROW(HeatMapper({}), hms::Error);
+}
+
+}  // namespace
+}  // namespace hms::sim

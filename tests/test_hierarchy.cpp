@@ -1,0 +1,219 @@
+// MemoryHierarchy engine (hms/cache/hierarchy.hpp): traffic propagation,
+// dirty write-back accounting, profiles, flush.
+#include <gtest/gtest.h>
+
+#include "hms/common/error.hpp"
+#include "hms/common/random.hpp"
+#include "hms/cache/hierarchy.hpp"
+#include "hms/mem/technology.hpp"
+#include "hms/trace/trace_buffer.hpp"
+
+namespace hms::cache {
+namespace {
+
+using mem::Technology;
+using mem::TechnologyRegistry;
+
+CacheLevelSpec level(std::string name, std::uint64_t capacity,
+                     std::uint64_t line, std::uint32_t ways,
+                     int sram_idx = 1) {
+  CacheLevelSpec spec;
+  spec.cache.name = std::move(name);
+  spec.cache.capacity_bytes = capacity;
+  spec.cache.line_bytes = line;
+  spec.cache.associativity = ways;
+  spec.tech = mem::sram_level(sram_idx).as_params();
+  return spec;
+}
+
+mem::MemoryDeviceConfig dram(std::uint64_t capacity = 1ull << 24) {
+  mem::MemoryDeviceConfig cfg;
+  cfg.name = "DRAM";
+  cfg.technology = TechnologyRegistry::table1().get(Technology::DRAM);
+  cfg.capacity_bytes = capacity;
+  cfg.line_bytes = 256;
+  return cfg;
+}
+
+std::unique_ptr<MemoryHierarchy> two_level(std::uint64_t l1 = 512,
+                                           std::uint64_t l2 = 2048) {
+  std::vector<CacheLevelSpec> levels;
+  levels.push_back(level("L1", l1, 64, 2, 1));
+  levels.push_back(level("L2", l2, 64, 4, 2));
+  return std::make_unique<MemoryHierarchy>(
+      std::move(levels), std::make_unique<SingleMemoryBackend>(dram()));
+}
+
+const mem::MemoryDevice& device_of(const MemoryHierarchy& h) {
+  return static_cast<const SingleMemoryBackend&>(h.backend()).device();
+}
+
+TEST(Hierarchy, ColdMissWalksAllLevels) {
+  auto h = two_level();
+  h->access(trace::load(0x1000, 8));
+  const auto p = h->profile();
+  ASSERT_EQ(p.levels.size(), 3u);
+  EXPECT_EQ(p.levels[0].loads, 1u);   // L1 access
+  EXPECT_EQ(p.levels[1].loads, 1u);   // L1 miss -> L2 fetch
+  EXPECT_EQ(p.levels[2].loads, 1u);   // L2 miss -> memory fetch
+  EXPECT_EQ(p.levels[1].load_bytes, 64u);  // line-sized fetch
+  EXPECT_EQ(p.levels[2].load_bytes, 64u);
+  EXPECT_EQ(p.references, 1u);
+}
+
+TEST(Hierarchy, HitStopsAtFirstLevel) {
+  auto h = two_level();
+  h->access(trace::load(0x1000, 8));
+  h->access(trace::load(0x1008, 8));  // same line: L1 hit
+  const auto p = h->profile();
+  EXPECT_EQ(p.levels[0].loads, 2u);
+  EXPECT_EQ(p.levels[1].loads, 1u);
+  EXPECT_EQ(p.levels[2].loads, 1u);
+}
+
+TEST(Hierarchy, StoreMissFetchesThenDirties) {
+  auto h = two_level();
+  h->access(trace::store(0x2000, 8));
+  const auto p = h->profile();
+  // Write-allocate: the store counts at L1; the fill is a LOAD at L2 and
+  // memory ("every other access to fetch a cache line is counted as a
+  // read", paper III.B).
+  EXPECT_EQ(p.levels[0].stores, 1u);
+  EXPECT_EQ(p.levels[1].loads, 1u);
+  EXPECT_EQ(p.levels[1].stores, 0u);
+  EXPECT_EQ(p.levels[2].loads, 1u);
+  EXPECT_EQ(p.levels[2].stores, 0u);
+}
+
+TEST(Hierarchy, DirtyEvictionReachesMemoryAsStore) {
+  // Tiny direct-mapped L1 (2 lines) over memory to force dirty eviction.
+  std::vector<CacheLevelSpec> levels;
+  levels.push_back(level("L1", 128, 64, 1));
+  MemoryHierarchy h(std::move(levels),
+                    std::make_unique<SingleMemoryBackend>(dram()));
+  h.access(trace::store(0x0000, 8));   // set 0, dirty
+  h.access(trace::load(0x0080, 8));    // set 0 conflict -> evict dirty
+  const auto p = h.profile();
+  EXPECT_EQ(p.levels[1].stores, 1u);       // write-back
+  EXPECT_EQ(p.levels[1].store_bytes, 64u);
+  EXPECT_EQ(device_of(h).stats().writes, 1u);
+}
+
+TEST(Hierarchy, ReferencesCountSplitPieces) {
+  auto h = two_level();
+  h->access(trace::load(60, 8));  // straddles two 64 B lines
+  EXPECT_EQ(h->references(), 2u);
+  const auto p = h->profile();
+  EXPECT_EQ(p.levels[0].loads, 2u);
+  EXPECT_EQ(p.levels[0].load_bytes, 8u);  // 4 + 4
+}
+
+TEST(Hierarchy, ConservationAtEveryBoundary) {
+  // Next-level loads == this level's misses; next-level stores == this
+  // level's write-backs (single-path hierarchy invariant).
+  auto h = two_level(512, 4096);
+  Xoshiro256 rng(41);
+  for (int i = 0; i < 50000; ++i) {
+    const Address a = rng.below(1 << 16) & ~7ull;
+    if (rng.chance(0.3)) {
+      h->access(trace::store(a, 8));
+    } else {
+      h->access(trace::load(a, 8));
+    }
+  }
+  const auto p = h->profile();
+  const auto& l1 = p.levels[0].cache_stats;
+  const auto& l2 = p.levels[1].cache_stats;
+  EXPECT_EQ(p.levels[1].loads, l1.misses());
+  EXPECT_EQ(p.levels[1].stores, l1.writebacks);
+  EXPECT_EQ(p.levels[2].loads, l2.misses());
+  EXPECT_EQ(p.levels[2].stores, l2.writebacks);
+  // Device counters match the profile's memory row.
+  EXPECT_EQ(device_of(*h).stats().reads, p.levels[2].loads);
+  EXPECT_EQ(device_of(*h).stats().writes, p.levels[2].stores);
+}
+
+TEST(Hierarchy, LargerPageFetchesMoreBytes) {
+  // An L2 with 256 B pages fetches 256 B per miss from memory.
+  std::vector<CacheLevelSpec> levels;
+  levels.push_back(level("L1", 512, 64, 2, 1));
+  levels.push_back(level("L2", 4096, 256, 4, 2));
+  MemoryHierarchy h(std::move(levels),
+                    std::make_unique<SingleMemoryBackend>(dram()));
+  h.access(trace::load(0x0, 8));
+  const auto p = h.profile();
+  EXPECT_EQ(p.levels[2].load_bytes, 256u);
+  // And an L2 hit from a different 64 B line inside the same 256 B page:
+  h.access(trace::load(0x80, 8));  // L1 miss, L2 hit
+  const auto p2 = h.profile();
+  EXPECT_EQ(p2.levels[1].loads, 2u);
+  EXPECT_EQ(p2.levels[2].loads, 1u);  // no extra memory fetch
+}
+
+TEST(Hierarchy, DecreasingLineSizeRejected) {
+  std::vector<CacheLevelSpec> levels;
+  levels.push_back(level("L1", 512, 128, 2));
+  levels.push_back(level("L2", 2048, 64, 4));
+  EXPECT_THROW(MemoryHierarchy(std::move(levels),
+                               std::make_unique<SingleMemoryBackend>(dram())),
+               hms::ConfigError);
+}
+
+TEST(Hierarchy, FlushDrainsAllDirtyData) {
+  auto h = two_level();
+  for (Address a = 0; a < 64 * 64; a += 64) {
+    h->access(trace::store(a, 8));
+  }
+  const Count before = device_of(*h).stats().writes;
+  h->flush();
+  const Count after = device_of(*h).stats().writes;
+  EXPECT_GT(after, before);
+  // After flush both caches are empty.
+  EXPECT_EQ(h->level(0).occupancy(), 0u);
+  EXPECT_EQ(h->level(1).occupancy(), 0u);
+  // All 64 dirtied lines reached memory exactly once in total.
+  EXPECT_EQ(after, 64u);
+}
+
+TEST(Hierarchy, CaptureBackendForwardsResidual) {
+  trace::TraceBuffer residual;
+  std::vector<CacheLevelSpec> levels;
+  levels.push_back(level("L1", 128, 64, 1));
+  MemoryHierarchy h(std::move(levels),
+                    std::make_unique<CaptureBackend>(residual));
+  h.access(trace::store(0x0000, 8));
+  h.access(trace::load(0x0080, 8));  // evicts dirty line 0
+  ASSERT_EQ(residual.size(), 3u);  // fetch 0x0, fetch 0x80, wb 0x0
+  EXPECT_EQ(residual.loads(), 2u);
+  EXPECT_EQ(residual.stores(), 1u);
+  // No memory profile rows from a capture backend.
+  EXPECT_EQ(h.profile().levels.size(), 1u);
+}
+
+TEST(Hierarchy, ZeroLevelHierarchyGoesStraightToMemory) {
+  MemoryHierarchy h({}, std::make_unique<SingleMemoryBackend>(dram()));
+  h.access(trace::load(0x100, 64));
+  h.access(trace::store(0x200, 64));
+  EXPECT_EQ(device_of(h).stats().reads, 1u);
+  EXPECT_EQ(device_of(h).stats().writes, 1u);
+  EXPECT_EQ(h.references(), 2u);
+}
+
+TEST(Hierarchy, ProfileCombineConcatenates) {
+  HierarchyProfile front;
+  front.references = 100;
+  front.levels.resize(3);
+  front.levels[0].name = "L1";
+  HierarchyProfile back;
+  back.references = 7;  // residual count, must be ignored
+  back.levels.resize(2);
+  back.levels[0].name = "L4";
+  const auto combined = HierarchyProfile::combine(front, back);
+  EXPECT_EQ(combined.references, 100u);
+  ASSERT_EQ(combined.levels.size(), 5u);
+  EXPECT_EQ(combined.levels[0].name, "L1");
+  EXPECT_EQ(combined.levels[3].name, "L4");
+}
+
+}  // namespace
+}  // namespace hms::cache

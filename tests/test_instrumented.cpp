@@ -1,0 +1,81 @@
+// Instrumented Array<T> (hms/workloads/instrumented.hpp).
+#include <gtest/gtest.h>
+
+#include "hms/trace/trace_buffer.hpp"
+#include "hms/workloads/instrumented.hpp"
+
+namespace hms::workloads {
+namespace {
+
+TEST(Array, GetEmitsLoadAtElementAddress) {
+  VirtualAddressSpace vas;
+  trace::TraceBuffer sink;
+  Array<double> a(vas, sink, "a", 16, 1.5);
+  EXPECT_DOUBLE_EQ(a.get(3), 1.5);
+  ASSERT_EQ(sink.size(), 1u);
+  const auto& rec = sink.entries()[0];
+  EXPECT_EQ(rec.address, a.base() + 3 * sizeof(double));
+  EXPECT_EQ(rec.size, sizeof(double));
+  EXPECT_EQ(rec.type, AccessType::Load);
+}
+
+TEST(Array, SetEmitsStoreAndUpdatesValue) {
+  VirtualAddressSpace vas;
+  trace::TraceBuffer sink;
+  Array<std::uint32_t> a(vas, sink, "a", 8);
+  a.set(5, 77);
+  EXPECT_EQ(a.raw(5), 77u);
+  ASSERT_EQ(sink.size(), 1u);
+  EXPECT_EQ(sink.entries()[0].type, AccessType::Store);
+  EXPECT_EQ(sink.entries()[0].size, sizeof(std::uint32_t));
+}
+
+TEST(Array, UpdateEmitsLoadThenStore) {
+  VirtualAddressSpace vas;
+  trace::TraceBuffer sink;
+  Array<int> a(vas, sink, "a", 4, 10);
+  a.update(2, [](int v) { return v + 1; });
+  EXPECT_EQ(a.raw(2), 11);
+  ASSERT_EQ(sink.size(), 2u);
+  EXPECT_EQ(sink.entries()[0].type, AccessType::Load);
+  EXPECT_EQ(sink.entries()[1].type, AccessType::Store);
+  EXPECT_EQ(sink.entries()[0].address, sink.entries()[1].address);
+}
+
+TEST(Array, RawDoesNotEmit) {
+  VirtualAddressSpace vas;
+  trace::TraceBuffer sink;
+  Array<double> a(vas, sink, "a", 4);
+  a.raw(0) = 9.0;
+  (void)a.raw(0);
+  EXPECT_TRUE(sink.empty());
+}
+
+TEST(Array, RegistersRangeInVas) {
+  VirtualAddressSpace vas;
+  trace::TraceBuffer sink;
+  Array<double> a(vas, sink, "field", 100);
+  const auto& r = vas.range("field");
+  EXPECT_EQ(r.base, a.base());
+  EXPECT_EQ(r.length, 100 * sizeof(double));
+}
+
+TEST(Array, TwoArraysDoNotOverlap) {
+  VirtualAddressSpace vas;
+  trace::TraceBuffer sink;
+  Array<double> a(vas, sink, "a", 1000);
+  Array<double> b(vas, sink, "b", 1000);
+  EXPECT_GE(b.base(), a.base() + 1000 * sizeof(double));
+}
+
+TEST(Array, SequentialAddressesAreContiguous) {
+  VirtualAddressSpace vas;
+  trace::TraceBuffer sink;
+  Array<float> a(vas, sink, "a", 10);
+  for (std::size_t i = 0; i + 1 < a.size(); ++i) {
+    EXPECT_EQ(a.address_of(i + 1) - a.address_of(i), sizeof(float));
+  }
+}
+
+}  // namespace
+}  // namespace hms::workloads

@@ -1,0 +1,171 @@
+// AMAT / runtime / energy / EDP models (Eqs. 1-4) against hand computation.
+#include <gtest/gtest.h>
+
+#include "hms/common/error.hpp"
+#include "hms/model/amat.hpp"
+#include "hms/model/energy.hpp"
+#include "hms/model/report.hpp"
+
+namespace hms::model {
+namespace {
+
+using cache::HierarchyProfile;
+using cache::LevelProfile;
+using mem::Technology;
+using mem::TechnologyRegistry;
+
+/// Two-level profile with hand-computable numbers:
+///   L1 SRAM-ish: 1 ns, 0 pJ/bit, no static; 100 loads, 50 stores.
+///   Memory: DRAM Table 1 (10 ns, 10 pJ/bit); 10 loads, 5 stores of 64 B.
+HierarchyProfile hand_profile() {
+  HierarchyProfile p;
+  p.references = 150;
+
+  LevelProfile l1;
+  l1.name = "L1";
+  l1.tech.technology = Technology::SRAM;
+  l1.tech.read_latency = Time::from_ns(1.0);
+  l1.tech.write_latency = Time::from_ns(1.0);
+  l1.tech.read_pj_per_bit = 0.0;
+  l1.tech.write_pj_per_bit = 0.0;
+  l1.tech.static_power_per_mib = Power::from_mw(0.0);
+  l1.capacity_bytes = 32 << 10;
+  l1.loads = 100;
+  l1.stores = 50;
+  l1.load_bytes = 800;
+  l1.store_bytes = 400;
+  l1.is_cache = true;
+  p.levels.push_back(l1);
+
+  LevelProfile memlvl;
+  memlvl.name = "DRAM";
+  memlvl.tech = TechnologyRegistry::table1().get(Technology::DRAM);
+  memlvl.tech.static_power_per_mib = Power::from_mw(0.0);  // hand calc
+  // Zero capacity keeps DRAM refresh power out of the hand computation;
+  // tests that exercise refresh set a capacity explicitly.
+  memlvl.capacity_bytes = 0;
+  memlvl.loads = 10;
+  memlvl.stores = 5;
+  memlvl.load_bytes = 640;
+  memlvl.store_bytes = 320;
+  p.levels.push_back(memlvl);
+  return p;
+}
+
+TEST(Amat, HandComputedValue) {
+  const auto p = hand_profile();
+  // Total time = 150 * 1 ns + 15 * 10 ns = 300 ns. AMAT = 300 / 150 = 2 ns.
+  EXPECT_DOUBLE_EQ(total_access_time(p).nanoseconds(), 300.0);
+  EXPECT_DOUBLE_EQ(amat(p).nanoseconds(), 2.0);
+}
+
+TEST(Amat, AsymmetricLatencies) {
+  auto p = hand_profile();
+  p.levels[1].tech = TechnologyRegistry::table1().get(Technology::PCM);
+  // Total = 150*1 + 10*21 + 5*100 = 860 ns.
+  EXPECT_DOUBLE_EQ(total_access_time(p).nanoseconds(), 860.0);
+}
+
+TEST(Amat, EmptyProfileThrows) {
+  HierarchyProfile p;
+  EXPECT_THROW((void)amat(p), hms::Error);
+}
+
+TEST(Runtime, Eq1Scaling) {
+  const Time t = scaled_runtime(Time::from_seconds(36.0),
+                                Time::from_ns(2.0), Time::from_ns(2.2));
+  EXPECT_NEAR(t.seconds(), 39.6, 1e-9);
+  EXPECT_THROW((void)scaled_runtime(Time::from_seconds(1.0),
+                                    Time::from_ns(0.0), Time::from_ns(1.0)),
+               hms::Error);
+}
+
+TEST(Runtime, ModeledReferenceRuntime) {
+  const auto p = hand_profile();
+  // Memory time 300 ns / 0.5 memory-bound = 600 ns wall clock.
+  EXPECT_DOUBLE_EQ(modeled_reference_runtime(p, 0.5).nanoseconds(), 600.0);
+  EXPECT_THROW((void)modeled_reference_runtime(p, 0.0), hms::Error);
+  EXPECT_THROW((void)modeled_reference_runtime(p, 1.5), hms::Error);
+}
+
+TEST(Energy, DynamicHandComputed) {
+  const auto p = hand_profile();
+  // L1 contributes 0. DRAM: (640 + 320) bytes * 8 bits * 10 pJ/bit.
+  EXPECT_DOUBLE_EQ(dynamic_energy(p).picojoules(), 960.0 * 8.0 * 10.0);
+}
+
+TEST(Energy, DynamicRespectsAsymmetricCosts) {
+  auto p = hand_profile();
+  p.levels[1].tech = TechnologyRegistry::table1().get(Technology::PCM);
+  // 640*8*12.4 + 320*8*210.3 pJ.
+  EXPECT_NEAR(dynamic_energy(p).picojoules(),
+              640.0 * 8 * 12.4 + 320.0 * 8 * 210.3, 1e-6);
+}
+
+TEST(Energy, StaticUsesCapacityAndRuntime) {
+  auto p = hand_profile();
+  p.levels[0].tech.static_power_per_mib = Power::from_mw(10.0);
+  p.levels[0].capacity_bytes = 2ull << 20;  // 2 MiB -> 20 mW leakage
+  // SRAM: no refresh. Static energy = 20 mW * 1000 ns = 20000 pJ.
+  const Energy e = static_energy(p, Time::from_ns(1000.0));
+  EXPECT_DOUBLE_EQ(e.picojoules(), 20000.0);
+}
+
+TEST(Energy, NvmContributesNoStatic) {
+  auto p = hand_profile();
+  p.levels[1].tech = TechnologyRegistry::table1().get(Technology::PCM);
+  p.levels[1].capacity_bytes = 1ull << 30;
+  EXPECT_DOUBLE_EQ(static_power(p).milliwatts(), 0.0);
+}
+
+TEST(Energy, DramIncludesRefresh) {
+  auto p = hand_profile();
+  p.levels[1].tech = TechnologyRegistry::table1().get(Technology::DRAM);
+  p.levels[1].capacity_bytes = 1ull << 30;
+  EXPECT_GT(static_power(p).milliwatts(), 0.0);
+}
+
+TEST(Report, EvaluateAndNormalize) {
+  const auto base_profile = hand_profile();
+  const auto anchor = make_anchor(base_profile, 0.5);
+  const auto base = evaluate("base", "toy", base_profile, anchor);
+  EXPECT_DOUBLE_EQ(base.amat.nanoseconds(), 2.0);
+  EXPECT_DOUBLE_EQ(base.runtime.nanoseconds(), 600.0);
+
+  // A design with double memory latency.
+  auto design_profile = base_profile;
+  design_profile.levels[1].tech.read_latency = Time::from_ns(20.0);
+  design_profile.levels[1].tech.write_latency = Time::from_ns(20.0);
+  const auto design = evaluate("slow", "toy", design_profile, anchor);
+  // AMAT = (150 + 15*20)/150 = 3 ns -> runtime 900 ns.
+  EXPECT_DOUBLE_EQ(design.amat.nanoseconds(), 3.0);
+  EXPECT_DOUBLE_EQ(design.runtime.nanoseconds(), 900.0);
+
+  const auto n = normalize(design, base);
+  EXPECT_DOUBLE_EQ(n.runtime, 1.5);
+  EXPECT_DOUBLE_EQ(n.dynamic, 1.0);  // same bytes moved
+  EXPECT_DOUBLE_EQ(n.total_energy, 1.0);  // zero static in hand profile
+  // EDP = energy * runtime -> scales by 1.5.
+  EXPECT_DOUBLE_EQ(n.edp, 1.5);
+}
+
+TEST(Report, SelfNormalizationIsUnity) {
+  const auto p = hand_profile();
+  const auto anchor = make_anchor(p, 0.7);
+  const auto r = evaluate("base", "toy", p, anchor);
+  const auto n = normalize(r, r);
+  EXPECT_DOUBLE_EQ(n.runtime, 1.0);
+  EXPECT_DOUBLE_EQ(n.total_energy, 1.0);
+  EXPECT_DOUBLE_EQ(n.edp, 1.0);
+}
+
+TEST(Report, EdpCombinesEnergyAndTime) {
+  const auto p = hand_profile();
+  const auto anchor = make_anchor(p, 0.5);
+  const auto r = evaluate("base", "toy", p, anchor);
+  EXPECT_DOUBLE_EQ(r.edp().value,
+                   r.total_energy().picojoules() * r.runtime.nanoseconds());
+}
+
+}  // namespace
+}  // namespace hms::model

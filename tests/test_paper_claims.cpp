@@ -1,0 +1,141 @@
+// Integration tests of the paper's qualitative claims at tiny scale.
+// These guard the *shapes* the benchmark harness reproduces: if a change
+// breaks an ordering or a mechanism the paper reports, it fails here
+// rather than silently corrupting EXPERIMENTS.md.
+#include <gtest/gtest.h>
+
+#include "hms/designs/configs.hpp"
+#include "hms/sim/experiment.hpp"
+
+namespace hms::sim {
+namespace {
+
+using mem::Technology;
+
+/// Small but representative: three workloads (one streaming, one sparse,
+/// one irregular) at 1/512 scale.
+ExperimentConfig claims_config() {
+  ExperimentConfig cfg;
+  cfg.scale_divisor = 512;
+  cfg.footprint_divisor = 512;
+  cfg.seed = 42;
+  cfg.iterations = 1;
+  cfg.suite = {"BT", "CG", "Hashing"};
+  return cfg;
+}
+
+TEST(PaperClaims, NmmCapacityGrowthImprovesRuntime) {
+  // Fig. 1: N1 -> N2 -> N3 (growing DRAM cache, same page) improves
+  // runtime monotonically.
+  ExperimentRunner runner(claims_config());
+  const auto results = runner.nmm_sweep(
+      Technology::PCM, {designs::n_config("N1"), designs::n_config("N2"),
+                        designs::n_config("N3")});
+  EXPECT_GE(results[0].runtime, results[1].runtime - 1e-9);
+  EXPECT_GE(results[1].runtime, results[2].runtime - 1e-9);
+}
+
+TEST(PaperClaims, NmmPageShrinkCutsDynamicEnergy) {
+  // Fig. 2 mechanism: "less bits will be accessed" — N3 (4 KiB) vs N6
+  // (512 B) vs N9 (64 B) at fixed capacity.
+  ExperimentRunner runner(claims_config());
+  const auto results = runner.nmm_sweep(
+      Technology::PCM, {designs::n_config("N3"), designs::n_config("N6"),
+                        designs::n_config("N9")});
+  EXPECT_GT(results[0].dynamic, results[1].dynamic);
+  EXPECT_GT(results[1].dynamic, results[2].dynamic);
+}
+
+TEST(PaperClaims, NmmShrinksStaticEnergy) {
+  // The NMM design's purpose: replacing footprint-sized DRAM with a
+  // 512 MB cache plus NVM cuts static energy below base.
+  ExperimentRunner runner(claims_config());
+  const auto results =
+      runner.nmm_sweep(Technology::PCM, {designs::n_config("N6")});
+  EXPECT_LT(results[0].leakage, 1.0);
+}
+
+TEST(PaperClaims, FourLcEnergyGrowsWithPageSize) {
+  // Fig. 4: EH1 -> EH6 dynamic energy rises monotonically.
+  ExperimentRunner runner(claims_config());
+  const auto results = runner.four_lc_sweep(
+      Technology::eDRAM,
+      {designs::eh_config("EH1"), designs::eh_config("EH3"),
+       designs::eh_config("EH6")});
+  EXPECT_LT(results[0].dynamic, results[1].dynamic);
+  EXPECT_LT(results[1].dynamic, results[2].dynamic);
+}
+
+TEST(PaperClaims, HmcL4IsFasterThanEdramL4) {
+  // Table 1: HMC's 0.18 ns vs eDRAM's 4.4 ns must show up as runtime.
+  ExperimentRunner runner(claims_config());
+  const auto edram = runner.four_lc_sweep(Technology::eDRAM,
+                                          {designs::eh_config("EH4")});
+  const auto hmc =
+      runner.four_lc_sweep(Technology::HMC, {designs::eh_config("EH4")});
+  EXPECT_LT(hmc[0].runtime, edram[0].runtime);
+}
+
+TEST(PaperClaims, FourLcNvmRemovesDramStatic) {
+  // Figs. 5-6: replacing DRAM entirely drops static energy below both
+  // base and NMM.
+  ExperimentRunner runner(claims_config());
+  const auto nmm =
+      runner.nmm_sweep(Technology::PCM, {designs::n_config("N6")});
+  const auto lcnvm = runner.four_lc_nvm_sweep(
+      Technology::eDRAM, Technology::PCM, {designs::eh_config("EH1")});
+  EXPECT_LT(lcnvm[0].leakage, nmm[0].leakage);
+  EXPECT_LT(lcnvm[0].leakage, 1.0);
+}
+
+TEST(PaperClaims, SttramIsKinderToWritesThanPcm) {
+  // Table 1 asymmetry: PCM's 100 ns writes vs STT-RAM's 35 ns should make
+  // STT-RAM's NMM runtime no worse for a write-heavy workload mix.
+  auto cfg = claims_config();
+  cfg.suite = {"BT"};  // write-back heavy (five-component sweeps)
+  ExperimentRunner runner(cfg);
+  const auto pcm =
+      runner.nmm_sweep(Technology::PCM, {designs::n_config("N9")});
+  const auto stt =
+      runner.nmm_sweep(Technology::STTRAM, {designs::n_config("N9")});
+  // N9's 64 B pages make write-backs frequent; PCM pays 100 ns each.
+  EXPECT_LE(stt[0].runtime, pcm[0].runtime + 1e-9);
+}
+
+TEST(PaperClaims, NdmOracleRespectsDramCapacity) {
+  // Section III.A: the NDM DRAM partition is fixed at 512 MB; the oracle
+  // must leave no more than that (scaled) in DRAM when feasible.
+  ExperimentRunner runner(claims_config());
+  const auto results = runner.ndm_oracle(Technology::PCM);
+  const auto dram_capacity =
+      runner.factory().scaled(designs::kNdmDramCapacity, 4096);
+  for (const auto& ndm : results) {
+    bool any_feasible = false;
+    for (const auto& [placement, normalized] : ndm.all_placements) {
+      any_feasible |= placement.feasible && !placement.nvm_rules.empty();
+    }
+    if (any_feasible) {
+      EXPECT_LE(ndm.chosen.dram_bytes, dram_capacity) << ndm.workload;
+    }
+  }
+}
+
+TEST(PaperClaims, SectorDirtyNeverWorseOnEnergy) {
+  // Ablation A2's direction: sector write-backs can only reduce NVM write
+  // bytes, so total energy never increases.
+  auto cfg = claims_config();
+  ExperimentRunner whole(cfg);
+  auto sector_cfg = cfg;
+  sector_cfg.design_options.sector_bytes = 64;
+  ExperimentRunner sector(sector_cfg);
+  const auto w =
+      whole.nmm_sweep(Technology::PCM, {designs::n_config("N4")});
+  const auto s =
+      sector.nmm_sweep(Technology::PCM, {designs::n_config("N4")});
+  EXPECT_LE(s[0].total_energy, w[0].total_energy + 1e-9);
+  // Latency counts are untouched: identical runtimes.
+  EXPECT_NEAR(s[0].runtime, w[0].runtime, 1e-9);
+}
+
+}  // namespace
+}  // namespace hms::sim

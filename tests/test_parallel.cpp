@@ -1,0 +1,63 @@
+// run_parallel (hms/sim/parallel.hpp).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "hms/sim/parallel.hpp"
+
+namespace hms::sim {
+namespace {
+
+TEST(Parallel, RunsEveryTaskExactlyOnce) {
+  constexpr int kTasks = 100;
+  std::vector<std::atomic<int>> counts(kTasks);
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < kTasks; ++i) {
+    tasks.emplace_back([&counts, i] { ++counts[static_cast<std::size_t>(i)]; });
+  }
+  run_parallel(std::move(tasks), 4);
+  for (const auto& c : counts) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(Parallel, EmptyTaskListIsNoop) {
+  EXPECT_NO_THROW(run_parallel({}, 4));
+}
+
+TEST(Parallel, SingleThreadFallback) {
+  std::atomic<int> sum{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 10; ++i) tasks.emplace_back([&sum] { ++sum; });
+  run_parallel(std::move(tasks), 1);
+  EXPECT_EQ(sum.load(), 10);
+}
+
+TEST(Parallel, DefaultThreadCount) {
+  std::atomic<int> sum{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 20; ++i) tasks.emplace_back([&sum] { ++sum; });
+  run_parallel(std::move(tasks), 0);  // hardware concurrency
+  EXPECT_EQ(sum.load(), 20);
+}
+
+TEST(Parallel, PropagatesFirstException) {
+  std::atomic<int> completed{0};
+  std::vector<std::function<void()>> tasks;
+  tasks.emplace_back([] { throw std::runtime_error("boom"); });
+  for (int i = 0; i < 20; ++i) tasks.emplace_back([&completed] { ++completed; });
+  EXPECT_THROW(run_parallel(std::move(tasks), 4), std::runtime_error);
+  // Other tasks still ran (workers drain the queue before rethrow).
+  EXPECT_EQ(completed.load(), 20);
+}
+
+TEST(Parallel, MoreThreadsThanTasks) {
+  std::atomic<int> sum{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 3; ++i) tasks.emplace_back([&sum] { ++sum; });
+  run_parallel(std::move(tasks), 64);
+  EXPECT_EQ(sum.load(), 3);
+}
+
+}  // namespace
+}  // namespace hms::sim

@@ -1,0 +1,162 @@
+// NDM oracle partitioner (hms/designs/partition.hpp).
+#include <gtest/gtest.h>
+
+#include "hms/common/error.hpp"
+#include "hms/designs/partition.hpp"
+#include "hms/trace/access.hpp"
+
+namespace hms::designs {
+namespace {
+
+using workloads::AddressRange;
+
+std::vector<AddressRange> three_ranges() {
+  return {
+      {"hot", 0x1000, 0x1000},
+      {"warm", 0x2000, 0x2000},
+      {"cold", 0x4000, 0x8000},
+  };
+}
+
+TEST(RangeProfiler, AttributesAccesses) {
+  RangeProfiler p(three_ranges());
+  p.access(trace::load(0x1000, 64));
+  p.access(trace::load(0x1800, 64));
+  p.access(trace::store(0x2000, 64));
+  p.access(trace::load(0x4100, 64));
+  p.access(trace::load(0xf0000, 64));  // outside everything
+  ASSERT_EQ(p.usages().size(), 3u);
+  EXPECT_EQ(p.usages()[0].loads, 2u);
+  EXPECT_EQ(p.usages()[0].stores, 0u);
+  EXPECT_EQ(p.usages()[1].stores, 1u);
+  EXPECT_EQ(p.usages()[2].loads, 1u);
+  EXPECT_EQ(p.unmatched(), 1u);
+}
+
+TEST(RangeProfiler, BelowFirstRangeIsUnmatched) {
+  RangeProfiler p(three_ranges());
+  p.access(trace::load(0x10, 8));
+  EXPECT_EQ(p.unmatched(), 1u);
+}
+
+TEST(RangeUsage, DensityPerKib) {
+  RangeUsage u{{"r", 0, 2048}, 10, 10};
+  EXPECT_DOUBLE_EQ(u.density(), 10.0);  // 20 accesses / 2 KiB
+  EXPECT_EQ(u.total(), 20u);
+}
+
+TEST(MergeRanges, KeepsAtMostMaxCandidates) {
+  std::vector<RangeUsage> usages;
+  for (int i = 0; i < 10; ++i) {
+    usages.push_back(RangeUsage{
+        {"r" + std::to_string(i), static_cast<Address>(i) * 0x1000, 0x1000},
+        static_cast<Count>(10 * (i + 1)),
+        0});
+  }
+  const auto merged = merge_ranges(usages, 3);
+  ASSERT_EQ(merged.size(), 3u);
+  // Coverage preserved: merged ranges span the originals contiguously.
+  Count total = 0;
+  std::uint64_t length = 0;
+  for (const auto& m : merged) {
+    total += m.total();
+    length += m.range.length;
+  }
+  EXPECT_EQ(total, 10u + 20 + 30 + 40 + 50 + 60 + 70 + 80 + 90 + 100);
+  EXPECT_EQ(length, 10u * 0x1000);
+}
+
+TEST(MergeRanges, MergesSimilarDensitiesFirst) {
+  // hot (1000/page), hot2 (900/page), cold (1/page): with 2 candidates the
+  // two hot ranges must merge, leaving cold alone.
+  std::vector<RangeUsage> usages = {
+      {{"hot", 0x0000, 0x1000}, 1000, 0},
+      {{"hot2", 0x1000, 0x1000}, 900, 0},
+      {{"cold", 0x2000, 0x1000}, 1, 0},
+  };
+  const auto merged = merge_ranges(usages, 2);
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_EQ(merged[0].range.name, "hot+hot2");
+  EXPECT_EQ(merged[0].total(), 1900u);
+  EXPECT_EQ(merged[1].range.name, "cold");
+}
+
+TEST(MergeRanges, NoopWhenAlreadyFew) {
+  std::vector<RangeUsage> usages = {{{"only", 0, 64}, 5, 5}};
+  const auto merged = merge_ranges(usages, 3);
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0].range.name, "only");
+}
+
+TEST(MergeRanges, ZeroCandidatesThrows) {
+  EXPECT_THROW((void)merge_ranges({}, 0), hms::Error);
+}
+
+TEST(Placements, OnePerCandidatePlusAllDram) {
+  std::vector<RangeUsage> candidates = {
+      {{"a", 0x0000, 0x1000}, 30, 10},
+      {{"b", 0x1000, 0x3000}, 5, 5},
+  };
+  const auto placements = enumerate_placements(candidates);
+  ASSERT_EQ(placements.size(), 3u);
+  EXPECT_EQ(placements[0].name, "all-DRAM");
+  EXPECT_TRUE(placements[0].nvm_rules.empty());
+  EXPECT_EQ(placements[1].name, "a -> NVM");
+  ASSERT_EQ(placements[1].nvm_rules.size(), 1u);
+  EXPECT_EQ(placements[1].nvm_rules[0].base, 0x0000u);
+  EXPECT_EQ(placements[1].nvm_rules[0].length, 0x1000u);
+  EXPECT_DOUBLE_EQ(placements[1].nvm_reference_fraction, 0.8);
+  EXPECT_DOUBLE_EQ(placements[2].nvm_reference_fraction, 0.2);
+}
+
+TEST(Placements, EmptyCandidates) {
+  const auto placements = enumerate_placements({});
+  ASSERT_EQ(placements.size(), 1u);
+  EXPECT_EQ(placements[0].name, "all-DRAM");
+}
+
+TEST(SubsetPlacements, EnumeratesAllSubsets) {
+  std::vector<RangeUsage> candidates = {
+      {{"a", 0x0000, 0x1000}, 10, 0},
+      {{"b", 0x1000, 0x2000}, 20, 0},
+      {{"c", 0x3000, 0x4000}, 30, 0},
+  };
+  const auto placements = enumerate_subset_placements(candidates, 1ull << 40);
+  EXPECT_EQ(placements.size(), 8u);  // 2^3
+  // Mask 0 = all-DRAM.
+  EXPECT_EQ(placements[0].name, "all-DRAM");
+  EXPECT_EQ(placements[0].dram_bytes, 0x7000u);
+  // Full subset leaves nothing in DRAM.
+  EXPECT_EQ(placements[7].dram_bytes, 0u);
+  EXPECT_EQ(placements[7].nvm_rules.size(), 3u);
+  EXPECT_DOUBLE_EQ(placements[7].nvm_reference_fraction, 1.0);
+}
+
+TEST(SubsetPlacements, FeasibilityAgainstDramCapacity) {
+  std::vector<RangeUsage> candidates = {
+      {{"small", 0x0000, 0x1000}, 10, 0},
+      {{"big", 0x1000, 0x10000}, 5, 0},
+  };
+  // DRAM can hold 0x2000 bytes: only placements sending "big" to NVM fit.
+  const auto placements = enumerate_subset_placements(candidates, 0x2000);
+  for (const auto& p : placements) {
+    const bool big_in_nvm =
+        p.name.find("big") != std::string::npos;
+    EXPECT_EQ(p.feasible, big_in_nvm) << p.name;
+  }
+}
+
+TEST(SubsetPlacements, TooManyCandidatesThrow) {
+  std::vector<RangeUsage> candidates(17);
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    candidates[i] = RangeUsage{
+        {"r" + std::to_string(i), static_cast<Address>(i) * 0x1000, 0x1000},
+        1,
+        0};
+  }
+  EXPECT_THROW((void)enumerate_subset_placements(candidates, 1ull << 30),
+               hms::Error);
+}
+
+}  // namespace
+}  // namespace hms::designs

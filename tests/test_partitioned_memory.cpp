@@ -1,0 +1,106 @@
+// PartitionedMemoryBackend — the NDM main memory router.
+#include <gtest/gtest.h>
+
+#include "hms/common/error.hpp"
+#include "hms/cache/partitioned_memory.hpp"
+
+namespace hms::cache {
+namespace {
+
+using mem::Technology;
+using mem::TechnologyRegistry;
+
+mem::MemoryDeviceConfig device(Technology t, std::string name,
+                               std::uint64_t capacity = 1ull << 20) {
+  mem::MemoryDeviceConfig cfg;
+  cfg.name = std::move(name);
+  cfg.technology = TechnologyRegistry::table1().get(t);
+  cfg.capacity_bytes = capacity;
+  cfg.line_bytes = 256;
+  return cfg;
+}
+
+PartitionedMemoryBackend make_ndm() {
+  std::vector<mem::MemoryDeviceConfig> devices;
+  devices.push_back(device(Technology::DRAM, "DRAM"));
+  devices.push_back(device(Technology::PCM, "PCM"));
+  std::vector<AddressRangeRule> rules = {
+      {0x10000, 0x8000, 1},  // [0x10000, 0x18000) -> PCM
+  };
+  return PartitionedMemoryBackend(std::move(devices), std::move(rules), 0);
+}
+
+TEST(PartitionedMemory, RoutesByRange) {
+  auto ndm = make_ndm();
+  EXPECT_EQ(ndm.route(0x0fff0), 0u);
+  EXPECT_EQ(ndm.route(0x10000), 1u);
+  EXPECT_EQ(ndm.route(0x17fff), 1u);
+  EXPECT_EQ(ndm.route(0x18000), 0u);
+}
+
+TEST(PartitionedMemory, CountsPerDevice) {
+  auto ndm = make_ndm();
+  ndm.load(0x10000, 64);
+  ndm.load(0x20000, 64);
+  ndm.store(0x10040, 64);
+  EXPECT_EQ(ndm.device(1).stats().reads, 1u);
+  EXPECT_EQ(ndm.device(1).stats().writes, 1u);
+  EXPECT_EQ(ndm.device(0).stats().reads, 1u);
+  EXPECT_EQ(ndm.device(0).stats().writes, 0u);
+}
+
+TEST(PartitionedMemory, ProfilesPerDevice) {
+  auto ndm = make_ndm();
+  ndm.load(0x10000, 512);
+  ndm.store(0x0, 64);
+  const auto profiles = ndm.profiles();
+  ASSERT_EQ(profiles.size(), 2u);
+  EXPECT_EQ(profiles[0].name, "DRAM");
+  EXPECT_EQ(profiles[1].name, "PCM");
+  EXPECT_EQ(profiles[1].loads, 1u);
+  EXPECT_EQ(profiles[1].load_bytes, 512u);
+  EXPECT_EQ(profiles[0].stores, 1u);
+  EXPECT_FALSE(profiles[0].is_cache);
+}
+
+TEST(PartitionedMemory, FirstMatchingRuleWins) {
+  std::vector<mem::MemoryDeviceConfig> devices;
+  devices.push_back(device(Technology::DRAM, "DRAM"));
+  devices.push_back(device(Technology::PCM, "PCM"));
+  devices.push_back(device(Technology::STTRAM, "STT"));
+  std::vector<AddressRangeRule> rules = {
+      {0x1000, 0x1000, 1},
+      {0x1000, 0x2000, 2},  // overlaps; must lose to the first rule
+  };
+  PartitionedMemoryBackend ndm(std::move(devices), std::move(rules), 0);
+  EXPECT_EQ(ndm.route(0x1800), 1u);
+  EXPECT_EQ(ndm.route(0x2800), 2u);
+}
+
+TEST(PartitionedMemory, Validation) {
+  std::vector<mem::MemoryDeviceConfig> devices;
+  devices.push_back(device(Technology::DRAM, "DRAM"));
+  EXPECT_THROW(PartitionedMemoryBackend({}, {}, 0), hms::ConfigError);
+  EXPECT_THROW(PartitionedMemoryBackend(
+                   {device(Technology::DRAM, "d")},
+                   {{0x0, 0x100, 5}}, 0),
+               hms::ConfigError);  // rule device out of range
+  EXPECT_THROW(PartitionedMemoryBackend(
+                   {device(Technology::DRAM, "d")},
+                   {{0x0, 0, 0}}, 0),
+               hms::ConfigError);  // empty range
+  EXPECT_THROW(PartitionedMemoryBackend(
+                   {device(Technology::DRAM, "d")}, {}, 3),
+               hms::ConfigError);  // default out of range
+}
+
+TEST(AddressRangeRule, Contains) {
+  AddressRangeRule rule{100, 50, 0};
+  EXPECT_FALSE(rule.contains(99));
+  EXPECT_TRUE(rule.contains(100));
+  EXPECT_TRUE(rule.contains(149));
+  EXPECT_FALSE(rule.contains(150));
+}
+
+}  // namespace
+}  // namespace hms::cache

@@ -1,0 +1,198 @@
+// Cross-cutting property tests: invariants that must hold across random
+// traces and configuration sweeps.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "hms/common/random.hpp"
+#include "hms/cache/hierarchy.hpp"
+#include "hms/designs/design.hpp"
+#include "hms/model/amat.hpp"
+#include "hms/model/energy.hpp"
+#include "hms/sim/simulator.hpp"
+#include "hms/workloads/registry.hpp"
+
+namespace hms {
+namespace {
+
+using cache::CacheConfig;
+using cache::CacheLevelSpec;
+using cache::MemoryHierarchy;
+using cache::SetAssocCache;
+using cache::SingleMemoryBackend;
+using mem::Technology;
+using mem::TechnologyRegistry;
+
+std::vector<trace::MemoryAccess> random_trace(std::uint64_t seed,
+                                              std::size_t n,
+                                              Address space,
+                                              double store_fraction) {
+  Xoshiro256 rng(seed);
+  std::vector<trace::MemoryAccess> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(trace::MemoryAccess{
+        rng.below(space) & ~7ull, 8,
+        rng.chance(store_fraction) ? AccessType::Store : AccessType::Load,
+        0});
+  }
+  return out;
+}
+
+/// LRU stack property: with full associativity, a cache of 2x capacity
+/// never misses more than the smaller one on ANY trace.
+class LruStackPropertyTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(LruStackPropertyTest, FullyAssociativeNesting) {
+  const auto trace = random_trace(GetParam(), 30000, 1 << 16, 0.3);
+  Count previous = ~Count{0};
+  for (std::uint64_t capacity : {1024u, 2048u, 4096u, 8192u}) {
+    CacheConfig cfg;
+    cfg.capacity_bytes = capacity;
+    cfg.line_bytes = 64;
+    cfg.associativity = 0;  // fully associative
+    SetAssocCache c(cfg);
+    for (const auto& a : trace) c.access(a.address, a.size, a.type);
+    EXPECT_LE(c.stats().misses(), previous) << "capacity " << capacity;
+    previous = c.stats().misses();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LruStackPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+/// Sector dirty tracking never increases write-back bytes vs whole-page.
+class SectorDirtyPropertyTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SectorDirtyPropertyTest, SectorWritebacksNeverExceedWholePage) {
+  const auto trace = random_trace(GetParam(), 40000, 1 << 18, 0.4);
+  auto run = [&](std::uint64_t sector) {
+    CacheLevelSpec level;
+    level.cache.capacity_bytes = 16384;
+    level.cache.line_bytes = 1024;
+    level.cache.associativity = 4;
+    level.cache.sector_bytes = sector;
+    level.tech = mem::sram_level(1).as_params();
+    mem::MemoryDeviceConfig dev;
+    dev.name = "mem";
+    dev.technology = TechnologyRegistry::table1().get(Technology::DRAM);
+    dev.capacity_bytes = 1 << 20;
+    dev.line_bytes = 256;
+    MemoryHierarchy h({level}, std::make_unique<SingleMemoryBackend>(dev));
+    for (const auto& a : trace) h.access(a);
+    h.flush();
+    return h.profile().levels[1].store_bytes;
+  };
+  const auto whole = run(0);
+  const auto sectored = run(64);
+  EXPECT_LE(sectored, whole);
+  EXPECT_GT(sectored, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SectorDirtyPropertyTest,
+                         ::testing::Values(11, 12, 13));
+
+/// The hit/miss/eviction ledger balances at every level for any stream:
+/// fills - evictions == resident lines.
+class LedgerPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LedgerPropertyTest, FillsMinusEvictionsEqualsOccupancy) {
+  const auto trace = random_trace(GetParam(), 50000, 1 << 17, 0.25);
+  CacheConfig cfg;
+  cfg.capacity_bytes = 4096;
+  cfg.line_bytes = 64;
+  cfg.associativity = 8;
+  SetAssocCache c(cfg);
+  for (const auto& a : trace) c.access(a.address, a.size, a.type);
+  const auto& s = c.stats();
+  // Every miss allocates; evictions displace previously allocated lines.
+  EXPECT_EQ(s.misses() - s.evictions, c.occupancy());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LedgerPropertyTest,
+                         ::testing::Values(21, 22, 23, 24));
+
+/// Front/back equivalence holds with prefetchers in the back design.
+TEST(FrontBackProperty, HoldsWithPrefetchingBack) {
+  designs::DesignOptions opts;
+  opts.l4_prefetch = {cache::PrefetcherConfig::Kind::NextLine, 2};
+  designs::DesignFactory factory(256, TechnologyRegistry::table1(), opts);
+  workloads::WorkloadParams params{2ull << 20, 42, 1};
+
+  auto w_full = workloads::make_workload("CG", params);
+  auto full_h = factory.nvm_main_memory(designs::n_config("N6"),
+                                        Technology::PCM,
+                                        w_full->footprint_bytes());
+  const auto full = sim::simulate(*w_full, *full_h);
+
+  const auto capture = sim::capture_front("CG", params, factory);
+  auto back = factory.nvm_main_memory_back(designs::n_config("N6"),
+                                           Technology::PCM,
+                                           capture.footprint_bytes);
+  const auto combined = sim::replay_back(capture, *back);
+
+  ASSERT_EQ(full.levels.size(), combined.levels.size());
+  for (std::size_t i = 0; i < full.levels.size(); ++i) {
+    EXPECT_EQ(full.levels[i].loads, combined.levels[i].loads) << i;
+    EXPECT_EQ(full.levels[i].stores, combined.levels[i].stores) << i;
+    EXPECT_EQ(full.levels[i].cache_stats.prefetch_fills,
+              combined.levels[i].cache_stats.prefetch_fills)
+        << i;
+  }
+}
+
+/// AMAT is additive over profile levels: combining front and back profiles
+/// gives total time = sum of parts.
+TEST(AmatProperty, AdditiveOverCombine) {
+  designs::DesignFactory factory(256);
+  const auto capture = sim::capture_front(
+      "StreamTriad", workloads::WorkloadParams{2ull << 20, 42, 1}, factory);
+  auto back = factory.base_back(capture.footprint_bytes);
+  const auto combined = sim::replay_back(capture, *back);
+
+  const auto front_time = model::total_access_time(capture.front_profile);
+  const auto back_time = model::total_access_time(back->profile());
+  const auto combined_time = model::total_access_time(combined);
+  EXPECT_NEAR(combined_time.nanoseconds(),
+              (front_time + back_time).nanoseconds(),
+              combined_time.nanoseconds() * 1e-12);
+}
+
+/// Larger NVM write latency can only increase AMAT (Eq. 2 monotonicity).
+TEST(AmatProperty, MonotoneInLatency) {
+  designs::DesignFactory factory(256);
+  const auto capture = sim::capture_front(
+      "Hashing", workloads::WorkloadParams{2ull << 20, 42, 1}, factory);
+  auto back = factory.nvm_main_memory_back(designs::n_config("N6"),
+                                           Technology::PCM,
+                                           capture.footprint_bytes);
+  auto profile = sim::replay_back(capture, *back);
+  const auto before = model::amat(profile);
+  for (auto& level : profile.levels) {
+    if (!level.is_cache) {
+      level.tech.write_latency = level.tech.write_latency * 3.0;
+    }
+  }
+  EXPECT_GE(model::amat(profile).nanoseconds(), before.nanoseconds());
+}
+
+/// Dynamic energy is invariant to latency changes (Eq. 3 only sees bytes).
+TEST(EnergyProperty, DynamicIndependentOfLatency) {
+  designs::DesignFactory factory(256);
+  const auto capture = sim::capture_front(
+      "CG", workloads::WorkloadParams{2ull << 20, 42, 1}, factory);
+  auto back = factory.base_back(capture.footprint_bytes);
+  auto profile = sim::replay_back(capture, *back);
+  const auto before = model::dynamic_energy(profile);
+  for (auto& level : profile.levels) {
+    level.tech.read_latency = level.tech.read_latency * 7.0;
+    level.tech.write_latency = level.tech.write_latency * 7.0;
+  }
+  EXPECT_DOUBLE_EQ(model::dynamic_energy(profile).picojoules(),
+                   before.picojoules());
+}
+
+}  // namespace
+}  // namespace hms

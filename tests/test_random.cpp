@@ -1,0 +1,149 @@
+// Deterministic PRNG (hms/common/random.hpp).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "hms/common/random.hpp"
+
+namespace hms {
+namespace {
+
+TEST(SplitMix64, Deterministic) {
+  SplitMix64 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, SeedsDiffer) {
+  SplitMix64 a(1), b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Xoshiro, DeterministicAcrossInstances) {
+  Xoshiro256 a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro, DifferentSeedsDiverge) {
+  Xoshiro256 a(42), b(43);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Xoshiro, BelowInRange) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+}
+
+TEST(Xoshiro, BelowOneIsAlwaysZero) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Xoshiro, BetweenInclusiveBounds) {
+  Xoshiro256 rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.between(3, 7);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all values hit
+}
+
+TEST(Xoshiro, Uniform01InRange) {
+  Xoshiro256 rng(11);
+  double sum = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    const double v = rng.uniform01();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 100000.0, 0.5, 0.01);  // mean close to 1/2
+}
+
+TEST(Xoshiro, BelowIsRoughlyUniform) {
+  Xoshiro256 rng(13);
+  constexpr std::uint64_t buckets = 8;
+  std::vector<int> counts(buckets, 0);
+  constexpr int n = 80000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[static_cast<std::size_t>(rng.below(buckets))];
+  }
+  for (auto c : counts) {
+    EXPECT_NEAR(c, n / static_cast<int>(buckets), n / 100);
+  }
+}
+
+TEST(Xoshiro, ChanceExtremes) {
+  Xoshiro256 rng(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Xoshiro, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Xoshiro256>);
+  SUCCEED();
+}
+
+TEST(Zipf, RanksInRange) {
+  ZipfSampler zipf(100, 1.0);
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(zipf(rng), 100u);
+  }
+}
+
+TEST(Zipf, HeadIsHotterThanTail) {
+  ZipfSampler zipf(1000, 1.0);
+  Xoshiro256 rng(7);
+  std::vector<int> counts(1000, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[zipf(rng)];
+  EXPECT_GT(counts[0], counts[100]);
+  EXPECT_GT(counts[0], 20 * std::max(counts[900], 1));
+}
+
+TEST(Zipf, HarmonicRatioMatchesTheory) {
+  // With s = 1, P(0)/P(1) = 2.
+  ZipfSampler zipf(10000, 1.0);
+  Xoshiro256 rng(11);
+  int c0 = 0, c1 = 0;
+  for (int i = 0; i < 400000; ++i) {
+    const auto r = zipf(rng);
+    if (r == 0) ++c0;
+    if (r == 1) ++c1;
+  }
+  EXPECT_NEAR(static_cast<double>(c0) / static_cast<double>(c1), 2.0, 0.25);
+}
+
+TEST(Zipf, HigherSkewConcentratesMass) {
+  Xoshiro256 rng_a(13), rng_b(13);
+  ZipfSampler flat(10000, 0.5), steep(10000, 1.5);
+  int flat_head = 0, steep_head = 0;
+  for (int i = 0; i < 50000; ++i) {
+    if (flat(rng_a) < 10) ++flat_head;
+    if (steep(rng_b) < 10) ++steep_head;
+  }
+  EXPECT_GT(steep_head, 2 * flat_head);
+}
+
+TEST(Zipf, DeterministicGivenRngState) {
+  ZipfSampler zipf(500, 0.9);
+  Xoshiro256 a(21), b(21);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(zipf(a), zipf(b));
+  }
+}
+
+}  // namespace
+}  // namespace hms

@@ -1,0 +1,74 @@
+// Refresh/static power model (hms/mem/refresh.hpp).
+#include <gtest/gtest.h>
+
+#include "hms/common/error.hpp"
+#include "hms/mem/refresh.hpp"
+
+namespace hms::mem {
+namespace {
+
+TEST(Refresh, PowerScalesLinearlyWithCapacity) {
+  RefreshParams params;
+  const Power p1 = refresh_power(params, 1ull << 30);
+  const Power p4 = refresh_power(params, 4ull << 30);
+  EXPECT_NEAR(p4.milliwatts(), 4.0 * p1.milliwatts(), 1e-9);
+}
+
+TEST(Refresh, DefaultMagnitudeIsDdr3Like) {
+  // ~40 mW for 4 GiB (doc comment in refresh.hpp).
+  const Power p = refresh_power(RefreshParams{}, 4ull << 30);
+  EXPECT_GT(p.milliwatts(), 10.0);
+  EXPECT_LT(p.milliwatts(), 200.0);
+}
+
+TEST(Refresh, ShorterRetentionCostsMore) {
+  RefreshParams fast;
+  fast.retention = Time::from_seconds(32e-3);
+  RefreshParams slow;
+  slow.retention = Time::from_seconds(64e-3);
+  EXPECT_GT(refresh_power(fast, 1ull << 30).milliwatts(),
+            refresh_power(slow, 1ull << 30).milliwatts());
+}
+
+TEST(Refresh, InvalidParamsThrow) {
+  RefreshParams bad;
+  bad.row_bytes = 0;
+  EXPECT_THROW((void)refresh_power(bad, 1ull << 20), hms::Error);
+  RefreshParams bad2;
+  bad2.retention = Time::from_ns(0.0);
+  EXPECT_THROW((void)refresh_power(bad2, 1ull << 20), hms::Error);
+}
+
+TEST(StaticPower, NvmIsZero) {
+  const auto& reg = TechnologyRegistry::table1();
+  for (Technology t :
+       {Technology::PCM, Technology::STTRAM, Technology::FeRAM}) {
+    EXPECT_DOUBLE_EQ(static_power(reg.get(t), 4ull << 30).milliwatts(), 0.0)
+        << to_string(t);
+  }
+}
+
+TEST(StaticPower, DramIncludesRefreshAndLeakage) {
+  const auto& dram = TechnologyRegistry::table1().get(Technology::DRAM);
+  const std::uint64_t cap = 4ull << 30;
+  const Power leak_only = dram.static_power(cap);
+  const Power total = static_power(dram, cap);
+  EXPECT_GT(total.milliwatts(), leak_only.milliwatts());
+}
+
+TEST(StaticPower, SramHasNoRefresh) {
+  const auto sram = sram_level(3).as_params();
+  const std::uint64_t cap = 20ull << 20;
+  EXPECT_DOUBLE_EQ(static_power(sram, cap).milliwatts(),
+                   sram.static_power(cap).milliwatts());
+}
+
+TEST(StaticPower, BiggerDramDrawsMore) {
+  // The NMM design's premise: shrinking DRAM cuts static power.
+  const auto& dram = TechnologyRegistry::table1().get(Technology::DRAM);
+  EXPECT_GT(static_power(dram, 4ull << 30).milliwatts(),
+            static_power(dram, 512ull << 20).milliwatts());
+}
+
+}  // namespace
+}  // namespace hms::mem

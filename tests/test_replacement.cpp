@@ -1,0 +1,146 @@
+// Replacement policies (hms/cache/replacement.hpp).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "hms/common/error.hpp"
+#include "hms/cache/replacement.hpp"
+
+namespace hms::cache {
+namespace {
+
+TEST(PolicyNames, RoundTrip) {
+  for (PolicyKind k : {PolicyKind::LRU, PolicyKind::TreePLRU,
+                       PolicyKind::FIFO, PolicyKind::Random,
+                       PolicyKind::SRRIP}) {
+    EXPECT_EQ(policy_from_string(to_string(k)), k);
+  }
+  EXPECT_EQ(policy_from_string("plru"), PolicyKind::TreePLRU);
+  EXPECT_THROW((void)policy_from_string("magic"), hms::Error);
+}
+
+TEST(Lru, EvictsLeastRecentlyUsed) {
+  auto p = make_policy(PolicyKind::LRU, 1, 4);
+  for (std::uint32_t w = 0; w < 4; ++w) p->on_insert(0, w);
+  p->on_access(0, 0);  // 0 is now most recent; 1 is oldest
+  EXPECT_EQ(p->choose_victim(0), 1u);
+  p->on_access(0, 1);
+  EXPECT_EQ(p->choose_victim(0), 2u);
+}
+
+TEST(Lru, SetsAreIndependent) {
+  auto p = make_policy(PolicyKind::LRU, 2, 2);
+  p->on_insert(0, 0);
+  p->on_insert(1, 0);
+  p->on_insert(0, 1);
+  p->on_insert(1, 1);
+  p->on_access(0, 0);
+  // Set 0: way 1 oldest. Set 1: way 0 oldest.
+  EXPECT_EQ(p->choose_victim(0), 1u);
+  EXPECT_EQ(p->choose_victim(1), 0u);
+}
+
+TEST(Fifo, IgnoresHits) {
+  auto p = make_policy(PolicyKind::FIFO, 1, 3);
+  p->on_insert(0, 0);
+  p->on_insert(0, 1);
+  p->on_insert(0, 2);
+  p->on_access(0, 0);  // hit must NOT refresh
+  EXPECT_EQ(p->choose_victim(0), 0u);
+}
+
+TEST(Random, VictimsAreValidAndVaried) {
+  auto p = make_policy(PolicyKind::Random, 1, 8, /*seed=*/99);
+  std::set<std::uint32_t> seen;
+  for (int i = 0; i < 200; ++i) {
+    const auto v = p->choose_victim(0);
+    ASSERT_LT(v, 8u);
+    seen.insert(v);
+  }
+  EXPECT_GT(seen.size(), 4u);  // not stuck on one way
+}
+
+TEST(Random, DeterministicWithSeed) {
+  auto a = make_policy(PolicyKind::Random, 1, 8, 7);
+  auto b = make_policy(PolicyKind::Random, 1, 8, 7);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(a->choose_victim(0), b->choose_victim(0));
+  }
+}
+
+TEST(TreePlru, RequiresPow2Ways) {
+  EXPECT_THROW((void)make_policy(PolicyKind::TreePLRU, 1, 3),
+               hms::ConfigError);
+  EXPECT_NO_THROW((void)make_policy(PolicyKind::TreePLRU, 1, 8));
+}
+
+TEST(TreePlru, VictimAvoidsRecentlyTouched) {
+  auto p = make_policy(PolicyKind::TreePLRU, 1, 4);
+  for (std::uint32_t w = 0; w < 4; ++w) p->on_insert(0, w);
+  p->on_access(0, 2);
+  const auto v = p->choose_victim(0);
+  EXPECT_NE(v, 2u);  // just-touched way is never the PLRU victim
+  ASSERT_LT(v, 4u);
+}
+
+TEST(TreePlru, NeverReturnsJustTouchedWay) {
+  auto p = make_policy(PolicyKind::TreePLRU, 4, 8);
+  for (std::uint32_t set = 0; set < 4; ++set) {
+    for (std::uint32_t w = 0; w < 8; ++w) p->on_insert(set, w);
+    for (std::uint32_t w = 0; w < 8; ++w) {
+      p->on_access(set, w);
+      EXPECT_NE(p->choose_victim(set), w) << "set " << set;
+    }
+  }
+}
+
+TEST(Srrip, HitPromotionProtectsLine) {
+  auto p = make_policy(PolicyKind::SRRIP, 1, 4);
+  for (std::uint32_t w = 0; w < 4; ++w) p->on_insert(0, w);
+  p->on_access(0, 3);  // promote way 3 to RRPV 0
+  const auto v = p->choose_victim(0);
+  EXPECT_NE(v, 3u);
+  ASSERT_LT(v, 4u);
+}
+
+TEST(Srrip, AgingEventuallyFindsVictim) {
+  auto p = make_policy(PolicyKind::SRRIP, 1, 4);
+  for (std::uint32_t w = 0; w < 4; ++w) {
+    p->on_insert(0, w);
+    p->on_access(0, w);  // all at RRPV 0
+  }
+  // choose_victim must terminate by aging everyone to max.
+  const auto v = p->choose_victim(0);
+  ASSERT_LT(v, 4u);
+}
+
+TEST(Factory, RejectsZeroGeometry) {
+  EXPECT_THROW((void)make_policy(PolicyKind::LRU, 0, 4), hms::ConfigError);
+  EXPECT_THROW((void)make_policy(PolicyKind::LRU, 4, 0), hms::ConfigError);
+}
+
+class AllPoliciesTest : public ::testing::TestWithParam<PolicyKind> {};
+
+TEST_P(AllPoliciesTest, VictimAlwaysInRange) {
+  auto p = make_policy(GetParam(), 8, 4);
+  for (std::uint32_t set = 0; set < 8; ++set) {
+    for (std::uint32_t w = 0; w < 4; ++w) p->on_insert(set, w);
+  }
+  for (int i = 0; i < 100; ++i) {
+    for (std::uint32_t set = 0; set < 8; ++set) {
+      const auto v = p->choose_victim(set);
+      ASSERT_LT(v, 4u);
+      p->on_insert(set, v);  // simulate replacement
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, AllPoliciesTest,
+                         ::testing::Values(PolicyKind::LRU,
+                                           PolicyKind::TreePLRU,
+                                           PolicyKind::FIFO,
+                                           PolicyKind::Random,
+                                           PolicyKind::SRRIP));
+
+}  // namespace
+}  // namespace hms::cache

@@ -1,0 +1,124 @@
+// Simulator and the front/back split (hms/sim/simulator.hpp).
+//
+// The load-bearing invariant: replaying a captured residual stream into a
+// design's back half must produce EXACTLY the same combined statistics as
+// simulating the full hierarchy online.
+#include <gtest/gtest.h>
+
+#include "hms/designs/design.hpp"
+#include "hms/sim/simulator.hpp"
+#include "hms/workloads/registry.hpp"
+
+namespace hms::sim {
+namespace {
+
+using designs::DesignFactory;
+using mem::Technology;
+
+workloads::WorkloadParams params() {
+  workloads::WorkloadParams p;
+  p.footprint_bytes = 2ull << 20;
+  p.seed = 42;
+  p.iterations = 1;
+  return p;
+}
+
+void expect_profiles_equal(const cache::HierarchyProfile& a,
+                           const cache::HierarchyProfile& b) {
+  ASSERT_EQ(a.levels.size(), b.levels.size());
+  EXPECT_EQ(a.references, b.references);
+  for (std::size_t i = 0; i < a.levels.size(); ++i) {
+    SCOPED_TRACE("level " + a.levels[i].name);
+    EXPECT_EQ(a.levels[i].name, b.levels[i].name);
+    EXPECT_EQ(a.levels[i].loads, b.levels[i].loads);
+    EXPECT_EQ(a.levels[i].stores, b.levels[i].stores);
+    EXPECT_EQ(a.levels[i].load_bytes, b.levels[i].load_bytes);
+    EXPECT_EQ(a.levels[i].store_bytes, b.levels[i].store_bytes);
+    EXPECT_EQ(a.levels[i].cache_stats.hits(), b.levels[i].cache_stats.hits());
+    EXPECT_EQ(a.levels[i].cache_stats.writebacks,
+              b.levels[i].cache_stats.writebacks);
+  }
+}
+
+TEST(Simulator, RunsWorkloadIntoHierarchy) {
+  DesignFactory f(256);
+  auto w = workloads::make_workload("StreamTriad", params());
+  auto h = f.base(w->footprint_bytes());
+  const auto profile = simulate(*w, *h);
+  EXPECT_GT(profile.references, 0u);
+  ASSERT_EQ(profile.levels.size(), 4u);
+  EXPECT_GT(profile.levels[3].loads, 0u);
+}
+
+TEST(Simulator, CaptureFrontRecordsMetadata) {
+  DesignFactory f(256);
+  const auto capture = capture_front("CG", params(), f);
+  EXPECT_EQ(capture.workload_name, "CG");
+  EXPECT_EQ(capture.info.name, "CG");
+  EXPECT_GT(capture.footprint_bytes, 0u);
+  EXPECT_FALSE(capture.ranges.empty());
+  EXPECT_FALSE(capture.residual.empty());
+  EXPECT_EQ(capture.front_profile.levels.size(), 3u);
+  EXPECT_GT(capture.front_profile.references, 0u);
+}
+
+class FrontBackEquivalenceTest
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(FrontBackEquivalenceTest, BaseDesignMatchesFullSimulation) {
+  DesignFactory f(256);
+  const std::string name = GetParam();
+
+  auto w_full = workloads::make_workload(name, params());
+  auto h_full = f.base(w_full->footprint_bytes());
+  const auto full = simulate(*w_full, *h_full);
+
+  const auto capture = capture_front(name, params(), f);
+  auto back = f.base_back(capture.footprint_bytes);
+  const auto combined = replay_back(capture, *back);
+
+  expect_profiles_equal(full, combined);
+}
+
+TEST_P(FrontBackEquivalenceTest, NmmDesignMatchesFullSimulation) {
+  DesignFactory f(256);
+  const std::string name = GetParam();
+
+  auto w_full = workloads::make_workload(name, params());
+  auto h_full = f.nvm_main_memory(designs::n_config("N6"), Technology::PCM,
+                                  w_full->footprint_bytes());
+  const auto full = simulate(*w_full, *h_full);
+
+  const auto capture = capture_front(name, params(), f);
+  auto back = f.nvm_main_memory_back(designs::n_config("N6"),
+                                     Technology::PCM,
+                                     capture.footprint_bytes);
+  const auto combined = replay_back(capture, *back);
+
+  expect_profiles_equal(full, combined);
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, FrontBackEquivalenceTest,
+                         ::testing::Values("StreamTriad", "CG", "Hashing"));
+
+TEST(Simulator, ReplayIsRepeatable) {
+  DesignFactory f(256);
+  const auto capture = capture_front("StreamTriad", params(), f);
+  auto b1 = f.base_back(capture.footprint_bytes);
+  auto b2 = f.base_back(capture.footprint_bytes);
+  expect_profiles_equal(replay_back(capture, *b1),
+                        replay_back(capture, *b2));
+}
+
+TEST(Simulator, ResidualIsMuchSmallerThanFullStream) {
+  DesignFactory f(256);
+  auto w = workloads::make_workload("BT", params());
+  trace::CountingSink counter;
+  w->run(counter);
+  const auto capture = capture_front("BT", params(), f);
+  // The L1-L3 front filters the stream heavily even at small scale.
+  EXPECT_LT(capture.residual.size(), counter.total() / 2);
+}
+
+}  // namespace
+}  // namespace hms::sim

@@ -1,0 +1,130 @@
+// RunningStat, means, Histogram (hms/common/stats.hpp).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "hms/common/error.hpp"
+#include "hms/common/random.hpp"
+#include "hms/common/stats.hpp"
+
+namespace hms {
+namespace {
+
+TEST(RunningStat, Empty) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStat, KnownValues) {
+  RunningStat s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStat, SingleValueHasZeroVariance) {
+  RunningStat s;
+  s.add(42.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStat, MergeMatchesSequential) {
+  Xoshiro256 rng(7);
+  RunningStat all, left, right;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform01() * 100.0 - 50.0;
+    all.add(v);
+    (i % 2 == 0 ? left : right).add(v);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(RunningStat, MergeWithEmpty) {
+  RunningStat a, b;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(b);  // no-op
+  EXPECT_EQ(a.count(), 2u);
+  b.merge(a);  // adopt
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(Means, Geometric) {
+  const std::vector<double> v = {1.0, 4.0, 16.0};
+  EXPECT_NEAR(geometric_mean(v), 4.0, 1e-12);
+}
+
+TEST(Means, GeometricRejectsNonPositive) {
+  const std::vector<double> v = {1.0, 0.0};
+  EXPECT_THROW((void)geometric_mean(v), Error);
+  EXPECT_THROW((void)geometric_mean(std::vector<double>{}), Error);
+}
+
+TEST(Means, Arithmetic) {
+  const std::vector<double> v = {1.0, 2.0, 6.0};
+  EXPECT_DOUBLE_EQ(arithmetic_mean(v), 3.0);
+  EXPECT_THROW((void)arithmetic_mean(std::vector<double>{}), Error);
+}
+
+TEST(Means, GeometricNeverExceedsArithmetic) {
+  Xoshiro256 rng(11);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> v;
+    for (int i = 0; i < 10; ++i) v.push_back(0.1 + rng.uniform01() * 10.0);
+    EXPECT_LE(geometric_mean(v), arithmetic_mean(v) + 1e-12);
+  }
+}
+
+TEST(Histogram, BasicBinning) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 10; ++i) h.add(static_cast<double>(i) + 0.5);
+  EXPECT_EQ(h.total(), 10u);
+  for (std::size_t b = 0; b < 10; ++b) {
+    EXPECT_EQ(h.bin_count(b), 1u) << "bin " << b;
+  }
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(9), 10.0);
+}
+
+TEST(Histogram, OutOfRangeClamped) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(-100.0);
+  h.add(100.0);
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(3), 1u);
+}
+
+TEST(Histogram, Quantiles) {
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) h.add(static_cast<double>(i) + 0.5);
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 1.0);
+  EXPECT_NEAR(h.quantile(0.99), 99.0, 1.5);
+  EXPECT_THROW((void)h.quantile(1.5), Error);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), Error);
+  EXPECT_THROW(Histogram(1.0, 0.0, 4), Error);
+}
+
+TEST(Histogram, QuantileOnEmptyThrows) {
+  Histogram h(0.0, 1.0, 4);
+  EXPECT_THROW((void)h.quantile(0.5), Error);
+}
+
+}  // namespace
+}  // namespace hms

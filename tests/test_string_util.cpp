@@ -1,0 +1,72 @@
+// String helpers (hms/common/string_util.hpp).
+#include <gtest/gtest.h>
+
+#include "hms/common/error.hpp"
+#include "hms/common/string_util.hpp"
+
+namespace hms {
+namespace {
+
+TEST(Split, Basic) {
+  const auto parts = split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Split, KeepsEmptyFields) {
+  const auto parts = split(",x,", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "");
+  EXPECT_EQ(parts[1], "x");
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(Split, NoDelimiter) {
+  const auto parts = split("alone", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "alone");
+}
+
+TEST(Trim, StripsWhitespace) {
+  EXPECT_EQ(trim("  hi  "), "hi");
+  EXPECT_EQ(trim("\t\nx\r "), "x");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(ToLower, Basic) {
+  EXPECT_EQ(to_lower("ABC def"), "abc def");
+  EXPECT_EQ(to_lower("PCM"), "pcm");
+}
+
+TEST(IEquals, CaseInsensitive) {
+  EXPECT_TRUE(iequals("sttram", "STTRAM"));
+  EXPECT_TRUE(iequals("", ""));
+  EXPECT_FALSE(iequals("a", "ab"));
+  EXPECT_FALSE(iequals("abc", "abd"));
+}
+
+TEST(ParseByteSize, PlainBytes) {
+  EXPECT_EQ(parse_byte_size("64"), 64u);
+  EXPECT_EQ(parse_byte_size("64B"), 64u);
+  EXPECT_EQ(parse_byte_size(" 128 "), 128u);
+}
+
+TEST(ParseByteSize, Suffixes) {
+  EXPECT_EQ(parse_byte_size("4KB"), 4096u);
+  EXPECT_EQ(parse_byte_size("4KiB"), 4096u);
+  EXPECT_EQ(parse_byte_size("4k"), 4096u);
+  EXPECT_EQ(parse_byte_size("16MB"), 16ull << 20);
+  EXPECT_EQ(parse_byte_size("2GB"), 2ull << 30);
+  EXPECT_EQ(parse_byte_size("512kb"), 512ull << 10);
+}
+
+TEST(ParseByteSize, Malformed) {
+  EXPECT_THROW((void)parse_byte_size(""), Error);
+  EXPECT_THROW((void)parse_byte_size("KB"), Error);
+  EXPECT_THROW((void)parse_byte_size("12XB"), Error);
+}
+
+}  // namespace
+}  // namespace hms

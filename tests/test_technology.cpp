@@ -1,0 +1,148 @@
+// Technology registry — paper Table 1 values (hms/mem/technology.hpp).
+#include <gtest/gtest.h>
+
+#include "hms/common/error.hpp"
+#include "hms/mem/technology.hpp"
+
+namespace hms::mem {
+namespace {
+
+const TechnologyRegistry& reg() { return TechnologyRegistry::table1(); }
+
+TEST(Table1, DramRow) {
+  const auto& p = reg().get(Technology::DRAM);
+  EXPECT_DOUBLE_EQ(p.read_latency.nanoseconds(), 10.0);
+  EXPECT_DOUBLE_EQ(p.write_latency.nanoseconds(), 10.0);
+  EXPECT_DOUBLE_EQ(p.read_pj_per_bit, 10.0);
+  EXPECT_DOUBLE_EQ(p.write_pj_per_bit, 10.0);
+  EXPECT_FALSE(p.non_volatile);
+}
+
+TEST(Table1, PcmRow) {
+  const auto& p = reg().get(Technology::PCM);
+  EXPECT_DOUBLE_EQ(p.read_latency.nanoseconds(), 21.0);
+  EXPECT_DOUBLE_EQ(p.write_latency.nanoseconds(), 100.0);
+  EXPECT_DOUBLE_EQ(p.read_pj_per_bit, 12.4);
+  EXPECT_DOUBLE_EQ(p.write_pj_per_bit, 210.3);
+  EXPECT_TRUE(p.non_volatile);
+  EXPECT_GT(p.endurance_writes, 0u);  // PCM has finite endurance
+}
+
+TEST(Table1, SttramRow) {
+  const auto& p = reg().get(Technology::STTRAM);
+  EXPECT_DOUBLE_EQ(p.read_latency.nanoseconds(), 35.0);
+  EXPECT_DOUBLE_EQ(p.write_latency.nanoseconds(), 35.0);
+  EXPECT_DOUBLE_EQ(p.read_pj_per_bit, 58.5);
+  EXPECT_DOUBLE_EQ(p.write_pj_per_bit, 67.7);
+  EXPECT_TRUE(p.non_volatile);
+  EXPECT_EQ(p.endurance_writes, 0u);  // effectively unlimited
+}
+
+TEST(Table1, FeramRow) {
+  const auto& p = reg().get(Technology::FeRAM);
+  EXPECT_DOUBLE_EQ(p.read_latency.nanoseconds(), 40.0);
+  EXPECT_DOUBLE_EQ(p.write_latency.nanoseconds(), 65.0);
+  EXPECT_DOUBLE_EQ(p.read_pj_per_bit, 12.4);
+  EXPECT_DOUBLE_EQ(p.write_pj_per_bit, 210.0);
+  EXPECT_TRUE(p.non_volatile);
+}
+
+TEST(Table1, EdramRow) {
+  const auto& p = reg().get(Technology::eDRAM);
+  EXPECT_DOUBLE_EQ(p.read_latency.nanoseconds(), 4.4);
+  EXPECT_DOUBLE_EQ(p.write_latency.nanoseconds(), 4.4);
+  EXPECT_DOUBLE_EQ(p.read_pj_per_bit, 3.11);
+  EXPECT_DOUBLE_EQ(p.write_pj_per_bit, 3.09);
+}
+
+TEST(Table1, HmcRow) {
+  const auto& p = reg().get(Technology::HMC);
+  EXPECT_DOUBLE_EQ(p.read_latency.nanoseconds(), 0.18);
+  EXPECT_DOUBLE_EQ(p.write_latency.nanoseconds(), 0.18);
+  EXPECT_DOUBLE_EQ(p.read_pj_per_bit, 0.48);
+  EXPECT_DOUBLE_EQ(p.write_pj_per_bit, 10.48);
+}
+
+TEST(Table1, NvmHasNoStaticPower) {
+  for (Technology t :
+       {Technology::PCM, Technology::STTRAM, Technology::FeRAM}) {
+    EXPECT_DOUBLE_EQ(reg().get(t).static_power_per_mib.milliwatts(), 0.0)
+        << to_string(t);
+  }
+}
+
+TEST(Table1, VolatileTechnologiesHaveStaticPower) {
+  for (Technology t :
+       {Technology::DRAM, Technology::eDRAM, Technology::HMC}) {
+    EXPECT_GT(reg().get(t).static_power_per_mib.milliwatts(), 0.0)
+        << to_string(t);
+  }
+}
+
+TEST(TechnologyParams, LatencyByAccessKind) {
+  const auto& pcm = reg().get(Technology::PCM);
+  EXPECT_DOUBLE_EQ(pcm.latency(false).nanoseconds(), 21.0);
+  EXPECT_DOUBLE_EQ(pcm.latency(true).nanoseconds(), 100.0);
+}
+
+TEST(TechnologyParams, AccessEnergyScalesWithBytes) {
+  const auto& dram = reg().get(Technology::DRAM);
+  // 64 B read at 10 pJ/bit = 64*8*10 pJ.
+  EXPECT_DOUBLE_EQ(dram.access_energy(false, 64).picojoules(), 5120.0);
+  EXPECT_DOUBLE_EQ(dram.access_energy(true, 1).picojoules(), 80.0);
+}
+
+TEST(TechnologyParams, StaticPowerScalesWithCapacity) {
+  const auto& dram = reg().get(Technology::DRAM);
+  const Power one = dram.static_power(1ull << 20);
+  const Power four = dram.static_power(4ull << 20);
+  EXPECT_DOUBLE_EQ(four.milliwatts(), 4.0 * one.milliwatts());
+}
+
+TEST(Names, RoundTrip) {
+  for (Technology t :
+       {Technology::SRAM, Technology::DRAM, Technology::PCM,
+        Technology::STTRAM, Technology::FeRAM, Technology::eDRAM,
+        Technology::HMC}) {
+    EXPECT_EQ(technology_from_string(to_string(t)), t);
+  }
+}
+
+TEST(Names, Aliases) {
+  EXPECT_EQ(technology_from_string("stt-ram"), Technology::STTRAM);
+  EXPECT_EQ(technology_from_string("RAM"), Technology::DRAM);
+  EXPECT_EQ(technology_from_string("pcm"), Technology::PCM);
+  EXPECT_THROW((void)technology_from_string("memristor"), hms::Error);
+}
+
+TEST(Registry, WithOverridesOneTechnology) {
+  TechnologyParams fast_pcm = reg().get(Technology::PCM);
+  fast_pcm.write_latency = Time::from_ns(50.0);
+  const auto modified = reg().with(fast_pcm);
+  EXPECT_DOUBLE_EQ(modified.get(Technology::PCM).write_latency.nanoseconds(),
+                   50.0);
+  // Original untouched; other rows unchanged.
+  EXPECT_DOUBLE_EQ(reg().get(Technology::PCM).write_latency.nanoseconds(),
+                   100.0);
+  EXPECT_DOUBLE_EQ(modified.get(Technology::DRAM).read_latency.nanoseconds(),
+                   10.0);
+}
+
+TEST(SramLevels, MonotoneLatency) {
+  EXPECT_LT(sram_level(1).access_latency, sram_level(2).access_latency);
+  EXPECT_LT(sram_level(2).access_latency, sram_level(3).access_latency);
+  EXPECT_THROW((void)sram_level(0), hms::Error);
+  EXPECT_THROW((void)sram_level(4), hms::Error);
+}
+
+TEST(SramLevels, L3SlowerThanEdramFasterThanDram) {
+  // The paper's premise: eDRAM sits between L3 SRAM and DRAM.
+  const auto l3 = sram_level(3).access_latency;
+  const auto edram = reg().get(Technology::eDRAM).read_latency;
+  const auto dram = reg().get(Technology::DRAM).read_latency;
+  EXPECT_LT(edram, dram);
+  EXPECT_GT(dram, l3);
+}
+
+}  // namespace
+}  // namespace hms::mem

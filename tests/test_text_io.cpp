@@ -1,0 +1,77 @@
+// Text trace format (hms/trace/text_io.hpp).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "hms/common/error.hpp"
+#include "hms/common/random.hpp"
+#include "hms/trace/text_io.hpp"
+
+namespace hms::trace {
+namespace {
+
+TEST(TextTrace, FormatsSingleAccess) {
+  EXPECT_EQ(to_text(load(0x40, 64)), "L 0x40 64");
+  EXPECT_EQ(to_text(store(0x1000, 8)), "S 0x1000 8");
+  MemoryAccess a = load(0x10, 4, /*core=*/3);
+  EXPECT_EQ(to_text(a), "L 0x10 4 3");
+}
+
+TEST(TextTrace, RoundTrip) {
+  TraceBuffer original;
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 500; ++i) {
+    MemoryAccess a;
+    a.address = rng.below(1ull << 40);
+    a.size = static_cast<std::uint32_t>(1 + rng.below(512));
+    a.type = rng.chance(0.4) ? AccessType::Store : AccessType::Load;
+    a.core = static_cast<CoreId>(rng.below(8));
+    original.access(a);
+  }
+  std::stringstream stream;
+  write_text_trace(stream, original);
+  const TraceBuffer loaded = read_text_trace(stream);
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t i = 0; i < loaded.size(); ++i) {
+    EXPECT_EQ(loaded.entries()[i], original.entries()[i]) << i;
+  }
+}
+
+TEST(TextTrace, SkipsCommentsAndBlankLines) {
+  std::stringstream in;
+  in << "# header comment\n\n  \nL 0x100 64\n# trailing\nS 0x200 8 2\n";
+  const auto buffer = read_text_trace(in);
+  ASSERT_EQ(buffer.size(), 2u);
+  EXPECT_EQ(buffer.entries()[0].address, 0x100u);
+  EXPECT_EQ(buffer.entries()[1].core, 2u);
+}
+
+TEST(TextTrace, AcceptsDecimalAddresses) {
+  std::stringstream in;
+  in << "L 256 64\n";
+  const auto buffer = read_text_trace(in);
+  EXPECT_EQ(buffer.entries()[0].address, 256u);
+}
+
+TEST(TextTrace, RejectsMalformedLines) {
+  for (const char* bad : {"X 0x100 64", "L zzz 64", "L 0x100 0",
+                          "L 0x100", "loadit"}) {
+    std::stringstream in;
+    in << bad << "\n";
+    EXPECT_THROW((void)read_text_trace(in), TraceError) << bad;
+  }
+}
+
+TEST(TextTrace, ErrorsMentionLineNumber) {
+  std::stringstream in;
+  in << "L 0x1 8\nL 0x2 8\nBROKEN\n";
+  try {
+    (void)read_text_trace(in);
+    FAIL() << "expected TraceError";
+  } catch (const TraceError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace hms::trace

@@ -1,0 +1,235 @@
+// Trace substrate: sinks, buffer, binary IO, filters, interleave.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "hms/common/error.hpp"
+#include "hms/common/random.hpp"
+#include "hms/trace/filters.hpp"
+#include "hms/trace/interleave.hpp"
+#include "hms/trace/sink.hpp"
+#include "hms/trace/trace_buffer.hpp"
+#include "hms/trace/trace_io.hpp"
+
+namespace hms::trace {
+namespace {
+
+TEST(Sinks, CountingSink) {
+  CountingSink sink;
+  sink.access(load(0x100, 8));
+  sink.access(store(0x108, 4));
+  sink.access(load(0x200, 64));
+  EXPECT_EQ(sink.loads(), 2u);
+  EXPECT_EQ(sink.stores(), 1u);
+  EXPECT_EQ(sink.total(), 3u);
+  EXPECT_EQ(sink.bytes(), 76u);
+}
+
+TEST(Sinks, TeeDuplicates) {
+  CountingSink a, b;
+  TeeSink tee;
+  tee.add(a);
+  tee.add(b);
+  tee.access(load(0x0));
+  tee.access(store(0x8));
+  EXPECT_EQ(tee.fan_out(), 2u);
+  EXPECT_EQ(a.total(), 2u);
+  EXPECT_EQ(b.total(), 2u);
+}
+
+TEST(Sinks, ForwardingSinkDropsWhenUnbound) {
+  ForwardingSink fwd;
+  CountingSink target;
+  fwd.access(load(0x0));  // dropped silently
+  fwd.bind(target);
+  EXPECT_TRUE(fwd.bound());
+  fwd.access(load(0x8));
+  fwd.unbind();
+  fwd.access(load(0x10));  // dropped
+  EXPECT_EQ(target.total(), 1u);
+}
+
+TEST(TraceBuffer, RecordAndReplay) {
+  TraceBuffer buffer;
+  buffer.access(load(0x100, 8));
+  buffer.access(store(0x140, 8));
+  EXPECT_EQ(buffer.size(), 2u);
+  EXPECT_EQ(buffer.loads(), 1u);
+  EXPECT_EQ(buffer.stores(), 1u);
+
+  CountingSink sink;
+  buffer.replay(sink);
+  buffer.replay(sink);  // replayable repeatedly
+  EXPECT_EQ(sink.total(), 4u);
+}
+
+TEST(TraceBuffer, FootprintLines) {
+  TraceBuffer buffer;
+  buffer.access(load(0, 8));
+  buffer.access(load(8, 8));    // same 64 B line
+  buffer.access(load(64, 8));   // next line
+  buffer.access(load(60, 8));   // straddles 64 B lines 0 and 1
+  EXPECT_EQ(buffer.footprint_lines(64), 2u);
+  // At 16 B granularity: bytes 0-15 (line 0), 60-67 (lines 3, 4).
+  EXPECT_EQ(buffer.footprint_lines(16), 3u);
+}
+
+TEST(TraceIo, RoundTrip) {
+  TraceBuffer original;
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 5000; ++i) {
+    MemoryAccess a;
+    a.address = rng.below(1ull << 40);
+    a.size = static_cast<std::uint32_t>(1 + rng.below(64));
+    a.type = rng.chance(0.3) ? AccessType::Store : AccessType::Load;
+    a.core = static_cast<CoreId>(rng.below(4));
+    original.access(a);
+  }
+  std::stringstream stream;
+  write_trace(stream, original);
+  const TraceBuffer loaded = read_trace(stream);
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t i = 0; i < loaded.size(); ++i) {
+    EXPECT_EQ(loaded.entries()[i], original.entries()[i]) << "entry " << i;
+  }
+}
+
+TEST(TraceIo, CompressesStridedStreams) {
+  TraceBuffer buffer;
+  for (int i = 0; i < 10000; ++i) {
+    buffer.access(load(static_cast<Address>(i) * 8, 8));
+  }
+  std::stringstream stream;
+  write_trace(stream, buffer);
+  // Raw encoding would be ~16 B/record; delta+varint should be ~3 B.
+  EXPECT_LT(stream.str().size(), buffer.size() * 6);
+}
+
+TEST(TraceIo, RejectsBadMagic) {
+  std::stringstream stream;
+  stream << "NOPE-this-is-not-a-trace";
+  EXPECT_THROW((void)read_trace(stream), TraceError);
+}
+
+TEST(TraceIo, RejectsTruncated) {
+  TraceBuffer buffer;
+  buffer.access(load(0x1234, 8));
+  buffer.access(store(0x5678, 8));
+  std::stringstream stream;
+  write_trace(stream, buffer);
+  std::string data = stream.str();
+  data.resize(data.size() - 1);
+  std::stringstream cut(data);
+  EXPECT_THROW((void)read_trace(cut), TraceError);
+}
+
+TEST(Filters, Sampling) {
+  CountingSink sink;
+  SamplingFilter filter(sink, 10);
+  for (int i = 0; i < 100; ++i) filter.access(load(0));
+  EXPECT_EQ(sink.total(), 10u);
+  EXPECT_THROW(SamplingFilter(sink, 0), Error);
+}
+
+TEST(Filters, Range) {
+  CountingSink sink;
+  RangeFilter filter(sink, 0x1000, 0x100);
+  filter.access(load(0xfff));   // below
+  filter.access(load(0x1000));  // first byte in
+  filter.access(load(0x10ff));  // last byte in
+  filter.access(load(0x1100));  // past end
+  EXPECT_EQ(sink.total(), 2u);
+}
+
+TEST(Filters, Truncate) {
+  CountingSink sink;
+  TruncateFilter filter(sink, 3);
+  for (int i = 0; i < 10; ++i) filter.access(load(0));
+  EXPECT_EQ(sink.total(), 3u);
+  EXPECT_EQ(filter.forwarded(), 3u);
+  EXPECT_EQ(filter.dropped(), 7u);
+}
+
+TEST(Filters, LineSplitPassesAligned) {
+  TraceBuffer out;
+  LineSplitFilter filter(out, 64);
+  filter.access(load(0, 64));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out.entries()[0].size, 64u);
+}
+
+TEST(Filters, LineSplitSplitsStraddlers) {
+  TraceBuffer out;
+  LineSplitFilter filter(out, 64);
+  filter.access(store(60, 8));  // 4 bytes in line 0, 4 in line 1
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out.entries()[0].address, 60u);
+  EXPECT_EQ(out.entries()[0].size, 4u);
+  EXPECT_EQ(out.entries()[1].address, 64u);
+  EXPECT_EQ(out.entries()[1].size, 4u);
+  EXPECT_EQ(out.entries()[1].type, AccessType::Store);
+}
+
+TEST(Filters, LineSplitLargeAccess) {
+  TraceBuffer out;
+  LineSplitFilter filter(out, 64);
+  filter.access(load(32, 256));  // spans 5 lines partially
+  std::uint64_t total = 0;
+  for (const auto& a : out.entries()) {
+    total += a.size;
+    // Each piece confined to one line.
+    EXPECT_EQ(a.address / 64, (a.address + a.size - 1) / 64);
+  }
+  EXPECT_EQ(total, 256u);
+}
+
+TEST(Interleave, RoundRobinTagsCores) {
+  TraceBuffer s0, s1;
+  s0.access(load(0x0));
+  s0.access(load(0x8));
+  s1.access(store(0x100));
+  TraceBuffer merged;
+  const TraceBuffer* streams[] = {&s0, &s1};
+  interleave(streams, merged);
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_EQ(merged.entries()[0].core, 0u);
+  EXPECT_EQ(merged.entries()[1].core, 1u);
+  EXPECT_EQ(merged.entries()[2].core, 0u);
+}
+
+TEST(Interleave, RegionStrideSeparatesCores) {
+  TraceBuffer s0, s1;
+  s0.access(load(0x10));
+  s1.access(load(0x10));
+  TraceBuffer merged;
+  const TraceBuffer* streams[] = {&s0, &s1};
+  interleave(streams, merged, {.burst = 1, .region_stride = 1ull << 30});
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_EQ(merged.entries()[0].address, 0x10u);
+  EXPECT_EQ(merged.entries()[1].address, (1ull << 30) + 0x10);
+}
+
+TEST(Interleave, BurstGrouping) {
+  TraceBuffer s0, s1;
+  for (int i = 0; i < 4; ++i) s0.access(load(static_cast<Address>(i)));
+  for (int i = 0; i < 4; ++i) s1.access(load(static_cast<Address>(100 + i)));
+  TraceBuffer merged;
+  const TraceBuffer* streams[] = {&s0, &s1};
+  interleave(streams, merged, {.burst = 2});
+  ASSERT_EQ(merged.size(), 8u);
+  // Pattern: s0 s0 s1 s1 s0 s0 s1 s1.
+  EXPECT_EQ(merged.entries()[0].core, 0u);
+  EXPECT_EQ(merged.entries()[1].core, 0u);
+  EXPECT_EQ(merged.entries()[2].core, 1u);
+  EXPECT_EQ(merged.entries()[3].core, 1u);
+  EXPECT_EQ(merged.entries()[4].core, 0u);
+}
+
+TEST(Interleave, ZeroBurstThrows) {
+  TraceBuffer s0, merged;
+  const TraceBuffer* streams[] = {&s0};
+  EXPECT_THROW(interleave(streams, merged, {.burst = 0}), Error);
+}
+
+}  // namespace
+}  // namespace hms::trace

@@ -1,0 +1,86 @@
+// Unit-safe quantity arithmetic (hms/common/units.hpp).
+#include <gtest/gtest.h>
+
+#include "hms/common/units.hpp"
+
+namespace hms {
+namespace {
+
+TEST(Time, ConstructionAndConversion) {
+  const Time t = Time::from_ns(1500.0);
+  EXPECT_DOUBLE_EQ(t.nanoseconds(), 1500.0);
+  EXPECT_DOUBLE_EQ(t.seconds(), 1.5e-6);
+  EXPECT_DOUBLE_EQ(Time::from_seconds(2.0).nanoseconds(), 2e9);
+}
+
+TEST(Time, Arithmetic) {
+  const Time a = Time::from_ns(10.0);
+  const Time b = Time::from_ns(4.0);
+  EXPECT_DOUBLE_EQ((a + b).nanoseconds(), 14.0);
+  EXPECT_DOUBLE_EQ((a - b).nanoseconds(), 6.0);
+  EXPECT_DOUBLE_EQ((a * 3.0).nanoseconds(), 30.0);
+  EXPECT_DOUBLE_EQ((3.0 * a).nanoseconds(), 30.0);
+  EXPECT_DOUBLE_EQ((a / 2.0).nanoseconds(), 5.0);
+  EXPECT_DOUBLE_EQ(a / b, 2.5);  // dimensionless ratio
+}
+
+TEST(Time, CompoundAssignment) {
+  Time t = Time::from_ns(1.0);
+  t += Time::from_ns(2.0);
+  EXPECT_DOUBLE_EQ(t.nanoseconds(), 3.0);
+  t -= Time::from_ns(0.5);
+  EXPECT_DOUBLE_EQ(t.nanoseconds(), 2.5);
+}
+
+TEST(Time, Comparison) {
+  EXPECT_LT(Time::from_ns(1.0), Time::from_ns(2.0));
+  EXPECT_EQ(Time::from_ns(5.0), Time::from_ns(5.0));
+  EXPECT_GE(Time::from_ns(5.0), Time::from_ns(4.0));
+}
+
+TEST(Energy, ConstructionAndConversion) {
+  const Energy e = Energy::from_pj(2'000'000.0);
+  EXPECT_DOUBLE_EQ(e.picojoules(), 2e6);
+  EXPECT_DOUBLE_EQ(e.joules(), 2e-6);
+  EXPECT_DOUBLE_EQ(e.millijoules(), 2e-3);
+  EXPECT_DOUBLE_EQ(Energy::from_joules(1.0).picojoules(), 1e12);
+}
+
+TEST(Power, ConstructionAndConversion) {
+  const Power p = Power::from_mw(250.0);
+  EXPECT_DOUBLE_EQ(p.milliwatts(), 250.0);
+  EXPECT_DOUBLE_EQ(p.watts(), 0.25);
+  EXPECT_DOUBLE_EQ(Power::from_watts(1.5).milliwatts(), 1500.0);
+}
+
+TEST(Units, PowerTimesTimeIsEnergy) {
+  // 1 mW for 1 s = 1 mJ = 1e9 pJ.
+  const Energy e = Power::from_mw(1.0) * Time::from_seconds(1.0);
+  EXPECT_DOUBLE_EQ(e.picojoules(), 1e9);
+  // Commutes.
+  const Energy e2 = Time::from_seconds(1.0) * Power::from_mw(1.0);
+  EXPECT_DOUBLE_EQ(e2.picojoules(), e.picojoules());
+}
+
+TEST(Units, EnergyOverTimeIsPower) {
+  const Power p = Energy::from_joules(1.0) / Time::from_seconds(2.0);
+  EXPECT_DOUBLE_EQ(p.watts(), 0.5);
+}
+
+TEST(Units, EnergyDelayProduct) {
+  const EnergyDelay edp = Energy::from_pj(10.0) * Time::from_ns(5.0);
+  EXPECT_DOUBLE_EQ(edp.value, 50.0);
+  const EnergyDelay edp2 = Time::from_ns(5.0) * Energy::from_pj(10.0);
+  EXPECT_DOUBLE_EQ(edp2.value, edp.value);
+  EXPECT_DOUBLE_EQ(edp / edp2, 1.0);
+}
+
+TEST(Units, RoundTripNsPicojouleScale) {
+  // The stored representations (ns, pJ, mW) multiply with no factor:
+  // 1 mW * 1 ns = 1 pJ exactly.
+  const Energy e = Power::from_mw(1.0) * Time::from_ns(1.0);
+  EXPECT_DOUBLE_EQ(e.picojoules(), 1.0);
+}
+
+}  // namespace
+}  // namespace hms

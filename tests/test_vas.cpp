@@ -1,0 +1,77 @@
+// VirtualAddressSpace (hms/workloads/virtual_address_space.hpp).
+#include <gtest/gtest.h>
+
+#include "hms/common/error.hpp"
+#include "hms/workloads/virtual_address_space.hpp"
+
+namespace hms::workloads {
+namespace {
+
+TEST(Vas, AllocationsAreAlignedAndDisjoint) {
+  VirtualAddressSpace vas(0x1000, 4096);
+  const Address a = vas.allocate("a", 100);
+  const Address b = vas.allocate("b", 5000);
+  const Address c = vas.allocate("c", 1);
+  EXPECT_EQ(a % 4096, 0u);
+  EXPECT_EQ(b % 4096, 0u);
+  EXPECT_EQ(c % 4096, 0u);
+  EXPECT_GE(b, a + 100);
+  EXPECT_GE(c, b + 5000);
+  EXPECT_EQ(vas.ranges().size(), 3u);
+}
+
+TEST(Vas, TotalAllocatedSumsLengths) {
+  VirtualAddressSpace vas;
+  vas.allocate("x", 100);
+  vas.allocate("y", 200);
+  EXPECT_EQ(vas.total_allocated(), 300u);
+}
+
+TEST(Vas, RangeLookupByName) {
+  VirtualAddressSpace vas;
+  const Address base = vas.allocate("values", 4096);
+  const auto& r = vas.range("values");
+  EXPECT_EQ(r.base, base);
+  EXPECT_EQ(r.length, 4096u);
+  EXPECT_TRUE(vas.has_range("values"));
+  EXPECT_FALSE(vas.has_range("missing"));
+  EXPECT_THROW((void)vas.range("missing"), hms::Error);
+}
+
+TEST(Vas, FindByAddress) {
+  VirtualAddressSpace vas;
+  const Address a = vas.allocate("a", 4096);
+  const Address b = vas.allocate("b", 4096);
+  EXPECT_EQ(vas.find(a)->name, "a");
+  EXPECT_EQ(vas.find(a + 4095)->name, "a");
+  EXPECT_EQ(vas.find(b)->name, "b");
+  EXPECT_EQ(vas.find(b + 8192), nullptr);
+}
+
+TEST(Vas, DuplicateNameThrows) {
+  VirtualAddressSpace vas;
+  vas.allocate("dup", 64);
+  EXPECT_THROW((void)vas.allocate("dup", 64), hms::Error);
+}
+
+TEST(Vas, ZeroSizeThrows) {
+  VirtualAddressSpace vas;
+  EXPECT_THROW((void)vas.allocate("zero", 0), hms::Error);
+}
+
+TEST(Vas, InvalidConstruction) {
+  EXPECT_THROW(VirtualAddressSpace(0x1000, 3), hms::ConfigError);
+  EXPECT_THROW(VirtualAddressSpace(0x1001, 4096), hms::ConfigError);
+}
+
+TEST(AddressRange, ContainsAndEnd) {
+  AddressRange r{"r", 0x1000, 0x100};
+  EXPECT_EQ(r.end(), 0x1100u);
+  EXPECT_TRUE(r.contains(0x1000));
+  EXPECT_TRUE(r.contains(0x10ff));
+  EXPECT_FALSE(r.contains(0x1100));
+  EXPECT_FALSE(r.contains(0xfff));
+}
+
+}  // namespace
+}  // namespace hms::workloads

@@ -1,0 +1,135 @@
+// Endurance tracking and Start-Gap wear levelling (hms/mem/wear.hpp).
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "hms/common/error.hpp"
+#include "hms/common/random.hpp"
+#include "hms/mem/wear.hpp"
+
+namespace hms::mem {
+namespace {
+
+TEST(Endurance, CountsWrites) {
+  EnduranceTracker t(8, 1000);
+  t.record_write(3);
+  t.record_write(3);
+  t.record_write(5);
+  EXPECT_EQ(t.total_writes(), 3u);
+  EXPECT_EQ(t.max_line_writes(), 2u);
+  EXPECT_EQ(t.writes_to(3), 2u);
+  EXPECT_EQ(t.writes_to(0), 0u);
+  EXPECT_DOUBLE_EQ(t.mean_line_writes(), 3.0 / 8.0);
+}
+
+TEST(Endurance, ImbalanceMetric) {
+  EnduranceTracker t(4, 0);
+  for (int i = 0; i < 4; ++i) t.record_write(0);
+  // mean = 1, max = 4 -> imbalance 4.
+  EXPECT_DOUBLE_EQ(t.imbalance(), 4.0);
+}
+
+TEST(Endurance, LifetimeConsumed) {
+  EnduranceTracker t(4, 100);
+  for (int i = 0; i < 50; ++i) t.record_write(1);
+  EXPECT_DOUBLE_EQ(t.lifetime_consumed(), 0.5);
+  EnduranceTracker unlimited(4, 0);
+  unlimited.record_write(0);
+  EXPECT_DOUBLE_EQ(unlimited.lifetime_consumed(), 0.0);
+}
+
+TEST(Endurance, OutOfRangeThrows) {
+  EnduranceTracker t(4, 0);
+  EXPECT_THROW(t.record_write(4), hms::Error);
+  EXPECT_THROW((void)t.writes_to(4), hms::Error);
+}
+
+TEST(StartGap, InitialMappingIsIdentity) {
+  StartGapWearLeveler sg(16, 100);
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(sg.physical(i), i);
+  }
+}
+
+TEST(StartGap, MappingIsAlwaysABijection) {
+  StartGapWearLeveler sg(16, 3);
+  for (int step = 0; step < 500; ++step) {
+    std::set<std::uint64_t> physical;
+    for (std::uint64_t l = 0; l < sg.logical_lines(); ++l) {
+      const auto p = sg.physical(l);
+      EXPECT_LT(p, sg.physical_lines());
+      EXPECT_NE(p, sg.gap()) << "logical line mapped onto the gap";
+      physical.insert(p);
+    }
+    EXPECT_EQ(physical.size(), sg.logical_lines());
+    (void)sg.on_write();
+  }
+}
+
+TEST(StartGap, GapMoveChangesExactlyOneMapping) {
+  StartGapWearLeveler sg(32, 1);  // every write moves the gap
+  for (int step = 0; step < 200; ++step) {
+    std::vector<std::uint64_t> before(sg.logical_lines());
+    for (std::uint64_t l = 0; l < sg.logical_lines(); ++l) {
+      before[l] = sg.physical(l);
+    }
+    const std::uint64_t extra = sg.on_write();
+    std::size_t changed = 0;
+    for (std::uint64_t l = 0; l < sg.logical_lines(); ++l) {
+      if (sg.physical(l) != before[l]) ++changed;
+    }
+    if (extra == 1) {
+      EXPECT_EQ(changed, 1u) << "a migration must remap exactly one line";
+    } else {
+      EXPECT_EQ(changed, 0u) << "a wrap step must not remap anything";
+    }
+  }
+}
+
+TEST(StartGap, MigrationCadence) {
+  StartGapWearLeveler sg(8, 10);
+  std::uint64_t migrations = 0;
+  for (int w = 0; w < 1000; ++w) migrations += sg.on_write();
+  // One gap event every 10 writes; a few of the 100 events are free wraps.
+  EXPECT_EQ(sg.migrations(), migrations);
+  EXPECT_GT(migrations, 80u);
+  EXPECT_LE(migrations, 100u);
+}
+
+TEST(StartGap, EveryPhysicalLineEventuallyRests) {
+  StartGapWearLeveler sg(8, 1);
+  std::set<std::uint64_t> gaps_seen;
+  for (int w = 0; w < 100; ++w) {
+    gaps_seen.insert(sg.gap());
+    (void)sg.on_write();
+  }
+  EXPECT_EQ(gaps_seen.size(), sg.physical_lines());
+}
+
+TEST(StartGap, SpreadsHotLineWrites) {
+  // Hammer a single logical line; Start-Gap must spread physical wear.
+  constexpr std::uint64_t kLines = 64;
+  StartGapWearLeveler sg(kLines, 16);
+  EnduranceTracker tracker(kLines + 1, 0);
+  for (int w = 0; w < 200000; ++w) {
+    tracker.record_write(sg.physical(7));
+    (void)sg.on_write();
+  }
+  // Without levelling, imbalance would be kLines+1 (all writes on one
+  // line). With Start-Gap the hot line rotates across physical lines.
+  EXPECT_LT(tracker.imbalance(), 10.0);
+}
+
+TEST(StartGap, InvalidConstruction) {
+  EXPECT_THROW(StartGapWearLeveler(0, 10), hms::Error);
+  EXPECT_THROW(StartGapWearLeveler(8, 0), hms::Error);
+}
+
+TEST(StartGap, LogicalOutOfRangeThrows) {
+  StartGapWearLeveler sg(8, 10);
+  EXPECT_THROW((void)sg.physical(8), hms::Error);
+}
+
+}  // namespace
+}  // namespace hms::mem

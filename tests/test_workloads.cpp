@@ -1,0 +1,225 @@
+// Workload kernels: determinism, footprint sizing, stream sanity, and the
+// per-kernel correctness self-checks (solver residuals, BFS tree, tables).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "hms/common/error.hpp"
+#include "hms/trace/sink.hpp"
+#include "hms/trace/trace_buffer.hpp"
+#include "hms/workloads/registry.hpp"
+
+namespace hms::workloads {
+namespace {
+
+constexpr std::uint64_t kTestFootprint = 3ull << 20;  // 3 MiB: fast kernels
+
+WorkloadParams small_params(std::uint64_t seed = 42) {
+  WorkloadParams p;
+  p.footprint_bytes = kTestFootprint;
+  p.seed = seed;
+  p.iterations = 2;
+  return p;
+}
+
+TEST(Registry, KnowsAllNames) {
+  const auto& names = workload_names();
+  EXPECT_EQ(names.size(), 11u);
+  for (const auto& name : names) {
+    EXPECT_NO_THROW((void)make_workload(name, small_params())) << name;
+  }
+  EXPECT_THROW((void)make_workload("nonsense", small_params()), hms::Error);
+}
+
+TEST(Registry, Aliases) {
+  EXPECT_EQ(make_workload("AMG", small_params())->info().name, "AMG2013");
+  EXPECT_EQ(make_workload("hash", small_params())->info().name, "Hashing");
+  EXPECT_EQ(make_workload("bt", small_params())->info().name, "BT");
+}
+
+TEST(Registry, PaperSuiteMatchesTable4PlusSp) {
+  const auto& suite = paper_suite();
+  EXPECT_EQ(suite.size(), 8u);
+  EXPECT_NE(std::find(suite.begin(), suite.end(), "Graph500"), suite.end());
+  EXPECT_NE(std::find(suite.begin(), suite.end(), "SP"), suite.end());
+}
+
+TEST(Workloads, OneShotEnforced) {
+  auto w = make_workload("StreamTriad", small_params());
+  trace::NullSink sink;
+  w->run(sink);
+  EXPECT_THROW(w->run(sink), hms::Error);
+}
+
+struct KernelCase {
+  const char* name;
+  double min_refs_per_kib;  // stream density sanity floor
+};
+
+class KernelTest : public ::testing::TestWithParam<KernelCase> {};
+
+TEST_P(KernelTest, FootprintIsNearTarget) {
+  auto w = make_workload(GetParam().name, small_params());
+  // Sizing targets the requested footprint: between 25% and 115% of it
+  // (kernels round data-structure geometry down).
+  EXPECT_GE(w->footprint_bytes(), kTestFootprint / 4) << GetParam().name;
+  EXPECT_LE(w->footprint_bytes(), kTestFootprint + kTestFootprint / 8);
+}
+
+TEST_P(KernelTest, DeterministicStream) {
+  auto w1 = make_workload(GetParam().name, small_params(7));
+  auto w2 = make_workload(GetParam().name, small_params(7));
+  trace::TraceBuffer t1, t2;
+  w1->run(t1);
+  w2->run(t2);
+  ASSERT_EQ(t1.size(), t2.size());
+  EXPECT_TRUE(std::equal(t1.entries().begin(), t1.entries().end(),
+                         t2.entries().begin()));
+}
+
+TEST_P(KernelTest, SeedChangesStreamForRandomKernels) {
+  // Structured-grid kernels are seed-independent in their address stream;
+  // irregular kernels must differ.
+  const std::string name = GetParam().name;
+  if (name == "BT" || name == "SP" || name == "LU" ||
+      name == "StreamTriad" || name == "AMG2013" || name == "FT") {
+    GTEST_SKIP() << "deterministic access pattern by construction";
+  }
+  auto w1 = make_workload(name, small_params(1));
+  auto w2 = make_workload(name, small_params(2));
+  trace::TraceBuffer t1, t2;
+  w1->run(t1);
+  w2->run(t2);
+  const bool same = t1.size() == t2.size() &&
+                    std::equal(t1.entries().begin(), t1.entries().end(),
+                               t2.entries().begin());
+  EXPECT_FALSE(same);
+}
+
+TEST_P(KernelTest, StreamTouchesItsAddressSpaceOnly) {
+  auto w = make_workload(GetParam().name, small_params());
+  trace::TraceBuffer t;
+  w->run(t);
+  const auto& vas = w->address_space();
+  for (const auto& a : t.entries()) {
+    ASSERT_GE(a.address, vas.base());
+    ASSERT_LT(a.address + a.size, vas.top() + 1);
+  }
+}
+
+TEST_P(KernelTest, StreamHasLoadsAndStores) {
+  auto w = make_workload(GetParam().name, small_params());
+  trace::CountingSink sink;
+  w->run(sink);
+  EXPECT_GT(sink.loads(), 0u);
+  EXPECT_GT(sink.stores(), 0u);
+  // Density floor: the kernel must genuinely traverse its data.
+  const double refs_per_kib =
+      static_cast<double>(sink.total()) /
+      (static_cast<double>(w->footprint_bytes()) / 1024.0);
+  EXPECT_GT(refs_per_kib, GetParam().min_refs_per_kib) << GetParam().name;
+}
+
+TEST_P(KernelTest, SelfCheckPasses) {
+  auto w = make_workload(GetParam().name, small_params());
+  trace::NullSink sink;
+  w->run(sink);
+  EXPECT_TRUE(w->validate()) << GetParam().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKernels, KernelTest,
+    ::testing::Values(KernelCase{"BT", 20.0}, KernelCase{"SP", 20.0},
+                      KernelCase{"LU", 20.0}, KernelCase{"CG", 10.0},
+                      KernelCase{"AMG2013", 10.0},
+                      KernelCase{"Graph500", 10.0},
+                      KernelCase{"Hashing", 1.0}, KernelCase{"Velvet", 1.0},
+                      KernelCase{"StreamTriad", 5.0}, KernelCase{"FT", 20.0},
+                      KernelCase{"IS", 5.0}),
+    [](const ::testing::TestParamInfo<KernelCase>& info) {
+      std::string name = info.param.name;
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(Table4Metadata, MatchesPaper) {
+  const auto p = small_params();
+  EXPECT_EQ(make_workload("BT", p)->info().paper_reference_seconds, 36.0);
+  EXPECT_EQ(make_workload("Graph500", p)->info().paper_reference_seconds,
+            157.0);
+  EXPECT_EQ(make_workload("Hashing", p)->info().paper_reference_seconds,
+            389.6);
+  EXPECT_EQ(make_workload("AMG2013", p)->info().paper_reference_seconds,
+            156.3);
+  EXPECT_EQ(make_workload("CG", p)->info().paper_reference_seconds, 54.8);
+  EXPECT_EQ(make_workload("Velvet", p)->info().paper_reference_seconds,
+            116.5);
+  // Footprints per core (Table 4).
+  EXPECT_EQ(make_workload("Graph500", p)->info().paper_footprint_bytes,
+            4096ull << 20);
+  EXPECT_EQ(make_workload("CG", p)->info().paper_footprint_bytes,
+            1536ull << 20);
+}
+
+TEST(Table4Metadata, SuitesAssigned) {
+  const auto p = small_params();
+  EXPECT_EQ(make_workload("BT", p)->info().suite, "NPB");
+  EXPECT_EQ(make_workload("Graph500", p)->info().suite, "CORAL");
+  EXPECT_EQ(make_workload("Velvet", p)->info().suite, "Application");
+}
+
+TEST(StructuredKernels, SweepDirectionStridesDiffer) {
+  // BT's x/y/z sweeps produce different dominant strides; check the stream
+  // contains both unit-stride runs and large jumps.
+  auto w = make_workload("BT", small_params());
+  trace::TraceBuffer t;
+  w->run(t);
+  std::size_t unit_strides = 0, large_strides = 0;
+  const auto entries = t.entries();
+  for (std::size_t i = 1; i < std::min<std::size_t>(entries.size(), 200000);
+       ++i) {
+    const auto d = static_cast<std::int64_t>(entries[i].address) -
+                   static_cast<std::int64_t>(entries[i - 1].address);
+    if (d == 8) ++unit_strides;
+    if (d > 1024 || d < -1024) ++large_strides;
+  }
+  EXPECT_GT(unit_strides, 0u);
+  EXPECT_GT(large_strides, 0u);
+}
+
+TEST(IrregularKernels, Graph500StreamIsIrregular) {
+  auto w = make_workload("Graph500", small_params());
+  trace::TraceBuffer t;
+  w->run(t);
+  // Count distinct jump magnitudes; BFS gathers produce many.
+  std::size_t big_jumps = 0;
+  const auto entries = t.entries();
+  for (std::size_t i = 1; i < entries.size(); ++i) {
+    const auto d = static_cast<std::int64_t>(entries[i].address) -
+                   static_cast<std::int64_t>(entries[i - 1].address);
+    if (d > 4096 || d < -4096) ++big_jumps;
+  }
+  EXPECT_GT(static_cast<double>(big_jumps) /
+                static_cast<double>(entries.size()),
+            0.05);
+}
+
+TEST(Iterations, MoreIterationsMoreReferences) {
+  auto p1 = small_params();
+  p1.iterations = 1;
+  auto p3 = small_params();
+  p3.iterations = 3;
+  for (const char* name : {"BT", "CG", "StreamTriad"}) {
+    auto w1 = make_workload(name, p1);
+    auto w3 = make_workload(name, p3);
+    trace::CountingSink s1, s3;
+    w1->run(s1);
+    w3->run(s3);
+    EXPECT_GT(s3.total(), 2 * s1.total()) << name;
+  }
+}
+
+}  // namespace
+}  // namespace hms::workloads

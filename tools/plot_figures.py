@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Plot the paper's figure series from the benches' CSV exports.
+
+Usage:
+    mkdir -p csv && HMS_CSV_DIR=csv ./build/bench/bench_fig1_2_nmm
+    HMS_CSV_DIR=csv ./build/bench/bench_fig3_4_4lc
+    HMS_CSV_DIR=csv ./build/bench/bench_fig5_6_4lcnvm
+    python3 tools/plot_figures.py csv/ out/
+
+Produces one PNG per CSV: grouped bars of suite-average normalized runtime
+and total energy per configuration (the paper's Figures 1-6 layout).
+Requires matplotlib; degrades to printing the aggregated table without it.
+"""
+
+import csv
+import pathlib
+import sys
+from collections import defaultdict
+
+
+def aggregate(path: pathlib.Path):
+    """Returns ordered (config, mean_runtime, mean_energy) rows."""
+    sums = defaultdict(lambda: [0.0, 0.0, 0])
+    order = []
+    with path.open() as handle:
+        for row in csv.DictReader(handle):
+            key = row["config"]
+            if key not in sums:
+                order.append(key)
+            entry = sums[key]
+            entry[0] += float(row["norm_runtime"])
+            entry[1] += float(row["norm_energy"])
+            entry[2] += 1
+    return [(key, sums[key][0] / sums[key][2], sums[key][1] / sums[key][2])
+            for key in order]
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__)
+        return 2
+    csv_dir = pathlib.Path(sys.argv[1])
+    out_dir = pathlib.Path(sys.argv[2])
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    files = sorted(csv_dir.glob("*.csv"))
+    if not files:
+        print(f"no CSV files in {csv_dir}; run the benches with "
+              "HMS_CSV_DIR set")
+        return 1
+
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        plt = None
+        print("matplotlib unavailable; printing aggregated tables instead")
+
+    for path in files:
+        rows = aggregate(path)
+        if plt is None:
+            print(f"\n{path.stem}")
+            for config, runtime, energy in rows:
+                print(f"  {config:8s} runtime {runtime:6.3f}  "
+                      f"energy {energy:6.3f}")
+            continue
+        configs = [r[0] for r in rows]
+        runtime = [r[1] for r in rows]
+        energy = [r[2] for r in rows]
+        x = range(len(configs))
+        width = 0.38
+        fig, ax = plt.subplots(figsize=(1.2 * len(configs) + 2, 4))
+        ax.bar([i - width / 2 for i in x], runtime, width,
+               label="normalized runtime")
+        ax.bar([i + width / 2 for i in x], energy, width,
+               label="normalized total energy")
+        ax.axhline(1.0, color="gray", linewidth=0.8, linestyle="--")
+        ax.set_xticks(list(x))
+        ax.set_xticklabels(configs)
+        ax.set_ylabel("normalized to base design")
+        ax.set_title(path.stem)
+        ax.legend()
+        fig.tight_layout()
+        target = out_dir / f"{path.stem}.png"
+        fig.savefig(target, dpi=150)
+        plt.close(fig)
+        print(f"wrote {target}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
