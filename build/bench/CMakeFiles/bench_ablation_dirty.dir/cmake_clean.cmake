@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_dirty.dir/bench_ablation_dirty.cpp.o"
+  "CMakeFiles/bench_ablation_dirty.dir/bench_ablation_dirty.cpp.o.d"
+  "bench_ablation_dirty"
+  "bench_ablation_dirty.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_dirty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

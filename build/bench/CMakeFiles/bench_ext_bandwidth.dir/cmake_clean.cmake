@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_bandwidth.dir/bench_ext_bandwidth.cpp.o"
+  "CMakeFiles/bench_ext_bandwidth.dir/bench_ext_bandwidth.cpp.o.d"
+  "bench_ext_bandwidth"
+  "bench_ext_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

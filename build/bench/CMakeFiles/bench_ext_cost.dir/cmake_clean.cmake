@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_cost.dir/bench_ext_cost.cpp.o"
+  "CMakeFiles/bench_ext_cost.dir/bench_ext_cost.cpp.o.d"
+  "bench_ext_cost"
+  "bench_ext_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_dynamic_ndm.dir/bench_ext_dynamic_ndm.cpp.o"
+  "CMakeFiles/bench_ext_dynamic_ndm.dir/bench_ext_dynamic_ndm.cpp.o.d"
+  "bench_ext_dynamic_ndm"
+  "bench_ext_dynamic_ndm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_dynamic_ndm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

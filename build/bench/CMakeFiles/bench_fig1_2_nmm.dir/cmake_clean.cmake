@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_2_nmm.dir/bench_fig1_2_nmm.cpp.o"
+  "CMakeFiles/bench_fig1_2_nmm.dir/bench_fig1_2_nmm.cpp.o.d"
+  "bench_fig1_2_nmm"
+  "bench_fig1_2_nmm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_2_nmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_4_4lc.dir/bench_fig3_4_4lc.cpp.o"
+  "CMakeFiles/bench_fig3_4_4lc.dir/bench_fig3_4_4lc.cpp.o.d"
+  "bench_fig3_4_4lc"
+  "bench_fig3_4_4lc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_4_4lc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

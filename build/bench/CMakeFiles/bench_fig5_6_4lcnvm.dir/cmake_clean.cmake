@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_6_4lcnvm.dir/bench_fig5_6_4lcnvm.cpp.o"
+  "CMakeFiles/bench_fig5_6_4lcnvm.dir/bench_fig5_6_4lcnvm.cpp.o.d"
+  "bench_fig5_6_4lcnvm"
+  "bench_fig5_6_4lcnvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_6_4lcnvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

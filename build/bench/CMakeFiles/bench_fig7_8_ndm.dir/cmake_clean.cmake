@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_8_ndm.dir/bench_fig7_8_ndm.cpp.o"
+  "CMakeFiles/bench_fig7_8_ndm.dir/bench_fig7_8_ndm.cpp.o.d"
+  "bench_fig7_8_ndm"
+  "bench_fig7_8_ndm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_8_ndm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_tech.dir/bench_table1_tech.cpp.o"
+  "CMakeFiles/bench_table1_tech.dir/bench_table1_tech.cpp.o.d"
+  "bench_table1_tech"
+  "bench_table1_tech.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_tech.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

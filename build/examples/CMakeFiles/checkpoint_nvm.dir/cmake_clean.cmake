@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checkpoint_nvm.dir/checkpoint_nvm.cpp.o"
+  "CMakeFiles/checkpoint_nvm.dir/checkpoint_nvm.cpp.o.d"
+  "checkpoint_nvm"
+  "checkpoint_nvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checkpoint_nvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

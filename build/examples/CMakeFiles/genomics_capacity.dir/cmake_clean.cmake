@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/genomics_capacity.dir/genomics_capacity.cpp.o"
+  "CMakeFiles/genomics_capacity.dir/genomics_capacity.cpp.o.d"
+  "genomics_capacity"
+  "genomics_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/genomics_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hms/cache/dynamic_partition.cpp" "src/CMakeFiles/hms_cache.dir/hms/cache/dynamic_partition.cpp.o" "gcc" "src/CMakeFiles/hms_cache.dir/hms/cache/dynamic_partition.cpp.o.d"
+  "/root/repo/src/hms/cache/hierarchy.cpp" "src/CMakeFiles/hms_cache.dir/hms/cache/hierarchy.cpp.o" "gcc" "src/CMakeFiles/hms_cache.dir/hms/cache/hierarchy.cpp.o.d"
+  "/root/repo/src/hms/cache/partitioned_memory.cpp" "src/CMakeFiles/hms_cache.dir/hms/cache/partitioned_memory.cpp.o" "gcc" "src/CMakeFiles/hms_cache.dir/hms/cache/partitioned_memory.cpp.o.d"
+  "/root/repo/src/hms/cache/replacement.cpp" "src/CMakeFiles/hms_cache.dir/hms/cache/replacement.cpp.o" "gcc" "src/CMakeFiles/hms_cache.dir/hms/cache/replacement.cpp.o.d"
+  "/root/repo/src/hms/cache/set_assoc_cache.cpp" "src/CMakeFiles/hms_cache.dir/hms/cache/set_assoc_cache.cpp.o" "gcc" "src/CMakeFiles/hms_cache.dir/hms/cache/set_assoc_cache.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hms_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hms_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hms_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

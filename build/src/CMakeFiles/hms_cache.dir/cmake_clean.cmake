@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hms_cache.dir/hms/cache/dynamic_partition.cpp.o"
+  "CMakeFiles/hms_cache.dir/hms/cache/dynamic_partition.cpp.o.d"
+  "CMakeFiles/hms_cache.dir/hms/cache/hierarchy.cpp.o"
+  "CMakeFiles/hms_cache.dir/hms/cache/hierarchy.cpp.o.d"
+  "CMakeFiles/hms_cache.dir/hms/cache/partitioned_memory.cpp.o"
+  "CMakeFiles/hms_cache.dir/hms/cache/partitioned_memory.cpp.o.d"
+  "CMakeFiles/hms_cache.dir/hms/cache/replacement.cpp.o"
+  "CMakeFiles/hms_cache.dir/hms/cache/replacement.cpp.o.d"
+  "CMakeFiles/hms_cache.dir/hms/cache/set_assoc_cache.cpp.o"
+  "CMakeFiles/hms_cache.dir/hms/cache/set_assoc_cache.cpp.o.d"
+  "libhms_cache.a"
+  "libhms_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hms_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

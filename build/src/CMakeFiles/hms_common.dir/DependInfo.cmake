@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hms/common/csv.cpp" "src/CMakeFiles/hms_common.dir/hms/common/csv.cpp.o" "gcc" "src/CMakeFiles/hms_common.dir/hms/common/csv.cpp.o.d"
+  "/root/repo/src/hms/common/stats.cpp" "src/CMakeFiles/hms_common.dir/hms/common/stats.cpp.o" "gcc" "src/CMakeFiles/hms_common.dir/hms/common/stats.cpp.o.d"
+  "/root/repo/src/hms/common/string_util.cpp" "src/CMakeFiles/hms_common.dir/hms/common/string_util.cpp.o" "gcc" "src/CMakeFiles/hms_common.dir/hms/common/string_util.cpp.o.d"
+  "/root/repo/src/hms/common/table.cpp" "src/CMakeFiles/hms_common.dir/hms/common/table.cpp.o" "gcc" "src/CMakeFiles/hms_common.dir/hms/common/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hms_common.dir/hms/common/csv.cpp.o"
+  "CMakeFiles/hms_common.dir/hms/common/csv.cpp.o.d"
+  "CMakeFiles/hms_common.dir/hms/common/stats.cpp.o"
+  "CMakeFiles/hms_common.dir/hms/common/stats.cpp.o.d"
+  "CMakeFiles/hms_common.dir/hms/common/string_util.cpp.o"
+  "CMakeFiles/hms_common.dir/hms/common/string_util.cpp.o.d"
+  "CMakeFiles/hms_common.dir/hms/common/table.cpp.o"
+  "CMakeFiles/hms_common.dir/hms/common/table.cpp.o.d"
+  "libhms_common.a"
+  "libhms_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hms_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

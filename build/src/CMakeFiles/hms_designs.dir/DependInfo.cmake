@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hms/designs/configs.cpp" "src/CMakeFiles/hms_designs.dir/hms/designs/configs.cpp.o" "gcc" "src/CMakeFiles/hms_designs.dir/hms/designs/configs.cpp.o.d"
+  "/root/repo/src/hms/designs/design.cpp" "src/CMakeFiles/hms_designs.dir/hms/designs/design.cpp.o" "gcc" "src/CMakeFiles/hms_designs.dir/hms/designs/design.cpp.o.d"
+  "/root/repo/src/hms/designs/partition.cpp" "src/CMakeFiles/hms_designs.dir/hms/designs/partition.cpp.o" "gcc" "src/CMakeFiles/hms_designs.dir/hms/designs/partition.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hms_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hms_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hms_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hms_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hms_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

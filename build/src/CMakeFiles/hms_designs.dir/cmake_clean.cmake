@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hms_designs.dir/hms/designs/configs.cpp.o"
+  "CMakeFiles/hms_designs.dir/hms/designs/configs.cpp.o.d"
+  "CMakeFiles/hms_designs.dir/hms/designs/design.cpp.o"
+  "CMakeFiles/hms_designs.dir/hms/designs/design.cpp.o.d"
+  "CMakeFiles/hms_designs.dir/hms/designs/partition.cpp.o"
+  "CMakeFiles/hms_designs.dir/hms/designs/partition.cpp.o.d"
+  "libhms_designs.a"
+  "libhms_designs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hms_designs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hms/mem/memory_device.cpp" "src/CMakeFiles/hms_mem.dir/hms/mem/memory_device.cpp.o" "gcc" "src/CMakeFiles/hms_mem.dir/hms/mem/memory_device.cpp.o.d"
+  "/root/repo/src/hms/mem/refresh.cpp" "src/CMakeFiles/hms_mem.dir/hms/mem/refresh.cpp.o" "gcc" "src/CMakeFiles/hms_mem.dir/hms/mem/refresh.cpp.o.d"
+  "/root/repo/src/hms/mem/technology.cpp" "src/CMakeFiles/hms_mem.dir/hms/mem/technology.cpp.o" "gcc" "src/CMakeFiles/hms_mem.dir/hms/mem/technology.cpp.o.d"
+  "/root/repo/src/hms/mem/wear.cpp" "src/CMakeFiles/hms_mem.dir/hms/mem/wear.cpp.o" "gcc" "src/CMakeFiles/hms_mem.dir/hms/mem/wear.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hms_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hms_mem.dir/hms/mem/memory_device.cpp.o"
+  "CMakeFiles/hms_mem.dir/hms/mem/memory_device.cpp.o.d"
+  "CMakeFiles/hms_mem.dir/hms/mem/refresh.cpp.o"
+  "CMakeFiles/hms_mem.dir/hms/mem/refresh.cpp.o.d"
+  "CMakeFiles/hms_mem.dir/hms/mem/technology.cpp.o"
+  "CMakeFiles/hms_mem.dir/hms/mem/technology.cpp.o.d"
+  "CMakeFiles/hms_mem.dir/hms/mem/wear.cpp.o"
+  "CMakeFiles/hms_mem.dir/hms/mem/wear.cpp.o.d"
+  "libhms_mem.a"
+  "libhms_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hms_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

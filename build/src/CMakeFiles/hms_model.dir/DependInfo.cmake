@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hms/model/amat.cpp" "src/CMakeFiles/hms_model.dir/hms/model/amat.cpp.o" "gcc" "src/CMakeFiles/hms_model.dir/hms/model/amat.cpp.o.d"
+  "/root/repo/src/hms/model/bandwidth.cpp" "src/CMakeFiles/hms_model.dir/hms/model/bandwidth.cpp.o" "gcc" "src/CMakeFiles/hms_model.dir/hms/model/bandwidth.cpp.o.d"
+  "/root/repo/src/hms/model/cost.cpp" "src/CMakeFiles/hms_model.dir/hms/model/cost.cpp.o" "gcc" "src/CMakeFiles/hms_model.dir/hms/model/cost.cpp.o.d"
+  "/root/repo/src/hms/model/energy.cpp" "src/CMakeFiles/hms_model.dir/hms/model/energy.cpp.o" "gcc" "src/CMakeFiles/hms_model.dir/hms/model/energy.cpp.o.d"
+  "/root/repo/src/hms/model/report.cpp" "src/CMakeFiles/hms_model.dir/hms/model/report.cpp.o" "gcc" "src/CMakeFiles/hms_model.dir/hms/model/report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hms_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hms_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hms_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hms_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hms_model.dir/hms/model/amat.cpp.o"
+  "CMakeFiles/hms_model.dir/hms/model/amat.cpp.o.d"
+  "CMakeFiles/hms_model.dir/hms/model/bandwidth.cpp.o"
+  "CMakeFiles/hms_model.dir/hms/model/bandwidth.cpp.o.d"
+  "CMakeFiles/hms_model.dir/hms/model/cost.cpp.o"
+  "CMakeFiles/hms_model.dir/hms/model/cost.cpp.o.d"
+  "CMakeFiles/hms_model.dir/hms/model/energy.cpp.o"
+  "CMakeFiles/hms_model.dir/hms/model/energy.cpp.o.d"
+  "CMakeFiles/hms_model.dir/hms/model/report.cpp.o"
+  "CMakeFiles/hms_model.dir/hms/model/report.cpp.o.d"
+  "libhms_model.a"
+  "libhms_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hms_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

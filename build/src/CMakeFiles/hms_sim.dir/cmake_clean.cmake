@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hms_sim.dir/hms/sim/experiment.cpp.o"
+  "CMakeFiles/hms_sim.dir/hms/sim/experiment.cpp.o.d"
+  "CMakeFiles/hms_sim.dir/hms/sim/heatmap.cpp.o"
+  "CMakeFiles/hms_sim.dir/hms/sim/heatmap.cpp.o.d"
+  "CMakeFiles/hms_sim.dir/hms/sim/parallel.cpp.o"
+  "CMakeFiles/hms_sim.dir/hms/sim/parallel.cpp.o.d"
+  "CMakeFiles/hms_sim.dir/hms/sim/simulator.cpp.o"
+  "CMakeFiles/hms_sim.dir/hms/sim/simulator.cpp.o.d"
+  "libhms_sim.a"
+  "libhms_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hms_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hms/trace/filters.cpp" "src/CMakeFiles/hms_trace.dir/hms/trace/filters.cpp.o" "gcc" "src/CMakeFiles/hms_trace.dir/hms/trace/filters.cpp.o.d"
+  "/root/repo/src/hms/trace/interleave.cpp" "src/CMakeFiles/hms_trace.dir/hms/trace/interleave.cpp.o" "gcc" "src/CMakeFiles/hms_trace.dir/hms/trace/interleave.cpp.o.d"
+  "/root/repo/src/hms/trace/text_io.cpp" "src/CMakeFiles/hms_trace.dir/hms/trace/text_io.cpp.o" "gcc" "src/CMakeFiles/hms_trace.dir/hms/trace/text_io.cpp.o.d"
+  "/root/repo/src/hms/trace/trace_buffer.cpp" "src/CMakeFiles/hms_trace.dir/hms/trace/trace_buffer.cpp.o" "gcc" "src/CMakeFiles/hms_trace.dir/hms/trace/trace_buffer.cpp.o.d"
+  "/root/repo/src/hms/trace/trace_io.cpp" "src/CMakeFiles/hms_trace.dir/hms/trace/trace_io.cpp.o" "gcc" "src/CMakeFiles/hms_trace.dir/hms/trace/trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hms_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hms_trace.dir/hms/trace/filters.cpp.o"
+  "CMakeFiles/hms_trace.dir/hms/trace/filters.cpp.o.d"
+  "CMakeFiles/hms_trace.dir/hms/trace/interleave.cpp.o"
+  "CMakeFiles/hms_trace.dir/hms/trace/interleave.cpp.o.d"
+  "CMakeFiles/hms_trace.dir/hms/trace/text_io.cpp.o"
+  "CMakeFiles/hms_trace.dir/hms/trace/text_io.cpp.o.d"
+  "CMakeFiles/hms_trace.dir/hms/trace/trace_buffer.cpp.o"
+  "CMakeFiles/hms_trace.dir/hms/trace/trace_buffer.cpp.o.d"
+  "CMakeFiles/hms_trace.dir/hms/trace/trace_io.cpp.o"
+  "CMakeFiles/hms_trace.dir/hms/trace/trace_io.cpp.o.d"
+  "libhms_trace.a"
+  "libhms_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hms_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hms/workloads/amg.cpp" "src/CMakeFiles/hms_workloads.dir/hms/workloads/amg.cpp.o" "gcc" "src/CMakeFiles/hms_workloads.dir/hms/workloads/amg.cpp.o.d"
+  "/root/repo/src/hms/workloads/bt.cpp" "src/CMakeFiles/hms_workloads.dir/hms/workloads/bt.cpp.o" "gcc" "src/CMakeFiles/hms_workloads.dir/hms/workloads/bt.cpp.o.d"
+  "/root/repo/src/hms/workloads/cg.cpp" "src/CMakeFiles/hms_workloads.dir/hms/workloads/cg.cpp.o" "gcc" "src/CMakeFiles/hms_workloads.dir/hms/workloads/cg.cpp.o.d"
+  "/root/repo/src/hms/workloads/ft.cpp" "src/CMakeFiles/hms_workloads.dir/hms/workloads/ft.cpp.o" "gcc" "src/CMakeFiles/hms_workloads.dir/hms/workloads/ft.cpp.o.d"
+  "/root/repo/src/hms/workloads/graph500.cpp" "src/CMakeFiles/hms_workloads.dir/hms/workloads/graph500.cpp.o" "gcc" "src/CMakeFiles/hms_workloads.dir/hms/workloads/graph500.cpp.o.d"
+  "/root/repo/src/hms/workloads/hashing.cpp" "src/CMakeFiles/hms_workloads.dir/hms/workloads/hashing.cpp.o" "gcc" "src/CMakeFiles/hms_workloads.dir/hms/workloads/hashing.cpp.o.d"
+  "/root/repo/src/hms/workloads/is.cpp" "src/CMakeFiles/hms_workloads.dir/hms/workloads/is.cpp.o" "gcc" "src/CMakeFiles/hms_workloads.dir/hms/workloads/is.cpp.o.d"
+  "/root/repo/src/hms/workloads/lu.cpp" "src/CMakeFiles/hms_workloads.dir/hms/workloads/lu.cpp.o" "gcc" "src/CMakeFiles/hms_workloads.dir/hms/workloads/lu.cpp.o.d"
+  "/root/repo/src/hms/workloads/registry.cpp" "src/CMakeFiles/hms_workloads.dir/hms/workloads/registry.cpp.o" "gcc" "src/CMakeFiles/hms_workloads.dir/hms/workloads/registry.cpp.o.d"
+  "/root/repo/src/hms/workloads/sp.cpp" "src/CMakeFiles/hms_workloads.dir/hms/workloads/sp.cpp.o" "gcc" "src/CMakeFiles/hms_workloads.dir/hms/workloads/sp.cpp.o.d"
+  "/root/repo/src/hms/workloads/stream_triad.cpp" "src/CMakeFiles/hms_workloads.dir/hms/workloads/stream_triad.cpp.o" "gcc" "src/CMakeFiles/hms_workloads.dir/hms/workloads/stream_triad.cpp.o.d"
+  "/root/repo/src/hms/workloads/velvet.cpp" "src/CMakeFiles/hms_workloads.dir/hms/workloads/velvet.cpp.o" "gcc" "src/CMakeFiles/hms_workloads.dir/hms/workloads/velvet.cpp.o.d"
+  "/root/repo/src/hms/workloads/virtual_address_space.cpp" "src/CMakeFiles/hms_workloads.dir/hms/workloads/virtual_address_space.cpp.o" "gcc" "src/CMakeFiles/hms_workloads.dir/hms/workloads/virtual_address_space.cpp.o.d"
+  "/root/repo/src/hms/workloads/workload.cpp" "src/CMakeFiles/hms_workloads.dir/hms/workloads/workload.cpp.o" "gcc" "src/CMakeFiles/hms_workloads.dir/hms/workloads/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hms_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hms_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

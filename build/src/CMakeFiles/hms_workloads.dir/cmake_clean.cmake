@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hms_workloads.dir/hms/workloads/amg.cpp.o"
+  "CMakeFiles/hms_workloads.dir/hms/workloads/amg.cpp.o.d"
+  "CMakeFiles/hms_workloads.dir/hms/workloads/bt.cpp.o"
+  "CMakeFiles/hms_workloads.dir/hms/workloads/bt.cpp.o.d"
+  "CMakeFiles/hms_workloads.dir/hms/workloads/cg.cpp.o"
+  "CMakeFiles/hms_workloads.dir/hms/workloads/cg.cpp.o.d"
+  "CMakeFiles/hms_workloads.dir/hms/workloads/ft.cpp.o"
+  "CMakeFiles/hms_workloads.dir/hms/workloads/ft.cpp.o.d"
+  "CMakeFiles/hms_workloads.dir/hms/workloads/graph500.cpp.o"
+  "CMakeFiles/hms_workloads.dir/hms/workloads/graph500.cpp.o.d"
+  "CMakeFiles/hms_workloads.dir/hms/workloads/hashing.cpp.o"
+  "CMakeFiles/hms_workloads.dir/hms/workloads/hashing.cpp.o.d"
+  "CMakeFiles/hms_workloads.dir/hms/workloads/is.cpp.o"
+  "CMakeFiles/hms_workloads.dir/hms/workloads/is.cpp.o.d"
+  "CMakeFiles/hms_workloads.dir/hms/workloads/lu.cpp.o"
+  "CMakeFiles/hms_workloads.dir/hms/workloads/lu.cpp.o.d"
+  "CMakeFiles/hms_workloads.dir/hms/workloads/registry.cpp.o"
+  "CMakeFiles/hms_workloads.dir/hms/workloads/registry.cpp.o.d"
+  "CMakeFiles/hms_workloads.dir/hms/workloads/sp.cpp.o"
+  "CMakeFiles/hms_workloads.dir/hms/workloads/sp.cpp.o.d"
+  "CMakeFiles/hms_workloads.dir/hms/workloads/stream_triad.cpp.o"
+  "CMakeFiles/hms_workloads.dir/hms/workloads/stream_triad.cpp.o.d"
+  "CMakeFiles/hms_workloads.dir/hms/workloads/velvet.cpp.o"
+  "CMakeFiles/hms_workloads.dir/hms/workloads/velvet.cpp.o.d"
+  "CMakeFiles/hms_workloads.dir/hms/workloads/virtual_address_space.cpp.o"
+  "CMakeFiles/hms_workloads.dir/hms/workloads/virtual_address_space.cpp.o.d"
+  "CMakeFiles/hms_workloads.dir/hms/workloads/workload.cpp.o"
+  "CMakeFiles/hms_workloads.dir/hms/workloads/workload.cpp.o.d"
+  "libhms_workloads.a"
+  "libhms_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hms_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

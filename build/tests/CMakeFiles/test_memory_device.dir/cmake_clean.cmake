@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_memory_device.dir/test_memory_device.cpp.o"
+  "CMakeFiles/test_memory_device.dir/test_memory_device.cpp.o.d"
+  "test_memory_device"
+  "test_memory_device.pdb"
+  "test_memory_device[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_memory_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_partitioned_memory.dir/test_partitioned_memory.cpp.o"
+  "CMakeFiles/test_partitioned_memory.dir/test_partitioned_memory.cpp.o.d"
+  "test_partitioned_memory"
+  "test_partitioned_memory.pdb"
+  "test_partitioned_memory[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_partitioned_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

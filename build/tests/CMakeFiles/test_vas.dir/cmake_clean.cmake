@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vas.dir/test_vas.cpp.o"
+  "CMakeFiles/test_vas.dir/test_vas.cpp.o.d"
+  "test_vas"
+  "test_vas.pdb"
+  "test_vas[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
