@@ -7,6 +7,10 @@
 //   HMS_SEED        workload seed (default 42)
 //   HMS_SUITE       comma-separated workload list (default: paper suite)
 //   HMS_NVM         NVM technology for NMM/4LCNVM sweeps (default PCM)
+//   HMS_CHECKPOINT  sweep checkpoint file; an interrupted bench rerun with
+//                   the same knobs resumes instead of re-simulating
+//   HMS_RETRIES     bounded retries for transient sweep-cell failures
+//                   (default 0)
 #pragma once
 
 #include <cstdlib>
@@ -46,6 +50,8 @@ inline sim::ExperimentConfig config_from_env() {
       if (!trim(name).empty()) cfg.suite.emplace_back(trim(name));
     }
   }
+  cfg.checkpoint_path = env_str("HMS_CHECKPOINT", "");
+  cfg.max_retries = static_cast<std::uint32_t>(env_u64("HMS_RETRIES", 0));
   return cfg;
 }
 
@@ -61,18 +67,31 @@ inline void print_banner(const std::string& title,
 }
 
 /// Renders a sweep as the paper's figure series: one row per config, the
-/// normalized metrics as columns.
+/// normalized metrics as columns. Partial rows (degraded sweeps) are marked
+/// and their failed cells listed under the table.
 inline void print_suite_results(const std::string& caption,
                                 const std::vector<sim::SuiteResult>& results) {
   std::cout << caption << "\n";
   TextTable table({"config", "norm-runtime", "norm-dynamic", "norm-static",
                    "norm-energy", "norm-EDP"});
+  bool any_partial = false;
   for (const auto& r : results) {
-    table.add_row({r.config_name, fmt_fixed(r.runtime), fmt_fixed(r.dynamic),
+    any_partial |= r.partial;
+    table.add_row({r.config_name + (r.partial ? " *" : ""),
+                   fmt_fixed(r.runtime), fmt_fixed(r.dynamic),
                    fmt_fixed(r.leakage), fmt_fixed(r.total_energy),
                    fmt_fixed(r.edp)});
   }
   table.render(std::cout);
+  if (any_partial) {
+    std::cout << "* partial: averages cover surviving workloads only\n";
+    for (const auto& r : results) {
+      for (const auto& f : r.failures) {
+        std::cout << "  FAILED " << r.config_name << " / " << f.workload
+                  << ": " << f.error << "\n";
+      }
+    }
+  }
   std::cout << "\n";
 }
 

@@ -21,11 +21,56 @@ class ConfigError : public Error {
   using Error::Error;
 };
 
-/// Thrown on malformed trace files or streams.
-class TraceError : public Error {
+/// Thrown on file/stream failures: unreadable paths, short reads, corrupt
+/// headers, failed writes. Base of the more specific TraceError.
+class IoError : public Error {
  public:
   using Error::Error;
 };
+
+/// Thrown on malformed trace files or streams.
+class TraceError : public IoError {
+ public:
+  using IoError::IoError;
+};
+
+/// Thrown when a simulation step fails at runtime (a sweep cell, a replay,
+/// an injected fault) as opposed to being misconfigured up front.
+class SimulationError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// "context: what" — the message shape used when chaining errors outward
+/// ("config N3 / workload cg: replay_back: ...").
+[[nodiscard]] inline std::string with_context(std::string_view context,
+                                              std::string_view what) {
+  std::string out;
+  out.reserve(context.size() + 2 + what.size());
+  out.append(context).append(": ").append(what);
+  return out;
+}
+
+/// Rethrows the in-flight exception with `context` prepended to its message,
+/// preserving the hms error subclass (foreign exceptions become hms::Error).
+/// Call from a catch block only.
+[[noreturn]] inline void rethrow_with_context(std::string_view context) {
+  try {
+    throw;
+  } catch (const ConfigError& e) {
+    throw ConfigError(with_context(context, e.what()));
+  } catch (const TraceError& e) {
+    throw TraceError(with_context(context, e.what()));
+  } catch (const IoError& e) {
+    throw IoError(with_context(context, e.what()));
+  } catch (const SimulationError& e) {
+    throw SimulationError(with_context(context, e.what()));
+  } catch (const std::exception& e) {
+    throw Error(with_context(context, e.what()));
+  } catch (...) {
+    throw Error(with_context(context, "unknown exception"));
+  }
+}
 
 /// Throws ConfigError with `message` unless `condition` holds.
 inline void check_config(bool condition, std::string_view message) {

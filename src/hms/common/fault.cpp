@@ -1,0 +1,88 @@
+#include "hms/common/fault.hpp"
+
+namespace hms {
+
+std::atomic<FaultInjector*> FaultInjector::active_{nullptr};
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(std::uint64_t seed) : seed_(seed) {}
+
+void FaultInjector::arm(const std::string& site, FaultSpec spec) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& state = sites_[site];
+  state.spec = std::move(spec);
+  state.armed = true;
+  state.fires = 0;
+}
+
+void FaultInjector::disarm(const std::string& site) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = sites_.find(site);
+  if (it != sites_.end()) it->second.armed = false;
+}
+
+void FaultInjector::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  sites_.clear();
+}
+
+void FaultInjector::hit(std::string_view site) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = sites_.find(site);
+  if (it == sites_.end()) {
+    it = sites_.emplace(std::string(site), SiteState{}).first;
+  }
+  SiteState& state = it->second;
+  ++state.hits;
+  if (!state.armed) return;
+  if (state.hits <= state.spec.skip_first) return;
+  if (state.fires >= state.spec.max_fires) return;
+  if (state.spec.probability < 1.0) {
+    // Deterministic per-(seed, site, hit index) coin flip: identical arming
+    // fires on identical hit indices regardless of thread interleaving.
+    const std::uint64_t roll =
+        splitmix64(seed_ ^ fnv1a(site) ^ state.hits);
+    const double uniform =
+        static_cast<double>(roll >> 11) * 0x1.0p-53;  // [0, 1)
+    if (uniform >= state.spec.probability) return;
+  }
+  ++state.fires;
+  const std::string message =
+      state.spec.message.empty()
+          ? "fault injected at " + it->first
+          : state.spec.message;
+  throw FaultInjectedError(message, state.spec.transient);
+}
+
+std::uint64_t FaultInjector::hits(const std::string& site) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = sites_.find(site);
+  return it != sites_.end() ? it->second.hits : 0;
+}
+
+std::uint64_t FaultInjector::fires(const std::string& site) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = sites_.find(site);
+  return it != sites_.end() ? it->second.fires : 0;
+}
+
+}  // namespace hms

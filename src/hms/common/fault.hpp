@@ -1,0 +1,134 @@
+// Deterministic fault injection.
+//
+// Production code marks interesting failure sites with a one-line
+// HMS_FAULT_POINT("module/operation"); the macro is a no-op (one relaxed
+// atomic load) unless a FaultInjector is installed as the process-global
+// active injector. Tests and benches install one with ScopedFaultInjector,
+// arm sites with a probability / skip-count / fire-budget, and the armed
+// site throws FaultInjectedError from inside the real call path — no
+// test-only seams at the call sites.
+//
+// Firing decisions are a pure function of (injector seed, site name, per-site
+// hit index), so a given arming fires on the same hit indices no matter how
+// worker threads interleave — sweeps stay reproducible under injection.
+//
+// Site naming convention: "<module>/<operation>", e.g. "trace/read",
+// "mem/device_write", "workload/run", "sim/replay_back" (DESIGN.md
+// "Robustness & fault injection" keeps the full list).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "hms/common/error.hpp"
+
+namespace hms {
+
+/// Thrown by an armed fault point. `transient()` marks faults that model
+/// recoverable conditions (the retry policy in sim::run_parallel is decided
+/// per task, but tests use the flag to assert what was injected).
+class FaultInjectedError : public SimulationError {
+ public:
+  FaultInjectedError(const std::string& what, bool transient)
+      : SimulationError(what), transient_(transient) {}
+  [[nodiscard]] bool transient() const noexcept { return transient_; }
+
+ private:
+  bool transient_;
+};
+
+/// How an armed site misbehaves.
+struct FaultSpec {
+  /// Chance that an eligible hit fires, decided deterministically from the
+  /// injector seed and the site's hit index.
+  double probability = 1.0;
+  /// Hits to let through before the site becomes eligible.
+  std::uint64_t skip_first = 0;
+  /// Disarm after this many fires (default: unlimited).
+  std::uint64_t max_fires = std::numeric_limits<std::uint64_t>::max();
+  /// Marks the injected error transient (see FaultInjectedError).
+  bool transient = false;
+  /// Exception message; empty = "fault injected at <site>".
+  std::string message;
+};
+
+/// See file comment. Thread-safe; hit/fire counters are kept for every site
+/// touched while the injector is active, armed or not, so tests can assert
+/// a code path actually crossed a site.
+class FaultInjector {
+ public:
+  explicit FaultInjector(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  void arm(const std::string& site, FaultSpec spec = {});
+  void disarm(const std::string& site);
+  /// Disarms every site and zeroes all counters.
+  void reset();
+
+  /// Called by HMS_FAULT_POINT. Throws FaultInjectedError when the site is
+  /// armed and the deterministic decision says fire.
+  void hit(std::string_view site);
+
+  [[nodiscard]] std::uint64_t hits(const std::string& site) const;
+  [[nodiscard]] std::uint64_t fires(const std::string& site) const;
+
+  /// The process-global injector consulted by HMS_FAULT_POINT, or nullptr
+  /// when fault injection is inactive (the default).
+  [[nodiscard]] static FaultInjector* active() noexcept {
+    return active_.load(std::memory_order_acquire);
+  }
+
+ private:
+  friend class ScopedFaultInjector;
+  static std::atomic<FaultInjector*> active_;
+
+  struct SiteState {
+    FaultSpec spec;
+    bool armed = false;
+    std::uint64_t hits = 0;
+    std::uint64_t fires = 0;
+  };
+
+  mutable std::mutex mutex_;
+  std::uint64_t seed_;
+  std::map<std::string, SiteState, std::less<>> sites_;
+};
+
+/// Installs a FaultInjector as the process-global active one for its
+/// lifetime and restores the previous injector (usually nullptr) on exit.
+/// Scopes nest; the innermost wins.
+class ScopedFaultInjector {
+ public:
+  explicit ScopedFaultInjector(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+      : injector_(seed),
+        previous_(FaultInjector::active_.exchange(
+            &injector_, std::memory_order_acq_rel)) {}
+  ~ScopedFaultInjector() {
+    FaultInjector::active_.store(previous_, std::memory_order_release);
+  }
+  ScopedFaultInjector(const ScopedFaultInjector&) = delete;
+  ScopedFaultInjector& operator=(const ScopedFaultInjector&) = delete;
+
+  [[nodiscard]] FaultInjector& operator*() noexcept { return injector_; }
+  [[nodiscard]] FaultInjector* operator->() noexcept { return &injector_; }
+
+ private:
+  FaultInjector injector_;
+  FaultInjector* previous_;
+};
+
+}  // namespace hms
+
+/// Marks a named fault-injection site. Free when no injector is active.
+#define HMS_FAULT_POINT(site)                                         \
+  do {                                                                \
+    if (::hms::FaultInjector* hms_fault_injector_ =                   \
+            ::hms::FaultInjector::active())                           \
+      hms_fault_injector_->hit(site);                                 \
+  } while (0)

@@ -2,6 +2,7 @@
 
 #include "hms/common/bitops.hpp"
 #include "hms/common/error.hpp"
+#include "hms/common/fault.hpp"
 
 namespace hms::mem {
 
@@ -33,12 +34,14 @@ std::uint64_t MemoryDevice::line_of(Address address) const {
 }
 
 void MemoryDevice::read(Address address, std::uint64_t bytes) {
+  HMS_FAULT_POINT("mem/device_read");
   (void)address;
   ++stats_.reads;
   stats_.read_bytes += bytes;
 }
 
 void MemoryDevice::write(Address address, std::uint64_t bytes) {
+  HMS_FAULT_POINT("mem/device_write");
   ++stats_.writes;
   stats_.write_bytes += bytes;
   if (!endurance_) return;

@@ -1,0 +1,258 @@
+#include "hms/sim/checkpoint.hpp"
+
+#include <array>
+#include <cstring>
+
+#include "hms/common/error.hpp"
+
+namespace hms::sim {
+
+namespace {
+
+constexpr std::array<char, 4> kMagic = {'H', 'M', 'S', 'K'};
+constexpr std::uint32_t kVersion = 1;
+constexpr std::size_t kHeaderBytes =
+    kMagic.size() + sizeof(std::uint32_t) + sizeof(std::uint64_t);
+
+// -- in-memory varint encoding (trace_io style, buffer-based so a record is
+// -- assembled fully before the single durable append) ----------------------
+
+void put_varint(std::string& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out.push_back(static_cast<char>(v));
+}
+
+void put_string(std::string& out, std::string_view s) {
+  put_varint(out, s.size());
+  out.append(s);
+}
+
+void put_f64(std::string& out, double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((bits >> (8 * i)) & 0xff));
+  }
+}
+
+/// Cursor-based readers: all return false on truncation or malformed data
+/// so the loader can stop at (and discard) a partial trailing record.
+bool get_varint(std::string_view data, std::size_t& pos, std::uint64_t& v) {
+  v = 0;
+  int shift = 0;
+  while (true) {
+    if (pos >= data.size() || shift >= 64) return false;
+    const auto c = static_cast<unsigned char>(data[pos++]);
+    v |= static_cast<std::uint64_t>(c & 0x7f) << shift;
+    if ((c & 0x80) == 0) return true;
+    shift += 7;
+  }
+}
+
+bool get_string(std::string_view data, std::size_t& pos, std::string& s) {
+  std::uint64_t len = 0;
+  if (!get_varint(data, pos, len)) return false;
+  if (len > data.size() - pos) return false;
+  s.assign(data.substr(pos, len));
+  pos += len;
+  return true;
+}
+
+bool get_f64(std::string_view data, std::size_t& pos, double& v) {
+  if (data.size() - pos < 8) return false;
+  std::uint64_t bits = 0;
+  for (int i = 0; i < 8; ++i) {
+    bits |= static_cast<std::uint64_t>(
+                static_cast<unsigned char>(data[pos + static_cast<std::size_t>(
+                                                          i)]))
+            << (8 * i);
+  }
+  pos += 8;
+  std::memcpy(&v, &bits, sizeof(v));
+  return true;
+}
+
+std::string encode(const SuiteResult& r) {
+  std::string out;
+  put_string(out, r.config_name);
+  out.push_back(r.partial ? '\1' : '\0');
+  put_f64(out, r.runtime);
+  put_f64(out, r.dynamic);
+  put_f64(out, r.leakage);
+  put_f64(out, r.total_energy);
+  put_f64(out, r.edp);
+  put_varint(out, r.failures.size());
+  for (const auto& f : r.failures) {
+    put_string(out, f.workload);
+    put_string(out, f.error);
+  }
+  put_varint(out, r.per_workload.size());
+  for (const auto& wr : r.per_workload) {
+    put_string(out, wr.normalized.workload);
+    put_string(out, wr.normalized.design);
+    put_f64(out, wr.normalized.runtime);
+    put_f64(out, wr.normalized.dynamic);
+    put_f64(out, wr.normalized.leakage);
+    put_f64(out, wr.normalized.total_energy);
+    put_f64(out, wr.normalized.edp);
+  }
+  return out;
+}
+
+bool decode(std::string_view payload, SuiteResult& r) {
+  std::size_t pos = 0;
+  if (!get_string(payload, pos, r.config_name)) return false;
+  if (pos >= payload.size()) return false;
+  r.partial = payload[pos++] != '\0';
+  if (!get_f64(payload, pos, r.runtime)) return false;
+  if (!get_f64(payload, pos, r.dynamic)) return false;
+  if (!get_f64(payload, pos, r.leakage)) return false;
+  if (!get_f64(payload, pos, r.total_energy)) return false;
+  if (!get_f64(payload, pos, r.edp)) return false;
+  std::uint64_t n = 0;
+  if (!get_varint(payload, pos, n)) return false;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    SuiteFailure f;
+    if (!get_string(payload, pos, f.workload)) return false;
+    if (!get_string(payload, pos, f.error)) return false;
+    r.failures.push_back(std::move(f));
+  }
+  if (!get_varint(payload, pos, n)) return false;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    WorkloadResult wr;
+    if (!get_string(payload, pos, wr.normalized.workload)) return false;
+    if (!get_string(payload, pos, wr.normalized.design)) return false;
+    if (!get_f64(payload, pos, wr.normalized.runtime)) return false;
+    if (!get_f64(payload, pos, wr.normalized.dynamic)) return false;
+    if (!get_f64(payload, pos, wr.normalized.leakage)) return false;
+    if (!get_f64(payload, pos, wr.normalized.total_energy)) return false;
+    if (!get_f64(payload, pos, wr.normalized.edp)) return false;
+    wr.report.workload = wr.normalized.workload;
+    wr.report.design = wr.normalized.design;
+    r.per_workload.push_back(std::move(wr));
+  }
+  return pos == payload.size();
+}
+
+// -- hashing ----------------------------------------------------------------
+
+class Fnv1a {
+ public:
+  void mix(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      byte(static_cast<unsigned char>((v >> (8 * i)) & 0xff));
+    }
+  }
+  void mix(std::string_view s) {
+    mix(static_cast<std::uint64_t>(s.size()));
+    for (const char c : s) byte(static_cast<unsigned char>(c));
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept { return hash_; }
+
+ private:
+  void byte(unsigned char c) {
+    hash_ ^= c;
+    hash_ *= 0x100000001b3ull;
+  }
+  std::uint64_t hash_ = 0xcbf29ce484222325ull;
+};
+
+}  // namespace
+
+std::uint64_t experiment_hash(const ExperimentConfig& config,
+                              std::string_view sweep_label) {
+  Fnv1a h;
+  h.mix(sweep_label);
+  h.mix(config.scale_divisor);
+  h.mix(config.footprint_divisor);
+  h.mix(config.seed);
+  h.mix(static_cast<std::uint64_t>(config.iterations));
+  h.mix(static_cast<std::uint64_t>(config.suite.size()));
+  for (const auto& w : config.suite) h.mix(w);
+  const auto& opts = config.design_options;
+  h.mix(static_cast<std::uint64_t>(opts.l4_policy));
+  h.mix(static_cast<std::uint64_t>(opts.l4_prefetch.kind));
+  h.mix(static_cast<std::uint64_t>(opts.l4_prefetch.degree));
+  h.mix(opts.sector_bytes);
+  h.mix(static_cast<std::uint64_t>(opts.nvm_wear_leveling));
+  h.mix(static_cast<std::uint64_t>(opts.nvm_track_endurance));
+  h.mix(opts.nvm_gap_write_interval);
+  return h.value();
+}
+
+SweepCheckpoint::SweepCheckpoint(std::string path, std::uint64_t hash)
+    : path_(std::move(path)), hash_(hash) {
+  std::string data;
+  {
+    std::ifstream in(path_, std::ios::binary);
+    if (in) {
+      data.assign(std::istreambuf_iterator<char>(in),
+                  std::istreambuf_iterator<char>());
+    }
+  }
+
+  bool valid = data.size() >= kHeaderBytes &&
+               std::memcmp(data.data(), kMagic.data(), kMagic.size()) == 0;
+  if (valid) {
+    std::uint32_t version = 0;
+    std::memcpy(&version, data.data() + kMagic.size(), sizeof(version));
+    std::uint64_t file_hash = 0;
+    std::memcpy(&file_hash, data.data() + kMagic.size() + sizeof(version),
+                sizeof(file_hash));
+    valid = version == kVersion && file_hash == hash_;
+  }
+
+  if (valid) {
+    // Replay records; stop silently at the first truncated/malformed one
+    // (at most the final record, if the writing process was killed
+    // mid-append).
+    const std::string_view view = data;
+    std::size_t pos = kHeaderBytes;
+    while (pos < view.size()) {
+      std::uint64_t len = 0;
+      if (!get_varint(view, pos, len)) break;
+      if (len > view.size() - pos) break;
+      SuiteResult r;
+      if (!decode(view.substr(pos, len), r)) break;
+      pos += len;
+      completed_[r.config_name] = std::move(r);
+    }
+    out_.open(path_, std::ios::binary | std::ios::app);
+  } else {
+    // Missing, foreign, or stale file: start a fresh checkpoint.
+    out_.open(path_, std::ios::binary | std::ios::trunc);
+    if (out_) {
+      out_.write(kMagic.data(), kMagic.size());
+      std::uint32_t version = kVersion;
+      out_.write(reinterpret_cast<const char*>(&version), sizeof(version));
+      out_.write(reinterpret_cast<const char*>(&hash_), sizeof(hash_));
+      out_.flush();
+    }
+  }
+  if (!out_) {
+    throw IoError("checkpoint: cannot open for append: " + path_);
+  }
+}
+
+const SuiteResult* SweepCheckpoint::find(
+    const std::string& config_name) const {
+  const auto it = completed_.find(config_name);
+  return it != completed_.end() ? &it->second : nullptr;
+}
+
+void SweepCheckpoint::append(const SuiteResult& result) {
+  const std::string payload = encode(result);
+  std::string record;
+  put_varint(record, payload.size());
+  record += payload;
+  out_.write(record.data(),
+             static_cast<std::streamsize>(record.size()));
+  out_.flush();
+  if (!out_) throw IoError("checkpoint: write failed: " + path_);
+  completed_[result.config_name] = result;
+}
+
+}  // namespace hms::sim

@@ -1,0 +1,63 @@
+// Sweep checkpointing: durable per-config results so an interrupted figure
+// sweep resumes instead of re-simulating.
+//
+// Format ("HMSK" v1, mirroring the trace_io varint/magic style): header
+// {magic, u32 version, u64 experiment hash}, then one length-prefixed record
+// per completed SuiteResult:
+//
+//   varint payload_len | payload:
+//     str config_name | u8 partial | 5 x f64 (LE bit pattern) suite means |
+//     varint n_failures x { str workload, str error } |
+//     varint n_workloads x { str workload, str design, 5 x f64 normalized }
+//
+// (str = varint length + bytes.) Records are appended and flushed one at a
+// time, so a killed run leaves at most one truncated trailing record; the
+// loader stops at the first short or malformed record and discards it.
+// Detailed per-workload DesignReports (absolute times/energies) are NOT
+// persisted — a restored SuiteResult carries everything the figure layer
+// uses (suite means + per-workload normalized values).
+//
+// The header hash binds a checkpoint to one (ExperimentConfig, sweep)
+// pair: opening a file whose hash differs resets it, so stale results can
+// never leak into a differently-parameterized rerun.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "hms/sim/experiment.hpp"
+
+namespace hms::sim {
+
+/// FNV-1a over every result-affecting ExperimentConfig field plus the
+/// sweep label (e.g. "nmm:PCM"). Execution-only knobs — threads,
+/// max_retries, checkpoint_path — are deliberately excluded: they change
+/// how a sweep runs, not what it computes.
+[[nodiscard]] std::uint64_t experiment_hash(const ExperimentConfig& config,
+                                            std::string_view sweep_label);
+
+/// See file comment. Construction loads (or resets) the file and leaves it
+/// open for appending. Throws hms::IoError when the path cannot be opened.
+class SweepCheckpoint {
+ public:
+  SweepCheckpoint(std::string path, std::uint64_t hash);
+
+  /// The result previously checkpointed for `config_name`, or nullptr.
+  [[nodiscard]] const SuiteResult* find(const std::string& config_name) const;
+  [[nodiscard]] std::size_t size() const noexcept { return completed_.size(); }
+
+  /// Durably appends one result (record + flush). Call only with complete
+  /// (non-partial) results; partial ones should be re-attempted on resume.
+  void append(const SuiteResult& result);
+
+ private:
+  std::string path_;
+  std::uint64_t hash_;
+  std::map<std::string, SuiteResult> completed_;
+  std::ofstream out_;
+};
+
+}  // namespace hms::sim

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <limits>
+#include <memory>
+#include <optional>
 
 #include "hms/common/error.hpp"
+#include "hms/sim/checkpoint.hpp"
 #include "hms/sim/parallel.hpp"
 #include "hms/workloads/registry.hpp"
 
@@ -64,7 +67,12 @@ WorkloadResult ExperimentRunner::evaluate_back(const std::string& design_name,
                                                cache::MemoryHierarchy& back) {
   const model::DesignReport& base = base_report(workload);
   const FrontCapture& capture = front(workload);
-  const auto profile = replay_back(capture, back);
+  cache::HierarchyProfile profile;
+  try {
+    profile = replay_back(capture, back);
+  } catch (...) {
+    rethrow_with_context("replay_back");
+  }
   const auto& anchor = anchors_.at(workload);
   WorkloadResult result;
   result.report = model::evaluate(design_name, workload, profile, anchor);
@@ -97,39 +105,130 @@ SuiteResult ExperimentRunner::average(
 
 template <typename Config, typename MakeBack>
 std::vector<SuiteResult> ExperimentRunner::sweep(
-    const std::vector<Config>& configs, const MakeBack& make_back) {
-  // Warm the shared caches serially: front captures and base reports
-  // insert into maps that the parallel tasks then only read.
-  for (const auto& workload : suite_) {
-    (void)base_report(workload);
+    const std::string& label, const std::vector<Config>& configs,
+    const MakeBack& make_back) {
+  last_checkpoint_skips_ = 0;
+  std::unique_ptr<SweepCheckpoint> checkpoint;
+  if (!config_.checkpoint_path.empty()) {
+    checkpoint = std::make_unique<SweepCheckpoint>(
+        config_.checkpoint_path, experiment_hash(config_, label));
   }
-  std::vector<std::vector<WorkloadResult>> grid(
-      configs.size(), std::vector<WorkloadResult>(suite_.size()));
-  std::vector<std::function<void()>> tasks;
-  tasks.reserve(configs.size() * suite_.size());
+
+  // Configs already present in the checkpoint are restored, not re-run.
+  std::vector<std::optional<SuiteResult>> finished(configs.size());
+  std::vector<std::size_t> pending;
   for (std::size_t c = 0; c < configs.size(); ++c) {
-    for (std::size_t w = 0; w < suite_.size(); ++w) {
-      tasks.emplace_back([this, &configs, &make_back, &grid, c, w] {
-        const auto& workload = suite_[w];
-        auto back = make_back(configs[c],
-                              fronts_.at(workload).footprint_bytes);
-        grid[c][w] = evaluate_back(configs[c].name, workload, *back);
-      });
+    if (checkpoint != nullptr) {
+      if (const SuiteResult* done = checkpoint->find(configs[c].name)) {
+        finished[c] = *done;
+        ++last_checkpoint_skips_;
+        continue;
+      }
     }
+    pending.push_back(c);
   }
-  run_parallel(std::move(tasks), config_.threads);
+
+  if (!pending.empty()) {
+    // Warm the shared caches serially: front captures and base reports
+    // insert into maps that the parallel tasks then only read. A workload
+    // whose warm-up fails is excluded from the grid and recorded in every
+    // pending config's failure list.
+    std::vector<std::size_t> live;
+    std::vector<SuiteFailure> warm_failures;
+    for (std::size_t w = 0; w < suite_.size(); ++w) {
+      try {
+        (void)base_report(suite_[w]);
+        live.push_back(w);
+      } catch (const std::exception& e) {
+        warm_failures.push_back(
+            {suite_[w],
+             with_context("warm-up / workload " + suite_[w], e.what())});
+      }
+    }
+    if (live.empty()) {
+      throw SimulationError(
+          with_context("sweep " + label,
+                       "every workload failed warm-up; first: " +
+                           warm_failures.front().error));
+    }
+
+    const std::size_t width = live.size();
+    std::vector<std::vector<std::optional<WorkloadResult>>> grid(
+        pending.size(), std::vector<std::optional<WorkloadResult>>(width));
+    std::vector<std::vector<SuiteFailure>> failures(pending.size(),
+                                                    warm_failures);
+    std::vector<std::size_t> remaining(pending.size(), width);
+
+    std::vector<ParallelTask> tasks;
+    tasks.reserve(pending.size() * width);
+    for (std::size_t p = 0; p < pending.size(); ++p) {
+      for (std::size_t l = 0; l < width; ++l) {
+        const std::size_t c = pending[p];
+        ParallelTask task;
+        task.label =
+            "config " + configs[c].name + " / workload " + suite_[live[l]];
+        task.transient = config_.max_retries > 0;
+        task.fn = [this, &configs, &make_back, &grid, &live, c, p, l] {
+          const std::string& workload = suite_[live[l]];
+          try {
+            auto back =
+                make_back(configs[c], fronts_.at(workload).footprint_bytes);
+            grid[p][l] = evaluate_back(configs[c].name, workload, *back);
+          } catch (...) {
+            rethrow_with_context("config " + configs[c].name +
+                                 " / workload " + workload);
+          }
+        };
+        tasks.push_back(std::move(task));
+      }
+    }
+
+    ParallelOptions options;
+    options.threads = config_.threads;
+    options.policy = ErrorPolicy::degrade;
+    options.max_retries = config_.max_retries;
+    // Serialized by the pool; assembles a config the moment its last cell
+    // settles so the checkpoint is durable mid-sweep, not only at the end.
+    options.on_complete = [&](std::size_t index, const TaskReport& report) {
+      const std::size_t p = index / width;
+      const std::size_t l = index % width;
+      if (report.outcome == TaskOutcome::failed) {
+        failures[p].push_back({suite_[live[l]], report.error});
+      }
+      if (--remaining[p] != 0) return;
+      std::vector<WorkloadResult> survivors;
+      for (auto& cell : grid[p]) {
+        if (cell) survivors.push_back(std::move(*cell));
+      }
+      if (survivors.empty()) return;  // total loss; reported after join
+      const std::size_t c = pending[p];
+      SuiteResult suite = average(configs[c].name, std::move(survivors));
+      suite.failures = std::move(failures[p]);
+      suite.partial = !suite.failures.empty();
+      // Partial results are deliberately not checkpointed: a resume should
+      // re-attempt the failed cells rather than fossilize them.
+      if (checkpoint != nullptr && !suite.partial) checkpoint->append(suite);
+      finished[c] = std::move(suite);
+    };
+    (void)run_parallel(std::move(tasks), options);
+  }
 
   std::vector<SuiteResult> out;
   out.reserve(configs.size());
   for (std::size_t c = 0; c < configs.size(); ++c) {
-    out.push_back(average(configs[c].name, std::move(grid[c])));
+    if (!finished[c]) {
+      // Degrading below one surviving workload would leave nothing to plot.
+      throw SimulationError("sweep " + label + ": config " + configs[c].name +
+                            " failed for every workload");
+    }
+    out.push_back(std::move(*finished[c]));
   }
   return out;
 }
 
 std::vector<SuiteResult> ExperimentRunner::nmm_sweep(
     mem::Technology nvm, const std::vector<designs::NConfig>& configs) {
-  return sweep(configs,
+  return sweep("nmm:" + std::string(mem::to_string(nvm)), configs,
                [&](const designs::NConfig& cfg, std::uint64_t footprint) {
                  return factory_.nvm_main_memory_back(cfg, nvm, footprint);
                });
@@ -137,7 +236,7 @@ std::vector<SuiteResult> ExperimentRunner::nmm_sweep(
 
 std::vector<SuiteResult> ExperimentRunner::four_lc_sweep(
     mem::Technology l4, const std::vector<designs::EhConfig>& configs) {
-  return sweep(configs,
+  return sweep("4lc:" + std::string(mem::to_string(l4)), configs,
                [&](const designs::EhConfig& cfg, std::uint64_t footprint) {
                  return factory_.four_level_cache_back(cfg, l4, footprint);
                });
@@ -146,7 +245,9 @@ std::vector<SuiteResult> ExperimentRunner::four_lc_sweep(
 std::vector<SuiteResult> ExperimentRunner::four_lc_nvm_sweep(
     mem::Technology l4, mem::Technology nvm,
     const std::vector<designs::EhConfig>& configs) {
-  return sweep(configs,
+  return sweep("4lcnvm:" + std::string(mem::to_string(l4)) + ":" +
+                   std::string(mem::to_string(nvm)),
+               configs,
                [&](const designs::EhConfig& cfg, std::uint64_t footprint) {
                  return factory_.four_level_cache_nvm_back(cfg, l4, nvm,
                                                            footprint);
@@ -157,46 +258,50 @@ std::vector<NdmResult> ExperimentRunner::ndm_oracle(mem::Technology nvm) {
   std::vector<NdmResult> out;
   out.reserve(suite_.size());
   for (const auto& workload : suite_) {
-    const FrontCapture& capture = front(workload);
-    // Profile residual traffic per named range.
-    designs::RangeProfiler profiler(capture.ranges);
-    capture.residual.replay(profiler);
+    try {
+      const FrontCapture& capture = front(workload);
+      // Profile residual traffic per named range.
+      designs::RangeProfiler profiler(capture.ranges);
+      capture.residual.replay(profiler);
 
-    const auto candidates = designs::merge_ranges(profiler.usages(), 3);
-    // Capacity-constrained oracle: DRAM-resident bytes must fit the NDM
-    // design's fixed DRAM partition (512 MB unscaled).
-    const std::uint64_t dram_capacity =
-        factory_.scaled(designs::kNdmDramCapacity, 4096);
-    auto placements =
-        designs::enumerate_subset_placements(candidates, dram_capacity);
-    // If nothing fits (a single merged range can exceed the remaining
-    // budget), fall back to the placements that leave the least in DRAM.
-    if (std::none_of(placements.begin(), placements.end(),
-                     [](const auto& p) { return p.feasible; })) {
-      std::uint64_t least = std::numeric_limits<std::uint64_t>::max();
-      for (const auto& p : placements) least = std::min(least, p.dram_bytes);
-      for (auto& p : placements) p.feasible = p.dram_bytes == least;
-    }
-
-    NdmResult ndm;
-    ndm.workload = workload;
-    double best_edp = std::numeric_limits<double>::infinity();
-    for (const auto& placement : placements) {
-      auto back = factory_.nvm_plus_dram_back(nvm, placement.nvm_rules,
-                                              capture.footprint_bytes);
-      auto result = evaluate_back("NDM-" + placement.name, workload, *back);
-      ndm.all_placements.emplace_back(placement, result.normalized);
-      // Oracle choice: best EDP among feasible placements that use NVM.
-      if (placement.feasible && !placement.nvm_rules.empty() &&
-          result.normalized.edp < best_edp) {
-        best_edp = result.normalized.edp;
-        ndm.chosen = placement;
-        ndm.result = std::move(result);
+      const auto candidates = designs::merge_ranges(profiler.usages(), 3);
+      // Capacity-constrained oracle: DRAM-resident bytes must fit the NDM
+      // design's fixed DRAM partition (512 MB unscaled).
+      const std::uint64_t dram_capacity =
+          factory_.scaled(designs::kNdmDramCapacity, 4096);
+      auto placements =
+          designs::enumerate_subset_placements(candidates, dram_capacity);
+      // If nothing fits (a single merged range can exceed the remaining
+      // budget), fall back to the placements that leave the least in DRAM.
+      if (std::none_of(placements.begin(), placements.end(),
+                       [](const auto& p) { return p.feasible; })) {
+        std::uint64_t least = std::numeric_limits<std::uint64_t>::max();
+        for (const auto& p : placements) least = std::min(least, p.dram_bytes);
+        for (auto& p : placements) p.feasible = p.dram_bytes == least;
       }
+
+      NdmResult ndm;
+      ndm.workload = workload;
+      double best_edp = std::numeric_limits<double>::infinity();
+      for (const auto& placement : placements) {
+        auto back = factory_.nvm_plus_dram_back(nvm, placement.nvm_rules,
+                                                capture.footprint_bytes);
+        auto result = evaluate_back("NDM-" + placement.name, workload, *back);
+        ndm.all_placements.emplace_back(placement, result.normalized);
+        // Oracle choice: best EDP among feasible placements that use NVM.
+        if (placement.feasible && !placement.nvm_rules.empty() &&
+            result.normalized.edp < best_edp) {
+          best_edp = result.normalized.edp;
+          ndm.chosen = placement;
+          ndm.result = std::move(result);
+        }
+      }
+      check(!ndm.chosen.nvm_rules.empty(),
+            "ndm_oracle: no feasible non-trivial placement");
+      out.push_back(std::move(ndm));
+    } catch (...) {
+      rethrow_with_context("ndm / workload " + workload);
     }
-    check(!ndm.chosen.nvm_rules.empty(),
-          "ndm_oracle: no feasible non-trivial placement");
-    out.push_back(std::move(ndm));
   }
   return out;
 }

@@ -33,6 +33,14 @@ struct ExperimentConfig {
   designs::DesignOptions design_options;
   /// Worker threads for config sweeps (0 = hardware concurrency).
   unsigned threads = 0;
+  /// Extra attempts granted to a failing sweep cell before it is recorded
+  /// as a failure (deterministic immediate retries; useful when fault
+  /// injection or flaky I/O models transient conditions).
+  std::uint32_t max_retries = 0;
+  /// When non-empty, sweeps append each fully-successful SuiteResult to
+  /// this checkpoint file and a rerun with an identical experiment hash
+  /// skips the configs already present (see sim/checkpoint.hpp).
+  std::string checkpoint_path;
 
   [[nodiscard]] workloads::WorkloadParams params_for(
       const workloads::WorkloadInfo& info) const;
@@ -44,18 +52,29 @@ struct WorkloadResult {
   model::NormalizedReport normalized;
 };
 
+/// One (config, workload) cell that could not be evaluated.
+struct SuiteFailure {
+  std::string workload;
+  std::string error;
+};
+
 /// Suite-level (averaged) evaluation of one design configuration — one bar
 /// of a paper figure.
 struct SuiteResult {
   std::string config_name;
   /// Arithmetic means of per-workload normalized values (the paper's
-  /// "average of normalized X of all benchmarks").
+  /// "average of normalized X of all benchmarks"). When `partial`, the
+  /// means cover the surviving workloads only.
   double runtime = 1.0;
   double dynamic = 1.0;
   double leakage = 1.0;
   double total_energy = 1.0;
   double edp = 1.0;
-  std::vector<WorkloadResult> per_workload;
+  /// True when at least one workload cell failed and was excluded.
+  bool partial = false;
+  /// The excluded cells, with their context-chained error messages.
+  std::vector<SuiteFailure> failures;
+  std::vector<WorkloadResult> per_workload;  ///< survivors only
 };
 
 /// One NDM oracle evaluation for a workload.
@@ -116,6 +135,12 @@ class ExperimentRunner {
   /// Fig. 7-8: NDM oracle, one result per workload.
   [[nodiscard]] std::vector<NdmResult> ndm_oracle(mem::Technology nvm);
 
+  /// Configs the most recent sweep restored from the checkpoint instead of
+  /// re-simulating (0 when checkpointing is disabled).
+  [[nodiscard]] std::size_t last_checkpoint_skips() const noexcept {
+    return last_checkpoint_skips_;
+  }
+
  private:
   [[nodiscard]] SuiteResult average(std::string config_name,
                                     std::vector<WorkloadResult> results) const;
@@ -124,9 +149,18 @@ class ExperimentRunner {
   /// serially (they mutate the caches), then evaluates the config x
   /// workload grid with `config_.threads` workers — each task builds its
   /// own back hierarchy and only reads the shared caches.
+  ///
+  /// Resilience: cell failures are degraded into SuiteResult::failures
+  /// (with warm-up failures excluding the workload from every config); a
+  /// config whose every cell failed aborts the sweep with SimulationError.
+  /// When `config_.checkpoint_path` is set, each complete (non-partial)
+  /// SuiteResult is appended to the checkpoint as soon as its last cell
+  /// finishes, and configs already checkpointed under the same
+  /// `experiment_hash(config_, label)` are skipped.
   template <typename Config, typename MakeBack>
   [[nodiscard]] std::vector<SuiteResult> sweep(
-      const std::vector<Config>& configs, const MakeBack& make_back);
+      const std::string& label, const std::vector<Config>& configs,
+      const MakeBack& make_back);
 
   ExperimentConfig config_;
   designs::DesignFactory factory_;
@@ -134,6 +168,7 @@ class ExperimentRunner {
   std::map<std::string, FrontCapture> fronts_;
   std::map<std::string, model::DesignReport> base_reports_;
   std::map<std::string, model::ReferenceAnchor> anchors_;
+  std::size_t last_checkpoint_skips_ = 0;
 };
 
 }  // namespace hms::sim

@@ -5,44 +5,172 @@
 #include <mutex>
 #include <thread>
 
+#include "hms/common/error.hpp"
+
 namespace hms::sim {
 
-void run_parallel(std::vector<std::function<void()>> tasks,
-                  unsigned threads) {
-  if (tasks.empty()) return;
+namespace {
+
+/// Runs one task with its retry budget and fills in its report.
+/// Returns the exception of the last failed attempt (nullptr on success).
+std::exception_ptr run_one(const ParallelTask& task, std::uint32_t max_retries,
+                           TaskReport& report) {
+  report.label = task.label;
+  const std::uint32_t budget = 1 + (task.transient ? max_retries : 0);
+  std::exception_ptr last_error;
+  for (std::uint32_t attempt = 1; attempt <= budget; ++attempt) {
+    report.attempts = attempt;
+    try {
+      task.fn();
+      report.outcome = TaskOutcome::ok;
+      report.error.clear();
+      return nullptr;
+    } catch (const std::exception& e) {
+      report.error = e.what();
+      last_error = std::current_exception();
+    } catch (...) {
+      report.error = "unknown exception";
+      last_error = std::current_exception();
+    }
+  }
+  report.outcome = TaskOutcome::failed;
+  return last_error;
+}
+
+std::string prefixed(const TaskReport& report) {
+  return report.label.empty() ? report.error
+                              : report.label + ": " + report.error;
+}
+
+}  // namespace
+
+std::string ParallelReport::summary(std::size_t max_messages) const {
+  std::string out = std::to_string(failures) + " task(s) failed";
+  if (failures == 0) return out;
+  out += ": ";
+  std::size_t shown = 0;
+  for (const auto& task : tasks) {
+    if (task.outcome != TaskOutcome::failed) continue;
+    if (shown == max_messages) {
+      out += "; ...";
+      break;
+    }
+    if (shown > 0) out += "; ";
+    out += prefixed(task);
+    ++shown;
+  }
+  return out;
+}
+
+ParallelReport run_parallel(std::vector<ParallelTask> tasks,
+                            const ParallelOptions& options) {
+  ParallelReport report;
+  report.tasks.resize(tasks.size());
+  if (tasks.empty()) return report;
+
+  unsigned threads = options.threads;
   if (threads == 0) {
     threads = std::thread::hardware_concurrency();
     if (threads == 0) threads = 1;
   }
   threads = std::min<unsigned>(threads,
                                static_cast<unsigned>(tasks.size()));
-  if (threads <= 1) {
-    for (auto& task : tasks) task();
-    return;
-  }
 
-  std::atomic<std::size_t> next{0};
+  // First failure in task order (not completion order) would be racy to
+  // track exactly; "first observed" is what fail_fast rethrows, which is
+  // deterministic in the single-threaded case used by tests.
   std::exception_ptr first_error;
-  std::mutex error_mutex;
+  std::exception_ptr callback_error;
+  std::mutex mutex;
 
-  auto worker = [&] {
-    while (true) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= tasks.size()) return;
+  auto settle = [&](std::size_t i, std::exception_ptr error) {
+    const std::lock_guard<std::mutex> lock(mutex);
+    if (error) {
+      ++report.failures;
+      if (!first_error) first_error = error;
+    }
+    if (options.on_complete && !callback_error) {
       try {
-        tasks[i]();
+        options.on_complete(i, report.tasks[i]);
       } catch (...) {
-        const std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
+        callback_error = std::current_exception();
       }
     }
   };
 
-  std::vector<std::thread> pool;
-  pool.reserve(threads);
-  for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
-  for (auto& t : pool) t.join();
-  if (first_error) std::rethrow_exception(first_error);
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      settle(i, run_one(tasks[i], options.max_retries, report.tasks[i]));
+    }
+  } else {
+    std::atomic<std::size_t> next{0};
+    auto worker = [&] {
+      while (true) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= tasks.size()) return;
+        settle(i, run_one(tasks[i], options.max_retries, report.tasks[i]));
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (auto& t : pool) t.join();
+  }
+
+  if (callback_error) {
+    try {
+      std::rethrow_exception(callback_error);
+    } catch (const std::exception& e) {
+      throw Error(with_context("run_parallel: on_complete callback failed",
+                               e.what()));
+    } catch (...) {
+      throw Error("run_parallel: on_complete callback failed");
+    }
+  }
+
+  if (report.failures == 0 || options.policy == ErrorPolicy::degrade) {
+    return report;
+  }
+  if (options.policy == ErrorPolicy::collect_all) {
+    throw SimulationError(report.summary(report.failures));
+  }
+  // fail_fast: rethrow the first failure; if others were suppressed, the
+  // original exception type is traded for SimulationError so their count
+  // and first few messages can ride along instead of vanishing.
+  if (report.failures == 1) std::rethrow_exception(first_error);
+  std::string message;
+  try {
+    std::rethrow_exception(first_error);
+  } catch (const std::exception& e) {
+    message = e.what();
+  } catch (...) {
+    message = "unknown exception";
+  }
+  ParallelReport suppressed;
+  suppressed.failures = report.failures - 1;
+  bool skipped_first = false;
+  for (const auto& task : report.tasks) {
+    if (task.outcome == TaskOutcome::failed && !skipped_first &&
+        task.error == message) {
+      // Best-effort: drop one copy of the rethrown error from the summary.
+      skipped_first = true;
+      continue;
+    }
+    suppressed.tasks.push_back(task);
+  }
+  throw SimulationError(message + " [suppressed " +
+                        suppressed.summary() + "]");
+}
+
+void run_parallel(std::vector<std::function<void()>> tasks,
+                  unsigned threads) {
+  std::vector<ParallelTask> wrapped;
+  wrapped.reserve(tasks.size());
+  for (auto& fn : tasks) wrapped.push_back({"", std::move(fn), false});
+  ParallelOptions options;
+  options.threads = threads;
+  options.policy = ErrorPolicy::fail_fast;
+  (void)run_parallel(std::move(wrapped), options);
 }
 
 }  // namespace hms::sim

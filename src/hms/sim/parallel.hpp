@@ -1,19 +1,83 @@
-// Minimal work pool for parallel config x workload sweeps.
+// Work pool for parallel config x workload sweeps, with structured failure
+// reporting.
 //
 // Every simulation object (hierarchy, workload, profile) is thread-confined;
 // tasks share nothing and results are merged after join, so a plain
 // atomic-counter worker loop suffices (no work stealing, no futures).
+//
+// All policies run every task to completion before deciding what to throw —
+// sweep tasks are cheap relative to losing a half-finished grid, and the
+// full outcome vector is what the resilience layer (degrade + checkpoint)
+// consumes. The policies differ only in how failures surface after join:
+//
+//   fail_fast    rethrow the first failure, appending a summary of the
+//                other (suppressed) failures to its message
+//   collect_all  throw one SimulationError enumerating every failure
+//   degrade      never throw; the caller reads per-task outcomes from the
+//                returned ParallelReport and degrades gracefully
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 namespace hms::sim {
 
-/// Runs every task, distributing them over `threads` worker threads
-/// (0 = std::thread::hardware_concurrency). Exceptions thrown by tasks are
-/// collected; the first one is rethrown after all workers join.
+enum class ErrorPolicy { fail_fast, collect_all, degrade };
+
+enum class TaskOutcome { ok, failed };
+
+/// One unit of work. `transient` opts the task into the bounded-retry
+/// mechanism (ParallelOptions::max_retries); retries re-run the task
+/// immediately on the same worker, so retry order is deterministic per task.
+struct ParallelTask {
+  std::string label;
+  std::function<void()> fn;
+  bool transient = false;
+};
+
+/// Post-run record for one task, index-aligned with the input vector.
+struct TaskReport {
+  std::string label;
+  TaskOutcome outcome = TaskOutcome::ok;
+  /// Total attempts made (1 = succeeded or failed without retry).
+  std::uint32_t attempts = 1;
+  /// what() of the last failed attempt; empty on success.
+  std::string error;
+};
+
+struct ParallelOptions {
+  /// Worker threads (0 = std::thread::hardware_concurrency).
+  unsigned threads = 0;
+  ErrorPolicy policy = ErrorPolicy::fail_fast;
+  /// Extra attempts granted to tasks marked transient.
+  std::uint32_t max_retries = 0;
+  /// Invoked once per task, right after it settles (serialized under the
+  /// pool's mutex, so callbacks may touch shared state without locking).
+  /// Used by the sweep layer to append per-config checkpoints as soon as a
+  /// config's last cell finishes. Exceptions escaping the callback abort
+  /// the run with hms::Error after all workers join.
+  std::function<void(std::size_t index, const TaskReport&)> on_complete;
+};
+
+struct ParallelReport {
+  std::vector<TaskReport> tasks;
+  std::size_t failures = 0;
+  [[nodiscard]] bool ok() const noexcept { return failures == 0; }
+  /// "3 task(s) failed: a: ...; b: ...; ..." capped at `max_messages`.
+  [[nodiscard]] std::string summary(std::size_t max_messages = 3) const;
+};
+
+/// Runs every task over `options.threads` workers and returns the per-task
+/// outcome vector. Throws according to `options.policy` (see file comment).
+ParallelReport run_parallel(std::vector<ParallelTask> tasks,
+                            const ParallelOptions& options);
+
+/// Legacy entry point: unlabeled tasks, fail_fast policy. Kept because most
+/// call sites want exactly that; the rethrown error carries the suppressed
+/// failure summary like the structured overload.
 void run_parallel(std::vector<std::function<void()>> tasks,
                   unsigned threads = 0);
 

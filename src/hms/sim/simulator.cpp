@@ -1,5 +1,7 @@
 #include "hms/sim/simulator.hpp"
 
+#include "hms/common/fault.hpp"
+
 namespace hms::sim {
 
 cache::HierarchyProfile simulate(workloads::Workload& workload,
@@ -11,6 +13,7 @@ cache::HierarchyProfile simulate(workloads::Workload& workload,
 FrontCapture capture_front(const std::string& workload_name,
                            const workloads::WorkloadParams& params,
                            const designs::DesignFactory& factory) {
+  HMS_FAULT_POINT("sim/capture_front");
   FrontCapture capture;
   capture.workload_name = workload_name;
   auto workload = workloads::make_workload(workload_name, params);
@@ -26,6 +29,7 @@ FrontCapture capture_front(const std::string& workload_name,
 
 cache::HierarchyProfile replay_back(const FrontCapture& capture,
                                     cache::MemoryHierarchy& back) {
+  HMS_FAULT_POINT("sim/replay_back");
   capture.residual.replay(back);
   return cache::HierarchyProfile::combine(capture.front_profile,
                                           back.profile());

@@ -7,6 +7,7 @@
 #include <ostream>
 
 #include "hms/common/error.hpp"
+#include "hms/common/fault.hpp"
 
 namespace hms::trace {
 
@@ -52,6 +53,7 @@ std::int64_t unzigzag(std::uint64_t v) {
 }  // namespace
 
 void write_trace(std::ostream& out, const TraceBuffer& buffer) {
+  HMS_FAULT_POINT("trace/write");
   out.write(kMagic.data(), kMagic.size());
   std::uint32_t version = kVersion;
   out.write(reinterpret_cast<const char*>(&version), sizeof(version));
@@ -74,6 +76,7 @@ void write_trace(std::ostream& out, const TraceBuffer& buffer) {
 }
 
 TraceBuffer read_trace(std::istream& in) {
+  HMS_FAULT_POINT("trace/read");
   std::array<char, 4> magic{};
   in.read(magic.data(), magic.size());
   if (!in || magic != kMagic) throw TraceError("trace: bad magic");
@@ -85,7 +88,26 @@ TraceBuffer read_trace(std::istream& in) {
   if (!in) throw TraceError("trace: truncated header");
 
   std::vector<MemoryAccess> accesses;
-  accesses.reserve(count);
+  // The header count is untrusted input: a corrupt 8-byte field must not
+  // drive a multi-GB reserve. Every record is at least 3 bytes (three
+  // one-byte varints), so a seekable stream bounds the plausible count.
+  constexpr std::uint64_t kMinRecordBytes = 3;
+  const auto pos = in.tellg();
+  if (pos != std::istream::pos_type(-1)) {
+    in.seekg(0, std::ios::end);
+    const auto end = in.tellg();
+    in.seekg(pos);
+    if (!in || end < pos) throw TraceError("trace: stream not seekable");
+    const auto remaining = static_cast<std::uint64_t>(end - pos);
+    if (count > remaining / kMinRecordBytes) {
+      throw TraceError("trace: header count " + std::to_string(count) +
+                       " impossible for " + std::to_string(remaining) +
+                       " payload bytes");
+    }
+    accesses.reserve(count);
+  } else {
+    in.clear();  // tellg on a non-seekable stream may set failbit
+  }
   Address prev = 0;
   for (std::uint64_t i = 0; i < count; ++i) {
     MemoryAccess a;

@@ -1,12 +1,14 @@
 #include "hms/workloads/workload_base.hpp"
 
 #include "hms/common/error.hpp"
+#include "hms/common/fault.hpp"
 
 namespace hms::workloads {
 
 void WorkloadBase::run(trace::AccessSink& sink) {
   check(!ran_, "Workload::run: kernels are one-shot; construct a fresh "
                "instance (same seed reproduces the same stream)");
+  HMS_FAULT_POINT("workload/run");
   ran_ = true;
   sink_.bind(sink);
   try {

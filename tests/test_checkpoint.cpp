@@ -1,0 +1,179 @@
+// SweepCheckpoint + experiment_hash (hms/sim/checkpoint.hpp).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "hms/common/error.hpp"
+#include "hms/sim/checkpoint.hpp"
+
+namespace hms::sim {
+namespace {
+
+/// Unique-ish temp path per test; removed on destruction.
+class TempFile {
+ public:
+  explicit TempFile(const std::string& tag)
+      : path_(::testing::TempDir() + "hms_checkpoint_" + tag + ".bin") {
+    std::remove(path_.c_str());
+  }
+  ~TempFile() { std::remove(path_.c_str()); }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+SuiteResult sample_result(const std::string& name, double runtime) {
+  SuiteResult r;
+  r.config_name = name;
+  r.runtime = runtime;
+  r.dynamic = 1.25;
+  r.leakage = 0.75;
+  r.total_energy = 1.1;
+  r.edp = runtime * 1.1;
+  WorkloadResult wr;
+  wr.report.design = name;
+  wr.report.workload = "CG";
+  wr.normalized.design = name;
+  wr.normalized.workload = "CG";
+  wr.normalized.runtime = runtime;
+  wr.normalized.edp = runtime * 1.1;
+  r.per_workload.push_back(wr);
+  return r;
+}
+
+TEST(ExperimentHash, SensitiveToResultAffectingFields) {
+  ExperimentConfig a;
+  const std::uint64_t base = experiment_hash(a, "nmm:PCM");
+  EXPECT_EQ(base, experiment_hash(a, "nmm:PCM"));  // stable
+  EXPECT_NE(base, experiment_hash(a, "nmm:STT-RAM"));
+
+  ExperimentConfig b = a;
+  b.seed = 43;
+  EXPECT_NE(base, experiment_hash(b, "nmm:PCM"));
+  ExperimentConfig c = a;
+  c.suite = {"CG"};
+  EXPECT_NE(base, experiment_hash(c, "nmm:PCM"));
+  ExperimentConfig d = a;
+  d.scale_divisor = 128;
+  EXPECT_NE(base, experiment_hash(d, "nmm:PCM"));
+}
+
+TEST(ExperimentHash, IgnoresExecutionOnlyKnobs) {
+  ExperimentConfig a;
+  ExperimentConfig b = a;
+  b.threads = 7;
+  b.max_retries = 3;
+  b.checkpoint_path = "/tmp/elsewhere.bin";
+  EXPECT_EQ(experiment_hash(a, "x"), experiment_hash(b, "x"));
+}
+
+TEST(Checkpoint, RoundTripsResults) {
+  TempFile file("roundtrip");
+  {
+    SweepCheckpoint ckpt(file.path(), 0xabcdu);
+    EXPECT_EQ(ckpt.size(), 0u);
+    ckpt.append(sample_result("N1", 1.5));
+    ckpt.append(sample_result("N6", 2.5));
+  }
+  SweepCheckpoint reloaded(file.path(), 0xabcdu);
+  EXPECT_EQ(reloaded.size(), 2u);
+  const SuiteResult* n1 = reloaded.find("N1");
+  ASSERT_NE(n1, nullptr);
+  EXPECT_DOUBLE_EQ(n1->runtime, 1.5);
+  EXPECT_DOUBLE_EQ(n1->dynamic, 1.25);
+  EXPECT_DOUBLE_EQ(n1->edp, 1.5 * 1.1);
+  ASSERT_EQ(n1->per_workload.size(), 1u);
+  EXPECT_EQ(n1->per_workload[0].normalized.workload, "CG");
+  EXPECT_DOUBLE_EQ(n1->per_workload[0].normalized.runtime, 1.5);
+  EXPECT_EQ(n1->per_workload[0].report.design, "N1");
+  EXPECT_EQ(reloaded.find("N9"), nullptr);
+}
+
+TEST(Checkpoint, HashMismatchResetsFile) {
+  TempFile file("mismatch");
+  {
+    SweepCheckpoint ckpt(file.path(), 1);
+    ckpt.append(sample_result("N1", 1.5));
+  }
+  SweepCheckpoint other(file.path(), 2);  // different experiment
+  EXPECT_EQ(other.size(), 0u);
+  // And the stale record is really gone, not merely hidden.
+  SweepCheckpoint reloaded(file.path(), 2);
+  EXPECT_EQ(reloaded.size(), 0u);
+}
+
+TEST(Checkpoint, ToleratesTruncatedTrailingRecord) {
+  TempFile file("truncated");
+  std::uintmax_t full_size = 0;
+  {
+    SweepCheckpoint ckpt(file.path(), 7);
+    ckpt.append(sample_result("N1", 1.5));
+    ckpt.append(sample_result("N6", 2.5));
+  }
+  {
+    std::ifstream in(file.path(), std::ios::binary | std::ios::ate);
+    full_size = static_cast<std::uintmax_t>(in.tellg());
+  }
+  // Chop the tail of the last record, as a mid-append kill would.
+  {
+    std::ifstream in(file.path(), std::ios::binary);
+    std::string data((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    data.resize(data.size() - 5);
+    std::ofstream out(file.path(), std::ios::binary | std::ios::trunc);
+    out << data;
+  }
+  SweepCheckpoint reloaded(file.path(), 7);
+  EXPECT_EQ(reloaded.size(), 1u);
+  EXPECT_NE(reloaded.find("N1"), nullptr);
+  EXPECT_EQ(reloaded.find("N6"), nullptr);
+  // Appending after a truncated load keeps working.
+  reloaded.append(sample_result("N6", 2.5));
+  SweepCheckpoint again(file.path(), 7);
+  EXPECT_EQ(again.size(), 2u);
+  (void)full_size;
+}
+
+TEST(Checkpoint, GarbageFileIsReset) {
+  TempFile file("garbage");
+  {
+    std::ofstream out(file.path(), std::ios::binary);
+    out << "this is not a checkpoint";
+  }
+  SweepCheckpoint ckpt(file.path(), 9);
+  EXPECT_EQ(ckpt.size(), 0u);
+  ckpt.append(sample_result("EH1", 0.9));
+  SweepCheckpoint reloaded(file.path(), 9);
+  EXPECT_EQ(reloaded.size(), 1u);
+}
+
+TEST(Checkpoint, UnopenablePathThrowsIoError) {
+  EXPECT_THROW(SweepCheckpoint("/nonexistent-dir/nope/ckpt.bin", 1), IoError);
+}
+
+TEST(Checkpoint, PersistsFailureListsForPartialResults) {
+  // The sweep layer only checkpoints complete results today, but the format
+  // round-trips failure lists so that policy can evolve without a version
+  // bump.
+  TempFile file("partial");
+  SuiteResult partial = sample_result("N3", 1.2);
+  partial.partial = true;
+  partial.failures.push_back({"CG", "config N3 / workload CG: boom"});
+  {
+    SweepCheckpoint ckpt(file.path(), 11);
+    ckpt.append(partial);
+  }
+  SweepCheckpoint reloaded(file.path(), 11);
+  const SuiteResult* r = reloaded.find("N3");
+  ASSERT_NE(r, nullptr);
+  EXPECT_TRUE(r->partial);
+  ASSERT_EQ(r->failures.size(), 1u);
+  EXPECT_EQ(r->failures[0].workload, "CG");
+  EXPECT_EQ(r->failures[0].error, "config N3 / workload CG: boom");
+}
+
+}  // namespace
+}  // namespace hms::sim

@@ -1,0 +1,181 @@
+// FaultInjector (hms/common/fault.hpp): deterministic fault injection.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "hms/common/fault.hpp"
+#include "hms/mem/memory_device.hpp"
+#include "hms/mem/technology.hpp"
+#include "hms/trace/trace_buffer.hpp"
+#include "hms/trace/trace_io.hpp"
+#include "hms/workloads/registry.hpp"
+
+namespace hms {
+namespace {
+
+TEST(Fault, InactiveByDefault) {
+  EXPECT_EQ(FaultInjector::active(), nullptr);
+  // The macro is a no-op without an active injector.
+  HMS_FAULT_POINT("nowhere/nothing");
+}
+
+TEST(Fault, ScopedInstallAndNestedRestore) {
+  EXPECT_EQ(FaultInjector::active(), nullptr);
+  {
+    ScopedFaultInjector outer;
+    EXPECT_EQ(FaultInjector::active(), &*outer);
+    {
+      ScopedFaultInjector inner;
+      EXPECT_EQ(FaultInjector::active(), &*inner);
+    }
+    EXPECT_EQ(FaultInjector::active(), &*outer);
+  }
+  EXPECT_EQ(FaultInjector::active(), nullptr);
+}
+
+TEST(Fault, ArmedSiteFiresWithDefaultSpec) {
+  ScopedFaultInjector injector;
+  injector->arm("unit/site");
+  try {
+    HMS_FAULT_POINT("unit/site");
+    FAIL() << "expected FaultInjectedError";
+  } catch (const FaultInjectedError& e) {
+    EXPECT_STREQ(e.what(), "fault injected at unit/site");
+    EXPECT_FALSE(e.transient());
+  }
+  EXPECT_EQ(injector->hits("unit/site"), 1u);
+  EXPECT_EQ(injector->fires("unit/site"), 1u);
+}
+
+TEST(Fault, CustomMessageAndTransientFlag) {
+  ScopedFaultInjector injector;
+  FaultSpec spec;
+  spec.message = "disk on fire";
+  spec.transient = true;
+  injector->arm("unit/site", spec);
+  try {
+    HMS_FAULT_POINT("unit/site");
+    FAIL() << "expected FaultInjectedError";
+  } catch (const FaultInjectedError& e) {
+    EXPECT_STREQ(e.what(), "disk on fire");
+    EXPECT_TRUE(e.transient());
+  }
+}
+
+TEST(Fault, SkipFirstDelaysFiring) {
+  ScopedFaultInjector injector;
+  FaultSpec spec;
+  spec.skip_first = 2;
+  injector->arm("unit/site", spec);
+  EXPECT_NO_THROW(HMS_FAULT_POINT("unit/site"));
+  EXPECT_NO_THROW(HMS_FAULT_POINT("unit/site"));
+  EXPECT_THROW(HMS_FAULT_POINT("unit/site"), FaultInjectedError);
+  EXPECT_EQ(injector->hits("unit/site"), 3u);
+  EXPECT_EQ(injector->fires("unit/site"), 1u);
+}
+
+TEST(Fault, MaxFiresDisarmsAfterBudget) {
+  ScopedFaultInjector injector;
+  FaultSpec spec;
+  spec.max_fires = 2;
+  injector->arm("unit/site", spec);
+  EXPECT_THROW(HMS_FAULT_POINT("unit/site"), FaultInjectedError);
+  EXPECT_THROW(HMS_FAULT_POINT("unit/site"), FaultInjectedError);
+  EXPECT_NO_THROW(HMS_FAULT_POINT("unit/site"));
+  EXPECT_NO_THROW(HMS_FAULT_POINT("unit/site"));
+  EXPECT_EQ(injector->fires("unit/site"), 2u);
+}
+
+TEST(Fault, DisarmStopsFiringButKeepsCounting) {
+  ScopedFaultInjector injector;
+  injector->arm("unit/site");
+  EXPECT_THROW(HMS_FAULT_POINT("unit/site"), FaultInjectedError);
+  injector->disarm("unit/site");
+  EXPECT_NO_THROW(HMS_FAULT_POINT("unit/site"));
+  EXPECT_EQ(injector->hits("unit/site"), 2u);
+}
+
+TEST(Fault, UnarmedSitesStillCountHits) {
+  ScopedFaultInjector injector;
+  HMS_FAULT_POINT("unit/other");
+  HMS_FAULT_POINT("unit/other");
+  EXPECT_EQ(injector->hits("unit/other"), 2u);
+  EXPECT_EQ(injector->fires("unit/other"), 0u);
+}
+
+TEST(Fault, ProbabilityIsDeterministicPerSeed) {
+  const auto pattern = [](std::uint64_t seed) {
+    ScopedFaultInjector injector(seed);
+    FaultSpec spec;
+    spec.probability = 0.3;
+    injector->arm("unit/site", spec);
+    std::vector<bool> fired;
+    for (int i = 0; i < 200; ++i) {
+      try {
+        HMS_FAULT_POINT("unit/site");
+        fired.push_back(false);
+      } catch (const FaultInjectedError&) {
+        fired.push_back(true);
+      }
+    }
+    return fired;
+  };
+  const auto a = pattern(7);
+  EXPECT_EQ(a, pattern(7));
+  EXPECT_NE(a, pattern(8));
+  // Fire rate should be in the right ballpark for p = 0.3 over 200 trials.
+  const auto fires = std::count(a.begin(), a.end(), true);
+  EXPECT_GT(fires, 30);
+  EXPECT_LT(fires, 90);
+}
+
+TEST(Fault, ResetClearsEverything) {
+  ScopedFaultInjector injector;
+  injector->arm("unit/site");
+  EXPECT_THROW(HMS_FAULT_POINT("unit/site"), FaultInjectedError);
+  injector->reset();
+  EXPECT_NO_THROW(HMS_FAULT_POINT("unit/site"));
+  EXPECT_EQ(injector->hits("unit/site"), 1u);  // recounted after reset
+}
+
+// -- the production fault points ------------------------------------------
+
+TEST(Fault, TraceReadSiteFires) {
+  ScopedFaultInjector injector;
+  injector->arm("trace/read");
+  trace::TraceBuffer buffer;
+  buffer.access(trace::load(0x100, 8));
+  std::stringstream stream;
+  trace::write_trace(stream, buffer);
+  EXPECT_THROW((void)trace::read_trace(stream), FaultInjectedError);
+  injector->disarm("trace/read");
+  EXPECT_EQ(trace::read_trace(stream).size(), 1u);
+}
+
+TEST(Fault, MemoryDeviceWriteSiteFires) {
+  ScopedFaultInjector injector;
+  mem::MemoryDeviceConfig config;
+  config.technology = mem::TechnologyRegistry::table1().get(
+      mem::Technology::DRAM);
+  config.capacity_bytes = 1 << 20;
+  config.line_bytes = 64;
+  mem::MemoryDevice device(config);
+  device.write(0, 64);  // unarmed: counted, not fired
+  injector->arm("mem/device_write");
+  EXPECT_THROW(device.write(64, 64), FaultInjectedError);
+  EXPECT_EQ(injector->hits("mem/device_write"), 2u);
+}
+
+TEST(Fault, WorkloadRunSiteFires) {
+  ScopedFaultInjector injector;
+  injector->arm("workload/run");
+  auto workload = workloads::make_workload(
+      "StreamTriad", workloads::WorkloadParams{1ull << 20, 42, 1});
+  trace::TraceBuffer sink;
+  EXPECT_THROW(workload->run(sink), FaultInjectedError);
+}
+
+}  // namespace
+}  // namespace hms

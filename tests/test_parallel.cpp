@@ -3,8 +3,10 @@
 
 #include <atomic>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
+#include "hms/common/error.hpp"
 #include "hms/sim/parallel.hpp"
 
 namespace hms::sim {
@@ -57,6 +59,177 @@ TEST(Parallel, MoreThreadsThanTasks) {
   for (int i = 0; i < 3; ++i) tasks.emplace_back([&sum] { ++sum; });
   run_parallel(std::move(tasks), 64);
   EXPECT_EQ(sum.load(), 3);
+}
+
+// -- structured API -------------------------------------------------------
+
+TEST(Parallel, FailFastKeepsSuppressedErrorMessages) {
+  std::vector<ParallelTask> tasks;
+  tasks.push_back({"a", [] { throw Error("a failed"); }, false});
+  tasks.push_back({"b", [] {}, false});
+  tasks.push_back({"c", [] { throw Error("c failed"); }, false});
+  ParallelOptions options;
+  options.threads = 1;  // deterministic "first" error
+  options.policy = ErrorPolicy::fail_fast;
+  try {
+    (void)run_parallel(std::move(tasks), options);
+    FAIL() << "expected SimulationError";
+  } catch (const SimulationError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("a failed"), std::string::npos) << what;
+    EXPECT_NE(what.find("suppressed 1 task(s) failed"), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("c: c failed"), std::string::npos) << what;
+  }
+}
+
+TEST(Parallel, FailFastSingleFailureRethrowsOriginalType) {
+  std::vector<ParallelTask> tasks;
+  tasks.push_back({"only", [] { throw std::logic_error("just me"); }, false});
+  ParallelOptions options;
+  options.threads = 1;
+  EXPECT_THROW((void)run_parallel(std::move(tasks), options),
+               std::logic_error);
+}
+
+TEST(Parallel, CollectAllEnumeratesEveryFailure) {
+  std::vector<ParallelTask> tasks;
+  for (int i = 0; i < 4; ++i) {
+    const std::string label = "t" + std::to_string(i);
+    tasks.push_back({label, [label] { throw Error(label + " boom"); }, false});
+  }
+  ParallelOptions options;
+  options.threads = 2;
+  options.policy = ErrorPolicy::collect_all;
+  try {
+    (void)run_parallel(std::move(tasks), options);
+    FAIL() << "expected SimulationError";
+  } catch (const SimulationError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("4 task(s) failed"), std::string::npos) << what;
+    for (int i = 0; i < 4; ++i) {
+      EXPECT_NE(what.find("t" + std::to_string(i) + " boom"),
+                std::string::npos)
+          << what;
+    }
+  }
+}
+
+TEST(Parallel, DegradeNeverThrowsAndReportsOutcomes) {
+  std::vector<ParallelTask> tasks;
+  tasks.push_back({"good", [] {}, false});
+  tasks.push_back({"bad", [] { throw Error("nope"); }, false});
+  ParallelOptions options;
+  options.threads = 2;
+  options.policy = ErrorPolicy::degrade;
+  const ParallelReport report = run_parallel(std::move(tasks), options);
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.failures, 1u);
+  ASSERT_EQ(report.tasks.size(), 2u);
+  EXPECT_EQ(report.tasks[0].outcome, TaskOutcome::ok);
+  EXPECT_TRUE(report.tasks[0].error.empty());
+  EXPECT_EQ(report.tasks[1].outcome, TaskOutcome::failed);
+  EXPECT_EQ(report.tasks[1].error, "nope");
+  EXPECT_NE(report.summary().find("bad: nope"), std::string::npos);
+}
+
+TEST(Parallel, TransientTasksRetryDeterministically) {
+  std::atomic<int> attempts{0};
+  std::vector<ParallelTask> tasks;
+  tasks.push_back({"flaky",
+                   [&attempts] {
+                     if (++attempts < 3) throw Error("transient glitch");
+                   },
+                   true});
+  ParallelOptions options;
+  options.threads = 1;
+  options.policy = ErrorPolicy::degrade;
+  options.max_retries = 2;
+  const ParallelReport report = run_parallel(std::move(tasks), options);
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.tasks[0].outcome, TaskOutcome::ok);
+  EXPECT_EQ(report.tasks[0].attempts, 3u);
+  EXPECT_EQ(attempts.load(), 3);
+}
+
+TEST(Parallel, RetryBudgetIsBounded) {
+  std::atomic<int> attempts{0};
+  std::vector<ParallelTask> tasks;
+  tasks.push_back({"hopeless",
+                   [&attempts] {
+                     ++attempts;
+                     throw Error("always");
+                   },
+                   true});
+  ParallelOptions options;
+  options.threads = 1;
+  options.policy = ErrorPolicy::degrade;
+  options.max_retries = 2;
+  const ParallelReport report = run_parallel(std::move(tasks), options);
+  EXPECT_EQ(report.failures, 1u);
+  EXPECT_EQ(report.tasks[0].attempts, 3u);  // 1 try + 2 retries
+  EXPECT_EQ(attempts.load(), 3);
+}
+
+TEST(Parallel, NonTransientTasksNeverRetry) {
+  std::atomic<int> attempts{0};
+  std::vector<ParallelTask> tasks;
+  tasks.push_back({"strict",
+                   [&attempts] {
+                     ++attempts;
+                     throw Error("once");
+                   },
+                   false});
+  ParallelOptions options;
+  options.threads = 1;
+  options.policy = ErrorPolicy::degrade;
+  options.max_retries = 5;
+  const ParallelReport report = run_parallel(std::move(tasks), options);
+  EXPECT_EQ(report.tasks[0].attempts, 1u);
+  EXPECT_EQ(attempts.load(), 1);
+}
+
+TEST(Parallel, OnCompleteSeesEveryTaskSerialized) {
+  constexpr std::size_t kTasks = 50;
+  std::vector<ParallelTask> tasks;
+  for (std::size_t i = 0; i < kTasks; ++i) {
+    tasks.push_back({"t" + std::to_string(i),
+                     [i] {
+                       if (i % 7 == 0) throw Error("mod7");
+                     },
+                     false});
+  }
+  std::vector<bool> seen(kTasks, false);
+  std::size_t failed = 0;
+  ParallelOptions options;
+  options.threads = 4;
+  options.policy = ErrorPolicy::degrade;
+  // No locking here: the pool serializes on_complete.
+  options.on_complete = [&](std::size_t index, const TaskReport& report) {
+    seen[index] = true;
+    if (report.outcome == TaskOutcome::failed) ++failed;
+  };
+  const ParallelReport report = run_parallel(std::move(tasks), options);
+  for (std::size_t i = 0; i < kTasks; ++i) EXPECT_TRUE(seen[i]) << i;
+  EXPECT_EQ(failed, report.failures);
+  EXPECT_EQ(failed, 8u);  // i = 0, 7, 14, ..., 49
+}
+
+TEST(Parallel, OnCompleteExceptionAbortsRun) {
+  std::vector<ParallelTask> tasks;
+  tasks.push_back({"fine", [] {}, false});
+  ParallelOptions options;
+  options.threads = 1;
+  options.policy = ErrorPolicy::degrade;
+  options.on_complete = [](std::size_t, const TaskReport&) {
+    throw Error("callback bug");
+  };
+  try {
+    (void)run_parallel(std::move(tasks), options);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("callback"), std::string::npos);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,211 @@
+// Resilient sweeps end-to-end: fault-injected cells degrade into
+// SuiteResult::failures, transient faults retry, and checkpointed sweeps
+// resume without re-simulating completed configs.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "hms/common/fault.hpp"
+#include "hms/sim/experiment.hpp"
+
+namespace hms::sim {
+namespace {
+
+using mem::Technology;
+
+ExperimentConfig tiny_config() {
+  ExperimentConfig cfg;
+  cfg.scale_divisor = 512;
+  cfg.footprint_divisor = 512;
+  cfg.seed = 42;
+  cfg.iterations = 1;
+  cfg.suite = {"StreamTriad", "CG", "Hashing"};
+  cfg.threads = 1;  // deterministic task order for targeted injection
+  return cfg;
+}
+
+class TempFile {
+ public:
+  explicit TempFile(const std::string& tag)
+      : path_(::testing::TempDir() + "hms_resilience_" + tag + ".bin") {
+    std::remove(path_.c_str());
+  }
+  ~TempFile() { std::remove(path_.c_str()); }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+const std::vector<designs::NConfig> two_configs() {
+  return {designs::n_config("N1"), designs::n_config("N6")};
+}
+
+TEST(Resilience, DegradeRecordsFailedCellAndAveragesSurvivors) {
+  // Reference: the same sweep with nothing armed.
+  ExperimentRunner clean(tiny_config());
+  const auto expected = clean.nmm_sweep(Technology::PCM, two_configs());
+
+  ScopedFaultInjector injector;
+  // Warm-up replays the base back once per workload (3 hits); the 4th
+  // replay_back is the first grid cell: config N1 / workload StreamTriad.
+  FaultSpec spec;
+  spec.skip_first = 3;
+  spec.max_fires = 1;
+  injector->arm("sim/replay_back", spec);
+
+  ExperimentRunner runner(tiny_config());
+  const auto results = runner.nmm_sweep(Technology::PCM, two_configs());
+  ASSERT_EQ(results.size(), 2u);
+
+  const SuiteResult& hit = results[0];
+  EXPECT_TRUE(hit.partial);
+  ASSERT_EQ(hit.failures.size(), 1u);
+  EXPECT_EQ(hit.failures[0].workload, "StreamTriad");
+  EXPECT_EQ(hit.failures[0].error,
+            "config N1 / workload StreamTriad: replay_back: "
+            "fault injected at sim/replay_back");
+  ASSERT_EQ(hit.per_workload.size(), 2u);
+
+  // The suite means cover exactly the two survivors (CG, Hashing).
+  double runtime = 0, edp = 0;
+  for (const auto& wr : expected[0].per_workload) {
+    if (wr.report.workload == "StreamTriad") continue;
+    runtime += wr.normalized.runtime;
+    edp += wr.normalized.edp;
+  }
+  EXPECT_DOUBLE_EQ(hit.runtime, runtime / 2.0);
+  EXPECT_DOUBLE_EQ(hit.edp, edp / 2.0);
+
+  // The untouched config is bit-identical to the clean sweep.
+  const SuiteResult& untouched = results[1];
+  EXPECT_FALSE(untouched.partial);
+  EXPECT_TRUE(untouched.failures.empty());
+  EXPECT_EQ(untouched.per_workload.size(), 3u);
+  EXPECT_DOUBLE_EQ(untouched.runtime, expected[1].runtime);
+  EXPECT_DOUBLE_EQ(untouched.edp, expected[1].edp);
+}
+
+TEST(Resilience, BoundedRetryRecoversTransientFault) {
+  ExperimentRunner clean(tiny_config());
+  const auto expected = clean.nmm_sweep(Technology::PCM, two_configs());
+
+  ScopedFaultInjector injector;
+  FaultSpec spec;
+  spec.skip_first = 3;
+  spec.max_fires = 1;  // fires once, so the immediate retry succeeds
+  spec.transient = true;
+  injector->arm("sim/replay_back", spec);
+
+  auto cfg = tiny_config();
+  cfg.max_retries = 1;
+  ExperimentRunner runner(cfg);
+  const auto results = runner.nmm_sweep(Technology::PCM, two_configs());
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_FALSE(results[0].partial);
+  EXPECT_TRUE(results[0].failures.empty());
+  EXPECT_EQ(results[0].per_workload.size(), 3u);
+  EXPECT_DOUBLE_EQ(results[0].runtime, expected[0].runtime);
+  EXPECT_DOUBLE_EQ(results[0].edp, expected[0].edp);
+  EXPECT_EQ(injector->fires("sim/replay_back"), 1u);
+}
+
+TEST(Resilience, WarmupFailureExcludesWorkloadFromEveryConfig) {
+  ScopedFaultInjector injector;
+  FaultSpec spec;
+  spec.max_fires = 1;  // first capture_front = warm-up of StreamTriad
+  injector->arm("sim/capture_front", spec);
+
+  ExperimentRunner runner(tiny_config());
+  const auto results = runner.nmm_sweep(Technology::PCM, two_configs());
+  ASSERT_EQ(results.size(), 2u);
+  for (const auto& r : results) {
+    EXPECT_TRUE(r.partial) << r.config_name;
+    ASSERT_EQ(r.failures.size(), 1u) << r.config_name;
+    EXPECT_EQ(r.failures[0].workload, "StreamTriad");
+    EXPECT_NE(r.failures[0].error.find("warm-up"), std::string::npos);
+    EXPECT_EQ(r.per_workload.size(), 2u);
+  }
+}
+
+TEST(Resilience, SweepFailsLoudlyWhenEveryCellDies) {
+  ScopedFaultInjector injector;
+  injector->arm("sim/replay_back");  // every replay, warm-up included
+  ExperimentRunner runner(tiny_config());
+  EXPECT_THROW(
+      (void)runner.nmm_sweep(Technology::PCM, {designs::n_config("N1")}),
+      SimulationError);
+}
+
+TEST(Resilience, CheckpointResumeSkipsCompletedConfigs) {
+  TempFile file("resume");
+  auto cfg = tiny_config();
+  cfg.checkpoint_path = file.path();
+
+  // "Killed" run: only N1 completed before the interruption.
+  ExperimentRunner first(cfg);
+  const auto partial_run =
+      first.nmm_sweep(Technology::PCM, {designs::n_config("N1")});
+  EXPECT_EQ(first.last_checkpoint_skips(), 0u);
+  ASSERT_EQ(partial_run.size(), 1u);
+
+  // Rerun with the same ExperimentConfig asks for the full sweep: N1 must
+  // come from the checkpoint, only N6 is simulated.
+  ExperimentRunner second(cfg);
+  const auto resumed = second.nmm_sweep(Technology::PCM, two_configs());
+  EXPECT_EQ(second.last_checkpoint_skips(), 1u);
+  ASSERT_EQ(resumed.size(), 2u);
+  EXPECT_DOUBLE_EQ(resumed[0].runtime, partial_run[0].runtime);
+  EXPECT_DOUBLE_EQ(resumed[0].edp, partial_run[0].edp);
+
+  // A third run finds both configs checkpointed and simulates nothing; the
+  // restored values are bit-identical.
+  ExperimentRunner third(cfg);
+  const auto restored = third.nmm_sweep(Technology::PCM, two_configs());
+  EXPECT_EQ(third.last_checkpoint_skips(), 2u);
+  for (std::size_t i = 0; i < restored.size(); ++i) {
+    EXPECT_EQ(restored[i].config_name, resumed[i].config_name);
+    EXPECT_DOUBLE_EQ(restored[i].runtime, resumed[i].runtime);
+    EXPECT_DOUBLE_EQ(restored[i].dynamic, resumed[i].dynamic);
+    EXPECT_DOUBLE_EQ(restored[i].leakage, resumed[i].leakage);
+    EXPECT_DOUBLE_EQ(restored[i].total_energy, resumed[i].total_energy);
+    EXPECT_DOUBLE_EQ(restored[i].edp, resumed[i].edp);
+    EXPECT_EQ(restored[i].per_workload.size(), 3u);
+  }
+
+  // A different experiment (new seed) must not reuse the stale checkpoint.
+  auto other = cfg;
+  other.seed = 43;
+  ExperimentRunner fourth(other);
+  (void)fourth.nmm_sweep(Technology::PCM, {designs::n_config("N1")});
+  EXPECT_EQ(fourth.last_checkpoint_skips(), 0u);
+}
+
+TEST(Resilience, PartialResultsAreRecomputedOnResume) {
+  TempFile file("partial");
+  auto cfg = tiny_config();
+  cfg.checkpoint_path = file.path();
+
+  {
+    ScopedFaultInjector injector;
+    FaultSpec spec;
+    spec.skip_first = 3;
+    spec.max_fires = 1;
+    injector->arm("sim/replay_back", spec);
+    ExperimentRunner runner(cfg);
+    const auto results = runner.nmm_sweep(Technology::PCM, two_configs());
+    EXPECT_TRUE(results[0].partial);   // N1 degraded...
+    EXPECT_FALSE(results[1].partial);  // ...N6 checkpointed complete
+  }
+
+  // Resume with the fault gone: N6 is skipped, N1 is re-simulated whole.
+  ExperimentRunner runner(cfg);
+  const auto results = runner.nmm_sweep(Technology::PCM, two_configs());
+  EXPECT_EQ(runner.last_checkpoint_skips(), 1u);
+  EXPECT_FALSE(results[0].partial);
+  EXPECT_EQ(results[0].per_workload.size(), 3u);
+}
+
+}  // namespace
+}  // namespace hms::sim

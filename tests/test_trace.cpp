@@ -123,6 +123,58 @@ TEST(TraceIo, RejectsTruncated) {
   EXPECT_THROW((void)read_trace(cut), TraceError);
 }
 
+TEST(TraceIo, RejectsTruncatedHeader) {
+  // Valid magic + version but the count field is cut short.
+  std::string data = "HMST";
+  data.append({1, 0, 0, 0});  // version 1, little-endian
+  data.append(3, '\0');       // 3 of the 8 count bytes
+  std::stringstream stream(data);
+  EXPECT_THROW((void)read_trace(stream), TraceError);
+}
+
+TEST(TraceIo, RejectsImpossibleHeaderCount) {
+  // A corrupt count must throw TraceError up front, not drive a multi-GB
+  // reserve: every record needs >= 3 bytes, and this stream has 6.
+  std::string data = "HMST";
+  data.append({1, 0, 0, 0});
+  const std::uint64_t huge = 1ull << 61;
+  for (int i = 0; i < 8; ++i) {
+    data.push_back(static_cast<char>((huge >> (8 * i)) & 0xff));
+  }
+  data.append(6, '\x01');
+  std::stringstream stream(data);
+  try {
+    (void)read_trace(stream);
+    FAIL() << "expected TraceError";
+  } catch (const TraceError& e) {
+    EXPECT_NE(std::string(e.what()).find("impossible"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(TraceIo, RejectsOverstatedCountOnValidPayload) {
+  TraceBuffer buffer;
+  buffer.access(load(0x100, 8));
+  buffer.access(store(0x140, 8));
+  std::stringstream stream;
+  write_trace(stream, buffer);
+  std::string data = stream.str();
+  // Patch the count field (bytes 8-15) from 2 to 1000: the payload cannot
+  // possibly hold that many records.
+  data[8] = static_cast<char>(0xe8);
+  data[9] = static_cast<char>(0x03);
+  std::stringstream patched(data);
+  EXPECT_THROW((void)read_trace(patched), TraceError);
+}
+
+TEST(TraceIo, TraceErrorIsAnIoError) {
+  // The taxonomy nests trace corruption under I/O failures so callers can
+  // catch either level.
+  std::stringstream stream;
+  stream << "NOPE";
+  EXPECT_THROW((void)read_trace(stream), IoError);
+}
+
 TEST(Filters, Sampling) {
   CountingSink sink;
   SamplingFilter filter(sink, 10);
