@@ -1,106 +1,356 @@
-// M1: google-benchmark microbenchmarks of the simulation substrate —
-// cache lookup throughput, full-hierarchy throughput, workload generation,
-// and residual-trace replay.
-#include <benchmark/benchmark.h>
+// Simulator-throughput harness with machine-readable output.
+//
+// Measures accesses/sec of the hot simulation paths — single-cache access
+// per replacement policy and sector mode, full-hierarchy access per level
+// count, and residual-stream replay — and writes BENCH_micro_sim.json so
+// the perf trajectory of the engine is tracked run over run.
+//
+// Each config replays a deterministic access stream and reports the best
+// repetition (least interference). A per-config stats checksum folds every
+// simulated counter into one value: engine refactors must leave every
+// checksum bit-identical while moving accesses/sec.
+//
+// Knobs:
+//   HMS_BENCH_ACCESSES  accesses per timed repetition (default 4194304)
+//   HMS_BENCH_REPS      repetitions per config; best is kept (default 3)
+//   HMS_BENCH_OUT       JSON output path (default BENCH_micro_sim.json)
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
 
-#include "hms/common/random.hpp"
+#include "bench_common.hpp"
 #include "hms/cache/hierarchy.hpp"
+#include "hms/cache/set_assoc_cache.hpp"
+#include "hms/common/random.hpp"
 #include "hms/designs/design.hpp"
+#include "hms/mem/memory_device.hpp"
+#include "hms/mem/technology.hpp"
 #include "hms/sim/simulator.hpp"
 #include "hms/trace/trace_buffer.hpp"
-#include "hms/workloads/registry.hpp"
 
 namespace {
 
 using namespace hms;
 
-void BM_CacheAccess(benchmark::State& state) {
-  cache::CacheConfig cfg;
-  const auto ways = static_cast<std::uint32_t>(state.range(0));
-  cfg.line_bytes = 64;
-  cfg.associativity = ways;
-  // 256 sets regardless of associativity (sets must be a power of two).
-  cfg.capacity_bytes = 64ull * ways * 256;
-  cache::SetAssocCache cache(cfg);
-  Xoshiro256 rng(42);
-  std::vector<Address> addresses(1 << 16);
-  for (auto& a : addresses) a = rng.below(1ull << 22) & ~7ull;
-  std::size_t i = 0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        cache.access(addresses[i & 0xffff], 8, AccessType::Load));
-    ++i;
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
-}
-BENCHMARK(BM_CacheAccess)->Arg(1)->Arg(8)->Arg(20);
+struct BenchResult {
+  std::string name;
+  std::string policy;
+  int levels = 0;            ///< simulated cache levels (0 = single cache)
+  std::uint64_t sector_bytes = 0;
+  bool batched = false;      ///< driven through the batch/replay path
+  std::uint64_t accesses = 0;
+  double best_seconds = 0.0;
+  double accesses_per_sec = 0.0;
+  std::uint64_t stats_checksum = 0;
+};
 
-void BM_HierarchyAccess(benchmark::State& state) {
-  designs::DesignFactory factory(64);
-  auto h = factory.base(16ull << 20);
-  Xoshiro256 rng(42);
-  std::vector<trace::MemoryAccess> accesses(1 << 16);
-  for (auto& a : accesses) {
-    a = trace::MemoryAccess{rng.below(16ull << 20) & ~7ull, 8,
-                            rng.chance(0.3) ? AccessType::Store
-                                            : AccessType::Load,
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  return h;
+}
+
+std::uint64_t checksum_stats(const cache::CacheStats& s) {
+  std::uint64_t h = 0;
+  h = mix(h, s.load_hits);
+  h = mix(h, s.load_misses);
+  h = mix(h, s.store_hits);
+  h = mix(h, s.store_misses);
+  h = mix(h, s.evictions);
+  h = mix(h, s.writebacks);
+  h = mix(h, s.prefetch_fills);
+  h = mix(h, s.prefetch_useful);
+  return h;
+}
+
+std::uint64_t checksum_profile(const cache::HierarchyProfile& p) {
+  std::uint64_t h = mix(0, p.references);
+  for (const auto& level : p.levels) {
+    h = mix(h, level.loads);
+    h = mix(h, level.stores);
+    h = mix(h, level.load_bytes);
+    h = mix(h, level.store_bytes);
+    if (level.is_cache) h = mix(h, checksum_stats(level.cache_stats));
+  }
+  return h;
+}
+
+/// Deterministic load/store ring the timed loops cycle through.
+std::vector<trace::MemoryAccess> make_stream(std::uint64_t seed,
+                                             Address space,
+                                             double store_fraction) {
+  Xoshiro256 rng(seed);
+  std::vector<trace::MemoryAccess> out(std::size_t{1} << 16);
+  for (auto& a : out) {
+    a = trace::MemoryAccess{rng.below(space) & ~7ull, 8,
+                            rng.chance(store_fraction) ? AccessType::Store
+                                                       : AccessType::Load,
                             0};
   }
-  std::size_t i = 0;
-  for (auto _ : state) {
-    h->access(accesses[i & 0xffff]);
-    ++i;
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  return out;
 }
-BENCHMARK(BM_HierarchyAccess);
 
-void BM_WorkloadGeneration(benchmark::State& state) {
-  for (auto _ : state) {
-    auto w = workloads::make_workload(
-        "StreamTriad", workloads::WorkloadParams{4ull << 20, 42, 1});
-    trace::CountingSink sink;
-    w->run(sink);
-    benchmark::DoNotOptimize(sink.total());
-    state.SetItemsProcessed(
-        state.items_processed() + static_cast<std::int64_t>(sink.total()));
+/// Times `run(accesses)` over `reps` repetitions; keeps the fastest.
+template <typename Run>
+BenchResult time_config(BenchResult base, std::uint64_t accesses, int reps,
+                        const Run& run) {
+  base.accesses = accesses;
+  base.best_seconds = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    const std::uint64_t checksum = run(accesses);
+    const auto stop = std::chrono::steady_clock::now();
+    const double seconds =
+        std::chrono::duration<double>(stop - start).count();
+    if (base.best_seconds == 0.0 || seconds < base.best_seconds) {
+      base.best_seconds = seconds;
+    }
+    if (r == 0) {
+      base.stats_checksum = checksum;
+    } else if (base.stats_checksum != checksum) {
+      std::cerr << "ERROR: " << base.name
+                << ": stats checksum varies across repetitions\n";
+      std::exit(1);
+    }
   }
+  base.accesses_per_sec =
+      static_cast<double>(accesses) / base.best_seconds;
+  return base;
 }
-BENCHMARK(BM_WorkloadGeneration)->Unit(benchmark::kMillisecond);
 
-void BM_FrontCaptureAndReplay(benchmark::State& state) {
+cache::CacheConfig cache_config(cache::PolicyKind policy,
+                                std::uint64_t sector_bytes) {
+  cache::CacheConfig cfg;
+  cfg.name = "bench";
+  cfg.line_bytes = sector_bytes != 0 ? 1024 : 64;
+  cfg.associativity = 8;
+  cfg.capacity_bytes = cfg.line_bytes * 8 * 256;  // 256 sets
+  cfg.policy = policy;
+  cfg.sector_bytes = sector_bytes;
+  return cfg;
+}
+
+/// Single-cache throughput: policy updates and tag probes dominate.
+BenchResult bench_cache(cache::PolicyKind policy, std::uint64_t sector_bytes,
+                        std::uint64_t accesses, int reps) {
+  const auto cfg = cache_config(policy, sector_bytes);
+  // 4x capacity: a mixed hit/miss regime exercising victim selection.
+  const auto stream = make_stream(42, cfg.capacity_bytes * 4, 0.3);
+  BenchResult r;
+  r.name = std::string("cache_") + std::string(cache::to_string(policy)) +
+           (sector_bytes != 0 ? "_sector" + std::to_string(sector_bytes)
+                              : "");
+  r.policy = cache::to_string(policy);
+  r.sector_bytes = sector_bytes;
+  return time_config(std::move(r), accesses, reps, [&](std::uint64_t n) {
+    cache::SetAssocCache c(cfg);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const auto& a = stream[i & 0xffff];
+      (void)c.access(a.address, a.size, a.type);
+    }
+    return checksum_stats(c.stats());
+  });
+}
+
+std::vector<cache::CacheLevelSpec> hierarchy_levels(int levels,
+                                                    cache::PolicyKind policy) {
+  using namespace hms::literals;
+  std::vector<cache::CacheLevelSpec> specs;
+  const std::uint64_t capacities[] = {32_KiB, 256_KiB, 2_MiB};
+  const std::uint32_t ways[] = {8, 8, 16};
+  const char* names[] = {"L1", "L2", "L3"};
+  for (int i = 0; i < levels; ++i) {
+    cache::CacheLevelSpec spec;
+    spec.cache.name = names[i];
+    spec.cache.capacity_bytes = capacities[i];
+    spec.cache.line_bytes = 64;
+    spec.cache.associativity = ways[i];
+    spec.cache.policy = policy;
+    spec.tech = mem::sram_level(i + 1).as_params();
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+std::unique_ptr<cache::MemoryHierarchy> make_hierarchy(
+    int levels, cache::PolicyKind policy) {
+  using namespace hms::literals;
+  mem::MemoryDeviceConfig dev;
+  dev.name = "DRAM";
+  dev.technology =
+      mem::TechnologyRegistry::table1().get(mem::Technology::DRAM);
+  dev.capacity_bytes = 64_MiB;
+  dev.line_bytes = 256;
+  return std::make_unique<cache::MemoryHierarchy>(
+      hierarchy_levels(levels, policy),
+      std::make_unique<cache::SingleMemoryBackend>(dev));
+}
+
+/// Full-hierarchy throughput via the per-access AccessSink path.
+/// `footprint` picks the regime: larger than the last level = miss-heavy
+/// (host-memory-latency bound), fitting the last level = locality regime
+/// (kernel-compute bound, the representative case for the paper's
+/// workloads).
+BenchResult bench_hierarchy(int levels, cache::PolicyKind policy,
+                            std::uint64_t footprint, const char* suffix,
+                            std::uint64_t accesses, int reps) {
+  const auto stream = make_stream(7, footprint, 0.3);
+  BenchResult r;
+  r.name = "hier_" + std::string(cache::to_string(policy)) + "_l" +
+           std::to_string(levels) + suffix;
+  r.policy = cache::to_string(policy);
+  r.levels = levels;
+  return time_config(std::move(r), accesses, reps, [&](std::uint64_t n) {
+    auto h = make_hierarchy(levels, policy);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      h->access(stream[i & 0xffff]);
+    }
+    return checksum_profile(h->profile());
+  });
+}
+
+/// Full-hierarchy throughput via TraceBuffer::replay (the sweep fast path).
+BenchResult bench_replay(int levels, cache::PolicyKind policy,
+                         std::uint64_t footprint, const char* suffix,
+                         std::uint64_t accesses, int reps) {
+  trace::TraceBuffer buffer(make_stream(7, footprint, 0.3));
+  BenchResult r;
+  r.name = "replay_" + std::string(cache::to_string(policy)) + "_l" +
+           std::to_string(levels) + suffix;
+  r.policy = cache::to_string(policy);
+  r.levels = levels;
+  r.batched = true;
+  return time_config(std::move(r), accesses, reps, [&](std::uint64_t n) {
+    auto h = make_hierarchy(levels, policy);
+    const std::uint64_t rounds = n / buffer.size();
+    for (std::uint64_t i = 0; i < rounds; ++i) buffer.replay(*h);
+    return checksum_profile(h->profile());
+  });
+}
+
+/// End-to-end sweep cell: residual capture replayed into an NMM back.
+BenchResult bench_replay_back(std::uint64_t accesses, int reps) {
   designs::DesignFactory factory(256);
   const auto capture = sim::capture_front(
       "CG", workloads::WorkloadParams{2ull << 20, 42, 1}, factory);
-  for (auto _ : state) {
-    auto back = factory.nvm_main_memory_back(
-        designs::n_config("N6"), mem::Technology::PCM,
-        capture.footprint_bytes);
-    benchmark::DoNotOptimize(sim::replay_back(capture, *back));
-    state.SetItemsProcessed(state.items_processed() +
-                            static_cast<std::int64_t>(
-                                capture.residual.size()));
-  }
+  BenchResult r;
+  r.name = "replay_back_N6_PCM";
+  r.policy = "LRU";
+  r.levels = 1;
+  r.batched = true;
+  const std::uint64_t per_round = capture.residual.size();
+  const std::uint64_t rounds =
+      std::max<std::uint64_t>(1, accesses / std::max<std::uint64_t>(
+                                                per_round, 1));
+  return time_config(std::move(r), rounds * per_round, reps,
+                     [&](std::uint64_t) {
+                       std::uint64_t checksum = 0;
+                       for (std::uint64_t i = 0; i < rounds; ++i) {
+                         auto back = factory.nvm_main_memory_back(
+                             designs::n_config("N6"), mem::Technology::PCM,
+                             capture.footprint_bytes);
+                         checksum =
+                             mix(checksum, checksum_profile(
+                                               sim::replay_back(capture,
+                                                                *back)));
+                       }
+                       return checksum;
+                     });
 }
-BENCHMARK(BM_FrontCaptureAndReplay)->Unit(benchmark::kMillisecond);
 
-void BM_TraceReplayOverhead(benchmark::State& state) {
-  trace::TraceBuffer buffer;
-  Xoshiro256 rng(7);
-  for (int i = 0; i < (1 << 18); ++i) {
-    buffer.access(trace::load(rng.below(1ull << 30) & ~63ull, 64));
+void write_json(const std::string& path, std::uint64_t accesses, int reps,
+                bool optimized, const std::vector<BenchResult>& results) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "ERROR: cannot write " << path << "\n";
+    std::exit(1);
   }
-  trace::CountingSink sink;
-  for (auto _ : state) {
-    buffer.replay(sink);
-    benchmark::DoNotOptimize(sink.total());
-    benchmark::ClobberMemory();
+  out << "{\n"
+      << "  \"bench\": \"micro_sim\",\n"
+      << "  \"schema_version\": 1,\n"
+      << "  \"optimized\": " << (optimized ? "true" : "false") << ",\n"
+      << "  \"accesses_per_rep\": " << accesses << ",\n"
+      << "  \"reps\": " << reps << ",\n"
+      << "  \"results\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    out << "    {\"name\": \"" << r.name << "\", \"policy\": \"" << r.policy
+        << "\", \"levels\": " << r.levels
+        << ", \"sector_bytes\": " << r.sector_bytes
+        << ", \"batched\": " << (r.batched ? "true" : "false")
+        << ", \"accesses\": " << r.accesses << ", \"best_seconds\": "
+        << std::setprecision(6) << r.best_seconds
+        << ", \"accesses_per_sec\": " << std::setprecision(8)
+        << r.accesses_per_sec << ", \"stats_checksum\": \""
+        << std::hex << r.stats_checksum << std::dec << "\"}"
+        << (i + 1 < results.size() ? "," : "") << "\n";
   }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(buffer.size()));
+  out << "  ]\n}\n";
 }
-BENCHMARK(BM_TraceReplayOverhead)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main() {
+  const std::uint64_t accesses =
+      hms::bench::env_u64("HMS_BENCH_ACCESSES", 1ull << 22);
+  const int reps =
+      static_cast<int>(hms::bench::env_u64("HMS_BENCH_REPS", 3));
+  const std::string out_path =
+      hms::bench::env_str("HMS_BENCH_OUT", "BENCH_micro_sim.json");
+#ifdef NDEBUG
+  const bool optimized = true;
+#else
+  const bool optimized = false;
+  std::cerr << "*** WARNING: bench_micro_sim built without optimization "
+               "(NDEBUG unset) — throughput numbers are meaningless. "
+               "Configure with -DCMAKE_BUILD_TYPE=Release. ***\n";
+#endif
+
+  std::cout << "== micro_sim throughput ==\n"
+            << "accesses/rep " << accesses << ", reps " << reps << "\n\n";
+
+  std::vector<BenchResult> results;
+  for (auto policy :
+       {cache::PolicyKind::LRU, cache::PolicyKind::TreePLRU,
+        cache::PolicyKind::FIFO, cache::PolicyKind::Random,
+        cache::PolicyKind::SRRIP}) {
+    results.push_back(bench_cache(policy, 0, accesses, reps));
+  }
+  results.push_back(bench_cache(cache::PolicyKind::LRU, 64, accesses, reps));
+  {
+    using namespace hms::literals;
+    // Miss-heavy regime: footprint 4x the last-level capacity.
+    for (int levels : {1, 2, 3}) {
+      results.push_back(bench_hierarchy(levels, cache::PolicyKind::LRU,
+                                        8_MiB, "", accesses, reps));
+    }
+    results.push_back(bench_replay(3, cache::PolicyKind::LRU, 8_MiB, "",
+                                   accesses, reps));
+    // Locality regime: footprint fits the simulated L3.
+    results.push_back(bench_hierarchy(3, cache::PolicyKind::LRU, 1536_KiB,
+                                      "_hot", accesses, reps));
+    results.push_back(bench_replay(3, cache::PolicyKind::LRU, 1536_KiB,
+                                   "_hot", accesses, reps));
+  }
+  results.push_back(bench_replay_back(accesses, reps));
+
+  std::cout << std::left << std::setw(24) << "config" << std::right
+            << std::setw(14) << "Maccesses/s" << std::setw(12) << "seconds"
+            << std::setw(20) << "stats checksum" << "\n";
+  for (const auto& r : results) {
+    std::cout << std::left << std::setw(24) << r.name << std::right
+              << std::setw(14) << std::fixed << std::setprecision(2)
+              << r.accesses_per_sec / 1e6 << std::setw(12)
+              << std::setprecision(4) << r.best_seconds << std::setw(20)
+              << std::hex << r.stats_checksum << std::dec << "\n";
+    std::cout.unsetf(std::ios::fixed);
+  }
+
+  write_json(out_path, accesses, reps, optimized, results);
+  std::cout << "\n(JSON written to " << out_path << ")\n";
+  return 0;
+}

@@ -4,6 +4,7 @@
 
 #include "hms/common/bitops.hpp"
 #include "hms/common/error.hpp"
+#include "hms/common/fault.hpp"
 
 namespace hms::cache {
 
@@ -48,6 +49,17 @@ MemoryHierarchy::MemoryHierarchy(std::vector<CacheLevelSpec> levels,
                  "MemoryHierarchy: line size must be non-decreasing "
                  "downstream");
   }
+  // ~512 KiB approximates a host private-cache budget: smaller tag stores
+  // stay resident and gain nothing from explicit prefetch hints.
+  constexpr std::size_t kPrefetchMetadataFloor = 512u << 10;
+  for (const auto& level : levels_) {
+    if (level.cache.metadata_bytes() >= kPrefetchMetadataFloor) {
+      prefetch_worthy_.push_back(&level.cache);
+    }
+  }
+  if (auto* single = dynamic_cast<SingleMemoryBackend*>(backend_.get())) {
+    single_device_ = &single->device();
+  }
 }
 
 const SetAssocCache& MemoryHierarchy::level(std::size_t i) const {
@@ -55,7 +67,31 @@ const SetAssocCache& MemoryHierarchy::level(std::size_t i) const {
   return levels_[i].cache;
 }
 
-void MemoryHierarchy::access(const trace::MemoryAccess& a) {
+void MemoryHierarchy::access(const trace::MemoryAccess& a) { access_one(a); }
+
+void MemoryHierarchy::access_batch(std::span<const trace::MemoryAccess> batch) {
+  HMS_FAULT_POINT("cache/access_batch");
+  // Knowing the stream ahead of time is what the batch interface buys:
+  // pull oversized levels' set metadata for the access kLookahead slots
+  // out into host cache before the demand probe reaches it. Levels whose
+  // metadata fits the host's private caches are skipped — for them the
+  // hint is pure overhead (prefetch_worthy_, fixed at construction).
+  constexpr std::size_t kLookahead = 8;
+  const std::size_t n = batch.size();
+  if (prefetch_worthy_.empty()) {
+    for (const auto& a : batch) access_one(a);
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i + kLookahead < n) {
+      const Address future = batch[i + kLookahead].address;
+      for (const auto* c : prefetch_worthy_) c->prefetch_set(future);
+    }
+    access_one(batch[i]);
+  }
+}
+
+void MemoryHierarchy::access_one(const trace::MemoryAccess& a) {
   check(a.size > 0, "MemoryHierarchy: zero-size access");
   if (levels_.empty()) {
     ++references_;
@@ -67,6 +103,13 @@ void MemoryHierarchy::access(const trace::MemoryAccess& a) {
     return;
   }
   const std::uint64_t line = levels_.front().cache.config().line_bytes;
+  // Fast path: the reference sits inside one first-level line (the common
+  // case for word-sized accesses), so skip the split loop's arithmetic.
+  if ((a.address & (line - 1)) + a.size <= line) {
+    ++references_;
+    access_level(0, a.address, a.size, a.type);
+    return;
+  }
   Address addr = a.address;
   std::uint64_t remaining = a.size;
   while (remaining > 0) {
@@ -84,7 +127,15 @@ void MemoryHierarchy::access_level(std::size_t i, Address address,
                                    std::uint64_t size, AccessType type,
                                    bool from_prefetch) {
   if (i == levels_.size()) {
-    if (type == AccessType::Store) {
+    if (single_device_ != nullptr) {
+      // Single-device backends bypass the vtable (same calls the virtual
+      // SingleMemoryBackend overrides would make).
+      if (type == AccessType::Store) {
+        single_device_->write(address, size);
+      } else {
+        single_device_->read(address, size);
+      }
+    } else if (type == AccessType::Store) {
       backend_->store(address, size);
     } else {
       backend_->load(address, size);
@@ -92,13 +143,10 @@ void MemoryHierarchy::access_level(std::size_t i, Address address,
     return;
   }
   Level& level = levels_[i];
-  if (type == AccessType::Store) {
-    ++level.stores;
-    level.store_bytes += size;
-  } else {
-    ++level.loads;
-    level.load_bytes += size;
-  }
+  // Counter pair selected by cmov: the load/store mix is data-dependent.
+  const bool counts_store = type == AccessType::Store;
+  ++*(counts_store ? &level.stores : &level.loads);
+  *(counts_store ? &level.store_bytes : &level.load_bytes) += size;
   const AccessOutcome outcome = level.cache.access(address, size, type);
   if (!outcome.hit) {
     // Allocate-on-miss: fetch the full line from the next level (counted as
@@ -161,10 +209,12 @@ void MemoryHierarchy::run_prefetcher(std::size_t i, Address line_addr) {
 }
 
 void MemoryHierarchy::flush() {
+  // Sink-callback flush: dirty lines stream straight downstream without an
+  // intermediate vector per level. The callback only touches levels > i.
   for (std::size_t i = 0; i < levels_.size(); ++i) {
-    for (const auto& [address, bytes] : levels_[i].cache.flush()) {
+    levels_[i].cache.flush([this, i](Address address, std::uint64_t bytes) {
       access_level(i + 1, address, bytes, AccessType::Store);
-    }
+    });
   }
 }
 

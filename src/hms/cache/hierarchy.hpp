@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -102,7 +103,7 @@ struct CacheLevelSpec {
 };
 
 /// See file comment.
-class MemoryHierarchy final : public trace::AccessSink {
+class MemoryHierarchy final : public trace::BatchAccessSink {
  public:
   MemoryHierarchy(std::vector<CacheLevelSpec> levels,
                   std::unique_ptr<MemoryBackend> backend);
@@ -110,6 +111,11 @@ class MemoryHierarchy final : public trace::AccessSink {
   /// Consumes one CPU reference (AccessSink interface). References that
   /// straddle a first-level line boundary are split and counted per piece.
   void access(const trace::MemoryAccess& a) override;
+
+  /// Consumes a chunk of references with one dispatch: semantically
+  /// identical to calling access() per entry in order, but the inner loop
+  /// runs the non-virtual per-access path (the sweep replay fast path).
+  void access_batch(std::span<const trace::MemoryAccess> batch) override;
 
   /// Drains all dirty lines downstream (level by level into memory).
   /// Optional at end of run; the paper ignores terminal dirty state.
@@ -147,6 +153,8 @@ class MemoryHierarchy final : public trace::AccessSink {
           prefetch(spec.prefetch) {}
   };
 
+  void access_one(const trace::MemoryAccess& a);
+
   void access_level(std::size_t i, Address address, std::uint64_t size,
                     AccessType type, bool from_prefetch = false);
 
@@ -154,7 +162,14 @@ class MemoryHierarchy final : public trace::AccessSink {
   void run_prefetcher(std::size_t i, Address line_addr);
 
   std::vector<Level> levels_;
+  /// Levels whose tag-store metadata outgrows the host's private caches:
+  /// only these are worth set-prefetching from the batch path (for the
+  /// rest the hint is pure overhead). Filled at construction.
+  std::vector<const SetAssocCache*> prefetch_worthy_;
   std::unique_ptr<MemoryBackend> backend_;
+  /// Devirtualized fast path for the common single-device backend: set at
+  /// construction, lets terminal fetches/write-backs skip the vtable.
+  mem::MemoryDevice* single_device_ = nullptr;
   Count references_ = 0;
 };
 

@@ -2,6 +2,15 @@
 //
 // The paper's simulator uses LRU; the other policies support the A1
 // ablation bench (replacement sensitivity of the DRAM/L4 page caches).
+//
+// NOTE: the hot path in SetAssocCache does NOT call through this virtual
+// hierarchy — it runs inline template kernels specialized per PolicyKind
+// (see set_assoc_cache.cpp and DESIGN.md §5b). These classes are the
+// *reference implementation* of the policy semantics: they stay the
+// single readable definition of each policy, and the engine differential
+// test (tests/test_cache_differential.cpp) asserts the inline kernels
+// match them bit-for-bit on every policy × sector × prefetch combination.
+// Changes to policy semantics must be made in both places.
 #pragma once
 
 #include <cstdint>

@@ -1,16 +1,40 @@
 #include "hms/cache/set_assoc_cache.hpp"
 
+#include <algorithm>
 #include <bit>
+#include <cstdlib>
+
+#if HMS_HAVE_AVX512_KERNEL
+#include <immintrin.h>
+#endif
 
 #include "hms/common/bitops.hpp"
 #include "hms/common/error.hpp"
 
 namespace hms::cache {
 
-SetAssocCache::SetAssocCache(CacheConfig config) : config_(std::move(config)) {
+#if HMS_HAVE_AVX512_KERNEL
+namespace {
+/// One-time cpuid gate for the vector kernel. HMS_NO_AVX512=1 forces the
+/// scalar kernel, so both variants can be A/B-tested on capable hosts.
+const bool kUseAvx512 = [] {
+  return __builtin_cpu_supports("avx512f") != 0 &&
+         __builtin_cpu_supports("avx512bw") != 0 &&
+         __builtin_cpu_supports("avx512dq") != 0 &&
+         __builtin_cpu_supports("avx512vl") != 0 &&
+         std::getenv("HMS_NO_AVX512") == nullptr;
+}();
+}  // namespace
+#endif
+
+SetAssocCache::SetAssocCache(CacheConfig config)
+    : config_(std::move(config)), rng_(config_.policy_seed) {
   check_config(config_.capacity_bytes > 0, "cache: capacity must be positive");
   check_config(is_pow2(config_.line_bytes),
                "cache: line size must be a power of two");
+  // AccessOutcome::writeback_bytes is 32-bit (register-return layout).
+  check_config(config_.line_bytes <= 0xffffffffULL,
+               "cache: line size must fit in 32 bits");
   check_config(config_.capacity_bytes % config_.line_bytes == 0,
                "cache: capacity must be a multiple of the line size");
   const std::uint64_t total_lines = config_.capacity_bytes / config_.line_bytes;
@@ -26,6 +50,7 @@ SetAssocCache::SetAssocCache(CacheConfig config) : config_(std::move(config)) {
                "cache: geometry too large");
   sets_ = static_cast<std::uint32_t>(sets64);
   ways_ = static_cast<std::uint32_t>(ways64);
+  set_mask_ = sets_ - 1;
   line_shift_ = log2_exact(config_.line_bytes);
   if (config_.sector_bytes != 0) {
     check_config(is_pow2(config_.sector_bytes),
@@ -35,13 +60,33 @@ SetAssocCache::SetAssocCache(CacheConfig config) : config_(std::move(config)) {
     check_config(config_.line_bytes / config_.sector_bytes <= 64,
                  "cache: more than 64 sectors per line");
   }
-  ways_storage_.resize(std::size_t{sets_} * ways_);
-  policy_ = make_policy(config_.policy, sets_, ways_, config_.policy_seed);
+  const std::size_t n = std::size_t{sets_} * ways_;
+  tags_.assign(n, kInvalidTag);
+  dirty_.assign(n, 0);
+  flags_.assign(n, 0);
+  // Inline replacement engine: allocate only the state the policy reads.
+  // Semantics mirror the reference ReplacementPolicy classes bit for bit.
+  switch (config_.policy) {
+    case PolicyKind::LRU:
+    case PolicyKind::FIFO:
+      stamps_.assign(n, 0);
+      break;
+    case PolicyKind::TreePLRU:
+      check_config(is_pow2(ways_),
+                   "TreePLRU requires power-of-two associativity");
+      plru_levels_ = log2_exact(ways_);
+      meta8_.assign(std::size_t{sets_} * (ways_ - 1), 0);
+      break;
+    case PolicyKind::SRRIP:
+      meta8_.assign(n, 3);  // kMaxRrpv: "distant" re-reference prediction
+      break;
+    case PolicyKind::Random:
+      break;
+  }
 }
 
 std::uint32_t SetAssocCache::set_of(Address line_addr) const noexcept {
-  return static_cast<std::uint32_t>((line_addr >> line_shift_) &
-                                    (sets_ - 1));
+  return static_cast<std::uint32_t>((line_addr >> line_shift_) & set_mask_);
 }
 
 std::uint64_t SetAssocCache::sector_mask(Address address,
@@ -62,74 +107,398 @@ std::uint64_t SetAssocCache::dirty_bytes(std::uint64_t mask) const noexcept {
          config_.sector_bytes;
 }
 
-AccessOutcome SetAssocCache::access(Address address, std::uint64_t size,
-                                    AccessType type, bool prefetch) {
+/// Flips the tree bits along the way's root path to point away from it
+/// (same update as the reference TreePlruPolicy).
+void SetAssocCache::plru_touch(std::uint32_t set, std::uint32_t way) {
+  const std::size_t base = std::size_t{set} * (ways_ - 1);
+  std::size_t node = way + (ways_ - 1);  // leaf index in implicit tree
+  while (node != 0) {
+    const std::size_t parent = (node - 1) / 2;
+    const bool went_right = (node == 2 * parent + 2);
+    meta8_[base + parent] = went_right ? 0 : 1;
+    node = parent;
+  }
+}
+
+template <PolicyKind K>
+void SetAssocCache::policy_touch(std::uint32_t set, std::size_t base,
+                                 std::uint32_t way) {
+  if constexpr (K == PolicyKind::LRU) {
+    stamps_[base + way] = ++clock_;
+  } else if constexpr (K == PolicyKind::TreePLRU) {
+    plru_touch(set, way);
+  } else if constexpr (K == PolicyKind::SRRIP) {
+    meta8_[base + way] = 0;  // hit promotion
+  } else {
+    (void)set;
+    (void)base;
+    (void)way;  // FIFO, Random: hits do not update state
+  }
+}
+
+template <PolicyKind K>
+void SetAssocCache::policy_insert(std::uint32_t set, std::size_t base,
+                                  std::uint32_t way) {
+  if constexpr (K == PolicyKind::LRU || K == PolicyKind::FIFO) {
+    stamps_[base + way] = ++clock_;
+  } else if constexpr (K == PolicyKind::TreePLRU) {
+    plru_touch(set, way);
+  } else if constexpr (K == PolicyKind::SRRIP) {
+    meta8_[base + way] = 2;  // kMaxRrpv - 1: "long" interval
+  } else {
+    (void)set;
+    (void)base;
+    (void)way;  // Random: insertion does not update state
+  }
+}
+
+template <PolicyKind K, unsigned W>
+std::uint32_t SetAssocCache::policy_victim(std::uint32_t set,
+                                           std::size_t base) {
+  if constexpr (K == PolicyKind::LRU || K == PolicyKind::FIFO) {
+    // Stamps of a full set are unique (global monotone clock), so the
+    // argmin over (stamp << 8 | way) selects the same way as the reference
+    // scan-from-way-0 strict-min — but packing lets the reduction run
+    // without tracking an index, and for compile-time W it unrolls into a
+    // log-depth pairwise tree instead of a serial compare chain.
+    const std::uint64_t* stamps = stamps_.data() + base;
+    if constexpr (W != 0) {
+      static_assert((W & (W - 1)) == 0 && W <= 256);
+      std::uint64_t packed[W];
+      for (unsigned w = 0; w < W; ++w) {
+        packed[w] = (stamps[w] << 8) | w;
+      }
+      for (unsigned stride = W / 2; stride != 0; stride /= 2) {
+        for (unsigned w = 0; w < stride; ++w) {
+          packed[w] = std::min(packed[w], packed[w + stride]);
+        }
+      }
+      return static_cast<std::uint32_t>(packed[0] & 0xff);
+    } else {
+      // Runtime way count: branchless conditional-move min-scan (the
+      // victim position is data-dependent, a branchy scan mispredicts).
+      std::uint32_t victim = 0;
+      std::uint64_t oldest = stamps[0];
+      for (std::uint32_t w = 1; w < ways_; ++w) {
+        const bool older = stamps[w] < oldest;
+        victim = older ? w : victim;
+        oldest = older ? stamps[w] : oldest;
+      }
+      return victim;
+    }
+  } else if constexpr (K == PolicyKind::Random) {
+    (void)set;
+    return static_cast<std::uint32_t>(rng_.below(ways_));
+  } else if constexpr (K == PolicyKind::TreePLRU) {
+    const std::size_t tree = std::size_t{set} * (ways_ - 1);
+    const unsigned levels = W != 0 ? std::countr_zero(W) : plru_levels_;
+    std::size_t node = 0;
+    for (unsigned level = 0; level < levels; ++level) {
+      const std::uint8_t bit = meta8_[tree + node];
+      node = 2 * node + 1 + bit;  // follow the cold direction
+    }
+    return static_cast<std::uint32_t>(node - (ways_ - 1));
+  } else {  // SRRIP (Jaleel et al., ISCA'10), 2-bit RRPVs
+    const std::uint32_t ways = W != 0 ? W : ways_;
+    std::uint8_t* rrpv = meta8_.data() + base;
+    while (true) {
+      if (ways <= 64) {
+        // Bitmask pass: byte compares have no cross-way dependency, and
+        // the first distant way falls out of one count-trailing-zeros.
+        std::uint64_t distant = 0;
+        for (std::uint32_t w = 0; w < ways; ++w) {
+          distant |= std::uint64_t{rrpv[w] == 3} << w;
+        }
+        if (distant != 0) {
+          return static_cast<std::uint32_t>(std::countr_zero(distant));
+        }
+      } else {  // highly associative (e.g. fully associative) sets
+        for (std::uint32_t w = 0; w < ways; ++w) {
+          if (rrpv[w] == 3) return w;
+        }
+      }
+      for (std::uint32_t w = 0; w < ways; ++w) ++rrpv[w];
+    }
+  }
+}
+
+template <PolicyKind K, unsigned W>
+AccessOutcome SetAssocCache::access_kernel(Address address, std::uint64_t size,
+                                           AccessType type, bool prefetch) {
   check(size > 0, "cache: zero-size access");
-  const Address line_addr = align_down(address, config_.line_bytes);
-  check(align_down(address + size - 1, config_.line_bytes) == line_addr,
+  // Same-line test in one xor+shift: the first and last byte share a line
+  // iff their tag bits agree.
+  check(((address ^ (address + size - 1)) >> line_shift_) == 0,
         "cache: access straddles a line boundary");
-  const std::uint32_t set = set_of(line_addr);
-  const Address tag = line_addr >> line_shift_;
-  const std::size_t base = std::size_t{set} * ways_;
+  const std::uint32_t ways = W != 0 ? W : ways_;
+  const Address tag = address >> line_shift_;
+  const auto set = static_cast<std::uint32_t>(tag & set_mask_);
+  const std::size_t base = std::size_t{set} * ways;
+  Address* tags = tags_.data() + base;
+  std::uint8_t* flags = flags_.data() + base;
+
+  // Pull the set's dirty row in while the probe and victim scans run: the
+  // victim's mask load otherwise serializes behind the argmin (the row
+  // address is known now, the element index only after the reduction).
+  {
+    const char* dirty_row = reinterpret_cast<const char*>(dirty_.data() + base);
+    for (std::uint32_t off = 0; off < ways * sizeof(std::uint64_t);
+         off += 64) {
+      __builtin_prefetch(dirty_row + off, 1, 3);
+    }
+  }
 
   AccessOutcome outcome;
-  // Lookup.
-  std::uint32_t invalid_way = ways_;
-  for (std::uint32_t w = 0; w < ways_; ++w) {
-    Way& way = ways_storage_[base + w];
-    if (way.valid && way.tag == tag) {
-      outcome.hit = true;
-      if (prefetch) return outcome;  // already resident: no-op
-      if (way.prefetched) {
-        way.prefetched = false;
-        outcome.prefetched_hit = true;
-        ++stats_.prefetch_useful;
-      }
-      if (type == AccessType::Store) {
-        ++stats_.store_hits;
-        way.dirty_mask |= sector_mask(address, size);
-      } else {
-        ++stats_.load_hits;
-      }
-      policy_->on_access(set, w);
-      return outcome;
+  // Lookup: one branchless pass over the set's contiguous tags. Validity is
+  // encoded in the tags (kInvalidTag), so this touches no other array. The
+  // hit position is effectively random, so an early-exit loop mispredicts
+  // constantly; building bitmasks instead keeps every per-way compare
+  // independent, and the matching/first-free way each fall out of one
+  // count-trailing-zeros.
+  std::uint32_t hit_way;
+  std::uint32_t invalid_way;
+  if (ways <= 64) {
+    std::uint64_t match = 0;
+    std::uint64_t free_ways = 0;
+    for (std::uint32_t w = 0; w < ways; ++w) {
+      const Address t = tags[w];
+      match |= std::uint64_t{t == tag} << w;
+      free_ways |= std::uint64_t{t == kInvalidTag} << w;
     }
-    if (!way.valid && invalid_way == ways_) invalid_way = w;
+    hit_way = match != 0
+                  ? static_cast<std::uint32_t>(std::countr_zero(match))
+                  : ways;
+    invalid_way =
+        free_ways != 0
+            ? static_cast<std::uint32_t>(std::countr_zero(free_ways))
+            : ways;
+  } else {  // highly associative sets: conditional-move reverse scan
+    hit_way = ways;
+    invalid_way = ways;
+    for (std::uint32_t w = ways; w-- > 0;) {
+      const Address t = tags[w];
+      hit_way = (t == tag) ? w : hit_way;
+      invalid_way = (t == kInvalidTag) ? w : invalid_way;
+    }
+  }
+  const bool is_store = type == AccessType::Store;
+
+  if (hit_way != ways) {
+    outcome.hit = true;
+    if (prefetch) return outcome;  // already resident: no-op
+    // has_prefetched_lines_ gates the flags_ load: without a prefetcher the
+    // flag can never be set, so skip touching a cold array entirely.
+    if (has_prefetched_lines_ && (flags[hit_way] & kPrefetched)) {
+      flags[hit_way] = 0;
+      outcome.prefetched_hit = true;
+      ++stats_.prefetch_useful;
+    }
+    // Counter selected by cmov; the dirty-mask merge is unconditional (a
+    // load merges zero bits), so the load/store mix costs no branch.
+    ++*(is_store ? &stats_.store_hits : &stats_.load_hits);
+    dirty_[base + hit_way] |= is_store ? sector_mask(address, size) : 0;
+    policy_touch<K>(set, base, hit_way);
+    return outcome;
   }
 
   // Miss: allocate (write-allocate policy for loads and stores alike).
   if (prefetch) {
     ++stats_.prefetch_fills;
-  } else if (type == AccessType::Store) {
-    ++stats_.store_misses;
   } else {
-    ++stats_.load_misses;
+    ++*(is_store ? &stats_.store_misses : &stats_.load_misses);
   }
   std::uint32_t victim_way = invalid_way;
-  if (victim_way == ways_) {
-    victim_way = policy_->choose_victim(set);
-    check(victim_way < ways_, "cache: policy returned invalid way");
-    Way& victim = ways_storage_[base + victim_way];
+  if (victim_way == ways) {
+    victim_way = policy_victim<K, W>(set, base);
     outcome.evicted = true;
     ++stats_.evictions;
-    outcome.victim_address = victim.tag << line_shift_;
-    if (victim.dirty_mask != 0) {
-      outcome.writeback = true;
-      outcome.writeback_bytes = dirty_bytes(victim.dirty_mask);
-      ++stats_.writebacks;
-    }
+    outcome.victim_address = tags[victim_way] << line_shift_;
+    // Dirty-victim bookkeeping without a branch: whether the victim needs a
+    // write-back is as unpredictable as the store mix.
+    const std::uint64_t victim_mask = dirty_[base + victim_way];
+    const bool writeback = victim_mask != 0;
+    outcome.writeback = writeback;
+    outcome.writeback_bytes =
+        writeback ? static_cast<std::uint32_t>(dirty_bytes(victim_mask)) : 0;
+    stats_.writebacks += writeback ? 1 : 0;
   } else {
     ++valid_count_;
   }
-  Way& slot = ways_storage_[base + victim_way];
-  slot.valid = true;
-  slot.tag = tag;
-  slot.dirty_mask =
+  tags[victim_way] = tag;
+  dirty_[base + victim_way] =
       (!prefetch && type == AccessType::Store) ? sector_mask(address, size)
                                                : 0;
-  slot.prefetched = prefetch;
-  policy_->on_insert(set, victim_way);
+  if (prefetch) {
+    flags[victim_way] = kPrefetched;
+    has_prefetched_lines_ = true;
+  } else if (has_prefetched_lines_) {
+    flags[victim_way] = 0;
+  }
+  policy_insert<K>(set, base, victim_way);
   return outcome;
+}
+
+#if HMS_HAVE_AVX512_KERNEL
+template <PolicyKind K, unsigned W>
+HMS_TARGET_AVX512 AccessOutcome SetAssocCache::access_kernel_simd(
+    Address address, std::uint64_t size, AccessType type, bool prefetch) {
+  static_assert(W == 8 || W == 16, "vector kernel covers 8/16-way sets");
+  check(size > 0, "cache: zero-size access");
+  check(((address ^ (address + size - 1)) >> line_shift_) == 0,
+        "cache: access straddles a line boundary");
+  const Address tag = address >> line_shift_;
+  const auto set = static_cast<std::uint32_t>(tag & set_mask_);
+  const std::size_t base = std::size_t{set} * W;
+  Address* tags = tags_.data() + base;
+  std::uint8_t* flags = flags_.data() + base;
+
+  // Same eager dirty-row pull as the scalar kernel (see there).
+  {
+    const char* dirty_row = reinterpret_cast<const char*>(dirty_.data() + base);
+    for (std::uint32_t off = 0; off < W * sizeof(std::uint64_t); off += 64) {
+      __builtin_prefetch(dirty_row + off, 1, 3);
+    }
+  }
+
+  AccessOutcome outcome;
+  // Probe: the whole set's tags in one or two 512-bit compares; the hit and
+  // first-free masks come straight out of the k-registers.
+  const __m512i vtag = _mm512_set1_epi64(static_cast<long long>(tag));
+  const __m512i vinv = _mm512_set1_epi64(-1);  // kInvalidTag
+  const __m512i row0 = _mm512_loadu_si512(tags);
+  auto match = static_cast<std::uint32_t>(_mm512_cmpeq_epi64_mask(row0, vtag));
+  auto free_ways =
+      static_cast<std::uint32_t>(_mm512_cmpeq_epi64_mask(row0, vinv));
+  if constexpr (W == 16) {
+    const __m512i row1 = _mm512_loadu_si512(tags + 8);
+    match |= static_cast<std::uint32_t>(_mm512_cmpeq_epi64_mask(row1, vtag))
+             << 8;
+    free_ways |=
+        static_cast<std::uint32_t>(_mm512_cmpeq_epi64_mask(row1, vinv)) << 8;
+  }
+  const bool is_store = type == AccessType::Store;
+
+  if (match != 0) {
+    const auto hit_way = static_cast<std::uint32_t>(std::countr_zero(match));
+    outcome.hit = true;
+    if (prefetch) return outcome;  // already resident: no-op
+    if (has_prefetched_lines_ && (flags[hit_way] & kPrefetched)) {
+      flags[hit_way] = 0;
+      outcome.prefetched_hit = true;
+      ++stats_.prefetch_useful;
+    }
+    ++*(is_store ? &stats_.store_hits : &stats_.load_hits);
+    dirty_[base + hit_way] |= is_store ? sector_mask(address, size) : 0;
+    policy_touch<K>(set, base, hit_way);
+    return outcome;
+  }
+
+  if (prefetch) {
+    ++stats_.prefetch_fills;
+  } else {
+    ++*(is_store ? &stats_.store_misses : &stats_.load_misses);
+  }
+  std::uint32_t victim_way;
+  if (free_ways != 0) {
+    victim_way = static_cast<std::uint32_t>(std::countr_zero(free_ways));
+    ++valid_count_;
+  } else {
+    if constexpr (K == PolicyKind::LRU || K == PolicyKind::FIFO) {
+      // Vector form of the packed argmin: unique stamps make
+      // min(stamp << 8 | way) pick the reference victim (see scalar kernel).
+      const std::uint64_t* stamps = stamps_.data() + base;
+      const __m512i iota0 = _mm512_set_epi64(7, 6, 5, 4, 3, 2, 1, 0);
+      __m512i packed = _mm512_or_si512(
+          _mm512_slli_epi64(_mm512_loadu_si512(stamps), 8), iota0);
+      if constexpr (W == 16) {
+        const __m512i iota1 = _mm512_set_epi64(15, 14, 13, 12, 11, 10, 9, 8);
+        const __m512i hi = _mm512_or_si512(
+            _mm512_slli_epi64(_mm512_loadu_si512(stamps + 8), 8), iota1);
+        packed = _mm512_min_epu64(packed, hi);
+      }
+      victim_way =
+          static_cast<std::uint32_t>(_mm512_reduce_min_epu64(packed) & 0xff);
+    } else {
+      victim_way = policy_victim<K, W>(set, base);
+    }
+    outcome.evicted = true;
+    ++stats_.evictions;
+    outcome.victim_address = tags[victim_way] << line_shift_;
+    const std::uint64_t victim_mask = dirty_[base + victim_way];
+    const bool writeback = victim_mask != 0;
+    outcome.writeback = writeback;
+    outcome.writeback_bytes =
+        writeback ? static_cast<std::uint32_t>(dirty_bytes(victim_mask)) : 0;
+    stats_.writebacks += writeback ? 1 : 0;
+  }
+  tags[victim_way] = tag;
+  dirty_[base + victim_way] =
+      (!prefetch && type == AccessType::Store) ? sector_mask(address, size)
+                                               : 0;
+  if (prefetch) {
+    flags[victim_way] = kPrefetched;
+    has_prefetched_lines_ = true;
+  } else if (has_prefetched_lines_) {
+    flags[victim_way] = 0;
+  }
+  policy_insert<K>(set, base, victim_way);
+  return outcome;
+}
+#endif  // HMS_HAVE_AVX512_KERNEL
+
+template <PolicyKind K>
+AccessOutcome SetAssocCache::dispatch_ways(Address address, std::uint64_t size,
+                                           AccessType type, bool prefetch) {
+#if HMS_HAVE_AVX512_KERNEL
+  // Vector kernel first on capable hosts: 8/16-way sets probe in one or two
+  // 512-bit compares. The branch is perfectly predictable (the gate never
+  // changes after startup).
+  if (kUseAvx512) {
+    switch (ways_) {
+      case 8:
+        return access_kernel_simd<K, 8>(address, size, type, prefetch);
+      case 16:
+        return access_kernel_simd<K, 16>(address, size, type, prefetch);
+      default:
+        break;
+    }
+  }
+#endif
+  // Common associativities get kernels with the way count baked in: the
+  // probe and victim scans fully unroll, and the argmin reduction becomes
+  // a log-depth tree instead of a loop-carried compare chain.
+  switch (ways_) {
+    case 4:
+      return access_kernel<K, 4>(address, size, type, prefetch);
+    case 8:
+      return access_kernel<K, 8>(address, size, type, prefetch);
+    case 16:
+      return access_kernel<K, 16>(address, size, type, prefetch);
+    case 32:
+      return access_kernel<K, 32>(address, size, type, prefetch);
+    default:
+      return access_kernel<K, 0>(address, size, type, prefetch);
+  }
+}
+
+AccessOutcome SetAssocCache::access(Address address, std::uint64_t size,
+                                    AccessType type, bool prefetch) {
+  // One predictable dispatch per access; each kernel instantiation inlines
+  // its policy's metadata updates into the probe/fill paths.
+  switch (config_.policy) {
+    case PolicyKind::LRU:
+      return dispatch_ways<PolicyKind::LRU>(address, size, type, prefetch);
+    case PolicyKind::TreePLRU:
+      return dispatch_ways<PolicyKind::TreePLRU>(address, size, type,
+                                                 prefetch);
+    case PolicyKind::FIFO:
+      return dispatch_ways<PolicyKind::FIFO>(address, size, type, prefetch);
+    case PolicyKind::Random:
+      return dispatch_ways<PolicyKind::Random>(address, size, type, prefetch);
+    case PolicyKind::SRRIP:
+      return dispatch_ways<PolicyKind::SRRIP>(address, size, type, prefetch);
+  }
+  throw Error("cache: unhandled policy kind");
 }
 
 bool SetAssocCache::contains(Address address) const {
@@ -138,8 +507,7 @@ bool SetAssocCache::contains(Address address) const {
   const Address tag = line_addr >> line_shift_;
   const std::size_t base = std::size_t{set} * ways_;
   for (std::uint32_t w = 0; w < ways_; ++w) {
-    const Way& way = ways_storage_[base + w];
-    if (way.valid && way.tag == tag) return true;
+    if (tags_[base + w] == tag) return true;
   }
   return false;
 }
@@ -150,26 +518,32 @@ bool SetAssocCache::is_dirty(Address address) const {
   const Address tag = line_addr >> line_shift_;
   const std::size_t base = std::size_t{set} * ways_;
   for (std::uint32_t w = 0; w < ways_; ++w) {
-    const Way& way = ways_storage_[base + w];
-    if (way.valid && way.tag == tag) return way.dirty_mask != 0;
+    if (tags_[base + w] == tag) return dirty_[base + w] != 0;
   }
   return false;
 }
 
-std::vector<std::pair<Address, std::uint64_t>> SetAssocCache::flush() {
-  std::vector<std::pair<Address, std::uint64_t>> dirty;
-  for (std::uint32_t set = 0; set < sets_; ++set) {
-    const std::size_t base = std::size_t{set} * ways_;
-    for (std::uint32_t w = 0; w < ways_; ++w) {
-      Way& way = ways_storage_[base + w];
-      if (way.valid && way.dirty_mask != 0) {
-        dirty.emplace_back(way.tag << line_shift_,
-                           dirty_bytes(way.dirty_mask));
-      }
-      way = Way{};
+void SetAssocCache::flush(
+    const std::function<void(Address, std::uint64_t)>& sink) {
+  const std::size_t n = std::size_t{sets_} * ways_;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (tags_[i] != kInvalidTag && dirty_[i] != 0) {
+      sink(tags_[i] << line_shift_, dirty_bytes(dirty_[i]));
     }
+    tags_[i] = kInvalidTag;
+    dirty_[i] = 0;
+    flags_[i] = 0;
   }
   valid_count_ = 0;
+}
+
+std::vector<std::pair<Address, std::uint64_t>> SetAssocCache::flush() {
+  std::vector<std::pair<Address, std::uint64_t>> dirty;
+  // Dirty lines are a subset of resident lines; occupancy bounds the size.
+  dirty.reserve(static_cast<std::size_t>(valid_count_));
+  flush([&dirty](Address address, std::uint64_t bytes) {
+    dirty.emplace_back(address, bytes);
+  });
   return dirty;
 }
 

@@ -1,15 +1,37 @@
 // Set-associative write-back, write-allocate cache with dirty tracking —
 // the paper's core simulation structure (Section III.B), extended with
 // optional sector-granularity dirty bits (ablation A2).
+//
+// Hot-path layout (DESIGN.md "Hot-path architecture"): the tag store is
+// struct-of-arrays so a set probe scans a contiguous run of tags, and the
+// replacement policy runs inline from per-set metadata arrays — the access
+// kernel is specialized per PolicyKind at compile time and selected by a
+// single switch per access, so no virtual call fires on the hot path. The
+// virtual ReplacementPolicy hierarchy in replacement.hpp is retained as the
+// reference implementation for differential testing.
 #pragma once
 
 #include <cstdint>
-#include <memory>
+#include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "hms/common/random.hpp"
 #include "hms/common/types.hpp"
 #include "hms/cache/replacement.hpp"
+
+// The AVX-512 kernel variant is compiled with a per-function target
+// attribute, so the translation unit (and every other object file) stays
+// baseline x86-64; the variant is selected at runtime via cpuid.
+#if defined(__x86_64__) && defined(__GNUC__)
+#define HMS_HAVE_AVX512_KERNEL 1
+#define HMS_TARGET_AVX512 \
+  __attribute__((target("avx512f,avx512bw,avx512dq,avx512vl")))
+#else
+#define HMS_HAVE_AVX512_KERNEL 0
+#define HMS_TARGET_AVX512
+#endif
 
 namespace hms::cache {
 
@@ -45,6 +67,9 @@ struct CacheStats {
   Count prefetch_fills = 0;   ///< lines inserted by prefetch requests
   Count prefetch_useful = 0;  ///< prefetched lines later hit by demand
 
+  friend constexpr bool operator==(const CacheStats&,
+                                   const CacheStats&) = default;
+
   [[nodiscard]] Count hits() const noexcept { return load_hits + store_hits; }
   [[nodiscard]] Count misses() const noexcept {
     return load_misses + store_misses;
@@ -58,7 +83,9 @@ struct CacheStats {
 };
 
 /// Result of one cache access, from which the hierarchy derives next-level
-/// traffic.
+/// traffic. Kept to 16 bytes so it returns in registers — this struct
+/// crosses the hottest call boundary in the simulator several times per
+/// reference.
 struct AccessOutcome {
   bool hit = false;
   /// The demand hit consumed a line filled by prefetch — the trigger for
@@ -68,11 +95,14 @@ struct AccessOutcome {
   bool evicted = false;
   /// The displaced line was dirty and must be written downstream.
   bool writeback = false;
+  /// Bytes the write-back carries (dirty sectors only in sector mode).
+  /// 32 bits: bounded by the line size, which is far below 4 GiB.
+  std::uint32_t writeback_bytes = 0;
   /// Line-aligned address of the displaced line (valid when evicted).
   Address victim_address = 0;
-  /// Bytes the write-back carries (dirty sectors only in sector mode).
-  std::uint64_t writeback_bytes = 0;
 };
+
+static_assert(sizeof(AccessOutcome) == 16);
 
 /// See file comment. Accesses must not straddle a line boundary
 /// (use trace::LineSplitFilter upstream if they can).
@@ -103,6 +133,11 @@ class SetAssocCache {
   /// (line-aligned address, write-back bytes) pairs in set order.
   std::vector<std::pair<Address, std::uint64_t>> flush();
 
+  /// Sink-callback flush: invokes `sink(line_address, writeback_bytes)` for
+  /// every dirty line in set order without materializing a vector. The
+  /// callback must not access this cache.
+  void flush(const std::function<void(Address, std::uint64_t)>& sink);
+
   [[nodiscard]] const CacheConfig& config() const noexcept { return config_; }
   [[nodiscard]] const CacheStats& stats() const noexcept { return stats_; }
   [[nodiscard]] std::uint32_t sets() const noexcept { return sets_; }
@@ -113,15 +148,81 @@ class SetAssocCache {
   /// Number of currently valid lines.
   [[nodiscard]] std::uint64_t occupancy() const noexcept { return valid_count_; }
 
+  /// Host-memory footprint of the hot per-line metadata arrays. Batched
+  /// drivers use this to decide whether set prefetching can pay off (it
+  /// only does once the metadata outgrows the host's private caches).
+  [[nodiscard]] std::size_t metadata_bytes() const noexcept {
+    return tags_.size() * sizeof(Address) +
+           dirty_.size() * sizeof(std::uint64_t) + flags_.size() +
+           stamps_.size() * sizeof(std::uint64_t) + meta8_.size();
+  }
+
   void reset_stats() noexcept { stats_ = CacheStats{}; }
 
+  /// Hints the host CPU to pull the set metadata for `address` into cache.
+  /// Issued by batched drivers a few accesses ahead of the demand probe;
+  /// purely a host-side performance hint with no simulated effect.
+  void prefetch_set(Address address) const noexcept {
+    const auto set = static_cast<std::uint32_t>((address >> line_shift_) &
+                                                (sets_ - 1));
+    const std::size_t base = std::size_t{set} * ways_;
+    const std::size_t row_bytes = std::size_t{ways_} * sizeof(Address);
+    // Locality 3 (prefetcht0) pulls the rows all the way into the host L1:
+    // the probe's loads are on the critical dependency chain, so even an
+    // L2-resident row costs ~3x an L1 hit.
+    const char* tags = reinterpret_cast<const char*>(tags_.data() + base);
+    const char* dirty = reinterpret_cast<const char*>(dirty_.data() + base);
+    for (std::size_t off = 0; off < row_bytes; off += 64) {
+      __builtin_prefetch(tags + off, 0, 3);
+      __builtin_prefetch(dirty + off, 1, 3);
+    }
+    if (!stamps_.empty()) {
+      const char* stamps =
+          reinterpret_cast<const char*>(stamps_.data() + base);
+      for (std::size_t off = 0; off < row_bytes; off += 64) {
+        __builtin_prefetch(stamps + off, 1, 3);
+      }
+    }
+  }
+
  private:
-  struct Way {
-    Address tag = 0;
-    std::uint64_t dirty_mask = 0;  ///< nonzero => dirty
-    bool valid = false;
-    bool prefetched = false;  ///< filled by prefetch, not yet demand-hit
-  };
+  /// tags_ value marking an unoccupied way: lets the probe loop scan tags
+  /// alone, with no separate validity load. Addresses in the top line of
+  /// the 64-bit space (tag == ~0) are unsupported — line-boundary
+  /// arithmetic upstream already overflows there.
+  static constexpr Address kInvalidTag = ~Address{0};
+  /// flags_ bit: line was filled by prefetch, not yet demand-hit.
+  static constexpr std::uint8_t kPrefetched = 1;
+
+  /// W is the compile-time way count (0 = use runtime ways_): common
+  /// associativities get fully unrolled probe and victim scans.
+  template <PolicyKind K, unsigned W>
+  AccessOutcome access_kernel(Address address, std::uint64_t size,
+                              AccessType type, bool prefetch);
+#if HMS_HAVE_AVX512_KERNEL
+  /// AVX-512 variant of access_kernel for the common 8/16-way geometries:
+  /// the tag probe and the LRU/FIFO victim argmin run as 512-bit mask
+  /// compares instead of scalar per-way passes. Selected at runtime (cpuid,
+  /// overridable via HMS_NO_AVX512=1); bit-identical to the scalar kernel —
+  /// the differential suite exercises whichever variant the host runs.
+  template <PolicyKind K, unsigned W>
+  HMS_TARGET_AVX512 AccessOutcome access_kernel_simd(Address address,
+                                                     std::uint64_t size,
+                                                     AccessType type,
+                                                     bool prefetch);
+#endif
+  template <PolicyKind K>
+  AccessOutcome dispatch_ways(Address address, std::uint64_t size,
+                              AccessType type, bool prefetch);
+
+  template <PolicyKind K>
+  void policy_touch(std::uint32_t set, std::size_t base, std::uint32_t way);
+  template <PolicyKind K>
+  void policy_insert(std::uint32_t set, std::size_t base, std::uint32_t way);
+  template <PolicyKind K, unsigned W>
+  [[nodiscard]] std::uint32_t policy_victim(std::uint32_t set,
+                                            std::size_t base);
+  void plru_touch(std::uint32_t set, std::uint32_t way);
 
   [[nodiscard]] std::uint32_t set_of(Address line_addr) const noexcept;
   [[nodiscard]] std::uint64_t sector_mask(Address address,
@@ -131,10 +232,30 @@ class SetAssocCache {
   CacheConfig config_;
   std::uint32_t sets_ = 0;
   std::uint32_t ways_ = 0;
+  std::uint32_t set_mask_ = 0;  ///< sets_ - 1 (sets_ is a power of two)
   unsigned line_shift_ = 0;
   std::uint64_t valid_count_ = 0;
-  std::vector<Way> ways_storage_;  ///< sets_ x ways_, row-major
-  std::unique_ptr<ReplacementPolicy> policy_;
+  // SoA tag store, sets_ x ways_ row-major: a set probe scans a contiguous
+  // cache-line of tags_ instead of striding through an AoS of Way records.
+  // Validity lives in the tags themselves (kInvalidTag), so the probe loop
+  // touches exactly one array.
+  std::vector<Address> tags_;
+  std::vector<std::uint64_t> dirty_;  ///< dirty sector mask; nonzero => dirty
+  std::vector<std::uint8_t> flags_;   ///< kPrefetched only; off the probe path
+  // Inline replacement-engine state; which arrays are live depends on
+  // config_.policy (LRU/FIFO: stamps_; TreePLRU: meta8_ as tree bits;
+  // SRRIP: meta8_ as RRPVs; Random: rng_).
+  std::vector<std::uint64_t> stamps_;
+  std::vector<std::uint8_t> meta8_;
+  /// LRU/FIFO recency clock. The victim argmin packs (stamp << 8 | way), so
+  /// the clock must stay below 2^56 — about 7*10^16 accesses, several
+  /// thousand years of simulation at current throughput.
+  std::uint64_t clock_ = 0;
+  unsigned plru_levels_ = 0;
+  /// Whether any prefetch fill ever happened: while false (no prefetcher —
+  /// the common case) the hit path skips the flags_ load entirely.
+  bool has_prefetched_lines_ = false;
+  Xoshiro256 rng_;
   CacheStats stats_;
 };
 

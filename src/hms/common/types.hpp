@@ -21,8 +21,9 @@ enum class AccessType : std::uint8_t { Load = 0, Store = 1 };
 }
 
 /// Identifies the originating hardware context of a reference when streams
-/// from several cores are interleaved.
-using CoreId = std::uint32_t;
+/// from several cores are interleaved. 16 bits keeps MemoryAccess at
+/// 16 bytes; the paper's systems top out well below 65536 contexts.
+using CoreId = std::uint16_t;
 
 namespace literals {
 // Binary byte-size literals: 4_KiB, 20_MiB, 2_GiB.

@@ -21,16 +21,29 @@ FrontCapture capture_front(const std::string& workload_name,
   capture.footprint_bytes = workload->footprint_bytes();
   capture.ranges = workload->address_space().ranges();
 
+  // Pre-size the residual buffer: the stream behind L3 is line-granular
+  // fetches plus write-backs, bounded by roughly twice the footprint's line
+  // count per sweep over the data. Reserving up front avoids the capture
+  // vector's doubling reallocations; shrink_to_fit afterwards returns the
+  // slack, since captures are held live for a whole design sweep.
+  const auto fronts = factory.front_levels();
+  if (!fronts.empty() && capture.footprint_bytes != 0) {
+    const std::uint64_t line = fronts.back().cache.line_bytes;
+    capture.residual.reserve(
+        static_cast<std::size_t>(2 * (capture.footprint_bytes / line + 1)));
+  }
+
   auto front = factory.front(capture.residual);
   workload->run(*front);
   capture.front_profile = front->profile();
+  capture.residual.shrink_to_fit();
   return capture;
 }
 
 cache::HierarchyProfile replay_back(const FrontCapture& capture,
                                     cache::MemoryHierarchy& back) {
   HMS_FAULT_POINT("sim/replay_back");
-  capture.residual.replay(back);
+  back.access_batch(capture.residual.entries());
   return cache::HierarchyProfile::combine(capture.front_profile,
                                           back.profile());
 }

@@ -20,6 +20,10 @@ struct MemoryAccess {
                                    const MemoryAccess&) = default;
 };
 
+// Replay throughput is bound by streaming this struct from memory; keep it
+// to a single 16-byte slot (4 per cache line).
+static_assert(sizeof(MemoryAccess) == 16);
+
 [[nodiscard]] constexpr MemoryAccess load(Address a, std::uint32_t size = 8,
                                           CoreId core = 0) {
   return MemoryAccess{a, size, AccessType::Load, core};

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "hms/trace/access.hpp"
@@ -19,6 +20,19 @@ class AccessSink {
   /// Consumes one reference. Called once per simulated memory instruction,
   /// in program order.
   virtual void access(const MemoryAccess& a) = 0;
+};
+
+/// A sink that can consume a whole chunk of references per virtual call.
+/// Hot consumers (the cache hierarchy) override access_batch with a loop
+/// over their non-virtual per-access path, so batched producers
+/// (TraceBuffer::replay) pay one dispatch per chunk instead of one per
+/// reference. Batching is an invariant-free optimization: access_batch
+/// must be observably identical to calling access() per entry in order.
+class BatchAccessSink : public AccessSink {
+ public:
+  virtual void access_batch(std::span<const MemoryAccess> batch) {
+    for (const auto& a : batch) access(a);
+  }
 };
 
 /// Discards everything; useful to measure generator-only cost.

@@ -4,8 +4,18 @@
 #include <unordered_set>
 
 #include "hms/common/bitops.hpp"
+#include "hms/common/fault.hpp"
 
 namespace hms::trace {
+
+void TraceBuffer::replay(AccessSink& sink) const {
+  HMS_FAULT_POINT("trace/replay");
+  if (auto* batch = dynamic_cast<BatchAccessSink*>(&sink)) {
+    batch->access_batch(accesses_);
+    return;
+  }
+  for (const auto& a : accesses_) sink.access(a);
+}
 
 Count TraceBuffer::loads() const noexcept {
   return static_cast<Count>(

@@ -24,6 +24,9 @@ class TraceBuffer final : public AccessSink {
   void access(const MemoryAccess& a) override { accesses_.push_back(a); }
 
   void reserve(std::size_t n) { accesses_.reserve(n); }
+  /// Releases slack capacity after capture; long-lived residual buffers
+  /// (one per workload, held across a whole sweep) keep no growth headroom.
+  void shrink_to_fit() { accesses_.shrink_to_fit(); }
   void clear() noexcept { accesses_.clear(); }
 
   [[nodiscard]] bool empty() const noexcept { return accesses_.empty(); }
@@ -32,10 +35,10 @@ class TraceBuffer final : public AccessSink {
     return accesses_;
   }
 
-  /// Feeds the recorded stream, in order, into `sink`.
-  void replay(AccessSink& sink) const {
-    for (const auto& a : accesses_) sink.access(a);
-  }
+  /// Feeds the recorded stream, in order, into `sink`. Sinks that implement
+  /// BatchAccessSink receive the whole stream in one access_batch call
+  /// (no per-access virtual dispatch); others get the per-access path.
+  void replay(AccessSink& sink) const;
 
   /// Summary statistics of the recorded stream.
   [[nodiscard]] Count loads() const noexcept;

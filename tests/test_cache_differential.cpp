@@ -4,8 +4,12 @@
 // the two implementations.
 #include <gtest/gtest.h>
 
+#include <bit>
+#include <cstdint>
 #include <list>
 #include <map>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "hms/common/random.hpp"
@@ -120,6 +124,215 @@ INSTANTIATE_TEST_SUITE_P(
       return "c" + std::to_string(info.param.capacity) + "_l" +
              std::to_string(info.param.line) + "_w" +
              std::to_string(info.param.ways);
+    });
+
+// ---------------------------------------------------------------------------
+// Inline-engine vs virtual-reference differential.
+//
+// The access kernel runs the replacement policy inline from per-set metadata
+// arrays (and on AVX-512 hosts through a vectorized kernel variant); the
+// virtual ReplacementPolicy hierarchy is retained as the reference
+// implementation. This suite drives both engines through identical traces
+// for every PolicyKind x sector-mode x prefetch mix and requires the full
+// AccessOutcome of every access and the final CacheStats to agree bit for
+// bit.
+// ---------------------------------------------------------------------------
+
+/// Reference engine: AoS way records + virtual policy dispatch — the shape
+/// the production kernel was refactored away from.
+class ReferenceEngine {
+ public:
+  explicit ReferenceEngine(const CacheConfig& cfg)
+      : line_(cfg.line_bytes), sector_(cfg.sector_bytes) {
+    const std::uint64_t lines = cfg.capacity_bytes / cfg.line_bytes;
+    ways_ = cfg.associativity == 0 ? static_cast<std::uint32_t>(lines)
+                                   : cfg.associativity;
+    sets_ = static_cast<std::uint32_t>(lines / ways_);
+    policy_ = make_policy(cfg.policy, sets_, ways_, cfg.policy_seed);
+    ways_store_.resize(std::size_t{sets_} * ways_);
+  }
+
+  AccessOutcome access(Address address, std::uint64_t size, AccessType type,
+                       bool prefetch) {
+    const Address line_addr = address - address % line_;
+    const Address tag = line_addr / line_;
+    const auto set = static_cast<std::uint32_t>(tag % sets_);
+    Way* row = ways_store_.data() + std::size_t{set} * ways_;
+    AccessOutcome outcome;
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+      if (row[w].valid && row[w].tag == tag) {
+        outcome.hit = true;
+        if (prefetch) return outcome;
+        if (row[w].prefetched) {
+          row[w].prefetched = false;
+          outcome.prefetched_hit = true;
+          ++stats_.prefetch_useful;
+        }
+        if (type == AccessType::Store) {
+          ++stats_.store_hits;
+          row[w].dirty |= sector_mask(address, size);
+        } else {
+          ++stats_.load_hits;
+        }
+        policy_->on_access(set, w);
+        return outcome;
+      }
+    }
+    if (prefetch) {
+      ++stats_.prefetch_fills;
+    } else if (type == AccessType::Store) {
+      ++stats_.store_misses;
+    } else {
+      ++stats_.load_misses;
+    }
+    std::uint32_t victim = ways_;
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+      if (!row[w].valid) {
+        victim = w;
+        break;
+      }
+    }
+    if (victim == ways_) {
+      victim = policy_->choose_victim(set);
+      outcome.evicted = true;
+      ++stats_.evictions;
+      outcome.victim_address = row[victim].tag * line_;
+      if (row[victim].dirty != 0) {
+        outcome.writeback = true;
+        outcome.writeback_bytes = static_cast<std::uint32_t>(
+            sector_ == 0 ? line_
+                         : static_cast<std::uint64_t>(
+                               std::popcount(row[victim].dirty)) *
+                               sector_);
+        ++stats_.writebacks;
+      }
+    }
+    row[victim].valid = true;
+    row[victim].tag = tag;
+    row[victim].dirty = (!prefetch && type == AccessType::Store)
+                            ? sector_mask(address, size)
+                            : 0;
+    row[victim].prefetched = prefetch;
+    policy_->on_insert(set, victim);
+    return outcome;
+  }
+
+  [[nodiscard]] const CacheStats& stats() const noexcept { return stats_; }
+
+ private:
+  struct Way {
+    Address tag = 0;
+    std::uint64_t dirty = 0;
+    bool valid = false;
+    bool prefetched = false;
+  };
+
+  [[nodiscard]] std::uint64_t sector_mask(Address address,
+                                          std::uint64_t size) const {
+    if (sector_ == 0) return ~std::uint64_t{0};
+    const std::uint64_t offset = address % line_;
+    const std::uint64_t first = offset / sector_;
+    const std::uint64_t last = (offset + size - 1) / sector_;
+    const std::uint64_t width = last - first + 1;
+    const std::uint64_t ones =
+        width >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << width) - 1);
+    return ones << first;
+  }
+
+  std::uint64_t line_;
+  std::uint64_t sector_;
+  std::uint32_t sets_ = 0;
+  std::uint32_t ways_ = 0;
+  std::vector<Way> ways_store_;
+  std::unique_ptr<ReplacementPolicy> policy_;
+  CacheStats stats_;
+};
+
+struct EngineCase {
+  PolicyKind policy;
+  std::uint64_t sector_bytes;  ///< 0 = whole-line dirty tracking
+  bool with_prefetch;          ///< mix speculative fills into the trace
+};
+
+class EngineDifferentialTest : public ::testing::TestWithParam<EngineCase> {};
+
+TEST_P(EngineDifferentialTest, InlineKernelMatchesVirtualReference) {
+  const auto [policy, sector_bytes, with_prefetch] = GetParam();
+  // 8- and 16-way geometries take the vectorized kernel on AVX-512 hosts;
+  // 4-way and fully associative take the scalar paths.
+  const Geometry geometries[] = {{8192, 64, 8},
+                                 {16384, 64, 16},
+                                 {2048, 64, 4},
+                                 {2048, 64, 0}};
+  for (const auto& g : geometries) {
+    CacheConfig cfg;
+    cfg.capacity_bytes = g.capacity;
+    cfg.line_bytes = sector_bytes != 0 ? 512 : g.line;
+    cfg.associativity = g.ways;
+    cfg.policy = policy;
+    cfg.sector_bytes = sector_bytes;
+    cfg.policy_seed = 0xfeed + g.capacity;
+    SetAssocCache cache(cfg);
+    ReferenceEngine reference(cfg);
+
+    Xoshiro256 rng(0xd1ff2 + g.capacity + g.ways);
+    const Address space = cfg.capacity_bytes * 6;
+    for (int i = 0; i < 40000; ++i) {
+      Address addr = rng.below(space);
+      std::uint64_t size = 1 + rng.below(8);
+      bool prefetch = false;
+      if (with_prefetch && rng.chance(0.15)) {
+        // Speculative line fill, as a hierarchy prefetcher would issue it.
+        addr -= addr % cfg.line_bytes;
+        size = cfg.line_bytes;
+        prefetch = true;
+      } else if (addr % cfg.line_bytes + size > cfg.line_bytes) {
+        addr -= addr % cfg.line_bytes;  // keep the access within one line
+      }
+      const auto type =
+          rng.chance(0.4) ? AccessType::Store : AccessType::Load;
+      const auto got = cache.access(addr, size, type, prefetch);
+      const auto want = reference.access(addr, size, type, prefetch);
+      ASSERT_EQ(got.hit, want.hit) << "access " << i << " @ " << addr;
+      ASSERT_EQ(got.prefetched_hit, want.prefetched_hit) << "access " << i;
+      ASSERT_EQ(got.evicted, want.evicted) << "access " << i;
+      ASSERT_EQ(got.writeback, want.writeback) << "access " << i;
+      ASSERT_EQ(got.victim_address, want.victim_address) << "access " << i;
+      ASSERT_EQ(got.writeback_bytes, want.writeback_bytes) << "access " << i;
+    }
+    ASSERT_TRUE(cache.stats() == reference.stats())
+        << "final stats diverge for geometry c" << g.capacity << "_w"
+        << g.ways;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicyCombos, EngineDifferentialTest,
+    ::testing::Values(
+        EngineCase{PolicyKind::LRU, 0, false},
+        EngineCase{PolicyKind::LRU, 0, true},
+        EngineCase{PolicyKind::LRU, 64, false},
+        EngineCase{PolicyKind::LRU, 64, true},
+        EngineCase{PolicyKind::TreePLRU, 0, false},
+        EngineCase{PolicyKind::TreePLRU, 0, true},
+        EngineCase{PolicyKind::TreePLRU, 64, false},
+        EngineCase{PolicyKind::TreePLRU, 64, true},
+        EngineCase{PolicyKind::FIFO, 0, false},
+        EngineCase{PolicyKind::FIFO, 0, true},
+        EngineCase{PolicyKind::FIFO, 64, false},
+        EngineCase{PolicyKind::FIFO, 64, true},
+        EngineCase{PolicyKind::Random, 0, false},
+        EngineCase{PolicyKind::Random, 0, true},
+        EngineCase{PolicyKind::Random, 64, false},
+        EngineCase{PolicyKind::Random, 64, true},
+        EngineCase{PolicyKind::SRRIP, 0, false},
+        EngineCase{PolicyKind::SRRIP, 0, true},
+        EngineCase{PolicyKind::SRRIP, 64, false},
+        EngineCase{PolicyKind::SRRIP, 64, true}),
+    [](const ::testing::TestParamInfo<EngineCase>& param_info) {
+      return std::string(to_string(param_info.param.policy)) + "_sector" +
+             std::to_string(param_info.param.sector_bytes) +
+             (param_info.param.with_prefetch ? "_prefetch" : "_demand");
     });
 
 }  // namespace

@@ -2,8 +2,12 @@
 // traces and configuration sweeps.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <memory>
+#include <span>
 #include <vector>
 
+#include "hms/common/fault.hpp"
 #include "hms/common/random.hpp"
 #include "hms/cache/hierarchy.hpp"
 #include "hms/designs/design.hpp"
@@ -93,6 +97,96 @@ TEST_P(SectorDirtyPropertyTest, SectorWritebacksNeverExceedWholePage) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SectorDirtyPropertyTest,
                          ::testing::Values(11, 12, 13));
+
+/// Builds the 2-level + DRAM hierarchy used by the batching properties.
+std::unique_ptr<MemoryHierarchy> batch_property_hierarchy() {
+  std::vector<CacheLevelSpec> levels(2);
+  levels[0].cache.name = "L1";
+  levels[0].cache.capacity_bytes = 8192;
+  levels[0].cache.line_bytes = 64;
+  levels[0].cache.associativity = 8;
+  levels[0].tech = mem::sram_level(1).as_params();
+  levels[1].cache.name = "L2";
+  levels[1].cache.capacity_bytes = 65536;
+  levels[1].cache.line_bytes = 64;
+  levels[1].cache.associativity = 16;
+  levels[1].tech = mem::sram_level(2).as_params();
+  mem::MemoryDeviceConfig dev;
+  dev.name = "mem";
+  dev.technology = TechnologyRegistry::table1().get(Technology::DRAM);
+  dev.capacity_bytes = 1 << 22;
+  dev.line_bytes = 256;
+  return std::make_unique<MemoryHierarchy>(
+      std::move(levels), std::make_unique<SingleMemoryBackend>(dev));
+}
+
+void expect_profiles_equal(const cache::HierarchyProfile& got,
+                           const cache::HierarchyProfile& want) {
+  EXPECT_EQ(got.references, want.references);
+  ASSERT_EQ(got.levels.size(), want.levels.size());
+  for (std::size_t i = 0; i < got.levels.size(); ++i) {
+    EXPECT_EQ(got.levels[i].loads, want.levels[i].loads) << "level " << i;
+    EXPECT_EQ(got.levels[i].stores, want.levels[i].stores) << "level " << i;
+    EXPECT_EQ(got.levels[i].load_bytes, want.levels[i].load_bytes)
+        << "level " << i;
+    EXPECT_EQ(got.levels[i].store_bytes, want.levels[i].store_bytes)
+        << "level " << i;
+    EXPECT_TRUE(got.levels[i].cache_stats == want.levels[i].cache_stats)
+        << "level " << i;
+  }
+}
+
+/// Batching invariant (trace/sink.hpp): access_batch over ANY chunking of a
+/// stream is observably identical to per-access access() calls in order.
+class BatchChunkingPropertyTest
+    : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BatchChunkingPropertyTest, AnyChunkingMatchesPerAccess) {
+  const auto trace = random_trace(0xba7c4, 20000, 1 << 20, 0.3);
+  auto reference = batch_property_hierarchy();
+  for (const auto& a : trace) reference->access(a);
+
+  const std::size_t chunk = GetParam();
+  auto batched = batch_property_hierarchy();
+  const std::span<const trace::MemoryAccess> all(trace);
+  for (std::size_t i = 0; i < all.size(); i += chunk) {
+    batched->access_batch(all.subspan(i, std::min(chunk, all.size() - i)));
+  }
+  expect_profiles_equal(batched->profile(), reference->profile());
+}
+
+INSTANTIATE_TEST_SUITE_P(ChunkSizes, BatchChunkingPropertyTest,
+                         ::testing::Values(1, 7, 1024, 20000));
+
+/// A fault armed at the batch entry point fires before the chunk is
+/// processed, so the observable stats are exactly the prior chunks' — the
+/// batched path has no partial-chunk side effects at its fault site.
+TEST(BatchFaultProperty, FaultAtBatchSiteLeavesCleanPrefix) {
+  const auto trace = random_trace(0xbadc0de, 9000, 1 << 20, 0.3);
+  const std::size_t chunk = 3000;
+  const std::span<const trace::MemoryAccess> all(trace);
+
+  auto reference = batch_property_hierarchy();
+  for (std::size_t i = 0; i < 2 * chunk; ++i) reference->access(trace[i]);
+
+  ScopedFaultInjector injector;
+  FaultSpec spec;
+  spec.skip_first = 2;  // let two chunks through, fail the third
+  injector->arm("cache/access_batch", spec);
+  auto faulted = batch_property_hierarchy();
+  std::size_t delivered = 0;
+  try {
+    for (std::size_t i = 0; i < all.size(); i += chunk) {
+      faulted->access_batch(all.subspan(i, chunk));
+      delivered += chunk;
+    }
+    FAIL() << "armed batch site did not fire";
+  } catch (const FaultInjectedError&) {
+  }
+  EXPECT_EQ(delivered, 2 * chunk);
+  EXPECT_EQ(injector->hits("cache/access_batch"), 3u);
+  expect_profiles_equal(faulted->profile(), reference->profile());
+}
 
 /// The hit/miss/eviction ledger balances at every level for any stream:
 /// fills - evictions == resident lines.

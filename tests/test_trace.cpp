@@ -1,9 +1,12 @@
 // Trace substrate: sinks, buffer, binary IO, filters, interleave.
 #include <gtest/gtest.h>
 
+#include <span>
 #include <sstream>
+#include <vector>
 
 #include "hms/common/error.hpp"
+#include "hms/common/fault.hpp"
 #include "hms/common/random.hpp"
 #include "hms/trace/filters.hpp"
 #include "hms/trace/interleave.hpp"
@@ -61,6 +64,51 @@ TEST(TraceBuffer, RecordAndReplay) {
   buffer.replay(sink);
   buffer.replay(sink);  // replayable repeatedly
   EXPECT_EQ(sink.total(), 4u);
+}
+
+/// Records how replay delivered the stream: per-access or in batches.
+class BatchRecordingSink final : public BatchAccessSink {
+ public:
+  void access(const MemoryAccess&) override { ++single_calls_; }
+  void access_batch(std::span<const MemoryAccess> batch) override {
+    batch_sizes_.push_back(batch.size());
+  }
+
+  std::size_t single_calls_ = 0;
+  std::vector<std::size_t> batch_sizes_;
+};
+
+TEST(TraceBuffer, ReplayUsesBatchPathForBatchSinks) {
+  TraceBuffer buffer;
+  for (int i = 0; i < 100; ++i) buffer.access(load(i * 64, 8));
+
+  // A batch-capable sink gets the whole stream in one dispatch...
+  BatchRecordingSink batch_sink;
+  buffer.replay(batch_sink);
+  EXPECT_EQ(batch_sink.single_calls_, 0u);
+  ASSERT_EQ(batch_sink.batch_sizes_.size(), 1u);
+  EXPECT_EQ(batch_sink.batch_sizes_[0], 100u);
+
+  // ...while a plain sink still gets one access() per entry.
+  CountingSink plain;
+  buffer.replay(plain);
+  EXPECT_EQ(plain.total(), 100u);
+}
+
+TEST(TraceBuffer, ReplayFaultSiteFiresBeforeDelivery) {
+  TraceBuffer buffer;
+  for (int i = 0; i < 10; ++i) buffer.access(load(i * 64, 8));
+
+  ScopedFaultInjector injector;
+  injector->arm("trace/replay", {});
+  CountingSink sink;
+  EXPECT_THROW(buffer.replay(sink), FaultInjectedError);
+  EXPECT_EQ(sink.total(), 0u);  // fault precedes any delivery
+  EXPECT_EQ(injector->hits("trace/replay"), 1u);
+
+  injector->disarm("trace/replay");
+  buffer.replay(sink);
+  EXPECT_EQ(sink.total(), 10u);
 }
 
 TEST(TraceBuffer, FootprintLines) {
