@@ -11,6 +11,11 @@
 //                   the same knobs resumes instead of re-simulating
 //   HMS_RETRIES     bounded retries for transient sweep-cell failures
 //                   (default 0)
+//   HMS_REPLAY_MODE sweep replay traversal: "chunk" (default; decode each
+//                   residual chunk once and feed every pending config) or
+//                   "config" (re-stream the residual per grid cell); results
+//                   are bit-identical either way (picked up inside
+//                   ExperimentConfig via sim::default_replay_mode)
 #pragma once
 
 #include <cstdlib>

@@ -2,13 +2,17 @@
 //
 // Measures accesses/sec of the hot simulation paths — single-cache access
 // per replacement policy and sector mode, full-hierarchy access per level
-// count, and residual-stream replay — and writes BENCH_micro_sim.json so
-// the perf trajectory of the engine is tracked run over run.
+// count, residual-stream replay (flat and chunk-encoded), and chunk-major
+// multi-config replay — and writes BENCH_micro_sim.json so the perf
+// trajectory of the engine is tracked run over run. Since schema v2 the
+// JSON also records host provenance (CPU model, SIMD dispatch taken,
+// compiler) and the residual trace's compression ratio.
 //
 // Each config replays a deterministic access stream and reports the best
 // repetition (least interference). A per-config stats checksum folds every
 // simulated counter into one value: engine refactors must leave every
-// checksum bit-identical while moving accesses/sec.
+// checksum bit-identical while moving accesses/sec. The multi_replay pair
+// additionally cross-checks flat vs chunk-major checksums in-process.
 //
 // Knobs:
 //   HMS_BENCH_ACCESSES  accesses per timed repetition (default 4194304)
@@ -24,6 +28,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "hms/common/error.hpp"
 #include "hms/cache/hierarchy.hpp"
 #include "hms/cache/set_assoc_cache.hpp"
 #include "hms/common/random.hpp"
@@ -31,6 +36,7 @@
 #include "hms/mem/memory_device.hpp"
 #include "hms/mem/technology.hpp"
 #include "hms/sim/simulator.hpp"
+#include "hms/trace/chunked_trace.hpp"
 #include "hms/trace/trace_buffer.hpp"
 
 namespace {
@@ -43,10 +49,23 @@ struct BenchResult {
   int levels = 0;            ///< simulated cache levels (0 = single cache)
   std::uint64_t sector_bytes = 0;
   bool batched = false;      ///< driven through the batch/replay path
+  bool encoded = false;      ///< stream stored as a ChunkedTraceBuffer
+  int backs = 0;             ///< back hierarchies fed per pass (multi_replay)
   std::uint64_t accesses = 0;
   double best_seconds = 0.0;
   double accesses_per_sec = 0.0;
   std::uint64_t stats_checksum = 0;
+};
+
+/// Resident-footprint comparison of one real residual capture: the flat
+/// 16 B/access buffer vs the chunk-encoded form actually held by sweeps.
+struct ResidualFootprint {
+  std::string workload;
+  std::uint64_t accesses = 0;
+  std::uint64_t flat_bytes = 0;
+  std::uint64_t resident_bytes = 0;
+  std::uint64_t chunks = 0;
+  double ratio = 0.0;
 };
 
 std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
@@ -232,16 +251,136 @@ BenchResult bench_replay(int levels, cache::PolicyKind policy,
   });
 }
 
+/// Full-hierarchy throughput via ChunkedTraceBuffer::replay: the same
+/// stream as bench_replay, but stored chunk-encoded and decoded per chunk
+/// into an L2-resident scratch batch. Checksums must match the flat
+/// variant's bit for bit.
+BenchResult bench_replay_enc(int levels, cache::PolicyKind policy,
+                             std::uint64_t footprint, const char* suffix,
+                             std::uint64_t accesses, int reps) {
+  const auto stream = make_stream(7, footprint, 0.3);
+  trace::ChunkedTraceBuffer buffer{
+      std::span<const trace::MemoryAccess>(stream)};
+  BenchResult r;
+  r.name = "replay_enc_" + std::string(cache::to_string(policy)) + "_l" +
+           std::to_string(levels) + suffix;
+  r.policy = cache::to_string(policy);
+  r.levels = levels;
+  r.batched = true;
+  r.encoded = true;
+  return time_config(std::move(r), accesses, reps, [&](std::uint64_t n) {
+    auto h = make_hierarchy(levels, policy);
+    const std::uint64_t rounds = n / buffer.size();
+    for (std::uint64_t i = 0; i < rounds; ++i) buffer.replay(*h);
+    return checksum_profile(h->profile());
+  });
+}
+
+/// Deterministic residual-shaped stream: line-aligned 64 B transactions,
+/// mostly the next sequential line with occasional far jumps — the shape a
+/// capture's post-L3 stream actually has. Unlike make_stream's 64 Ki ring,
+/// every record is materialized, so a flat replay genuinely streams
+/// count x 16 bytes from host memory.
+std::vector<trace::MemoryAccess> make_residual_stream(std::uint64_t count,
+                                                      Address space,
+                                                      std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<trace::MemoryAccess> out(static_cast<std::size_t>(count));
+  Address line = 0;
+  for (auto& a : out) {
+    line = rng.chance(0.85) ? (line + 64) % space : rng.below(space) & ~63ull;
+    a = trace::MemoryAccess{line, 64,
+                            rng.chance(0.3) ? AccessType::Store
+                                            : AccessType::Load,
+                            0};
+  }
+  return out;
+}
+
+/// The sweep's inner grid, isolated: one residual stream replayed into
+/// `n_backs` NMM design backs. `chunked` selects chunk-major replay
+/// (sim::replay_back_many — decode each chunk once, feed every back) vs the
+/// flat config-major baseline (full 16 B/access buffer re-streamed per
+/// back). Reported accesses/sec is the aggregate across backs; checksums of
+/// the two variants must match bit for bit.
+BenchResult bench_multi_replay(bool chunked, int n_backs,
+                               const std::vector<trace::MemoryAccess>& stream,
+                               std::uint64_t space, int reps) {
+  designs::DesignFactory factory(256);
+  const auto& configs = designs::n_configs();
+  const auto n = static_cast<std::size_t>(n_backs);
+  check(configs.size() >= n, "bench: not enough N configs");
+
+  sim::FrontCapture capture;  // synthetic: empty front, known residual
+  capture.workload_name = "synthetic";
+  capture.footprint_bytes = space;
+  capture.residual.reserve(stream.size());
+  capture.residual.access_batch(stream);
+  capture.residual.shrink_to_fit();
+  trace::TraceBuffer flat{std::vector<trace::MemoryAccess>(stream)};
+
+  BenchResult r;
+  r.name = std::string("multi_replay_") + (chunked ? "chunk" : "flat") +
+           "_b" + std::to_string(n_backs);
+  r.policy = "LRU";
+  r.levels = 1;
+  r.batched = true;
+  r.encoded = chunked;
+  r.backs = n_backs;
+  const std::uint64_t aggregate = stream.size() * n;
+  return time_config(std::move(r), aggregate, reps, [&](std::uint64_t) {
+    std::vector<std::unique_ptr<cache::MemoryHierarchy>> owned;
+    owned.reserve(n);
+    for (std::size_t b = 0; b < n; ++b) {
+      owned.push_back(factory.nvm_main_memory_back(
+          configs[b], mem::Technology::PCM, space));
+    }
+    std::uint64_t checksum = 0;
+    if (chunked) {
+      std::vector<cache::MemoryHierarchy*> backs;
+      backs.reserve(n);
+      for (const auto& h : owned) backs.push_back(h.get());
+      const auto outcomes = sim::replay_back_many(capture, backs);
+      for (const auto& o : outcomes) {
+        if (!o.ok) {
+          std::cerr << "ERROR: multi_replay back failed: " << o.error << "\n";
+          std::exit(1);
+        }
+        checksum = mix(checksum, checksum_profile(o.profile));
+      }
+    } else {
+      for (const auto& h : owned) {
+        flat.replay(*h);
+        checksum = mix(checksum,
+                       checksum_profile(cache::HierarchyProfile::combine(
+                           capture.front_profile, h->profile())));
+      }
+    }
+    return checksum;
+  });
+}
+
 /// End-to-end sweep cell: residual capture replayed into an NMM back.
-BenchResult bench_replay_back(std::uint64_t accesses, int reps) {
+/// Also fills `footprint` with the capture's flat-vs-encoded residency.
+BenchResult bench_replay_back(std::uint64_t accesses, int reps,
+                              ResidualFootprint& footprint) {
   designs::DesignFactory factory(256);
   const auto capture = sim::capture_front(
       "CG", workloads::WorkloadParams{2ull << 20, 42, 1}, factory);
+  footprint.workload = "CG";
+  footprint.accesses = capture.residual.size();
+  footprint.flat_bytes =
+      capture.residual.size() * sizeof(trace::MemoryAccess);
+  footprint.resident_bytes = capture.residual.resident_bytes();
+  footprint.chunks = capture.residual.chunk_count();
+  footprint.ratio = static_cast<double>(footprint.flat_bytes) /
+                    static_cast<double>(footprint.resident_bytes);
   BenchResult r;
   r.name = "replay_back_N6_PCM";
   r.policy = "LRU";
   r.levels = 1;
   r.batched = true;
+  r.encoded = true;  // captures store the residual chunk-encoded now
   const std::uint64_t per_round = capture.residual.size();
   const std::uint64_t rounds =
       std::max<std::uint64_t>(1, accesses / std::max<std::uint64_t>(
@@ -262,8 +401,45 @@ BenchResult bench_replay_back(std::uint64_t accesses, int reps) {
                      });
 }
 
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (static_cast<unsigned char>(c) < 0x20) continue;  // control chars
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// First "model name" line of /proc/cpuinfo, or "unknown".
+std::string host_cpu_model() {
+  std::ifstream in("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("model name", 0) != 0) continue;
+    const auto colon = line.find(':');
+    if (colon == std::string::npos) break;
+    auto value = line.substr(colon + 1);
+    const auto first = value.find_first_not_of(" \t");
+    return first == std::string::npos ? "unknown" : value.substr(first);
+  }
+  return "unknown";
+}
+
+std::string compiler_id() {
+#if defined(__clang__)
+  return std::string("clang ") + __clang_version__;
+#elif defined(__GNUC__)
+  return std::string("gcc ") + __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
 void write_json(const std::string& path, std::uint64_t accesses, int reps,
-                bool optimized, const std::vector<BenchResult>& results) {
+                bool optimized, const std::vector<BenchResult>& results,
+                const ResidualFootprint& footprint) {
   std::ofstream out(path);
   if (!out) {
     std::cerr << "ERROR: cannot write " << path << "\n";
@@ -271,10 +447,24 @@ void write_json(const std::string& path, std::uint64_t accesses, int reps,
   }
   out << "{\n"
       << "  \"bench\": \"micro_sim\",\n"
-      << "  \"schema_version\": 1,\n"
+      << "  \"schema_version\": 2,\n"
       << "  \"optimized\": " << (optimized ? "true" : "false") << ",\n"
+      // Host provenance: trajectory points are only comparable within the
+      // same (cpu, simd dispatch, compiler) triple.
+      << "  \"host\": {\"cpu\": \"" << json_escape(host_cpu_model())
+      << "\", \"simd\": \""
+      << (cache::avx512_kernel_active() ? "avx512" : "scalar")
+      << "\", \"compiler\": \"" << json_escape(compiler_id()) << "\"},\n"
       << "  \"accesses_per_rep\": " << accesses << ",\n"
       << "  \"reps\": " << reps << ",\n"
+      << "  \"residual_footprint\": {\"workload\": \""
+      << json_escape(footprint.workload)
+      << "\", \"accesses\": " << footprint.accesses
+      << ", \"flat_bytes\": " << footprint.flat_bytes
+      << ", \"resident_bytes\": " << footprint.resident_bytes
+      << ", \"chunks\": " << footprint.chunks
+      << ", \"ratio\": " << std::setprecision(6) << footprint.ratio
+      << "},\n"
       << "  \"results\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const auto& r = results[i];
@@ -282,6 +472,8 @@ void write_json(const std::string& path, std::uint64_t accesses, int reps,
         << "\", \"levels\": " << r.levels
         << ", \"sector_bytes\": " << r.sector_bytes
         << ", \"batched\": " << (r.batched ? "true" : "false")
+        << ", \"encoded\": " << (r.encoded ? "true" : "false")
+        << ", \"backs\": " << r.backs
         << ", \"accesses\": " << r.accesses << ", \"best_seconds\": "
         << std::setprecision(6) << r.best_seconds
         << ", \"accesses_per_sec\": " << std::setprecision(8)
@@ -330,13 +522,36 @@ int main() {
     }
     results.push_back(bench_replay(3, cache::PolicyKind::LRU, 8_MiB, "",
                                    accesses, reps));
+    results.push_back(bench_replay_enc(3, cache::PolicyKind::LRU, 8_MiB, "",
+                                       accesses, reps));
     // Locality regime: footprint fits the simulated L3.
     results.push_back(bench_hierarchy(3, cache::PolicyKind::LRU, 1536_KiB,
                                       "_hot", accesses, reps));
     results.push_back(bench_replay(3, cache::PolicyKind::LRU, 1536_KiB,
                                    "_hot", accesses, reps));
+    results.push_back(bench_replay_enc(3, cache::PolicyKind::LRU, 1536_KiB,
+                                       "_hot", accesses, reps));
   }
-  results.push_back(bench_replay_back(accesses, reps));
+  ResidualFootprint footprint;
+  results.push_back(bench_replay_back(accesses, reps, footprint));
+  {
+    using namespace hms::literals;
+    // Sweep inner grid: same residual stream into 6 NMM backs, flat
+    // config-major vs chunk-major. Checksums must agree bit for bit.
+    const auto stream = make_residual_stream(accesses, 2_MiB, 99);
+    results.push_back(bench_multi_replay(false, 6, stream, 2_MiB, reps));
+    results.push_back(bench_multi_replay(true, 6, stream, 2_MiB, reps));
+    const auto& flat = results[results.size() - 2];
+    const auto& chunk = results[results.size() - 1];
+    if (flat.stats_checksum != chunk.stats_checksum) {
+      std::cerr << "ERROR: multi_replay flat vs chunk checksum mismatch\n";
+      return 1;
+    }
+    std::cout << "multi_replay chunk-major speedup: " << std::fixed
+              << std::setprecision(2)
+              << chunk.accesses_per_sec / flat.accesses_per_sec << "x\n\n";
+    std::cout.unsetf(std::ios::fixed);
+  }
 
   std::cout << std::left << std::setw(24) << "config" << std::right
             << std::setw(14) << "Maccesses/s" << std::setw(12) << "seconds"
@@ -350,7 +565,7 @@ int main() {
     std::cout.unsetf(std::ios::fixed);
   }
 
-  write_json(out_path, accesses, reps, optimized, results);
+  write_json(out_path, accesses, reps, optimized, results, footprint);
   std::cout << "\n(JSON written to " << out_path << ")\n";
   return 0;
 }

@@ -27,6 +27,14 @@ const bool kUseAvx512 = [] {
 }  // namespace
 #endif
 
+bool avx512_kernel_active() noexcept {
+#if HMS_HAVE_AVX512_KERNEL
+  return kUseAvx512;
+#else
+  return false;
+#endif
+}
+
 SetAssocCache::SetAssocCache(CacheConfig config)
     : config_(std::move(config)), rng_(config_.policy_seed) {
   check_config(config_.capacity_bytes > 0, "cache: capacity must be positive");

@@ -35,6 +35,10 @@
 
 namespace hms::cache {
 
+/// True when the runtime dispatch (cpuid + HMS_NO_AVX512) selected the
+/// AVX-512 probe/victim kernel — bench provenance, not a behavior switch.
+[[nodiscard]] bool avx512_kernel_active() noexcept;
+
 struct CacheConfig {
   std::string name = "cache";
   std::uint64_t capacity_bytes = 0;

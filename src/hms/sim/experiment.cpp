@@ -1,9 +1,11 @@
 #include "hms/sim/experiment.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <limits>
 #include <memory>
 #include <optional>
+#include <string_view>
 
 #include "hms/common/error.hpp"
 #include "hms/sim/checkpoint.hpp"
@@ -11,6 +13,16 @@
 #include "hms/workloads/registry.hpp"
 
 namespace hms::sim {
+
+ReplayMode default_replay_mode() {
+  const char* env = std::getenv("HMS_REPLAY_MODE");
+  const std::string_view mode = env != nullptr ? env : "";
+  if (mode.empty() || mode == "chunk") return ReplayMode::ChunkMajor;
+  if (mode == "config") return ReplayMode::ConfigMajor;
+  throw ConfigError(with_context(
+      "HMS_REPLAY_MODE",
+      "expected \"chunk\" or \"config\", got \"" + std::string(mode) + "\""));
+}
 
 workloads::WorkloadParams ExperimentConfig::params_for(
     const workloads::WorkloadInfo& info) const {
@@ -65,7 +77,7 @@ const model::ReferenceAnchor& ExperimentRunner::anchor(
 WorkloadResult ExperimentRunner::evaluate_back(const std::string& design_name,
                                                const std::string& workload,
                                                cache::MemoryHierarchy& back) {
-  const model::DesignReport& base = base_report(workload);
+  (void)base_report(workload);  // warm the base/anchor before replaying
   const FrontCapture& capture = front(workload);
   cache::HierarchyProfile profile;
   try {
@@ -73,6 +85,13 @@ WorkloadResult ExperimentRunner::evaluate_back(const std::string& design_name,
   } catch (...) {
     rethrow_with_context("replay_back");
   }
+  return finish_result(design_name, workload, profile);
+}
+
+WorkloadResult ExperimentRunner::finish_result(
+    const std::string& design_name, const std::string& workload,
+    const cache::HierarchyProfile& profile) {
+  const model::DesignReport& base = base_report(workload);
   const auto& anchor = anchors_.at(workload);
   WorkloadResult result;
   result.report = model::evaluate(design_name, workload, profile, anchor);
@@ -159,43 +178,10 @@ std::vector<SuiteResult> ExperimentRunner::sweep(
                                                     warm_failures);
     std::vector<std::size_t> remaining(pending.size(), width);
 
-    std::vector<ParallelTask> tasks;
-    tasks.reserve(pending.size() * width);
-    for (std::size_t p = 0; p < pending.size(); ++p) {
-      for (std::size_t l = 0; l < width; ++l) {
-        const std::size_t c = pending[p];
-        ParallelTask task;
-        task.label =
-            "config " + configs[c].name + " / workload " + suite_[live[l]];
-        task.transient = config_.max_retries > 0;
-        task.fn = [this, &configs, &make_back, &grid, &live, c, p, l] {
-          const std::string& workload = suite_[live[l]];
-          try {
-            auto back =
-                make_back(configs[c], fronts_.at(workload).footprint_bytes);
-            grid[p][l] = evaluate_back(configs[c].name, workload, *back);
-          } catch (...) {
-            rethrow_with_context("config " + configs[c].name +
-                                 " / workload " + workload);
-          }
-        };
-        tasks.push_back(std::move(task));
-      }
-    }
-
-    ParallelOptions options;
-    options.threads = config_.threads;
-    options.policy = ErrorPolicy::degrade;
-    options.max_retries = config_.max_retries;
-    // Serialized by the pool; assembles a config the moment its last cell
-    // settles so the checkpoint is durable mid-sweep, not only at the end.
-    options.on_complete = [&](std::size_t index, const TaskReport& report) {
-      const std::size_t p = index / width;
-      const std::size_t l = index % width;
-      if (report.outcome == TaskOutcome::failed) {
-        failures[p].push_back({suite_[live[l]], report.error});
-      }
-      if (--remaining[p] != 0) return;
+    // Assembles config p the moment its last cell settles so the checkpoint
+    // is durable mid-sweep, not only at the end. Called from on_complete,
+    // which the pool serializes.
+    const auto settle_config = [&](std::size_t p) {
       std::vector<WorkloadResult> survivors;
       for (auto& cell : grid[p]) {
         if (cell) survivors.push_back(std::move(*cell));
@@ -210,6 +196,132 @@ std::vector<SuiteResult> ExperimentRunner::sweep(
       if (checkpoint != nullptr && !suite.partial) checkpoint->append(suite);
       finished[c] = std::move(suite);
     };
+
+    std::vector<ParallelTask> tasks;
+    ParallelOptions options;
+    options.threads = config_.threads;
+    options.policy = ErrorPolicy::degrade;
+
+    // Chunk-major: per-cell errors filled in by the workload tasks
+    // (empty string = cell succeeded), harvested in on_complete.
+    std::vector<std::vector<std::string>> cell_errors;
+
+    if (config_.replay_mode == ReplayMode::ChunkMajor) {
+      // One task per workload: every pending config's back is fed from a
+      // single decode pass over the residual chunks (replay_back_many). A
+      // cell that fails falls back to bounded standalone-replay retries,
+      // mirroring the config-major transient-retry semantics.
+      cell_errors.assign(pending.size(), std::vector<std::string>(width));
+      tasks.reserve(width);
+      for (std::size_t l = 0; l < width; ++l) {
+        ParallelTask task;
+        task.label = "workload " + suite_[live[l]];
+        task.fn = [this, &configs, &make_back, &grid, &cell_errors, &pending,
+                   &live, l] {
+          const std::string& workload = suite_[live[l]];
+          const FrontCapture& capture = fronts_.at(workload);
+
+          // Build one back per pending config; a config whose construction
+          // fails is excluded from the replay (its cell error is final —
+          // retrying a deterministic ConfigError cannot help).
+          std::vector<std::unique_ptr<cache::MemoryHierarchy>> owned(
+              pending.size());
+          std::vector<cache::MemoryHierarchy*> backs;
+          std::vector<std::size_t> built;  // index into pending, per back
+          backs.reserve(pending.size());
+          built.reserve(pending.size());
+          for (std::size_t p = 0; p < pending.size(); ++p) {
+            const std::size_t c = pending[p];
+            const std::string cell =
+                "config " + configs[c].name + " / workload " + workload;
+            try {
+              owned[p] = make_back(configs[c], capture.footprint_bytes);
+              backs.push_back(owned[p].get());
+              built.push_back(p);
+            } catch (const std::exception& e) {
+              cell_errors[p][l] = with_context(cell, e.what());
+            }
+          }
+
+          const auto outcomes = replay_back_many(capture, backs);
+          for (std::size_t b = 0; b < outcomes.size(); ++b) {
+            const std::size_t p = built[b];
+            const std::size_t c = pending[p];
+            const std::string cell =
+                "config " + configs[c].name + " / workload " + workload;
+            if (outcomes[b].ok) {
+              grid[p][l] =
+                  finish_result(configs[c].name, workload, outcomes[b].profile);
+              continue;
+            }
+            cell_errors[p][l] =
+                with_context(cell, with_context("replay_back",
+                                                outcomes[b].error));
+            // Bounded per-cell retries with a fresh back and a standalone
+            // replay (same ordered stream, so the result stays identical).
+            for (std::uint32_t attempt = 0; attempt < config_.max_retries;
+                 ++attempt) {
+              try {
+                auto back = make_back(configs[c], capture.footprint_bytes);
+                grid[p][l] = evaluate_back(configs[c].name, workload, *back);
+                cell_errors[p][l].clear();
+                break;
+              } catch (const std::exception& e) {
+                cell_errors[p][l] = with_context(cell, e.what());
+              }
+            }
+          }
+        };
+        tasks.push_back(std::move(task));
+      }
+      // Retries are per cell inside the task; a retry at task granularity
+      // would re-run every config's replay.
+      options.max_retries = 0;
+      options.on_complete = [&](std::size_t l, const TaskReport& report) {
+        for (std::size_t p = 0; p < pending.size(); ++p) {
+          if (report.outcome == TaskOutcome::failed) {
+            // The whole workload column died (e.g. out of memory building
+            // the backs vector): every pending config loses this cell.
+            failures[p].push_back({suite_[live[l]], report.error});
+          } else if (!cell_errors[p][l].empty()) {
+            failures[p].push_back({suite_[live[l]], cell_errors[p][l]});
+          }
+          if (--remaining[p] == 0) settle_config(p);
+        }
+      };
+    } else {
+      tasks.reserve(pending.size() * width);
+      for (std::size_t p = 0; p < pending.size(); ++p) {
+        for (std::size_t l = 0; l < width; ++l) {
+          const std::size_t c = pending[p];
+          ParallelTask task;
+          task.label =
+              "config " + configs[c].name + " / workload " + suite_[live[l]];
+          task.transient = config_.max_retries > 0;
+          task.fn = [this, &configs, &make_back, &grid, &live, c, p, l] {
+            const std::string& workload = suite_[live[l]];
+            try {
+              auto back =
+                  make_back(configs[c], fronts_.at(workload).footprint_bytes);
+              grid[p][l] = evaluate_back(configs[c].name, workload, *back);
+            } catch (...) {
+              rethrow_with_context("config " + configs[c].name +
+                                   " / workload " + workload);
+            }
+          };
+          tasks.push_back(std::move(task));
+        }
+      }
+      options.max_retries = config_.max_retries;
+      options.on_complete = [&](std::size_t index, const TaskReport& report) {
+        const std::size_t p = index / width;
+        const std::size_t l = index % width;
+        if (report.outcome == TaskOutcome::failed) {
+          failures[p].push_back({suite_[live[l]], report.error});
+        }
+        if (--remaining[p] == 0) settle_config(p);
+      };
+    }
     (void)run_parallel(std::move(tasks), options);
   }
 

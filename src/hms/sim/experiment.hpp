@@ -20,6 +20,27 @@
 
 namespace hms::sim {
 
+/// How a sweep replays the residual stream into the config grid. Both modes
+/// produce bit-identical SuiteResults (every config observes the identical
+/// ordered stream); they differ only in memory-traffic shape, so the mode is
+/// deliberately excluded from experiment_hash and checkpoints resume across
+/// modes.
+enum class ReplayMode : std::uint8_t {
+  /// One task per workload: decode each residual chunk once and feed the
+  /// batch to every pending config's back (sim::replay_back_many). The
+  /// default — the compressed stream is streamed from memory once total
+  /// instead of once per config.
+  ChunkMajor,
+  /// One task per (config, workload) cell, each replaying the full stream.
+  /// Finer-grained parallelism; useful when configs far outnumber
+  /// workloads and threads, or for differential testing.
+  ConfigMajor,
+};
+
+/// Reads HMS_REPLAY_MODE: unset or "chunk" = ChunkMajor, "config" =
+/// ConfigMajor, anything else throws ConfigError.
+[[nodiscard]] ReplayMode default_replay_mode();
+
 struct ExperimentConfig {
   /// Capacity scale divisor applied to every cache/DRAM size (power of 2).
   std::uint64_t scale_divisor = 64;
@@ -41,6 +62,9 @@ struct ExperimentConfig {
   /// this checkpoint file and a rerun with an identical experiment hash
   /// skips the configs already present (see sim/checkpoint.hpp).
   std::string checkpoint_path;
+  /// Sweep replay strategy (results are identical either way; see
+  /// ReplayMode). Defaults from HMS_REPLAY_MODE.
+  ReplayMode replay_mode = default_replay_mode();
 
   [[nodiscard]] workloads::WorkloadParams params_for(
       const workloads::WorkloadInfo& info) const;
@@ -145,10 +169,23 @@ class ExperimentRunner {
   [[nodiscard]] SuiteResult average(std::string config_name,
                                     std::vector<WorkloadResult> results) const;
 
+  /// Turns an already-computed combined profile into a WorkloadResult
+  /// (model evaluation + normalization against the workload's base). The
+  /// tail of evaluate_back, shared with the chunk-major sweep path where
+  /// replay_back_many produced the profiles.
+  [[nodiscard]] WorkloadResult finish_result(
+      const std::string& design_name, const std::string& workload,
+      const cache::HierarchyProfile& profile);
+
   /// Shared sweep driver: warms every workload's front and base report
   /// serially (they mutate the caches), then evaluates the config x
   /// workload grid with `config_.threads` workers — each task builds its
   /// own back hierarchy and only reads the shared caches.
+  ///
+  /// Grid traversal follows `config_.replay_mode`: chunk-major runs one
+  /// task per workload and replays into every pending config at once
+  /// (replay_back_many, with per-cell bounded retries falling back to a
+  /// standalone replay); config-major runs one task per cell.
   ///
   /// Resilience: cell failures are degraded into SuiteResult::failures
   /// (with warm-up failures excluding the workload from every config); a

@@ -43,9 +43,65 @@ FrontCapture capture_front(const std::string& workload_name,
 cache::HierarchyProfile replay_back(const FrontCapture& capture,
                                     cache::MemoryHierarchy& back) {
   HMS_FAULT_POINT("sim/replay_back");
-  back.access_batch(capture.residual.entries());
+  std::vector<trace::MemoryAccess> scratch;
+  const std::size_t chunks = capture.residual.chunk_count();
+  for (std::size_t i = 0; i < chunks; ++i) {
+    capture.residual.decode_chunk(i, scratch);
+    back.access_batch(scratch);
+  }
   return cache::HierarchyProfile::combine(capture.front_profile,
                                           back.profile());
+}
+
+std::vector<BackReplayOutcome> replay_back_many(
+    const FrontCapture& capture,
+    std::span<cache::MemoryHierarchy* const> backs) {
+  std::vector<BackReplayOutcome> outcomes(backs.size());
+  // Hit the replay fault site once per back, in order, before touching the
+  // stream: a config-major sweep hits "sim/replay_back" once per cell, and
+  // keeping the same per-cell hit sequence keeps deterministic fault
+  // armings (skip_first / max_fires) meaningful across replay modes.
+  std::vector<std::size_t> live;
+  live.reserve(backs.size());
+  for (std::size_t b = 0; b < backs.size(); ++b) {
+    try {
+      HMS_FAULT_POINT("sim/replay_back");
+      live.push_back(b);
+    } catch (const std::exception& e) {
+      outcomes[b].error = e.what();
+    }
+  }
+
+  std::vector<trace::MemoryAccess> scratch;
+  const std::size_t chunks = capture.residual.chunk_count();
+  for (std::size_t i = 0; i < chunks && !live.empty(); ++i) {
+    try {
+      capture.residual.decode_chunk(i, scratch);
+    } catch (const std::exception& e) {
+      // The shared stream is gone; every back still in flight fails.
+      for (const std::size_t b : live) outcomes[b].error = e.what();
+      live.clear();
+      break;
+    }
+    // Dropping a back mid-stream must not disturb the others: erase it from
+    // the live set and keep feeding the rest.
+    std::erase_if(live, [&](std::size_t b) {
+      try {
+        backs[b]->access_batch(scratch);
+        return false;
+      } catch (const std::exception& e) {
+        outcomes[b].error = e.what();
+        return true;
+      }
+    });
+  }
+
+  for (const std::size_t b : live) {
+    outcomes[b].ok = true;
+    outcomes[b].profile = cache::HierarchyProfile::combine(
+        capture.front_profile, backs[b]->profile());
+  }
+  return outcomes;
 }
 
 }  // namespace hms::sim

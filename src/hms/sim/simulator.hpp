@@ -3,12 +3,13 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "hms/cache/hierarchy.hpp"
 #include "hms/designs/design.hpp"
-#include "hms/trace/trace_buffer.hpp"
+#include "hms/trace/chunked_trace.hpp"
 #include "hms/workloads/registry.hpp"
 #include "hms/workloads/workload.hpp"
 
@@ -27,7 +28,9 @@ struct FrontCapture {
   std::uint64_t footprint_bytes = 0;
   std::vector<workloads::AddressRange> ranges;  ///< for the NDM oracle
   cache::HierarchyProfile front_profile;
-  trace::TraceBuffer residual;  ///< post-L3 loads + dirty write-backs
+  /// Post-L3 loads + dirty write-backs, stored compressed (~3-6x smaller
+  /// than the former flat buffer) in independently decodable chunks.
+  trace::ChunkedTraceBuffer residual;
 };
 
 /// Instantiates the named workload, runs it through the factory's L1-L3
@@ -40,5 +43,25 @@ struct FrontCapture {
 /// returns the combined (front + back) profile.
 [[nodiscard]] cache::HierarchyProfile replay_back(
     const FrontCapture& capture, cache::MemoryHierarchy& back);
+
+/// Per-back result of replay_back_many. A failed back carries the raw error
+/// message (no context prefix; callers add "config X / workload Y").
+struct BackReplayOutcome {
+  bool ok = false;
+  cache::HierarchyProfile profile;  ///< combined front+back when ok
+  std::string error;                ///< raw what() when !ok
+};
+
+/// Chunk-major multi-config replay: decodes each residual chunk once into a
+/// scratch batch and feeds it to every still-live back before advancing, so
+/// N config sweeps stream the (compressed) trace from memory once instead
+/// of N times. Each back observes the identical ordered stream as a
+/// standalone replay_back, so profiles are bit-identical. A back that
+/// throws mid-stream is dropped from the chunk loop and reported failed;
+/// the others continue. Fault sites: one "sim/replay_back" hit per back, in
+/// order, before any decoding, plus "trace/decode_chunk" per chunk.
+[[nodiscard]] std::vector<BackReplayOutcome> replay_back_many(
+    const FrontCapture& capture,
+    std::span<cache::MemoryHierarchy* const> backs);
 
 }  // namespace hms::sim

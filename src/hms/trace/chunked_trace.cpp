@@ -1,0 +1,224 @@
+#include "hms/trace/chunked_trace.hpp"
+
+#include "hms/common/error.hpp"
+#include "hms/common/fault.hpp"
+
+namespace hms::trace {
+
+namespace {
+
+std::uint64_t zigzag(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+std::int64_t unzigzag(std::uint64_t v) {
+  return static_cast<std::int64_t>(v >> 1) ^ -static_cast<std::int64_t>(v & 1);
+}
+
+// Record header bits; bits 4-7 carry the low nibble of zigzag(delta).
+constexpr std::uint8_t kStoreBit = 0x01;
+constexpr std::uint8_t kSizeBit = 0x02;
+constexpr std::uint8_t kCoreBit = 0x04;
+constexpr std::uint8_t kDeltaExtBit = 0x08;
+
+std::uint64_t get_varint(const std::uint8_t*& p, const std::uint8_t* end) {
+  std::uint64_t v = 0;
+  int shift = 0;
+  while (true) {
+    if (p == end) throw TraceError("trace: truncated chunk varint");
+    const std::uint8_t byte = *p++;
+    v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) break;
+    shift += 7;
+    if (shift >= 64) throw TraceError("trace: chunk varint too long");
+  }
+  return v;
+}
+
+}  // namespace
+
+ChunkedTraceBuffer::ChunkedTraceBuffer(std::size_t target_chunk_bytes,
+                                       std::size_t max_chunk_accesses)
+    : target_chunk_bytes_(target_chunk_bytes),
+      max_chunk_accesses_(max_chunk_accesses) {
+  check(target_chunk_bytes_ > 0 && max_chunk_accesses_ > 0,
+        "ChunkedTraceBuffer: chunk limits must be positive");
+}
+
+ChunkedTraceBuffer::ChunkedTraceBuffer(std::span<const MemoryAccess> accesses)
+    : ChunkedTraceBuffer() {
+  access_batch(accesses);
+}
+
+void ChunkedTraceBuffer::access_batch(std::span<const MemoryAccess> batch) {
+  for (const auto& a : batch) encode_one(a);
+}
+
+void ChunkedTraceBuffer::put_varint(std::uint64_t v) {
+  while (v >= 0x80) {
+    bytes_.push_back(static_cast<std::uint8_t>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  bytes_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void ChunkedTraceBuffer::encode_one(const MemoryAccess& a) {
+  // Wrapping unsigned subtraction, then reinterpreted as signed: round-trips
+  // any address pair (including max-delta jumps) without signed overflow.
+  const auto delta = static_cast<std::int64_t>(a.address - prev_addr_);
+  const std::uint64_t z = zigzag(delta);
+
+  std::uint8_t header = static_cast<std::uint8_t>((z & 0x0f) << 4);
+  if (a.type == AccessType::Store) header |= kStoreBit;
+  if (a.size != prev_size_) header |= kSizeBit;
+  if (a.core != prev_core_) header |= kCoreBit;
+  if ((z >> 4) != 0) header |= kDeltaExtBit;
+  bytes_.push_back(header);
+  if ((header & kDeltaExtBit) != 0) put_varint(z >> 4);
+  if ((header & kSizeBit) != 0) put_varint(a.size);
+  if ((header & kCoreBit) != 0) put_varint(a.core);
+
+  prev_addr_ = a.address;
+  prev_size_ = a.size;
+  prev_core_ = a.core;
+  ++size_;
+  if (a.type == AccessType::Load) ++loads_;
+  ++open_count_;
+  if (bytes_.size() - open_begin_ >= target_chunk_bytes_ ||
+      open_count_ >= max_chunk_accesses_) {
+    seal_open_chunk();
+  }
+}
+
+void ChunkedTraceBuffer::seal_open_chunk() {
+  if (open_count_ == 0) return;
+  sealed_.push_back(SealedChunk{open_begin_, open_count_});
+  open_begin_ = bytes_.size();
+  open_count_ = 0;
+  prev_addr_ = 0;
+  prev_size_ = kResetSize;
+  prev_core_ = 0;
+}
+
+void ChunkedTraceBuffer::reserve(std::size_t accesses) {
+  // Typical residual records (line-strided, few far jumps) encode in 2-4
+  // bytes; 3 is a safe middle that avoids most growth reallocations.
+  bytes_.reserve(accesses * 3);
+}
+
+void ChunkedTraceBuffer::shrink_to_fit() {
+  bytes_.shrink_to_fit();
+  sealed_.shrink_to_fit();
+}
+
+void ChunkedTraceBuffer::clear() noexcept {
+  bytes_.clear();
+  sealed_.clear();
+  open_begin_ = 0;
+  open_count_ = 0;
+  size_ = 0;
+  loads_ = 0;
+  prev_addr_ = 0;
+  prev_size_ = kResetSize;
+  prev_core_ = 0;
+}
+
+std::size_t ChunkedTraceBuffer::decode_chunk(
+    std::size_t index, std::vector<MemoryAccess>& out) const {
+  HMS_FAULT_POINT("trace/decode_chunk");
+  const std::size_t chunks = chunk_count();
+  check(index < chunks, "ChunkedTraceBuffer: chunk index out of range");
+
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::size_t count = 0;
+  if (index < sealed_.size()) {
+    begin = sealed_[index].begin;
+    end = index + 1 < sealed_.size() ? sealed_[index + 1].begin : open_begin_;
+    count = sealed_[index].count;
+  } else {
+    begin = open_begin_;
+    end = bytes_.size();
+    count = open_count_;
+  }
+
+  out.resize(count);
+  MemoryAccess* dst = out.data();
+  const std::uint8_t* p = bytes_.data() + begin;
+  const std::uint8_t* const stop = bytes_.data() + end;
+  Address prev_addr = 0;
+  std::uint32_t prev_size = kResetSize;
+  CoreId prev_core = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (p == stop) throw TraceError("trace: truncated chunk record");
+    const std::uint8_t header = *p++;
+    std::uint64_t z = static_cast<std::uint64_t>(header) >> 4;
+    if ((header & kDeltaExtBit) != 0) {
+      // Inlined single-byte fast path: a one-byte extension covers zigzag
+      // deltas below 2 KiB, including the dominant next-line step.
+      if (p == stop) throw TraceError("trace: truncated chunk varint");
+      const std::uint8_t b = *p++;
+      if (b < 0x80) {
+        z |= static_cast<std::uint64_t>(b) << 4;
+      } else {
+        std::uint64_t ext = b & 0x7f;
+        int shift = 7;
+        while (true) {
+          if (p == stop) throw TraceError("trace: truncated chunk varint");
+          const std::uint8_t nb = *p++;
+          ext |= static_cast<std::uint64_t>(nb & 0x7f) << shift;
+          if ((nb & 0x80) == 0) break;
+          shift += 7;
+          if (shift >= 64) throw TraceError("trace: chunk varint too long");
+        }
+        z |= ext << 4;
+      }
+    }
+    // Wrapping add mirrors the encoder's wrapping subtraction.
+    prev_addr += static_cast<Address>(unzigzag(z));
+    if ((header & (kSizeBit | kCoreBit)) != 0) {
+      if ((header & kSizeBit) != 0) {
+        prev_size = static_cast<std::uint32_t>(get_varint(p, stop));
+      }
+      if ((header & kCoreBit) != 0) {
+        prev_core = static_cast<CoreId>(get_varint(p, stop));
+      }
+    }
+    dst[i] = MemoryAccess{
+        prev_addr, prev_size,
+        (header & kStoreBit) != 0 ? AccessType::Store : AccessType::Load,
+        prev_core};
+  }
+  if (p != stop) throw TraceError("trace: trailing bytes in chunk");
+  return count;
+}
+
+std::vector<MemoryAccess> ChunkedTraceBuffer::decode_all() const {
+  std::vector<MemoryAccess> all;
+  all.reserve(size_);
+  std::vector<MemoryAccess> scratch;
+  const std::size_t chunks = chunk_count();
+  for (std::size_t i = 0; i < chunks; ++i) {
+    decode_chunk(i, scratch);
+    all.insert(all.end(), scratch.begin(), scratch.end());
+  }
+  return all;
+}
+
+void ChunkedTraceBuffer::replay(AccessSink& sink) const {
+  HMS_FAULT_POINT("trace/replay");
+  auto* batch = dynamic_cast<BatchAccessSink*>(&sink);
+  std::vector<MemoryAccess> scratch;
+  const std::size_t chunks = chunk_count();
+  for (std::size_t i = 0; i < chunks; ++i) {
+    decode_chunk(i, scratch);
+    if (batch != nullptr) {
+      batch->access_batch(scratch);
+    } else {
+      for (const auto& a : scratch) sink.access(a);
+    }
+  }
+}
+
+}  // namespace hms::trace

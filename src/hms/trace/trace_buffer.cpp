@@ -8,6 +8,14 @@
 
 namespace hms::trace {
 
+void TraceBuffer::access_batch(std::span<const MemoryAccess> batch) {
+  accesses_.insert(accesses_.end(), batch.begin(), batch.end());
+  loads_ += static_cast<Count>(
+      std::count_if(batch.begin(), batch.end(), [](const auto& a) {
+        return a.type == AccessType::Load;
+      }));
+}
+
 void TraceBuffer::replay(AccessSink& sink) const {
   HMS_FAULT_POINT("trace/replay");
   if (auto* batch = dynamic_cast<BatchAccessSink*>(&sink)) {
@@ -17,15 +25,12 @@ void TraceBuffer::replay(AccessSink& sink) const {
   for (const auto& a : accesses_) sink.access(a);
 }
 
-Count TraceBuffer::loads() const noexcept {
+Count TraceBuffer::count_loads(
+    const std::vector<MemoryAccess>& accesses) noexcept {
   return static_cast<Count>(
-      std::count_if(accesses_.begin(), accesses_.end(), [](const auto& a) {
+      std::count_if(accesses.begin(), accesses.end(), [](const auto& a) {
         return a.type == AccessType::Load;
       }));
-}
-
-Count TraceBuffer::stores() const noexcept {
-  return static_cast<Count>(accesses_.size()) - loads();
 }
 
 std::size_t TraceBuffer::footprint_lines(std::uint64_t line_size) const {
@@ -34,6 +39,12 @@ std::size_t TraceBuffer::footprint_lines(std::uint64_t line_size) const {
   for (const auto& a : accesses_) {
     const Address first = align_down(a.address, line_size);
     const Address last = align_down(a.address + a.size - 1, line_size);
+    if (first == last) {
+      // Residual-stream accesses are line transactions: the single-line
+      // case is essentially every record, so skip the loop setup.
+      lines.insert(first);
+      continue;
+    }
     for (Address line = first; line <= last; line += line_size) {
       lines.insert(line);
     }

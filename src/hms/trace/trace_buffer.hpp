@@ -15,19 +15,26 @@
 namespace hms::trace {
 
 /// Records a stream into memory; replayable any number of times.
-class TraceBuffer final : public AccessSink {
+class TraceBuffer final : public BatchAccessSink {
  public:
   TraceBuffer() = default;
   explicit TraceBuffer(std::vector<MemoryAccess> accesses)
-      : accesses_(std::move(accesses)) {}
+      : accesses_(std::move(accesses)), loads_(count_loads(accesses_)) {}
 
-  void access(const MemoryAccess& a) override { accesses_.push_back(a); }
+  void access(const MemoryAccess& a) override {
+    accesses_.push_back(a);
+    if (a.type == AccessType::Load) ++loads_;
+  }
+  void access_batch(std::span<const MemoryAccess> batch) override;
 
   void reserve(std::size_t n) { accesses_.reserve(n); }
   /// Releases slack capacity after capture; long-lived residual buffers
   /// (one per workload, held across a whole sweep) keep no growth headroom.
   void shrink_to_fit() { accesses_.shrink_to_fit(); }
-  void clear() noexcept { accesses_.clear(); }
+  void clear() noexcept {
+    accesses_.clear();
+    loads_ = 0;
+  }
 
   [[nodiscard]] bool empty() const noexcept { return accesses_.empty(); }
   [[nodiscard]] std::size_t size() const noexcept { return accesses_.size(); }
@@ -40,15 +47,21 @@ class TraceBuffer final : public AccessSink {
   /// (no per-access virtual dispatch); others get the per-access path.
   void replay(AccessSink& sink) const;
 
-  /// Summary statistics of the recorded stream.
-  [[nodiscard]] Count loads() const noexcept;
-  [[nodiscard]] Count stores() const noexcept;
+  /// Summary statistics of the recorded stream. loads()/stores() are O(1):
+  /// a running counter is maintained by every mutation path.
+  [[nodiscard]] Count loads() const noexcept { return loads_; }
+  [[nodiscard]] Count stores() const noexcept {
+    return static_cast<Count>(accesses_.size()) - loads_;
+  }
   /// Number of distinct cache lines of width `line_size` touched —
   /// the stream's footprint at that granularity.
   [[nodiscard]] std::size_t footprint_lines(std::uint64_t line_size) const;
 
  private:
+  static Count count_loads(const std::vector<MemoryAccess>& accesses) noexcept;
+
   std::vector<MemoryAccess> accesses_;
+  Count loads_ = 0;
 };
 
 }  // namespace hms::trace

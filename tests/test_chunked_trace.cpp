@@ -1,0 +1,290 @@
+// ChunkedTraceBuffer: compressed chunked residual recording — round-trip
+// properties, chunk sealing, chunk-boundary replay equivalence against the
+// flat buffer, compression floors, and the trace/decode_chunk fault site.
+#include <gtest/gtest.h>
+
+#include <span>
+#include <vector>
+
+#include "hms/common/error.hpp"
+#include "hms/common/fault.hpp"
+#include "hms/common/random.hpp"
+#include "hms/designs/configs.hpp"
+#include "hms/designs/design.hpp"
+#include "hms/trace/chunked_trace.hpp"
+#include "hms/trace/sink.hpp"
+#include "hms/trace/trace_buffer.hpp"
+
+namespace hms::trace {
+namespace {
+
+std::vector<MemoryAccess> random_stream(std::size_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<MemoryAccess> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    MemoryAccess a;
+    a.address = rng.below(1ull << 40);
+    a.size = static_cast<std::uint32_t>(1 + rng.below(64));
+    a.type = rng.chance(0.3) ? AccessType::Store : AccessType::Load;
+    a.core = static_cast<CoreId>(rng.below(4));
+    out.push_back(a);
+  }
+  return out;
+}
+
+/// A residual-shaped stream: mostly next-line 64 B fetches with occasional
+/// far jumps, like what falls out of the L3.
+std::vector<MemoryAccess> residual_stream(std::size_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<MemoryAccess> out;
+  out.reserve(n);
+  Address addr = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    addr = rng.chance(0.85) ? addr + 64 : rng.below(1ull << 30) & ~63ull;
+    out.push_back({addr, 64,
+                   rng.chance(0.3) ? AccessType::Store : AccessType::Load, 0});
+  }
+  return out;
+}
+
+void expect_equal(std::span<const MemoryAccess> got,
+                  std::span<const MemoryAccess> want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(got[i], want[i]) << "record " << i;
+  }
+}
+
+TEST(ChunkedTrace, EmptyBuffer) {
+  ChunkedTraceBuffer buffer;
+  EXPECT_TRUE(buffer.empty());
+  EXPECT_EQ(buffer.size(), 0u);
+  EXPECT_EQ(buffer.loads(), 0u);
+  EXPECT_EQ(buffer.stores(), 0u);
+  EXPECT_EQ(buffer.chunk_count(), 0u);
+  EXPECT_EQ(buffer.encoded_bytes(), 0u);
+  EXPECT_TRUE(buffer.decode_all().empty());
+  CountingSink sink;
+  buffer.replay(sink);
+  EXPECT_EQ(sink.total(), 0u);
+}
+
+TEST(ChunkedTrace, RoundTripRandom) {
+  const auto stream = random_stream(50000, 7);
+  ChunkedTraceBuffer buffer{std::span<const MemoryAccess>(stream)};
+  EXPECT_EQ(buffer.size(), stream.size());
+  expect_equal(buffer.decode_all(), stream);
+}
+
+TEST(ChunkedTrace, RoundTripMaxDeltaJumps) {
+  // Alternating ends of the address space: the wrapping delta must
+  // round-trip even when |delta| exceeds INT64_MAX.
+  std::vector<MemoryAccess> stream;
+  for (int i = 0; i < 100; ++i) {
+    const Address addr = (i % 2 == 0) ? 0 : ~0ull - 63;
+    stream.push_back(load(addr, 64));
+  }
+  ChunkedTraceBuffer buffer{std::span<const MemoryAccess>(stream)};
+  expect_equal(buffer.decode_all(), stream);
+}
+
+TEST(ChunkedTrace, RoundTripStoresOnly) {
+  std::vector<MemoryAccess> stream;
+  for (int i = 0; i < 1000; ++i) {
+    stream.push_back(store(static_cast<Address>(i) * 64, 64));
+  }
+  ChunkedTraceBuffer buffer{std::span<const MemoryAccess>(stream)};
+  EXPECT_EQ(buffer.loads(), 0u);
+  EXPECT_EQ(buffer.stores(), 1000u);
+  expect_equal(buffer.decode_all(), stream);
+}
+
+TEST(ChunkedTrace, CountersMatchStream) {
+  const auto stream = random_stream(10000, 11);
+  ChunkedTraceBuffer buffer{std::span<const MemoryAccess>(stream)};
+  Count loads = 0;
+  for (const auto& a : stream) loads += a.type == AccessType::Load ? 1 : 0;
+  EXPECT_EQ(buffer.loads(), loads);
+  EXPECT_EQ(buffer.stores(), stream.size() - loads);
+}
+
+TEST(ChunkedTrace, BatchAndPerAccessEncodeIdentically) {
+  const auto stream = random_stream(5000, 3);
+  ChunkedTraceBuffer one_by_one;
+  for (const auto& a : stream) one_by_one.access(a);
+  ChunkedTraceBuffer batched;
+  batched.access_batch(stream);
+  EXPECT_EQ(one_by_one.encoded_bytes(), batched.encoded_bytes());
+  EXPECT_EQ(one_by_one.chunk_count(), batched.chunk_count());
+  expect_equal(one_by_one.decode_all(), batched.decode_all());
+}
+
+TEST(ChunkedTrace, ChunksSealAtLimitsAndDecodeIndependently) {
+  const auto stream = random_stream(2000, 5);
+  ChunkedTraceBuffer buffer(/*target_chunk_bytes=*/256,
+                            /*max_chunk_accesses=*/64);
+  buffer.access_batch(stream);
+  ASSERT_GT(buffer.chunk_count(), 10u);
+
+  // Decoding chunks out of order must still reproduce each chunk exactly:
+  // every chunk encodes from the fixed reset state.
+  std::vector<std::vector<MemoryAccess>> parts(buffer.chunk_count());
+  std::size_t total = 0;
+  for (std::size_t i = buffer.chunk_count(); i-- > 0;) {
+    total += buffer.decode_chunk(i, parts[i]);
+    EXPECT_LE(parts[i].size(), 64u) << "chunk " << i;
+  }
+  EXPECT_EQ(total, stream.size());
+  std::vector<MemoryAccess> joined;
+  for (const auto& part : parts) {
+    joined.insert(joined.end(), part.begin(), part.end());
+  }
+  expect_equal(joined, stream);
+}
+
+TEST(ChunkedTrace, MaxAccessCapBoundsDecodedChunks) {
+  // A line-strided stream encodes ~2 B/record, so the byte target alone
+  // would leave huge decoded batches; the access cap must bound them.
+  ChunkedTraceBuffer buffer;
+  const std::size_t n = 3 * ChunkedTraceBuffer::kMaxChunkAccesses;
+  for (std::size_t i = 0; i < n; ++i) {
+    buffer.access(load(static_cast<Address>(i) * 64, 64));
+  }
+  std::vector<MemoryAccess> scratch;
+  for (std::size_t i = 0; i < buffer.chunk_count(); ++i) {
+    buffer.decode_chunk(i, scratch);
+    EXPECT_LE(scratch.size(), ChunkedTraceBuffer::kMaxChunkAccesses);
+  }
+  EXPECT_GE(buffer.chunk_count(), 3u);
+}
+
+TEST(ChunkedTrace, CompresssesResidualShapedStreams) {
+  // The acceptance floor for the sweep's resident residual footprint: at
+  // least 2.5x under the flat buffer's 16 B/access, even with jumps.
+  const auto stream = residual_stream(100000, 9);
+  ChunkedTraceBuffer buffer{std::span<const MemoryAccess>(stream)};
+  const double flat =
+      static_cast<double>(stream.size() * sizeof(MemoryAccess));
+  EXPECT_GE(flat / static_cast<double>(buffer.resident_bytes()), 2.5);
+
+  // Pure line stride is the best case: ~2 B/record, 8x-class.
+  ChunkedTraceBuffer strided;
+  for (int i = 0; i < 100000; ++i) {
+    strided.access(load(static_cast<Address>(i) * 64, 64));
+  }
+  EXPECT_GE(flat / static_cast<double>(strided.resident_bytes()), 6.0);
+}
+
+/// Records how replay delivered the stream: per-access or in batches.
+class BatchRecordingSink final : public BatchAccessSink {
+ public:
+  void access(const MemoryAccess&) override { ++single_calls_; }
+  void access_batch(std::span<const MemoryAccess> batch) override {
+    batch_sizes_.push_back(batch.size());
+  }
+
+  std::size_t single_calls_ = 0;
+  std::vector<std::size_t> batch_sizes_;
+};
+
+TEST(ChunkedTrace, ReplayBatchesOncePerChunk) {
+  const auto stream = random_stream(1000, 13);
+  ChunkedTraceBuffer buffer(/*target_chunk_bytes=*/1024,
+                            /*max_chunk_accesses=*/256);
+  buffer.access_batch(stream);
+
+  BatchRecordingSink batch_sink;
+  buffer.replay(batch_sink);
+  EXPECT_EQ(batch_sink.single_calls_, 0u);
+  EXPECT_EQ(batch_sink.batch_sizes_.size(), buffer.chunk_count());
+  std::size_t total = 0;
+  for (const auto s : batch_sink.batch_sizes_) total += s;
+  EXPECT_EQ(total, stream.size());
+
+  CountingSink plain;
+  buffer.replay(plain);
+  EXPECT_EQ(plain.total(), stream.size());
+}
+
+TEST(ChunkedTrace, ChunkBoundaryReplayMatchesFlatOnRealHierarchy) {
+  // The load-bearing equivalence: replaying through many tiny chunks (all
+  // boundary resets exercised) must leave a real cache hierarchy in exactly
+  // the state a flat replay leaves it in.
+  const auto stream = residual_stream(20000, 21);
+  TraceBuffer flat{std::vector<MemoryAccess>(stream.begin(), stream.end())};
+  ChunkedTraceBuffer chunked(/*target_chunk_bytes=*/512,
+                             /*max_chunk_accesses=*/128);
+  chunked.access_batch(stream);
+  ASSERT_GT(chunked.chunk_count(), 50u);
+
+  const designs::DesignFactory factory(512);
+  const std::uint64_t footprint = 1ull << 30;
+  const auto cfg = designs::n_config("N1");
+  auto a = factory.nvm_main_memory_back(cfg, mem::Technology::PCM, footprint);
+  auto b = factory.nvm_main_memory_back(cfg, mem::Technology::PCM, footprint);
+  flat.replay(*a);
+  chunked.replay(*b);
+
+  const auto pa = a->profile();
+  const auto pb = b->profile();
+  ASSERT_EQ(pa.levels.size(), pb.levels.size());
+  for (std::size_t i = 0; i < pa.levels.size(); ++i) {
+    EXPECT_EQ(pa.levels[i].loads, pb.levels[i].loads) << i;
+    EXPECT_EQ(pa.levels[i].stores, pb.levels[i].stores) << i;
+    EXPECT_EQ(pa.levels[i].load_bytes, pb.levels[i].load_bytes) << i;
+    EXPECT_EQ(pa.levels[i].store_bytes, pb.levels[i].store_bytes) << i;
+    EXPECT_EQ(pa.levels[i].cache_stats, pb.levels[i].cache_stats) << i;
+  }
+}
+
+TEST(ChunkedTrace, DecodeChunkFaultSite) {
+  ChunkedTraceBuffer buffer;
+  for (int i = 0; i < 10; ++i) {
+    buffer.access(load(static_cast<Address>(i) * 64, 64));
+  }
+
+  ScopedFaultInjector injector;
+  injector->arm("trace/decode_chunk", {});
+  std::vector<MemoryAccess> scratch;
+  EXPECT_THROW((void)buffer.decode_chunk(0, scratch), FaultInjectedError);
+
+  CountingSink sink;
+  EXPECT_THROW(buffer.replay(sink), FaultInjectedError);
+  EXPECT_EQ(sink.total(), 0u);  // fault precedes any delivery
+
+  injector->disarm("trace/decode_chunk");
+  buffer.replay(sink);
+  EXPECT_EQ(sink.total(), 10u);
+}
+
+TEST(ChunkedTrace, DecodeChunkRejectsOutOfRangeIndex) {
+  ChunkedTraceBuffer buffer;
+  buffer.access(load(0, 64));
+  std::vector<MemoryAccess> scratch;
+  EXPECT_THROW((void)buffer.decode_chunk(1, scratch), Error);
+}
+
+TEST(ChunkedTrace, RejectsZeroChunkLimits) {
+  EXPECT_THROW(ChunkedTraceBuffer(0, 16), Error);
+  EXPECT_THROW(ChunkedTraceBuffer(64, 0), Error);
+}
+
+TEST(ChunkedTrace, ClearResetsEverything) {
+  const auto stream = random_stream(1000, 17);
+  ChunkedTraceBuffer buffer(/*target_chunk_bytes=*/256,
+                            /*max_chunk_accesses=*/64);
+  buffer.access_batch(stream);
+  buffer.clear();
+  EXPECT_TRUE(buffer.empty());
+  EXPECT_EQ(buffer.loads(), 0u);
+  EXPECT_EQ(buffer.stores(), 0u);
+  EXPECT_EQ(buffer.chunk_count(), 0u);
+  EXPECT_EQ(buffer.encoded_bytes(), 0u);
+  // Re-encoding after clear starts from the reset state, not stale prevs.
+  buffer.access_batch(stream);
+  expect_equal(buffer.decode_all(), stream);
+}
+
+}  // namespace
+}  // namespace hms::trace

@@ -1,0 +1,304 @@
+// Chunk-major vs config-major sweep equivalence: both replay strategies
+// must produce bit-identical SuiteResults, replay_back_many must match
+// sequential replay_back exactly, and checkpoints must resume across modes.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hms/common/fault.hpp"
+#include "hms/sim/experiment.hpp"
+
+namespace hms::sim {
+namespace {
+
+using mem::Technology;
+
+ExperimentConfig tiny_config(ReplayMode mode) {
+  ExperimentConfig cfg;
+  cfg.scale_divisor = 512;
+  cfg.footprint_divisor = 512;
+  cfg.seed = 42;
+  cfg.iterations = 1;
+  cfg.suite = {"StreamTriad", "CG"};
+  cfg.threads = 2;
+  cfg.replay_mode = mode;
+  return cfg;
+}
+
+const std::vector<designs::NConfig> three_configs() {
+  return {designs::n_config("N1"), designs::n_config("N3"),
+          designs::n_config("N6")};
+}
+
+class TempFile {
+ public:
+  explicit TempFile(const std::string& tag)
+      : path_(::testing::TempDir() + "hms_replay_modes_" + tag + ".bin") {
+    std::remove(path_.c_str());
+  }
+  ~TempFile() { std::remove(path_.c_str()); }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+/// RAII guard: sets (or clears) HMS_REPLAY_MODE and restores the previous
+/// value on destruction so the ambient test environment stays clean.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    if (old != nullptr) saved_ = old;
+    had_ = old != nullptr;
+    if (value != nullptr) {
+      ::setenv(name, value, 1);
+    } else {
+      ::unsetenv(name);
+    }
+  }
+  ~ScopedEnv() {
+    if (had_) {
+      ::setenv(name_, saved_.c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  std::string saved_;
+  bool had_ = false;
+};
+
+TEST(ReplayModes, DefaultModeParsesEnv) {
+  {
+    ScopedEnv env("HMS_REPLAY_MODE", nullptr);
+    EXPECT_EQ(default_replay_mode(), ReplayMode::ChunkMajor);
+  }
+  {
+    ScopedEnv env("HMS_REPLAY_MODE", "");
+    EXPECT_EQ(default_replay_mode(), ReplayMode::ChunkMajor);
+  }
+  {
+    ScopedEnv env("HMS_REPLAY_MODE", "chunk");
+    EXPECT_EQ(default_replay_mode(), ReplayMode::ChunkMajor);
+  }
+  {
+    ScopedEnv env("HMS_REPLAY_MODE", "config");
+    EXPECT_EQ(default_replay_mode(), ReplayMode::ConfigMajor);
+  }
+  {
+    ScopedEnv env("HMS_REPLAY_MODE", "bogus");
+    EXPECT_THROW((void)default_replay_mode(), ConfigError);
+  }
+}
+
+void expect_suites_identical(const std::vector<SuiteResult>& a,
+                             const std::vector<SuiteResult>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    SCOPED_TRACE(a[i].config_name);
+    EXPECT_EQ(a[i].config_name, b[i].config_name);
+    EXPECT_EQ(a[i].partial, b[i].partial);
+    EXPECT_DOUBLE_EQ(a[i].runtime, b[i].runtime);
+    EXPECT_DOUBLE_EQ(a[i].dynamic, b[i].dynamic);
+    EXPECT_DOUBLE_EQ(a[i].leakage, b[i].leakage);
+    EXPECT_DOUBLE_EQ(a[i].total_energy, b[i].total_energy);
+    EXPECT_DOUBLE_EQ(a[i].edp, b[i].edp);
+    ASSERT_EQ(a[i].per_workload.size(), b[i].per_workload.size());
+    for (std::size_t w = 0; w < a[i].per_workload.size(); ++w) {
+      const auto& na = a[i].per_workload[w].normalized;
+      const auto& nb = b[i].per_workload[w].normalized;
+      EXPECT_DOUBLE_EQ(na.runtime, nb.runtime);
+      EXPECT_DOUBLE_EQ(na.total_energy, nb.total_energy);
+      EXPECT_DOUBLE_EQ(na.edp, nb.edp);
+    }
+  }
+}
+
+TEST(ReplayModes, SweepsAreBitIdenticalAcrossModes) {
+  // The differential test the chunk-major path is gated on: a 3-config x
+  // 2-workload grid must produce bit-identical SuiteResults in both modes.
+  ExperimentRunner chunk(tiny_config(ReplayMode::ChunkMajor));
+  ExperimentRunner config(tiny_config(ReplayMode::ConfigMajor));
+  const auto a = chunk.nmm_sweep(Technology::PCM, three_configs());
+  const auto b = config.nmm_sweep(Technology::PCM, three_configs());
+  expect_suites_identical(a, b);
+}
+
+TEST(ReplayModes, FourLcSweepsAreBitIdenticalAcrossModes) {
+  // Second workload family/design shape through the same differential.
+  const std::vector<designs::EhConfig> configs = {designs::eh_config("EH1"),
+                                                  designs::eh_config("EH4")};
+  ExperimentRunner chunk(tiny_config(ReplayMode::ChunkMajor));
+  ExperimentRunner config(tiny_config(ReplayMode::ConfigMajor));
+  const auto a = chunk.four_lc_sweep(Technology::eDRAM, configs);
+  const auto b = config.four_lc_sweep(Technology::eDRAM, configs);
+  expect_suites_identical(a, b);
+}
+
+TEST(ReplayModes, ReplayBackManyMatchesSequentialReplay) {
+  ExperimentRunner runner(tiny_config(ReplayMode::ChunkMajor));
+  const FrontCapture& capture = runner.front("CG");
+  const auto& factory = runner.factory();
+  const std::vector<std::string> names = {"N1", "N2", "N3", "N6"};
+
+  std::vector<std::unique_ptr<cache::MemoryHierarchy>> seq, many;
+  std::vector<cache::MemoryHierarchy*> ptrs;
+  for (const auto& n : names) {
+    seq.push_back(factory.nvm_main_memory_back(
+        designs::n_config(n), Technology::PCM, capture.footprint_bytes));
+    many.push_back(factory.nvm_main_memory_back(
+        designs::n_config(n), Technology::PCM, capture.footprint_bytes));
+    ptrs.push_back(many.back().get());
+  }
+
+  const auto outcomes = replay_back_many(capture, ptrs);
+  ASSERT_EQ(outcomes.size(), names.size());
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    SCOPED_TRACE(names[i]);
+    ASSERT_TRUE(outcomes[i].ok) << outcomes[i].error;
+    const auto expected = replay_back(capture, *seq[i]);
+    const auto& got = outcomes[i].profile;
+    EXPECT_EQ(got.references, expected.references);
+    ASSERT_EQ(got.levels.size(), expected.levels.size());
+    for (std::size_t l = 0; l < got.levels.size(); ++l) {
+      EXPECT_EQ(got.levels[l].loads, expected.levels[l].loads) << l;
+      EXPECT_EQ(got.levels[l].stores, expected.levels[l].stores) << l;
+      EXPECT_EQ(got.levels[l].load_bytes, expected.levels[l].load_bytes) << l;
+      EXPECT_EQ(got.levels[l].store_bytes, expected.levels[l].store_bytes)
+          << l;
+      EXPECT_EQ(got.levels[l].cache_stats, expected.levels[l].cache_stats)
+          << l;
+    }
+  }
+}
+
+TEST(ReplayModes, ReplayBackManyIsolatesPerBackFaults) {
+  ExperimentRunner runner(tiny_config(ReplayMode::ChunkMajor));
+  const FrontCapture& capture = runner.front("CG");
+  const auto& factory = runner.factory();
+
+  std::vector<std::unique_ptr<cache::MemoryHierarchy>> backs;
+  std::vector<cache::MemoryHierarchy*> ptrs;
+  for (const char* n : {"N1", "N3", "N6"}) {
+    backs.push_back(factory.nvm_main_memory_back(
+        designs::n_config(n), Technology::PCM, capture.footprint_bytes));
+    ptrs.push_back(backs.back().get());
+  }
+
+  // replay_back_many takes one sim/replay_back hit per back, in order,
+  // before decoding: the second armed hit fails exactly the second back.
+  ScopedFaultInjector injector;
+  FaultSpec spec;
+  spec.skip_first = 1;
+  spec.max_fires = 1;
+  injector->arm("sim/replay_back", spec);
+
+  const auto outcomes = replay_back_many(capture, ptrs);
+  ASSERT_EQ(outcomes.size(), 3u);
+  EXPECT_TRUE(outcomes[0].ok) << outcomes[0].error;
+  EXPECT_FALSE(outcomes[1].ok);
+  EXPECT_EQ(outcomes[1].error, "fault injected at sim/replay_back");
+  EXPECT_TRUE(outcomes[2].ok) << outcomes[2].error;
+
+  // Survivors match a clean standalone replay bit-for-bit.
+  injector->disarm("sim/replay_back");
+  auto clean = factory.nvm_main_memory_back(
+      designs::n_config("N6"), Technology::PCM, capture.footprint_bytes);
+  const auto expected = replay_back(capture, *clean);
+  ASSERT_EQ(outcomes[2].profile.levels.size(), expected.levels.size());
+  for (std::size_t l = 0; l < expected.levels.size(); ++l) {
+    EXPECT_EQ(outcomes[2].profile.levels[l].loads, expected.levels[l].loads);
+    EXPECT_EQ(outcomes[2].profile.levels[l].cache_stats,
+              expected.levels[l].cache_stats);
+  }
+}
+
+TEST(ReplayModes, DegradedCellsAreIdenticalAcrossModes) {
+  // Fault the first grid cell (4th replay_back hit: 2-workload warm-up
+  // takes 2, then config N1 / workload StreamTriad) in each mode; the
+  // degraded SuiteResults must agree on the failure and the survivors.
+  auto degraded_sweep = [](ReplayMode mode) {
+    ScopedFaultInjector injector;
+    FaultSpec spec;
+    spec.skip_first = 2;
+    spec.max_fires = 1;
+    injector->arm("sim/replay_back", spec);
+    auto cfg = tiny_config(mode);
+    cfg.threads = 1;  // deterministic task order for targeted injection
+    ExperimentRunner runner(cfg);
+    return runner.nmm_sweep(Technology::PCM, three_configs());
+  };
+
+  const auto chunk = degraded_sweep(ReplayMode::ChunkMajor);
+  const auto config = degraded_sweep(ReplayMode::ConfigMajor);
+  ASSERT_EQ(chunk.size(), 3u);
+  EXPECT_TRUE(chunk[0].partial);
+  ASSERT_EQ(chunk[0].failures.size(), 1u);
+  EXPECT_EQ(chunk[0].failures[0].workload, "StreamTriad");
+  EXPECT_EQ(chunk[0].failures[0].error,
+            "config N1 / workload StreamTriad: replay_back: "
+            "fault injected at sim/replay_back");
+  ASSERT_EQ(config.size(), 3u);
+  ASSERT_EQ(config[0].failures.size(), 1u);
+  EXPECT_EQ(chunk[0].failures[0].error, config[0].failures[0].error);
+  expect_suites_identical(chunk, config);
+}
+
+TEST(ReplayModes, RetriesRecoverTransientFaultsInChunkMajor) {
+  // A transient fault on one cell of the chunk-major grid is retried via
+  // the standalone replay fallback and leaves no trace in the result.
+  ExperimentRunner clean(tiny_config(ReplayMode::ChunkMajor));
+  const auto expected = clean.nmm_sweep(Technology::PCM, three_configs());
+
+  ScopedFaultInjector injector;
+  FaultSpec spec;
+  spec.skip_first = 2;
+  spec.max_fires = 1;
+  spec.transient = true;
+  injector->arm("sim/replay_back", spec);
+
+  auto cfg = tiny_config(ReplayMode::ChunkMajor);
+  cfg.threads = 1;
+  cfg.max_retries = 1;
+  ExperimentRunner runner(cfg);
+  const auto results = runner.nmm_sweep(Technology::PCM, three_configs());
+  EXPECT_EQ(injector->fires("sim/replay_back"), 1u);
+  ASSERT_EQ(results.size(), 3u);
+  for (const auto& r : results) {
+    EXPECT_FALSE(r.partial) << r.config_name;
+    EXPECT_TRUE(r.failures.empty()) << r.config_name;
+  }
+  expect_suites_identical(results, expected);
+}
+
+TEST(ReplayModes, CheckpointsResumeAcrossModes) {
+  // The replay mode is deliberately excluded from experiment_hash: a
+  // checkpoint written chunk-major must satisfy a config-major rerun.
+  TempFile file("cross_mode");
+  auto chunk_cfg = tiny_config(ReplayMode::ChunkMajor);
+  chunk_cfg.checkpoint_path = file.path();
+  ExperimentRunner first(chunk_cfg);
+  const auto partial =
+      first.nmm_sweep(Technology::PCM, {designs::n_config("N1")});
+  ASSERT_EQ(partial.size(), 1u);
+  EXPECT_EQ(first.last_checkpoint_skips(), 0u);
+
+  auto config_cfg = tiny_config(ReplayMode::ConfigMajor);
+  config_cfg.checkpoint_path = file.path();
+  ExperimentRunner second(config_cfg);
+  const auto resumed = second.nmm_sweep(Technology::PCM, three_configs());
+  EXPECT_EQ(second.last_checkpoint_skips(), 1u);
+  ASSERT_EQ(resumed.size(), 3u);
+  EXPECT_DOUBLE_EQ(resumed[0].runtime, partial[0].runtime);
+  EXPECT_DOUBLE_EQ(resumed[0].edp, partial[0].edp);
+}
+
+}  // namespace
+}  // namespace hms::sim

@@ -95,6 +95,31 @@ TEST(TraceBuffer, ReplayUsesBatchPathForBatchSinks) {
   EXPECT_EQ(plain.total(), 100u);
 }
 
+TEST(TraceBuffer, RunningCountersTrackEveryMutationPath) {
+  // loads()/stores() are O(1) running counters; they must stay consistent
+  // with the entries across per-access, batch, clear, and vector-ctor
+  // ingestion.
+  TraceBuffer buffer;
+  buffer.access(load(0x0, 8));
+  buffer.access(store(0x40, 8));
+  const std::vector<MemoryAccess> batch = {load(0x80, 8), load(0xc0, 8),
+                                           store(0x100, 8)};
+  buffer.access_batch(batch);
+  EXPECT_EQ(buffer.loads(), 3u);
+  EXPECT_EQ(buffer.stores(), 2u);
+
+  buffer.clear();
+  EXPECT_EQ(buffer.loads(), 0u);
+  EXPECT_EQ(buffer.stores(), 0u);
+  buffer.access(store(0x0, 8));
+  EXPECT_EQ(buffer.loads(), 0u);
+  EXPECT_EQ(buffer.stores(), 1u);
+
+  const TraceBuffer adopted{std::vector<MemoryAccess>(batch)};
+  EXPECT_EQ(adopted.loads(), 2u);
+  EXPECT_EQ(adopted.stores(), 1u);
+}
+
 TEST(TraceBuffer, ReplayFaultSiteFiresBeforeDelivery) {
   TraceBuffer buffer;
   for (int i = 0; i < 10; ++i) buffer.access(load(i * 64, 8));
@@ -120,6 +145,18 @@ TEST(TraceBuffer, FootprintLines) {
   EXPECT_EQ(buffer.footprint_lines(64), 2u);
   // At 16 B granularity: bytes 0-15 (line 0), 60-67 (lines 3, 4).
   EXPECT_EQ(buffer.footprint_lines(16), 3u);
+}
+
+TEST(TraceBuffer, FootprintLinesMultiLineSpan) {
+  // One access spanning three lines must count all of them, even though
+  // the single-line fast path handles its neighbours.
+  TraceBuffer buffer;
+  buffer.access(load(60, 136));  // bytes 60-195: 64 B lines 0, 1, 2, 3
+  EXPECT_EQ(buffer.footprint_lines(64), 4u);
+  buffer.access(load(64, 64));  // exactly line 1: fast path, no new lines
+  EXPECT_EQ(buffer.footprint_lines(64), 4u);
+  buffer.access(load(256, 192));  // lines 4-6, aligned 3-line span
+  EXPECT_EQ(buffer.footprint_lines(64), 7u);
 }
 
 TEST(TraceIo, RoundTrip) {
