@@ -11,10 +11,16 @@
 //                   the same knobs resumes instead of re-simulating
 //   HMS_RETRIES     bounded retries for transient sweep-cell failures
 //                   (default 0)
+//   HMS_THREADS     sweep worker threads, and the shard count of the
+//                   sharded replay mode (default 0 = auto: hardware
+//                   concurrency, minimum 2 when the host cannot report it)
 //   HMS_REPLAY_MODE sweep replay traversal: "chunk" (default; decode each
-//                   residual chunk once and feed every pending config) or
-//                   "config" (re-stream the residual per grid cell); results
-//                   are bit-identical either way (picked up inside
+//                   residual chunk once and feed every pending config),
+//                   "config" (re-stream the residual per grid cell), or
+//                   "shard" (decode-once sharded engine: HMS_THREADS
+//                   workers each own a slice of the config axis and steal
+//                   pending slices across workloads); results are
+//                   bit-identical in all three (picked up inside
 //                   ExperimentConfig via sim::default_replay_mode)
 #pragma once
 
@@ -57,6 +63,7 @@ inline sim::ExperimentConfig config_from_env() {
   }
   cfg.checkpoint_path = env_str("HMS_CHECKPOINT", "");
   cfg.max_retries = static_cast<std::uint32_t>(env_u64("HMS_RETRIES", 0));
+  cfg.threads = static_cast<unsigned>(env_u64("HMS_THREADS", 0));
   return cfg;
 }
 

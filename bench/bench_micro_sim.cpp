@@ -6,7 +6,10 @@
 // multi-config replay — and writes BENCH_micro_sim.json so the perf
 // trajectory of the engine is tracked run over run. Since schema v2 the
 // JSON also records host provenance (CPU model, SIMD dispatch taken,
-// compiler) and the residual trace's compression ratio.
+// compiler) and the residual trace's compression ratio; schema v3 adds a
+// "parallel" block with the sharded sweep engine's thread-scaling curve
+// (1/2/4/8 workers over a multi-config grid, speedup vs 1 thread, with the
+// grid checksum asserted identical at every thread count).
 //
 // Each config replays a deterministic access stream and reports the best
 // repetition (least interference). A per-config stats checksum folds every
@@ -35,6 +38,7 @@
 #include "hms/designs/design.hpp"
 #include "hms/mem/memory_device.hpp"
 #include "hms/mem/technology.hpp"
+#include "hms/sim/sharded_sweep.hpp"
 #include "hms/sim/simulator.hpp"
 #include "hms/trace/chunked_trace.hpp"
 #include "hms/trace/trace_buffer.hpp"
@@ -401,6 +405,165 @@ BenchResult bench_replay_back(std::uint64_t accesses, int reps,
                      });
 }
 
+/// One point of the sharded engine's thread-scaling curve.
+struct ParallelPoint {
+  unsigned threads = 0;
+  std::uint64_t accesses = 0;  ///< fed accesses per pass (grid aggregate)
+  double best_seconds = 0.0;
+  double accesses_per_sec = 0.0;
+  double speedup = 1.0;  ///< vs the 1-thread point
+  std::uint64_t stats_checksum = 0;
+};
+
+/// The sharded sweep engine over a synthetic multi-config grid at 1/2/4/8
+/// worker threads, plus a chunk-major reference pass (replay_back_many per
+/// workload, serial — the same grid and timed work, returned through
+/// `chunk_ref`). The grid checksum is folded in fixed (config, workload)
+/// order after each pass, so it must be bit-identical at every thread
+/// count, across repetitions, and against the chunk-major reference — the
+/// bench doubles as a determinism differential on the release build. At
+/// non-smoke sizes the 1-thread point must stay within 5% of the
+/// reference: the sharding machinery may not tax the serial case.
+std::vector<ParallelPoint> bench_parallel_scaling(std::uint64_t accesses,
+                                                  int reps,
+                                                  std::size_t& grid_configs,
+                                                  std::size_t& grid_workloads,
+                                                  ParallelPoint& chunk_ref) {
+  using namespace hms::literals;
+  designs::DesignFactory factory(256);
+  const auto& configs = designs::n_configs();
+  const std::size_t n_configs = std::min<std::size_t>(configs.size(), 8);
+  check(n_configs >= 6, "bench: not enough N configs for the parallel grid");
+  constexpr std::size_t kWorkloads = 2;
+  const Address space = 2_MiB;
+  grid_configs = n_configs;
+  grid_workloads = kWorkloads;
+
+  // Per-workload stream sized so one pass feeds roughly `accesses` records
+  // per thread-count point in aggregate across the grid.
+  const std::uint64_t per_stream = std::max<std::uint64_t>(
+      accesses / (n_configs * kWorkloads), std::uint64_t{1} << 14);
+  std::vector<sim::FrontCapture> captures(kWorkloads);
+  for (std::size_t w = 0; w < kWorkloads; ++w) {
+    const auto stream = make_residual_stream(per_stream, space, 101 + w);
+    captures[w].workload_name = "synthetic" + std::to_string(w);
+    captures[w].footprint_bytes = space;
+    captures[w].residual.reserve(stream.size());
+    captures[w].residual.access_batch(stream);
+    captures[w].residual.shrink_to_fit();
+  }
+
+  // Chunk-major reference: the identical grid driven by replay_back_many,
+  // one workload at a time on one thread, back construction included in
+  // the timed region exactly like the sharded passes below.
+  chunk_ref = ParallelPoint{};
+  chunk_ref.threads = 1;
+  chunk_ref.accesses = per_stream * n_configs * kWorkloads;
+  for (int r = 0; r < reps; ++r) {
+    std::vector<std::uint64_t> cell_sums(n_configs * kWorkloads, 0);
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t w = 0; w < kWorkloads; ++w) {
+      std::vector<std::unique_ptr<cache::MemoryHierarchy>> owned;
+      std::vector<cache::MemoryHierarchy*> backs;
+      for (std::size_t b = 0; b < n_configs; ++b) {
+        owned.push_back(factory.nvm_main_memory_back(
+            configs[b], mem::Technology::PCM, space));
+        backs.push_back(owned.back().get());
+      }
+      const auto outcomes = sim::replay_back_many(captures[w], backs);
+      for (std::size_t b = 0; b < n_configs; ++b) {
+        if (!outcomes[b].ok) {
+          std::cerr << "ERROR: chunk_ref back failed: " << outcomes[b].error
+                    << "\n";
+          std::exit(1);
+        }
+        cell_sums[b * kWorkloads + w] = checksum_profile(outcomes[b].profile);
+      }
+    }
+    const auto stop = std::chrono::steady_clock::now();
+    const double seconds =
+        std::chrono::duration<double>(stop - start).count();
+    std::uint64_t checksum = 0;
+    for (const std::uint64_t sum : cell_sums) checksum = mix(checksum, sum);
+    if (chunk_ref.best_seconds == 0.0 || seconds < chunk_ref.best_seconds) {
+      chunk_ref.best_seconds = seconds;
+    }
+    chunk_ref.stats_checksum = checksum;
+  }
+  chunk_ref.accesses_per_sec =
+      static_cast<double>(chunk_ref.accesses) / chunk_ref.best_seconds;
+
+  std::vector<ParallelPoint> points;
+  for (const unsigned threads : {1u, 2u, 4u, 8u}) {
+    ParallelPoint p;
+    p.threads = threads;
+    p.accesses = per_stream * n_configs * kWorkloads;
+    for (int r = 0; r < reps; ++r) {
+      std::vector<std::uint64_t> cell_sums(n_configs * kWorkloads, 0);
+      sim::ShardedSweepSpec spec;
+      for (auto& capture : captures) spec.captures.push_back(&capture);
+      spec.configs = n_configs;
+      spec.threads = threads;
+      spec.make_back = [&](std::size_t config, std::size_t) {
+        return factory.nvm_main_memory_back(configs[config],
+                                            mem::Technology::PCM, space);
+      };
+      spec.on_cell = [&](std::size_t config, std::size_t workload,
+                         sim::ShardedCellOutcome&& out) {
+        if (!out.ok) {
+          std::cerr << "ERROR: parallel sweep cell failed: " << out.error
+                    << "\n";
+          std::exit(1);
+        }
+        cell_sums[config * kWorkloads + workload] =
+            checksum_profile(out.profile);
+      };
+
+      const auto start = std::chrono::steady_clock::now();
+      sim::run_sharded_sweep(spec);
+      const auto stop = std::chrono::steady_clock::now();
+      const double seconds =
+          std::chrono::duration<double>(stop - start).count();
+      std::uint64_t checksum = 0;
+      for (const std::uint64_t sum : cell_sums) checksum = mix(checksum, sum);
+      if (p.best_seconds == 0.0 || seconds < p.best_seconds) {
+        p.best_seconds = seconds;
+      }
+      if (r == 0) {
+        p.stats_checksum = checksum;
+      } else if (p.stats_checksum != checksum) {
+        std::cerr << "ERROR: parallel sweep checksum varies across reps at "
+                  << threads << " threads\n";
+        std::exit(1);
+      }
+    }
+    p.accesses_per_sec = static_cast<double>(p.accesses) / p.best_seconds;
+    if (!points.empty() && points.front().stats_checksum != p.stats_checksum) {
+      std::cerr << "ERROR: parallel sweep checksum differs between 1 and "
+                << threads << " threads\n";
+      std::exit(1);
+    }
+    p.speedup = points.empty()
+                    ? 1.0
+                    : p.accesses_per_sec / points.front().accesses_per_sec;
+    points.push_back(p);
+  }
+  if (points.front().stats_checksum != chunk_ref.stats_checksum) {
+    std::cerr << "ERROR: sharded sweep checksum differs from the "
+                 "chunk-major reference\n";
+    std::exit(1);
+  }
+  // Serial-overhead gate, skipped at smoke sizes where per-pass times are
+  // a few milliseconds and timer noise swamps a 5% band.
+  if (accesses >= (std::uint64_t{1} << 20) &&
+      points.front().accesses_per_sec < 0.95 * chunk_ref.accesses_per_sec) {
+    std::cerr << "ERROR: sharded sweep at 1 thread is more than 5% slower "
+                 "than the chunk-major reference on the same grid\n";
+    std::exit(1);
+  }
+  return points;
+}
+
 std::string json_escape(const std::string& s) {
   std::string out;
   out.reserve(s.size());
@@ -439,7 +602,10 @@ std::string compiler_id() {
 
 void write_json(const std::string& path, std::uint64_t accesses, int reps,
                 bool optimized, const std::vector<BenchResult>& results,
-                const ResidualFootprint& footprint) {
+                const ResidualFootprint& footprint,
+                const std::vector<ParallelPoint>& parallel,
+                const ParallelPoint& chunk_ref, std::size_t grid_configs,
+                std::size_t grid_workloads) {
   std::ofstream out(path);
   if (!out) {
     std::cerr << "ERROR: cannot write " << path << "\n";
@@ -447,7 +613,7 @@ void write_json(const std::string& path, std::uint64_t accesses, int reps,
   }
   out << "{\n"
       << "  \"bench\": \"micro_sim\",\n"
-      << "  \"schema_version\": 2,\n"
+      << "  \"schema_version\": 3,\n"
       << "  \"optimized\": " << (optimized ? "true" : "false") << ",\n"
       // Host provenance: trajectory points are only comparable within the
       // same (cpu, simd dispatch, compiler) triple.
@@ -465,6 +631,31 @@ void write_json(const std::string& path, std::uint64_t accesses, int reps,
       << ", \"chunks\": " << footprint.chunks
       << ", \"ratio\": " << std::setprecision(6) << footprint.ratio
       << "},\n"
+      // Sharded engine thread-scaling curve (HMS_REPLAY_MODE=shard). Points
+      // share one stats checksum: the grid result is thread-count-invariant.
+      << "  \"parallel\": {\"engine\": \"sharded_sweep\", \"grid_configs\": "
+      << grid_configs << ", \"grid_workloads\": " << grid_workloads
+      // Chunk-major (replay_back_many) over the identical grid, serial:
+      // the baseline the 1-thread point is gated against.
+      << ",\n  \"chunk_ref\": {\"accesses\": " << chunk_ref.accesses
+      << ", \"best_seconds\": " << std::setprecision(6)
+      << chunk_ref.best_seconds << ", \"accesses_per_sec\": "
+      << std::setprecision(8) << chunk_ref.accesses_per_sec
+      << ", \"stats_checksum\": \"" << std::hex << chunk_ref.stats_checksum
+      << std::dec << "\"},\n"
+      << "  \"points\": [\n";
+  for (std::size_t i = 0; i < parallel.size(); ++i) {
+    const auto& p = parallel[i];
+    out << "    {\"threads\": " << p.threads
+        << ", \"accesses\": " << p.accesses
+        << ", \"best_seconds\": " << std::setprecision(6) << p.best_seconds
+        << ", \"accesses_per_sec\": " << std::setprecision(8)
+        << p.accesses_per_sec << ", \"speedup\": " << std::setprecision(4)
+        << p.speedup << ", \"stats_checksum\": \"" << std::hex
+        << p.stats_checksum << std::dec << "\"}"
+        << (i + 1 < parallel.size() ? "," : "") << "\n";
+  }
+  out << "  ]},\n"
       << "  \"results\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const auto& r = results[i];
@@ -553,6 +744,24 @@ int main() {
     std::cout.unsetf(std::ios::fixed);
   }
 
+  std::size_t grid_configs = 0, grid_workloads = 0;
+  ParallelPoint chunk_ref;
+  const auto parallel = bench_parallel_scaling(accesses, reps, grid_configs,
+                                               grid_workloads, chunk_ref);
+  std::cout << "sharded sweep scaling (" << grid_configs << " configs x "
+            << grid_workloads << " workloads):\n"
+            << "  chunk-major ref: " << std::fixed << std::setprecision(2)
+            << chunk_ref.accesses_per_sec / 1e6 << " Macc/s\n";
+  std::cout.unsetf(std::ios::fixed);
+  for (const auto& p : parallel) {
+    std::cout << "  " << std::setw(2) << p.threads << " thread(s): "
+              << std::fixed << std::setprecision(2)
+              << p.accesses_per_sec / 1e6 << " Macc/s, speedup "
+              << p.speedup << "x\n";
+    std::cout.unsetf(std::ios::fixed);
+  }
+  std::cout << "\n";
+
   std::cout << std::left << std::setw(24) << "config" << std::right
             << std::setw(14) << "Maccesses/s" << std::setw(12) << "seconds"
             << std::setw(20) << "stats checksum" << "\n";
@@ -565,7 +774,8 @@ int main() {
     std::cout.unsetf(std::ios::fixed);
   }
 
-  write_json(out_path, accesses, reps, optimized, results, footprint);
+  write_json(out_path, accesses, reps, optimized, results, footprint,
+             parallel, chunk_ref, grid_configs, grid_workloads);
   std::cout << "\n(JSON written to " << out_path << ")\n";
   return 0;
 }

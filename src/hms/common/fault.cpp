@@ -73,6 +73,90 @@ void FaultInjector::hit(std::string_view site) {
   throw FaultInjectedError(message, state.spec.transient);
 }
 
+void FaultInjector::hit_at(std::string_view site, std::uint64_t index) {
+  FaultSpec spec;
+  std::string site_name;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = sites_.find(site);
+    if (it == sites_.end() || !it->second.armed) return;
+    spec = it->second.spec;
+    site_name = it->first;
+  }
+  if (index <= spec.skip_first) return;
+
+  // The decision for one index is a pure function of (seed, site, index) —
+  // the same coin hit() flips, with the shared counter replaced by the
+  // caller's canonical index.
+  const auto fires_at = [&](std::uint64_t i) {
+    if (spec.probability >= 1.0) return true;
+    const std::uint64_t roll = splitmix64(seed_ ^ fnv1a(site) ^ i);
+    const double uniform = static_cast<double>(roll >> 11) * 0x1.0p-53;
+    return uniform < spec.probability;
+  };
+  if (!fires_at(index)) return;
+  if (spec.max_fires != std::numeric_limits<std::uint64_t>::max()) {
+    // Budget consumed before this index, recomputed from the pure decision
+    // so it is interleaving-independent. Closed form when every eligible
+    // hit fires; otherwise a scan over the eligible prefix (low-frequency
+    // sites only; see header).
+    std::uint64_t prior = 0;
+    if (spec.probability >= 1.0) {
+      prior = index - spec.skip_first - 1;
+    } else {
+      for (std::uint64_t i = spec.skip_first + 1; i < index; ++i) {
+        if (fires_at(i)) ++prior;
+      }
+    }
+    if (prior >= spec.max_fires) return;
+  }
+  const std::string message = spec.message.empty()
+                                  ? "fault injected at " + site_name
+                                  : spec.message;
+  throw FaultInjectedError(message, spec.transient);
+}
+
+void FaultInjector::merge_counts(std::string_view site, std::uint64_t hits,
+                                 std::uint64_t fires) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = sites_.find(site);
+  if (it == sites_.end()) {
+    it = sites_.emplace(std::string(site), SiteState{}).first;
+  }
+  it->second.hits += hits;
+  it->second.fires += fires;
+}
+
+void ShardFaultAccount::hit(std::string_view site, std::uint64_t index) {
+  if (injector_ == nullptr) return;
+  Tally* tally = nullptr;
+  for (auto& t : tallies_) {
+    if (t.site == site) {
+      tally = &t;
+      break;
+    }
+  }
+  if (tally == nullptr) {
+    tallies_.push_back(Tally{std::string(site), 0, 0});
+    tally = &tallies_.back();
+  }
+  ++tally->hits;
+  try {
+    injector_->hit_at(site, index);
+  } catch (const FaultInjectedError&) {
+    ++tally->fires;
+    throw;
+  }
+}
+
+void ShardFaultAccount::seal() noexcept {
+  if (injector_ == nullptr) return;
+  for (const auto& t : tallies_) {
+    injector_->merge_counts(t.site, t.hits, t.fires);
+  }
+  tallies_.clear();
+}
+
 std::uint64_t FaultInjector::hits(const std::string& site) const {
   const std::lock_guard<std::mutex> lock(mutex_);
   const auto it = sites_.find(site);

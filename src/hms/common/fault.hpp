@@ -24,6 +24,7 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "hms/common/error.hpp"
 
@@ -75,6 +76,25 @@ class FaultInjector {
   /// armed and the deterministic decision says fire.
   void hit(std::string_view site);
 
+  /// Shard-local variant: decides for the hit with the caller-supplied
+  /// 1-based logical index (its position in the canonical serial hit
+  /// order) instead of the shared hit counter, so the decision is
+  /// identical under any worker interleaving. Does NOT bump the site's
+  /// counters — the caller tallies shard-locally and folds the totals in
+  /// at seal time (ShardFaultAccount / merge_counts). skip_first,
+  /// max_fires, and probability armings keep their serial meaning: the
+  /// fire budget consumed by index N is recomputed from the pure decision
+  /// function over indices (skip_first, N), which is O(N - skip_first)
+  /// only when probability < 1 and max_fires is bounded — intended for
+  /// low-frequency sites (per sweep cell, not per access).
+  void hit_at(std::string_view site, std::uint64_t index);
+
+  /// Folds shard-local accounting into the site's counters, creating the
+  /// site record if this is its first touch (so hits() asserts work like
+  /// they do for hit()).
+  void merge_counts(std::string_view site, std::uint64_t hits,
+                    std::uint64_t fires);
+
   [[nodiscard]] std::uint64_t hits(const std::string& site) const;
   [[nodiscard]] std::uint64_t fires(const std::string& site) const;
 
@@ -121,6 +141,42 @@ class ScopedFaultInjector {
  private:
   FaultInjector injector_;
   FaultInjector* previous_;
+};
+
+/// Shard-local fault accounting for engines whose workers cross sites in a
+/// non-serial order (sim/sharded_sweep). Decisions go through
+/// FaultInjector::hit_at with canonical indices, so armings fire on the
+/// same logical hits no matter how workers interleave; the hits and fires
+/// are tallied locally and folded into the injector's shared counters when
+/// the shard seals, so post-run hits()/fires() totals match a serial run
+/// while the hot decision path never contends on them.
+///
+/// No-op (no allocation, no locking) when no injector is active at
+/// construction.
+class ShardFaultAccount {
+ public:
+  ShardFaultAccount() : injector_(FaultInjector::active()) {}
+  ~ShardFaultAccount() { seal(); }
+  ShardFaultAccount(const ShardFaultAccount&) = delete;
+  ShardFaultAccount& operator=(const ShardFaultAccount&) = delete;
+
+  /// Tallies one hit of `site` at canonical `index` and applies the armed
+  /// decision; a fired fault is tallied, then rethrown.
+  void hit(std::string_view site, std::uint64_t index);
+
+  /// Folds the tallies into the injector and clears them. Idempotent;
+  /// the destructor seals whatever is pending.
+  void seal() noexcept;
+
+ private:
+  struct Tally {
+    std::string site;
+    std::uint64_t hits = 0;
+    std::uint64_t fires = 0;
+  };
+
+  FaultInjector* injector_;
+  std::vector<Tally> tallies_;  ///< few sites per shard; linear scan
 };
 
 }  // namespace hms

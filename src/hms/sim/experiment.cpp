@@ -8,8 +8,10 @@
 #include <string_view>
 
 #include "hms/common/error.hpp"
+#include "hms/common/fault.hpp"
 #include "hms/sim/checkpoint.hpp"
 #include "hms/sim/parallel.hpp"
+#include "hms/sim/sharded_sweep.hpp"
 #include "hms/workloads/registry.hpp"
 
 namespace hms::sim {
@@ -19,9 +21,10 @@ ReplayMode default_replay_mode() {
   const std::string_view mode = env != nullptr ? env : "";
   if (mode.empty() || mode == "chunk") return ReplayMode::ChunkMajor;
   if (mode == "config") return ReplayMode::ConfigMajor;
+  if (mode == "shard") return ReplayMode::Sharded;
   throw ConfigError(with_context(
-      "HMS_REPLAY_MODE",
-      "expected \"chunk\" or \"config\", got \"" + std::string(mode) + "\""));
+      "HMS_REPLAY_MODE", "expected \"chunk\", \"config\" or \"shard\", got \"" +
+                             std::string(mode) + "\""));
 }
 
 workloads::WorkloadParams ExperimentConfig::params_for(
@@ -197,132 +200,178 @@ std::vector<SuiteResult> ExperimentRunner::sweep(
       finished[c] = std::move(suite);
     };
 
-    std::vector<ParallelTask> tasks;
-    ParallelOptions options;
-    options.threads = config_.threads;
-    options.policy = ErrorPolicy::degrade;
-
-    // Chunk-major: per-cell errors filled in by the workload tasks
-    // (empty string = cell succeeded), harvested in on_complete.
-    std::vector<std::vector<std::string>> cell_errors;
-
-    if (config_.replay_mode == ReplayMode::ChunkMajor) {
-      // One task per workload: every pending config's back is fed from a
-      // single decode pass over the residual chunks (replay_back_many). A
-      // cell that fails falls back to bounded standalone-replay retries,
-      // mirroring the config-major transient-retry semantics.
-      cell_errors.assign(pending.size(), std::vector<std::string>(width));
-      tasks.reserve(width);
+    if (config_.replay_mode == ReplayMode::Sharded) {
+      // The sharded engine owns its worker pool, claiming (workload,
+      // config-shard) units with work-stealing; this layer only maps cell
+      // outcomes back into the grid/failure bookkeeping, serialized by the
+      // engine's on_cell callback.
+      std::vector<const FrontCapture*> captures;
+      captures.reserve(width);
       for (std::size_t l = 0; l < width; ++l) {
-        ParallelTask task;
-        task.label = "workload " + suite_[live[l]];
-        task.fn = [this, &configs, &make_back, &grid, &cell_errors, &pending,
-                   &live, l] {
-          const std::string& workload = suite_[live[l]];
-          const FrontCapture& capture = fronts_.at(workload);
-
-          // Build one back per pending config; a config whose construction
-          // fails is excluded from the replay (its cell error is final —
-          // retrying a deterministic ConfigError cannot help).
-          std::vector<std::unique_ptr<cache::MemoryHierarchy>> owned(
-              pending.size());
-          std::vector<cache::MemoryHierarchy*> backs;
-          std::vector<std::size_t> built;  // index into pending, per back
-          backs.reserve(pending.size());
-          built.reserve(pending.size());
-          for (std::size_t p = 0; p < pending.size(); ++p) {
-            const std::size_t c = pending[p];
-            const std::string cell =
-                "config " + configs[c].name + " / workload " + workload;
-            try {
-              owned[p] = make_back(configs[c], capture.footprint_bytes);
-              backs.push_back(owned[p].get());
-              built.push_back(p);
-            } catch (const std::exception& e) {
-              cell_errors[p][l] = with_context(cell, e.what());
-            }
+        captures.push_back(&fronts_.at(suite_[live[l]]));
+      }
+      ShardedSweepSpec spec;
+      spec.captures = captures;
+      spec.configs = pending.size();
+      spec.threads = config_.threads;
+      spec.max_retries = config_.max_retries;
+      if (FaultInjector* injector = FaultInjector::active()) {
+        spec.replay_fault_base = injector->hits("sim/replay_back");
+      }
+      spec.make_back = [&](std::size_t p, std::size_t l) {
+        return make_back(configs[pending[p]], captures[l]->footprint_bytes);
+      };
+      spec.on_cell = [&](std::size_t p, std::size_t l,
+                         ShardedCellOutcome&& out) {
+        const std::size_t c = pending[p];
+        const std::string& workload = suite_[live[l]];
+        const std::string cell =
+            "config " + configs[c].name + " / workload " + workload;
+        if (out.ok) {
+          try {
+            grid[p][l] = finish_result(configs[c].name, workload, out.profile);
+          } catch (const std::exception& e) {
+            failures[p].push_back({workload, with_context(cell, e.what())});
           }
+        } else if (out.constructed) {
+          failures[p].push_back(
+              {workload,
+               with_context(cell, with_context("replay_back", out.error))});
+        } else {
+          failures[p].push_back({workload, with_context(cell, out.error)});
+        }
+        if (--remaining[p] == 0) settle_config(p);
+      };
+      run_sharded_sweep(spec);
+      // (Falls through to the shared assembly below; every cell settled.)
+    } else {
+      std::vector<ParallelTask> tasks;
+      ParallelOptions options;
+      options.threads = config_.threads;
+      options.policy = ErrorPolicy::degrade;
 
-          const auto outcomes = replay_back_many(capture, backs);
-          for (std::size_t b = 0; b < outcomes.size(); ++b) {
-            const std::size_t p = built[b];
-            const std::size_t c = pending[p];
-            const std::string cell =
-                "config " + configs[c].name + " / workload " + workload;
-            if (outcomes[b].ok) {
-              grid[p][l] =
-                  finish_result(configs[c].name, workload, outcomes[b].profile);
-              continue;
-            }
-            cell_errors[p][l] =
-                with_context(cell, with_context("replay_back",
-                                                outcomes[b].error));
-            // Bounded per-cell retries with a fresh back and a standalone
-            // replay (same ordered stream, so the result stays identical).
-            for (std::uint32_t attempt = 0; attempt < config_.max_retries;
-                 ++attempt) {
+      // Chunk-major: per-cell errors filled in by the workload tasks
+      // (empty string = cell succeeded), harvested in on_complete.
+      std::vector<std::vector<std::string>> cell_errors;
+
+      if (config_.replay_mode == ReplayMode::ChunkMajor) {
+        // One task per workload: every pending config's back is fed from a
+        // single decode pass over the residual chunks (replay_back_many). A
+        // cell that fails falls back to bounded standalone-replay retries,
+        // mirroring the config-major transient-retry semantics.
+        cell_errors.assign(pending.size(), std::vector<std::string>(width));
+        tasks.reserve(width);
+        for (std::size_t l = 0; l < width; ++l) {
+          ParallelTask task;
+          task.label = "workload " + suite_[live[l]];
+          task.fn = [this, &configs, &make_back, &grid, &cell_errors, &pending,
+                     &live, l] {
+            const std::string& workload = suite_[live[l]];
+            const FrontCapture& capture = fronts_.at(workload);
+
+            // Build one back per pending config; a config whose construction
+            // fails is excluded from the replay (its cell error is final —
+            // retrying a deterministic ConfigError cannot help).
+            std::vector<std::unique_ptr<cache::MemoryHierarchy>> owned(
+                pending.size());
+            std::vector<cache::MemoryHierarchy*> backs;
+            std::vector<std::size_t> built;  // index into pending, per back
+            backs.reserve(pending.size());
+            built.reserve(pending.size());
+            for (std::size_t p = 0; p < pending.size(); ++p) {
+              const std::size_t c = pending[p];
+              const std::string cell =
+                  "config " + configs[c].name + " / workload " + workload;
               try {
-                auto back = make_back(configs[c], capture.footprint_bytes);
-                grid[p][l] = evaluate_back(configs[c].name, workload, *back);
-                cell_errors[p][l].clear();
-                break;
+                owned[p] = make_back(configs[c], capture.footprint_bytes);
+                backs.push_back(owned[p].get());
+                built.push_back(p);
               } catch (const std::exception& e) {
                 cell_errors[p][l] = with_context(cell, e.what());
               }
             }
-          }
-        };
-        tasks.push_back(std::move(task));
-      }
-      // Retries are per cell inside the task; a retry at task granularity
-      // would re-run every config's replay.
-      options.max_retries = 0;
-      options.on_complete = [&](std::size_t l, const TaskReport& report) {
-        for (std::size_t p = 0; p < pending.size(); ++p) {
-          if (report.outcome == TaskOutcome::failed) {
-            // The whole workload column died (e.g. out of memory building
-            // the backs vector): every pending config loses this cell.
-            failures[p].push_back({suite_[live[l]], report.error});
-          } else if (!cell_errors[p][l].empty()) {
-            failures[p].push_back({suite_[live[l]], cell_errors[p][l]});
-          }
-          if (--remaining[p] == 0) settle_config(p);
-        }
-      };
-    } else {
-      tasks.reserve(pending.size() * width);
-      for (std::size_t p = 0; p < pending.size(); ++p) {
-        for (std::size_t l = 0; l < width; ++l) {
-          const std::size_t c = pending[p];
-          ParallelTask task;
-          task.label =
-              "config " + configs[c].name + " / workload " + suite_[live[l]];
-          task.transient = config_.max_retries > 0;
-          task.fn = [this, &configs, &make_back, &grid, &live, c, p, l] {
-            const std::string& workload = suite_[live[l]];
-            try {
-              auto back =
-                  make_back(configs[c], fronts_.at(workload).footprint_bytes);
-              grid[p][l] = evaluate_back(configs[c].name, workload, *back);
-            } catch (...) {
-              rethrow_with_context("config " + configs[c].name +
-                                   " / workload " + workload);
+
+            const auto outcomes = replay_back_many(capture, backs);
+            for (std::size_t b = 0; b < outcomes.size(); ++b) {
+              const std::size_t p = built[b];
+              const std::size_t c = pending[p];
+              const std::string cell =
+                  "config " + configs[c].name + " / workload " + workload;
+              if (outcomes[b].ok) {
+                grid[p][l] =
+                    finish_result(configs[c].name, workload, outcomes[b].profile);
+                continue;
+              }
+              cell_errors[p][l] =
+                  with_context(cell, with_context("replay_back",
+                                                  outcomes[b].error));
+              // Bounded per-cell retries with a fresh back and a standalone
+              // replay (same ordered stream, so the result stays identical).
+              for (std::uint32_t attempt = 0; attempt < config_.max_retries;
+                   ++attempt) {
+                try {
+                  auto back = make_back(configs[c], capture.footprint_bytes);
+                  grid[p][l] = evaluate_back(configs[c].name, workload, *back);
+                  cell_errors[p][l].clear();
+                  break;
+                } catch (const std::exception& e) {
+                  cell_errors[p][l] = with_context(cell, e.what());
+                }
+              }
             }
           };
           tasks.push_back(std::move(task));
         }
-      }
-      options.max_retries = config_.max_retries;
-      options.on_complete = [&](std::size_t index, const TaskReport& report) {
-        const std::size_t p = index / width;
-        const std::size_t l = index % width;
-        if (report.outcome == TaskOutcome::failed) {
-          failures[p].push_back({suite_[live[l]], report.error});
+        // Retries are per cell inside the task; a retry at task granularity
+        // would re-run every config's replay.
+        options.max_retries = 0;
+        options.on_complete = [&](std::size_t l, const TaskReport& report) {
+          for (std::size_t p = 0; p < pending.size(); ++p) {
+            if (report.outcome == TaskOutcome::failed) {
+              // The whole workload column died (e.g. out of memory building
+              // the backs vector): every pending config loses this cell.
+              failures[p].push_back({suite_[live[l]], report.error});
+            } else if (!cell_errors[p][l].empty()) {
+              failures[p].push_back({suite_[live[l]], cell_errors[p][l]});
+            }
+            if (--remaining[p] == 0) settle_config(p);
+          }
+        };
+      } else {
+        tasks.reserve(pending.size() * width);
+        for (std::size_t p = 0; p < pending.size(); ++p) {
+          for (std::size_t l = 0; l < width; ++l) {
+            const std::size_t c = pending[p];
+            ParallelTask task;
+            task.label =
+                "config " + configs[c].name + " / workload " + suite_[live[l]];
+            task.transient = config_.max_retries > 0;
+            task.fn = [this, &configs, &make_back, &grid, &live, c, p, l] {
+              const std::string& workload = suite_[live[l]];
+              try {
+                auto back =
+                    make_back(configs[c], fronts_.at(workload).footprint_bytes);
+                grid[p][l] = evaluate_back(configs[c].name, workload, *back);
+              } catch (...) {
+                rethrow_with_context("config " + configs[c].name +
+                                     " / workload " + workload);
+              }
+            };
+            tasks.push_back(std::move(task));
+          }
         }
-        if (--remaining[p] == 0) settle_config(p);
-      };
+        options.max_retries = config_.max_retries;
+        options.on_complete = [&](std::size_t index, const TaskReport& report) {
+          const std::size_t p = index / width;
+          const std::size_t l = index % width;
+          if (report.outcome == TaskOutcome::failed) {
+            failures[p].push_back({suite_[live[l]], report.error});
+          }
+          if (--remaining[p] == 0) settle_config(p);
+        };
+      }
+      (void)run_parallel(std::move(tasks), options);
     }
-    (void)run_parallel(std::move(tasks), options);
   }
 
   std::vector<SuiteResult> out;

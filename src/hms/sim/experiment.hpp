@@ -20,11 +20,11 @@
 
 namespace hms::sim {
 
-/// How a sweep replays the residual stream into the config grid. Both modes
+/// How a sweep replays the residual stream into the config grid. All modes
 /// produce bit-identical SuiteResults (every config observes the identical
-/// ordered stream); they differ only in memory-traffic shape, so the mode is
-/// deliberately excluded from experiment_hash and checkpoints resume across
-/// modes.
+/// ordered stream); they differ only in memory-traffic shape and
+/// parallelism grain, so the mode is deliberately excluded from
+/// experiment_hash and checkpoints resume across modes.
 enum class ReplayMode : std::uint8_t {
   /// One task per workload: decode each residual chunk once and feed the
   /// batch to every pending config's back (sim::replay_back_many). The
@@ -35,10 +35,16 @@ enum class ReplayMode : std::uint8_t {
   /// Finer-grained parallelism; useful when configs far outnumber
   /// workloads and threads, or for differential testing.
   ConfigMajor,
+  /// Decode-once sharded engine (sim/sharded_sweep.hpp): worker threads
+  /// each own a shard of the config axis, consume shared refcounted chunk
+  /// batches at their own pace, and steal pending shards across workloads.
+  /// Scales with `ExperimentConfig::threads` without re-decoding or
+  /// re-streaming the trace per config.
+  Sharded,
 };
 
 /// Reads HMS_REPLAY_MODE: unset or "chunk" = ChunkMajor, "config" =
-/// ConfigMajor, anything else throws ConfigError.
+/// ConfigMajor, "shard" = Sharded, anything else throws ConfigError.
 [[nodiscard]] ReplayMode default_replay_mode();
 
 struct ExperimentConfig {
@@ -52,7 +58,9 @@ struct ExperimentConfig {
   /// Workloads to evaluate; defaults to the paper suite.
   std::vector<std::string> suite;
   designs::DesignOptions design_options;
-  /// Worker threads for config sweeps (0 = hardware concurrency).
+  /// Worker threads for config sweeps, and the shard count of the sharded
+  /// replay mode (0 = auto: hardware concurrency, with a documented
+  /// fallback of sim::kFallbackWorkers when the host cannot report it).
   unsigned threads = 0;
   /// Extra attempts granted to a failing sweep cell before it is recorded
   /// as a failure (deterministic immediate retries; useful when fault
@@ -185,7 +193,10 @@ class ExperimentRunner {
   /// Grid traversal follows `config_.replay_mode`: chunk-major runs one
   /// task per workload and replays into every pending config at once
   /// (replay_back_many, with per-cell bounded retries falling back to a
-  /// standalone replay); config-major runs one task per cell.
+  /// standalone replay); config-major runs one task per cell; sharded
+  /// hands the whole pending grid to sim::run_sharded_sweep (config-shard
+  /// workers over shared decode rings, work-stealing across workloads)
+  /// with the same per-cell degrade/retry semantics.
   ///
   /// Resilience: cell failures are degraded into SuiteResult::failures
   /// (with warm-up failures excluding the workload from every config); a

@@ -44,6 +44,15 @@ std::string prefixed(const TaskReport& report) {
 
 }  // namespace
 
+unsigned resolve_workers(unsigned requested, unsigned hardware) noexcept {
+  if (requested != 0) return requested;
+  return hardware != 0 ? hardware : kFallbackWorkers;
+}
+
+unsigned resolve_workers(unsigned requested) noexcept {
+  return resolve_workers(requested, std::thread::hardware_concurrency());
+}
+
 std::string ParallelReport::summary(std::size_t max_messages) const {
   std::string out = std::to_string(failures) + " task(s) failed";
   if (failures == 0) return out;
@@ -68,13 +77,8 @@ ParallelReport run_parallel(std::vector<ParallelTask> tasks,
   report.tasks.resize(tasks.size());
   if (tasks.empty()) return report;
 
-  unsigned threads = options.threads;
-  if (threads == 0) {
-    threads = std::thread::hardware_concurrency();
-    if (threads == 0) threads = 1;
-  }
-  threads = std::min<unsigned>(threads,
-                               static_cast<unsigned>(tasks.size()));
+  unsigned threads = std::min<unsigned>(resolve_workers(options.threads),
+                                        static_cast<unsigned>(tasks.size()));
 
   // First failure in task order (not completion order) would be racy to
   // track exactly; "first observed" is what fail_fast rethrows, which is

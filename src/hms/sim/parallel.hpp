@@ -27,6 +27,21 @@ namespace hms::sim {
 
 enum class ErrorPolicy { fail_fast, collect_all, degrade };
 
+/// Workers used for "auto" (requested == 0) when the host cannot report
+/// its core count: std::thread::hardware_concurrency() returns 0 on such
+/// hosts, and falling back to 1 would silently serialize every sweep.
+inline constexpr unsigned kFallbackWorkers = 2;
+
+/// Resolves a requested worker count against a probed hardware
+/// concurrency: non-zero requests pass through untouched; 0 ("auto")
+/// resolves to `hardware`, or to kFallbackWorkers when the probe itself
+/// returned 0 (unknown host).
+[[nodiscard]] unsigned resolve_workers(unsigned requested,
+                                       unsigned hardware) noexcept;
+
+/// resolve_workers with hardware = std::thread::hardware_concurrency().
+[[nodiscard]] unsigned resolve_workers(unsigned requested) noexcept;
+
 enum class TaskOutcome { ok, failed };
 
 /// One unit of work. `transient` opts the task into the bounded-retry

@@ -1,0 +1,265 @@
+#include "hms/sim/sharded_sweep.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "hms/common/error.hpp"
+#include "hms/common/fault.hpp"
+#include "hms/sim/parallel.hpp"
+#include "hms/trace/chunk_ring.hpp"
+
+namespace hms::sim {
+
+namespace {
+
+/// One work unit: a contiguous shard of the config axis for one workload.
+struct Unit {
+  std::size_t workload = 0;
+  std::size_t config_begin = 0;
+  std::size_t config_end = 0;
+};
+
+/// A cell in flight inside one unit.
+struct Cell {
+  std::size_t config = 0;
+  std::unique_ptr<cache::MemoryHierarchy> back;
+  ShardedCellOutcome out;
+};
+
+/// Runs one unit to completion and returns its per-cell outcomes (index
+/// i = config_begin + i). Only throws on conditions that should fail the
+/// whole unit (e.g. allocation failure of the cell vector itself).
+std::vector<ShardedCellOutcome> run_unit(const ShardedSweepSpec& spec,
+                                         const Unit& unit,
+                                         trace::ChunkBatchRing& ring) {
+  const FrontCapture& capture = *spec.captures[unit.workload];
+  const std::size_t n = unit.config_end - unit.config_begin;
+  std::vector<Cell> cells(n);
+
+  // Shard-local fault accounting: decisions use canonical indices so a
+  // given arming fails the same cells at any thread count; the counters
+  // merge into the injector when this account seals (scope exit).
+  ShardFaultAccount faults;
+
+  // Build every back first, then take the per-cell "sim/replay_back" hits
+  // in config order — the same build-all-then-hit-all sequence the
+  // chunk-major workload task produces serially.
+  for (std::size_t i = 0; i < n; ++i) {
+    Cell& cell = cells[i];
+    cell.config = unit.config_begin + i;
+    try {
+      cell.back = spec.make_back(cell.config, unit.workload);
+      cell.out.constructed = true;
+    } catch (const std::exception& e) {
+      cell.out.error = e.what();
+    }
+  }
+  std::vector<std::size_t> live;
+  live.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Cell& cell = cells[i];
+    if (!cell.out.constructed) continue;
+    try {
+      faults.hit("sim/replay_back",
+                 spec.replay_fault_base +
+                     static_cast<std::uint64_t>(unit.workload) * spec.configs +
+                     cell.config + 1);
+      live.push_back(i);
+    } catch (const std::exception& e) {
+      cell.out.error = e.what();
+    }
+  }
+
+  // Consume the shared decode ring at this shard's own pace. A back that
+  // throws mid-stream drops out alone; a decode failure fails every back
+  // still in flight (the shared stream is gone for this pass).
+  const std::size_t chunks = capture.residual.chunk_count();
+  for (std::size_t c = 0; c < chunks && !live.empty(); ++c) {
+    trace::DecodedBatchView batch;
+    try {
+      batch = ring.get(c);
+    } catch (const std::exception& e) {
+      for (const std::size_t i : live) cells[i].out.error = e.what();
+      live.clear();
+      break;
+    }
+    std::erase_if(live, [&](std::size_t i) {
+      try {
+        cells[i].back->access_batch(*batch);
+        return false;
+      } catch (const std::exception& e) {
+        cells[i].out.error = e.what();
+        return true;
+      }
+    });
+  }
+  for (const std::size_t i : live) {
+    cells[i].out.ok = true;
+    cells[i].out.profile = cache::HierarchyProfile::combine(
+        capture.front_profile, cells[i].back->profile());
+  }
+
+  // Seal the shard-local tallies before any retry: retry attempts take
+  // the plain global "sim/replay_back" hit (exactly like the chunk-major
+  // fallback through evaluate_back), and that decision must see the fires
+  // this shard just recorded or a max_fires budget would double-spend.
+  faults.seal();
+
+  // Bounded per-cell retries with a fresh back and a standalone ring-fed
+  // replay (same ordered stream, so a recovered cell is bit-identical).
+  // Construction failures are final — retrying a deterministic
+  // ConfigError cannot help.
+  for (std::size_t i = 0; i < n; ++i) {
+    Cell& cell = cells[i];
+    if (cell.out.ok || !cell.out.constructed) continue;
+    for (std::uint32_t attempt = 0; attempt < spec.max_retries; ++attempt) {
+      try {
+        auto back = spec.make_back(cell.config, unit.workload);
+        HMS_FAULT_POINT("sim/replay_back");
+        for (std::size_t c = 0; c < chunks; ++c) {
+          back->access_batch(*ring.get(c));
+        }
+        cell.out.ok = true;
+        cell.out.profile = cache::HierarchyProfile::combine(
+            capture.front_profile, back->profile());
+        cell.out.error.clear();
+        break;
+      } catch (const std::exception& e) {
+        cell.out.error = e.what();
+      }
+    }
+  }
+
+  std::vector<ShardedCellOutcome> outcomes;
+  outcomes.reserve(n);
+  for (auto& cell : cells) outcomes.push_back(std::move(cell.out));
+  return outcomes;
+}
+
+}  // namespace
+
+void run_sharded_sweep(const ShardedSweepSpec& spec) {
+  const std::size_t width = spec.captures.size();
+  if (width == 0 || spec.configs == 0) return;
+  check(spec.make_back != nullptr, "run_sharded_sweep: make_back not set");
+  check(spec.on_cell != nullptr, "run_sharded_sweep: on_cell not set");
+  for (const auto* capture : spec.captures) {
+    check(capture != nullptr, "run_sharded_sweep: null capture");
+  }
+
+  const unsigned threads = resolve_workers(spec.threads);
+  const std::size_t shards =
+      std::min<std::size_t>(threads, spec.configs);
+  const std::size_t ring_capacity =
+      spec.ring_capacity != 0 ? spec.ring_capacity : 2 * threads + 2;
+
+  // One shared decode ring per workload: concurrent shards of the same
+  // workload reuse each other's decodes instead of re-decoding.
+  std::vector<std::unique_ptr<trace::ChunkBatchRing>> rings;
+  rings.reserve(width);
+  for (const auto* capture : spec.captures) {
+    rings.push_back(std::make_unique<trace::ChunkBatchRing>(capture->residual,
+                                                            ring_capacity));
+  }
+
+  // Per-worker unit queues, workload-major round-robin: the first wave of
+  // workers starts on the same workload (sharing its ring), and a worker
+  // whose queue drains steals from the others.
+  std::vector<std::vector<Unit>> queues(threads);
+  {
+    std::size_t next_worker = 0;
+    for (std::size_t l = 0; l < width; ++l) {
+      for (std::size_t s = 0; s < shards; ++s) {
+        const std::size_t begin = s * spec.configs / shards;
+        const std::size_t end = (s + 1) * spec.configs / shards;
+        if (begin == end) continue;
+        queues[next_worker % threads].push_back(Unit{l, begin, end});
+        ++next_worker;
+      }
+    }
+  }
+  std::vector<std::atomic<std::size_t>> heads(threads);
+
+  std::mutex settle_mutex;
+  std::exception_ptr callback_error;
+
+  // Settles one finished unit: per-cell callbacks run serialized, and the
+  // first callback exception mutes the rest (rethrown after join).
+  const auto settle_unit = [&](const Unit& unit,
+                               std::vector<ShardedCellOutcome>&& outcomes) {
+    const std::lock_guard<std::mutex> lock(settle_mutex);
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+      if (!callback_error) {
+        try {
+          spec.on_cell(unit.config_begin + i, unit.workload,
+                       std::move(outcomes[i]));
+        } catch (...) {
+          callback_error = std::current_exception();
+        }
+      }
+    }
+  };
+
+  const auto run_claimed = [&](const Unit& unit) {
+    std::vector<ShardedCellOutcome> outcomes;
+    try {
+      outcomes = run_unit(spec, unit, *rings[unit.workload]);
+    } catch (const std::exception& e) {
+      // The whole unit died (e.g. out of memory): every cell fails with
+      // the unit error, construction state unknown — report final.
+      outcomes.assign(unit.config_end - unit.config_begin,
+                      ShardedCellOutcome{});
+      for (auto& out : outcomes) out.error = e.what();
+    }
+    settle_unit(unit, std::move(outcomes));
+  };
+
+  const auto worker = [&](unsigned self) {
+    // Drain the home queue, then steal: scan the other queues round-robin
+    // and claim their next pending unit. fetch_add makes each unit claimed
+    // exactly once; an overshot head just means that queue is empty.
+    while (true) {
+      const std::size_t i =
+          heads[self].fetch_add(1, std::memory_order_relaxed);
+      if (i >= queues[self].size()) break;
+      run_claimed(queues[self][i]);
+    }
+    for (unsigned step = 1; step < threads;) {
+      const unsigned victim = (self + step) % threads;
+      const std::size_t i =
+          heads[victim].fetch_add(1, std::memory_order_relaxed);
+      if (i >= queues[victim].size()) {
+        ++step;  // victim drained; move on
+        continue;
+      }
+      run_claimed(queues[victim][i]);
+    }
+  };
+
+  if (threads <= 1) {
+    worker(0);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker, t);
+    for (auto& t : pool) t.join();
+  }
+
+  if (callback_error) {
+    try {
+      std::rethrow_exception(callback_error);
+    } catch (const std::exception& e) {
+      throw Error(with_context("run_sharded_sweep: on_cell callback failed",
+                               e.what()));
+    } catch (...) {
+      throw Error("run_sharded_sweep: on_cell callback failed");
+    }
+  }
+}
+
+}  // namespace hms::sim

@@ -1,0 +1,87 @@
+// Decode-once sharded sweep engine.
+//
+// The chunk-major sweep (sim::replay_back_many) decodes each residual chunk
+// once but feeds every config's back from a single thread, so an N-config
+// grid is wall-clock-bound by the widest workload. This engine splits the
+// config grid into shards: worker threads each own a slice of the config
+// axis for one workload, consume decoded chunk batches from a shared
+// per-workload ring (trace::ChunkBatchRing — refcounted, decoded at most
+// once while referenced), and advance their backs at their own pace. Work
+// units are (workload, config-shard) pairs; a worker that drains its own
+// queue steals pending units from other workers, so finished shards pick up
+// cells from other workloads instead of idling.
+//
+// Determinism: every back still observes the identical ordered stream a
+// standalone replay_back would deliver (each back belongs to exactly one
+// unit, fed chunks 0..N in order), so profiles — and therefore
+// SuiteResults — are bit-identical to the chunk- and config-major modes no
+// matter the thread count. Per-back stats live in the back hierarchies the
+// unit owns; they are read once, after the unit's replay finishes, so the
+// merge into suite results is order-independent by construction. Fault
+// injection stays reproducible under worker interleaving because the
+// "sim/replay_back" per-cell hits use canonical logical indices (the
+// serial chunk-major order: base + workload * configs + config + 1)
+// through FaultInjector::hit_at, with shard-local hit accounting merged
+// into the injector's counters when the unit seals (ShardFaultAccount).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "hms/cache/hierarchy.hpp"
+#include "hms/sim/simulator.hpp"
+
+namespace hms::sim {
+
+/// Per-cell outcome of a sharded sweep.
+struct ShardedCellOutcome {
+  bool ok = false;
+  /// False when make_back threw — a deterministic construction error the
+  /// caller should treat as final. True for replay-stage failures, which
+  /// honor the engine's bounded retries.
+  bool constructed = false;
+  cache::HierarchyProfile profile;  ///< combined front+back when ok
+  std::string error;                ///< raw what() when !ok
+};
+
+struct ShardedSweepSpec {
+  /// One front capture per workload column; index = workload slot.
+  std::vector<const FrontCapture*> captures;
+  /// Config rows in the grid.
+  std::size_t configs = 0;
+  /// Builds the back for cell (config, workload). Called concurrently from
+  /// worker threads; must be thread-safe.
+  std::function<std::unique_ptr<cache::MemoryHierarchy>(
+      std::size_t config, std::size_t workload)>
+      make_back;
+  /// Worker threads (0 = auto via resolve_workers).
+  unsigned threads = 0;
+  /// Extra fresh-back replay attempts granted to a failed (constructed)
+  /// cell, mirroring ExperimentConfig::max_retries.
+  std::uint32_t max_retries = 0;
+  /// Decoded batches each workload's ring retains (0 = auto:
+  /// 2 * threads + 2 — enough that co-scheduled shards of one workload
+  /// share every decode while staying a few MiB per workload).
+  std::size_t ring_capacity = 0;
+  /// Global "sim/replay_back" hits already taken before this sweep (the
+  /// serial warm-up's); cell (c, w) takes its hit at canonical index
+  /// base + w * configs + c + 1. Pass FaultInjector::active()->hits(...)
+  /// or 0 when injection is inactive.
+  std::uint64_t replay_fault_base = 0;
+  /// Invoked exactly once per cell as its unit seals, serialized by the
+  /// engine (callers may touch shared state without locking). An exception
+  /// escaping the callback aborts the sweep with hms::Error after all
+  /// workers join; remaining callbacks are skipped.
+  std::function<void(std::size_t config, std::size_t workload,
+                     ShardedCellOutcome&&)>
+      on_cell;
+};
+
+/// See file comment. Settles every (config, workload) cell exactly once
+/// through spec.on_cell.
+void run_sharded_sweep(const ShardedSweepSpec& spec);
+
+}  // namespace hms::sim

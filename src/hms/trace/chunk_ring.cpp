@@ -1,0 +1,87 @@
+#include "hms/trace/chunk_ring.hpp"
+
+#include <utility>
+
+#include "hms/common/error.hpp"
+
+namespace hms::trace {
+
+ChunkBatchRing::ChunkBatchRing(const ChunkedTraceBuffer& trace,
+                               std::size_t capacity)
+    : trace_(&trace), capacity_(capacity) {
+  check(capacity_ > 0, "ChunkBatchRing: capacity must be positive");
+  window_.reserve(capacity_);
+}
+
+DecodedBatchView ChunkBatchRing::get(std::size_t index) {
+  std::shared_ptr<Entry> entry;
+  bool decoder = false;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    auto it = entries_.find(index);
+    if (it != entries_.end()) {
+      entry = it->second.lock();
+      if (entry == nullptr) entries_.erase(it);
+    }
+    if (entry == nullptr) {
+      entry = std::make_shared<Entry>();
+      entries_[index] = entry;
+      // Retain in the bounded window, overwriting the oldest slot. Evicted
+      // entries survive only while a consumer still holds a view.
+      if (window_.size() < capacity_) {
+        window_.push_back(entry);
+      } else {
+        window_[window_next_] = entry;
+        window_next_ = (window_next_ + 1) % capacity_;
+      }
+      decoder = true;
+      ++decodes_;
+    }
+  }
+
+  if (decoder) {
+    // Decode outside the ring lock so distinct chunks decode in parallel;
+    // requesters of *this* chunk wait on the entry instead.
+    std::exception_ptr error;
+    std::vector<MemoryAccess> batch;
+    try {
+      trace_->decode_chunk(index, batch);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (error == nullptr) {
+        entry->batch = std::move(batch);
+      } else {
+        entry->error = error;
+        // Drop the poisoned entry so a later request re-attempts the
+        // decode (the error may be an injected transient fault).
+        const auto it = entries_.find(index);
+        if (it != entries_.end() && it->second.lock() == entry) {
+          entries_.erase(it);
+        }
+        for (auto& held : window_) {
+          if (held == entry) held.reset();
+        }
+      }
+      entry->ready = true;
+    }
+    decoded_.notify_all();
+    if (error != nullptr) std::rethrow_exception(error);
+  } else {
+    std::unique_lock<std::mutex> lock(mutex_);
+    decoded_.wait(lock, [&] { return entry->ready; });
+    if (entry->error != nullptr) std::rethrow_exception(entry->error);
+  }
+  // Aliasing view: consumers keep the whole entry (and thus the ring's
+  // never-re-decode promise for this chunk) alive through the batch.
+  return DecodedBatchView(entry, &entry->batch);
+}
+
+std::size_t ChunkBatchRing::decodes() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return decodes_;
+}
+
+}  // namespace hms::trace

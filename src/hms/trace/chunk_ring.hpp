@@ -1,0 +1,84 @@
+// Shared-ownership decode handles over a ChunkedTraceBuffer.
+//
+// The sharded sweep engine (sim/sharded_sweep.hpp) has several worker
+// threads consuming the same workload's residual stream at their own pace.
+// Decoding a chunk per consumer would multiply the decode cost by the shard
+// count; ChunkBatchRing instead hands out refcounted immutable batches so
+// that concurrent consumers of the same chunk share a single decode.
+//
+// Retention is a bounded ring: the ring itself keeps the last `capacity`
+// distinct chunks alive (so shards progressing near each other hit the
+// cache), and a batch additionally stays alive — and is never re-decoded —
+// for as long as any consumer still holds its view. Only a consumer that
+// falls more than `capacity` chunks behind every other live reference can
+// observe a second decode of the same chunk; decode is deterministic, so
+// that costs time, never correctness.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "hms/trace/access.hpp"
+#include "hms/trace/chunked_trace.hpp"
+
+namespace hms::trace {
+
+/// Immutable shared view of one decoded chunk. Holding it keeps the batch
+/// (and its cache entry) alive; drop it to let the ring retire the chunk.
+using DecodedBatchView = std::shared_ptr<const std::vector<MemoryAccess>>;
+
+/// See file comment. Thread-safe; decode errors (including injected
+/// "trace/decode_chunk" faults) propagate to every concurrent requester of
+/// the failing chunk and are not cached, so a later retry re-attempts the
+/// decode.
+class ChunkBatchRing {
+ public:
+  /// `capacity` bounds the decoded batches the ring itself keeps alive
+  /// (~256 KiB each at the default chunk limits).
+  ChunkBatchRing(const ChunkedTraceBuffer& trace, std::size_t capacity);
+
+  ChunkBatchRing(const ChunkBatchRing&) = delete;
+  ChunkBatchRing& operator=(const ChunkBatchRing&) = delete;
+
+  [[nodiscard]] std::size_t chunk_count() const noexcept {
+    return trace_->chunk_count();
+  }
+
+  /// Returns the decoded batch for chunk `index`, decoding it at most once
+  /// across all concurrent callers. Blocks callers that arrive while the
+  /// chunk is mid-decode; rethrows the decoder's exception to every waiter
+  /// when the decode fails.
+  [[nodiscard]] DecodedBatchView get(std::size_t index);
+
+  /// Chunks decoded since construction (>= distinct chunks requested;
+  /// equality means no chunk was ever re-decoded). For tests and the bench
+  /// harness's decode-amplification accounting.
+  [[nodiscard]] std::size_t decodes() const;
+
+ private:
+  struct Entry {
+    std::vector<MemoryAccess> batch;
+    std::exception_ptr error;  ///< non-null when the decode failed
+    bool ready = false;        ///< decode settled (batch or error valid)
+  };
+
+  const ChunkedTraceBuffer* trace_;
+  std::size_t capacity_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable decoded_;
+  /// Live entries: any entry some consumer still references, plus the ring
+  /// window below. Values are weak so consumer drops retire entries.
+  std::unordered_map<std::size_t, std::weak_ptr<Entry>> entries_;
+  /// FIFO of the last `capacity_` distinct chunks, held strongly.
+  std::vector<std::shared_ptr<Entry>> window_;
+  std::size_t window_next_ = 0;  ///< next slot to overwrite in window_
+  std::size_t decodes_ = 0;
+};
+
+}  // namespace hms::trace

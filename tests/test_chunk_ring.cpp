@@ -1,0 +1,194 @@
+// ChunkBatchRing: shared-ownership decode handles — decode-once under
+// concurrent consumers, bounded-window retention vs consumer-held views,
+// and decode-fault propagation without poisoning later retries.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+#include "hms/common/error.hpp"
+#include "hms/common/fault.hpp"
+#include "hms/common/random.hpp"
+#include "hms/trace/chunk_ring.hpp"
+#include "hms/trace/chunked_trace.hpp"
+
+namespace hms::trace {
+namespace {
+
+/// A residual-shaped stream (mostly next-line 64 B fetches) recorded into
+/// deliberately tiny chunks so a few thousand accesses span many of them.
+ChunkedTraceBuffer tiny_chunked_trace(std::size_t n, std::uint64_t seed,
+                                      std::size_t target_chunk_bytes = 256) {
+  Xoshiro256 rng(seed);
+  ChunkedTraceBuffer buffer(target_chunk_bytes);
+  Address addr = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    addr = rng.chance(0.85) ? addr + 64 : rng.below(1ull << 30) & ~63ull;
+    buffer.access({addr, 64,
+                   rng.chance(0.3) ? AccessType::Store : AccessType::Load, 0});
+  }
+  return buffer;
+}
+
+TEST(ChunkRing, RejectsZeroCapacity) {
+  const ChunkedTraceBuffer trace = tiny_chunked_trace(64, 1);
+  EXPECT_THROW(ChunkBatchRing(trace, 0), Error);
+}
+
+TEST(ChunkRing, BatchesMatchDecodeChunk) {
+  const ChunkedTraceBuffer trace = tiny_chunked_trace(4096, 7);
+  ASSERT_GT(trace.chunk_count(), 4u);
+  ChunkBatchRing ring(trace, 4);
+  EXPECT_EQ(ring.chunk_count(), trace.chunk_count());
+
+  std::vector<MemoryAccess> expected;
+  for (std::size_t c = 0; c < trace.chunk_count(); ++c) {
+    const DecodedBatchView batch = ring.get(c);
+    trace.decode_chunk(c, expected);
+    ASSERT_EQ(batch->size(), expected.size()) << "chunk " << c;
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      ASSERT_EQ((*batch)[i], expected[i]) << "chunk " << c << " record " << i;
+    }
+  }
+  // A single in-order consumer never re-decodes.
+  EXPECT_EQ(ring.decodes(), trace.chunk_count());
+}
+
+TEST(ChunkRing, RepeatedGetWithinWindowSharesOneDecode) {
+  const ChunkedTraceBuffer trace = tiny_chunked_trace(1024, 11);
+  ChunkBatchRing ring(trace, 4);
+  const DecodedBatchView first = ring.get(0);
+  const DecodedBatchView second = ring.get(0);
+  EXPECT_EQ(first.get(), second.get());  // literally the same batch
+  EXPECT_EQ(ring.decodes(), 1u);
+}
+
+TEST(ChunkRing, HeldViewSurvivesWindowEviction) {
+  const ChunkedTraceBuffer trace = tiny_chunked_trace(4096, 13);
+  ASSERT_GT(trace.chunk_count(), 3u);
+  // Capacity 1: every later get() evicts chunk 0 from the ring's own
+  // window, but the consumer-held view must keep it decoded and shared.
+  ChunkBatchRing ring(trace, 1);
+  const DecodedBatchView held = ring.get(0);
+  for (std::size_t c = 1; c < trace.chunk_count(); ++c) (void)ring.get(c);
+  const DecodedBatchView again = ring.get(0);
+  EXPECT_EQ(held.get(), again.get());
+  EXPECT_EQ(ring.decodes(), trace.chunk_count());
+}
+
+TEST(ChunkRing, LapsedConsumerRedecodesOnlyAfterAllViewsDropped) {
+  const ChunkedTraceBuffer trace = tiny_chunked_trace(2048, 17);
+  ASSERT_GT(trace.chunk_count(), 2u);
+  ChunkBatchRing ring(trace, 1);
+  (void)ring.get(0);  // view dropped immediately
+  (void)ring.get(1);  // evicts chunk 0 from the window
+  (void)ring.get(0);  // nothing kept it alive: second decode, time-only cost
+  EXPECT_EQ(ring.decodes(), 3u);
+}
+
+TEST(ChunkRing, ConcurrentConsumersOfSameChunksDecodeOnce) {
+  const ChunkedTraceBuffer trace = tiny_chunked_trace(8192, 19);
+  const std::size_t chunks = trace.chunk_count();
+  ASSERT_GT(chunks, 8u);
+  // Window spans the whole stream so any re-decode can only come from a
+  // race in get(), which is exactly what this test hunts.
+  ChunkBatchRing ring(trace, chunks);
+
+  constexpr unsigned kThreads = 8;
+  std::atomic<unsigned> ready{0};
+  std::atomic<bool> failed{false};
+  std::vector<std::size_t> sums(kThreads, 0);
+
+  std::vector<std::thread> pool;
+  pool.reserve(kThreads);
+  for (unsigned t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&, t] {
+      ready.fetch_add(1);
+      while (ready.load() < kThreads) std::this_thread::yield();
+      try {
+        // Every thread walks every chunk; odd threads walk twice to mix
+        // first-requester and waiter/reuse paths.
+        const unsigned laps = 1 + (t % 2);
+        for (unsigned lap = 0; lap < laps; ++lap) {
+          for (std::size_t c = 0; c < chunks; ++c) {
+            const DecodedBatchView batch = ring.get(c);
+            sums[t] += batch->size();
+          }
+        }
+      } catch (...) {
+        failed.store(true);
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+
+  EXPECT_FALSE(failed.load());
+  EXPECT_EQ(ring.decodes(), chunks);
+  for (unsigned t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(sums[t], (1 + (t % 2)) * trace.size()) << "thread " << t;
+  }
+}
+
+TEST(ChunkRing, DecodeFaultPropagatesAndIsNotCached) {
+  const ChunkedTraceBuffer trace = tiny_chunked_trace(1024, 23);
+  ChunkBatchRing ring(trace, 2);
+
+  ScopedFaultInjector injector;
+  FaultSpec spec;
+  spec.max_fires = 1;
+  injector->arm("trace/decode_chunk", spec);
+
+  EXPECT_THROW((void)ring.get(0), FaultInjectedError);
+  // The poisoned entry was dropped: the retry re-attempts the decode and
+  // succeeds now that the fault budget is spent.
+  const DecodedBatchView batch = ring.get(0);
+  std::vector<MemoryAccess> expected;
+  trace.decode_chunk(0, expected);
+  EXPECT_EQ(batch->size(), expected.size());
+  // Both the failed claim and the successful retry count as decodes.
+  EXPECT_EQ(ring.decodes(), 2u);
+}
+
+TEST(ChunkRing, DecodeFaultReachesConcurrentWaiters) {
+  const ChunkedTraceBuffer trace = tiny_chunked_trace(1024, 29);
+  ChunkBatchRing ring(trace, 2);
+
+  ScopedFaultInjector injector;
+  FaultSpec spec;
+  spec.max_fires = 1;
+  injector->arm("trace/decode_chunk", spec);
+
+  // All threads race for the same chunk: exactly one claims the decode and
+  // fires the fault; every waiter must see the same exception (and none may
+  // hang). Later serial retries succeed.
+  constexpr unsigned kThreads = 4;
+  std::atomic<unsigned> ready{0};
+  std::atomic<unsigned> threw{0};
+  std::atomic<unsigned> succeeded{0};
+  std::vector<std::thread> pool;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&] {
+      ready.fetch_add(1);
+      while (ready.load() < kThreads) std::this_thread::yield();
+      try {
+        (void)ring.get(0);
+        succeeded.fetch_add(1);
+      } catch (const FaultInjectedError&) {
+        threw.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+
+  // At least the claiming thread throws; threads that arrived after the
+  // poisoned entry was dropped may have re-decoded successfully.
+  EXPECT_GE(threw.load(), 1u);
+  EXPECT_EQ(threw.load() + succeeded.load(), kThreads);
+  const DecodedBatchView batch = ring.get(0);
+  EXPECT_FALSE(batch->empty());
+}
+
+}  // namespace
+}  // namespace hms::trace

@@ -2,7 +2,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 #include <sstream>
+#include <string>
 #include <vector>
 
 #include "hms/common/fault.hpp"
@@ -129,6 +131,124 @@ TEST(Fault, ProbabilityIsDeterministicPerSeed) {
   const auto fires = std::count(a.begin(), a.end(), true);
   EXPECT_GT(fires, 30);
   EXPECT_LT(fires, 90);
+}
+
+TEST(Fault, HitAtMatchesSerialHitDecisions) {
+  // hit_at(site, i) is the pure-function form of the i-th serial hit():
+  // for any spec, walking indices 1..N must reproduce the exact fire
+  // pattern of N sequential hit() calls under the same seed.
+  const auto serial_pattern = [](const FaultSpec& spec) {
+    ScopedFaultInjector injector(7);
+    injector->arm("unit/site", spec);
+    std::vector<bool> fired;
+    for (int i = 0; i < 64; ++i) {
+      try {
+        HMS_FAULT_POINT("unit/site");
+        fired.push_back(false);
+      } catch (const FaultInjectedError&) {
+        fired.push_back(true);
+      }
+    }
+    return fired;
+  };
+  const auto indexed_pattern = [](const FaultSpec& spec) {
+    ScopedFaultInjector injector(7);
+    injector->arm("unit/site", spec);
+    std::vector<bool> fired;
+    for (std::uint64_t i = 1; i <= 64; ++i) {
+      try {
+        injector->hit_at("unit/site", i);
+        fired.push_back(false);
+      } catch (const FaultInjectedError&) {
+        fired.push_back(true);
+      }
+    }
+    return fired;
+  };
+
+  for (const double probability : {1.0, 0.3}) {
+    for (const std::uint64_t skip_first : {std::uint64_t{0}, std::uint64_t{5}}) {
+      for (const std::uint64_t max_fires :
+           {std::numeric_limits<std::uint64_t>::max(), std::uint64_t{1},
+            std::uint64_t{3}}) {
+        FaultSpec spec;
+        spec.probability = probability;
+        spec.skip_first = skip_first;
+        spec.max_fires = max_fires;
+        SCOPED_TRACE("p=" + std::to_string(probability) +
+                     " skip=" + std::to_string(skip_first) +
+                     " max=" + std::to_string(max_fires));
+        EXPECT_EQ(serial_pattern(spec), indexed_pattern(spec));
+      }
+    }
+  }
+}
+
+TEST(Fault, HitAtIsOrderIndependent) {
+  // The decision for an index does not depend on which indices were probed
+  // before it — the property that makes sharded sweeps deterministic.
+  FaultSpec spec;
+  spec.probability = 0.4;
+  spec.max_fires = 3;
+  const auto probe = [&](std::uint64_t index) {
+    ScopedFaultInjector injector(11);
+    injector->arm("unit/site", spec);
+    try {
+      injector->hit_at("unit/site", index);
+      return false;
+    } catch (const FaultInjectedError&) {
+      return true;
+    }
+  };
+  std::vector<bool> forward, backward;
+  for (std::uint64_t i = 1; i <= 32; ++i) forward.push_back(probe(i));
+  for (std::uint64_t i = 32; i >= 1; --i) backward.push_back(probe(i));
+  std::reverse(backward.begin(), backward.end());
+  EXPECT_EQ(forward, backward);
+}
+
+TEST(Fault, HitAtDoesNotTouchCounters) {
+  // hit_at leaves accounting to the caller (ShardFaultAccount); the shared
+  // counters only move when the tallies merge.
+  ScopedFaultInjector injector;
+  injector->arm("unit/site");
+  EXPECT_THROW(injector->hit_at("unit/site", 1), FaultInjectedError);
+  EXPECT_EQ(injector->hits("unit/site"), 0u);
+  EXPECT_EQ(injector->fires("unit/site"), 0u);
+  injector->merge_counts("unit/site", 5, 2);
+  injector->merge_counts("unit/other", 1, 0);
+  EXPECT_EQ(injector->hits("unit/site"), 5u);
+  EXPECT_EQ(injector->fires("unit/site"), 2u);
+  EXPECT_EQ(injector->hits("unit/other"), 1u);
+}
+
+TEST(Fault, ShardAccountTalliesAndSealsOnce) {
+  ScopedFaultInjector injector;
+  FaultSpec spec;
+  spec.skip_first = 2;
+  injector->arm("unit/site", spec);
+  {
+    ShardFaultAccount account;
+    EXPECT_NO_THROW(account.hit("unit/site", 1));
+    EXPECT_NO_THROW(account.hit("unit/site", 2));
+    EXPECT_THROW(account.hit("unit/site", 3), FaultInjectedError);
+    EXPECT_NO_THROW(account.hit("unit/quiet", 1));
+    // Nothing merged yet: counters move only at seal.
+    EXPECT_EQ(injector->hits("unit/site"), 0u);
+    account.seal();
+    EXPECT_EQ(injector->hits("unit/site"), 3u);
+    EXPECT_EQ(injector->fires("unit/site"), 1u);
+    EXPECT_EQ(injector->hits("unit/quiet"), 1u);
+    // The destructor's implicit seal is a no-op after an explicit one.
+  }
+  EXPECT_EQ(injector->hits("unit/site"), 3u);
+  EXPECT_EQ(injector->fires("unit/site"), 1u);
+}
+
+TEST(Fault, ShardAccountIsInertWithoutInjector) {
+  ShardFaultAccount account;
+  EXPECT_NO_THROW(account.hit("unit/site", 1));
+  EXPECT_NO_THROW(account.seal());
 }
 
 TEST(Fault, ResetClearsEverything) {

@@ -12,6 +12,26 @@
 namespace hms::sim {
 namespace {
 
+TEST(Parallel, ResolveWorkersPassesExplicitRequestThrough) {
+  EXPECT_EQ(resolve_workers(3, 0), 3u);
+  EXPECT_EQ(resolve_workers(1, 16), 1u);
+  EXPECT_EQ(resolve_workers(8, 4), 8u);
+}
+
+TEST(Parallel, ResolveWorkersAutoUsesHardwareConcurrency) {
+  EXPECT_EQ(resolve_workers(0, 8), 8u);
+  EXPECT_EQ(resolve_workers(0, 1), 1u);
+}
+
+TEST(Parallel, ResolveWorkersUnknownHostFallsBackToMinimumTwo) {
+  // Regression: threads=0 on a host whose hardware_concurrency() probe
+  // returns 0 must resolve to the documented minimum of 2 workers, not
+  // silently serialize the sweep.
+  EXPECT_EQ(resolve_workers(0, 0), kFallbackWorkers);
+  EXPECT_EQ(kFallbackWorkers, 2u);
+  EXPECT_GE(resolve_workers(0), 1u);  // never zero whatever the host says
+}
+
 TEST(Parallel, RunsEveryTaskExactlyOnce) {
   constexpr int kTasks = 100;
   std::vector<std::atomic<int>> counts(kTasks);

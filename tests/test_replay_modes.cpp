@@ -1,6 +1,8 @@
-// Chunk-major vs config-major sweep equivalence: both replay strategies
-// must produce bit-identical SuiteResults, replay_back_many must match
-// sequential replay_back exactly, and checkpoints must resume across modes.
+// Replay-mode equivalence: all three sweep strategies (chunk-major,
+// config-major, sharded) must produce bit-identical SuiteResults,
+// replay_back_many must match sequential replay_back exactly, and
+// checkpoints must resume across modes. test_sharded_sweep.cpp adds the
+// larger-grid / multi-thread stress differentials for the sharded engine.
 #include <gtest/gtest.h>
 
 #include <cstdio>
@@ -93,6 +95,10 @@ TEST(ReplayModes, DefaultModeParsesEnv) {
     EXPECT_EQ(default_replay_mode(), ReplayMode::ConfigMajor);
   }
   {
+    ScopedEnv env("HMS_REPLAY_MODE", "shard");
+    EXPECT_EQ(default_replay_mode(), ReplayMode::Sharded);
+  }
+  {
     ScopedEnv env("HMS_REPLAY_MODE", "bogus");
     EXPECT_THROW((void)default_replay_mode(), ConfigError);
   }
@@ -122,13 +128,17 @@ void expect_suites_identical(const std::vector<SuiteResult>& a,
 }
 
 TEST(ReplayModes, SweepsAreBitIdenticalAcrossModes) {
-  // The differential test the chunk-major path is gated on: a 3-config x
-  // 2-workload grid must produce bit-identical SuiteResults in both modes.
+  // The differential test the chunk-major and sharded paths are gated on:
+  // a 3-config x 2-workload grid must produce bit-identical SuiteResults
+  // in all three modes.
   ExperimentRunner chunk(tiny_config(ReplayMode::ChunkMajor));
   ExperimentRunner config(tiny_config(ReplayMode::ConfigMajor));
+  ExperimentRunner shard(tiny_config(ReplayMode::Sharded));
   const auto a = chunk.nmm_sweep(Technology::PCM, three_configs());
   const auto b = config.nmm_sweep(Technology::PCM, three_configs());
+  const auto c = shard.nmm_sweep(Technology::PCM, three_configs());
   expect_suites_identical(a, b);
+  expect_suites_identical(a, c);
 }
 
 TEST(ReplayModes, FourLcSweepsAreBitIdenticalAcrossModes) {
@@ -137,9 +147,12 @@ TEST(ReplayModes, FourLcSweepsAreBitIdenticalAcrossModes) {
                                                   designs::eh_config("EH4")};
   ExperimentRunner chunk(tiny_config(ReplayMode::ChunkMajor));
   ExperimentRunner config(tiny_config(ReplayMode::ConfigMajor));
+  ExperimentRunner shard(tiny_config(ReplayMode::Sharded));
   const auto a = chunk.four_lc_sweep(Technology::eDRAM, configs);
   const auto b = config.four_lc_sweep(Technology::eDRAM, configs);
+  const auto c = shard.four_lc_sweep(Technology::eDRAM, configs);
   expect_suites_identical(a, b);
+  expect_suites_identical(a, c);
 }
 
 TEST(ReplayModes, ReplayBackManyMatchesSequentialReplay) {
@@ -238,6 +251,7 @@ TEST(ReplayModes, DegradedCellsAreIdenticalAcrossModes) {
 
   const auto chunk = degraded_sweep(ReplayMode::ChunkMajor);
   const auto config = degraded_sweep(ReplayMode::ConfigMajor);
+  const auto shard = degraded_sweep(ReplayMode::Sharded);
   ASSERT_EQ(chunk.size(), 3u);
   EXPECT_TRUE(chunk[0].partial);
   ASSERT_EQ(chunk[0].failures.size(), 1u);
@@ -249,6 +263,10 @@ TEST(ReplayModes, DegradedCellsAreIdenticalAcrossModes) {
   ASSERT_EQ(config[0].failures.size(), 1u);
   EXPECT_EQ(chunk[0].failures[0].error, config[0].failures[0].error);
   expect_suites_identical(chunk, config);
+  ASSERT_EQ(shard.size(), 3u);
+  ASSERT_EQ(shard[0].failures.size(), 1u);
+  EXPECT_EQ(chunk[0].failures[0].error, shard[0].failures[0].error);
+  expect_suites_identical(chunk, shard);
 }
 
 TEST(ReplayModes, RetriesRecoverTransientFaultsInChunkMajor) {
@@ -280,7 +298,8 @@ TEST(ReplayModes, RetriesRecoverTransientFaultsInChunkMajor) {
 
 TEST(ReplayModes, CheckpointsResumeAcrossModes) {
   // The replay mode is deliberately excluded from experiment_hash: a
-  // checkpoint written chunk-major must satisfy a config-major rerun.
+  // checkpoint written chunk-major must satisfy a config-major rerun, and
+  // a sharded rerun must both resume it and extend it for other modes.
   TempFile file("cross_mode");
   auto chunk_cfg = tiny_config(ReplayMode::ChunkMajor);
   chunk_cfg.checkpoint_path = file.path();
@@ -290,14 +309,27 @@ TEST(ReplayModes, CheckpointsResumeAcrossModes) {
   ASSERT_EQ(partial.size(), 1u);
   EXPECT_EQ(first.last_checkpoint_skips(), 0u);
 
-  auto config_cfg = tiny_config(ReplayMode::ConfigMajor);
-  config_cfg.checkpoint_path = file.path();
-  ExperimentRunner second(config_cfg);
+  auto shard_cfg = tiny_config(ReplayMode::Sharded);
+  shard_cfg.checkpoint_path = file.path();
+  ExperimentRunner second(shard_cfg);
   const auto resumed = second.nmm_sweep(Technology::PCM, three_configs());
   EXPECT_EQ(second.last_checkpoint_skips(), 1u);
   ASSERT_EQ(resumed.size(), 3u);
   EXPECT_DOUBLE_EQ(resumed[0].runtime, partial[0].runtime);
   EXPECT_DOUBLE_EQ(resumed[0].edp, partial[0].edp);
+
+  // The sharded run checkpointed the two new configs: a config-major rerun
+  // of the full grid restores all three without re-simulating.
+  auto config_cfg = tiny_config(ReplayMode::ConfigMajor);
+  config_cfg.checkpoint_path = file.path();
+  ExperimentRunner third(config_cfg);
+  const auto restored = third.nmm_sweep(Technology::PCM, three_configs());
+  EXPECT_EQ(third.last_checkpoint_skips(), 3u);
+  ASSERT_EQ(restored.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(restored[i].runtime, resumed[i].runtime);
+    EXPECT_DOUBLE_EQ(restored[i].edp, resumed[i].edp);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,351 @@
+// Sharded sweep engine: differential stress against the chunk- and
+// config-major modes — bit-identical SuiteResults and identical
+// degraded-cell sets over NMM and 4LC grids at 1/2/8 threads, with and
+// without fault injection — plus direct run_sharded_sweep engine coverage
+// (work-stealing settlement, callback failure, retry semantics).
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "hms/common/error.hpp"
+#include "hms/common/fault.hpp"
+#include "hms/sim/experiment.hpp"
+#include "hms/sim/sharded_sweep.hpp"
+
+namespace hms::sim {
+namespace {
+
+using mem::Technology;
+
+/// The 4x3 NMM stress grid: four N configs by three workloads.
+const std::vector<designs::NConfig> four_configs() {
+  return {designs::n_config("N1"), designs::n_config("N2"),
+          designs::n_config("N3"), designs::n_config("N6")};
+}
+
+ExperimentConfig grid_config(ReplayMode mode, unsigned threads) {
+  ExperimentConfig cfg;
+  cfg.scale_divisor = 512;
+  cfg.footprint_divisor = 512;
+  cfg.seed = 42;
+  cfg.iterations = 1;
+  cfg.suite = {"StreamTriad", "CG", "IS"};
+  cfg.threads = threads;
+  cfg.replay_mode = mode;
+  return cfg;
+}
+
+void expect_suites_identical(const std::vector<SuiteResult>& a,
+                             const std::vector<SuiteResult>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    SCOPED_TRACE(a[i].config_name);
+    EXPECT_EQ(a[i].config_name, b[i].config_name);
+    EXPECT_EQ(a[i].partial, b[i].partial);
+    EXPECT_DOUBLE_EQ(a[i].runtime, b[i].runtime);
+    EXPECT_DOUBLE_EQ(a[i].dynamic, b[i].dynamic);
+    EXPECT_DOUBLE_EQ(a[i].leakage, b[i].leakage);
+    EXPECT_DOUBLE_EQ(a[i].total_energy, b[i].total_energy);
+    EXPECT_DOUBLE_EQ(a[i].edp, b[i].edp);
+    ASSERT_EQ(a[i].per_workload.size(), b[i].per_workload.size());
+    for (std::size_t w = 0; w < a[i].per_workload.size(); ++w) {
+      const auto& na = a[i].per_workload[w].normalized;
+      const auto& nb = b[i].per_workload[w].normalized;
+      EXPECT_DOUBLE_EQ(na.runtime, nb.runtime);
+      EXPECT_DOUBLE_EQ(na.dynamic, nb.dynamic);
+      EXPECT_DOUBLE_EQ(na.leakage, nb.leakage);
+      EXPECT_DOUBLE_EQ(na.total_energy, nb.total_energy);
+      EXPECT_DOUBLE_EQ(na.edp, nb.edp);
+    }
+  }
+}
+
+/// The degraded-cell set of a sweep: (config, workload, error) triples.
+std::set<std::vector<std::string>> degraded_cells(
+    const std::vector<SuiteResult>& suites) {
+  std::set<std::vector<std::string>> cells;
+  for (const auto& suite : suites) {
+    for (const auto& failure : suite.failures) {
+      cells.insert({suite.config_name, failure.workload, failure.error});
+    }
+  }
+  return cells;
+}
+
+TEST(ShardedSweep, NmmGridBitIdenticalAcrossModesAndThreads) {
+  // The tentpole differential: a 4x3 NMM grid swept chunk-major,
+  // config-major, and sharded at 1/2/8 threads must agree bit-for-bit.
+  const auto chunk = ExperimentRunner(grid_config(ReplayMode::ChunkMajor, 2))
+                         .nmm_sweep(Technology::PCM, four_configs());
+  const auto config = ExperimentRunner(grid_config(ReplayMode::ConfigMajor, 2))
+                          .nmm_sweep(Technology::PCM, four_configs());
+  expect_suites_identical(chunk, config);
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    const auto shard =
+        ExperimentRunner(grid_config(ReplayMode::Sharded, threads))
+            .nmm_sweep(Technology::PCM, four_configs());
+    expect_suites_identical(chunk, shard);
+  }
+}
+
+TEST(ShardedSweep, FourLcGridBitIdenticalAcrossModesAndThreads) {
+  // Second design family: a 2x2 4LC grid through the same differential.
+  const std::vector<designs::EhConfig> configs = {designs::eh_config("EH1"),
+                                                  designs::eh_config("EH4")};
+  auto two_workloads = [](ReplayMode mode, unsigned threads) {
+    auto cfg = grid_config(mode, threads);
+    cfg.suite = {"StreamTriad", "CG"};
+    return cfg;
+  };
+  const auto chunk =
+      ExperimentRunner(two_workloads(ReplayMode::ChunkMajor, 2))
+          .four_lc_sweep(Technology::eDRAM, configs);
+  const auto config =
+      ExperimentRunner(two_workloads(ReplayMode::ConfigMajor, 2))
+          .four_lc_sweep(Technology::eDRAM, configs);
+  expect_suites_identical(chunk, config);
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    const auto shard =
+        ExperimentRunner(two_workloads(ReplayMode::Sharded, threads))
+            .four_lc_sweep(Technology::eDRAM, configs);
+    expect_suites_identical(chunk, shard);
+  }
+}
+
+TEST(ShardedSweep, SingleFaultDegradesSameCellAcrossModesAndThreads) {
+  // Arm the 4th "sim/replay_back" hit (3-workload warm-up takes 3): the
+  // first grid cell (N1 / StreamTriad) fails in every mode. Chunk- and
+  // config-major need threads=1 for a deterministic hit order; the sharded
+  // engine's canonical indices make any thread count equivalent.
+  auto degraded_sweep = [](ReplayMode mode, unsigned threads) {
+    ScopedFaultInjector injector;
+    FaultSpec spec;
+    spec.skip_first = 3;
+    spec.max_fires = 1;
+    injector->arm("sim/replay_back", spec);
+    return ExperimentRunner(grid_config(mode, threads))
+        .nmm_sweep(Technology::PCM, four_configs());
+  };
+
+  const auto chunk = degraded_sweep(ReplayMode::ChunkMajor, 1);
+  ASSERT_EQ(chunk.size(), 4u);
+  EXPECT_TRUE(chunk[0].partial);
+  const auto expected_cells = degraded_cells(chunk);
+  ASSERT_EQ(expected_cells.size(), 1u);
+  EXPECT_EQ(*expected_cells.begin(),
+            (std::vector<std::string>{
+                "N1", "StreamTriad",
+                "config N1 / workload StreamTriad: replay_back: "
+                "fault injected at sim/replay_back"}));
+
+  const auto config = degraded_sweep(ReplayMode::ConfigMajor, 1);
+  EXPECT_EQ(degraded_cells(config), expected_cells);
+  expect_suites_identical(chunk, config);
+
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    const auto shard = degraded_sweep(ReplayMode::Sharded, threads);
+    EXPECT_EQ(degraded_cells(shard), expected_cells);
+    expect_suites_identical(chunk, shard);
+  }
+}
+
+TEST(ShardedSweep, ProbabilityFaultsDegradeSameCellsAtEveryThreadCount) {
+  // A probabilistic arming (bounded to 2 fires) fails whichever canonical
+  // indices the seeded coin picks. Chunk-major at threads=1 takes its hits
+  // in exactly the canonical order, so the sharded sweeps must reproduce
+  // its degraded-cell set at 1, 2 and 8 threads bit-for-bit.
+  auto degraded_sweep = [](ReplayMode mode, unsigned threads) {
+    ScopedFaultInjector injector;
+    FaultSpec spec;
+    spec.skip_first = 3;  // let the serial warm-up through
+    spec.probability = 0.35;
+    spec.max_fires = 2;
+    injector->arm("sim/replay_back", spec);
+    return ExperimentRunner(grid_config(mode, threads))
+        .nmm_sweep(Technology::PCM, four_configs());
+  };
+
+  const auto chunk = degraded_sweep(ReplayMode::ChunkMajor, 1);
+  const auto expected_cells = degraded_cells(chunk);
+  // The default injector seed fires inside this 12-cell grid; a vacuously
+  // empty comparison would test nothing.
+  ASSERT_FALSE(expected_cells.empty());
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    const auto shard = degraded_sweep(ReplayMode::Sharded, threads);
+    EXPECT_EQ(degraded_cells(shard), expected_cells);
+    expect_suites_identical(chunk, shard);
+  }
+}
+
+TEST(ShardedSweep, RetriesRecoverTransientFaults) {
+  // A transient fault on one cell is retried with a fresh back and a
+  // standalone ring-fed replay; the recovered sweep is bit-identical to a
+  // clean one and the retry does not double-spend the max_fires budget.
+  const auto expected = ExperimentRunner(grid_config(ReplayMode::Sharded, 2))
+                            .nmm_sweep(Technology::PCM, four_configs());
+
+  ScopedFaultInjector injector;
+  FaultSpec spec;
+  spec.skip_first = 3;
+  spec.max_fires = 1;
+  spec.transient = true;
+  injector->arm("sim/replay_back", spec);
+
+  auto cfg = grid_config(ReplayMode::Sharded, 2);
+  cfg.max_retries = 1;
+  const auto results =
+      ExperimentRunner(cfg).nmm_sweep(Technology::PCM, four_configs());
+  EXPECT_EQ(injector->fires("sim/replay_back"), 1u);
+  ASSERT_EQ(results.size(), 4u);
+  for (const auto& r : results) {
+    EXPECT_FALSE(r.partial) << r.config_name;
+    EXPECT_TRUE(r.failures.empty()) << r.config_name;
+  }
+  expect_suites_identical(results, expected);
+}
+
+TEST(ShardedSweep, HitCountersMatchSerialAccounting) {
+  // Shard-local tallies merge into the injector at seal time: after a
+  // sweep, the global counters read exactly warm-up + one hit per cell, at
+  // any thread count.
+  for (const unsigned threads : {1u, 8u}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    ScopedFaultInjector injector;
+    (void)ExperimentRunner(grid_config(ReplayMode::Sharded, threads))
+        .nmm_sweep(Technology::PCM, four_configs());
+    // 3 warm-up replays + 4 configs x 3 workloads.
+    EXPECT_EQ(injector->hits("sim/replay_back"), 3u + 12u);
+    EXPECT_EQ(injector->fires("sim/replay_back"), 0u);
+  }
+}
+
+// -- Direct engine coverage -------------------------------------------------
+
+TEST(ShardedSweep, EngineSettlesEveryCellOnceWithStealing) {
+  // More units than any single queue holds: 8 workers over a 4-config x
+  // 2-workload grid (8 units) must settle each cell exactly once with a
+  // profile bit-identical to a standalone replay_back.
+  ExperimentRunner runner(grid_config(ReplayMode::Sharded, 1));
+  const std::vector<std::string> workloads = {"StreamTriad", "CG"};
+  const std::vector<std::string> names = {"N1", "N2", "N3", "N6"};
+  const auto& factory = runner.factory();
+
+  ShardedSweepSpec spec;
+  for (const auto& w : workloads) spec.captures.push_back(&runner.front(w));
+  spec.configs = names.size();
+  spec.threads = 8;
+  spec.make_back = [&](std::size_t config, std::size_t workload) {
+    return factory.nvm_main_memory_back(
+        designs::n_config(names[config]), Technology::PCM,
+        spec.captures[workload]->footprint_bytes);
+  };
+  std::map<std::pair<std::size_t, std::size_t>, ShardedCellOutcome> settled;
+  spec.on_cell = [&](std::size_t config, std::size_t workload,
+                     ShardedCellOutcome&& out) {
+    const bool inserted =
+        settled.emplace(std::make_pair(config, workload), std::move(out))
+            .second;
+    ASSERT_TRUE(inserted) << "cell settled twice: " << config << "," << workload;
+  };
+  run_sharded_sweep(spec);
+
+  ASSERT_EQ(settled.size(), names.size() * workloads.size());
+  for (std::size_t c = 0; c < names.size(); ++c) {
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
+      SCOPED_TRACE(names[c] + "/" + workloads[w]);
+      const auto& out = settled.at({c, w});
+      ASSERT_TRUE(out.ok) << out.error;
+      EXPECT_TRUE(out.constructed);
+      const auto expected =
+          replay_back(*spec.captures[w], *spec.make_back(c, w));
+      EXPECT_EQ(out.profile.references, expected.references);
+      ASSERT_EQ(out.profile.levels.size(), expected.levels.size());
+      for (std::size_t l = 0; l < expected.levels.size(); ++l) {
+        EXPECT_EQ(out.profile.levels[l].loads, expected.levels[l].loads) << l;
+        EXPECT_EQ(out.profile.levels[l].stores, expected.levels[l].stores)
+            << l;
+        EXPECT_EQ(out.profile.levels[l].cache_stats,
+                  expected.levels[l].cache_stats)
+            << l;
+      }
+    }
+  }
+}
+
+TEST(ShardedSweep, ConstructionFailuresAreFinalAndIsolated) {
+  // A make_back that throws for one cell reports constructed=false for it
+  // (no retries, no replay hit) and leaves every other cell intact.
+  ExperimentRunner runner(grid_config(ReplayMode::Sharded, 1));
+  const std::vector<std::string> names = {"N1", "N3"};
+  const auto& factory = runner.factory();
+
+  ShardedSweepSpec spec;
+  spec.captures.push_back(&runner.front("StreamTriad"));
+  spec.configs = names.size();
+  spec.threads = 2;
+  spec.max_retries = 3;
+  spec.make_back = [&](std::size_t config, std::size_t workload)
+      -> std::unique_ptr<cache::MemoryHierarchy> {
+    if (config == 1) throw ConfigError("synthetic construction failure");
+    return factory.nvm_main_memory_back(
+        designs::n_config(names[config]), Technology::PCM,
+        spec.captures[workload]->footprint_bytes);
+  };
+  std::map<std::size_t, ShardedCellOutcome> settled;
+  spec.on_cell = [&](std::size_t config, std::size_t,
+                     ShardedCellOutcome&& out) {
+    settled.emplace(config, std::move(out));
+  };
+  run_sharded_sweep(spec);
+
+  ASSERT_EQ(settled.size(), 2u);
+  EXPECT_TRUE(settled.at(0).ok) << settled.at(0).error;
+  EXPECT_FALSE(settled.at(1).ok);
+  EXPECT_FALSE(settled.at(1).constructed);
+  EXPECT_EQ(settled.at(1).error, "synthetic construction failure");
+}
+
+TEST(ShardedSweep, CallbackFailureAbortsSweepWithContext) {
+  ExperimentRunner runner(grid_config(ReplayMode::Sharded, 1));
+  ShardedSweepSpec spec;
+  spec.captures.push_back(&runner.front("StreamTriad"));
+  spec.configs = 2;
+  spec.threads = 2;
+  const auto& factory = runner.factory();
+  spec.make_back = [&](std::size_t, std::size_t workload) {
+    return factory.nvm_main_memory_back(
+        designs::n_config("N1"), Technology::PCM,
+        spec.captures[workload]->footprint_bytes);
+  };
+  spec.on_cell = [](std::size_t, std::size_t, ShardedCellOutcome&&) {
+    throw std::runtime_error("sink exploded");
+  };
+  try {
+    run_sharded_sweep(spec);
+    FAIL() << "expected hms::Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("on_cell callback failed"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("sink exploded"), std::string::npos);
+  }
+}
+
+TEST(ShardedSweep, EmptyGridIsANoop) {
+  ShardedSweepSpec spec;
+  run_sharded_sweep(spec);  // no captures, no configs: nothing to do
+  spec.configs = 3;
+  run_sharded_sweep(spec);  // still no captures
+}
+
+}  // namespace
+}  // namespace hms::sim
