@@ -14,6 +14,20 @@
 //   HMS_THREADS     sweep worker threads, and the shard count of the
 //                   sharded replay mode (default 0 = auto: hardware
 //                   concurrency, minimum 2 when the host cannot report it)
+//   HMS_CELL_TIMEOUT_MS  per-cell watchdog budget in ms (default 0 = no
+//                   watchdog); a cell exceeding it is cancelled
+//                   cooperatively and degraded with a timeout failure
+//   HMS_RETRY_BACKOFF_MS base delay for deterministic exponential backoff
+//                   between cell retries (default 25; 0 = immediate)
+//
+// Numeric knobs are parsed strictly: garbage, negative, or overflowing
+// values abort with a ConfigError naming the variable and the value, so a
+// typo'd unattended run dies at startup instead of silently running with
+// a default.
+//
+// Sweep-driving benches follow the exit-code contract (hms/common/cancel.hpp):
+//   0 clean + complete, 1 error, 2 clean interrupt (checkpoint flushed,
+//   rerun resumes), 3 completed but degraded (partial tables).
 //   HMS_REPLAY_MODE sweep replay traversal: "chunk" (default; decode each
 //                   residual chunk once and feed every pending config),
 //                   "config" (re-stream the residual per grid cell), or
@@ -25,12 +39,17 @@
 #pragma once
 
 #include <cstdlib>
+#include <exception>
 #include <fstream>
+#include <functional>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "hms/common/cancel.hpp"
 #include "hms/common/csv.hpp"
+#include "hms/common/env.hpp"
+#include "hms/common/error.hpp"
 #include "hms/common/string_util.hpp"
 #include "hms/common/table.hpp"
 #include "hms/mem/technology.hpp"
@@ -38,14 +57,14 @@
 
 namespace hms::bench {
 
+/// Strict numeric knob parsing (common/env.hpp): throws ConfigError naming
+/// the variable and offending value on anything but plain decimal digits.
 inline std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
-  const char* v = std::getenv(name);
-  return v != nullptr ? std::strtoull(v, nullptr, 10) : fallback;
+  return hms::env_u64(name, fallback);
 }
 
 inline std::string env_str(const char* name, std::string fallback) {
-  const char* v = std::getenv(name);
-  return v != nullptr ? std::string(v) : fallback;
+  return hms::env_string(name, std::move(fallback));
 }
 
 /// Experiment configuration from the environment (see file comment).
@@ -64,6 +83,9 @@ inline sim::ExperimentConfig config_from_env() {
   cfg.checkpoint_path = env_str("HMS_CHECKPOINT", "");
   cfg.max_retries = static_cast<std::uint32_t>(env_u64("HMS_RETRIES", 0));
   cfg.threads = static_cast<unsigned>(env_u64("HMS_THREADS", 0));
+  // cell_timeout_ms / retry_backoff_ms already defaulted from
+  // HMS_CELL_TIMEOUT_MS / HMS_RETRY_BACKOFF_MS by ExperimentConfig's
+  // field initializers (sim::default_cell_timeout_ms et al).
   return cfg;
 }
 
@@ -133,6 +155,83 @@ inline void maybe_write_csv(const std::string& name,
     }
   }
   std::cout << "(per-workload CSV written to " << path << ")\n";
+}
+
+/// Failure taxonomy accumulated over a tool's sweeps and printed to
+/// stderr on exit: cell failures bucketed by cause so an unattended run's
+/// log says at a glance whether it degraded because of timeouts, injected
+/// faults, or something else.
+struct SweepStatus {
+  std::size_t degraded_cells = 0;
+  std::size_t timeout_cells = 0;
+  std::size_t fault_cells = 0;
+  std::size_t other_cells = 0;
+
+  /// Folds one sweep's failures into the taxonomy. Call once per sweep,
+  /// right after it returns.
+  void observe(const std::vector<sim::SuiteResult>& results) {
+    for (const auto& r : results) {
+      for (const auto& f : r.failures) {
+        ++degraded_cells;
+        if (f.error.find("timed out") != std::string::npos) {
+          ++timeout_cells;
+        } else if (f.error.find("fault injected") != std::string::npos) {
+          ++fault_cells;
+        } else {
+          ++other_cells;
+        }
+      }
+    }
+  }
+
+  void print_taxonomy(std::ostream& os) const {
+    os << "degraded cells: " << degraded_cells << " (timeouts "
+       << timeout_cells << ", injected faults " << fault_cells << ", other "
+       << other_cells << ")\n";
+  }
+};
+
+/// Runs a sweep-driving tool body under the exit-code contract
+/// (hms/common/cancel.hpp): installs SIGINT/SIGTERM handlers for the
+/// body's duration and maps outcomes to
+///   kExitOk           clean, complete tables
+///   kExitInterrupted  a signal arrived; completed configs are already
+///                     fsync'd into the checkpoint, rerun to resume
+///   kExitDegraded     finished, but some cells degraded (partial tables)
+///   kExitError        any other failure
+/// The body records partial-result counts through the passed SweepStatus
+/// (call status.observe(results) after each sweep).
+inline int run_sweep_tool(const std::string& name,
+                          const std::function<void(SweepStatus&)>& body) {
+  const ScopedSignalHandlers handlers;
+  SweepStatus status;
+  try {
+    body(status);
+  } catch (const CancelledError& e) {
+    if (e.kind() == CancelKind::interrupt) {
+      std::cerr << name << ": interrupted (" << e.what()
+                << ")\ncompleted configs are checkpointed; rerun with the "
+                   "same HMS_CHECKPOINT to resume\n";
+      return kExitInterrupted;
+    }
+    std::cerr << name << " failed: " << e.what() << "\n";
+    return kExitError;
+  } catch (const std::exception& e) {
+    std::cerr << name << " failed: " << e.what() << "\n";
+    return kExitError;
+  }
+  if (interrupt_signal() != 0) {
+    // The signal landed after the last sweep's engines drained; results
+    // are complete, but exit distinguishably so wrappers don't re-launch.
+    std::cerr << name << ": interrupted after completion\n";
+    return kExitInterrupted;
+  }
+  if (status.degraded_cells != 0) {
+    std::cerr << name << ": completed with degraded cells\n";
+    status.print_taxonomy(std::cerr);
+    return kExitDegraded;
+  }
+  return kExitOk;
 }
 
 /// Per-workload breakdown of one configuration.

@@ -10,6 +10,7 @@
 
 int main() {
   using namespace hms;
+  return bench::run_sweep_tool("fig1_2_nmm", [](bench::SweepStatus& status) {
   const auto cfg = bench::config_from_env();
   const auto nvm = bench::nvm_from_env();
   bench::print_banner("Figures 1-2: NMM (" +
@@ -28,6 +29,7 @@ int main() {
 
   sim::ExperimentRunner runner(cfg);
   const auto results = runner.nmm_sweep(nvm, designs::n_configs());
+  status.observe(results);
 
   bench::print_suite_results(
       "Figure 1 / Figure 2 series: suite-average normalized metrics "
@@ -54,5 +56,5 @@ int main() {
 
   bench::print_per_workload("Per-workload breakdown at N6:",
                             results[5]);
-  return 0;
+  });
 }

@@ -8,6 +8,7 @@
 
 int main() {
   using namespace hms;
+  return bench::run_sweep_tool("fig3_4_4lc", [](bench::SweepStatus& status) {
   const auto cfg = bench::config_from_env();
   bench::print_banner("Figures 3-4: 4LC (eDRAM/HMC L4 + DRAM), Table 2",
                       cfg);
@@ -25,6 +26,7 @@ int main() {
   sim::ExperimentRunner runner(cfg);
   for (const auto l4 : {mem::Technology::eDRAM, mem::Technology::HMC}) {
     const auto results = runner.four_lc_sweep(l4, designs::eh_configs());
+    status.observe(results);
     bench::print_suite_results(
         "Figure 3 / Figure 4 series, L4 = " +
             std::string(mem::to_string(l4)) + ":",
@@ -35,5 +37,5 @@ int main() {
   std::cout << "paper checks: EH1 (64 B pages) has the least time overhead "
                "and the most energy saving; larger pages increase dynamic "
                "energy.\n";
-  return 0;
+  });
 }

@@ -8,6 +8,8 @@
 
 int main() {
   using namespace hms;
+  return bench::run_sweep_tool("fig5_6_4lcnvm",
+                               [](bench::SweepStatus& status) {
   const auto cfg = bench::config_from_env();
   const auto nvm = bench::nvm_from_env();
   bench::print_banner("Figures 5-6: 4LCNVM (eDRAM/HMC L4 + " +
@@ -19,6 +21,7 @@ int main() {
   for (const auto l4 : {mem::Technology::eDRAM, mem::Technology::HMC}) {
     const auto results =
         runner.four_lc_nvm_sweep(l4, nvm, designs::eh_configs());
+    status.observe(results);
     bench::print_suite_results(
         "Figure 5 / Figure 6 series, L4 = " +
             std::string(mem::to_string(l4)) + ", NVM = " +
@@ -31,5 +34,5 @@ int main() {
   }
   std::cout << "paper checks: EH1 gives ~57% energy saving with no runtime "
                "overhead; energy grows with page size as in 4LC.\n";
-  return 0;
+  });
 }

@@ -7,6 +7,9 @@
 
 int main() {
   using namespace hms;
+  // The NDM oracle has no degradable sweep cells (any workload failure is
+  // fatal), so the wrapper only supplies the interrupt/error exit contract.
+  return bench::run_sweep_tool("fig7_8_ndm", [](bench::SweepStatus&) {
   const auto cfg = bench::config_from_env();
   bench::print_banner(
       "Figures 7-8: NDM (partitioned DRAM+NVM, oracle placement)", cfg);
@@ -34,5 +37,5 @@ int main() {
       << "paper checks: per-workload runtime overhead in the 5-63% band; "
          "energy savings for the static-energy-dominated workloads "
          "(Velvet, Hashing, AMG, Graph500), overhead for BT/SP.\n";
-  return 0;
+  });
 }

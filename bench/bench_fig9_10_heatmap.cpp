@@ -33,6 +33,10 @@ void print_grid(const std::string& caption, const hms::sim::HeatMapGrid& g,
 
 int main() {
   using namespace hms;
+  // Heat maps are derived analytically from one captured profile per
+  // workload; there are no degradable cells, so the wrapper only supplies
+  // the interrupt/error exit contract.
+  return bench::run_sweep_tool("fig9_10_heatmap", [](bench::SweepStatus&) {
   const auto cfg = bench::config_from_env();
   bench::print_banner(
       "Figures 9-10: latency/energy heat maps (NMM N6 profile)", cfg);
@@ -89,5 +93,5 @@ int main() {
                           runtime.at(idx(1.0), idx(1.0)) -
                           1.0) * 100.0, 1)
             << "%)\n";
-  return 0;
+  });
 }

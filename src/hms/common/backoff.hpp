@@ -1,0 +1,58 @@
+// Deterministic exponential backoff with jitter for sweep-cell retries.
+//
+// The retry loops used to re-attempt immediately, which is the wrong shape
+// for the conditions retries model (transient I/O pressure, a contended
+// device): an immediate retry re-fires into the same condition, and a
+// fixed delay synchronizes retries across cells. The schedule here is the
+// production one — exponential growth, a cap, and jitter — but fully
+// deterministic: the jitter is a pure function of (seed, attempt), so a
+// sweep replays the identical retry timing run-to-run and the simulation
+// results stay reproducible.
+//
+// delay(attempt) = min(base << attempt, cap) + jitter,
+//   jitter in [0, delay/2] from splitmix64(seed ^ attempt)
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+#include "hms/common/cancel.hpp"
+#include "hms/common/random.hpp"
+
+namespace hms {
+
+/// Backoff delay in ms before retry `attempt` (0-based: the first retry
+/// waits roughly base_ms). base_ms == 0 disables backoff entirely.
+[[nodiscard]] inline std::uint64_t backoff_delay_ms(
+    std::uint32_t attempt, std::uint64_t seed, std::uint64_t base_ms,
+    std::uint64_t cap_ms = 10'000) {
+  if (base_ms == 0) return 0;
+  // Saturating shift: past 63 doublings the cap has long since won.
+  const std::uint64_t exponential =
+      attempt < 63 && (base_ms << attempt) >> attempt == base_ms
+          ? base_ms << attempt
+          : cap_ms;
+  const std::uint64_t delay = exponential < cap_ms ? exponential : cap_ms;
+  SplitMix64 mix(seed ^ (0x5bf0'3635'dad2'3f1dull + attempt));
+  const std::uint64_t jitter = mix.next() % (delay / 2 + 1);
+  return delay + jitter;
+}
+
+/// Sleeps `delay_ms`, polling the process interrupt flag every millisecond
+/// so a signal cuts the wait short. (Watchdog deadlines deliberately do not
+/// cancel the sleep — a deliberate wait is not a hung cell; retry loops
+/// re-arm their deadline after the sleep, before the next attempt.) Returns
+/// false when interrupted — callers should stop retrying and surface the
+/// interrupt instead.
+inline bool backoff_sleep(std::uint64_t delay_ms) {
+  using clock = std::chrono::steady_clock;
+  const auto until = clock::now() + std::chrono::milliseconds(delay_ms);
+  while (clock::now() < until) {
+    if (interrupt_signal() != 0) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return interrupt_signal() == 0;
+}
+
+}  // namespace hms

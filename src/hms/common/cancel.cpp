@@ -1,0 +1,78 @@
+#include "hms/common/cancel.hpp"
+
+#include <csignal>
+
+namespace hms {
+
+namespace {
+
+/// Process-wide interrupt record: the last signal requested, 0 = none.
+/// std::atomic<int> store/load is lock-free on every supported target, so
+/// the handler's store is async-signal-safe.
+std::atomic<int> g_interrupt{0};
+
+extern "C" void hms_signal_handler(int sig) { raise_interrupt(sig); }
+
+thread_local CancellationToken* t_current = nullptr;
+
+}  // namespace
+
+int interrupt_signal() noexcept {
+  return g_interrupt.load(std::memory_order_acquire);
+}
+
+void raise_interrupt(int sig) noexcept {
+  g_interrupt.store(sig, std::memory_order_release);
+}
+
+void clear_interrupt() noexcept {
+  g_interrupt.store(0, std::memory_order_release);
+}
+
+struct ScopedSignalHandlers::Impl {
+  struct sigaction old_int {};
+  struct sigaction old_term {};
+};
+
+ScopedSignalHandlers::ScopedSignalHandlers() : impl_(new Impl) {
+  struct sigaction action {};
+  action.sa_handler = hms_signal_handler;
+  sigemptyset(&action.sa_mask);
+  // No SA_RESTART: an interrupted blocking syscall should return EINTR so
+  // the tool reaches its next cancellation point promptly.
+  action.sa_flags = 0;
+  ::sigaction(SIGINT, &action, &impl_->old_int);
+  ::sigaction(SIGTERM, &action, &impl_->old_term);
+}
+
+ScopedSignalHandlers::~ScopedSignalHandlers() {
+  ::sigaction(SIGINT, &impl_->old_int, nullptr);
+  ::sigaction(SIGTERM, &impl_->old_term, nullptr);
+  delete impl_;
+}
+
+void CancellationToken::throw_if_cancelled(std::string_view context) const {
+  switch (state()) {
+    case CancelKind::none:
+      return;
+    case CancelKind::timeout:
+      throw CancelledError(std::string(context) + ": timed out after " +
+                               std::to_string(timeout_ms_) + "ms",
+                           CancelKind::timeout);
+    case CancelKind::interrupt:
+      throw CancelledError(std::string(context) + ": interrupted by signal " +
+                               std::to_string(interrupt_signal()),
+                           CancelKind::interrupt);
+  }
+}
+
+CancellationToken* CancellationToken::current() noexcept { return t_current; }
+
+CancelScope::CancelScope(CancellationToken& token) noexcept
+    : previous_(t_current) {
+  t_current = &token;
+}
+
+CancelScope::~CancelScope() { t_current = previous_; }
+
+}  // namespace hms

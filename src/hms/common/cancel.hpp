@@ -1,0 +1,152 @@
+// Cooperative cancellation: watchdog deadlines and clean interrupts.
+//
+// Long unattended sweeps need two kinds of "stop": a per-cell watchdog that
+// turns a hung cell into a degraded cell instead of hanging the whole
+// sweep, and a process-level interrupt (SIGINT/SIGTERM) that seals
+// in-flight work, flushes the checkpoint, and exits distinguishably from a
+// failure. Both are cooperative — replay loops poll a CancellationToken at
+// chunk granularity, and blocking primitives (the fault injector's stall
+// faults) poll the thread's ambient token — so no thread is ever killed
+// mid-update.
+//
+// A token combines an optional deadline (armed per replay attempt from
+// HMS_CELL_TIMEOUT_MS) with the process-wide interrupt flag that the signal
+// handlers set. `CancelScope` publishes a token as the calling thread's
+// ambient token (CancellationToken::current()), which is how code that
+// cannot take a token parameter — fault-point stalls deep inside a replay —
+// still honors the watchdog.
+//
+// Exit-code contract for sweep-driving tools (DESIGN.md §6):
+//   0  clean, complete results
+//   1  error (setup failure, unrecoverable sweep abort)
+//   2  clean interrupt (signal observed; checkpoint flushed and resumable)
+//   3  completed, but one or more cells degraded (partial tables)
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "hms/common/error.hpp"
+
+namespace hms {
+
+enum class CancelKind : std::uint8_t { none = 0, timeout, interrupt };
+
+/// Exit-code contract (see file comment).
+inline constexpr int kExitOk = 0;
+inline constexpr int kExitError = 1;
+inline constexpr int kExitInterrupted = 2;
+inline constexpr int kExitDegraded = 3;
+
+/// Thrown when a cancellation point observes a timeout or interrupt.
+/// Timeout cancellations degrade one cell; interrupt cancellations abort
+/// the sweep (callers map kind() == interrupt to kExitInterrupted).
+class CancelledError : public SimulationError {
+ public:
+  CancelledError(const std::string& what, CancelKind kind)
+      : SimulationError(what), kind_(kind) {}
+  [[nodiscard]] CancelKind kind() const noexcept { return kind_; }
+
+ private:
+  CancelKind kind_;
+};
+
+/// The signal number recorded by the last interrupt request (0 = none).
+/// Set asynchronously by the installed signal handlers; tests drive it
+/// directly via raise_interrupt / clear_interrupt.
+[[nodiscard]] int interrupt_signal() noexcept;
+/// Records an interrupt request. Async-signal-safe (one atomic store).
+void raise_interrupt(int sig) noexcept;
+/// Clears a recorded interrupt (tests; a fresh tool process starts clear).
+void clear_interrupt() noexcept;
+
+/// Installs SIGINT + SIGTERM handlers that call raise_interrupt, restoring
+/// the previous handlers on destruction. Tools install one at the top of
+/// main; library code never installs handlers itself.
+class ScopedSignalHandlers {
+ public:
+  ScopedSignalHandlers();
+  ~ScopedSignalHandlers();
+  ScopedSignalHandlers(const ScopedSignalHandlers&) = delete;
+  ScopedSignalHandlers& operator=(const ScopedSignalHandlers&) = delete;
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+/// See file comment. A default-constructed token never cancels; a token
+/// with a timeout arms a deadline that can be re-armed per attempt. Every
+/// token observes the process interrupt flag. One token belongs to one
+/// thread (deadline state is unsynchronized); the interrupt flag it reads
+/// is atomic.
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+  /// timeout_ms == 0 means no deadline (interrupt-only token).
+  explicit CancellationToken(std::uint64_t timeout_ms) {
+    if (timeout_ms != 0) arm_deadline(timeout_ms);
+  }
+
+  /// Arms (or replaces) the deadline at now + timeout_ms and remembers the
+  /// budget for rearm().
+  void arm_deadline(std::uint64_t timeout_ms) {
+    timeout_ms_ = timeout_ms;
+    rearm();
+  }
+  /// Resets the deadline to now + the stored budget. Replay loops call this
+  /// after degrading a timed-out cell so the surviving cells get a fresh
+  /// budget. No-op on tokens without a deadline.
+  void rearm() noexcept {
+    if (timeout_ms_ != 0) {
+      deadline_ = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(timeout_ms_);
+    }
+  }
+
+  [[nodiscard]] std::uint64_t timeout_ms() const noexcept {
+    return timeout_ms_;
+  }
+
+  /// Polls. Interrupt wins over timeout (process shutdown outranks a cell).
+  [[nodiscard]] CancelKind state() const noexcept {
+    if (interrupt_signal() != 0) return CancelKind::interrupt;
+    if (timeout_ms_ != 0 && std::chrono::steady_clock::now() >= deadline_) {
+      return CancelKind::timeout;
+    }
+    return CancelKind::none;
+  }
+  [[nodiscard]] bool cancelled() const noexcept {
+    return state() != CancelKind::none;
+  }
+
+  /// Throws CancelledError("<context>: timed out after Nms" / ": interrupted
+  /// by signal S") when cancelled; otherwise returns.
+  void throw_if_cancelled(std::string_view context) const;
+
+  /// The calling thread's ambient token (innermost CancelScope), or nullptr.
+  [[nodiscard]] static CancellationToken* current() noexcept;
+
+ private:
+  friend class CancelScope;
+  std::uint64_t timeout_ms_ = 0;
+  std::chrono::steady_clock::time_point deadline_{};
+};
+
+/// Publishes a token as the calling thread's ambient token for the scope's
+/// lifetime. Nests; the innermost token wins.
+class CancelScope {
+ public:
+  explicit CancelScope(CancellationToken& token) noexcept;
+  ~CancelScope();
+  CancelScope(const CancelScope&) = delete;
+  CancelScope& operator=(const CancelScope&) = delete;
+
+ private:
+  CancellationToken* previous_;
+};
+
+}  // namespace hms

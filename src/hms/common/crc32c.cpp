@@ -1,0 +1,117 @@
+#include "hms/common/crc32c.hpp"
+
+#include <array>
+
+#if defined(__x86_64__) || defined(__i386__)
+#define HMS_HAVE_SSE42_CRC 1
+#include <nmmintrin.h>
+#else
+#define HMS_HAVE_SSE42_CRC 0
+#endif
+
+namespace hms {
+
+namespace {
+
+// Reflected Castagnoli polynomial.
+constexpr std::uint32_t kPoly = 0x82f63b78u;
+
+/// Slice-by-8 tables: table[0] is the classic byte-at-a-time table,
+/// table[k][b] advances byte b through k additional zero bytes, so eight
+/// input bytes fold in one round of table lookups.
+struct Tables {
+  std::array<std::array<std::uint32_t, 256>, 8> t{};
+};
+
+constexpr Tables make_tables() {
+  Tables tables;
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1u) != 0 ? kPoly : 0u);
+    }
+    tables.t[0][i] = crc;
+  }
+  for (std::size_t k = 1; k < 8; ++k) {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      const std::uint32_t prev = tables.t[k - 1][i];
+      tables.t[k][i] = tables.t[0][prev & 0xffu] ^ (prev >> 8);
+    }
+  }
+  return tables;
+}
+
+constexpr Tables kTables = make_tables();
+
+std::uint32_t crc32c_sw(const std::uint8_t* p, std::size_t n,
+                        std::uint32_t crc) noexcept {
+  const auto& t = kTables.t;
+  while (n >= 8) {
+    const std::uint32_t lo =
+        crc ^ (static_cast<std::uint32_t>(p[0]) |
+               (static_cast<std::uint32_t>(p[1]) << 8) |
+               (static_cast<std::uint32_t>(p[2]) << 16) |
+               (static_cast<std::uint32_t>(p[3]) << 24));
+    crc = t[7][lo & 0xffu] ^ t[6][(lo >> 8) & 0xffu] ^
+          t[5][(lo >> 16) & 0xffu] ^ t[4][lo >> 24] ^ t[3][p[4]] ^
+          t[2][p[5]] ^ t[1][p[6]] ^ t[0][p[7]];
+    p += 8;
+    n -= 8;
+  }
+  while (n-- != 0) {
+    crc = t[0][(crc ^ *p++) & 0xffu] ^ (crc >> 8);
+  }
+  return crc;
+}
+
+#if HMS_HAVE_SSE42_CRC
+
+__attribute__((target("sse4.2"))) std::uint32_t crc32c_hw(
+    const std::uint8_t* p, std::size_t n, std::uint32_t crc) noexcept {
+  // Head bytes up to 8-byte alignment, then 8-at-a-time, then the tail.
+  while (n != 0 && (reinterpret_cast<std::uintptr_t>(p) & 7u) != 0) {
+    crc = _mm_crc32_u8(crc, *p++);
+    --n;
+  }
+#if defined(__x86_64__)
+  std::uint64_t crc64 = crc;
+  while (n >= 8) {
+    crc64 = _mm_crc32_u64(crc64, *reinterpret_cast<const std::uint64_t*>(p));
+    p += 8;
+    n -= 8;
+  }
+  crc = static_cast<std::uint32_t>(crc64);
+#else
+  while (n >= 4) {
+    crc = _mm_crc32_u32(crc, *reinterpret_cast<const std::uint32_t*>(p));
+    p += 4;
+    n -= 4;
+  }
+#endif
+  while (n-- != 0) {
+    crc = _mm_crc32_u8(crc, *p++);
+  }
+  return crc;
+}
+
+const bool kUseHardwareCrc = __builtin_cpu_supports("sse4.2") != 0;
+
+#else
+constexpr bool kUseHardwareCrc = false;
+#endif
+
+}  // namespace
+
+std::uint32_t crc32c(const void* data, std::size_t size,
+                     std::uint32_t seed) noexcept {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  const std::uint32_t crc = ~seed;
+#if HMS_HAVE_SSE42_CRC
+  if (kUseHardwareCrc) return ~crc32c_hw(p, size, crc);
+#endif
+  return ~crc32c_sw(p, size, crc);
+}
+
+bool crc32c_hardware_active() noexcept { return kUseHardwareCrc; }
+
+}  // namespace hms

@@ -1,0 +1,30 @@
+// CRC32C (Castagnoli) checksums for crash/corruption integrity checks.
+//
+// Used by the survival layer to detect bit rot and torn writes in durable
+// sweep state: every sealed ChunkedTraceBuffer chunk payload and every
+// SweepCheckpoint record carries a CRC32C that is verified before the bytes
+// are trusted (DESIGN.md §6). CRC32C guarantees detection of all single-bit
+// errors and all error bursts up to 32 bits, so a flipped byte can never be
+// silently accepted.
+//
+// The implementation dispatches once at first use: the SSE4.2 `crc32`
+// instruction (~8 bytes/cycle) on hosts that have it, a slice-by-8 table
+// fallback (~1 byte/cycle) elsewhere — the same runtime-gate idiom as the
+// AVX-512 tag-scan kernel. Both paths produce identical digests.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace hms {
+
+/// CRC32C of `size` bytes at `data`. `seed` chains incremental computation:
+/// crc32c(ab) == crc32c(b, crc32c(a)). The empty-input digest of seed 0 is 0.
+[[nodiscard]] std::uint32_t crc32c(const void* data, std::size_t size,
+                                   std::uint32_t seed = 0) noexcept;
+
+/// True when the hardware (SSE4.2) path is active (introspection for tests
+/// and bench provenance; both paths are digest-identical).
+[[nodiscard]] bool crc32c_hardware_active() noexcept;
+
+}  // namespace hms

@@ -1,0 +1,40 @@
+#include "hms/common/env.hpp"
+
+#include <cstdlib>
+#include <limits>
+
+#include "hms/common/error.hpp"
+
+namespace hms {
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || raw[0] == '\0') return fallback;
+
+  const std::string value(raw);
+  const auto reject = [&](const char* why) {
+    throw ConfigError(std::string(name) + ": " + why + ", got \"" + value +
+                      "\" (expected a non-negative integer)");
+  };
+
+  std::uint64_t out = 0;
+  for (const char c : value) {
+    if (c < '0' || c > '9') {
+      reject(c == '-' ? "negative values are not allowed"
+                      : "not a decimal integer");
+    }
+    const auto digit = static_cast<std::uint64_t>(c - '0');
+    if (out > (std::numeric_limits<std::uint64_t>::max() - digit) / 10) {
+      reject("value overflows 64 bits");
+    }
+    out = out * 10 + digit;
+  }
+  return out;
+}
+
+std::string env_string(const char* name, std::string fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::string(v) : fallback;
+}
+
+}  // namespace hms

@@ -1,0 +1,26 @@
+// Strict environment-knob parsing, shared by every tool and the runner.
+//
+// The HMS_* knobs (HMS_RETRIES, HMS_THREADS, HMS_CELL_TIMEOUT_MS, ...) used
+// to be read with strtoull and a silent fallback, so `HMS_RETRIES=three` or
+// `HMS_THREADS=-2` quietly became the default — exactly the kind of typo an
+// unattended sweep should refuse to start under. These helpers reject
+// garbage and negative values with a ConfigError naming the variable and
+// the offending value; unset (or empty) still means "use the fallback".
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace hms {
+
+/// Reads env var `name` as a non-negative decimal integer. Unset or empty
+/// returns `fallback`; anything else that is not a plain decimal number in
+/// range (garbage, a sign, trailing junk, overflow) throws ConfigError
+/// naming the variable and the offending value.
+[[nodiscard]] std::uint64_t env_u64(const char* name, std::uint64_t fallback);
+
+/// Reads env var `name` as a string; unset returns `fallback` (an empty
+/// value is returned as-is — emptiness is meaningful for path knobs).
+[[nodiscard]] std::string env_string(const char* name, std::string fallback);
+
+}  // namespace hms

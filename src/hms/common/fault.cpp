@@ -1,5 +1,10 @@
 #include "hms/common/fault.hpp"
 
+#include <chrono>
+#include <thread>
+
+#include "hms/common/cancel.hpp"
+
 namespace hms {
 
 std::atomic<FaultInjector*> FaultInjector::active_{nullptr};
@@ -20,6 +25,28 @@ std::uint64_t fnv1a(std::string_view s) {
     h *= 0x100000001b3ull;
   }
   return h;
+}
+
+/// Executes one fired fault. Runs OUTSIDE the injector mutex: a stall
+/// sleeps in 1 ms slices polling the thread's ambient CancellationToken
+/// (throwing CancelledError when the watchdog or an interrupt cuts it
+/// short, returning normally if the stall runs its course); a non-stall
+/// fault throws FaultInjectedError.
+void execute_fire(const std::string& site, const FaultSpec& spec) {
+  if (spec.stall_ms == 0) {
+    const std::string message = spec.message.empty()
+                                    ? "fault injected at " + site
+                                    : spec.message;
+    throw FaultInjectedError(message, spec.transient);
+  }
+  using clock = std::chrono::steady_clock;
+  const auto until = clock::now() + std::chrono::milliseconds(spec.stall_ms);
+  while (clock::now() < until) {
+    if (CancellationToken* token = CancellationToken::current()) {
+      token->throw_if_cancelled("stalled at " + site);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
 }
 
 }  // namespace
@@ -46,44 +73,52 @@ void FaultInjector::reset() {
 }
 
 void FaultInjector::hit(std::string_view site) {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  auto it = sites_.find(site);
-  if (it == sites_.end()) {
-    it = sites_.emplace(std::string(site), SiteState{}).first;
+  // Decide (and bump counters) under the mutex; run the consequence — a
+  // throw or a stall that may sleep for the full budget — after releasing
+  // it, so a stalled site never blocks other threads' fault points.
+  FaultSpec spec;
+  std::string site_name;
+  bool fired = false;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    auto it = sites_.find(site);
+    if (it == sites_.end()) {
+      it = sites_.emplace(std::string(site), SiteState{}).first;
+    }
+    SiteState& state = it->second;
+    ++state.hits;
+    if (!state.armed) return;
+    if (state.hits <= state.spec.skip_first) return;
+    if (state.fires >= state.spec.max_fires) return;
+    if (state.spec.probability < 1.0) {
+      // Deterministic per-(seed, site, hit index) coin flip: identical
+      // arming fires on identical hit indices regardless of thread
+      // interleaving.
+      const std::uint64_t roll =
+          splitmix64(seed_ ^ fnv1a(site) ^ state.hits);
+      const double uniform =
+          static_cast<double>(roll >> 11) * 0x1.0p-53;  // [0, 1)
+      if (uniform >= state.spec.probability) return;
+    }
+    ++state.fires;
+    fired = true;
+    spec = state.spec;
+    site_name = it->first;
   }
-  SiteState& state = it->second;
-  ++state.hits;
-  if (!state.armed) return;
-  if (state.hits <= state.spec.skip_first) return;
-  if (state.fires >= state.spec.max_fires) return;
-  if (state.spec.probability < 1.0) {
-    // Deterministic per-(seed, site, hit index) coin flip: identical arming
-    // fires on identical hit indices regardless of thread interleaving.
-    const std::uint64_t roll =
-        splitmix64(seed_ ^ fnv1a(site) ^ state.hits);
-    const double uniform =
-        static_cast<double>(roll >> 11) * 0x1.0p-53;  // [0, 1)
-    if (uniform >= state.spec.probability) return;
-  }
-  ++state.fires;
-  const std::string message =
-      state.spec.message.empty()
-          ? "fault injected at " + it->first
-          : state.spec.message;
-  throw FaultInjectedError(message, state.spec.transient);
+  if (fired) execute_fire(site_name, spec);
 }
 
-void FaultInjector::hit_at(std::string_view site, std::uint64_t index) {
+bool FaultInjector::hit_at(std::string_view site, std::uint64_t index) {
   FaultSpec spec;
   std::string site_name;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     const auto it = sites_.find(site);
-    if (it == sites_.end() || !it->second.armed) return;
+    if (it == sites_.end() || !it->second.armed) return false;
     spec = it->second.spec;
     site_name = it->first;
   }
-  if (index <= spec.skip_first) return;
+  if (index <= spec.skip_first) return false;
 
   // The decision for one index is a pure function of (seed, site, index) —
   // the same coin hit() flips, with the shared counter replaced by the
@@ -94,7 +129,7 @@ void FaultInjector::hit_at(std::string_view site, std::uint64_t index) {
     const double uniform = static_cast<double>(roll >> 11) * 0x1.0p-53;
     return uniform < spec.probability;
   };
-  if (!fires_at(index)) return;
+  if (!fires_at(index)) return false;
   if (spec.max_fires != std::numeric_limits<std::uint64_t>::max()) {
     // Budget consumed before this index, recomputed from the pure decision
     // so it is interleaving-independent. Closed form when every eligible
@@ -108,12 +143,10 @@ void FaultInjector::hit_at(std::string_view site, std::uint64_t index) {
         if (fires_at(i)) ++prior;
       }
     }
-    if (prior >= spec.max_fires) return;
+    if (prior >= spec.max_fires) return false;
   }
-  const std::string message = spec.message.empty()
-                                  ? "fault injected at " + site_name
-                                  : spec.message;
-  throw FaultInjectedError(message, spec.transient);
+  execute_fire(site_name, spec);
+  return true;  // a stall fired and ran its course
 }
 
 void FaultInjector::merge_counts(std::string_view site, std::uint64_t hits,
@@ -142,9 +175,12 @@ void ShardFaultAccount::hit(std::string_view site, std::uint64_t index) {
   }
   ++tally->hits;
   try {
-    injector_->hit_at(site, index);
+    if (injector_->hit_at(site, index)) ++tally->fires;
   } catch (const FaultInjectedError&) {
     ++tally->fires;
+    throw;
+  } catch (const CancelledError&) {
+    ++tally->fires;  // a stall cut short by the watchdog still fired
     throw;
   }
 }

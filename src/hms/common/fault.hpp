@@ -56,6 +56,13 @@ struct FaultSpec {
   bool transient = false;
   /// Exception message; empty = "fault injected at <site>".
   std::string message;
+  /// When non-zero, a firing hit stalls for this many milliseconds instead
+  /// of throwing — modeling a hung cell for the watchdog. The stall sleeps
+  /// in 1 ms slices polling the thread's ambient CancellationToken
+  /// (CancellationToken::current()), so a cell deadline or interrupt cuts
+  /// it short with CancelledError; with no ambient token it sleeps the full
+  /// duration and returns normally (a slow-but-alive site).
+  std::uint64_t stall_ms = 0;
 };
 
 /// See file comment. Thread-safe; hit/fire counters are kept for every site
@@ -79,7 +86,9 @@ class FaultInjector {
   /// Shard-local variant: decides for the hit with the caller-supplied
   /// 1-based logical index (its position in the canonical serial hit
   /// order) instead of the shared hit counter, so the decision is
-  /// identical under any worker interleaving. Does NOT bump the site's
+  /// identical under any worker interleaving. Returns true when a stall
+  /// fault fired (and completed), false when nothing fired; throwing
+  /// faults raise FaultInjectedError as usual. Does NOT bump the site's
   /// counters — the caller tallies shard-locally and folds the totals in
   /// at seal time (ShardFaultAccount / merge_counts). skip_first,
   /// max_fires, and probability armings keep their serial meaning: the
@@ -87,7 +96,7 @@ class FaultInjector {
   /// function over indices (skip_first, N), which is O(N - skip_first)
   /// only when probability < 1 and max_fires is bounded — intended for
   /// low-frequency sites (per sweep cell, not per access).
-  void hit_at(std::string_view site, std::uint64_t index);
+  bool hit_at(std::string_view site, std::uint64_t index);
 
   /// Folds shard-local accounting into the site's counters, creating the
   /// site record if this is its first touch (so hits() asserts work like

@@ -1,8 +1,17 @@
 #include "hms/sim/checkpoint.hpp"
 
-#include <array>
-#include <cstring>
+#include <fcntl.h>
+#include <unistd.h>
 
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <utility>
+#include <vector>
+
+#include "hms/common/crc32c.hpp"
 #include "hms/common/error.hpp"
 
 namespace hms::sim {
@@ -10,9 +19,18 @@ namespace hms::sim {
 namespace {
 
 constexpr std::array<char, 4> kMagic = {'H', 'M', 'S', 'K'};
-constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kVersionLegacy = 1;  ///< no per-record CRC
+constexpr std::uint32_t kVersion = 2;        ///< CRC32C per record
 constexpr std::size_t kHeaderBytes =
     kMagic.size() + sizeof(std::uint32_t) + sizeof(std::uint64_t);
+
+/// IoError with path + errno context (satellite requirement: a failing
+/// checkpoint names what it was doing, where, and why the OS said no).
+[[noreturn]] void throw_io(const std::string& doing, const std::string& path) {
+  const int err = errno;
+  throw IoError("checkpoint: " + doing + ": " + path + ": " +
+                std::strerror(err) + " (errno " + std::to_string(err) + ")");
+}
 
 // -- in-memory varint encoding (trace_io style, buffer-based so a record is
 // -- assembled fully before the single durable append) ----------------------
@@ -28,6 +46,12 @@ void put_varint(std::string& out, std::uint64_t v) {
 void put_string(std::string& out, std::string_view s) {
   put_varint(out, s.size());
   out.append(s);
+}
+
+void put_u32le(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
 }
 
 void put_f64(std::string& out, double v) {
@@ -58,6 +82,18 @@ bool get_string(std::string_view data, std::size_t& pos, std::string& s) {
   if (len > data.size() - pos) return false;
   s.assign(data.substr(pos, len));
   pos += len;
+  return true;
+}
+
+bool get_u32le(std::string_view data, std::size_t& pos, std::uint32_t& v) {
+  if (data.size() - pos < 4) return false;
+  v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(
+             static_cast<unsigned char>(data[pos + static_cast<std::size_t>(i)]))
+         << (8 * i);
+  }
+  pos += 4;
   return true;
 }
 
@@ -137,6 +173,51 @@ bool decode(std::string_view payload, SuiteResult& r) {
   return pos == payload.size();
 }
 
+/// One v2 record: length, little-endian CRC32C of the payload, payload.
+std::string encode_record(const SuiteResult& r) {
+  const std::string payload = encode(r);
+  std::string record;
+  put_varint(record, payload.size());
+  put_u32le(record, crc32c(payload.data(), payload.size()));
+  record += payload;
+  return record;
+}
+
+std::string header_bytes(std::uint64_t hash) {
+  std::string out(kMagic.data(), kMagic.size());
+  put_u32le(out, kVersion);
+  std::uint64_t h = hash;
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((h >> (8 * i)) & 0xff));
+  }
+  return out;
+}
+
+int open_checkpoint_fd(const std::string& path, int extra_flags) {
+  const int fd =
+      ::open(path.c_str(), O_WRONLY | O_CLOEXEC | extra_flags, 0644);
+  if (fd < 0) throw_io("cannot open for append", path);
+  return fd;
+}
+
+void write_all(int fd, const char* p, std::size_t n, const std::string& path) {
+  while (n > 0) {
+    const ::ssize_t w = ::write(fd, p, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      throw_io("write failed", path);
+    }
+    p += w;
+    n -= static_cast<std::size_t>(w);
+  }
+}
+
+void sync_fd(int fd, const std::string& path) {
+  while (::fsync(fd) != 0) {
+    if (errno != EINTR) throw_io("fsync failed", path);
+  }
+}
+
 // -- hashing ----------------------------------------------------------------
 
 class Fnv1a {
@@ -185,6 +266,20 @@ std::uint64_t experiment_hash(const ExperimentConfig& config,
 
 SweepCheckpoint::SweepCheckpoint(std::string path, std::uint64_t hash)
     : path_(std::move(path)), hash_(hash) {
+  namespace fs = std::filesystem;
+
+  // Unattended sweeps point checkpoints into per-run directories that may
+  // not exist yet; create the chain rather than failing the whole sweep.
+  const fs::path parent = fs::path(path_).parent_path();
+  if (!parent.empty()) {
+    std::error_code ec;
+    fs::create_directories(parent, ec);
+    if (ec) {
+      throw IoError("checkpoint: cannot create parent directory " +
+                    parent.string() + " for " + path_ + ": " + ec.message());
+    }
+  }
+
   std::string data;
   {
     std::ifstream in(path_, std::ios::binary);
@@ -194,47 +289,85 @@ SweepCheckpoint::SweepCheckpoint(std::string path, std::uint64_t hash)
     }
   }
 
+  std::uint32_t version = 0;
   bool valid = data.size() >= kHeaderBytes &&
                std::memcmp(data.data(), kMagic.data(), kMagic.size()) == 0;
   if (valid) {
-    std::uint32_t version = 0;
     std::memcpy(&version, data.data() + kMagic.size(), sizeof(version));
     std::uint64_t file_hash = 0;
     std::memcpy(&file_hash, data.data() + kMagic.size() + sizeof(version),
                 sizeof(file_hash));
-    valid = version == kVersion && file_hash == hash_;
+    valid = (version == kVersion || version == kVersionLegacy) &&
+            file_hash == hash_;
   }
 
-  if (valid) {
-    // Replay records; stop silently at the first truncated/malformed one
-    // (at most the final record, if the writing process was killed
-    // mid-append).
-    const std::string_view view = data;
-    std::size_t pos = kHeaderBytes;
-    while (pos < view.size()) {
-      std::uint64_t len = 0;
-      if (!get_varint(view, pos, len)) break;
+  if (!valid) {
+    // Missing, foreign, or stale file: start a fresh v2 checkpoint.
+    fd_ = open_checkpoint_fd(path_, O_CREAT | O_TRUNC);
+    const std::string header = header_bytes(hash_);
+    write_all(fd_, header.data(), header.size(), path_);
+    sync_fd(fd_, path_);
+    return;
+  }
+
+  // Replay records in file order, stopping at the first record that is
+  // torn, structurally malformed, or (v2) fails its CRC — everything from
+  // that point on is untrusted and will be recomputed.
+  const std::string_view view = data;
+  std::size_t pos = kHeaderBytes;
+  std::size_t good_end = kHeaderBytes;
+  std::vector<SuiteResult> in_order;
+  while (pos < view.size()) {
+    std::uint64_t len = 0;
+    if (!get_varint(view, pos, len)) break;
+    if (version == kVersion) {
+      std::uint32_t stored_crc = 0;
+      if (!get_u32le(view, pos, stored_crc)) break;
+      if (len > view.size() - pos) break;
+      const std::string_view payload = view.substr(pos, len);
+      if (crc32c(payload.data(), payload.size()) != stored_crc) break;
+      SuiteResult r;
+      if (!decode(payload, r)) break;
+      pos += len;
+      good_end = pos;
+      in_order.push_back(std::move(r));
+    } else {
       if (len > view.size() - pos) break;
       SuiteResult r;
       if (!decode(view.substr(pos, len), r)) break;
       pos += len;
-      completed_[r.config_name] = std::move(r);
-    }
-    out_.open(path_, std::ios::binary | std::ios::app);
-  } else {
-    // Missing, foreign, or stale file: start a fresh checkpoint.
-    out_.open(path_, std::ios::binary | std::ios::trunc);
-    if (out_) {
-      out_.write(kMagic.data(), kMagic.size());
-      std::uint32_t version = kVersion;
-      out_.write(reinterpret_cast<const char*>(&version), sizeof(version));
-      out_.write(reinterpret_cast<const char*>(&hash_), sizeof(hash_));
-      out_.flush();
+      good_end = pos;
+      in_order.push_back(std::move(r));
     }
   }
-  if (!out_) {
-    throw IoError("checkpoint: cannot open for append: " + path_);
+  for (auto& r : in_order) completed_[r.config_name] = std::move(r);
+
+  if (version == kVersionLegacy) {
+    // Upgrade in place: rewrite the surviving records with CRCs so the
+    // file is uniformly v2 (no mixed-version parsing on the next open).
+    fd_ = open_checkpoint_fd(path_, O_CREAT | O_TRUNC);
+    std::string out = header_bytes(hash_);
+    for (const auto& [name, r] : completed_) out += encode_record(r);
+    write_all(fd_, out.data(), out.size(), path_);
+    sync_fd(fd_, path_);
+    return;
   }
+
+  if (good_end < data.size()) {
+    // Drop the torn/corrupt suffix so appends extend a consistent prefix.
+    std::error_code ec;
+    fs::resize_file(path_, good_end, ec);
+    if (ec) {
+      throw IoError("checkpoint: cannot truncate corrupt suffix of " + path_ +
+                    " to " + std::to_string(good_end) + " bytes: " +
+                    ec.message());
+    }
+  }
+  fd_ = open_checkpoint_fd(path_, O_APPEND);
+}
+
+SweepCheckpoint::~SweepCheckpoint() {
+  if (fd_ >= 0) ::close(fd_);
 }
 
 const SuiteResult* SweepCheckpoint::find(
@@ -244,14 +377,9 @@ const SuiteResult* SweepCheckpoint::find(
 }
 
 void SweepCheckpoint::append(const SuiteResult& result) {
-  const std::string payload = encode(result);
-  std::string record;
-  put_varint(record, payload.size());
-  record += payload;
-  out_.write(record.data(),
-             static_cast<std::streamsize>(record.size()));
-  out_.flush();
-  if (!out_) throw IoError("checkpoint: write failed: " + path_);
+  const std::string record = encode_record(result);
+  write_all(fd_, record.data(), record.size(), path_);
+  sync_fd(fd_, path_);
   completed_[result.config_name] = result;
 }
 

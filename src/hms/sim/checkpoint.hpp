@@ -1,18 +1,22 @@
 // Sweep checkpointing: durable per-config results so an interrupted figure
 // sweep resumes instead of re-simulating.
 //
-// Format ("HMSK" v1, mirroring the trace_io varint/magic style): header
-// {magic, u32 version, u64 experiment hash}, then one length-prefixed record
-// per completed SuiteResult:
+// Format ("HMSK" v2, mirroring the trace_io varint/magic style): header
+// {magic, u32 version, u64 experiment hash}, then one integrity-checked,
+// length-prefixed record per completed SuiteResult:
 //
-//   varint payload_len | payload:
+//   varint payload_len | u32 CRC32C(payload) (LE) | payload:
 //     str config_name | u8 partial | 5 x f64 (LE bit pattern) suite means |
 //     varint n_failures x { str workload, str error } |
 //     varint n_workloads x { str workload, str design, 5 x f64 normalized }
 //
-// (str = varint length + bytes.) Records are appended and flushed one at a
-// time, so a killed run leaves at most one truncated trailing record; the
-// loader stops at the first short or malformed record and discards it.
+// (str = varint length + bytes.) Records are appended one at a time, each
+// append followed by fsync, so a kill at any instant leaves at most one
+// torn trailing record. On open, the loader verifies every record's CRC
+// and structure; the first bad record — torn tail or bit-rot anywhere —
+// stops the scan, and the file is truncated back to the last good record
+// so the sweep resumes from a consistent prefix. Version-1 files (no
+// per-record CRC) still load; they are upgraded in place to v2 on open.
 // Detailed per-workload DesignReports (absolute times/energies) are NOT
 // persisted — a restored SuiteResult carries everything the figure layer
 // uses (suite means + per-workload normalized values).
@@ -23,7 +27,6 @@
 #pragma once
 
 #include <cstdint>
-#include <fstream>
 #include <map>
 #include <string>
 #include <string_view>
@@ -34,30 +37,39 @@ namespace hms::sim {
 
 /// FNV-1a over every result-affecting ExperimentConfig field plus the
 /// sweep label (e.g. "nmm:PCM"). Execution-only knobs — threads,
-/// max_retries, checkpoint_path — are deliberately excluded: they change
-/// how a sweep runs, not what it computes.
+/// max_retries, cell_timeout_ms, retry_backoff_ms, checkpoint_path — are
+/// deliberately excluded: they change how a sweep runs, not what it
+/// computes.
 [[nodiscard]] std::uint64_t experiment_hash(const ExperimentConfig& config,
                                             std::string_view sweep_label);
 
-/// See file comment. Construction loads (or resets) the file and leaves it
-/// open for appending. Throws hms::IoError when the path cannot be opened.
+/// See file comment. Construction creates missing parent directories,
+/// loads (or resets) the file, repairs corruption by truncating to the
+/// last CRC-valid record, and leaves a file descriptor open for durable
+/// appending. Throws hms::IoError (with the path and errno context) when
+/// the path cannot be created or opened.
 class SweepCheckpoint {
  public:
   SweepCheckpoint(std::string path, std::uint64_t hash);
+  ~SweepCheckpoint();
+  SweepCheckpoint(const SweepCheckpoint&) = delete;
+  SweepCheckpoint& operator=(const SweepCheckpoint&) = delete;
 
   /// The result previously checkpointed for `config_name`, or nullptr.
   [[nodiscard]] const SuiteResult* find(const std::string& config_name) const;
   [[nodiscard]] std::size_t size() const noexcept { return completed_.size(); }
 
-  /// Durably appends one result (record + flush). Call only with complete
-  /// (non-partial) results; partial ones should be re-attempted on resume.
+  /// Durably appends one result: length + CRC32C + payload, then fsync, so
+  /// the record survives a kill the moment append returns. Call only with
+  /// complete (non-partial) results; partial ones should be re-attempted
+  /// on resume.
   void append(const SuiteResult& result);
 
  private:
   std::string path_;
   std::uint64_t hash_;
   std::map<std::string, SuiteResult> completed_;
-  std::ofstream out_;
+  int fd_ = -1;
 };
 
 }  // namespace hms::sim

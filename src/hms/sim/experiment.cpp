@@ -7,6 +7,9 @@
 #include <optional>
 #include <string_view>
 
+#include "hms/common/backoff.hpp"
+#include "hms/common/cancel.hpp"
+#include "hms/common/env.hpp"
 #include "hms/common/error.hpp"
 #include "hms/common/fault.hpp"
 #include "hms/sim/checkpoint.hpp"
@@ -25,6 +28,14 @@ ReplayMode default_replay_mode() {
   throw ConfigError(with_context(
       "HMS_REPLAY_MODE", "expected \"chunk\", \"config\" or \"shard\", got \"" +
                              std::string(mode) + "\""));
+}
+
+std::uint64_t default_cell_timeout_ms() {
+  return env_u64("HMS_CELL_TIMEOUT_MS", 0);
+}
+
+std::uint64_t default_retry_backoff_ms() {
+  return env_u64("HMS_RETRY_BACKOFF_MS", 25);
 }
 
 workloads::WorkloadParams ExperimentConfig::params_for(
@@ -85,6 +96,10 @@ WorkloadResult ExperimentRunner::evaluate_back(const std::string& design_name,
   cache::HierarchyProfile profile;
   try {
     profile = replay_back(capture, back);
+  } catch (const CancelledError& e) {
+    // Preserve the kind — rethrow_with_context would flatten it into
+    // SimulationError and the watchdog/interrupt distinction would vanish.
+    throw CancelledError(with_context("replay_back", e.what()), e.kind());
   } catch (...) {
     rethrow_with_context("replay_back");
   }
@@ -157,14 +172,27 @@ std::vector<SuiteResult> ExperimentRunner::sweep(
     // pending config's failure list.
     std::vector<std::size_t> live;
     std::vector<SuiteFailure> warm_failures;
-    for (std::size_t w = 0; w < suite_.size(); ++w) {
-      try {
-        (void)base_report(suite_[w]);
-        live.push_back(w);
-      } catch (const std::exception& e) {
-        warm_failures.push_back(
-            {suite_[w],
-             with_context("warm-up / workload " + suite_[w], e.what())});
+    {
+      // The serial warm-up gets the same per-cell watchdog as the grid:
+      // one budget per workload, re-armed before each one. An interrupt
+      // aborts the sweep; a timeout degrades just that workload.
+      CancellationToken warm_token(config_.cell_timeout_ms);
+      const CancelScope warm_scope(warm_token);
+      for (std::size_t w = 0; w < suite_.size(); ++w) {
+        warm_token.rearm();
+        try {
+          (void)base_report(suite_[w]);
+          live.push_back(w);
+        } catch (const CancelledError& e) {
+          if (e.kind() == CancelKind::interrupt) throw;
+          warm_failures.push_back(
+              {suite_[w],
+               with_context("warm-up / workload " + suite_[w], e.what())});
+        } catch (const std::exception& e) {
+          warm_failures.push_back(
+              {suite_[w],
+               with_context("warm-up / workload " + suite_[w], e.what())});
+        }
       }
     }
     if (live.empty()) {
@@ -215,6 +243,9 @@ std::vector<SuiteResult> ExperimentRunner::sweep(
       spec.configs = pending.size();
       spec.threads = config_.threads;
       spec.max_retries = config_.max_retries;
+      spec.cell_timeout_ms = config_.cell_timeout_ms;
+      spec.retry_backoff_ms = config_.retry_backoff_ms;
+      spec.backoff_seed = config_.seed;
       if (FaultInjector* injector = FaultInjector::active()) {
         spec.replay_fault_base = injector->hits("sim/replay_back");
       }
@@ -249,6 +280,9 @@ std::vector<SuiteResult> ExperimentRunner::sweep(
       ParallelOptions options;
       options.threads = config_.threads;
       options.policy = ErrorPolicy::degrade;
+      options.stop_on_interrupt = true;
+      options.retry_backoff_ms = config_.retry_backoff_ms;
+      options.backoff_seed = config_.seed;
 
       // Chunk-major: per-cell errors filled in by the workload tasks
       // (empty string = cell succeeded), harvested in on_complete.
@@ -268,6 +302,12 @@ std::vector<SuiteResult> ExperimentRunner::sweep(
                      &live, l] {
             const std::string& workload = suite_[live[l]];
             const FrontCapture& capture = fronts_.at(workload);
+
+            // Per-task watchdog: replay_back_many polls this as the
+            // thread's ambient token and re-arms it itself whenever a
+            // timed-out cell is dropped.
+            CancellationToken token(config_.cell_timeout_ms);
+            const CancelScope token_scope(token);
 
             // Build one back per pending config; a config whose construction
             // fails is excluded from the replay (its cell error is final —
@@ -306,18 +346,35 @@ std::vector<SuiteResult> ExperimentRunner::sweep(
                   with_context(cell, with_context("replay_back",
                                                   outcomes[b].error));
               // Bounded per-cell retries with a fresh back and a standalone
-              // replay (same ordered stream, so the result stays identical).
-              for (std::uint32_t attempt = 0; attempt < config_.max_retries;
+              // replay (same ordered stream, so the result stays identical),
+              // spaced by deterministic exponential backoff and each given
+              // a fresh watchdog budget.
+              const std::uint64_t cell_seed =
+                  config_.seed ^
+                  ((static_cast<std::uint64_t>(p) << 32) ^ l);
+              bool stop_retrying = false;
+              for (std::uint32_t attempt = 0;
+                   attempt < config_.max_retries && !stop_retrying;
                    ++attempt) {
+                if (config_.retry_backoff_ms != 0) {
+                  const std::uint64_t delay = backoff_delay_ms(
+                      attempt, cell_seed, config_.retry_backoff_ms);
+                  if (!backoff_sleep(delay)) break;  // interrupted mid-wait
+                }
+                token.rearm();
                 try {
                   auto back = make_back(configs[c], capture.footprint_bytes);
                   grid[p][l] = evaluate_back(configs[c].name, workload, *back);
                   cell_errors[p][l].clear();
                   break;
+                } catch (const CancelledError& e) {
+                  cell_errors[p][l] = with_context(cell, e.what());
+                  if (e.kind() == CancelKind::interrupt) stop_retrying = true;
                 } catch (const std::exception& e) {
                   cell_errors[p][l] = with_context(cell, e.what());
                 }
               }
+              token.rearm();  // fresh budget for the next cell's retries
             }
           };
           tasks.push_back(std::move(task));
@@ -348,13 +405,21 @@ std::vector<SuiteResult> ExperimentRunner::sweep(
             task.transient = config_.max_retries > 0;
             task.fn = [this, &configs, &make_back, &grid, &live, c, p, l] {
               const std::string& workload = suite_[live[l]];
+              // One watchdog budget per attempt: the task body IS one
+              // attempt (run_one re-invokes it on retry), so arming here
+              // re-arms naturally.
+              CancellationToken token(config_.cell_timeout_ms);
+              const CancelScope token_scope(token);
+              const std::string cell =
+                  "config " + configs[c].name + " / workload " + workload;
               try {
                 auto back =
                     make_back(configs[c], fronts_.at(workload).footprint_bytes);
                 grid[p][l] = evaluate_back(configs[c].name, workload, *back);
+              } catch (const CancelledError& e) {
+                throw CancelledError(with_context(cell, e.what()), e.kind());
               } catch (...) {
-                rethrow_with_context("config " + configs[c].name +
-                                     " / workload " + workload);
+                rethrow_with_context(cell);
               }
             };
             tasks.push_back(std::move(task));
@@ -371,6 +436,16 @@ std::vector<SuiteResult> ExperimentRunner::sweep(
         };
       }
       (void)run_parallel(std::move(tasks), options);
+    }
+
+    // A process interrupt aborts the sweep here — after the engines have
+    // drained (completed configs are already fsync'd into the checkpoint)
+    // but before assembly, which would misreport unworked cells as config
+    // failures. Callers map the kind to kExitInterrupted.
+    if (const int sig = interrupt_signal(); sig != 0) {
+      throw CancelledError("sweep " + label + ": interrupted by signal " +
+                               std::to_string(sig),
+                           CancelKind::interrupt);
     }
   }
 

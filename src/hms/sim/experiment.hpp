@@ -47,6 +47,16 @@ enum class ReplayMode : std::uint8_t {
 /// ConfigMajor, "shard" = Sharded, anything else throws ConfigError.
 [[nodiscard]] ReplayMode default_replay_mode();
 
+/// Reads HMS_CELL_TIMEOUT_MS (strict: garbage or negative values throw
+/// ConfigError naming the variable and value). Unset/empty = 0 = no
+/// per-cell watchdog.
+[[nodiscard]] std::uint64_t default_cell_timeout_ms();
+
+/// Reads HMS_RETRY_BACKOFF_MS (strict, like default_cell_timeout_ms).
+/// Unset/empty = 25 ms base backoff; 0 disables backoff (immediate
+/// retries, the pre-watchdog behavior).
+[[nodiscard]] std::uint64_t default_retry_backoff_ms();
+
 struct ExperimentConfig {
   /// Capacity scale divisor applied to every cache/DRAM size (power of 2).
   std::uint64_t scale_divisor = 64;
@@ -66,6 +76,15 @@ struct ExperimentConfig {
   /// as a failure (deterministic immediate retries; useful when fault
   /// injection or flaky I/O models transient conditions).
   std::uint32_t max_retries = 0;
+  /// Per-cell watchdog budget in milliseconds (0 = no watchdog). A cell
+  /// that exceeds it is cancelled cooperatively and degraded with a
+  /// timeout failure; surviving cells get a fresh budget. Execution-only
+  /// (excluded from experiment_hash). Defaults from HMS_CELL_TIMEOUT_MS.
+  std::uint64_t cell_timeout_ms = default_cell_timeout_ms();
+  /// Base delay in milliseconds for the deterministic exponential backoff
+  /// between a cell's retry attempts (0 = immediate retries).
+  /// Execution-only. Defaults from HMS_RETRY_BACKOFF_MS.
+  std::uint64_t retry_backoff_ms = default_retry_backoff_ms();
   /// When non-empty, sweeps append each fully-successful SuiteResult to
   /// this checkpoint file and a rerun with an identical experiment hash
   /// skips the configs already present (see sim/checkpoint.hpp).
@@ -205,6 +224,15 @@ class ExperimentRunner {
   /// SuiteResult is appended to the checkpoint as soon as its last cell
   /// finishes, and configs already checkpointed under the same
   /// `experiment_hash(config_, label)` are skipped.
+  ///
+  /// Watchdog & interrupts: `config_.cell_timeout_ms` arms a per-cell
+  /// cooperative deadline in every mode (a timed-out cell degrades like
+  /// any failed cell); a process interrupt (SIGINT/SIGTERM through
+  /// ScopedSignalHandlers, or raise_interrupt) makes engines stop
+  /// claiming work, lets the checkpoint keep every config completed so
+  /// far (appends are fsync'd), and aborts with CancelledError(kind ==
+  /// interrupt) before result assembly — callers map it to
+  /// kExitInterrupted.
   template <typename Config, typename MakeBack>
   [[nodiscard]] std::vector<SuiteResult> sweep(
       const std::string& label, const std::vector<Config>& configs,

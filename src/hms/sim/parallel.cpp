@@ -5,6 +5,8 @@
 #include <mutex>
 #include <thread>
 
+#include "hms/common/backoff.hpp"
+#include "hms/common/cancel.hpp"
 #include "hms/common/error.hpp"
 
 namespace hms::sim {
@@ -13,10 +15,11 @@ namespace {
 
 /// Runs one task with its retry budget and fills in its report.
 /// Returns the exception of the last failed attempt (nullptr on success).
-std::exception_ptr run_one(const ParallelTask& task, std::uint32_t max_retries,
+std::exception_ptr run_one(const ParallelTask& task,
+                           const ParallelOptions& options, std::size_t index,
                            TaskReport& report) {
   report.label = task.label;
-  const std::uint32_t budget = 1 + (task.transient ? max_retries : 0);
+  const std::uint32_t budget = 1 + (task.transient ? options.max_retries : 0);
   std::exception_ptr last_error;
   for (std::uint32_t attempt = 1; attempt <= budget; ++attempt) {
     report.attempts = attempt;
@@ -25,12 +28,23 @@ std::exception_ptr run_one(const ParallelTask& task, std::uint32_t max_retries,
       report.outcome = TaskOutcome::ok;
       report.error.clear();
       return nullptr;
+    } catch (const CancelledError& e) {
+      report.error = e.what();
+      last_error = std::current_exception();
+      // A timed-out attempt may be retried (the task re-arms its own
+      // deadline); an interrupt ends the retry loop outright.
+      if (e.kind() == CancelKind::interrupt) break;
     } catch (const std::exception& e) {
       report.error = e.what();
       last_error = std::current_exception();
     } catch (...) {
       report.error = "unknown exception";
       last_error = std::current_exception();
+    }
+    if (attempt < budget && options.retry_backoff_ms != 0) {
+      const std::uint64_t delay = backoff_delay_ms(
+          attempt - 1, options.backoff_seed ^ index, options.retry_backoff_ms);
+      if (!backoff_sleep(delay)) break;  // interrupted mid-wait
     }
   }
   report.outcome = TaskOutcome::failed;
@@ -102,17 +116,29 @@ ParallelReport run_parallel(std::vector<ParallelTask> tasks,
     }
   };
 
-  if (threads <= 1) {
-    for (std::size_t i = 0; i < tasks.size(); ++i) {
-      settle(i, run_one(tasks[i], options.max_retries, report.tasks[i]));
+  // Claim-or-skip: once the interrupt flag is up (and the caller opted
+  // in), remaining tasks are recorded as skipped without running or
+  // invoking on_complete — the caller aborts assembly after join.
+  auto run_or_skip = [&](std::size_t i) {
+    if (options.stop_on_interrupt && interrupt_signal() != 0) {
+      report.tasks[i].label = tasks[i].label;
+      report.tasks[i].outcome = TaskOutcome::skipped;
+      report.tasks[i].attempts = 0;
+      report.tasks[i].error = "skipped: interrupted before start";
+      return;
     }
+    settle(i, run_one(tasks[i], options, i, report.tasks[i]));
+  };
+
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < tasks.size(); ++i) run_or_skip(i);
   } else {
     std::atomic<std::size_t> next{0};
     auto worker = [&] {
       while (true) {
         const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
         if (i >= tasks.size()) return;
-        settle(i, run_one(tasks[i], options.max_retries, report.tasks[i]));
+        run_or_skip(i);
       }
     };
     std::vector<std::thread> pool;

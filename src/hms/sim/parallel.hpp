@@ -42,7 +42,10 @@ inline constexpr unsigned kFallbackWorkers = 2;
 /// resolve_workers with hardware = std::thread::hardware_concurrency().
 [[nodiscard]] unsigned resolve_workers(unsigned requested) noexcept;
 
-enum class TaskOutcome { ok, failed };
+/// `skipped` marks tasks never claimed because a process interrupt was
+/// observed first (ParallelOptions::stop_on_interrupt); they were not
+/// attempted, carry no failure, and on_complete is not invoked for them.
+enum class TaskOutcome { ok, failed, skipped };
 
 /// One unit of work. `transient` opts the task into the bounded-retry
 /// mechanism (ParallelOptions::max_retries); retries re-run the task
@@ -75,6 +78,19 @@ struct ParallelOptions {
   /// config's last cell finishes. Exceptions escaping the callback abort
   /// the run with hms::Error after all workers join.
   std::function<void(std::size_t index, const TaskReport&)> on_complete;
+  /// Stop claiming new tasks once the process interrupt flag is raised
+  /// (SIGINT/SIGTERM via ScopedSignalHandlers, or raise_interrupt in
+  /// tests). In-flight tasks finish; unclaimed ones settle as
+  /// TaskOutcome::skipped. The caller is expected to notice the interrupt
+  /// after join and abort result assembly.
+  bool stop_on_interrupt = false;
+  /// Base delay for deterministic exponential backoff between retry
+  /// attempts of transient tasks (common/backoff.hpp). 0 = immediate
+  /// retry, the historical behavior.
+  std::uint64_t retry_backoff_ms = 0;
+  /// Seed mixed (with the task index) into the backoff jitter so retry
+  /// timing is reproducible run-to-run yet decorrelated across tasks.
+  std::uint64_t backoff_seed = 0;
 };
 
 struct ParallelReport {

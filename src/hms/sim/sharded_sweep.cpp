@@ -8,6 +8,8 @@
 #include <thread>
 #include <utility>
 
+#include "hms/common/backoff.hpp"
+#include "hms/common/cancel.hpp"
 #include "hms/common/error.hpp"
 #include "hms/common/fault.hpp"
 #include "hms/sim/parallel.hpp"
@@ -41,6 +43,14 @@ std::vector<ShardedCellOutcome> run_unit(const ShardedSweepSpec& spec,
   const std::size_t n = unit.config_end - unit.config_begin;
   std::vector<Cell> cells(n);
 
+  // Fresh watchdog budget per unit; the worker published this token as
+  // the thread's ambient one, so replay internals and fault-point stalls
+  // see the same deadline.
+  CancellationToken* const token = CancellationToken::current();
+  if (token != nullptr) token->rearm();
+  bool interrupted = false;
+  std::string interrupt_error;
+
   // Shard-local fault accounting: decisions use canonical indices so a
   // given arming fails the same cells at any thread count; the counters
   // merge into the injector when this account seals (scope exit).
@@ -64,12 +74,24 @@ std::vector<ShardedCellOutcome> run_unit(const ShardedSweepSpec& spec,
   for (std::size_t i = 0; i < n; ++i) {
     Cell& cell = cells[i];
     if (!cell.out.constructed) continue;
+    if (interrupted) {
+      cell.out.error = interrupt_error;
+      continue;
+    }
     try {
       faults.hit("sim/replay_back",
                  spec.replay_fault_base +
                      static_cast<std::uint64_t>(unit.workload) * spec.configs +
                      cell.config + 1);
       live.push_back(i);
+    } catch (const CancelledError& e) {
+      cell.out.error = e.what();
+      if (e.kind() == CancelKind::interrupt) {
+        interrupted = true;
+        interrupt_error = e.what();
+      } else if (token != nullptr) {
+        token->rearm();  // hung cell degraded; survivors get fresh budget
+      }
     } catch (const std::exception& e) {
       cell.out.error = e.what();
     }
@@ -79,7 +101,18 @@ std::vector<ShardedCellOutcome> run_unit(const ShardedSweepSpec& spec,
   // throws mid-stream drops out alone; a decode failure fails every back
   // still in flight (the shared stream is gone for this pass).
   const std::size_t chunks = capture.residual.chunk_count();
-  for (std::size_t c = 0; c < chunks && !live.empty(); ++c) {
+  for (std::size_t c = 0; c < chunks && !live.empty() && !interrupted; ++c) {
+    if (token != nullptr && token->cancelled()) {
+      // Chunk-boundary cancellation has no single culprit cell: the
+      // remaining column fails together (DESIGN.md §6).
+      try {
+        token->throw_if_cancelled("sim/sharded_replay");
+      } catch (const CancelledError& e) {
+        for (const std::size_t i : live) cells[i].out.error = e.what();
+      }
+      live.clear();
+      break;
+    }
     trace::DecodedBatchView batch;
     try {
       batch = ring.get(c);
@@ -89,14 +122,28 @@ std::vector<ShardedCellOutcome> run_unit(const ShardedSweepSpec& spec,
       break;
     }
     std::erase_if(live, [&](std::size_t i) {
+      if (interrupted) return false;  // mass-failed below
       try {
         cells[i].back->access_batch(*batch);
         return false;
+      } catch (const CancelledError& e) {
+        cells[i].out.error = e.what();
+        if (e.kind() == CancelKind::interrupt) {
+          interrupted = true;
+          interrupt_error = e.what();
+        } else if (token != nullptr) {
+          token->rearm();
+        }
+        return true;
       } catch (const std::exception& e) {
         cells[i].out.error = e.what();
         return true;
       }
     });
+    if (interrupted) {
+      for (const std::size_t i : live) cells[i].out.error = interrupt_error;
+      live.clear();
+    }
   }
   for (const std::size_t i : live) {
     cells[i].out.ok = true;
@@ -114,14 +161,27 @@ std::vector<ShardedCellOutcome> run_unit(const ShardedSweepSpec& spec,
   // replay (same ordered stream, so a recovered cell is bit-identical).
   // Construction failures are final — retrying a deterministic
   // ConfigError cannot help.
-  for (std::size_t i = 0; i < n; ++i) {
+  for (std::size_t i = 0; i < n && !interrupted; ++i) {
     Cell& cell = cells[i];
     if (cell.out.ok || !cell.out.constructed) continue;
+    const std::uint64_t cell_seed =
+        spec.backoff_seed ^
+        (static_cast<std::uint64_t>(unit.workload) * spec.configs +
+         cell.config);
     for (std::uint32_t attempt = 0; attempt < spec.max_retries; ++attempt) {
+      if (spec.retry_backoff_ms != 0) {
+        const std::uint64_t delay =
+            backoff_delay_ms(attempt, cell_seed, spec.retry_backoff_ms);
+        if (!backoff_sleep(delay)) break;  // interrupted mid-wait
+      }
+      if (token != nullptr) token->rearm();  // fresh budget per attempt
       try {
         auto back = spec.make_back(cell.config, unit.workload);
         HMS_FAULT_POINT("sim/replay_back");
         for (std::size_t c = 0; c < chunks; ++c) {
+          if (token != nullptr) {
+            token->throw_if_cancelled("sim/sharded_retry");
+          }
           back->access_batch(*ring.get(c));
         }
         cell.out.ok = true;
@@ -129,6 +189,12 @@ std::vector<ShardedCellOutcome> run_unit(const ShardedSweepSpec& spec,
             capture.front_profile, back->profile());
         cell.out.error.clear();
         break;
+      } catch (const CancelledError& e) {
+        cell.out.error = e.what();
+        if (e.kind() == CancelKind::interrupt) {
+          interrupted = true;
+          break;
+        }
       } catch (const std::exception& e) {
         cell.out.error = e.what();
       }
@@ -207,6 +273,17 @@ void run_sharded_sweep(const ShardedSweepSpec& spec) {
 
   const auto run_claimed = [&](const Unit& unit) {
     std::vector<ShardedCellOutcome> outcomes;
+    if (interrupt_signal() != 0) {
+      // Keep the exactly-once settle contract under interrupt: unclaimed
+      // work settles as failed cells instead of silently vanishing.
+      outcomes.assign(unit.config_end - unit.config_begin,
+                      ShardedCellOutcome{});
+      for (auto& out : outcomes) {
+        out.error = "skipped: interrupted before start";
+      }
+      settle_unit(unit, std::move(outcomes));
+      return;
+    }
     try {
       outcomes = run_unit(spec, unit, *rings[unit.workload]);
     } catch (const std::exception& e) {
@@ -220,6 +297,10 @@ void run_sharded_sweep(const ShardedSweepSpec& spec) {
   };
 
   const auto worker = [&](unsigned self) {
+    // Per-worker watchdog token, published as this thread's ambient token
+    // so run_unit, replay internals, and fault-point stalls all see it.
+    CancellationToken token(spec.cell_timeout_ms);
+    const CancelScope scope(token);
     // Drain the home queue, then steal: scan the other queues round-robin
     // and claim their next pending unit. fetch_add makes each unit claimed
     // exactly once; an overshot head just means that queue is empty.

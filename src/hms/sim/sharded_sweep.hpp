@@ -62,6 +62,17 @@ struct ShardedSweepSpec {
   /// Extra fresh-back replay attempts granted to a failed (constructed)
   /// cell, mirroring ExperimentConfig::max_retries.
   std::uint32_t max_retries = 0;
+  /// Per-cell watchdog budget in milliseconds (0 = no watchdog). Each
+  /// worker arms a CancellationToken deadline with this budget, re-armed
+  /// per unit and after each degraded cell, and publishes it as the
+  /// thread's ambient token — so a hung cell (stalled fault site, runaway
+  /// replay) times out and degrades instead of hanging the sweep.
+  std::uint64_t cell_timeout_ms = 0;
+  /// Base delay for deterministic exponential backoff between a cell's
+  /// fresh-back retry attempts (common/backoff.hpp; 0 = immediate retry).
+  std::uint64_t retry_backoff_ms = 0;
+  /// Seed mixed with the cell's canonical index into the backoff jitter.
+  std::uint64_t backoff_seed = 0;
   /// Decoded batches each workload's ring retains (0 = auto:
   /// 2 * threads + 2 — enough that co-scheduled shards of one workload
   /// share every decode while staying a few MiB per workload).
@@ -81,7 +92,10 @@ struct ShardedSweepSpec {
 };
 
 /// See file comment. Settles every (config, workload) cell exactly once
-/// through spec.on_cell.
+/// through spec.on_cell — including under interrupt, where workers stop
+/// claiming work and unclaimed cells settle as failed ("skipped:
+/// interrupted"); the caller notices the interrupt flag after return and
+/// aborts result assembly.
 void run_sharded_sweep(const ShardedSweepSpec& spec);
 
 }  // namespace hms::sim

@@ -1,5 +1,6 @@
 #include "hms/sim/simulator.hpp"
 
+#include "hms/common/cancel.hpp"
 #include "hms/common/fault.hpp"
 
 namespace hms::sim {
@@ -43,9 +44,14 @@ FrontCapture capture_front(const std::string& workload_name,
 cache::HierarchyProfile replay_back(const FrontCapture& capture,
                                     cache::MemoryHierarchy& back) {
   HMS_FAULT_POINT("sim/replay_back");
+  // Chunk granularity is the replay's cancellation point: the ambient
+  // token (armed by the engine running this cell) turns a hung cell into
+  // a CancelledError instead of an unbounded stall.
+  CancellationToken* const token = CancellationToken::current();
   std::vector<trace::MemoryAccess> scratch;
   const std::size_t chunks = capture.residual.chunk_count();
   for (std::size_t i = 0; i < chunks; ++i) {
+    if (token != nullptr) token->throw_if_cancelled("sim/replay_back");
     capture.residual.decode_chunk(i, scratch);
     back.access_batch(scratch);
   }
@@ -61,12 +67,25 @@ std::vector<BackReplayOutcome> replay_back_many(
   // stream: a config-major sweep hits "sim/replay_back" once per cell, and
   // keeping the same per-cell hit sequence keeps deterministic fault
   // armings (skip_first / max_fires) meaningful across replay modes.
+  CancellationToken* const token = CancellationToken::current();
   std::vector<std::size_t> live;
   live.reserve(backs.size());
   for (std::size_t b = 0; b < backs.size(); ++b) {
     try {
       HMS_FAULT_POINT("sim/replay_back");
       live.push_back(b);
+    } catch (const CancelledError& e) {
+      if (e.kind() == CancelKind::interrupt) {
+        // Shutdown outranks the sweep: fail this and every later cell.
+        for (std::size_t rest = b; rest < backs.size(); ++rest) {
+          outcomes[rest].error = e.what();
+        }
+        return outcomes;
+      }
+      // A hung cell (stalled fault site) degrades alone; survivors get a
+      // fresh watchdog budget.
+      outcomes[b].error = e.what();
+      if (token != nullptr) token->rearm();
     } catch (const std::exception& e) {
       outcomes[b].error = e.what();
     }
@@ -75,6 +94,17 @@ std::vector<BackReplayOutcome> replay_back_many(
   std::vector<trace::MemoryAccess> scratch;
   const std::size_t chunks = capture.residual.chunk_count();
   for (std::size_t i = 0; i < chunks && !live.empty(); ++i) {
+    if (token != nullptr && token->cancelled()) {
+      // A chunk-boundary cancellation has no single culprit cell: the
+      // whole remaining column fails (DESIGN.md §6 watchdog semantics).
+      try {
+        token->throw_if_cancelled("sim/replay_back_many");
+      } catch (const CancelledError& e) {
+        for (const std::size_t b : live) outcomes[b].error = e.what();
+      }
+      live.clear();
+      break;
+    }
     try {
       capture.residual.decode_chunk(i, scratch);
     } catch (const std::exception& e) {
@@ -85,15 +115,31 @@ std::vector<BackReplayOutcome> replay_back_many(
     }
     // Dropping a back mid-stream must not disturb the others: erase it from
     // the live set and keep feeding the rest.
+    bool interrupted = false;
+    std::string interrupt_error;
     std::erase_if(live, [&](std::size_t b) {
+      if (interrupted) return false;  // mass-failed below
       try {
         backs[b]->access_batch(scratch);
         return false;
+      } catch (const CancelledError& e) {
+        outcomes[b].error = e.what();
+        if (e.kind() == CancelKind::interrupt) {
+          interrupted = true;
+          interrupt_error = e.what();
+        } else if (token != nullptr) {
+          token->rearm();  // the hung cell is gone; give survivors time
+        }
+        return true;
       } catch (const std::exception& e) {
         outcomes[b].error = e.what();
         return true;
       }
     });
+    if (interrupted) {
+      for (const std::size_t b : live) outcomes[b].error = interrupt_error;
+      live.clear();
+    }
   }
 
   for (const std::size_t b : live) {

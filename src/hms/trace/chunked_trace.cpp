@@ -1,5 +1,8 @@
 #include "hms/trace/chunked_trace.hpp"
 
+#include <string>
+
+#include "hms/common/crc32c.hpp"
 #include "hms/common/error.hpp"
 #include "hms/common/fault.hpp"
 
@@ -93,7 +96,9 @@ void ChunkedTraceBuffer::encode_one(const MemoryAccess& a) {
 
 void ChunkedTraceBuffer::seal_open_chunk() {
   if (open_count_ == 0) return;
-  sealed_.push_back(SealedChunk{open_begin_, open_count_});
+  const std::uint32_t crc =
+      crc32c(bytes_.data() + open_begin_, bytes_.size() - open_begin_);
+  sealed_.push_back(SealedChunk{open_begin_, open_count_, crc});
   open_begin_ = bytes_.size();
   open_count_ = 0;
   prev_addr_ = 0;
@@ -141,6 +146,17 @@ std::size_t ChunkedTraceBuffer::decode_chunk(
     begin = open_begin_;
     end = bytes_.size();
     count = open_count_;
+  }
+
+  if (index < sealed_.size()) {
+    // Sealed payloads are immutable from seal to replay; a CRC mismatch
+    // means the resident bytes were corrupted in between. (The unsealed
+    // tail is still being appended to, so it has no checksum yet.)
+    const std::uint32_t crc = crc32c(bytes_.data() + begin, end - begin);
+    if (crc != sealed_[index].crc) {
+      throw TraceError("trace: chunk " + std::to_string(index) +
+                       " CRC32C mismatch (resident corruption)");
+    }
   }
 
   out.resize(count);
@@ -192,6 +208,12 @@ std::size_t ChunkedTraceBuffer::decode_chunk(
   }
   if (p != stop) throw TraceError("trace: trailing bytes in chunk");
   return count;
+}
+
+void ChunkedTraceBuffer::corrupt_encoded_byte_for_test(
+    std::size_t offset, std::uint8_t mask) noexcept {
+  if (bytes_.empty()) return;
+  bytes_[offset % bytes_.size()] ^= (mask != 0 ? mask : std::uint8_t{1});
 }
 
 std::vector<MemoryAccess> ChunkedTraceBuffer::decode_all() const {

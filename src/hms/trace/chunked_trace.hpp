@@ -85,10 +85,20 @@ class ChunkedTraceBuffer final : public BatchAccessSink {
   }
 
   /// Decodes chunk `index` into `out` (replacing its contents) and returns
-  /// the number of records. Throws hms::TraceError on internal corruption
+  /// the number of records. Every sealed chunk carries a CRC32C over its
+  /// encoded payload, verified here before decoding — a flipped bit in a
+  /// resident chunk surfaces as TraceError (quarantining the cell through
+  /// the normal degrade path) instead of silently decoding to a wrong
+  /// stream. Throws hms::TraceError on CRC mismatch or internal corruption
   /// and honors the "trace/decode_chunk" fault site.
   std::size_t decode_chunk(std::size_t index,
                            std::vector<MemoryAccess>& out) const;
+
+  /// Test/chaos hook: XOR-flips `mask` into the encoded byte at `offset`
+  /// (offset taken modulo encoded_bytes()), simulating in-memory
+  /// corruption that the per-chunk CRC must catch.
+  void corrupt_encoded_byte_for_test(std::size_t offset,
+                                     std::uint8_t mask = 0x01) noexcept;
 
   /// Decodes the whole stream in order (round-trip testing / tooling).
   [[nodiscard]] std::vector<MemoryAccess> decode_all() const;
@@ -102,6 +112,7 @@ class ChunkedTraceBuffer final : public BatchAccessSink {
   struct SealedChunk {
     std::size_t begin;  ///< offset of the chunk's first byte in bytes_
     std::size_t count;  ///< records in the chunk
+    std::uint32_t crc;  ///< CRC32C over the chunk's encoded payload
   };
 
   void encode_one(const MemoryAccess& a);

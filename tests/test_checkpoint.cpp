@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <string>
 
@@ -150,8 +151,111 @@ TEST(Checkpoint, GarbageFileIsReset) {
   EXPECT_EQ(reloaded.size(), 1u);
 }
 
-TEST(Checkpoint, UnopenablePathThrowsIoError) {
-  EXPECT_THROW(SweepCheckpoint("/nonexistent-dir/nope/ckpt.bin", 1), IoError);
+TEST(Checkpoint, UnopenablePathThrowsIoErrorWithContext) {
+  // /dev/null is a file, so no parent chain can be created beneath it —
+  // an unopenable path even for root. The error must carry the path and
+  // the OS reason, not just "cannot open".
+  const std::string path = "/dev/null/sub/ckpt.bin";
+  try {
+    SweepCheckpoint ckpt(path, 1);
+    FAIL() << "expected IoError";
+  } catch (const IoError& e) {
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos) << e.what();
+  }
+}
+
+TEST(Checkpoint, CreatesMissingParentDirectories) {
+  const std::string root = ::testing::TempDir() + "hms_ckpt_parents";
+  std::filesystem::remove_all(root);
+  const std::string path = root + "/a/b/ckpt.bin";
+  {
+    SweepCheckpoint ckpt(path, 5);
+    ckpt.append(sample_result("N1", 1.5));
+  }
+  EXPECT_TRUE(std::filesystem::exists(path));
+  SweepCheckpoint reloaded(path, 5);
+  EXPECT_EQ(reloaded.size(), 1u);
+  std::filesystem::remove_all(root);
+}
+
+TEST(Checkpoint, LegacyV1FileLoadsAndUpgrades) {
+  // Hand-build a version-1 file (records without per-record CRC) and check
+  // it loads, then is rewritten as v2 (a corrupted byte in the re-written
+  // file is caught by the CRC — v1 had no such detection).
+  TempFile file("v1upgrade");
+  {
+    SweepCheckpoint ckpt(file.path(), 21);
+    ckpt.append(sample_result("N1", 1.5));
+    ckpt.append(sample_result("N6", 2.5));
+  }
+  // Down-convert the v2 file to v1 bytes: patch the version field and strip
+  // each record's 4-byte CRC (records start after the 16-byte header).
+  std::string data;
+  {
+    std::ifstream in(file.path(), std::ios::binary);
+    data.assign(std::istreambuf_iterator<char>(in),
+                std::istreambuf_iterator<char>());
+  }
+  data[4] = '\1';  // version u32 LE: 2 -> 1
+  std::string v1(data.substr(0, 16));
+  std::size_t pos = 16;
+  while (pos < data.size()) {
+    // varint length (these payloads are < 128 bytes each -> 1 byte)
+    const auto len = static_cast<std::size_t>(
+        static_cast<unsigned char>(data[pos]));
+    ASSERT_LT(len, 128u);
+    v1.push_back(data[pos]);
+    v1.append(data.substr(pos + 1 + 4, len));  // skip the CRC
+    pos += 1 + 4 + len;
+  }
+  {
+    std::ofstream out(file.path(), std::ios::binary | std::ios::trunc);
+    out << v1;
+  }
+  SweepCheckpoint reloaded(file.path(), 21);
+  EXPECT_EQ(reloaded.size(), 2u);
+  ASSERT_NE(reloaded.find("N1"), nullptr);
+  EXPECT_DOUBLE_EQ(reloaded.find("N1")->runtime, 1.5);
+  // The file on disk is now v2 again.
+  std::ifstream in(file.path(), std::ios::binary);
+  const std::string upgraded{std::istreambuf_iterator<char>(in),
+                             std::istreambuf_iterator<char>()};
+  EXPECT_EQ(upgraded[4], '\2');
+}
+
+TEST(Checkpoint, CorruptedRecordTruncatesToLastGood) {
+  TempFile file("bitrot");
+  {
+    SweepCheckpoint ckpt(file.path(), 31);
+    ckpt.append(sample_result("N1", 1.5));
+    ckpt.append(sample_result("N3", 2.0));
+    ckpt.append(sample_result("N6", 2.5));
+  }
+  std::string data;
+  {
+    std::ifstream in(file.path(), std::ios::binary);
+    data.assign(std::istreambuf_iterator<char>(in),
+                std::istreambuf_iterator<char>());
+  }
+  // Flip one payload byte inside the SECOND record: first record survives,
+  // second and third (everything at/after the corruption) are dropped.
+  const auto len0 =
+      static_cast<std::size_t>(static_cast<unsigned char>(data[16]));
+  const std::size_t second = 16 + 1 + 4 + len0;
+  data[second + 1 + 4 + 3] ^= 0x40;
+  {
+    std::ofstream out(file.path(), std::ios::binary | std::ios::trunc);
+    out << data;
+  }
+  SweepCheckpoint reloaded(file.path(), 31);
+  EXPECT_EQ(reloaded.size(), 1u);
+  EXPECT_NE(reloaded.find("N1"), nullptr);
+  EXPECT_EQ(reloaded.find("N3"), nullptr);
+  // The corrupt suffix was physically truncated; appends resume cleanly.
+  reloaded.append(sample_result("N3", 2.0));
+  reloaded.append(sample_result("N6", 2.5));
+  SweepCheckpoint again(file.path(), 31);
+  EXPECT_EQ(again.size(), 3u);
 }
 
 TEST(Checkpoint, PersistsFailureListsForPartialResults) {

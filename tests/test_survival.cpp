@@ -1,0 +1,500 @@
+// Unattended-sweep survival guarantees, end to end: exhaustive checkpoint
+// corruption fuzzing, chunk-CRC detection, the per-cell watchdog in every
+// replay mode, clean-interrupt abort + bit-identical resume, and the
+// deterministic retry backoff / strict env-knob contracts they ride on.
+// (The out-of-process counterpart — real SIGKILL/SIGTERM against a live
+// sweep — is tools/chaos_sweep.)
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "hms/common/backoff.hpp"
+#include "hms/common/cancel.hpp"
+#include "hms/common/env.hpp"
+#include "hms/common/error.hpp"
+#include "hms/common/fault.hpp"
+#include "hms/sim/checkpoint.hpp"
+#include "hms/sim/experiment.hpp"
+#include "hms/trace/chunked_trace.hpp"
+
+namespace hms::sim {
+namespace {
+
+using mem::Technology;
+
+class TempFile {
+ public:
+  explicit TempFile(const std::string& tag)
+      : path_(::testing::TempDir() + "hms_survival_" + tag + ".bin") {
+    std::remove(path_.c_str());
+  }
+  ~TempFile() { std::remove(path_.c_str()); }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+SuiteResult sample_result(const std::string& name, double runtime) {
+  SuiteResult r;
+  r.config_name = name;
+  r.runtime = runtime;
+  r.dynamic = 1.25;
+  r.leakage = 0.75;
+  r.total_energy = 1.1;
+  r.edp = runtime * 1.1;
+  WorkloadResult wr;
+  wr.report.design = name;
+  wr.report.workload = "CG";
+  wr.normalized.design = name;
+  wr.normalized.workload = "CG";
+  wr.normalized.runtime = runtime;
+  wr.normalized.edp = runtime * 1.1;
+  r.per_workload.push_back(wr);
+  return r;
+}
+
+/// Byte offsets where each checkpoint record starts, plus the end offset —
+/// parsed from the v2 layout (16-byte header, then varint len | u32 CRC |
+/// payload per record).
+std::vector<std::size_t> record_boundaries(const std::string& bytes) {
+  std::vector<std::size_t> bounds = {16};
+  std::size_t pos = 16;
+  while (pos < bytes.size()) {
+    std::uint64_t len = 0;
+    int shift = 0;
+    while (true) {
+      const auto byte = static_cast<std::uint8_t>(bytes.at(pos++));
+      len |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+      if ((byte & 0x80) == 0) break;
+      shift += 7;
+    }
+    pos += 4 + len;
+    bounds.push_back(pos);
+  }
+  return bounds;
+}
+
+std::uint64_t bits(double v) { return std::bit_cast<std::uint64_t>(v); }
+
+/// Asserts two sweep results agree on every checkpoint-persisted field,
+/// bit-for-bit (resumed results restore exactly these).
+void expect_bit_identical(const std::vector<SuiteResult>& got,
+                          const std::vector<SuiteResult>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    SCOPED_TRACE(want[i].config_name);
+    EXPECT_EQ(got[i].config_name, want[i].config_name);
+    EXPECT_EQ(got[i].partial, want[i].partial);
+    EXPECT_EQ(bits(got[i].runtime), bits(want[i].runtime));
+    EXPECT_EQ(bits(got[i].dynamic), bits(want[i].dynamic));
+    EXPECT_EQ(bits(got[i].leakage), bits(want[i].leakage));
+    EXPECT_EQ(bits(got[i].total_energy), bits(want[i].total_energy));
+    EXPECT_EQ(bits(got[i].edp), bits(want[i].edp));
+    ASSERT_EQ(got[i].per_workload.size(), want[i].per_workload.size());
+    for (std::size_t w = 0; w < got[i].per_workload.size(); ++w) {
+      const auto& g = got[i].per_workload[w].normalized;
+      const auto& e = want[i].per_workload[w].normalized;
+      EXPECT_EQ(g.workload, e.workload);
+      EXPECT_EQ(bits(g.runtime), bits(e.runtime));
+      EXPECT_EQ(bits(g.total_energy), bits(e.total_energy));
+      EXPECT_EQ(bits(g.edp), bits(e.edp));
+    }
+  }
+}
+
+ExperimentConfig tiny_config() {
+  ExperimentConfig cfg;
+  cfg.scale_divisor = 512;
+  cfg.footprint_divisor = 512;
+  cfg.seed = 42;
+  cfg.iterations = 1;
+  cfg.suite = {"StreamTriad", "CG"};
+  cfg.threads = 1;
+  cfg.cell_timeout_ms = 0;
+  cfg.retry_backoff_ms = 0;
+  return cfg;
+}
+
+const std::vector<designs::NConfig> two_configs() {
+  return {designs::n_config("N1"), designs::n_config("N6")};
+}
+
+constexpr ReplayMode kAllModes[] = {ReplayMode::ChunkMajor,
+                                    ReplayMode::ConfigMajor,
+                                    ReplayMode::Sharded};
+
+// ---------------------------------------------------------------------------
+// Checkpoint corruption fuzzing
+// ---------------------------------------------------------------------------
+
+// Flip every byte of a v2 checkpoint, one at a time. The loader must never
+// crash and never serve a corrupted record: whatever survives must be an
+// exact prefix of the original records, and the repaired file must accept
+// further appends.
+TEST(CheckpointFuzz, EveryByteFlipYieldsConsistentPrefix) {
+  TempFile file("fuzz");
+  const std::vector<SuiteResult> originals = {
+      sample_result("N1", 1.5), sample_result("N3", 2.0),
+      sample_result("N6", 2.5)};
+  {
+    SweepCheckpoint ckpt(file.path(), 0xf022u);
+    for (const auto& r : originals) ckpt.append(r);
+  }
+  const std::string pristine = read_file(file.path());
+  const auto bounds = record_boundaries(pristine);
+  ASSERT_EQ(bounds.size(), originals.size() + 1);
+
+  for (std::size_t offset = 0; offset < pristine.size(); ++offset) {
+    SCOPED_TRACE("flip at byte " + std::to_string(offset));
+    std::string mutated = pristine;
+    mutated[offset] = static_cast<char>(mutated[offset] ^ 0x01);
+    write_file(file.path(), mutated);
+
+    std::size_t loaded = 0;
+    {
+      SweepCheckpoint ckpt(file.path(), 0xf022u);
+      loaded = ckpt.size();
+      // A header flip resets the file; a flip inside record k must keep
+      // records 0..k-1 intact and drop k..end (CRC32C detects every
+      // single-byte corruption within a record).
+      if (offset < 16) {
+        EXPECT_EQ(loaded, 0u);
+      } else {
+        std::size_t record = 0;
+        while (record + 1 < bounds.size() && bounds[record + 1] <= offset) {
+          ++record;
+        }
+        EXPECT_EQ(loaded, record);
+      }
+      for (std::size_t i = 0; i < originals.size(); ++i) {
+        const SuiteResult* found = ckpt.find(originals[i].config_name);
+        if (i < loaded) {
+          ASSERT_NE(found, nullptr);
+          EXPECT_EQ(bits(found->runtime), bits(originals[i].runtime));
+          EXPECT_EQ(bits(found->edp), bits(originals[i].edp));
+        } else {
+          EXPECT_EQ(found, nullptr);  // never a corrupted survivor
+        }
+      }
+      ckpt.append(sample_result("X1", 9.0));  // repaired file still appends
+    }
+    SweepCheckpoint reloaded(file.path(), 0xf022u);
+    EXPECT_EQ(reloaded.size(), loaded + 1);
+    ASSERT_NE(reloaded.find("X1"), nullptr);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Trace chunk integrity
+// ---------------------------------------------------------------------------
+
+TEST(Survival, ChunkCrcFlipSurfacesAsTraceError) {
+  trace::ChunkedTraceBuffer buffer(/*target_chunk_bytes=*/256,
+                                   /*max_chunk_accesses=*/128);
+  for (std::uint64_t i = 0; i < 4096; ++i) {
+    buffer.access(trace::load(0x1000 + 64 * i));
+  }
+  ASSERT_GT(buffer.chunk_count(), 2u);
+  std::vector<trace::MemoryAccess> scratch;
+  ASSERT_GT(buffer.decode_chunk(0, scratch), 0u);  // healthy before
+
+  buffer.corrupt_encoded_byte_for_test(7);
+  try {
+    buffer.decode_chunk(0, scratch);
+    FAIL() << "corrupted chunk decoded silently";
+  } catch (const TraceError& e) {
+    EXPECT_NE(std::string(e.what()).find("CRC32C mismatch"),
+              std::string::npos)
+        << e.what();
+  }
+  buffer.corrupt_encoded_byte_for_test(7);        // flip back
+  EXPECT_GT(buffer.decode_chunk(0, scratch), 0u);  // healthy again
+}
+
+// ---------------------------------------------------------------------------
+// Watchdog: a hung cell degrades instead of hanging the sweep
+// ---------------------------------------------------------------------------
+
+TEST(Survival, WatchdogDegradesHungCellInEveryMode) {
+  for (const ReplayMode mode : kAllModes) {
+    SCOPED_TRACE(static_cast<int>(mode));
+    ScopedFaultInjector injector;
+    // Warm-up replays the base back once per workload (2 hits); the 3rd
+    // hit — canonical index base(2) + workload(0)*configs + config(0) + 1
+    // in the sharded engine, the same cell serially elsewhere — is config
+    // N1 / workload StreamTriad. Stall it far past the watchdog budget.
+    FaultSpec spec;
+    spec.skip_first = 2;
+    spec.max_fires = 1;
+    spec.stall_ms = 60'000;
+    injector->arm("sim/replay_back", spec);
+
+    auto cfg = tiny_config();
+    cfg.replay_mode = mode;
+    cfg.cell_timeout_ms = 150;
+    ExperimentRunner runner(cfg);
+    const auto results = runner.nmm_sweep(Technology::PCM, two_configs());
+
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_TRUE(results[0].partial);
+    ASSERT_GE(results[0].failures.size(), 1u);
+    EXPECT_EQ(results[0].failures[0].workload, "StreamTriad");
+    EXPECT_NE(results[0].failures[0].error.find("timed out"),
+              std::string::npos)
+        << results[0].failures[0].error;
+    // The stalled cell was cancelled, not waited out, and the surviving
+    // cells got a fresh budget: the untouched config is complete.
+    EXPECT_FALSE(results[1].partial);
+    EXPECT_EQ(results[1].per_workload.size(), 2u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Interrupt: abort-before-assembly, then bit-identical resume
+// ---------------------------------------------------------------------------
+
+TEST(Survival, InterruptAbortsSweepAndResumeIsBitIdentical) {
+  ExperimentRunner clean(tiny_config());
+  const auto reference = clean.nmm_sweep(Technology::PCM, two_configs());
+
+  for (const ReplayMode mode : kAllModes) {
+    SCOPED_TRACE(static_cast<int>(mode));
+    TempFile file("interrupt");
+    auto cfg = tiny_config();
+    cfg.replay_mode = mode;
+    cfg.checkpoint_path = file.path();
+
+    raise_interrupt(15);
+    try {
+      ExperimentRunner runner(cfg);
+      (void)runner.nmm_sweep(Technology::PCM, two_configs());
+      clear_interrupt();
+      FAIL() << "interrupted sweep assembled results";
+    } catch (const CancelledError& e) {
+      clear_interrupt();
+      EXPECT_EQ(e.kind(), CancelKind::interrupt);
+      EXPECT_NE(std::string(e.what()).find("interrupted by signal 15"),
+                std::string::npos)
+          << e.what();
+    }
+
+    // The rerun resumes off whatever the interrupt left checkpointed and
+    // lands on the exact same tables.
+    ExperimentRunner resumed(cfg);
+    const auto results = resumed.nmm_sweep(Technology::PCM, two_configs());
+    expect_bit_identical(results, reference);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// In-process soak: every truncation point and a mid-record flip, per mode
+// ---------------------------------------------------------------------------
+
+TEST(Survival, DamagedCheckpointResumesBitIdenticalInEveryMode) {
+  ExperimentRunner clean(tiny_config());
+  const auto reference = clean.nmm_sweep(Technology::PCM, two_configs());
+
+  for (const ReplayMode mode : kAllModes) {
+    SCOPED_TRACE(static_cast<int>(mode));
+    TempFile file("soak");
+    auto cfg = tiny_config();
+    cfg.replay_mode = mode;
+    cfg.checkpoint_path = file.path();
+
+    {
+      ExperimentRunner runner(cfg);
+      expect_bit_identical(runner.nmm_sweep(Technology::PCM, two_configs()),
+                           reference);
+    }
+    const std::string pristine = read_file(file.path());
+    const auto bounds = record_boundaries(pristine);
+    ASSERT_EQ(bounds.size(), 3u);  // two complete configs checkpointed
+
+    // Kill-points: resume from the file cut at every record boundary and
+    // at an unaligned offset (a torn in-flight append).
+    std::vector<std::size_t> cuts(bounds.begin(), bounds.end() - 1);
+    cuts.push_back(bounds[1] + 3);
+    for (const std::size_t cut : cuts) {
+      SCOPED_TRACE("cut at " + std::to_string(cut));
+      write_file(file.path(), pristine.substr(0, cut));
+      ExperimentRunner resumed(cfg);
+      expect_bit_identical(
+          resumed.nmm_sweep(Technology::PCM, two_configs()), reference);
+      const std::size_t intact = cut >= bounds[2] ? 2 : cut >= bounds[1];
+      EXPECT_EQ(resumed.last_checkpoint_skips(), intact);
+    }
+
+    // Bit-rot in the middle of the first record: both configs re-simulate
+    // (or the second resumes, if the flip hit the second record) — either
+    // way the tables must not move.
+    std::string flipped = pristine;
+    const std::size_t target = bounds[0] + (bounds[1] - bounds[0]) / 2;
+    flipped[target] = static_cast<char>(flipped[target] ^ 0x40);
+    write_file(file.path(), flipped);
+    ExperimentRunner repaired(cfg);
+    expect_bit_identical(repaired.nmm_sweep(Technology::PCM, two_configs()),
+                         reference);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Strict env knobs
+// ---------------------------------------------------------------------------
+
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    if (value == nullptr) {
+      unsetenv(name);
+    } else {
+      setenv(name, value, 1);
+    }
+  }
+  ~ScopedEnv() { unsetenv(name_); }
+
+ private:
+  const char* name_;
+};
+
+TEST(Survival, EnvKnobsParseStrictly) {
+  {
+    const ScopedEnv env("HMS_SURVIVAL_KNOB", "42");
+    EXPECT_EQ(env_u64("HMS_SURVIVAL_KNOB", 7), 42u);
+  }
+  {
+    const ScopedEnv env("HMS_SURVIVAL_KNOB", nullptr);
+    EXPECT_EQ(env_u64("HMS_SURVIVAL_KNOB", 7), 7u);
+  }
+  {
+    const ScopedEnv env("HMS_SURVIVAL_KNOB", "");
+    EXPECT_EQ(env_u64("HMS_SURVIVAL_KNOB", 7), 7u);
+  }
+  {
+    const ScopedEnv env("HMS_SURVIVAL_KNOB", "three");
+    try {
+      (void)env_u64("HMS_SURVIVAL_KNOB", 7);
+      FAIL() << "garbage knob accepted";
+    } catch (const ConfigError& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find("HMS_SURVIVAL_KNOB"), std::string::npos) << what;
+      EXPECT_NE(what.find("\"three\""), std::string::npos) << what;
+    }
+  }
+  {
+    const ScopedEnv env("HMS_SURVIVAL_KNOB", "-3");
+    try {
+      (void)env_u64("HMS_SURVIVAL_KNOB", 7);
+      FAIL() << "negative knob accepted";
+    } catch (const ConfigError& e) {
+      EXPECT_NE(std::string(e.what()).find("negative"), std::string::npos)
+          << e.what();
+    }
+  }
+  {
+    const ScopedEnv env("HMS_SURVIVAL_KNOB", "99999999999999999999999");
+    EXPECT_THROW((void)env_u64("HMS_SURVIVAL_KNOB", 7), ConfigError);
+  }
+  // The runner's watchdog knobs go through the same strict parser.
+  {
+    const ScopedEnv env("HMS_CELL_TIMEOUT_MS", "soon");
+    EXPECT_THROW((void)default_cell_timeout_ms(), ConfigError);
+  }
+  {
+    const ScopedEnv env("HMS_RETRY_BACKOFF_MS", "0x10");
+    EXPECT_THROW((void)default_retry_backoff_ms(), ConfigError);
+  }
+  {
+    const ScopedEnv env("HMS_CELL_TIMEOUT_MS", nullptr);
+    EXPECT_EQ(default_cell_timeout_ms(), 0u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Backoff schedule
+// ---------------------------------------------------------------------------
+
+TEST(Survival, BackoffScheduleIsDeterministicExponentialCapped) {
+  // Pure function of (attempt, seed, base): identical every call.
+  EXPECT_EQ(backoff_delay_ms(3, 99, 10), backoff_delay_ms(3, 99, 10));
+  // base 0 disables backoff entirely.
+  EXPECT_EQ(backoff_delay_ms(5, 99, 0), 0u);
+  // Exponential envelope with jitter in [0, delay/2].
+  for (std::uint32_t attempt = 0; attempt < 8; ++attempt) {
+    const std::uint64_t exponential = 16ull << attempt;
+    const std::uint64_t d = backoff_delay_ms(attempt, 7, 16, 100'000);
+    EXPECT_GE(d, exponential);
+    EXPECT_LE(d, exponential + exponential / 2);
+  }
+  // The cap bounds runaway attempts (including the saturating shift).
+  for (const std::uint32_t attempt : {20u, 40u, 70u}) {
+    const std::uint64_t d = backoff_delay_ms(attempt, 7, 100, 10'000);
+    EXPECT_GE(d, 10'000u);
+    EXPECT_LE(d, 15'000u);
+  }
+  // Different seeds decorrelate cells retrying in the same round.
+  EXPECT_NE(backoff_delay_ms(2, 1, 50), backoff_delay_ms(2, 2, 50));
+}
+
+// ---------------------------------------------------------------------------
+// Fault stalls honor cancellation
+// ---------------------------------------------------------------------------
+
+TEST(Survival, FaultStallHonorsAmbientCancellation) {
+  ScopedFaultInjector injector;
+  FaultSpec hung;
+  hung.stall_ms = 60'000;
+  injector->arm("test/hung", hung);
+
+  CancellationToken token(50);
+  const CancelScope scope(token);
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    injector->hit("test/hung");
+    FAIL() << "stall ignored the deadline";
+  } catch (const CancelledError& e) {
+    EXPECT_EQ(e.kind(), CancelKind::timeout);
+    EXPECT_NE(std::string(e.what()).find("stalled at test/hung"),
+              std::string::npos)
+        << e.what();
+  }
+  const auto waited = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+  EXPECT_LT(waited, 10'000) << "stall was waited out, not cancelled";
+  EXPECT_EQ(injector->fires("test/hung"), 1u);
+}
+
+TEST(Survival, ShortFaultStallCompletesWithoutToken) {
+  ScopedFaultInjector injector;
+  FaultSpec slow;
+  slow.stall_ms = 5;
+  injector->arm("test/slow", slow);
+  injector->hit("test/slow");  // no ambient token: sleeps 5 ms, no throw
+  EXPECT_EQ(injector->fires("test/slow"), 1u);
+  // The shard-local path reports stall fires through its return value.
+  EXPECT_TRUE(injector->hit_at("test/slow", 2));
+}
+
+}  // namespace
+}  // namespace hms::sim

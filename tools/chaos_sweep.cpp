@@ -1,0 +1,353 @@
+// chaos_sweep: kill/corrupt/resume soak harness for unattended sweeps.
+//
+// One binary, two roles:
+//
+//   chaos_sweep --child
+//     Runs a fixed 3x2 NMM sweep grid (configs N1/N3/N6 x workloads
+//     StreamTriad/CG, scale divisor 512) against the checkpoint file named
+//     by CHAOS_CHECKPOINT, honoring HMS_REPLAY_MODE / HMS_THREADS, and on
+//     success writes every checkpoint-persisted field of the SuiteResult
+//     tables — config means, partial flags, failures, per-workload
+//     normalized values — to CHAOS_TABLE as exact f64 bit patterns in hex.
+//     If CHAOS_SELF_KILL_MS is set, a detached thread hard-kills the
+//     process (_exit, no unwinding, no flushing) after that many
+//     milliseconds, modeling an OOM kill / power cut at an arbitrary
+//     instant. SIGTERM takes the cooperative path (ScopedSignalHandlers)
+//     and exits with kExitInterrupted.
+//
+//   chaos_sweep [cycles-per-mode]   (default 20)
+//     The driver. For each replay mode (chunk, config, shard): records a
+//     clean reference run, then loops
+//       kill the child mid-run (hard kill at a random instant, or SIGTERM)
+//       -> maybe corrupt the checkpoint (flip a byte / truncate / append
+//          junk)
+//       -> rerun the child to completion
+//     and asserts the resumed table is byte-identical to the reference.
+//     Any divergence, or a resume that cannot reach a clean exit, fails
+//     the whole soak with exit 1. CHAOS_SEED seeds the (deterministic)
+//     decision stream.
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <bit>
+#include <chrono>
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "hms/common/cancel.hpp"
+#include "hms/common/env.hpp"
+#include "hms/common/error.hpp"
+#include "hms/designs/configs.hpp"
+#include "hms/sim/experiment.hpp"
+
+namespace {
+
+using namespace hms;
+
+// ---------------------------------------------------------------------------
+// Child role
+// ---------------------------------------------------------------------------
+
+std::string hex64(double value) {
+  std::ostringstream os;
+  os << std::hex << std::setw(16) << std::setfill('0')
+     << std::bit_cast<std::uint64_t>(value);
+  return os.str();
+}
+
+/// Serializes exactly the fields a checkpoint round-trip preserves (see
+/// sim/checkpoint.hpp): a resumed sweep restores config means, failures,
+/// and per-workload normalized values, so those are what "bit-identical
+/// across kill/resume" can and must mean.
+std::string render_table(const std::vector<sim::SuiteResult>& results) {
+  std::ostringstream os;
+  for (const auto& r : results) {
+    os << r.config_name << ' ' << (r.partial ? 1 : 0) << ' '
+       << hex64(r.runtime) << ' ' << hex64(r.dynamic) << ' '
+       << hex64(r.leakage) << ' ' << hex64(r.total_energy) << ' '
+       << hex64(r.edp) << '\n';
+    for (const auto& f : r.failures) {
+      os << "  fail " << f.workload << ' ' << f.error << '\n';
+    }
+    for (const auto& wr : r.per_workload) {
+      os << "  wl " << wr.report.workload << ' '
+         << hex64(wr.normalized.runtime) << ' ' << hex64(wr.normalized.dynamic)
+         << ' ' << hex64(wr.normalized.leakage) << ' '
+         << hex64(wr.normalized.total_energy) << ' '
+         << hex64(wr.normalized.edp) << '\n';
+    }
+  }
+  return os.str();
+}
+
+int run_child() {
+  const ScopedSignalHandlers handlers;
+  if (const std::uint64_t kill_ms = env_u64("CHAOS_SELF_KILL_MS", 0);
+      kill_ms != 0) {
+    std::thread([kill_ms] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(kill_ms));
+      _exit(137);  // hard kill: no unwinding, no stream flush, no fsync
+    }).detach();
+  }
+  try {
+    sim::ExperimentConfig cfg;
+    cfg.scale_divisor = 512;
+    cfg.footprint_divisor = 512;
+    cfg.suite = {"StreamTriad", "CG"};
+    cfg.threads = static_cast<unsigned>(env_u64("HMS_THREADS", 2));
+    cfg.checkpoint_path = env_string("CHAOS_CHECKPOINT", "");
+    check_config(!cfg.checkpoint_path.empty(),
+                 "chaos_sweep --child requires CHAOS_CHECKPOINT");
+    const std::string table_path = env_string("CHAOS_TABLE", "");
+    check_config(!table_path.empty(),
+                 "chaos_sweep --child requires CHAOS_TABLE");
+
+    sim::ExperimentRunner runner(cfg);
+    const std::vector<designs::NConfig> grid = {designs::n_config("N1"),
+                                                designs::n_config("N3"),
+                                                designs::n_config("N6")};
+    const auto results = runner.nmm_sweep(mem::Technology::PCM, grid);
+
+    std::ofstream out(table_path, std::ios::trunc);
+    check(static_cast<bool>(out), "chaos_sweep: cannot write " + table_path);
+    out << render_table(results);
+    out.flush();
+    check(static_cast<bool>(out), "chaos_sweep: short write " + table_path);
+    for (const auto& r : results) {
+      if (r.partial) return kExitDegraded;
+    }
+    return kExitOk;
+  } catch (const CancelledError& e) {
+    if (e.kind() == CancelKind::interrupt) {
+      std::cerr << "chaos child: interrupted (" << e.what() << ")\n";
+      return kExitInterrupted;
+    }
+    std::cerr << "chaos child failed: " << e.what() << "\n";
+    return kExitError;
+  } catch (const std::exception& e) {
+    std::cerr << "chaos child failed: " << e.what() << "\n";
+    return kExitError;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Driver role
+// ---------------------------------------------------------------------------
+
+/// SplitMix64: deterministic decision stream for kill instants and
+/// corruption choices, reproducible from CHAOS_SEED.
+struct Rng {
+  std::uint64_t state;
+  std::uint64_t next() {
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+  std::uint64_t below(std::uint64_t bound) {
+    return bound == 0 ? 0 : next() % bound;
+  }
+};
+
+pid_t spawn_child(const std::string& exe) {
+  const pid_t pid = fork();
+  if (pid == 0) {
+    execl(exe.c_str(), exe.c_str(), "--child",
+          static_cast<char*>(nullptr));
+    _exit(127);
+  }
+  return pid;
+}
+
+int wait_status(pid_t pid) {
+  int status = 0;
+  while (waitpid(pid, &status, 0) < 0) {
+    if (errno != EINTR) {
+      std::cerr << "chaos driver: waitpid failed: " << std::strerror(errno)
+                << "\n";
+      return -1;
+    }
+  }
+  return status;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+/// Corrupts the checkpoint in one of three ways; returns a description
+/// (or "none" when the file is too small to corrupt meaningfully).
+std::string corrupt_checkpoint(const std::string& path, Rng& rng) {
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(path, ec);
+  if (ec || size == 0) return "none";
+  switch (rng.below(3)) {
+    case 0: {  // flip one bit-pattern byte anywhere in the file
+      std::fstream f(path,
+                     std::ios::in | std::ios::out | std::ios::binary);
+      const auto offset =
+          static_cast<std::streamoff>(rng.below(size));
+      f.seekg(offset);
+      char byte = 0;
+      f.get(byte);
+      byte = static_cast<char>(
+          byte ^ static_cast<char>(1u << rng.below(8)));
+      f.seekp(offset);
+      f.put(byte);
+      return "flip@" + std::to_string(offset);
+    }
+    case 1: {  // tear the tail off, as a mid-write crash would
+      const auto keep = rng.below(size);
+      std::filesystem::resize_file(path, keep, ec);
+      return "truncate->" + std::to_string(keep);
+    }
+    default: {  // append junk past the last record
+      std::ofstream f(path, std::ios::app | std::ios::binary);
+      const auto n = 1 + rng.below(64);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        f.put(static_cast<char>(rng.below(256)));
+      }
+      return "append+" + std::to_string(n);
+    }
+  }
+}
+
+int run_driver(int argc, char** argv) {
+  const std::uint64_t cycles =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 20;
+  Rng rng{env_u64("CHAOS_SEED", 0x5eed) + 1};
+
+  char exe_buf[4096];
+  const ssize_t exe_len =
+      readlink("/proc/self/exe", exe_buf, sizeof(exe_buf) - 1);
+  if (exe_len <= 0) {
+    std::cerr << "chaos driver: cannot resolve /proc/self/exe\n";
+    return kExitError;
+  }
+  const std::string exe(exe_buf, static_cast<std::size_t>(exe_len));
+
+  std::string tmpl =
+      (std::filesystem::temp_directory_path() / "chaos_sweep.XXXXXX")
+          .string();
+  if (mkdtemp(tmpl.data()) == nullptr) {
+    std::cerr << "chaos driver: mkdtemp failed: " << std::strerror(errno)
+              << "\n";
+    return kExitError;
+  }
+  const std::filesystem::path dir(tmpl);
+  const std::string ckpt = (dir / "ckpt.bin").string();
+  const std::string table = (dir / "table.txt").string();
+  setenv("CHAOS_CHECKPOINT", ckpt.c_str(), 1);
+  setenv("CHAOS_TABLE", table.c_str(), 1);
+
+  int rc = kExitOk;
+  for (const char* mode : {"chunk", "config", "shard"}) {
+    setenv("HMS_REPLAY_MODE", mode, 1);
+    unsetenv("CHAOS_SELF_KILL_MS");
+    std::filesystem::remove(ckpt);
+
+    // Clean reference run: table bytes + wall time to scale kill instants.
+    const auto t0 = std::chrono::steady_clock::now();
+    int status = wait_status(spawn_child(exe));
+    const auto ref_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    if (!WIFEXITED(status) || WEXITSTATUS(status) != kExitOk) {
+      std::cerr << "chaos driver: reference run failed in mode " << mode
+                << " (status " << status << ")\n";
+      return kExitError;
+    }
+    const std::string reference = read_file(table);
+    if (reference.empty()) {
+      std::cerr << "chaos driver: empty reference table in mode " << mode
+                << "\n";
+      return kExitError;
+    }
+    const std::uint64_t window =
+        std::max<std::uint64_t>(static_cast<std::uint64_t>(ref_ms), 20);
+
+    std::uint64_t hard_kills = 0, sigterms = 0, corruptions = 0,
+                  survived = 0;
+    for (std::uint64_t cycle = 0; cycle < cycles; ++cycle) {
+      std::filesystem::remove(ckpt);
+      std::filesystem::remove(table);
+
+      // Disrupt a fresh run mid-flight.
+      const std::uint64_t delay = 1 + rng.below(window);
+      const bool hard = rng.below(2) == 0;
+      if (hard) {
+        setenv("CHAOS_SELF_KILL_MS", std::to_string(delay).c_str(), 1);
+        status = wait_status(spawn_child(exe));
+        unsetenv("CHAOS_SELF_KILL_MS");
+        ++hard_kills;
+      } else {
+        const pid_t pid = spawn_child(exe);
+        std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+        kill(pid, SIGTERM);
+        status = wait_status(pid);
+        ++sigterms;
+      }
+      if (WIFEXITED(status) && WEXITSTATUS(status) == kExitOk) {
+        ++survived;  // the grid finished before the disruption landed
+      }
+
+      // Half the cycles also corrupt whatever the kill left behind.
+      std::string corruption = "none";
+      if (rng.below(2) == 0) {
+        corruption = corrupt_checkpoint(ckpt, rng);
+        if (corruption != "none") ++corruptions;
+      }
+
+      // Resume to completion and compare bit patterns.
+      status = wait_status(spawn_child(exe));
+      if (!WIFEXITED(status) || WEXITSTATUS(status) != kExitOk) {
+        std::cerr << "chaos driver: resume failed (mode " << mode
+                  << ", cycle " << cycle << ", corruption " << corruption
+                  << ", status " << status << ")\n";
+        rc = kExitError;
+        break;
+      }
+      if (read_file(table) != reference) {
+        std::cerr << "chaos driver: table diverged from reference (mode "
+                  << mode << ", cycle " << cycle << ", kill "
+                  << (hard ? "hard" : "sigterm") << "@" << delay
+                  << "ms, corruption " << corruption << ")\n";
+        rc = kExitError;
+        break;
+      }
+    }
+    std::cerr << "mode " << mode << ": " << cycles << " cycles ("
+              << hard_kills << " hard kills, " << sigterms << " sigterms, "
+              << corruptions << " corruptions, " << survived
+              << " finished before the kill), tables bit-identical\n";
+    if (rc != kExitOk) break;
+  }
+
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  if (rc == kExitOk) std::cerr << "chaos soak passed\n";
+  return rc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1 && std::string(argv[1]) == "--child") return run_child();
+  return run_driver(argc, argv);
+}
