@@ -19,6 +19,15 @@
 //                   cooperatively and degraded with a timeout failure
 //   HMS_RETRY_BACKOFF_MS base delay for deterministic exponential backoff
 //                   between cell retries (default 25; 0 = immediate)
+//   HMS_SAMPLING    "full" (default; replay every residual chunk) or
+//                   "simpoint" (cluster chunk signatures, replay one
+//                   representative per cluster with a warming prefix, and
+//                   scale the measured deltas by cluster weight; results
+//                   carry error-bar spreads and are marked sampled)
+//   HMS_SAMPLE_K    SimPoint cluster count (default 16; must be >= 1;
+//                   captures with <= K chunks replay exactly)
+//   HMS_WARMUP_CHUNKS  functional-warming prefix chunks replayed unmeasured
+//                   before each representative (default 2; 0 = cold)
 //
 // Numeric knobs are parsed strictly: garbage, negative, or overflowing
 // values abort with a ConfigError naming the variable and the value, so a
@@ -102,21 +111,36 @@ inline void print_banner(const std::string& title,
 
 /// Renders a sweep as the paper's figure series: one row per config, the
 /// normalized metrics as columns. Partial rows (degraded sweeps) are marked
-/// and their failed cells listed under the table.
+/// and their failed cells listed under the table; sampled rows
+/// (HMS_SAMPLING=simpoint estimates) are marked `~` with their runtime
+/// error bar footnoted.
 inline void print_suite_results(const std::string& caption,
                                 const std::vector<sim::SuiteResult>& results) {
   std::cout << caption << "\n";
   TextTable table({"config", "norm-runtime", "norm-dynamic", "norm-static",
                    "norm-energy", "norm-EDP"});
   bool any_partial = false;
+  bool any_sampled = false;
   for (const auto& r : results) {
     any_partial |= r.partial;
-    table.add_row({r.config_name + (r.partial ? " *" : ""),
+    any_sampled |= r.sampled;
+    table.add_row({r.config_name + (r.partial ? " *" : "") +
+                       (r.sampled ? " ~" : ""),
                    fmt_fixed(r.runtime), fmt_fixed(r.dynamic),
                    fmt_fixed(r.leakage), fmt_fixed(r.total_energy),
                    fmt_fixed(r.edp)});
   }
   table.render(std::cout);
+  if (any_sampled) {
+    std::cout << "~ sampled estimate (SimPoint); norm-runtime spread:";
+    for (const auto& r : results) {
+      if (r.sampled) {
+        std::cout << " " << r.config_name << " ±"
+                  << fmt_fixed(r.spread.runtime);
+      }
+    }
+    std::cout << "\n";
+  }
   if (any_partial) {
     std::cout << "* partial: averages cover surviving workloads only\n";
     for (const auto& r : results) {

@@ -9,7 +9,12 @@
 // compiler) and the residual trace's compression ratio; schema v3 adds a
 // "parallel" block with the sharded sweep engine's thread-scaling curve
 // (1/2/4/8 workers over a multi-config grid, speedup vs 1 thread, with the
-// grid checksum asserted identical at every thread count).
+// grid checksum asserted identical at every thread count); schema v4 adds a
+// "sampling" block: full vs SimPoint-sampled replay of a phased residual
+// capture at 4x the parallel grid's footprint, with the wall-clock speedup
+// and the estimation error vs exact replay (DRAM-cache miss rate, NVM
+// traffic). At the default size and above the block is gated: speedup
+// >= 5x, miss-rate error <= 2%, traffic error <= 5%.
 //
 // Each config replays a deterministic access stream and reports the best
 // repetition (least interference). A per-config stats checksum folds every
@@ -22,6 +27,7 @@
 //   HMS_BENCH_REPS      repetitions per config; best is kept (default 3)
 //   HMS_BENCH_OUT       JSON output path (default BENCH_micro_sim.json)
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <fstream>
 #include <iomanip>
@@ -38,9 +44,11 @@
 #include "hms/designs/design.hpp"
 #include "hms/mem/memory_device.hpp"
 #include "hms/mem/technology.hpp"
+#include "hms/sim/sampling.hpp"
 #include "hms/sim/sharded_sweep.hpp"
 #include "hms/sim/simulator.hpp"
 #include "hms/trace/chunked_trace.hpp"
+#include "hms/trace/interval_profile.hpp"
 #include "hms/trace/trace_buffer.hpp"
 
 namespace {
@@ -405,6 +413,169 @@ BenchResult bench_replay_back(std::uint64_t accesses, int reps,
                      });
 }
 
+/// Full-vs-sampled replay comparison of one large phased capture.
+struct SamplingBench {
+  std::uint64_t space_bytes = 0;  ///< capture address-space footprint
+  std::uint64_t accesses = 0;     ///< residual records in the capture
+  std::uint64_t chunks = 0;
+  std::uint64_t sample_k = 0;
+  std::uint64_t warmup_chunks = 0;
+  std::uint64_t plan_steps = 0;  ///< chunks one sampled pass decodes
+  std::uint64_t representatives = 0;
+  double full_seconds = 0.0;
+  double sampled_seconds = 0.0;  ///< includes plan construction
+  double speedup = 0.0;
+  double traffic_rel_err = 0.0;    ///< NVM-device accesses vs exact
+  double miss_rate_rel_err = 0.0;  ///< DRAM-cache miss rate vs exact
+  std::uint64_t full_checksum = 0;
+  std::uint64_t sampled_checksum = 0;
+};
+
+/// Phased residual stream for the sampling block: behavior alternates
+/// between a sequential line scan, a strided walk, and random accesses in a
+/// sliding window, switching every ~3 chunks — enough regime structure that
+/// clustering has something real to find.
+std::vector<trace::MemoryAccess> make_phased_stream(std::uint64_t count,
+                                                    Address space,
+                                                    std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<trace::MemoryAccess> out(static_cast<std::size_t>(count));
+  constexpr std::uint64_t kPhaseLen = 3 * (16u << 10);
+  Address line = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t phase = (i / kPhaseLen) % 3;
+    if (phase == 0) {
+      line = (line + 64) % space;
+    } else if (phase == 1) {
+      line = (line + 64 * 33) % space;
+    } else {
+      const Address window = space / 8;
+      const Address base = (i / kPhaseLen) * window % space;
+      line = (base + (rng.below(window) & ~63ull)) % space;
+    }
+    out[i] = trace::MemoryAccess{line, 64,
+                                 rng.chance(phase == 2 ? 0.5 : 0.2)
+                                     ? AccessType::Store
+                                     : AccessType::Load,
+                                 0};
+  }
+  return out;
+}
+
+/// The SimPoint sampled-replay comparison (schema v4 "sampling" block): one
+/// phased capture at `space` (4x the parallel grid's 2 MiB), replayed into
+/// an NMM back exactly (every chunk) and via a sampled plan (representative
+/// chunks + warming prefixes). Reports the wall-clock speedup and the
+/// estimation error of the DRAM-cache miss rate and the NVM-device traffic.
+/// `gated` turns the acceptance thresholds (speedup >= 5x, miss rate <= 2%,
+/// traffic <= 5%) into hard failures — enabled at the default size and
+/// above, where the capture is large enough for clusters to be
+/// representative and timings are meaningful.
+SamplingBench bench_sampling(std::uint64_t accesses, int reps, bool gated) {
+  using namespace hms::literals;
+  designs::DesignFactory factory(256);
+  const Address space = 8_MiB;
+  // At least 64 chunks even at smoke sizes, so the plan never degenerates;
+  // doubled at full size so the schedule (k + warming) stays a small
+  // fraction of the stream and the speedup target has headroom.
+  const std::uint64_t count =
+      2 * std::max<std::uint64_t>(accesses, std::uint64_t{1} << 19);
+
+  sim::FrontCapture capture;  // synthetic: empty front, known residual
+  capture.workload_name = "phased";
+  capture.footprint_bytes = space;
+  capture.residual.reserve(count);
+  trace::IntervalProfile profile;
+  capture.residual.attach_interval_profile(&profile);
+  capture.residual.access_batch(make_phased_stream(count, space, 7));
+  capture.residual.attach_interval_profile(nullptr);
+  capture.residual.shrink_to_fit();
+
+  SamplingBench b;
+  b.space_bytes = space;
+  b.accesses = capture.residual.access_count();
+  b.chunks = capture.residual.chunk_count();
+  b.sample_k = sim::default_sample_k();
+  b.warmup_chunks = sim::default_warmup_chunks();
+
+  const auto make_back = [&] {
+    return factory.nvm_main_memory_back(designs::n_config("N6"),
+                                        mem::Technology::PCM, space);
+  };
+
+  cache::HierarchyProfile exact, estimated;
+  for (int r = 0; r < reps; ++r) {
+    auto back = make_back();
+    const auto start = std::chrono::steady_clock::now();
+    exact = sim::replay_back(capture, *back);
+    const auto stop = std::chrono::steady_clock::now();
+    const double seconds = std::chrono::duration<double>(stop - start).count();
+    if (b.full_seconds == 0.0 || seconds < b.full_seconds) {
+      b.full_seconds = seconds;
+    }
+  }
+  b.full_checksum = checksum_profile(exact);
+
+  for (int r = 0; r < reps; ++r) {
+    auto back = make_back();
+    // Plan construction is inside the timed region: a real sweep builds it
+    // once per workload, so the sampled path must win even carrying it.
+    const auto start = std::chrono::steady_clock::now();
+    const sim::SamplePlan plan = sim::build_sample_plan(
+        capture.residual, profile, static_cast<std::uint32_t>(b.sample_k),
+        static_cast<std::uint32_t>(b.warmup_chunks), 42);
+    check(!plan.exact, "bench: sampling plan unexpectedly degenerate");
+    estimated = sim::replay_back(capture, *back, &plan);
+    const auto stop = std::chrono::steady_clock::now();
+    const double seconds = std::chrono::duration<double>(stop - start).count();
+    if (b.sampled_seconds == 0.0 || seconds < b.sampled_seconds) {
+      b.sampled_seconds = seconds;
+    }
+    if (r == 0) {
+      b.plan_steps = plan.steps.size();
+      b.representatives = plan.reps.size();
+      b.sampled_checksum = checksum_profile(estimated);
+    } else if (b.sampled_checksum != checksum_profile(estimated)) {
+      std::cerr << "ERROR: sampled replay checksum varies across reps\n";
+      std::exit(1);
+    }
+  }
+  b.speedup = b.full_seconds / b.sampled_seconds;
+
+  // Estimation error: the DRAM cache's miss rate (level 0 — the metric the
+  // paper's AMAT model keys on) and the NVM device's access traffic (last
+  // level — the hardest quantity to estimate, since only misses reach it).
+  const auto& e0 = exact.levels.front();
+  const auto& s0 = estimated.levels.front();
+  const auto& e1 = exact.levels.back();
+  const auto& s1 = estimated.levels.back();
+  const double e_miss = static_cast<double>(e0.cache_stats.load_misses +
+                                            e0.cache_stats.store_misses) /
+                        static_cast<double>(e0.loads + e0.stores);
+  const double s_miss = static_cast<double>(s0.cache_stats.load_misses +
+                                            s0.cache_stats.store_misses) /
+                        static_cast<double>(s0.loads + s0.stores);
+  const double e_traffic = static_cast<double>(e1.loads + e1.stores);
+  const double s_traffic = static_cast<double>(s1.loads + s1.stores);
+  b.miss_rate_rel_err = std::abs(s_miss - e_miss) / e_miss;
+  b.traffic_rel_err = std::abs(s_traffic - e_traffic) / e_traffic;
+
+  if (gated) {
+    if (b.speedup < 5.0) {
+      std::cerr << "ERROR: sampled replay speedup " << b.speedup
+                << "x below the 5x target\n";
+      std::exit(1);
+    }
+    if (b.miss_rate_rel_err > 0.02 || b.traffic_rel_err > 0.05) {
+      std::cerr << "ERROR: sampled estimation error above bounds (miss rate "
+                << b.miss_rate_rel_err << " vs 0.02, traffic "
+                << b.traffic_rel_err << " vs 0.05)\n";
+      std::exit(1);
+    }
+  }
+  return b;
+}
+
 /// One point of the sharded engine's thread-scaling curve.
 struct ParallelPoint {
   unsigned threads = 0;
@@ -605,7 +776,7 @@ void write_json(const std::string& path, std::uint64_t accesses, int reps,
                 const ResidualFootprint& footprint,
                 const std::vector<ParallelPoint>& parallel,
                 const ParallelPoint& chunk_ref, std::size_t grid_configs,
-                std::size_t grid_workloads) {
+                std::size_t grid_workloads, const SamplingBench& sampling) {
   std::ofstream out(path);
   if (!out) {
     std::cerr << "ERROR: cannot write " << path << "\n";
@@ -613,7 +784,7 @@ void write_json(const std::string& path, std::uint64_t accesses, int reps,
   }
   out << "{\n"
       << "  \"bench\": \"micro_sim\",\n"
-      << "  \"schema_version\": 3,\n"
+      << "  \"schema_version\": 4,\n"
       << "  \"optimized\": " << (optimized ? "true" : "false") << ",\n"
       // Host provenance: trajectory points are only comparable within the
       // same (cpu, simd dispatch, compiler) triple.
@@ -656,6 +827,25 @@ void write_json(const std::string& path, std::uint64_t accesses, int reps,
         << (i + 1 < parallel.size() ? "," : "") << "\n";
   }
   out << "  ]},\n"
+      // SimPoint sampled replay vs exact full replay of one phased capture
+      // (HMS_SAMPLING=simpoint). sampled_seconds includes plan construction.
+      << "  \"sampling\": {\"space_bytes\": " << sampling.space_bytes
+      << ", \"accesses\": " << sampling.accesses
+      << ", \"chunks\": " << sampling.chunks
+      << ", \"sample_k\": " << sampling.sample_k
+      << ", \"warmup_chunks\": " << sampling.warmup_chunks
+      << ", \"plan_steps\": " << sampling.plan_steps
+      << ", \"representatives\": " << sampling.representatives
+      << ",\n    \"full_seconds\": " << std::setprecision(6)
+      << sampling.full_seconds << ", \"sampled_seconds\": "
+      << std::setprecision(6) << sampling.sampled_seconds
+      << ", \"speedup\": " << std::setprecision(4) << sampling.speedup
+      << ",\n    \"miss_rate_rel_err\": " << std::setprecision(6)
+      << sampling.miss_rate_rel_err << ", \"traffic_rel_err\": "
+      << std::setprecision(6) << sampling.traffic_rel_err
+      << ", \"full_checksum\": \"" << std::hex << sampling.full_checksum
+      << "\", \"sampled_checksum\": \"" << sampling.sampled_checksum
+      << std::dec << "\"},\n"
       << "  \"results\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const auto& r = results[i];
@@ -762,6 +952,20 @@ int main() {
   }
   std::cout << "\n";
 
+  // Only gate from the default size up on optimized builds; CI smoke runs
+  // (200k accesses) still exercise the path and report the numbers.
+  const bool sampling_gated = optimized && accesses >= (std::uint64_t{1} << 22);
+  const SamplingBench sampling = bench_sampling(accesses, reps, sampling_gated);
+  std::cout << "sampled replay (SimPoint, k=" << sampling.sample_k
+            << ", warmup=" << sampling.warmup_chunks << "): "
+            << sampling.plan_steps << "/" << sampling.chunks
+            << " chunks decoded, speedup " << std::fixed
+            << std::setprecision(2) << sampling.speedup << "x, rel err "
+            << std::setprecision(4) << sampling.miss_rate_rel_err
+            << " (miss rate) / " << sampling.traffic_rel_err
+            << " (traffic)" << (sampling_gated ? "" : " [ungated]") << "\n\n";
+  std::cout.unsetf(std::ios::fixed);
+
   std::cout << std::left << std::setw(24) << "config" << std::right
             << std::setw(14) << "Maccesses/s" << std::setw(12) << "seconds"
             << std::setw(20) << "stats checksum" << "\n";
@@ -775,7 +979,7 @@ int main() {
   }
 
   write_json(out_path, accesses, reps, optimized, results, footprint,
-             parallel, chunk_ref, grid_configs, grid_workloads);
+             parallel, chunk_ref, grid_configs, grid_workloads, sampling);
   std::cout << "\n(JSON written to " << out_path << ")\n";
   return 0;
 }

@@ -20,7 +20,8 @@ namespace {
 
 constexpr std::array<char, 4> kMagic = {'H', 'M', 'S', 'K'};
 constexpr std::uint32_t kVersionLegacy = 1;  ///< no per-record CRC
-constexpr std::uint32_t kVersion = 2;        ///< CRC32C per record
+constexpr std::uint32_t kVersionCrc = 2;     ///< CRC32C per record
+constexpr std::uint32_t kVersion = 3;        ///< + sampled flag & spreads
 constexpr std::size_t kHeaderBytes =
     kMagic.size() + sizeof(std::uint32_t) + sizeof(std::uint64_t);
 
@@ -111,6 +112,20 @@ bool get_f64(std::string_view data, std::size_t& pos, double& v) {
   return true;
 }
 
+void put_spread(std::string& out, const MetricSpread& s) {
+  put_f64(out, s.runtime);
+  put_f64(out, s.dynamic);
+  put_f64(out, s.leakage);
+  put_f64(out, s.total_energy);
+  put_f64(out, s.edp);
+}
+
+bool get_spread(std::string_view data, std::size_t& pos, MetricSpread& s) {
+  return get_f64(data, pos, s.runtime) && get_f64(data, pos, s.dynamic) &&
+         get_f64(data, pos, s.leakage) && get_f64(data, pos, s.total_energy) &&
+         get_f64(data, pos, s.edp);
+}
+
 std::string encode(const SuiteResult& r) {
   std::string out;
   put_string(out, r.config_name);
@@ -120,6 +135,8 @@ std::string encode(const SuiteResult& r) {
   put_f64(out, r.leakage);
   put_f64(out, r.total_energy);
   put_f64(out, r.edp);
+  out.push_back(r.sampled ? '\1' : '\0');
+  put_spread(out, r.spread);
   put_varint(out, r.failures.size());
   for (const auto& f : r.failures) {
     put_string(out, f.workload);
@@ -134,11 +151,17 @@ std::string encode(const SuiteResult& r) {
     put_f64(out, wr.normalized.leakage);
     put_f64(out, wr.normalized.total_energy);
     put_f64(out, wr.normalized.edp);
+    out.push_back(wr.sampled ? '\1' : '\0');
+    put_spread(out, wr.spread);
   }
   return out;
 }
 
-bool decode(std::string_view payload, SuiteResult& r) {
+/// Decodes a payload written by the given format version. Pre-v3 records
+/// carry no sampling fields; they load as exact results (sampled = false,
+/// zero spread), which is what they were.
+bool decode(std::string_view payload, std::uint32_t version, SuiteResult& r) {
+  const bool has_sampling = version >= 3;
   std::size_t pos = 0;
   if (!get_string(payload, pos, r.config_name)) return false;
   if (pos >= payload.size()) return false;
@@ -148,6 +171,11 @@ bool decode(std::string_view payload, SuiteResult& r) {
   if (!get_f64(payload, pos, r.leakage)) return false;
   if (!get_f64(payload, pos, r.total_energy)) return false;
   if (!get_f64(payload, pos, r.edp)) return false;
+  if (has_sampling) {
+    if (pos >= payload.size()) return false;
+    r.sampled = payload[pos++] != '\0';
+    if (!get_spread(payload, pos, r.spread)) return false;
+  }
   std::uint64_t n = 0;
   if (!get_varint(payload, pos, n)) return false;
   for (std::uint64_t i = 0; i < n; ++i) {
@@ -166,6 +194,11 @@ bool decode(std::string_view payload, SuiteResult& r) {
     if (!get_f64(payload, pos, wr.normalized.leakage)) return false;
     if (!get_f64(payload, pos, wr.normalized.total_energy)) return false;
     if (!get_f64(payload, pos, wr.normalized.edp)) return false;
+    if (has_sampling) {
+      if (pos >= payload.size()) return false;
+      wr.sampled = payload[pos++] != '\0';
+      if (!get_spread(payload, pos, wr.spread)) return false;
+    }
     wr.report.workload = wr.normalized.workload;
     wr.report.design = wr.normalized.design;
     r.per_workload.push_back(std::move(wr));
@@ -173,7 +206,8 @@ bool decode(std::string_view payload, SuiteResult& r) {
   return pos == payload.size();
 }
 
-/// One v2 record: length, little-endian CRC32C of the payload, payload.
+/// One current-format record: length, little-endian CRC32C of the payload,
+/// payload.
 std::string encode_record(const SuiteResult& r) {
   const std::string payload = encode(r);
   std::string record;
@@ -261,6 +295,14 @@ std::uint64_t experiment_hash(const ExperimentConfig& config,
   h.mix(static_cast<std::uint64_t>(opts.nvm_wear_leveling));
   h.mix(static_cast<std::uint64_t>(opts.nvm_track_endurance));
   h.mix(opts.nvm_gap_write_interval);
+  // Sampling changes what a sweep computes (estimates vs exact counters),
+  // so SimPoint — with the knobs that shape its plans — is result-affecting.
+  // Full mode mixes nothing, keeping pre-sampling checkpoint hashes valid.
+  if (config.sampling == SamplingMode::SimPoint) {
+    h.mix(std::string_view("sampling:simpoint"));
+    h.mix(static_cast<std::uint64_t>(config.sample_k));
+    h.mix(static_cast<std::uint64_t>(config.warmup_chunks));
+  }
   return h.value();
 }
 
@@ -297,12 +339,13 @@ SweepCheckpoint::SweepCheckpoint(std::string path, std::uint64_t hash)
     std::uint64_t file_hash = 0;
     std::memcpy(&file_hash, data.data() + kMagic.size() + sizeof(version),
                 sizeof(file_hash));
-    valid = (version == kVersion || version == kVersionLegacy) &&
+    valid = (version == kVersion || version == kVersionCrc ||
+             version == kVersionLegacy) &&
             file_hash == hash_;
   }
 
   if (!valid) {
-    // Missing, foreign, or stale file: start a fresh v2 checkpoint.
+    // Missing, foreign, or stale file: start a fresh current-version file.
     fd_ = open_checkpoint_fd(path_, O_CREAT | O_TRUNC);
     const std::string header = header_bytes(hash_);
     write_all(fd_, header.data(), header.size(), path_);
@@ -311,7 +354,7 @@ SweepCheckpoint::SweepCheckpoint(std::string path, std::uint64_t hash)
   }
 
   // Replay records in file order, stopping at the first record that is
-  // torn, structurally malformed, or (v2) fails its CRC — everything from
+  // torn, structurally malformed, or (v2+) fails its CRC — everything from
   // that point on is untrusted and will be recomputed.
   const std::string_view view = data;
   std::size_t pos = kHeaderBytes;
@@ -320,21 +363,21 @@ SweepCheckpoint::SweepCheckpoint(std::string path, std::uint64_t hash)
   while (pos < view.size()) {
     std::uint64_t len = 0;
     if (!get_varint(view, pos, len)) break;
-    if (version == kVersion) {
+    if (version >= kVersionCrc) {
       std::uint32_t stored_crc = 0;
       if (!get_u32le(view, pos, stored_crc)) break;
       if (len > view.size() - pos) break;
       const std::string_view payload = view.substr(pos, len);
       if (crc32c(payload.data(), payload.size()) != stored_crc) break;
       SuiteResult r;
-      if (!decode(payload, r)) break;
+      if (!decode(payload, version, r)) break;
       pos += len;
       good_end = pos;
       in_order.push_back(std::move(r));
     } else {
       if (len > view.size() - pos) break;
       SuiteResult r;
-      if (!decode(view.substr(pos, len), r)) break;
+      if (!decode(view.substr(pos, len), version, r)) break;
       pos += len;
       good_end = pos;
       in_order.push_back(std::move(r));
@@ -342,9 +385,10 @@ SweepCheckpoint::SweepCheckpoint(std::string path, std::uint64_t hash)
   }
   for (auto& r : in_order) completed_[r.config_name] = std::move(r);
 
-  if (version == kVersionLegacy) {
-    // Upgrade in place: rewrite the surviving records with CRCs so the
-    // file is uniformly v2 (no mixed-version parsing on the next open).
+  if (version < kVersion) {
+    // Upgrade in place: rewrite the surviving records in the current
+    // format (v1 gains CRCs, v2 gains the zeroed sampling fields) so the
+    // file is uniformly v3 (no mixed-version parsing on the next open).
     fd_ = open_checkpoint_fd(path_, O_CREAT | O_TRUNC);
     std::string out = header_bytes(hash_);
     for (const auto& [name, r] : completed_) out += encode_record(r);

@@ -1,14 +1,16 @@
 // Sweep checkpointing: durable per-config results so an interrupted figure
 // sweep resumes instead of re-simulating.
 //
-// Format ("HMSK" v2, mirroring the trace_io varint/magic style): header
+// Format ("HMSK" v3, mirroring the trace_io varint/magic style): header
 // {magic, u32 version, u64 experiment hash}, then one integrity-checked,
 // length-prefixed record per completed SuiteResult:
 //
 //   varint payload_len | u32 CRC32C(payload) (LE) | payload:
 //     str config_name | u8 partial | 5 x f64 (LE bit pattern) suite means |
+//     u8 sampled | 5 x f64 suite spread |
 //     varint n_failures x { str workload, str error } |
-//     varint n_workloads x { str workload, str design, 5 x f64 normalized }
+//     varint n_workloads x { str workload, str design, 5 x f64 normalized,
+//                            u8 sampled, 5 x f64 spread }
 //
 // (str = varint length + bytes.) Records are appended one at a time, each
 // append followed by fsync, so a kill at any instant leaves at most one
@@ -16,7 +18,9 @@
 // and structure; the first bad record — torn tail or bit-rot anywhere —
 // stops the scan, and the file is truncated back to the last good record
 // so the sweep resumes from a consistent prefix. Version-1 files (no
-// per-record CRC) still load; they are upgraded in place to v2 on open.
+// per-record CRC) and version-2 files (no sampling fields — those results
+// were exact, so they load with sampled = false and zero spread) still
+// load; both are upgraded in place to v3 on open.
 // Detailed per-workload DesignReports (absolute times/energies) are NOT
 // persisted — a restored SuiteResult carries everything the figure layer
 // uses (suite means + per-workload normalized values).
@@ -37,9 +41,12 @@ namespace hms::sim {
 
 /// FNV-1a over every result-affecting ExperimentConfig field plus the
 /// sweep label (e.g. "nmm:PCM"). Execution-only knobs — threads,
-/// max_retries, cell_timeout_ms, retry_backoff_ms, checkpoint_path — are
-/// deliberately excluded: they change how a sweep runs, not what it
-/// computes.
+/// max_retries, cell_timeout_ms, retry_backoff_ms, checkpoint_path,
+/// replay_mode — are deliberately excluded: they change how a sweep runs,
+/// not what it computes. SimPoint sampling (with sample_k/warmup_chunks)
+/// IS mixed in — estimates must not resume from exact results or vice
+/// versa — while Full mode mixes nothing, so pre-sampling checkpoints
+/// stay resumable.
 [[nodiscard]] std::uint64_t experiment_hash(const ExperimentConfig& config,
                                             std::string_view sweep_label);
 

@@ -1,6 +1,8 @@
 #include "hms/sim/experiment.hpp"
 
 #include <algorithm>
+#include <array>
+#include <cmath>
 #include <cstdlib>
 #include <limits>
 #include <memory>
@@ -74,12 +76,34 @@ const model::DesignReport& ExperimentRunner::base_report(
   if (it != base_reports_.end()) return it->second;
   const FrontCapture& capture = front(workload);
   auto back = factory_.base_back(capture.footprint_bytes);
-  const auto profile = replay_back(capture, *back);
+  // The base replay follows the same sample plan as every design cell:
+  // estimating numerator and denominator from the same intervals makes the
+  // clustering error partially cancel in the normalized ratios.
+  const auto profile = replay_back(capture, *back, plan_for(workload));
   const auto anchor =
       model::make_anchor(profile, capture.info.memory_bound_fraction);
   anchors_.emplace(workload, anchor);
   auto report = model::evaluate("base", workload, profile, anchor);
   return base_reports_.emplace(workload, std::move(report)).first->second;
+}
+
+const SamplePlan* ExperimentRunner::plan_for(const std::string& workload) {
+  if (config_.sampling != SamplingMode::SimPoint) return nullptr;
+  auto it = plans_.find(workload);
+  if (it == plans_.end()) {
+    // Built during the serial warm-up (base_report reaches here before any
+    // grid task runs); afterwards the map is read-only, so concurrent grid
+    // tasks only ever hit the find above.
+    const FrontCapture& capture = front(workload);
+    it = plans_
+             .emplace(workload,
+                      build_sample_plan(capture.residual,
+                                        capture.interval_profile,
+                                        config_.sample_k,
+                                        config_.warmup_chunks, config_.seed))
+             .first;
+  }
+  return &it->second;
 }
 
 const model::ReferenceAnchor& ExperimentRunner::anchor(
@@ -94,8 +118,9 @@ WorkloadResult ExperimentRunner::evaluate_back(const std::string& design_name,
   (void)base_report(workload);  // warm the base/anchor before replaying
   const FrontCapture& capture = front(workload);
   cache::HierarchyProfile profile;
+  std::vector<RepEstimate> reps;
   try {
-    profile = replay_back(capture, back);
+    profile = replay_back(capture, back, plan_for(workload), &reps);
   } catch (const CancelledError& e) {
     // Preserve the kind — rethrow_with_context would flatten it into
     // SimulationError and the watchdog/interrupt distinction would vanish.
@@ -103,17 +128,51 @@ WorkloadResult ExperimentRunner::evaluate_back(const std::string& design_name,
   } catch (...) {
     rethrow_with_context("replay_back");
   }
-  return finish_result(design_name, workload, profile);
+  return finish_result(design_name, workload, profile, reps);
 }
 
 WorkloadResult ExperimentRunner::finish_result(
     const std::string& design_name, const std::string& workload,
-    const cache::HierarchyProfile& profile) {
+    const cache::HierarchyProfile& profile,
+    const std::vector<RepEstimate>& reps) {
   const model::DesignReport& base = base_report(workload);
   const auto& anchor = anchors_.at(workload);
   WorkloadResult result;
   result.report = model::evaluate(design_name, workload, profile, anchor);
   result.normalized = model::normalize(result.report, base);
+  if (!reps.empty()) {
+    // Error bars: evaluate the model per representative extrapolation and
+    // take the share-weighted stddev of each normalized metric — "how much
+    // would the answer move if the whole trace behaved like one cluster".
+    result.sampled = true;
+    std::vector<std::array<double, 5>> vals;
+    vals.reserve(reps.size());
+    double share_sum = 0;
+    for (const auto& rep : reps) {
+      const auto rep_report =
+          model::evaluate(design_name, workload, rep.profile, anchor);
+      const auto n = model::normalize(rep_report, base);
+      vals.push_back({n.runtime, n.dynamic, n.leakage, n.total_energy, n.edp});
+      share_sum += rep.share;
+    }
+    std::array<double, 5> mean{};
+    for (std::size_t r = 0; r < reps.size(); ++r) {
+      for (std::size_t m = 0; m < 5; ++m) mean[m] += reps[r].share * vals[r][m];
+    }
+    std::array<double, 5> var{};
+    for (std::size_t r = 0; r < reps.size(); ++r) {
+      for (std::size_t m = 0; m < 5; ++m) {
+        const double d = vals[r][m] - mean[m] / share_sum;
+        var[m] += reps[r].share * d * d;
+      }
+    }
+    for (auto& v : var) v /= share_sum;
+    result.spread.runtime = std::sqrt(var[0]);
+    result.spread.dynamic = std::sqrt(var[1]);
+    result.spread.leakage = std::sqrt(var[2]);
+    result.spread.total_energy = std::sqrt(var[3]);
+    result.spread.edp = std::sqrt(var[4]);
+  }
   return result;
 }
 
@@ -136,6 +195,25 @@ SuiteResult ExperimentRunner::average(
   suite.leakage = leakage / n;
   suite.total_energy = total / n;
   suite.edp = edp / n;
+  // Suite error bars: per-workload sampling spreads combined as
+  // independent errors of the mean — sqrt(sum of variances) / n.
+  double v_rt = 0, v_dy = 0, v_lk = 0, v_te = 0, v_ed = 0;
+  for (const auto& r : results) {
+    if (!r.sampled) continue;
+    suite.sampled = true;
+    v_rt += r.spread.runtime * r.spread.runtime;
+    v_dy += r.spread.dynamic * r.spread.dynamic;
+    v_lk += r.spread.leakage * r.spread.leakage;
+    v_te += r.spread.total_energy * r.spread.total_energy;
+    v_ed += r.spread.edp * r.spread.edp;
+  }
+  if (suite.sampled) {
+    suite.spread.runtime = std::sqrt(v_rt) / n;
+    suite.spread.dynamic = std::sqrt(v_dy) / n;
+    suite.spread.leakage = std::sqrt(v_lk) / n;
+    suite.spread.total_energy = std::sqrt(v_te) / n;
+    suite.spread.edp = std::sqrt(v_ed) / n;
+  }
   suite.per_workload = std::move(results);
   return suite;
 }
@@ -235,11 +313,15 @@ std::vector<SuiteResult> ExperimentRunner::sweep(
       // engine's on_cell callback.
       std::vector<const FrontCapture*> captures;
       captures.reserve(width);
+      std::vector<const SamplePlan*> plans;
+      plans.reserve(width);
       for (std::size_t l = 0; l < width; ++l) {
         captures.push_back(&fronts_.at(suite_[live[l]]));
+        plans.push_back(plan_for(suite_[live[l]]));
       }
       ShardedSweepSpec spec;
       spec.captures = captures;
+      spec.plans = plans;
       spec.configs = pending.size();
       spec.threads = config_.threads;
       spec.max_retries = config_.max_retries;
@@ -260,7 +342,8 @@ std::vector<SuiteResult> ExperimentRunner::sweep(
             "config " + configs[c].name + " / workload " + workload;
         if (out.ok) {
           try {
-            grid[p][l] = finish_result(configs[c].name, workload, out.profile);
+            grid[p][l] =
+                finish_result(configs[c].name, workload, out.profile, out.reps);
           } catch (const std::exception& e) {
             failures[p].push_back({workload, with_context(cell, e.what())});
           }
@@ -302,6 +385,9 @@ std::vector<SuiteResult> ExperimentRunner::sweep(
                      &live, l] {
             const std::string& workload = suite_[live[l]];
             const FrontCapture& capture = fronts_.at(workload);
+            // Plans were built during the serial warm-up; this is a pure
+            // map read, safe across concurrent workload tasks.
+            const SamplePlan* const plan = plan_for(workload);
 
             // Per-task watchdog: replay_back_many polls this as the
             // thread's ambient token and re-arms it itself whenever a
@@ -331,15 +417,16 @@ std::vector<SuiteResult> ExperimentRunner::sweep(
               }
             }
 
-            const auto outcomes = replay_back_many(capture, backs);
+            const auto outcomes = replay_back_many(capture, backs, plan);
             for (std::size_t b = 0; b < outcomes.size(); ++b) {
               const std::size_t p = built[b];
               const std::size_t c = pending[p];
               const std::string cell =
                   "config " + configs[c].name + " / workload " + workload;
               if (outcomes[b].ok) {
-                grid[p][l] =
-                    finish_result(configs[c].name, workload, outcomes[b].profile);
+                grid[p][l] = finish_result(configs[c].name, workload,
+                                           outcomes[b].profile,
+                                           outcomes[b].reps);
                 continue;
               }
               cell_errors[p][l] =

@@ -92,6 +92,21 @@ struct ExperimentConfig {
   /// Sweep replay strategy (results are identical either way; see
   /// ReplayMode). Defaults from HMS_REPLAY_MODE.
   ReplayMode replay_mode = default_replay_mode();
+  /// Statistical sampling of the residual replay (sim/sampling.hpp):
+  /// SimPoint mode clusters each workload's intervals once during warm-up
+  /// and every cell — base replay included — feeds only the plan's
+  /// representative chunks, producing weighted estimates with error bars.
+  /// Orthogonal to replay_mode; result-affecting, so SimPoint (with its k
+  /// and warmup) is mixed into experiment_hash. Defaults from HMS_SAMPLING.
+  SamplingMode sampling = default_sampling_mode();
+  /// Target cluster count per workload in SimPoint mode (>= 1). When it
+  /// reaches a workload's interval count the plan degenerates to exact
+  /// full replay, bit-identical to Full mode. From HMS_SAMPLE_K.
+  std::uint32_t sample_k = default_sample_k();
+  /// Functional-warming prefix: chunks fed warm-only before each
+  /// representative so tag state is realistic while measured counters stay
+  /// clean. From HMS_WARMUP_CHUNKS.
+  std::uint32_t warmup_chunks = default_warmup_chunks();
 
   [[nodiscard]] workloads::WorkloadParams params_for(
       const workloads::WorkloadInfo& info) const;
@@ -101,6 +116,11 @@ struct ExperimentConfig {
 struct WorkloadResult {
   model::DesignReport report;
   model::NormalizedReport normalized;
+  /// True when `report` is a sampled estimate rather than an exact replay.
+  bool sampled = false;
+  /// Share-weighted stddev of each normalized metric across the sample
+  /// plan's representatives (all zeros when !sampled).
+  MetricSpread spread;
 };
 
 /// One (config, workload) cell that could not be evaluated.
@@ -123,6 +143,12 @@ struct SuiteResult {
   double edp = 1.0;
   /// True when at least one workload cell failed and was excluded.
   bool partial = false;
+  /// True when any surviving workload's result is a sampled estimate.
+  bool sampled = false;
+  /// Suite-level error bars: per-workload spreads combined as independent
+  /// errors of the mean (sqrt of summed variances / n). All zeros when
+  /// !sampled.
+  MetricSpread spread;
   /// The excluded cells, with their context-chained error messages.
   std::vector<SuiteFailure> failures;
   std::vector<WorkloadResult> per_workload;  ///< survivors only
@@ -158,6 +184,12 @@ class ExperimentRunner {
 
   /// Base-design report for a workload (cached).
   const model::DesignReport& base_report(const std::string& workload);
+
+  /// The workload's sample plan: nullptr in Full mode, otherwise built
+  /// once from the capture's interval profile (deterministic in the
+  /// config's seed/k/warmup) and cached. The base replay uses the same
+  /// plan, so estimation errors partially cancel in the normalization.
+  const SamplePlan* plan_for(const std::string& workload);
 
   /// The Eq. 1 reference anchor for a workload (computes the base report
   /// on first use).
@@ -199,10 +231,14 @@ class ExperimentRunner {
   /// Turns an already-computed combined profile into a WorkloadResult
   /// (model evaluation + normalization against the workload's base). The
   /// tail of evaluate_back, shared with the chunk-major sweep path where
-  /// replay_back_many produced the profiles.
+  /// replay_back_many produced the profiles. When `reps` is non-empty the
+  /// result is a sampled estimate: each representative extrapolation is
+  /// model-evaluated and normalized too, and their share-weighted stddev
+  /// becomes the result's MetricSpread.
   [[nodiscard]] WorkloadResult finish_result(
       const std::string& design_name, const std::string& workload,
-      const cache::HierarchyProfile& profile);
+      const cache::HierarchyProfile& profile,
+      const std::vector<RepEstimate>& reps = {});
 
   /// Shared sweep driver: warms every workload's front and base report
   /// serially (they mutate the caches), then evaluates the config x
@@ -244,6 +280,9 @@ class ExperimentRunner {
   std::map<std::string, FrontCapture> fronts_;
   std::map<std::string, model::DesignReport> base_reports_;
   std::map<std::string, model::ReferenceAnchor> anchors_;
+  /// One sample plan per workload in SimPoint mode, built during the
+  /// serial warm-up and read-only for the parallel grid.
+  std::map<std::string, SamplePlan> plans_;
   std::size_t last_checkpoint_skips_ = 0;
 };
 

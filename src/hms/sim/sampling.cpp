@@ -1,0 +1,342 @@
+#include "hms/sim/sampling.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "hms/common/env.hpp"
+#include "hms/common/error.hpp"
+#include "hms/common/random.hpp"
+#include "hms/trace/chunked_trace.hpp"
+#include "hms/trace/interval_profile.hpp"
+
+namespace hms::sim {
+
+namespace {
+
+using Feature = std::array<double, trace::IntervalSignature::kFeatures>;
+
+double dist2(const Feature& a, const Feature& b) {
+  double d = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double t = a[i] - b[i];
+    d += t * t;
+  }
+  return d;
+}
+
+/// Counters per level in the flattened snapshot vector.
+constexpr std::size_t kCountersPerLevel = 12;
+
+void flatten(const cache::HierarchyProfile& p, std::vector<std::uint64_t>& out) {
+  out.resize(p.levels.size() * kCountersPerLevel);
+  std::size_t i = 0;
+  for (const auto& lv : p.levels) {
+    out[i++] = lv.loads;
+    out[i++] = lv.stores;
+    out[i++] = lv.load_bytes;
+    out[i++] = lv.store_bytes;
+    out[i++] = lv.cache_stats.load_hits;
+    out[i++] = lv.cache_stats.load_misses;
+    out[i++] = lv.cache_stats.store_hits;
+    out[i++] = lv.cache_stats.store_misses;
+    out[i++] = lv.cache_stats.evictions;
+    out[i++] = lv.cache_stats.writebacks;
+    out[i++] = lv.cache_stats.prefetch_fills;
+    out[i++] = lv.cache_stats.prefetch_useful;
+  }
+}
+
+std::uint64_t round_counter(double v) {
+  return v <= 0 ? 0 : static_cast<std::uint64_t>(std::llround(v));
+}
+
+/// Writes a flattened counter vector (already scaled/summed, in doubles)
+/// back into a profile whose level structure matches.
+void unflatten(const std::vector<double>& counters,
+               cache::HierarchyProfile& p) {
+  std::size_t i = 0;
+  for (auto& lv : p.levels) {
+    lv.loads = round_counter(counters[i++]);
+    lv.stores = round_counter(counters[i++]);
+    lv.load_bytes = round_counter(counters[i++]);
+    lv.store_bytes = round_counter(counters[i++]);
+    lv.cache_stats.load_hits = round_counter(counters[i++]);
+    lv.cache_stats.load_misses = round_counter(counters[i++]);
+    lv.cache_stats.store_hits = round_counter(counters[i++]);
+    lv.cache_stats.store_misses = round_counter(counters[i++]);
+    lv.cache_stats.evictions = round_counter(counters[i++]);
+    lv.cache_stats.writebacks = round_counter(counters[i++]);
+    lv.cache_stats.prefetch_fills = round_counter(counters[i++]);
+    lv.cache_stats.prefetch_useful = round_counter(counters[i++]);
+  }
+}
+
+}  // namespace
+
+SamplingMode default_sampling_mode() {
+  const char* env = std::getenv("HMS_SAMPLING");
+  const std::string_view mode = env != nullptr ? env : "";
+  if (mode.empty() || mode == "full") return SamplingMode::Full;
+  if (mode == "simpoint") return SamplingMode::SimPoint;
+  throw ConfigError(
+      with_context("HMS_SAMPLING", "expected \"full\" or \"simpoint\", got \"" +
+                                       std::string(mode) + "\""));
+}
+
+std::uint32_t default_sample_k() {
+  const std::uint64_t k = env_u64("HMS_SAMPLE_K", 16);
+  if (k == 0) {
+    throw ConfigError(with_context(
+        "HMS_SAMPLE_K",
+        "must be >= 1 (0 representatives would leave nothing to replay)"));
+  }
+  if (k > std::numeric_limits<std::uint32_t>::max()) {
+    throw ConfigError(with_context(
+        "HMS_SAMPLE_K", "value " + std::to_string(k) + " out of range"));
+  }
+  return static_cast<std::uint32_t>(k);
+}
+
+std::uint32_t default_warmup_chunks() {
+  const std::uint64_t w = env_u64("HMS_WARMUP_CHUNKS", 2);
+  if (w > std::numeric_limits<std::uint32_t>::max()) {
+    throw ConfigError(with_context(
+        "HMS_WARMUP_CHUNKS", "value " + std::to_string(w) + " out of range"));
+  }
+  return static_cast<std::uint32_t>(w);
+}
+
+SamplePlan build_sample_plan(const trace::ChunkedTraceBuffer& residual,
+                             const trace::IntervalProfile& profile,
+                             std::uint32_t k, std::uint32_t warmup_chunks,
+                             std::uint64_t seed) {
+  check(k >= 1, "build_sample_plan: k must be >= 1");
+  SamplePlan plan;
+  plan.total_chunks = residual.chunk_count();
+  plan.total_accesses = residual.access_count();
+  const std::size_t n = plan.total_chunks;
+  // Degenerate exactness: with at least one representative per interval
+  // there is nothing to estimate — the caller replays the full stream and
+  // the result is bit-identical to an unsampled run.
+  if (n <= 1 || k >= n || plan.total_accesses == 0) return plan;
+  plan.exact = false;
+
+  std::vector<trace::IntervalSignature> sigs = profile.signatures();
+  if (sigs.size() != n) {
+    // The capture was assembled without an attached profile (synthetic
+    // bench streams, deserialized traces): rebuild offline, bit-identical
+    // to live observation.
+    sigs = trace::IntervalProfile::from_trace(residual).signatures();
+  }
+  check(sigs.size() == n, "build_sample_plan: signature/chunk misalignment");
+
+  std::vector<Feature> feats(n);
+  for (std::size_t i = 0; i < n; ++i) feats[i] = sigs[i].features();
+
+  // --- deterministic seeded k-means++ ----------------------------------
+  // Single-threaded with fixed iteration order and lowest-index
+  // tie-breaks: the plan must be bit-stable across runs and thread counts.
+  SplitMix64 rng(seed ^ 0x51a9'90b5'6e1f'c4d7ull);
+  const auto rand01 = [&rng] {
+    return static_cast<double>(rng.next() >> 11) * 0x1.0p-53;
+  };
+
+  const std::size_t kk = k;
+  std::vector<Feature> centers;
+  centers.reserve(kk);
+  centers.push_back(feats[rng.next() % n]);
+  std::vector<double> d2(n);
+  while (centers.size() < kk) {
+    double total = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double best = dist2(feats[i], centers[0]);
+      for (std::size_t c = 1; c < centers.size(); ++c) {
+        best = std::min(best, dist2(feats[i], centers[c]));
+      }
+      d2[i] = best;
+      total += best;
+    }
+    std::size_t pick = 0;
+    if (total > 0) {
+      const double u = rand01() * total;
+      double cum = 0;
+      pick = n - 1;  // guard against rounding past the end
+      for (std::size_t i = 0; i < n; ++i) {
+        cum += d2[i];
+        if (cum >= u) {
+          pick = i;
+          break;
+        }
+      }
+    } else {
+      // All remaining points coincide with a center; further centers are
+      // redundant but harmless (their clusters drain and are dropped).
+      pick = rng.next() % n;
+    }
+    centers.push_back(feats[pick]);
+  }
+
+  // --- Lloyd iterations -------------------------------------------------
+  std::vector<std::size_t> assign(n, 0);
+  constexpr int kMaxIterations = 25;
+  for (int iter = 0; iter < kMaxIterations; ++iter) {
+    bool changed = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      std::size_t best = 0;
+      double best_d = dist2(feats[i], centers[0]);
+      for (std::size_t c = 1; c < centers.size(); ++c) {
+        const double d = dist2(feats[i], centers[c]);
+        if (d < best_d) {  // strict: ties keep the lowest center index
+          best_d = d;
+          best = c;
+        }
+      }
+      if (assign[i] != best) {
+        assign[i] = best;
+        changed = true;
+      }
+    }
+    if (!changed && iter > 0) break;
+    std::vector<Feature> sums(centers.size(), Feature{});
+    std::vector<std::size_t> counts(centers.size(), 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t f = 0; f < feats[i].size(); ++f) {
+        sums[assign[i]][f] += feats[i][f];
+      }
+      ++counts[assign[i]];
+    }
+    for (std::size_t c = 0; c < centers.size(); ++c) {
+      if (counts[c] == 0) continue;  // empty cluster keeps its center
+      for (std::size_t f = 0; f < centers[c].size(); ++f) {
+        centers[c][f] = sums[c][f] / static_cast<double>(counts[c]);
+      }
+    }
+  }
+
+  // --- medoids, weights, shares ----------------------------------------
+  std::vector<SampleRep> reps;
+  for (std::size_t c = 0; c < centers.size(); ++c) {
+    SampleRep rep;
+    double best_d = std::numeric_limits<double>::infinity();
+    std::size_t medoid = n;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (assign[i] != c) continue;
+      ++rep.members;
+      rep.cluster_accesses += residual.chunk_access_count(i);
+      const double d = dist2(feats[i], centers[c]);
+      if (d < best_d) {  // strict: ties keep the lowest interval index
+        best_d = d;
+        medoid = i;
+      }
+    }
+    if (rep.members == 0) continue;  // drained cluster: drop it
+    rep.chunk = medoid;
+    rep.rep_accesses = residual.chunk_access_count(medoid);
+    rep.share = static_cast<double>(rep.cluster_accesses) /
+                static_cast<double>(plan.total_accesses);
+    reps.push_back(rep);
+  }
+  std::sort(reps.begin(), reps.end(),
+            [](const SampleRep& a, const SampleRep& b) {
+              return a.chunk < b.chunk;
+            });
+  plan.reps = std::move(reps);
+
+  // --- step schedule: warming prefix + measured medoid, deduplicated ----
+  std::map<std::size_t, double> measured;  // chunk -> weight
+  for (const auto& rep : plan.reps) {
+    measured[rep.chunk] = static_cast<double>(rep.cluster_accesses) /
+                          static_cast<double>(rep.rep_accesses);
+  }
+  std::map<std::size_t, bool> schedule;  // chunk -> measure
+  for (const auto& kv : measured) schedule[kv.first] = true;
+  for (const auto& rep : plan.reps) {
+    const std::size_t w =
+        std::min<std::size_t>(warmup_chunks, rep.chunk);
+    for (std::size_t c = rep.chunk - w; c < rep.chunk; ++c) {
+      schedule.emplace(c, false);  // a measured chunk keeps its flag
+    }
+  }
+  plan.steps.reserve(schedule.size());
+  for (const auto& [chunk, measure] : schedule) {
+    SampleStep step;
+    step.chunk = chunk;
+    step.measure = measure;
+    if (measure) step.weight = measured.at(chunk);
+    plan.steps.push_back(step);
+  }
+  return plan;
+}
+
+PlanSampler::PlanSampler(const SamplePlan& plan) : plan_(&plan) {
+  check(!plan.exact, "PlanSampler: exact plans replay through the plain path");
+  rep_deltas_.reserve(plan.reps.size());
+}
+
+void PlanSampler::begin_step(const SampleStep& step,
+                             const cache::MemoryHierarchy& back) {
+  if (!step.measure) return;
+  flatten(back.profile(), before_);
+  if (weighted_.empty()) weighted_.assign(before_.size(), 0.0);
+}
+
+void PlanSampler::end_step(const SampleStep& step,
+                           const cache::MemoryHierarchy& back) {
+  if (!step.measure) return;
+  std::vector<std::uint64_t> after;
+  flatten(back.profile(), after);
+  std::vector<std::uint64_t> delta(after.size());
+  for (std::size_t i = 0; i < after.size(); ++i) {
+    delta[i] = after[i] - before_[i];
+    weighted_[i] += step.weight * static_cast<double>(delta[i]);
+  }
+  check(next_rep_ < plan_->reps.size(),
+        "PlanSampler: more measured steps than representatives");
+  rep_deltas_.push_back(std::move(delta));
+  ++next_rep_;
+}
+
+cache::HierarchyProfile PlanSampler::estimated_back(
+    const cache::MemoryHierarchy& back) const {
+  check(next_rep_ == plan_->reps.size(),
+        "PlanSampler: plan not fully replayed");
+  cache::HierarchyProfile profile = back.profile();
+  unflatten(weighted_, profile);
+  return profile;
+}
+
+std::vector<RepEstimate> PlanSampler::rep_estimates(
+    const cache::HierarchyProfile& front,
+    const cache::MemoryHierarchy& back) const {
+  check(next_rep_ == plan_->reps.size(),
+        "PlanSampler: plan not fully replayed");
+  std::vector<RepEstimate> out;
+  out.reserve(plan_->reps.size());
+  const cache::HierarchyProfile structure = back.profile();
+  std::vector<double> scaled(weighted_.size(), 0.0);
+  for (std::size_t r = 0; r < plan_->reps.size(); ++r) {
+    const SampleRep& rep = plan_->reps[r];
+    // "The whole stream behaved like this interval": scale the interval's
+    // delta to the full trace's access count.
+    const double scale = static_cast<double>(plan_->total_accesses) /
+                         static_cast<double>(rep.rep_accesses);
+    for (std::size_t i = 0; i < scaled.size(); ++i) {
+      scaled[i] = scale * static_cast<double>(rep_deltas_[r][i]);
+    }
+    cache::HierarchyProfile rep_back = structure;
+    unflatten(scaled, rep_back);
+    RepEstimate est;
+    est.share = rep.share;
+    est.profile = cache::HierarchyProfile::combine(front, rep_back);
+    out.push_back(std::move(est));
+  }
+  return out;
+}
+
+}  // namespace hms::sim

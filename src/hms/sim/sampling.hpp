@@ -1,0 +1,162 @@
+// SimPoint-style statistical sampling of the residual replay.
+//
+// Full-stream replay makes every design config consume every residual chunk,
+// so sweep cost scales with footprint no matter how the grid is
+// parallelized. This layer converts the scale knob into a sampling knob:
+// cluster the trace's intervals (= residual chunks, via the per-chunk
+// signatures of trace/interval_profile.hpp) with deterministic seeded
+// k-means++, replay one medoid representative per cluster behind a
+// functional-warming prefix of W preceding chunks (fed warm-only: tag and
+// stride state become realistic, but the measured counters exclude them),
+// and scale each representative's per-interval stat deltas by its cluster's
+// access-weighted share to estimate the full-stream profile.
+//
+// Determinism: clustering is single-threaded with a fixed iteration order,
+// lowest-index tie-breaks, and SplitMix64-derived draws, so the plan — and
+// therefore every estimated result — is bit-stable across runs, thread
+// counts, and replay modes. Degenerate exactness: when k >= interval count
+// the plan is flagged `exact` and callers replay the full stream through
+// the ordinary path, bit-identical to HMS_SAMPLING=full.
+//
+// Error bars: each representative also yields a whole-trace extrapolation
+// ("the full stream behaved like this interval"); evaluating the model per
+// representative and taking the share-weighted standard deviation across
+// them gives the per-metric spread attached to sampled results.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "hms/cache/hierarchy.hpp"
+#include "hms/cache/profile.hpp"
+
+namespace hms::trace {
+class ChunkedTraceBuffer;
+class IntervalProfile;
+}  // namespace hms::trace
+
+namespace hms::sim {
+
+/// How a sweep replays each cell's residual stream.
+enum class SamplingMode : std::uint8_t {
+  Full,      ///< every chunk, exact counters (the pre-sampling behavior)
+  SimPoint,  ///< representative chunks, weighted estimates + error bars
+};
+
+/// Reads HMS_SAMPLING: unset, empty or "full" = Full, "simpoint" =
+/// SimPoint, anything else throws ConfigError naming the variable.
+[[nodiscard]] SamplingMode default_sampling_mode();
+
+/// Reads HMS_SAMPLE_K (strict via env_u64): target cluster count. Unset or
+/// empty = 16. 0 is rejected explicitly — zero representatives would leave
+/// nothing to replay.
+[[nodiscard]] std::uint32_t default_sample_k();
+
+/// Reads HMS_WARMUP_CHUNKS (strict via env_u64): functional-warming prefix
+/// length W per representative. Unset or empty = 2; 0 disables warming.
+[[nodiscard]] std::uint32_t default_warmup_chunks();
+
+/// One chunk a sampled replay feeds, in ascending chunk order.
+struct SampleStep {
+  std::size_t chunk = 0;
+  /// False = warm-only (tag state, no measurement); true = measured, with
+  /// the before/after counter delta scaled by `weight`.
+  bool measure = false;
+  /// Cluster accesses / representative accesses (measured steps only).
+  double weight = 1.0;
+};
+
+/// One cluster representative (medoid interval).
+struct SampleRep {
+  std::size_t chunk = 0;    ///< medoid chunk index
+  std::size_t members = 0;  ///< intervals in the cluster
+  std::uint64_t cluster_accesses = 0;
+  std::uint64_t rep_accesses = 0;
+  /// cluster_accesses / total trace accesses — the weight this
+  /// representative carries in estimates and error bars.
+  double share = 0.0;
+};
+
+/// The replay schedule for one workload's residual stream.
+struct SamplePlan {
+  /// True when the plan is the whole stream (Full mode, k >= intervals, or
+  /// a trivially small trace): callers replay plainly and the result is
+  /// bit-identical to an unsampled run. `steps`/`reps` are empty.
+  bool exact = true;
+  std::size_t total_chunks = 0;
+  std::uint64_t total_accesses = 0;
+  std::vector<SampleStep> steps;  ///< ascending by chunk, unique
+  std::vector<SampleRep> reps;    ///< ascending by chunk; one per measured step
+};
+
+/// Clusters `residual`'s interval signatures and builds the replay plan.
+/// `profile` must align with the buffer (signature i = chunk i); when it
+/// does not (e.g. a synthetic capture assembled without an attached
+/// profile), signatures are rebuilt offline via IntervalProfile::from_trace
+/// — bit-identical to live observation. Deterministic in (residual, k,
+/// warmup_chunks, seed).
+[[nodiscard]] SamplePlan build_sample_plan(
+    const trace::ChunkedTraceBuffer& residual,
+    const trace::IntervalProfile& profile, std::uint32_t k,
+    std::uint32_t warmup_chunks, std::uint64_t seed);
+
+/// Per-metric spread (weighted standard deviation across representatives)
+/// of a sampled estimate, in normalized-report units. All zeros for exact
+/// results.
+struct MetricSpread {
+  double runtime = 0;
+  double dynamic = 0;
+  double leakage = 0;
+  double total_energy = 0;
+  double edp = 0;
+
+  [[nodiscard]] bool operator==(const MetricSpread&) const = default;
+};
+
+/// One representative's whole-trace extrapolation: the combined front+back
+/// profile as if the entire residual stream behaved like this interval,
+/// with the share it carries. The experiment layer model-evaluates these to
+/// derive MetricSpread.
+struct RepEstimate {
+  double share = 0.0;
+  cache::HierarchyProfile profile;
+};
+
+/// Accumulates weighted per-interval counter deltas for one back hierarchy
+/// replaying a non-exact plan. Usage, per step in plan order:
+///
+///   sampler.begin_step(step, back);   // snapshot (measured steps only)
+///   back.access_batch(decoded chunk);
+///   sampler.end_step(step, back);     // delta, weight, accumulate
+///
+/// then estimated_back() / rep_estimates() once the plan is exhausted.
+/// Warm-only steps cost nothing here; their traffic lands in the back's raw
+/// counters but is excluded from every measured delta.
+class PlanSampler {
+ public:
+  explicit PlanSampler(const SamplePlan& plan);
+
+  void begin_step(const SampleStep& step, const cache::MemoryHierarchy& back);
+  void end_step(const SampleStep& step, const cache::MemoryHierarchy& back);
+
+  /// The estimated full-stream back profile: the back's level structure
+  /// with every counter replaced by the rounded weighted-delta sum.
+  [[nodiscard]] cache::HierarchyProfile estimated_back(
+      const cache::MemoryHierarchy& back) const;
+
+  /// Whole-trace extrapolation per representative, each combined with
+  /// `front` (for error bars; see file comment).
+  [[nodiscard]] std::vector<RepEstimate> rep_estimates(
+      const cache::HierarchyProfile& front,
+      const cache::MemoryHierarchy& back) const;
+
+ private:
+  const SamplePlan* plan_;
+  std::vector<std::uint64_t> before_;        ///< snapshot at begin_step
+  std::vector<double> weighted_;             ///< sum of weight * delta
+  std::vector<std::vector<std::uint64_t>> rep_deltas_;  ///< per rep, in order
+  std::size_t next_rep_ = 0;
+};
+
+}  // namespace hms::sim

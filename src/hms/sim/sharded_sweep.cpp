@@ -30,6 +30,7 @@ struct Unit {
 struct Cell {
   std::size_t config = 0;
   std::unique_ptr<cache::MemoryHierarchy> back;
+  std::unique_ptr<PlanSampler> sampler;  ///< non-null when the unit samples
   ShardedCellOutcome out;
 };
 
@@ -40,6 +41,10 @@ std::vector<ShardedCellOutcome> run_unit(const ShardedSweepSpec& spec,
                                          const Unit& unit,
                                          trace::ChunkBatchRing& ring) {
   const FrontCapture& capture = *spec.captures[unit.workload];
+  const SamplePlan* const plan = unit.workload < spec.plans.size()
+                                     ? spec.plans[unit.workload]
+                                     : nullptr;
+  const bool sampled = plan != nullptr && !plan->exact;
   const std::size_t n = unit.config_end - unit.config_begin;
   std::vector<Cell> cells(n);
 
@@ -97,11 +102,22 @@ std::vector<ShardedCellOutcome> run_unit(const ShardedSweepSpec& spec,
     }
   }
 
+  // A sampled unit walks the plan's steps instead of the full chunk range;
+  // every cell in the unit shares the schedule, so the ring still serves
+  // each needed chunk decode-once across co-scheduled shards.
+  if (sampled) {
+    for (const std::size_t i : live) {
+      cells[i].sampler = std::make_unique<PlanSampler>(*plan);
+    }
+  }
+
   // Consume the shared decode ring at this shard's own pace. A back that
   // throws mid-stream drops out alone; a decode failure fails every back
   // still in flight (the shared stream is gone for this pass).
-  const std::size_t chunks = capture.residual.chunk_count();
-  for (std::size_t c = 0; c < chunks && !live.empty() && !interrupted; ++c) {
+  const std::size_t steps =
+      sampled ? plan->steps.size() : capture.residual.chunk_count();
+  for (std::size_t s = 0; s < steps && !live.empty() && !interrupted; ++s) {
+    const SampleStep* const step = sampled ? &plan->steps[s] : nullptr;
     if (token != nullptr && token->cancelled()) {
       // Chunk-boundary cancellation has no single culprit cell: the
       // remaining column fails together (DESIGN.md §6).
@@ -115,7 +131,7 @@ std::vector<ShardedCellOutcome> run_unit(const ShardedSweepSpec& spec,
     }
     trace::DecodedBatchView batch;
     try {
-      batch = ring.get(c);
+      batch = ring.get(step != nullptr ? step->chunk : s);
     } catch (const std::exception& e) {
       for (const std::size_t i : live) cells[i].out.error = e.what();
       live.clear();
@@ -124,7 +140,9 @@ std::vector<ShardedCellOutcome> run_unit(const ShardedSweepSpec& spec,
     std::erase_if(live, [&](std::size_t i) {
       if (interrupted) return false;  // mass-failed below
       try {
+        if (step != nullptr) cells[i].sampler->begin_step(*step, *cells[i].back);
         cells[i].back->access_batch(*batch);
+        if (step != nullptr) cells[i].sampler->end_step(*step, *cells[i].back);
         return false;
       } catch (const CancelledError& e) {
         cells[i].out.error = e.what();
@@ -147,8 +165,15 @@ std::vector<ShardedCellOutcome> run_unit(const ShardedSweepSpec& spec,
   }
   for (const std::size_t i : live) {
     cells[i].out.ok = true;
-    cells[i].out.profile = cache::HierarchyProfile::combine(
-        capture.front_profile, cells[i].back->profile());
+    if (sampled) {
+      cells[i].out.profile = cache::HierarchyProfile::combine(
+          capture.front_profile, cells[i].sampler->estimated_back(*cells[i].back));
+      cells[i].out.reps = cells[i].sampler->rep_estimates(capture.front_profile,
+                                                          *cells[i].back);
+    } else {
+      cells[i].out.profile = cache::HierarchyProfile::combine(
+          capture.front_profile, cells[i].back->profile());
+    }
   }
 
   // Seal the shard-local tallies before any retry: retry attempts take
@@ -178,15 +203,30 @@ std::vector<ShardedCellOutcome> run_unit(const ShardedSweepSpec& spec,
       try {
         auto back = spec.make_back(cell.config, unit.workload);
         HMS_FAULT_POINT("sim/replay_back");
-        for (std::size_t c = 0; c < chunks; ++c) {
+        // The retry walks the same schedule as the main pass (full chunks
+        // or the plan's steps), so a recovered cell is bit-identical.
+        std::unique_ptr<PlanSampler> retry_sampler;
+        if (sampled) retry_sampler = std::make_unique<PlanSampler>(*plan);
+        for (std::size_t s = 0; s < steps; ++s) {
           if (token != nullptr) {
             token->throw_if_cancelled("sim/sharded_retry");
           }
-          back->access_batch(*ring.get(c));
+          const SampleStep* const step = sampled ? &plan->steps[s] : nullptr;
+          const auto batch = ring.get(step != nullptr ? step->chunk : s);
+          if (step != nullptr) retry_sampler->begin_step(*step, *back);
+          back->access_batch(*batch);
+          if (step != nullptr) retry_sampler->end_step(*step, *back);
         }
         cell.out.ok = true;
-        cell.out.profile = cache::HierarchyProfile::combine(
-            capture.front_profile, back->profile());
+        if (sampled) {
+          cell.out.profile = cache::HierarchyProfile::combine(
+              capture.front_profile, retry_sampler->estimated_back(*back));
+          cell.out.reps =
+              retry_sampler->rep_estimates(capture.front_profile, *back);
+        } else {
+          cell.out.profile = cache::HierarchyProfile::combine(
+              capture.front_profile, back->profile());
+        }
         cell.out.error.clear();
         break;
       } catch (const CancelledError& e) {
@@ -217,6 +257,8 @@ void run_sharded_sweep(const ShardedSweepSpec& spec) {
   for (const auto* capture : spec.captures) {
     check(capture != nullptr, "run_sharded_sweep: null capture");
   }
+  check(spec.plans.empty() || spec.plans.size() == width,
+        "run_sharded_sweep: plans must be empty or parallel to captures");
 
   const unsigned threads = resolve_workers(spec.threads);
   const std::size_t shards =

@@ -45,11 +45,21 @@ struct ShardedCellOutcome {
   bool constructed = false;
   cache::HierarchyProfile profile;  ///< combined front+back when ok
   std::string error;                ///< raw what() when !ok
+  /// Per-representative extrapolations when the cell's replay was sampled
+  /// (empty for full replays); feeds the experiment layer's error bars.
+  std::vector<RepEstimate> reps;
 };
 
 struct ShardedSweepSpec {
   /// One front capture per workload column; index = workload slot.
   std::vector<const FrontCapture*> captures;
+  /// Optional sample plan per workload column (parallel to `captures`;
+  /// empty = every workload replays the full stream). A null or exact
+  /// entry replays that workload fully; a non-exact plan makes every cell
+  /// in the column feed only the plan's steps through the shared ring
+  /// (ChunkBatchRing::get is random-access, so sampled schedules share
+  /// decodes exactly like sequential ones).
+  std::vector<const SamplePlan*> plans;
   /// Config rows in the grid.
   std::size_t configs = 0;
   /// Builds the back for cell (config, workload). Called concurrently from

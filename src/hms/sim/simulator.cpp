@@ -34,34 +34,57 @@ FrontCapture capture_front(const std::string& workload_name,
         static_cast<std::size_t>(2 * (capture.footprint_bytes / line + 1)));
   }
 
+  // Attach the interval profile only for the duration of the run: the
+  // buffer stores a raw pointer, and the capture (profile included) is
+  // moved into caches afterwards — a still-attached pointer would dangle.
+  capture.residual.attach_interval_profile(&capture.interval_profile);
   auto front = factory.front(capture.residual);
   workload->run(*front);
+  capture.residual.attach_interval_profile(nullptr);
   capture.front_profile = front->profile();
   capture.residual.shrink_to_fit();
   return capture;
 }
 
 cache::HierarchyProfile replay_back(const FrontCapture& capture,
-                                    cache::MemoryHierarchy& back) {
+                                    cache::MemoryHierarchy& back,
+                                    const SamplePlan* plan,
+                                    std::vector<RepEstimate>* reps) {
   HMS_FAULT_POINT("sim/replay_back");
   // Chunk granularity is the replay's cancellation point: the ambient
   // token (armed by the engine running this cell) turns a hung cell into
   // a CancelledError instead of an unbounded stall.
   CancellationToken* const token = CancellationToken::current();
   std::vector<trace::MemoryAccess> scratch;
+  if (plan != nullptr && !plan->exact) {
+    PlanSampler sampler(*plan);
+    for (const SampleStep& step : plan->steps) {
+      if (token != nullptr) token->throw_if_cancelled("sim/replay_back");
+      capture.residual.decode_chunk(step.chunk, scratch);
+      sampler.begin_step(step, back);
+      back.access_batch(scratch);
+      sampler.end_step(step, back);
+    }
+    if (reps != nullptr) {
+      *reps = sampler.rep_estimates(capture.front_profile, back);
+    }
+    return cache::HierarchyProfile::combine(capture.front_profile,
+                                            sampler.estimated_back(back));
+  }
   const std::size_t chunks = capture.residual.chunk_count();
   for (std::size_t i = 0; i < chunks; ++i) {
     if (token != nullptr) token->throw_if_cancelled("sim/replay_back");
     capture.residual.decode_chunk(i, scratch);
     back.access_batch(scratch);
   }
+  if (reps != nullptr) reps->clear();
   return cache::HierarchyProfile::combine(capture.front_profile,
                                           back.profile());
 }
 
 std::vector<BackReplayOutcome> replay_back_many(
     const FrontCapture& capture,
-    std::span<cache::MemoryHierarchy* const> backs) {
+    std::span<cache::MemoryHierarchy* const> backs, const SamplePlan* plan) {
   std::vector<BackReplayOutcome> outcomes(backs.size());
   // Hit the replay fault site once per back, in order, before touching the
   // stream: a config-major sweep hits "sim/replay_back" once per cell, and
@@ -91,9 +114,22 @@ std::vector<BackReplayOutcome> replay_back_many(
     }
   }
 
+  // A non-exact plan turns the chunk loop into a step loop: same decode
+  // and feed structure, but only the plan's chunks are visited, and each
+  // live back carries a PlanSampler accumulating its measured deltas.
+  const bool sampled = plan != nullptr && !plan->exact;
+  std::vector<std::unique_ptr<PlanSampler>> samplers(backs.size());
+  if (sampled) {
+    for (const std::size_t b : live) {
+      samplers[b] = std::make_unique<PlanSampler>(*plan);
+    }
+  }
+
   std::vector<trace::MemoryAccess> scratch;
-  const std::size_t chunks = capture.residual.chunk_count();
-  for (std::size_t i = 0; i < chunks && !live.empty(); ++i) {
+  const std::size_t steps =
+      sampled ? plan->steps.size() : capture.residual.chunk_count();
+  for (std::size_t s = 0; s < steps && !live.empty(); ++s) {
+    const SampleStep* const step = sampled ? &plan->steps[s] : nullptr;
     if (token != nullptr && token->cancelled()) {
       // A chunk-boundary cancellation has no single culprit cell: the
       // whole remaining column fails (DESIGN.md §6 watchdog semantics).
@@ -106,7 +142,8 @@ std::vector<BackReplayOutcome> replay_back_many(
       break;
     }
     try {
-      capture.residual.decode_chunk(i, scratch);
+      capture.residual.decode_chunk(step != nullptr ? step->chunk : s,
+                                    scratch);
     } catch (const std::exception& e) {
       // The shared stream is gone; every back still in flight fails.
       for (const std::size_t b : live) outcomes[b].error = e.what();
@@ -120,7 +157,9 @@ std::vector<BackReplayOutcome> replay_back_many(
     std::erase_if(live, [&](std::size_t b) {
       if (interrupted) return false;  // mass-failed below
       try {
+        if (step != nullptr) samplers[b]->begin_step(*step, *backs[b]);
         backs[b]->access_batch(scratch);
+        if (step != nullptr) samplers[b]->end_step(*step, *backs[b]);
         return false;
       } catch (const CancelledError& e) {
         outcomes[b].error = e.what();
@@ -144,8 +183,15 @@ std::vector<BackReplayOutcome> replay_back_many(
 
   for (const std::size_t b : live) {
     outcomes[b].ok = true;
-    outcomes[b].profile = cache::HierarchyProfile::combine(
-        capture.front_profile, backs[b]->profile());
+    if (sampled) {
+      outcomes[b].profile = cache::HierarchyProfile::combine(
+          capture.front_profile, samplers[b]->estimated_back(*backs[b]));
+      outcomes[b].reps =
+          samplers[b]->rep_estimates(capture.front_profile, *backs[b]);
+    } else {
+      outcomes[b].profile = cache::HierarchyProfile::combine(
+          capture.front_profile, backs[b]->profile());
+    }
   }
   return outcomes;
 }

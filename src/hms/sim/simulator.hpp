@@ -9,7 +9,9 @@
 
 #include "hms/cache/hierarchy.hpp"
 #include "hms/designs/design.hpp"
+#include "hms/sim/sampling.hpp"
 #include "hms/trace/chunked_trace.hpp"
+#include "hms/trace/interval_profile.hpp"
 #include "hms/workloads/registry.hpp"
 #include "hms/workloads/workload.hpp"
 
@@ -31,6 +33,11 @@ struct FrontCapture {
   /// Post-L3 loads + dirty write-backs, stored compressed (~3-6x smaller
   /// than the former flat buffer) in independently decodable chunks.
   trace::ChunkedTraceBuffer residual;
+  /// Per-chunk behavior signatures, accumulated inline during capture
+  /// (signature i describes residual chunk i) — the sampling layer's
+  /// clustering input. Detached from the buffer before the capture is
+  /// returned, so moving a FrontCapture is safe.
+  trace::IntervalProfile interval_profile;
 };
 
 /// Instantiates the named workload, runs it through the factory's L1-L3
@@ -40,9 +47,15 @@ struct FrontCapture {
     const designs::DesignFactory& factory);
 
 /// Replays a capture's residual stream into a design's back hierarchy and
-/// returns the combined (front + back) profile.
+/// returns the combined (front + back) profile. With a non-exact `plan`,
+/// only the plan's steps are fed (warming prefixes warm-only, measured
+/// chunks snapshot-delta'd) and the returned profile is the weighted
+/// estimate; `reps` (when non-null) receives the per-representative
+/// whole-trace extrapolations for error bars. A null or exact plan replays
+/// the full stream — bit-identical to the pre-sampling behavior.
 [[nodiscard]] cache::HierarchyProfile replay_back(
-    const FrontCapture& capture, cache::MemoryHierarchy& back);
+    const FrontCapture& capture, cache::MemoryHierarchy& back,
+    const SamplePlan* plan = nullptr, std::vector<RepEstimate>* reps = nullptr);
 
 /// Per-back result of replay_back_many. A failed back carries the raw error
 /// message (no context prefix; callers add "config X / workload Y").
@@ -50,6 +63,9 @@ struct BackReplayOutcome {
   bool ok = false;
   cache::HierarchyProfile profile;  ///< combined front+back when ok
   std::string error;                ///< raw what() when !ok
+  /// Per-representative extrapolations when the replay was sampled (empty
+  /// for full replays); feeds the error-bar math in the experiment layer.
+  std::vector<RepEstimate> reps;
 };
 
 /// Chunk-major multi-config replay: decodes each residual chunk once into a
@@ -62,6 +78,7 @@ struct BackReplayOutcome {
 /// order, before any decoding, plus "trace/decode_chunk" per chunk.
 [[nodiscard]] std::vector<BackReplayOutcome> replay_back_many(
     const FrontCapture& capture,
-    std::span<cache::MemoryHierarchy* const> backs);
+    std::span<cache::MemoryHierarchy* const> backs,
+    const SamplePlan* plan = nullptr);
 
 }  // namespace hms::sim

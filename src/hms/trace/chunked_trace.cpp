@@ -5,6 +5,7 @@
 #include "hms/common/crc32c.hpp"
 #include "hms/common/error.hpp"
 #include "hms/common/fault.hpp"
+#include "hms/trace/interval_profile.hpp"
 
 namespace hms::trace {
 
@@ -88,6 +89,7 @@ void ChunkedTraceBuffer::encode_one(const MemoryAccess& a) {
   ++size_;
   if (a.type == AccessType::Load) ++loads_;
   ++open_count_;
+  if (interval_profile_ != nullptr) interval_profile_->observe(a);
   if (bytes_.size() - open_begin_ >= target_chunk_bytes_ ||
       open_count_ >= max_chunk_accesses_) {
     seal_open_chunk();
@@ -104,6 +106,7 @@ void ChunkedTraceBuffer::seal_open_chunk() {
   prev_addr_ = 0;
   prev_size_ = kResetSize;
   prev_core_ = 0;
+  if (interval_profile_ != nullptr) interval_profile_->seal_interval();
 }
 
 void ChunkedTraceBuffer::reserve(std::size_t accesses) {
@@ -127,6 +130,7 @@ void ChunkedTraceBuffer::clear() noexcept {
   prev_addr_ = 0;
   prev_size_ = kResetSize;
   prev_core_ = 0;
+  if (interval_profile_ != nullptr) interval_profile_->clear();
 }
 
 std::size_t ChunkedTraceBuffer::decode_chunk(

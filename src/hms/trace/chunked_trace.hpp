@@ -34,6 +34,8 @@
 
 namespace hms::trace {
 
+class IntervalProfile;
+
 /// See file comment. Records a stream in compressed chunks; replayable any
 /// number of times, in whole (replay) or chunk by chunk (decode_chunk).
 class ChunkedTraceBuffer final : public BatchAccessSink {
@@ -65,6 +67,11 @@ class ChunkedTraceBuffer final : public BatchAccessSink {
 
   [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
   [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  /// Total recorded accesses — O(1), a running total maintained at record
+  /// time (the sampler's cluster weighting and the bench harness read it
+  /// once per chunk-selection pass; summing SealedChunk::count on demand
+  /// would make every pass O(chunks)).
+  [[nodiscard]] std::size_t access_count() const noexcept { return size_; }
   [[nodiscard]] Count loads() const noexcept { return loads_; }
   [[nodiscard]] Count stores() const noexcept {
     return static_cast<Count>(size_) - loads_;
@@ -73,6 +80,20 @@ class ChunkedTraceBuffer final : public BatchAccessSink {
   /// Chunks currently decodable, including the unsealed tail.
   [[nodiscard]] std::size_t chunk_count() const noexcept {
     return sealed_.size() + (open_count_ != 0 ? 1 : 0);
+  }
+  /// Accesses recorded in chunk `index` — O(1) (the per-chunk count is
+  /// part of the chunk directory; no decode). Returns 0 past chunk_count.
+  [[nodiscard]] std::size_t chunk_access_count(std::size_t index) const noexcept {
+    if (index < sealed_.size()) return sealed_[index].count;
+    return index == sealed_.size() ? open_count_ : 0;
+  }
+
+  /// Attaches (or detaches, with nullptr) an IntervalProfile that observes
+  /// every subsequently recorded access and seals an interval at every
+  /// chunk seal, so signature i describes chunk i. The profile is not
+  /// owned; the caller must detach before the profile's storage moves.
+  void attach_interval_profile(IntervalProfile* profile) noexcept {
+    interval_profile_ = profile;
   }
   /// Encoded payload bytes.
   [[nodiscard]] std::size_t encoded_bytes() const noexcept {
@@ -129,6 +150,7 @@ class ChunkedTraceBuffer final : public BatchAccessSink {
 
   std::size_t size_ = 0;
   Count loads_ = 0;
+  IntervalProfile* interval_profile_ = nullptr;  ///< not owned; may be null
 
   // Encoder state for the open chunk (reset at every seal).
   Address prev_addr_ = 0;

@@ -1,0 +1,86 @@
+#include "hms/trace/interval_profile.hpp"
+
+#include "hms/trace/chunked_trace.hpp"
+
+namespace hms::trace {
+
+namespace {
+
+constexpr std::uint64_t kLineShift = 6;  // 64 B lines, matching kResetSize
+
+std::size_t stride_bucket(std::uint64_t line, std::uint64_t prev) {
+  const std::uint64_t d = line >= prev ? line - prev : prev - line;
+  if (d == 0) return 0;
+  if (d == 1) return 1;
+  if (d < 16) return 2;
+  if (d < 256) return 3;
+  if (d < 4096) return 4;
+  return 5;
+}
+
+}  // namespace
+
+std::array<double, IntervalSignature::kFeatures> IntervalSignature::features()
+    const {
+  std::array<double, kFeatures> f{};
+  if (accesses == 0) return f;
+  const double n = static_cast<double>(accesses);
+  f[0] = static_cast<double>(accesses - loads) / n;  // store fraction
+  f[1] = static_cast<double>(new_lines) / n;         // new-footprint rate
+  for (std::size_t b = 0; b < kStrideBuckets; ++b) {
+    f[2 + b] = static_cast<double>(strides[b]) / n;
+  }
+  return f;
+}
+
+IntervalProfile::IntervalProfile() : table_(kReuseTableSize, kEmptyTag) {}
+
+void IntervalProfile::observe(const MemoryAccess& a) {
+  const std::uint64_t line = a.address >> kLineShift;
+  ++open_.accesses;
+  if (a.type == AccessType::Load) ++open_.loads;
+  // The first access of an interval strides from line 0 — arbitrary but
+  // fixed, so the signature stays a pure function of the chunk contents.
+  ++open_.strides[stride_bucket(line, prev_line_)];
+  prev_line_ = line;
+  std::uint64_t& slot = table_[line % kReuseTableSize];
+  if (slot != line) {
+    ++open_.new_lines;
+    slot = line;
+  }
+}
+
+void IntervalProfile::seal_interval() {
+  if (open_.accesses == 0) return;
+  sealed_.push_back(open_);
+  open_ = IntervalSignature{};
+  prev_line_ = 0;
+  table_.assign(kReuseTableSize, kEmptyTag);
+}
+
+void IntervalProfile::clear() noexcept {
+  sealed_.clear();
+  open_ = IntervalSignature{};
+  prev_line_ = 0;
+  table_.assign(kReuseTableSize, kEmptyTag);
+}
+
+std::vector<IntervalSignature> IntervalProfile::signatures() const {
+  std::vector<IntervalSignature> out = sealed_;
+  if (open_.accesses != 0) out.push_back(open_);
+  return out;
+}
+
+IntervalProfile IntervalProfile::from_trace(const ChunkedTraceBuffer& trace) {
+  IntervalProfile profile;
+  std::vector<MemoryAccess> scratch;
+  const std::size_t chunks = trace.chunk_count();
+  for (std::size_t i = 0; i < chunks; ++i) {
+    trace.decode_chunk(i, scratch);
+    for (const auto& a : scratch) profile.observe(a);
+    profile.seal_interval();
+  }
+  return profile;
+}
+
+}  // namespace hms::trace

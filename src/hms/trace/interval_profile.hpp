@@ -1,0 +1,99 @@
+// Per-chunk behavior signatures for SimPoint-style sampled replay.
+//
+// The sampling layer (sim/sampling.hpp) clusters trace intervals by
+// behavior and replays one representative per cluster. The interval is the
+// residual chunk: ChunkedTraceBuffer already seals the stream into
+// independently decodable slices, so aligning signatures to chunk
+// boundaries means a selected interval can be decoded (and its
+// functional-warming prefix fed) without touching the rest of the stream.
+//
+// A signature is deliberately cheap — O(1) state per access, accumulated
+// inline during capture so no second pass over the stream is needed:
+//
+//   - load/store mix,
+//   - footprint-lines delta: misses in a small fixed direct-mapped line-tag
+//     table, a proxy for "how many lines does this interval newly touch"
+//     (the table resets per interval, so the count is an interval-local
+//     reuse/footprint sketch, independent of history),
+//   - a log2-bucketed line-stride histogram (same line, next line, then
+//     widening magnitude bands), the stride/locality sketch.
+//
+// Signatures are a pure function of the chunk's access sequence: observing
+// live during capture and rebuilding offline from the encoded chunks
+// (from_trace) produce identical vectors, which keeps clustering identical
+// whether or not the capture path attached a profile.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "hms/trace/access.hpp"
+
+namespace hms::trace {
+
+class ChunkedTraceBuffer;
+
+/// Behavior summary of one interval (= one residual chunk).
+struct IntervalSignature {
+  /// Stride histogram buckets over |line delta| (in 64 B lines):
+  /// 0, 1, <16, <256, <4096, >=4096.
+  static constexpr std::size_t kStrideBuckets = 6;
+
+  std::uint64_t accesses = 0;
+  std::uint64_t loads = 0;
+  /// Line-tag-table misses: interval-local new-footprint proxy.
+  std::uint64_t new_lines = 0;
+  std::array<std::uint64_t, kStrideBuckets> strides{};
+
+  /// Fixed-dimension normalized feature vector for clustering: store
+  /// fraction, new-line fraction, then the stride bucket fractions.
+  static constexpr std::size_t kFeatures = 2 + kStrideBuckets;
+  [[nodiscard]] std::array<double, kFeatures> features() const;
+
+  [[nodiscard]] bool operator==(const IntervalSignature&) const = default;
+};
+
+/// See file comment. Attach to a ChunkedTraceBuffer during capture
+/// (ChunkedTraceBuffer::attach_interval_profile) or rebuild offline with
+/// from_trace; either way signature i describes chunk i.
+class IntervalProfile {
+ public:
+  /// Line-tag reuse table entries (direct-mapped, 64 B lines). Small by
+  /// design: ~4 KiB of tags, reset per interval.
+  static constexpr std::size_t kReuseTableSize = 512;
+
+  IntervalProfile();
+
+  /// Accumulates one access into the open interval.
+  void observe(const MemoryAccess& a);
+  /// Seals the open interval (no-op when it is empty) and resets the
+  /// interval-local sketch state. Called by the buffer at chunk seals.
+  void seal_interval();
+  void clear() noexcept;
+
+  /// Sealed signatures plus the open tail (mirrors chunk_count semantics:
+  /// signature i describes chunk i, including the unsealed tail).
+  [[nodiscard]] std::vector<IntervalSignature> signatures() const;
+  [[nodiscard]] std::size_t interval_count() const noexcept {
+    return sealed_.size() + (open_.accesses != 0 ? 1 : 0);
+  }
+
+  /// Rebuilds the profile offline by decoding `trace` chunk by chunk —
+  /// bit-identical to a live-attached profile of the same stream. For
+  /// captures assembled without an attached profile (synthetic benches,
+  /// deserialized traces).
+  [[nodiscard]] static IntervalProfile from_trace(
+      const ChunkedTraceBuffer& trace);
+
+ private:
+  std::vector<IntervalSignature> sealed_;
+  IntervalSignature open_{};
+  /// Interval-local direct-mapped line tags; kEmptyTag marks unused slots.
+  static constexpr std::uint64_t kEmptyTag = ~0ull;
+  std::vector<std::uint64_t> table_;
+  std::uint64_t prev_line_ = 0;
+};
+
+}  // namespace hms::trace

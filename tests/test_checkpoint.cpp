@@ -2,10 +2,13 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <utility>
 
+#include "hms/common/crc32c.hpp"
 #include "hms/common/error.hpp"
 #include "hms/sim/checkpoint.hpp"
 
@@ -178,37 +181,83 @@ TEST(Checkpoint, CreatesMissingParentDirectories) {
   std::filesystem::remove_all(root);
 }
 
+// -- hand-built legacy bytes (v1/v2 payloads predate the sampling fields) ---
+
+void put_varint(std::string& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out.push_back(static_cast<char>(v));
+}
+
+void put_string(std::string& out, const std::string& s) {
+  put_varint(out, s.size());
+  out.append(s);
+}
+
+void put_u32le(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void put_f64(std::string& out, double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((bits >> (8 * i)) & 0xff));
+  }
+}
+
+/// Pre-v3 payload for `sample_result(name, runtime)`: no sampled flags, no
+/// spreads — the shape v1/v2 writers produced.
+std::string legacy_payload(const std::string& name, double runtime) {
+  const SuiteResult r = sample_result(name, runtime);
+  std::string out;
+  put_string(out, r.config_name);
+  out.push_back('\0');  // partial
+  put_f64(out, r.runtime);
+  put_f64(out, r.dynamic);
+  put_f64(out, r.leakage);
+  put_f64(out, r.total_energy);
+  put_f64(out, r.edp);
+  put_varint(out, 0);  // failures
+  put_varint(out, r.per_workload.size());
+  for (const auto& wr : r.per_workload) {
+    put_string(out, wr.normalized.workload);
+    put_string(out, wr.normalized.design);
+    put_f64(out, wr.normalized.runtime);
+    put_f64(out, wr.normalized.dynamic);
+    put_f64(out, wr.normalized.leakage);
+    put_f64(out, wr.normalized.total_energy);
+    put_f64(out, wr.normalized.edp);
+  }
+  return out;
+}
+
+std::string legacy_header(std::uint32_t version, std::uint64_t hash) {
+  std::string out = "HMSK";
+  put_u32le(out, version);
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((hash >> (8 * i)) & 0xff));
+  }
+  return out;
+}
+
 TEST(Checkpoint, LegacyV1FileLoadsAndUpgrades) {
-  // Hand-build a version-1 file (records without per-record CRC) and check
-  // it loads, then is rewritten as v2 (a corrupted byte in the re-written
-  // file is caught by the CRC — v1 had no such detection).
+  // Hand-build a version-1 file (records without per-record CRC or sampling
+  // fields) and check it loads, then is rewritten as v3 (gaining CRCs and
+  // zeroed sampling fields).
   TempFile file("v1upgrade");
   {
-    SweepCheckpoint ckpt(file.path(), 21);
-    ckpt.append(sample_result("N1", 1.5));
-    ckpt.append(sample_result("N6", 2.5));
-  }
-  // Down-convert the v2 file to v1 bytes: patch the version field and strip
-  // each record's 4-byte CRC (records start after the 16-byte header).
-  std::string data;
-  {
-    std::ifstream in(file.path(), std::ios::binary);
-    data.assign(std::istreambuf_iterator<char>(in),
-                std::istreambuf_iterator<char>());
-  }
-  data[4] = '\1';  // version u32 LE: 2 -> 1
-  std::string v1(data.substr(0, 16));
-  std::size_t pos = 16;
-  while (pos < data.size()) {
-    // varint length (these payloads are < 128 bytes each -> 1 byte)
-    const auto len = static_cast<std::size_t>(
-        static_cast<unsigned char>(data[pos]));
-    ASSERT_LT(len, 128u);
-    v1.push_back(data[pos]);
-    v1.append(data.substr(pos + 1 + 4, len));  // skip the CRC
-    pos += 1 + 4 + len;
-  }
-  {
+    std::string v1 = legacy_header(1, 21);
+    for (const auto& [name, runtime] :
+         {std::pair<const char*, double>{"N1", 1.5}, {"N6", 2.5}}) {
+      const std::string payload = legacy_payload(name, runtime);
+      put_varint(v1, payload.size());
+      v1 += payload;
+    }
     std::ofstream out(file.path(), std::ios::binary | std::ios::trunc);
     out << v1;
   }
@@ -216,11 +265,67 @@ TEST(Checkpoint, LegacyV1FileLoadsAndUpgrades) {
   EXPECT_EQ(reloaded.size(), 2u);
   ASSERT_NE(reloaded.find("N1"), nullptr);
   EXPECT_DOUBLE_EQ(reloaded.find("N1")->runtime, 1.5);
-  // The file on disk is now v2 again.
+  EXPECT_FALSE(reloaded.find("N1")->sampled);
+  EXPECT_EQ(reloaded.find("N1")->spread, MetricSpread{});
+  // The file on disk is now v3.
   std::ifstream in(file.path(), std::ios::binary);
   const std::string upgraded{std::istreambuf_iterator<char>(in),
                              std::istreambuf_iterator<char>()};
-  EXPECT_EQ(upgraded[4], '\2');
+  EXPECT_EQ(upgraded[4], '\3');
+  SweepCheckpoint again(file.path(), 21);
+  EXPECT_EQ(again.size(), 2u);
+}
+
+TEST(Checkpoint, V2FileLoadsAsExactAndUpgrades) {
+  // Version-2 records carry CRCs but predate the sampling fields; they load
+  // with sampled = false and zero spread (those results were exact) and the
+  // file is upgraded in place to v3.
+  TempFile file("v2upgrade");
+  {
+    std::string v2 = legacy_header(2, 33);
+    const std::string payload = legacy_payload("EH1", 0.8);
+    put_varint(v2, payload.size());
+    put_u32le(v2, crc32c(payload.data(), payload.size()));
+    v2 += payload;
+    std::ofstream out(file.path(), std::ios::binary | std::ios::trunc);
+    out << v2;
+  }
+  SweepCheckpoint reloaded(file.path(), 33);
+  EXPECT_EQ(reloaded.size(), 1u);
+  const SuiteResult* r = reloaded.find("EH1");
+  ASSERT_NE(r, nullptr);
+  EXPECT_DOUBLE_EQ(r->runtime, 0.8);
+  EXPECT_FALSE(r->sampled);
+  EXPECT_EQ(r->spread, MetricSpread{});
+  ASSERT_EQ(r->per_workload.size(), 1u);
+  EXPECT_FALSE(r->per_workload[0].sampled);
+  std::ifstream in(file.path(), std::ios::binary);
+  const std::string upgraded{std::istreambuf_iterator<char>(in),
+                             std::istreambuf_iterator<char>()};
+  EXPECT_EQ(upgraded[4], '\3');
+}
+
+TEST(Checkpoint, SampledResultsRoundTripWithSpread) {
+  TempFile file("sampled");
+  SuiteResult r = sample_result("N3", 1.7);
+  r.sampled = true;
+  r.spread.runtime = 0.05;
+  r.spread.edp = 0.125;
+  r.per_workload[0].sampled = true;
+  r.per_workload[0].spread.runtime = 0.03;
+  r.per_workload[0].spread.total_energy = 0.01;
+  {
+    SweepCheckpoint ckpt(file.path(), 55);
+    ckpt.append(r);
+  }
+  SweepCheckpoint reloaded(file.path(), 55);
+  const SuiteResult* got = reloaded.find("N3");
+  ASSERT_NE(got, nullptr);
+  EXPECT_TRUE(got->sampled);
+  EXPECT_EQ(got->spread, r.spread);
+  ASSERT_EQ(got->per_workload.size(), 1u);
+  EXPECT_TRUE(got->per_workload[0].sampled);
+  EXPECT_EQ(got->per_workload[0].spread, r.per_workload[0].spread);
 }
 
 TEST(Checkpoint, CorruptedRecordTruncatesToLastGood) {

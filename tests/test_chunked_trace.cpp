@@ -270,6 +270,33 @@ TEST(ChunkedTrace, RejectsZeroChunkLimits) {
   EXPECT_THROW(ChunkedTraceBuffer(64, 0), Error);
 }
 
+TEST(ChunkedTrace, AccessCountIsRunningTotal) {
+  const auto stream = random_stream(500, 23);
+  ChunkedTraceBuffer buffer(/*target_chunk_bytes=*/256,
+                            /*max_chunk_accesses=*/64);
+  EXPECT_EQ(buffer.access_count(), 0u);
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    buffer.access(stream[i]);
+    ASSERT_EQ(buffer.access_count(), i + 1);
+  }
+  // Per-chunk counts come from the chunk directory and sum to the total.
+  std::size_t sum = 0;
+  for (std::size_t c = 0; c < buffer.chunk_count(); ++c) {
+    const std::size_t n = buffer.chunk_access_count(c);
+    EXPECT_GT(n, 0u) << c;
+    std::vector<MemoryAccess> scratch;
+    EXPECT_EQ(buffer.decode_chunk(c, scratch), n) << c;
+    sum += n;
+  }
+  EXPECT_EQ(sum, buffer.access_count());
+  // Past-the-end indices report zero instead of faulting.
+  EXPECT_EQ(buffer.chunk_access_count(buffer.chunk_count()), 0u);
+  EXPECT_EQ(buffer.chunk_access_count(buffer.chunk_count() + 7), 0u);
+  buffer.clear();
+  EXPECT_EQ(buffer.access_count(), 0u);
+  EXPECT_EQ(buffer.chunk_access_count(0), 0u);
+}
+
 TEST(ChunkedTrace, ClearResetsEverything) {
   const auto stream = random_stream(1000, 17);
   ChunkedTraceBuffer buffer(/*target_chunk_bytes=*/256,

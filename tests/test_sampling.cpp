@@ -1,0 +1,624 @@
+// SimPoint-style sampled replay (sim/sampling.hpp + trace/interval_profile):
+// knob parsing, signature/chunk alignment, plan determinism, degenerate
+// exactness, cross-mode/thread identity of sampled sweeps, estimation
+// accuracy against exact replay, error bars, degrade/retry parity, and
+// checkpoint hash binding.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hms/common/error.hpp"
+#include "hms/common/fault.hpp"
+#include "hms/designs/configs.hpp"
+#include "hms/sim/checkpoint.hpp"
+#include "hms/sim/experiment.hpp"
+#include "hms/sim/sampling.hpp"
+#include "hms/trace/chunked_trace.hpp"
+#include "hms/trace/interval_profile.hpp"
+
+namespace hms::sim {
+namespace {
+
+using mem::Technology;
+
+/// RAII guard: sets (or clears) an env var and restores the previous value
+/// on destruction so the ambient test environment stays clean.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    if (old != nullptr) saved_ = old;
+    had_ = old != nullptr;
+    if (value != nullptr) {
+      ::setenv(name, value, 1);
+    } else {
+      ::unsetenv(name);
+    }
+  }
+  ~ScopedEnv() {
+    if (had_) {
+      ::setenv(name_, saved_.c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  std::string saved_;
+  bool had_ = false;
+};
+
+class TempFile {
+ public:
+  explicit TempFile(const std::string& tag)
+      : path_(::testing::TempDir() + "hms_sampling_" + tag + ".bin") {
+    std::remove(path_.c_str());
+  }
+  ~TempFile() { std::remove(path_.c_str()); }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+/// Tiny but non-degenerate grid: at scale 512 the CG residual spans ~14
+/// chunks (so k = 4 genuinely samples) while StreamTriad has only 2 (its
+/// plan degenerates to exact — the mixed case a real suite hits).
+ExperimentConfig sampled_config(ReplayMode mode, SamplingMode sampling,
+                                std::uint32_t k = 4) {
+  ExperimentConfig cfg;
+  cfg.scale_divisor = 512;
+  cfg.footprint_divisor = 512;
+  cfg.seed = 42;
+  cfg.iterations = 1;
+  cfg.suite = {"StreamTriad", "CG"};
+  cfg.threads = 2;
+  cfg.replay_mode = mode;
+  cfg.sampling = sampling;
+  cfg.sample_k = k;
+  cfg.warmup_chunks = 1;
+  return cfg;
+}
+
+const std::vector<designs::NConfig> three_configs() {
+  return {designs::n_config("N1"), designs::n_config("N3"),
+          designs::n_config("N6")};
+}
+
+void expect_suites_identical(const std::vector<SuiteResult>& a,
+                             const std::vector<SuiteResult>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    SCOPED_TRACE(a[i].config_name);
+    EXPECT_EQ(a[i].config_name, b[i].config_name);
+    EXPECT_EQ(a[i].partial, b[i].partial);
+    EXPECT_EQ(a[i].sampled, b[i].sampled);
+    EXPECT_DOUBLE_EQ(a[i].runtime, b[i].runtime);
+    EXPECT_DOUBLE_EQ(a[i].dynamic, b[i].dynamic);
+    EXPECT_DOUBLE_EQ(a[i].leakage, b[i].leakage);
+    EXPECT_DOUBLE_EQ(a[i].total_energy, b[i].total_energy);
+    EXPECT_DOUBLE_EQ(a[i].edp, b[i].edp);
+    EXPECT_EQ(a[i].spread, b[i].spread);
+    ASSERT_EQ(a[i].per_workload.size(), b[i].per_workload.size());
+    for (std::size_t w = 0; w < a[i].per_workload.size(); ++w) {
+      EXPECT_EQ(a[i].per_workload[w].sampled, b[i].per_workload[w].sampled);
+      EXPECT_EQ(a[i].per_workload[w].spread, b[i].per_workload[w].spread);
+      const auto& na = a[i].per_workload[w].normalized;
+      const auto& nb = b[i].per_workload[w].normalized;
+      EXPECT_DOUBLE_EQ(na.runtime, nb.runtime);
+      EXPECT_DOUBLE_EQ(na.total_energy, nb.total_energy);
+      EXPECT_DOUBLE_EQ(na.edp, nb.edp);
+    }
+  }
+}
+
+// -- knob parsing -----------------------------------------------------------
+
+TEST(Sampling, ModeParsesEnv) {
+  {
+    ScopedEnv env("HMS_SAMPLING", nullptr);
+    EXPECT_EQ(default_sampling_mode(), SamplingMode::Full);
+  }
+  {
+    ScopedEnv env("HMS_SAMPLING", "");
+    EXPECT_EQ(default_sampling_mode(), SamplingMode::Full);
+  }
+  {
+    ScopedEnv env("HMS_SAMPLING", "full");
+    EXPECT_EQ(default_sampling_mode(), SamplingMode::Full);
+  }
+  {
+    ScopedEnv env("HMS_SAMPLING", "simpoint");
+    EXPECT_EQ(default_sampling_mode(), SamplingMode::SimPoint);
+  }
+  {
+    ScopedEnv env("HMS_SAMPLING", "bogus");
+    try {
+      (void)default_sampling_mode();
+      FAIL() << "expected ConfigError";
+    } catch (const ConfigError& e) {
+      // The error must name the variable and echo the bad value.
+      EXPECT_NE(std::string(e.what()).find("HMS_SAMPLING"), std::string::npos)
+          << e.what();
+      EXPECT_NE(std::string(e.what()).find("bogus"), std::string::npos)
+          << e.what();
+    }
+  }
+}
+
+TEST(Sampling, SampleKParsesEnvStrictly) {
+  {
+    ScopedEnv env("HMS_SAMPLE_K", nullptr);
+    EXPECT_EQ(default_sample_k(), 16u);
+  }
+  {
+    ScopedEnv env("HMS_SAMPLE_K", "8");
+    EXPECT_EQ(default_sample_k(), 8u);
+  }
+  {
+    // k = 0 is rejected explicitly, not clamped: zero representatives would
+    // leave nothing to replay.
+    ScopedEnv env("HMS_SAMPLE_K", "0");
+    try {
+      (void)default_sample_k();
+      FAIL() << "expected ConfigError";
+    } catch (const ConfigError& e) {
+      EXPECT_NE(std::string(e.what()).find("HMS_SAMPLE_K"), std::string::npos)
+          << e.what();
+    }
+  }
+  {
+    ScopedEnv env("HMS_SAMPLE_K", "banana");
+    EXPECT_THROW((void)default_sample_k(), ConfigError);
+  }
+  {
+    ScopedEnv env("HMS_SAMPLE_K", "-3");
+    EXPECT_THROW((void)default_sample_k(), ConfigError);
+  }
+  {
+    ScopedEnv env("HMS_SAMPLE_K", "99999999999999");
+    EXPECT_THROW((void)default_sample_k(), ConfigError);
+  }
+}
+
+TEST(Sampling, WarmupChunksParsesEnvStrictly) {
+  {
+    ScopedEnv env("HMS_WARMUP_CHUNKS", nullptr);
+    EXPECT_EQ(default_warmup_chunks(), 2u);
+  }
+  {
+    ScopedEnv env("HMS_WARMUP_CHUNKS", "0");  // 0 = no warming, valid
+    EXPECT_EQ(default_warmup_chunks(), 0u);
+  }
+  {
+    ScopedEnv env("HMS_WARMUP_CHUNKS", "5");
+    EXPECT_EQ(default_warmup_chunks(), 5u);
+  }
+  {
+    ScopedEnv env("HMS_WARMUP_CHUNKS", "nope");
+    try {
+      (void)default_warmup_chunks();
+      FAIL() << "expected ConfigError";
+    } catch (const ConfigError& e) {
+      EXPECT_NE(std::string(e.what()).find("HMS_WARMUP_CHUNKS"),
+                std::string::npos)
+          << e.what();
+    }
+  }
+}
+
+// -- interval signatures ----------------------------------------------------
+
+std::vector<trace::MemoryAccess> phased_stream(std::size_t n) {
+  // Three alternating behavior phases: sequential line walk, strided walk,
+  // and pseudo-random pointer chasing — distinct signatures to cluster.
+  std::vector<trace::MemoryAccess> out;
+  out.reserve(n);
+  std::uint64_t state = 0x9e3779b97f4a7c15ull;
+  for (std::size_t i = 0; i < n; ++i) {
+    trace::MemoryAccess a;
+    a.size = 64;
+    const std::size_t phase = (i / 700) % 3;
+    if (phase == 0) {
+      a.address = 0x1000'0000ull + 64 * i;
+      a.type = AccessType::Load;
+    } else if (phase == 1) {
+      a.address = 0x2000'0000ull + 64 * 33 * i;
+      a.type = i % 4 == 0 ? AccessType::Store : AccessType::Load;
+    } else {
+      state ^= state << 13;
+      state ^= state >> 7;
+      state ^= state << 17;
+      a.address = 0x3000'0000ull + (state % (1u << 22));
+      a.type = i % 2 == 0 ? AccessType::Store : AccessType::Load;
+    }
+    out.push_back(a);
+  }
+  return out;
+}
+
+TEST(Sampling, SignaturesAlignWithChunksAndRebuildIdentically) {
+  const auto stream = phased_stream(4000);
+  trace::ChunkedTraceBuffer buffer(/*target_chunk_bytes=*/1024,
+                                   /*max_chunk_accesses=*/256);
+  trace::IntervalProfile live;
+  buffer.attach_interval_profile(&live);
+  buffer.access_batch(stream);
+  buffer.attach_interval_profile(nullptr);
+
+  ASSERT_EQ(live.interval_count(), buffer.chunk_count());
+  const auto sigs = live.signatures();
+  ASSERT_EQ(sigs.size(), buffer.chunk_count());
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < sigs.size(); ++i) {
+    // Signature i describes chunk i: the access counts must agree with the
+    // chunk directory, and the sketch must have seen something.
+    EXPECT_EQ(sigs[i].accesses, buffer.chunk_access_count(i)) << i;
+    EXPECT_GT(sigs[i].new_lines, 0u) << i;
+    std::uint64_t strides = 0;
+    for (const auto s : sigs[i].strides) strides += s;
+    EXPECT_EQ(strides, sigs[i].accesses) << i;
+    total += sigs[i].accesses;
+  }
+  EXPECT_EQ(total, buffer.access_count());
+
+  // Offline rebuild from the encoded chunks is bit-identical to live
+  // observation — clustering cannot depend on how the profile was obtained.
+  const auto rebuilt = trace::IntervalProfile::from_trace(buffer).signatures();
+  ASSERT_EQ(rebuilt.size(), sigs.size());
+  for (std::size_t i = 0; i < sigs.size(); ++i) {
+    EXPECT_EQ(rebuilt[i], sigs[i]) << i;
+  }
+}
+
+// -- plan construction ------------------------------------------------------
+
+TEST(Sampling, PlanIsDeterministicAndWellFormed) {
+  const auto stream = phased_stream(6000);
+  trace::ChunkedTraceBuffer buffer(/*target_chunk_bytes=*/1024,
+                                   /*max_chunk_accesses=*/256);
+  const trace::IntervalProfile profile;  // detached: forces from_trace path
+  buffer.access_batch(stream);
+
+  const SamplePlan plan = build_sample_plan(buffer, profile, 4, 2, 42);
+  ASSERT_FALSE(plan.exact);
+  EXPECT_EQ(plan.total_chunks, buffer.chunk_count());
+  EXPECT_EQ(plan.total_accesses, buffer.access_count());
+  ASSERT_FALSE(plan.reps.empty());
+  EXPECT_LE(plan.reps.size(), 4u);
+
+  // Steps ascend strictly; measured steps correspond 1:1 with reps.
+  std::size_t measured = 0;
+  for (std::size_t s = 0; s < plan.steps.size(); ++s) {
+    if (s > 0) {
+      EXPECT_LT(plan.steps[s - 1].chunk, plan.steps[s].chunk);
+    }
+    if (plan.steps[s].measure) ++measured;
+  }
+  EXPECT_EQ(measured, plan.reps.size());
+
+  // Every representative is preceded in the schedule by its warming prefix.
+  std::uint64_t covered = 0;
+  double share = 0;
+  for (const auto& rep : plan.reps) {
+    covered += rep.cluster_accesses;
+    share += rep.share;
+    EXPECT_EQ(rep.rep_accesses, buffer.chunk_access_count(rep.chunk));
+    for (std::size_t c = rep.chunk - std::min<std::size_t>(2, rep.chunk);
+         c < rep.chunk; ++c) {
+      const bool scheduled =
+          std::any_of(plan.steps.begin(), plan.steps.end(),
+                      [c](const SampleStep& s) { return s.chunk == c; });
+      EXPECT_TRUE(scheduled) << "warm chunk " << c << " missing";
+    }
+  }
+  // Clusters partition the trace: shares sum to 1, accesses to the total.
+  EXPECT_EQ(covered, plan.total_accesses);
+  EXPECT_NEAR(share, 1.0, 1e-12);
+
+  // Bit-stable: rebuilding with the same inputs gives the identical plan.
+  const SamplePlan again = build_sample_plan(buffer, profile, 4, 2, 42);
+  ASSERT_EQ(again.steps.size(), plan.steps.size());
+  for (std::size_t s = 0; s < plan.steps.size(); ++s) {
+    EXPECT_EQ(again.steps[s].chunk, plan.steps[s].chunk);
+    EXPECT_EQ(again.steps[s].measure, plan.steps[s].measure);
+    EXPECT_DOUBLE_EQ(again.steps[s].weight, plan.steps[s].weight);
+  }
+  ASSERT_EQ(again.reps.size(), plan.reps.size());
+  for (std::size_t r = 0; r < plan.reps.size(); ++r) {
+    EXPECT_EQ(again.reps[r].chunk, plan.reps[r].chunk);
+    EXPECT_EQ(again.reps[r].members, plan.reps[r].members);
+    EXPECT_DOUBLE_EQ(again.reps[r].share, plan.reps[r].share);
+  }
+
+  // A different seed is allowed to pick different representatives — the
+  // determinism is in (trace, k, warmup, seed), not a global constant.
+  const SamplePlan other = build_sample_plan(buffer, profile, 4, 2, 43);
+  EXPECT_FALSE(other.exact);
+}
+
+TEST(Sampling, DegeneratePlansAreExact) {
+  trace::IntervalProfile profile;
+  {
+    // Empty trace.
+    trace::ChunkedTraceBuffer empty;
+    EXPECT_TRUE(build_sample_plan(empty, profile, 4, 2, 1).exact);
+  }
+  {
+    // Single chunk: nothing to cluster.
+    trace::ChunkedTraceBuffer one;
+    trace::MemoryAccess a;
+    a.address = 64;
+    a.size = 64;
+    one.access(a);
+    EXPECT_TRUE(build_sample_plan(one, profile, 4, 2, 1).exact);
+  }
+  {
+    // k >= chunk count: one representative per interval already.
+    const auto stream = phased_stream(2000);
+    trace::ChunkedTraceBuffer buffer(/*target_chunk_bytes=*/1024,
+                                     /*max_chunk_accesses=*/256);
+    buffer.access_batch(stream);
+    ASSERT_GT(buffer.chunk_count(), 1u);
+    EXPECT_TRUE(
+        build_sample_plan(buffer, profile,
+                          static_cast<std::uint32_t>(buffer.chunk_count()), 2, 1)
+            .exact);
+    EXPECT_FALSE(
+        build_sample_plan(buffer, profile,
+                          static_cast<std::uint32_t>(buffer.chunk_count()) - 1,
+                          2, 1)
+            .exact);
+  }
+}
+
+// -- sweep-level semantics --------------------------------------------------
+
+TEST(Sampling, ExactPlansReplayBitIdenticalToFullMode) {
+  // k far above every workload's chunk count: SimPoint mode must produce
+  // byte-for-byte the Full-mode results, with sampled = false and zero
+  // spread — the degenerate-exactness guarantee.
+  ExperimentRunner full(
+      sampled_config(ReplayMode::ChunkMajor, SamplingMode::Full));
+  ExperimentRunner degenerate(sampled_config(
+      ReplayMode::ChunkMajor, SamplingMode::SimPoint, /*k=*/1024));
+  const auto a = full.nmm_sweep(Technology::PCM, three_configs());
+  const auto b = degenerate.nmm_sweep(Technology::PCM, three_configs());
+  expect_suites_identical(a, b);
+  for (const auto& r : b) {
+    EXPECT_FALSE(r.sampled) << r.config_name;
+    EXPECT_EQ(r.spread, MetricSpread{}) << r.config_name;
+  }
+}
+
+TEST(Sampling, SampledSweepsAreBitIdenticalAcrossModesAndThreads) {
+  // The sampled differential: every replay mode and thread count walks the
+  // identical deterministic plan, so estimates are bit-stable everywhere.
+  std::vector<std::vector<SuiteResult>> runs;
+  for (const ReplayMode mode : {ReplayMode::ChunkMajor, ReplayMode::ConfigMajor,
+                                ReplayMode::Sharded}) {
+    for (const unsigned threads : {1u, 2u, 8u}) {
+      auto cfg = sampled_config(mode, SamplingMode::SimPoint);
+      cfg.threads = threads;
+      ExperimentRunner runner(cfg);
+      runs.push_back(runner.nmm_sweep(Technology::PCM, three_configs()));
+    }
+  }
+  ASSERT_EQ(runs.size(), 9u);
+  for (std::size_t i = 1; i < runs.size(); ++i) {
+    SCOPED_TRACE(i);
+    expect_suites_identical(runs[0], runs[i]);
+  }
+  // And the results really are sampled (CG's 14-chunk residual, k = 4).
+  for (const auto& r : runs[0]) EXPECT_TRUE(r.sampled) << r.config_name;
+}
+
+TEST(Sampling, EstimatesTrackExactResultsWithinTwoPercent) {
+  // The accuracy bar from the issue: suite-level AMAT-derived metrics of
+  // the sampled sweep stay within 2% of exact full replay. Normalized
+  // metrics benefit from error cancellation — the base replay is sampled
+  // with the same plan.
+  ExperimentRunner full(
+      sampled_config(ReplayMode::ChunkMajor, SamplingMode::Full));
+  ExperimentRunner sampled(
+      sampled_config(ReplayMode::ChunkMajor, SamplingMode::SimPoint));
+  const auto exact = full.nmm_sweep(Technology::PCM, three_configs());
+  const auto est = sampled.nmm_sweep(Technology::PCM, three_configs());
+  ASSERT_EQ(exact.size(), est.size());
+  for (std::size_t i = 0; i < exact.size(); ++i) {
+    SCOPED_TRACE(exact[i].config_name);
+    EXPECT_TRUE(est[i].sampled);
+    EXPECT_NEAR(est[i].runtime, exact[i].runtime, 0.02 * exact[i].runtime);
+    EXPECT_NEAR(est[i].total_energy, exact[i].total_energy,
+                0.02 * exact[i].total_energy);
+    EXPECT_NEAR(est[i].edp, exact[i].edp, 0.02 * exact[i].edp);
+  }
+}
+
+TEST(Sampling, EstimatedProfileMissRatesTrackExactReplay) {
+  // Below the model layer: the estimated back profile's per-level miss
+  // rates must track the exact replay within 2% (relative), on the real
+  // CG capture.
+  auto cfg = sampled_config(ReplayMode::ChunkMajor, SamplingMode::SimPoint);
+  ExperimentRunner runner(cfg);
+  const FrontCapture& capture = runner.front("CG");
+  const SamplePlan plan =
+      build_sample_plan(capture.residual, capture.interval_profile,
+                        cfg.sample_k, cfg.warmup_chunks, cfg.seed);
+  ASSERT_FALSE(plan.exact);
+
+  const auto& factory = runner.factory();
+  auto exact_back = factory.nvm_main_memory_back(
+      designs::n_config("N1"), Technology::PCM, capture.footprint_bytes);
+  auto sampled_back = factory.nvm_main_memory_back(
+      designs::n_config("N1"), Technology::PCM, capture.footprint_bytes);
+  const auto exact = replay_back(capture, *exact_back);
+  const auto est = replay_back(capture, *sampled_back, &plan);
+
+  ASSERT_EQ(est.levels.size(), exact.levels.size());
+  const std::size_t front_levels = capture.front_profile.levels.size();
+  for (std::size_t l = front_levels; l < exact.levels.size(); ++l) {
+    SCOPED_TRACE(l);
+    const auto& e = exact.levels[l];
+    const auto& s = est.levels[l];
+    const double e_acc = static_cast<double>(e.loads + e.stores);
+    const double s_acc = static_cast<double>(s.loads + s.stores);
+    ASSERT_GT(e_acc, 0.0);
+    EXPECT_NEAR(s_acc, e_acc, 0.02 * e_acc);
+    const double e_miss = static_cast<double>(e.cache_stats.load_misses +
+                                              e.cache_stats.store_misses) /
+                          e_acc;
+    const double s_miss = static_cast<double>(s.cache_stats.load_misses +
+                                              s.cache_stats.store_misses) /
+                          s_acc;
+    EXPECT_NEAR(s_miss, e_miss, 0.02 * std::max(e_miss, 1e-6));
+  }
+}
+
+TEST(Sampling, SampledResultsCarryErrorBars) {
+  ExperimentRunner runner(
+      sampled_config(ReplayMode::ChunkMajor, SamplingMode::SimPoint));
+  const auto results = runner.nmm_sweep(Technology::PCM, three_configs());
+  for (const auto& r : results) {
+    SCOPED_TRACE(r.config_name);
+    EXPECT_TRUE(r.sampled);
+    // Suite spread combines the sampled workloads' spreads; CG's plan has
+    // several representatives with distinct behavior, so it is nonzero.
+    EXPECT_GT(r.spread.runtime, 0.0);
+    EXPECT_GE(r.spread.total_energy, 0.0);
+    EXPECT_GE(r.spread.edp, 0.0);
+    ASSERT_EQ(r.per_workload.size(), 2u);
+    for (const auto& wr : r.per_workload) {
+      if (wr.normalized.workload == "StreamTriad") {
+        // 2 chunks, k = 4: degenerate-exact workload inside a sampled suite.
+        EXPECT_FALSE(wr.sampled);
+        EXPECT_EQ(wr.spread, MetricSpread{});
+      } else {
+        EXPECT_TRUE(wr.sampled);
+        EXPECT_GT(wr.spread.runtime, 0.0);
+      }
+    }
+  }
+}
+
+// -- resilience parity ------------------------------------------------------
+
+TEST(Sampling, DegradedCellsAreIdenticalAcrossModes) {
+  // Same degrade semantics as full replay: fault the first grid cell in
+  // each mode under SimPoint sampling; failures and survivors must agree.
+  auto degraded_sweep = [](ReplayMode mode) {
+    ScopedFaultInjector injector;
+    FaultSpec spec;
+    spec.skip_first = 2;  // 2-workload warm-up takes the first two hits
+    spec.max_fires = 1;
+    injector->arm("sim/replay_back", spec);
+    auto cfg = sampled_config(mode, SamplingMode::SimPoint);
+    cfg.threads = 1;  // deterministic task order for targeted injection
+    ExperimentRunner runner(cfg);
+    return runner.nmm_sweep(Technology::PCM, three_configs());
+  };
+
+  const auto chunk = degraded_sweep(ReplayMode::ChunkMajor);
+  const auto config = degraded_sweep(ReplayMode::ConfigMajor);
+  const auto shard = degraded_sweep(ReplayMode::Sharded);
+  ASSERT_EQ(chunk.size(), 3u);
+  EXPECT_TRUE(chunk[0].partial);
+  ASSERT_EQ(chunk[0].failures.size(), 1u);
+  EXPECT_EQ(chunk[0].failures[0].workload, "StreamTriad");
+  ASSERT_EQ(config.size(), 3u);
+  ASSERT_EQ(config[0].failures.size(), 1u);
+  EXPECT_EQ(chunk[0].failures[0].error, config[0].failures[0].error);
+  expect_suites_identical(chunk, config);
+  ASSERT_EQ(shard.size(), 3u);
+  ASSERT_EQ(shard[0].failures.size(), 1u);
+  EXPECT_EQ(chunk[0].failures[0].error, shard[0].failures[0].error);
+  expect_suites_identical(chunk, shard);
+}
+
+TEST(Sampling, RetriesRecoverTransientFaultsInSampledCells) {
+  ExperimentRunner clean(
+      sampled_config(ReplayMode::ChunkMajor, SamplingMode::SimPoint));
+  const auto expected = clean.nmm_sweep(Technology::PCM, three_configs());
+
+  ScopedFaultInjector injector;
+  FaultSpec spec;
+  spec.skip_first = 2;
+  spec.max_fires = 1;
+  spec.transient = true;
+  injector->arm("sim/replay_back", spec);
+
+  auto cfg = sampled_config(ReplayMode::ChunkMajor, SamplingMode::SimPoint);
+  cfg.threads = 1;
+  cfg.max_retries = 1;
+  ExperimentRunner runner(cfg);
+  const auto results = runner.nmm_sweep(Technology::PCM, three_configs());
+  EXPECT_EQ(injector->fires("sim/replay_back"), 1u);
+  ASSERT_EQ(results.size(), 3u);
+  for (const auto& r : results) {
+    EXPECT_FALSE(r.partial) << r.config_name;
+    EXPECT_TRUE(r.failures.empty()) << r.config_name;
+  }
+  // The retried cell re-walks the same plan: bit-identical to a clean run.
+  expect_suites_identical(results, expected);
+}
+
+// -- checkpoint binding -----------------------------------------------------
+
+TEST(Sampling, ExperimentHashBindsSamplingKnobs) {
+  ExperimentConfig full = sampled_config(ReplayMode::ChunkMajor,
+                                         SamplingMode::Full);
+  ExperimentConfig sp =
+      sampled_config(ReplayMode::ChunkMajor, SamplingMode::SimPoint);
+  // Estimates and exact results must never satisfy each other's resumes.
+  EXPECT_NE(experiment_hash(full, "nmm:PCM"), experiment_hash(sp, "nmm:PCM"));
+
+  ExperimentConfig sp_k = sp;
+  sp_k.sample_k = 8;
+  EXPECT_NE(experiment_hash(sp, "nmm:PCM"), experiment_hash(sp_k, "nmm:PCM"));
+  ExperimentConfig sp_w = sp;
+  sp_w.warmup_chunks = 7;
+  EXPECT_NE(experiment_hash(sp, "nmm:PCM"), experiment_hash(sp_w, "nmm:PCM"));
+
+  // In Full mode the sampling knobs are inert, and the hash ignores them —
+  // pre-sampling checkpoints stay resumable.
+  ExperimentConfig full_k = full;
+  full_k.sample_k = 8;
+  full_k.warmup_chunks = 7;
+  EXPECT_EQ(experiment_hash(full, "nmm:PCM"),
+            experiment_hash(full_k, "nmm:PCM"));
+}
+
+TEST(Sampling, CheckpointsResumeWithinSimPointOnly) {
+  TempFile file("resume");
+  auto sp_cfg = sampled_config(ReplayMode::ChunkMajor, SamplingMode::SimPoint);
+  sp_cfg.checkpoint_path = file.path();
+  ExperimentRunner first(sp_cfg);
+  const auto initial = first.nmm_sweep(Technology::PCM, three_configs());
+  EXPECT_EQ(first.last_checkpoint_skips(), 0u);
+
+  // Same sampled experiment resumes fully — estimates, spreads and all.
+  ExperimentRunner second(sp_cfg);
+  const auto resumed = second.nmm_sweep(Technology::PCM, three_configs());
+  EXPECT_EQ(second.last_checkpoint_skips(), 3u);
+  expect_suites_identical(initial, resumed);
+  EXPECT_TRUE(resumed[0].sampled);
+
+  // A Full-mode rerun has a different hash: the sampled checkpoint is
+  // reset, nothing is skipped, and the results come out exact.
+  auto full_cfg = sampled_config(ReplayMode::ChunkMajor, SamplingMode::Full);
+  full_cfg.checkpoint_path = file.path();
+  ExperimentRunner third(full_cfg);
+  const auto fresh = third.nmm_sweep(Technology::PCM, three_configs());
+  EXPECT_EQ(third.last_checkpoint_skips(), 0u);
+  for (const auto& r : fresh) EXPECT_FALSE(r.sampled) << r.config_name;
+}
+
+}  // namespace
+}  // namespace hms::sim

@@ -252,7 +252,12 @@ TEST(Survival, WatchdogDegradesHungCellInEveryMode) {
 
     auto cfg = tiny_config();
     cfg.replay_mode = mode;
-    cfg.cell_timeout_ms = 150;
+    // Healthy cells finish in ~20 ms unloaded; the budget leaves two
+    // orders of magnitude for oversubscribed parallel ctest runs (1-core
+    // hosts at -j8 stretch wall time well past 10x) while staying far
+    // under the 60 s stall. The stalled cell waits out the full budget,
+    // so this is also the dominant term of the test's runtime.
+    cfg.cell_timeout_ms = 2500;
     ExperimentRunner runner(cfg);
     const auto results = runner.nmm_sweep(Technology::PCM, two_configs());
 
