@@ -28,6 +28,16 @@
 //                   captures with <= K chunks replay exactly)
 //   HMS_WARMUP_CHUNKS  functional-warming prefix chunks replayed unmeasured
 //                   before each representative (default 2; 0 = cold)
+//   HMS_WARMUP_THREADS  worker threads for the pipelined warm-up phase
+//                   (front captures + base reports run per-workload in
+//                   parallel; unset = follow HMS_THREADS; must be >= 1 —
+//                   an explicit 0 is a ConfigError)
+//   HMS_TRACE_CACHE  persistent trace-store directory: front captures are
+//                   looked up by capture hash before simulating and
+//                   appended after a miss, so repeated runs skip the
+//                   warm-up capture entirely (default unset = no store;
+//                   corrupt or stale entries are CRC-rejected misses and
+//                   recapture — results are bit-identical either way)
 //
 // Numeric knobs are parsed strictly: garbage, negative, or overflowing
 // values abort with a ConfigError naming the variable and the value, so a
@@ -92,9 +102,10 @@ inline sim::ExperimentConfig config_from_env() {
   cfg.checkpoint_path = env_str("HMS_CHECKPOINT", "");
   cfg.max_retries = static_cast<std::uint32_t>(env_u64("HMS_RETRIES", 0));
   cfg.threads = static_cast<unsigned>(env_u64("HMS_THREADS", 0));
-  // cell_timeout_ms / retry_backoff_ms already defaulted from
-  // HMS_CELL_TIMEOUT_MS / HMS_RETRY_BACKOFF_MS by ExperimentConfig's
-  // field initializers (sim::default_cell_timeout_ms et al).
+  // cell_timeout_ms / retry_backoff_ms / warmup_threads / trace_cache_dir
+  // already defaulted from HMS_CELL_TIMEOUT_MS / HMS_RETRY_BACKOFF_MS /
+  // HMS_WARMUP_THREADS / HMS_TRACE_CACHE by ExperimentConfig's field
+  // initializers (sim::default_cell_timeout_ms et al).
   return cfg;
 }
 

@@ -14,7 +14,12 @@
 // capture at 4x the parallel grid's footprint, with the wall-clock speedup
 // and the estimation error vs exact replay (DRAM-cache miss rate, NVM
 // traffic). At the default size and above the block is gated: speedup
-// >= 5x, miss-rate error <= 2%, traffic error <= 5%.
+// >= 5x, miss-rate error <= 2%, traffic error <= 5%. Schema v5 adds a
+// "warmup" block covering the sweep warm-up pipeline: serial vs
+// thread-per-workload front capture over a 4-workload pool, plus the
+// persistent trace store's cold (simulate + append) vs warm (CRC-checked
+// load) capture of CG — all checksummed, with the warm-load speedup gated
+// >= 3x at the default size on optimized builds.
 //
 // Each config replays a deterministic access stream and reports the best
 // repetition (least interference). A per-config stats checksum folds every
@@ -26,14 +31,18 @@
 //   HMS_BENCH_ACCESSES  accesses per timed repetition (default 4194304)
 //   HMS_BENCH_REPS      repetitions per config; best is kept (default 3)
 //   HMS_BENCH_OUT       JSON output path (default BENCH_micro_sim.json)
+#include <unistd.h>
+
 #include <chrono>
 #include <cmath>
 #include <cstdint>
+#include <filesystem>
 #include <fstream>
 #include <iomanip>
 #include <iostream>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -50,6 +59,7 @@
 #include "hms/trace/chunked_trace.hpp"
 #include "hms/trace/interval_profile.hpp"
 #include "hms/trace/trace_buffer.hpp"
+#include "hms/trace/trace_store.hpp"
 
 namespace {
 
@@ -576,6 +586,180 @@ SamplingBench bench_sampling(std::uint64_t accesses, int reps, bool gated) {
   return b;
 }
 
+/// Sweep warm-up pipeline comparison (schema v5 "warmup" block).
+struct WarmupBench {
+  std::uint64_t pool = 0;            ///< workloads captured per warm pass
+  unsigned parallel_threads = 0;     ///< one capture thread per workload
+  double serial_seconds = 0.0;       ///< captures one after another
+  double parallel_seconds = 0.0;     ///< same captures, pipelined
+  double parallel_speedup = 0.0;
+  std::uint64_t pool_checksum = 0;   ///< fold of every capture, suite order
+  std::string store_workload;
+  std::uint64_t store_entry_bytes = 0;
+  double cold_capture_seconds = 0.0;  ///< store miss: simulate + append
+  double warm_capture_seconds = 0.0;  ///< store hit: CRC-checked load
+  double store_speedup = 0.0;
+  std::uint64_t capture_checksum = 0;  ///< cold == warm, asserted in-process
+};
+
+/// Strong capture identity: the serialized residual and interval profile
+/// (byte-exact encoder output) folded with the front hierarchy profile.
+std::uint64_t checksum_capture(const sim::FrontCapture& c) {
+  trace::Fnv1a h;
+  h.mix(c.workload_name);
+  h.mix(c.footprint_bytes);
+  h.mix(checksum_profile(c.front_profile));
+  std::string bytes;
+  c.residual.serialize(bytes);
+  h.mix(bytes);
+  bytes.clear();
+  c.interval_profile.serialize(bytes);
+  h.mix(bytes);
+  return h.digest();
+}
+
+/// The warm-up phase a sweep pays before its grid can start, isolated: a
+/// pool of front captures run serially (the pre-pipeline baseline) vs one
+/// thread per workload (what HMS_WARMUP_THREADS >= pool buys), then the
+/// persistent trace store's cold-vs-warm capture of CG at the same
+/// footprint bench_replay_back uses. Checksums must be bit-identical
+/// serial vs parallel and cold vs warm; `gated` turns the warm-load
+/// speedup target (>= 3x over a fresh capture) into a hard failure.
+WarmupBench bench_warmup(int reps, bool gated) {
+  designs::DesignFactory factory(256);
+  const std::vector<std::string> pool = {"StreamTriad", "CG", "IS",
+                                         "Hashing"};
+  const workloads::WorkloadParams params{2ull << 20, 42, 1};
+
+  WarmupBench b;
+  b.pool = pool.size();
+  b.parallel_threads = static_cast<unsigned>(pool.size());
+
+  for (int r = 0; r < reps; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    std::uint64_t sum = 0;
+    for (const auto& name : pool) {
+      sum = mix(sum, checksum_capture(sim::capture_front(name, params,
+                                                         factory)));
+    }
+    const auto stop = std::chrono::steady_clock::now();
+    const double seconds = std::chrono::duration<double>(stop - start).count();
+    if (b.serial_seconds == 0.0 || seconds < b.serial_seconds) {
+      b.serial_seconds = seconds;
+    }
+    if (r == 0) {
+      b.pool_checksum = sum;
+    } else if (b.pool_checksum != sum) {
+      std::cerr << "ERROR: serial warm-up checksum varies across reps\n";
+      std::exit(1);
+    }
+  }
+
+  for (int r = 0; r < reps; ++r) {
+    std::vector<std::uint64_t> sums(pool.size(), 0);
+    std::vector<std::string> errors(pool.size());
+    std::vector<std::thread> threads;
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      threads.emplace_back([&, i] {
+        try {
+          sums[i] = checksum_capture(sim::capture_front(pool[i], params,
+                                                        factory));
+        } catch (const std::exception& e) {
+          errors[i] = e.what();
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    const auto stop = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      if (!errors[i].empty()) {
+        std::cerr << "ERROR: parallel warm-up capture " << pool[i]
+                  << " failed: " << errors[i] << "\n";
+        std::exit(1);
+      }
+    }
+    std::uint64_t sum = 0;
+    for (const std::uint64_t s : sums) sum = mix(sum, s);
+    if (b.pool_checksum != sum) {
+      std::cerr << "ERROR: parallel warm-up checksum differs from serial\n";
+      std::exit(1);
+    }
+    const double seconds = std::chrono::duration<double>(stop - start).count();
+    if (b.parallel_seconds == 0.0 || seconds < b.parallel_seconds) {
+      b.parallel_seconds = seconds;
+    }
+  }
+  b.parallel_speedup = b.serial_seconds / b.parallel_seconds;
+
+  // Persistent trace store: cold misses re-simulate and append; warm hits
+  // decode the CRC-verified bytes. Entry removed before each cold rep so
+  // every cold timing pays the full simulate + encode + fsync + rename.
+  b.store_workload = "CG";
+  const std::string dir =
+      (std::filesystem::temp_directory_path() /
+       ("hms_bench_trace_store." + std::to_string(getpid())))
+          .string();
+  std::filesystem::remove_all(dir);
+  {
+    const trace::TraceStore store(dir);
+    const std::uint64_t key = sim::capture_hash("CG", params, factory);
+    for (int r = 0; r < reps; ++r) {
+      std::filesystem::remove(store.entry_path(key));
+      const auto start = std::chrono::steady_clock::now();
+      const auto capture =
+          sim::capture_front_cached("CG", params, factory, &store);
+      const auto stop = std::chrono::steady_clock::now();
+      const double seconds =
+          std::chrono::duration<double>(stop - start).count();
+      if (b.cold_capture_seconds == 0.0 ||
+          seconds < b.cold_capture_seconds) {
+        b.cold_capture_seconds = seconds;
+      }
+      const std::uint64_t sum = checksum_capture(capture);
+      if (r == 0) {
+        b.capture_checksum = sum;
+      } else if (b.capture_checksum != sum) {
+        std::cerr << "ERROR: cold capture checksum varies across reps\n";
+        std::exit(1);
+      }
+    }
+    std::error_code ec;
+    b.store_entry_bytes = std::filesystem::file_size(store.entry_path(key),
+                                                     ec);
+    if (ec || b.store_entry_bytes == 0) {
+      std::cerr << "ERROR: trace store entry missing after cold capture\n";
+      std::exit(1);
+    }
+    for (int r = 0; r < reps; ++r) {
+      const auto start = std::chrono::steady_clock::now();
+      const auto capture =
+          sim::capture_front_cached("CG", params, factory, &store);
+      const auto stop = std::chrono::steady_clock::now();
+      const double seconds =
+          std::chrono::duration<double>(stop - start).count();
+      if (b.warm_capture_seconds == 0.0 ||
+          seconds < b.warm_capture_seconds) {
+        b.warm_capture_seconds = seconds;
+      }
+      if (checksum_capture(capture) != b.capture_checksum) {
+        std::cerr << "ERROR: warm store load differs from the fresh "
+                     "capture\n";
+        std::exit(1);
+      }
+    }
+  }
+  std::filesystem::remove_all(dir);
+  b.store_speedup = b.cold_capture_seconds / b.warm_capture_seconds;
+
+  if (gated && b.store_speedup < 3.0) {
+    std::cerr << "ERROR: warm trace-store capture speedup " << b.store_speedup
+              << "x below the 3x target\n";
+    std::exit(1);
+  }
+  return b;
+}
+
 /// One point of the sharded engine's thread-scaling curve.
 struct ParallelPoint {
   unsigned threads = 0;
@@ -776,7 +960,8 @@ void write_json(const std::string& path, std::uint64_t accesses, int reps,
                 const ResidualFootprint& footprint,
                 const std::vector<ParallelPoint>& parallel,
                 const ParallelPoint& chunk_ref, std::size_t grid_configs,
-                std::size_t grid_workloads, const SamplingBench& sampling) {
+                std::size_t grid_workloads, const SamplingBench& sampling,
+                const WarmupBench& warmup) {
   std::ofstream out(path);
   if (!out) {
     std::cerr << "ERROR: cannot write " << path << "\n";
@@ -784,7 +969,7 @@ void write_json(const std::string& path, std::uint64_t accesses, int reps,
   }
   out << "{\n"
       << "  \"bench\": \"micro_sim\",\n"
-      << "  \"schema_version\": 4,\n"
+      << "  \"schema_version\": 5,\n"
       << "  \"optimized\": " << (optimized ? "true" : "false") << ",\n"
       // Host provenance: trajectory points are only comparable within the
       // same (cpu, simd dispatch, compiler) triple.
@@ -846,6 +1031,27 @@ void write_json(const std::string& path, std::uint64_t accesses, int reps,
       << ", \"full_checksum\": \"" << std::hex << sampling.full_checksum
       << "\", \"sampled_checksum\": \"" << sampling.sampled_checksum
       << std::dec << "\"},\n"
+      // Warm-up pipeline (schema v5): serial vs thread-per-workload front
+      // capture, and the persistent trace store's cold-vs-warm capture.
+      // Both checksum pairs are asserted identical in-process before the
+      // JSON is written.
+      << "  \"warmup\": {\"pool\": " << warmup.pool
+      << ", \"parallel_threads\": " << warmup.parallel_threads
+      << ", \"serial_seconds\": " << std::setprecision(6)
+      << warmup.serial_seconds << ", \"parallel_seconds\": "
+      << std::setprecision(6) << warmup.parallel_seconds
+      << ", \"parallel_speedup\": " << std::setprecision(4)
+      << warmup.parallel_speedup << ", \"pool_checksum\": \"" << std::hex
+      << warmup.pool_checksum << std::dec
+      << "\",\n    \"store\": {\"workload\": \""
+      << json_escape(warmup.store_workload)
+      << "\", \"entry_bytes\": " << warmup.store_entry_bytes
+      << ", \"cold_capture_seconds\": " << std::setprecision(6)
+      << warmup.cold_capture_seconds << ", \"warm_capture_seconds\": "
+      << std::setprecision(6) << warmup.warm_capture_seconds
+      << ", \"speedup\": " << std::setprecision(4) << warmup.store_speedup
+      << ", \"capture_checksum\": \"" << std::hex
+      << warmup.capture_checksum << std::dec << "\"}},\n"
       << "  \"results\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const auto& r = results[i];
@@ -966,6 +1172,21 @@ int main() {
             << " (traffic)" << (sampling_gated ? "" : " [ungated]") << "\n\n";
   std::cout.unsetf(std::ios::fixed);
 
+  const bool warmup_gated = optimized && accesses >= (std::uint64_t{1} << 22);
+  const WarmupBench warmup = bench_warmup(reps, warmup_gated);
+  std::cout << "warm-up pipeline (" << warmup.pool << " captures): serial "
+            << std::fixed << std::setprecision(3) << warmup.serial_seconds
+            << "s, " << warmup.parallel_threads << "-thread "
+            << warmup.parallel_seconds << "s (speedup "
+            << std::setprecision(2) << warmup.parallel_speedup << "x)\n"
+            << "trace store (CG, " << warmup.store_entry_bytes
+            << " B entry): cold " << std::setprecision(3)
+            << warmup.cold_capture_seconds << "s, warm "
+            << warmup.warm_capture_seconds << "s (speedup "
+            << std::setprecision(2) << warmup.store_speedup << "x)"
+            << (warmup_gated ? "" : " [ungated]") << "\n\n";
+  std::cout.unsetf(std::ios::fixed);
+
   std::cout << std::left << std::setw(24) << "config" << std::right
             << std::setw(14) << "Maccesses/s" << std::setw(12) << "seconds"
             << std::setw(20) << "stats checksum" << "\n";
@@ -979,7 +1200,8 @@ int main() {
   }
 
   write_json(out_path, accesses, reps, optimized, results, footprint,
-             parallel, chunk_ref, grid_configs, grid_workloads, sampling);
+             parallel, chunk_ref, grid_configs, grid_workloads, sampling,
+             warmup);
   std::cout << "\n(JSON written to " << out_path << ")\n";
   return 0;
 }

@@ -73,6 +73,10 @@ void FaultInjector::reset() {
 }
 
 void FaultInjector::hit(std::string_view site) {
+  // A thread-local ScopedFaultIndex owns the decision for routed sites:
+  // the hit is decided at its canonical slot and tallied shard-locally
+  // instead of bumping the interleaving-dependent shared counter.
+  if (ScopedFaultIndex::consume(site)) return;
   // Decide (and bump counters) under the mutex; run the consequence — a
   // throw or a stall that may sleep for the full budget — after releasing
   // it, so a stalled site never blocks other threads' fault points.
@@ -191,6 +195,35 @@ void ShardFaultAccount::seal() noexcept {
     injector_->merge_counts(t.site, t.hits, t.fires);
   }
   tallies_.clear();
+}
+
+thread_local ScopedFaultIndex* ScopedFaultIndex::current_ = nullptr;
+
+ScopedFaultIndex::ScopedFaultIndex(ShardFaultAccount& account)
+    : account_(account), previous_(current_) {
+  current_ = this;
+}
+
+ScopedFaultIndex::~ScopedFaultIndex() { current_ = previous_; }
+
+void ScopedFaultIndex::route(std::string site,
+                             std::vector<std::uint64_t> slots) {
+  routes_.push_back(Route{std::move(site), std::move(slots), 0});
+}
+
+bool ScopedFaultIndex::consume(std::string_view site) {
+  ScopedFaultIndex* scope = current_;
+  if (scope == nullptr) return false;
+  for (auto& route : scope->routes_) {
+    if (route.site == site && route.next < route.slots.size()) {
+      // ShardFaultAccount::hit applies the canonical hit_at decision and
+      // tallies locally; a fired fault propagates out of here exactly like
+      // it would from the shared-counter path.
+      scope->account_.hit(site, route.slots[route.next++]);
+      return true;
+    }
+  }
+  return false;
 }
 
 std::uint64_t FaultInjector::hits(const std::string& site) const {

@@ -188,6 +188,51 @@ class ShardFaultAccount {
   std::vector<Tally> tallies_;  ///< few sites per shard; linear scan
 };
 
+/// Thread-local canonical-index redirect for fault sites that are crossed
+/// deep inside code which cannot take an index parameter (capture_front,
+/// replay_back). While a scope is installed on a thread, a plain
+/// HMS_FAULT_POINT whose site matches one of the scope's routes is decided
+/// through FaultInjector::hit_at at the route's next canonical slot —
+/// tallied into the scope's ShardFaultAccount instead of bumping the
+/// order-dependent shared counter — so pipelined engines keep
+/// skip_first/max_fires armings meaningful at any thread count. Hits past
+/// the end of a route's slot sequence, and sites with no route, fall
+/// through to the normal shared-counter path. Scopes nest per thread; the
+/// innermost scope owns every decision while installed (outer routes are
+/// not consulted).
+class ScopedFaultIndex {
+ public:
+  explicit ScopedFaultIndex(ShardFaultAccount& account);
+  ~ScopedFaultIndex();
+  ScopedFaultIndex(const ScopedFaultIndex&) = delete;
+  ScopedFaultIndex& operator=(const ScopedFaultIndex&) = delete;
+
+  /// Routes the next `slots.size()` hits of `site` on this thread to the
+  /// given canonical 1-based indices, in sequence. Slot sequences are
+  /// explicit (not base + counter) so callers can leave holes for hits
+  /// that a serial run would have taken but this worker skips.
+  void route(std::string site, std::vector<std::uint64_t> slots);
+
+  /// Consulted by FaultInjector::hit before touching the shared counter.
+  /// True: the innermost scope on this thread consumed the hit (decision
+  /// taken at its canonical slot, tallied shard-locally). False: no scope,
+  /// no matching route, or the route is exhausted — take the normal path.
+  [[nodiscard]] static bool consume(std::string_view site);
+
+ private:
+  struct Route {
+    std::string site;
+    std::vector<std::uint64_t> slots;
+    std::size_t next = 0;
+  };
+
+  static thread_local ScopedFaultIndex* current_;
+
+  ShardFaultAccount& account_;
+  std::vector<Route> routes_;
+  ScopedFaultIndex* previous_;
+};
+
 }  // namespace hms
 
 /// Marks a named fault-injection site. Free when no injector is active.

@@ -7,6 +7,7 @@
 #include <limits>
 #include <memory>
 #include <optional>
+#include <semaphore>
 #include <string_view>
 
 #include "hms/common/backoff.hpp"
@@ -40,6 +41,23 @@ std::uint64_t default_retry_backoff_ms() {
   return env_u64("HMS_RETRY_BACKOFF_MS", 25);
 }
 
+unsigned default_warmup_threads() {
+  const char* env = std::getenv("HMS_WARMUP_THREADS");
+  if (env == nullptr || *env == '\0') return 0;  // follow threads
+  const std::uint64_t v = env_u64("HMS_WARMUP_THREADS", 0);
+  if (v == 0) {
+    throw ConfigError(with_context(
+        "HMS_WARMUP_THREADS",
+        "must be >= 1, got \"0\" (unset the variable to follow the sweep "
+        "thread count)"));
+  }
+  if (v > std::numeric_limits<unsigned>::max()) {
+    throw ConfigError(with_context(
+        "HMS_WARMUP_THREADS", "out of range: \"" + std::string(env) + "\""));
+  }
+  return static_cast<unsigned>(v);
+}
+
 workloads::WorkloadParams ExperimentConfig::params_for(
     const workloads::WorkloadInfo& info) const {
   workloads::WorkloadParams p;
@@ -56,18 +74,25 @@ ExperimentRunner::ExperimentRunner(ExperimentConfig config)
       factory_(config_.scale_divisor, mem::TechnologyRegistry::table1(),
                config_.design_options),
       suite_(config_.suite.empty() ? workloads::paper_suite()
-                                   : config_.suite) {}
+                                   : config_.suite),
+      trace_store_(config_.trace_cache_dir.empty()
+                       ? nullptr
+                       : std::make_unique<trace::TraceStore>(
+                             config_.trace_cache_dir)) {}
 
-const FrontCapture& ExperimentRunner::front(const std::string& workload) {
-  auto it = fronts_.find(workload);
-  if (it != fronts_.end()) return it->second;
+FrontCapture ExperimentRunner::capture_workload(const std::string& workload) {
   // Instantiate once to read the paper metadata needed for sizing.
   auto probe = workloads::make_workload(
       workload, workloads::WorkloadParams{1ull << 20, config_.seed, 1});
   const auto params = config_.params_for(probe->info());
   probe.reset();
-  auto capture = capture_front(workload, params, factory_);
-  return fronts_.emplace(workload, std::move(capture)).first->second;
+  return capture_front_cached(workload, params, factory_, trace_store_.get());
+}
+
+const FrontCapture& ExperimentRunner::front(const std::string& workload) {
+  auto it = fronts_.find(workload);
+  if (it != fronts_.end()) return it->second;
+  return fronts_.emplace(workload, capture_workload(workload)).first->second;
 }
 
 const model::DesignReport& ExperimentRunner::base_report(
@@ -112,6 +137,27 @@ const model::ReferenceAnchor& ExperimentRunner::anchor(
   return anchors_.at(workload);
 }
 
+WarmedWorkload ExperimentRunner::warm_workload(const std::string& workload) {
+  // Mirrors the lazy front()/plan_for()/base_report() chain — same
+  // operations, same fault sites in the same order (one
+  // "sim/capture_front", one "sim/replay_back") — but entirely off the
+  // shared maps, so warm-ups for different workloads can run concurrently.
+  WarmedWorkload warmed;
+  warmed.capture = capture_workload(workload);
+  if (config_.sampling == SamplingMode::SimPoint) {
+    warmed.plan.emplace(build_sample_plan(
+        warmed.capture.residual, warmed.capture.interval_profile,
+        config_.sample_k, config_.warmup_chunks, config_.seed));
+  }
+  auto back = factory_.base_back(warmed.capture.footprint_bytes);
+  const auto profile = replay_back(warmed.capture, *back,
+                                   warmed.plan ? &*warmed.plan : nullptr);
+  warmed.anchor =
+      model::make_anchor(profile, warmed.capture.info.memory_bound_fraction);
+  warmed.base = model::evaluate("base", workload, profile, warmed.anchor);
+  return warmed;
+}
+
 WorkloadResult ExperimentRunner::evaluate_back(const std::string& design_name,
                                                const std::string& workload,
                                                cache::MemoryHierarchy& back) {
@@ -135,8 +181,17 @@ WorkloadResult ExperimentRunner::finish_result(
     const std::string& design_name, const std::string& workload,
     const cache::HierarchyProfile& profile,
     const std::vector<RepEstimate>& reps) {
+  // base_report must run before the anchors_ lookup (it computes both).
   const model::DesignReport& base = base_report(workload);
-  const auto& anchor = anchors_.at(workload);
+  return finish_result(design_name, workload, profile, reps, base,
+                       anchors_.at(workload));
+}
+
+WorkloadResult ExperimentRunner::finish_result(
+    const std::string& design_name, const std::string& workload,
+    const cache::HierarchyProfile& profile,
+    const std::vector<RepEstimate>& reps, const model::DesignReport& base,
+    const model::ReferenceAnchor& anchor) const {
   WorkloadResult result;
   result.report = model::evaluate(design_name, workload, profile, anchor);
   result.normalized = model::normalize(result.report, base);
@@ -244,43 +299,171 @@ std::vector<SuiteResult> ExperimentRunner::sweep(
   }
 
   if (!pending.empty()) {
-    // Warm the shared caches serially: front captures and base reports
-    // insert into maps that the parallel tasks then only read. A workload
-    // whose warm-up fails is excluded from the grid and recorded in every
-    // pending config's failure list.
-    std::vector<std::size_t> live;
-    std::vector<SuiteFailure> warm_failures;
-    {
-      // The serial warm-up gets the same per-cell watchdog as the grid:
-      // one budget per workload, re-armed before each one. An interrupt
-      // aborts the sweep; a timeout degrades just that workload.
-      CancellationToken warm_token(config_.cell_timeout_ms);
-      const CancelScope warm_scope(warm_token);
-      for (std::size_t w = 0; w < suite_.size(); ++w) {
-        warm_token.rearm();
-        try {
-          (void)base_report(suite_[w]);
-          live.push_back(w);
-        } catch (const CancelledError& e) {
-          if (e.kind() == CancelKind::interrupt) throw;
-          warm_failures.push_back(
-              {suite_[w],
-               with_context("warm-up / workload " + suite_[w], e.what())});
-        } catch (const std::exception& e) {
-          warm_failures.push_back(
-              {suite_[w],
-               with_context("warm-up / workload " + suite_[w], e.what())});
-        }
+    // -- Pipelined warm-up --------------------------------------------------
+    // One slot per suite workload. Pre-warmed workloads (their base report
+    // is already cached) alias the shared maps; the rest are warmed off the
+    // maps — concurrently, each slot written by exactly one task — and
+    // settled into the maps only after the engines drain.
+    struct WarmSlot {
+      bool needs_warm = false;
+      std::size_t rank = 0;  ///< 0-based among slots needing warm-up
+      std::optional<WarmedWorkload> owned;
+      const FrontCapture* capture = nullptr;
+      const model::DesignReport* base = nullptr;
+      const model::ReferenceAnchor* anchor = nullptr;
+      const SamplePlan* plan = nullptr;
+      std::string error;
+      [[nodiscard]] bool ok() const {
+        return error.empty() && capture != nullptr;
+      }
+    };
+    std::vector<WarmSlot> slots(suite_.size());
+    std::size_t warm_count = 0;
+    for (std::size_t w = 0; w < suite_.size(); ++w) {
+      WarmSlot& slot = slots[w];
+      const auto it = base_reports_.find(suite_[w]);
+      if (it != base_reports_.end()) {
+        slot.capture = &fronts_.at(suite_[w]);
+        slot.base = &it->second;
+        slot.anchor = &anchors_.at(suite_[w]);
+        slot.plan = plan_for(suite_[w]);
+      } else {
+        slot.needs_warm = true;
+        slot.rank = warm_count++;
       }
     }
-    if (live.empty()) {
-      throw SimulationError(
-          with_context("sweep " + label,
-                       "every workload failed warm-up; first: " +
-                           warm_failures.front().error));
+
+    // Canonical fault-slot bases, snapshotted before any warm-up hit: the
+    // warm-up for rank r takes "sim/capture_front" / "sim/replay_back" at
+    // slot base + r + 1, and grid cell (p, w) replays at rb_grid_base +
+    // w * pending.size() + p + 1 — so a given arming fails the same cells
+    // at any warm-up/grid interleaving (DESIGN.md §5f).
+    std::uint64_t cf_base = 0;
+    std::uint64_t rb_base = 0;
+    if (FaultInjector* injector = FaultInjector::active()) {
+      cf_base = injector->hits("sim/capture_front");
+      rb_base = injector->hits("sim/replay_back");
+    }
+    const std::uint64_t rb_grid_base = rb_base + warm_count;
+
+    const unsigned warm_workers = resolve_workers(
+        config_.warmup_threads != 0 ? config_.warmup_threads
+                                    : config_.threads);
+    // Caps how many warm-ups run concurrently when the grid engines drive
+    // them (chunk-major tasks and sharded warm hooks both funnel through
+    // warm_into below).
+    std::counting_semaphore<> warm_gate(warm_workers);
+
+    // Warms one workload into its slot. Never throws: any failure —
+    // including an interrupt-kind CancelledError, which the post-drain
+    // interrupt check turns into the sweep abort — is recorded as the
+    // slot's error, with the same context the serial warm-up produced.
+    const auto warm_into = [&](std::size_t w) {
+      WarmSlot& slot = slots[w];
+      warm_gate.acquire();
+      struct Release {
+        std::counting_semaphore<>& gate;
+        ~Release() { gate.release(); }
+      } release{warm_gate};
+      try {
+        ShardFaultAccount account;
+        {
+          ScopedFaultIndex redirect(account);
+          redirect.route("sim/capture_front", {cf_base + slot.rank + 1});
+          redirect.route("sim/replay_back", {rb_base + slot.rank + 1});
+          slot.owned.emplace(warm_workload(suite_[w]));
+        }
+        account.seal();
+        slot.capture = &slot.owned->capture;
+        slot.base = &slot.owned->base;
+        slot.anchor = &slot.owned->anchor;
+        slot.plan = slot.owned->plan ? &*slot.owned->plan : nullptr;
+      } catch (const std::exception& e) {
+        slot.error =
+            with_context("warm-up / workload " + suite_[w], e.what());
+      }
+    };
+
+    // Moves every warmed slot's products into the shared maps and re-points
+    // the slot at the map entries. Single-threaded: called only after the
+    // warm pool / grid engines have drained.
+    const auto settle_warm_slots = [&] {
+      for (std::size_t w = 0; w < suite_.size(); ++w) {
+        WarmSlot& slot = slots[w];
+        if (!slot.owned) continue;
+        const std::string& workload = suite_[w];
+        slot.capture =
+            &fronts_.emplace(workload, std::move(slot.owned->capture))
+                 .first->second;
+        slot.base =
+            &base_reports_.emplace(workload, std::move(slot.owned->base))
+                 .first->second;
+        slot.anchor =
+            &anchors_.emplace(workload, slot.owned->anchor).first->second;
+        if (slot.owned->plan) {
+          slot.plan = &plans_.emplace(workload, std::move(*slot.owned->plan))
+                           .first->second;
+        }
+        slot.owned.reset();
+      }
+    };
+
+    const bool config_major = config_.replay_mode == ReplayMode::ConfigMajor;
+
+    // Config-major cell tasks span workloads, so its warm-up runs as its
+    // own barriered pool first; the chunk/shard pipelines below overlap
+    // warm-up with grid replay instead.
+    std::vector<std::size_t> live;
+    std::vector<SuiteFailure> warm_failures;
+    if (config_major) {
+      if (warm_count != 0) {
+        std::vector<ParallelTask> warm_tasks;
+        warm_tasks.reserve(warm_count);
+        for (std::size_t w = 0; w < suite_.size(); ++w) {
+          if (!slots[w].needs_warm) continue;
+          ParallelTask task;
+          task.label = "warm-up / workload " + suite_[w];
+          task.fn = [&, w] {
+            // The warm-up gets the same per-cell watchdog as the grid: one
+            // budget per workload. Timeouts degrade just that workload;
+            // interrupts surface through the check below.
+            CancellationToken token(config_.cell_timeout_ms);
+            const CancelScope scope(token);
+            warm_into(w);
+          };
+          warm_tasks.push_back(std::move(task));
+        }
+        ParallelOptions warm_options;
+        warm_options.threads = warm_workers;
+        warm_options.policy = ErrorPolicy::degrade;
+        warm_options.stop_on_interrupt = true;
+        (void)run_parallel(std::move(warm_tasks), warm_options);
+        settle_warm_slots();
+        if (const int sig = interrupt_signal(); sig != 0) {
+          throw CancelledError("sweep " + label + ": interrupted by signal " +
+                                   std::to_string(sig),
+                               CancelKind::interrupt);
+        }
+      }
+      for (std::size_t w = 0; w < suite_.size(); ++w) {
+        if (slots[w].ok()) {
+          live.push_back(w);
+        } else if (!slots[w].error.empty()) {
+          warm_failures.push_back({suite_[w], slots[w].error});
+        }
+      }
+      if (live.empty()) {
+        throw SimulationError(
+            with_context("sweep " + label,
+                         "every workload failed warm-up; first: " +
+                             warm_failures.front().error));
+      }
     }
 
-    const std::size_t width = live.size();
+    // Grid width: config-major runs cells for surviving workloads only;
+    // the pipelined modes give every suite workload a column and surface
+    // warm-up failures through the per-cell bookkeeping.
+    const std::size_t width = config_major ? live.size() : suite_.size();
     std::vector<std::vector<std::optional<WorkloadResult>>> grid(
         pending.size(), std::vector<std::optional<WorkloadResult>>(width));
     std::vector<std::vector<SuiteFailure>> failures(pending.size(),
@@ -298,6 +481,19 @@ std::vector<SuiteResult> ExperimentRunner::sweep(
       if (survivors.empty()) return;  // total loss; reported after join
       const std::size_t c = pending[p];
       SuiteResult suite = average(configs[c].name, std::move(survivors));
+      // Failures are pushed in completion order, which depends on thread
+      // interleaving; sort by suite position (each workload contributes at
+      // most one failure per config) so results are bit-identical at any
+      // thread count and across replay modes.
+      std::stable_sort(failures[p].begin(), failures[p].end(),
+                       [&](const SuiteFailure& a, const SuiteFailure& b) {
+                         const auto pos = [&](const std::string& name) {
+                           return std::find(suite_.begin(), suite_.end(),
+                                            name) -
+                                  suite_.begin();
+                         };
+                         return pos(a.workload) < pos(b.workload);
+                       });
       suite.failures = std::move(failures[p]);
       suite.partial = !suite.failures.empty();
       // Partial results are deliberately not checkpointed: a resume should
@@ -310,14 +506,17 @@ std::vector<SuiteResult> ExperimentRunner::sweep(
       // The sharded engine owns its worker pool, claiming (workload,
       // config-shard) units with work-stealing; this layer only maps cell
       // outcomes back into the grid/failure bookkeeping, serialized by the
-      // engine's on_cell callback.
+      // engine's on_cell callback. Columns still needing warm-up hand the
+      // engine a null capture and the warm hook below: the first worker to
+      // claim one of their units warms them in place, pipelined with the
+      // replay of already-warm columns.
       std::vector<const FrontCapture*> captures;
       captures.reserve(width);
       std::vector<const SamplePlan*> plans;
       plans.reserve(width);
-      for (std::size_t l = 0; l < width; ++l) {
-        captures.push_back(&fronts_.at(suite_[live[l]]));
-        plans.push_back(plan_for(suite_[live[l]]));
+      for (std::size_t w = 0; w < width; ++w) {
+        captures.push_back(slots[w].needs_warm ? nullptr : slots[w].capture);
+        plans.push_back(slots[w].needs_warm ? nullptr : slots[w].plan);
       }
       ShardedSweepSpec spec;
       spec.captures = captures;
@@ -328,22 +527,42 @@ std::vector<SuiteResult> ExperimentRunner::sweep(
       spec.cell_timeout_ms = config_.cell_timeout_ms;
       spec.retry_backoff_ms = config_.retry_backoff_ms;
       spec.backoff_seed = config_.seed;
-      if (FaultInjector* injector = FaultInjector::active()) {
-        spec.replay_fault_base = injector->hits("sim/replay_back");
-      }
-      spec.make_back = [&](std::size_t p, std::size_t l) {
-        return make_back(configs[pending[p]], captures[l]->footprint_bytes);
+      spec.replay_fault_base = rb_grid_base;
+      spec.warm = [&](std::size_t w) {
+        warm_into(w);
+        WarmSlot& slot = slots[w];
+        ShardedWarmResult result;
+        if (slot.ok()) {
+          result.capture = slot.capture;
+          result.plan = slot.plan;
+        } else {
+          result.error = slot.error.empty() ? "warm-up failed" : slot.error;
+        }
+        return result;
       };
-      spec.on_cell = [&](std::size_t p, std::size_t l,
+      spec.make_back = [&](std::size_t p, std::size_t w) {
+        // The engine only builds backs for Ready columns, so the slot's
+        // capture pointer is settled and stable here.
+        return make_back(configs[pending[p]], slots[w].capture->footprint_bytes);
+      };
+      spec.on_cell = [&](std::size_t p, std::size_t w,
                          ShardedCellOutcome&& out) {
         const std::size_t c = pending[p];
-        const std::string& workload = suite_[live[l]];
+        const std::string& workload = suite_[w];
+        if (out.warm_failure) {
+          // The warm hook already contextualized the error; recording it
+          // once per config mirrors the serial warm-up's exclusion.
+          failures[p].push_back({workload, out.error});
+          if (--remaining[p] == 0) settle_config(p);
+          return;
+        }
         const std::string cell =
             "config " + configs[c].name + " / workload " + workload;
         if (out.ok) {
           try {
-            grid[p][l] =
-                finish_result(configs[c].name, workload, out.profile, out.reps);
+            grid[p][w] =
+                finish_result(configs[c].name, workload, out.profile, out.reps,
+                              *slots[w].base, *slots[w].anchor);
           } catch (const std::exception& e) {
             failures[p].push_back({workload, with_context(cell, e.what())});
           }
@@ -357,7 +576,7 @@ std::vector<SuiteResult> ExperimentRunner::sweep(
         if (--remaining[p] == 0) settle_config(p);
       };
       run_sharded_sweep(spec);
-      // (Falls through to the shared assembly below; every cell settled.)
+      // (Falls through to the shared settle/assembly below.)
     } else {
       std::vector<ParallelTask> tasks;
       ParallelOptions options;
@@ -372,28 +591,38 @@ std::vector<SuiteResult> ExperimentRunner::sweep(
       std::vector<std::vector<std::string>> cell_errors;
 
       if (config_.replay_mode == ReplayMode::ChunkMajor) {
-        // One task per workload: every pending config's back is fed from a
-        // single decode pass over the residual chunks (replay_back_many). A
-        // cell that fails falls back to bounded standalone-replay retries,
+        // One fused task per workload: the task warms its own workload if
+        // needed (pipelined with other workloads' replays, throttled by
+        // warm_gate), then feeds every pending config's back from a single
+        // decode pass over the residual chunks (replay_back_many). A cell
+        // that fails falls back to bounded standalone-replay retries,
         // mirroring the config-major transient-retry semantics.
         cell_errors.assign(pending.size(), std::vector<std::string>(width));
         tasks.reserve(width);
-        for (std::size_t l = 0; l < width; ++l) {
+        for (std::size_t w = 0; w < width; ++w) {
           ParallelTask task;
-          task.label = "workload " + suite_[live[l]];
-          task.fn = [this, &configs, &make_back, &grid, &cell_errors, &pending,
-                     &live, l] {
-            const std::string& workload = suite_[live[l]];
-            const FrontCapture& capture = fronts_.at(workload);
-            // Plans were built during the serial warm-up; this is a pure
-            // map read, safe across concurrent workload tasks.
-            const SamplePlan* const plan = plan_for(workload);
+          task.label = "workload " + suite_[w];
+          task.fn = [this, &configs, &make_back, &grid, &cell_errors,
+                     &pending, &slots, &warm_into, rb_grid_base, w] {
+            WarmSlot& slot = slots[w];
+            const std::string& workload = suite_[w];
 
-            // Per-task watchdog: replay_back_many polls this as the
+            // Per-task watchdog: one budget for the warm-up, then a fresh
+            // one for the replay; replay_back_many polls this as the
             // thread's ambient token and re-arms it itself whenever a
             // timed-out cell is dropped.
             CancellationToken token(config_.cell_timeout_ms);
             const CancelScope token_scope(token);
+
+            if (slot.needs_warm) {
+              warm_into(w);
+              token.rearm();
+            }
+            // A failed warm-up excludes exactly this workload: on_complete
+            // records slot.error against every pending config.
+            if (!slot.ok()) return;
+            const FrontCapture& capture = *slot.capture;
+            const SamplePlan* const plan = slot.plan;
 
             // Build one back per pending config; a config whose construction
             // fails is excluded from the replay (its cell error is final —
@@ -413,32 +642,54 @@ std::vector<SuiteResult> ExperimentRunner::sweep(
                 backs.push_back(owned[p].get());
                 built.push_back(p);
               } catch (const std::exception& e) {
-                cell_errors[p][l] = with_context(cell, e.what());
+                cell_errors[p][w] = with_context(cell, e.what());
               }
             }
 
-            const auto outcomes = replay_back_many(capture, backs, plan);
+            // Canonical per-cell fault slots: built back b (for pending
+            // index p) replays at rb_grid_base + w * pending.size() + p +
+            // 1, routed through the thread-local redirect so the hits
+            // replay_back_many takes keep their serial identity at any
+            // interleaving. The account seals at scope exit, before the
+            // retries below take plain global hits.
+            std::vector<BackReplayOutcome> outcomes;
+            {
+              ShardFaultAccount account;
+              ScopedFaultIndex redirect(account);
+              std::vector<std::uint64_t> rb_slots;
+              rb_slots.reserve(built.size());
+              for (const std::size_t p : built) {
+                rb_slots.push_back(rb_grid_base +
+                                   static_cast<std::uint64_t>(w) *
+                                       pending.size() +
+                                   p + 1);
+              }
+              redirect.route("sim/replay_back", std::move(rb_slots));
+              outcomes = replay_back_many(capture, backs, plan);
+            }
             for (std::size_t b = 0; b < outcomes.size(); ++b) {
               const std::size_t p = built[b];
               const std::size_t c = pending[p];
               const std::string cell =
                   "config " + configs[c].name + " / workload " + workload;
               if (outcomes[b].ok) {
-                grid[p][l] = finish_result(configs[c].name, workload,
+                grid[p][w] = finish_result(configs[c].name, workload,
                                            outcomes[b].profile,
-                                           outcomes[b].reps);
+                                           outcomes[b].reps, *slot.base,
+                                           *slot.anchor);
                 continue;
               }
-              cell_errors[p][l] =
+              cell_errors[p][w] =
                   with_context(cell, with_context("replay_back",
                                                   outcomes[b].error));
               // Bounded per-cell retries with a fresh back and a standalone
               // replay (same ordered stream, so the result stays identical),
               // spaced by deterministic exponential backoff and each given
-              // a fresh watchdog budget.
+              // a fresh watchdog budget. Retries take plain global fault
+              // hits — the canonical account above has already sealed.
               const std::uint64_t cell_seed =
                   config_.seed ^
-                  ((static_cast<std::uint64_t>(p) << 32) ^ l);
+                  ((static_cast<std::uint64_t>(p) << 32) ^ w);
               bool stop_retrying = false;
               for (std::uint32_t attempt = 0;
                    attempt < config_.max_retries && !stop_retrying;
@@ -451,14 +702,26 @@ std::vector<SuiteResult> ExperimentRunner::sweep(
                 token.rearm();
                 try {
                   auto back = make_back(configs[c], capture.footprint_bytes);
-                  grid[p][l] = evaluate_back(configs[c].name, workload, *back);
-                  cell_errors[p][l].clear();
+                  cache::HierarchyProfile profile;
+                  std::vector<RepEstimate> reps;
+                  try {
+                    profile = replay_back(capture, *back, plan, &reps);
+                  } catch (const CancelledError& e) {
+                    throw CancelledError(
+                        with_context("replay_back", e.what()), e.kind());
+                  } catch (...) {
+                    rethrow_with_context("replay_back");
+                  }
+                  grid[p][w] = finish_result(configs[c].name, workload,
+                                             profile, reps, *slot.base,
+                                             *slot.anchor);
+                  cell_errors[p][w].clear();
                   break;
                 } catch (const CancelledError& e) {
-                  cell_errors[p][l] = with_context(cell, e.what());
+                  cell_errors[p][w] = with_context(cell, e.what());
                   if (e.kind() == CancelKind::interrupt) stop_retrying = true;
                 } catch (const std::exception& e) {
-                  cell_errors[p][l] = with_context(cell, e.what());
+                  cell_errors[p][w] = with_context(cell, e.what());
                 }
               }
               token.rearm();  // fresh budget for the next cell's retries
@@ -469,14 +732,16 @@ std::vector<SuiteResult> ExperimentRunner::sweep(
         // Retries are per cell inside the task; a retry at task granularity
         // would re-run every config's replay.
         options.max_retries = 0;
-        options.on_complete = [&](std::size_t l, const TaskReport& report) {
+        options.on_complete = [&](std::size_t w, const TaskReport& report) {
           for (std::size_t p = 0; p < pending.size(); ++p) {
             if (report.outcome == TaskOutcome::failed) {
               // The whole workload column died (e.g. out of memory building
               // the backs vector): every pending config loses this cell.
-              failures[p].push_back({suite_[live[l]], report.error});
-            } else if (!cell_errors[p][l].empty()) {
-              failures[p].push_back({suite_[live[l]], cell_errors[p][l]});
+              failures[p].push_back({suite_[w], report.error});
+            } else if (!slots[w].error.empty()) {
+              failures[p].push_back({suite_[w], slots[w].error});
+            } else if (!cell_errors[p][w].empty()) {
+              failures[p].push_back({suite_[w], cell_errors[p][w]});
             }
             if (--remaining[p] == 0) settle_config(p);
           }
@@ -490,8 +755,13 @@ std::vector<SuiteResult> ExperimentRunner::sweep(
             task.label =
                 "config " + configs[c].name + " / workload " + suite_[live[l]];
             task.transient = config_.max_retries > 0;
-            task.fn = [this, &configs, &make_back, &grid, &live, c, p, l] {
-              const std::string& workload = suite_[live[l]];
+            task.fn = [this, &configs, &make_back, &grid, &slots, &live, c, p,
+                       l] {
+              const std::size_t w = live[l];
+              // The warm-up barrier above settled this slot; its pointers
+              // are stable, so the task never touches the shared maps.
+              const WarmSlot& slot = slots[w];
+              const std::string& workload = suite_[w];
               // One watchdog budget per attempt: the task body IS one
               // attempt (run_one re-invokes it on retry), so arming here
               // re-arms naturally.
@@ -501,8 +771,19 @@ std::vector<SuiteResult> ExperimentRunner::sweep(
                   "config " + configs[c].name + " / workload " + workload;
               try {
                 auto back =
-                    make_back(configs[c], fronts_.at(workload).footprint_bytes);
-                grid[p][l] = evaluate_back(configs[c].name, workload, *back);
+                    make_back(configs[c], slot.capture->footprint_bytes);
+                cache::HierarchyProfile profile;
+                std::vector<RepEstimate> reps;
+                try {
+                  profile = replay_back(*slot.capture, *back, slot.plan, &reps);
+                } catch (const CancelledError& e) {
+                  throw CancelledError(with_context("replay_back", e.what()),
+                                       e.kind());
+                } catch (...) {
+                  rethrow_with_context("replay_back");
+                }
+                grid[p][l] = finish_result(configs[c].name, workload, profile,
+                                           reps, *slot.base, *slot.anchor);
               } catch (const CancelledError& e) {
                 throw CancelledError(with_context(cell, e.what()), e.kind());
               } catch (...) {
@@ -525,6 +806,11 @@ std::vector<SuiteResult> ExperimentRunner::sweep(
       (void)run_parallel(std::move(tasks), options);
     }
 
+    // The pipelined modes settle freshly-warmed slots into the shared maps
+    // only now, after the engines drained — the single-writer settle is
+    // what lets the grid run against stable slot pointers without locks.
+    if (!config_major) settle_warm_slots();
+
     // A process interrupt aborts the sweep here — after the engines have
     // drained (completed configs are already fsync'd into the checkpoint)
     // but before assembly, which would misreport unworked cells as config
@@ -533,6 +819,22 @@ std::vector<SuiteResult> ExperimentRunner::sweep(
       throw CancelledError("sweep " + label + ": interrupted by signal " +
                                std::to_string(sig),
                            CancelKind::interrupt);
+    }
+
+    // The pipelined modes discover warm-up failures cell-by-cell; mirror
+    // the serial all-failed abort (config-major threw it before its grid).
+    if (!config_major && warm_count != 0 &&
+        std::none_of(slots.begin(), slots.end(),
+                     [](const WarmSlot& s) { return s.ok(); })) {
+      std::string first;
+      for (const WarmSlot& slot : slots) {
+        if (!slot.error.empty()) {
+          first = slot.error;
+          break;
+        }
+      }
+      throw SimulationError(with_context(
+          "sweep " + label, "every workload failed warm-up; first: " + first));
     }
   }
 

@@ -17,6 +17,7 @@
 #include "hms/designs/partition.hpp"
 #include "hms/model/report.hpp"
 #include "hms/sim/simulator.hpp"
+#include "hms/trace/trace_store.hpp"
 
 namespace hms::sim {
 
@@ -56,6 +57,11 @@ enum class ReplayMode : std::uint8_t {
 /// Unset/empty = 25 ms base backoff; 0 disables backoff (immediate
 /// retries, the pre-watchdog behavior).
 [[nodiscard]] std::uint64_t default_retry_backoff_ms();
+
+/// Reads HMS_WARMUP_THREADS (strict). Unset/empty = 0 = follow
+/// ExperimentConfig::threads; an explicit 0 is rejected with ConfigError
+/// (unset the variable instead).
+[[nodiscard]] unsigned default_warmup_threads();
 
 struct ExperimentConfig {
   /// Capacity scale divisor applied to every cache/DRAM size (power of 2).
@@ -107,6 +113,19 @@ struct ExperimentConfig {
   /// representative so tag state is realistic while measured counters stay
   /// clean. From HMS_WARMUP_CHUNKS.
   std::uint32_t warmup_chunks = default_warmup_chunks();
+  /// Worker threads for the per-workload warm-up stage (front capture +
+  /// base report + sample plan): 0 = follow `threads`. The pipelined
+  /// chunk/shard modes use it to cap how many warm-ups run concurrently
+  /// alongside grid replay; config-major runs the warm-up as its own
+  /// barriered pool. Execution-only (excluded from experiment_hash) —
+  /// results are bit-identical at any value. From HMS_WARMUP_THREADS.
+  unsigned warmup_threads = default_warmup_threads();
+  /// Directory of the persistent CRC-checked trace store (empty = no
+  /// store): sweeps look front captures up by capture hash before
+  /// simulating and append fresh captures after (trace/trace_store.hpp).
+  /// Execution-only (excluded from experiment_hash) — cached and fresh
+  /// captures replay bit-identically. From HMS_TRACE_CACHE.
+  std::string trace_cache_dir = default_trace_cache_dir();
 
   [[nodiscard]] workloads::WorkloadParams params_for(
       const workloads::WorkloadInfo& info) const;
@@ -162,6 +181,16 @@ struct NdmResult {
   /// Every evaluated placement, including the all-DRAM anchor.
   std::vector<std::pair<designs::Placement, model::NormalizedReport>>
       all_placements;
+};
+
+/// One workload's warm-up products, produced off the shared caches by the
+/// pipelined warm-up (ExperimentRunner::warm_workload) and settled into
+/// them once a sweep's engines drain.
+struct WarmedWorkload {
+  FrontCapture capture;
+  model::DesignReport base;
+  model::ReferenceAnchor anchor;
+  std::optional<SamplePlan> plan;  ///< engaged in SimPoint mode
 };
 
 /// See file comment.
@@ -240,10 +269,35 @@ class ExperimentRunner {
       const cache::HierarchyProfile& profile,
       const std::vector<RepEstimate>& reps = {});
 
-  /// Shared sweep driver: warms every workload's front and base report
-  /// serially (they mutate the caches), then evaluates the config x
-  /// workload grid with `config_.threads` workers — each task builds its
-  /// own back hierarchy and only reads the shared caches.
+  /// finish_result against explicit base/anchor references instead of the
+  /// shared maps — the pipelined sweep calls this with per-task stable
+  /// pointers while the maps are still unsettled (and skips the repeated
+  /// map lookups on the hot path either way).
+  [[nodiscard]] WorkloadResult finish_result(
+      const std::string& design_name, const std::string& workload,
+      const cache::HierarchyProfile& profile,
+      const std::vector<RepEstimate>& reps, const model::DesignReport& base,
+      const model::ReferenceAnchor& anchor) const;
+
+  /// Front capture for `workload` (through the trace store when one is
+  /// configured), without touching the shared maps.
+  [[nodiscard]] FrontCapture capture_workload(const std::string& workload);
+
+  /// Warms one workload entirely off the shared caches: capture + sample
+  /// plan + base replay + anchor + base report. The pipelined sweep runs
+  /// these concurrently and settles the products into the maps after the
+  /// engines drain.
+  [[nodiscard]] WarmedWorkload warm_workload(const std::string& workload);
+
+  /// Shared sweep driver. Warm-up is pipelined: per-workload warm-ups
+  /// (front capture + base report + sample plan) run across the resolved
+  /// `config_.warmup_threads` workers, each settling into a per-workload
+  /// slot with a single writer; the chunk-major and sharded grids start a
+  /// workload's replay the moment its own warm-up seals (config-major
+  /// barriers on the warm pool, since its cell tasks span workloads). The
+  /// shared maps are settled serially after the engines drain. Fault
+  /// armings keep their serial hit order via canonical per-slot indices
+  /// (ScopedFaultIndex; DESIGN.md §5f).
   ///
   /// Grid traversal follows `config_.replay_mode`: chunk-major runs one
   /// task per workload and replays into every pending config at once
@@ -277,11 +331,14 @@ class ExperimentRunner {
   ExperimentConfig config_;
   designs::DesignFactory factory_;
   std::vector<std::string> suite_;
+  /// Persistent capture store, or null when config_.trace_cache_dir is
+  /// empty.
+  std::unique_ptr<trace::TraceStore> trace_store_;
   std::map<std::string, FrontCapture> fronts_;
   std::map<std::string, model::DesignReport> base_reports_;
   std::map<std::string, model::ReferenceAnchor> anchors_;
-  /// One sample plan per workload in SimPoint mode, built during the
-  /// serial warm-up and read-only for the parallel grid.
+  /// One sample plan per workload in SimPoint mode, built during warm-up
+  /// and read-only for the parallel grid.
   std::map<std::string, SamplePlan> plans_;
   std::size_t last_checkpoint_skips_ = 0;
 };

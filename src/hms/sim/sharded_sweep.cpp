@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <condition_variable>
+#include <deque>
 #include <exception>
 #include <mutex>
 #include <string>
@@ -39,11 +41,9 @@ struct Cell {
 /// whole unit (e.g. allocation failure of the cell vector itself).
 std::vector<ShardedCellOutcome> run_unit(const ShardedSweepSpec& spec,
                                          const Unit& unit,
+                                         const FrontCapture& capture,
+                                         const SamplePlan* plan,
                                          trace::ChunkBatchRing& ring) {
-  const FrontCapture& capture = *spec.captures[unit.workload];
-  const SamplePlan* const plan = unit.workload < spec.plans.size()
-                                     ? spec.plans[unit.workload]
-                                     : nullptr;
   const bool sampled = plan != nullptr && !plan->exact;
   const std::size_t n = unit.config_end - unit.config_begin;
   std::vector<Cell> cells(n);
@@ -247,6 +247,23 @@ std::vector<ShardedCellOutcome> run_unit(const ShardedSweepSpec& spec,
   return outcomes;
 }
 
+/// Warm-up lifecycle of one workload column. Pre-warmed columns start
+/// Ready; a null-capture column starts NotWarmed, and the first worker to
+/// claim one of its units CASes it to Warming, runs spec.warm, and settles
+/// it Ready or Failed (other workers defer the column's units meanwhile).
+enum class WarmStatus : int { kNotWarmed, kWarming, kReady, kFailed };
+
+/// Per-workload-column state. `status` publishes the settle: every other
+/// field is written before the Ready/Failed store (release) and only read
+/// after observing it (acquire).
+struct WorkloadState {
+  std::atomic<int> status{static_cast<int>(WarmStatus::kReady)};
+  const FrontCapture* capture = nullptr;
+  const SamplePlan* plan = nullptr;
+  std::unique_ptr<trace::ChunkBatchRing> ring;
+  std::string error;  ///< warm-up error when Failed
+};
+
 }  // namespace
 
 void run_sharded_sweep(const ShardedSweepSpec& spec) {
@@ -255,7 +272,8 @@ void run_sharded_sweep(const ShardedSweepSpec& spec) {
   check(spec.make_back != nullptr, "run_sharded_sweep: make_back not set");
   check(spec.on_cell != nullptr, "run_sharded_sweep: on_cell not set");
   for (const auto* capture : spec.captures) {
-    check(capture != nullptr, "run_sharded_sweep: null capture");
+    check(capture != nullptr || spec.warm != nullptr,
+          "run_sharded_sweep: null capture without a warm hook");
   }
   check(spec.plans.empty() || spec.plans.size() == width,
         "run_sharded_sweep: plans must be empty or parallel to captures");
@@ -267,12 +285,19 @@ void run_sharded_sweep(const ShardedSweepSpec& spec) {
       spec.ring_capacity != 0 ? spec.ring_capacity : 2 * threads + 2;
 
   // One shared decode ring per workload: concurrent shards of the same
-  // workload reuse each other's decodes instead of re-decoding.
-  std::vector<std::unique_ptr<trace::ChunkBatchRing>> rings;
-  rings.reserve(width);
-  for (const auto* capture : spec.captures) {
-    rings.push_back(std::make_unique<trace::ChunkBatchRing>(capture->residual,
-                                                            ring_capacity));
+  // workload reuse each other's decodes instead of re-decoding. Columns
+  // awaiting warm-up get their ring lazily, from the warming worker.
+  std::vector<WorkloadState> states(width);
+  for (std::size_t l = 0; l < width; ++l) {
+    if (spec.captures[l] != nullptr) {
+      states[l].capture = spec.captures[l];
+      states[l].plan = l < spec.plans.size() ? spec.plans[l] : nullptr;
+      states[l].ring = std::make_unique<trace::ChunkBatchRing>(
+          spec.captures[l]->residual, ring_capacity);
+    } else {
+      states[l].status.store(static_cast<int>(WarmStatus::kNotWarmed),
+                             std::memory_order_relaxed);
+    }
   }
 
   // Per-worker unit queues, workload-major round-robin: the first wave of
@@ -313,7 +338,17 @@ void run_sharded_sweep(const ShardedSweepSpec& spec) {
     }
   };
 
-  const auto run_claimed = [&](const Unit& unit) {
+  // Units whose column is mid-warm-up on another worker park here; workers
+  // drain the deque after their claim loops, waiting on the condvar for
+  // the column to settle. The warming worker notifies after its
+  // Ready/Failed store, taking the mutex first so a waiter cannot miss
+  // the wakeup between its predicate check and the wait.
+  std::mutex defer_mutex;
+  std::condition_variable defer_cv;
+  std::deque<Unit> deferred;
+
+  // Runs a unit whose column has settled (Ready or Failed).
+  const auto process_settled = [&](const Unit& unit) {
     std::vector<ShardedCellOutcome> outcomes;
     if (interrupt_signal() != 0) {
       // Keep the exactly-once settle contract under interrupt: unclaimed
@@ -326,8 +361,20 @@ void run_sharded_sweep(const ShardedSweepSpec& spec) {
       settle_unit(unit, std::move(outcomes));
       return;
     }
+    WorkloadState& st = states[unit.workload];
+    if (st.status.load(std::memory_order_acquire) ==
+        static_cast<int>(WarmStatus::kFailed)) {
+      outcomes.assign(unit.config_end - unit.config_begin,
+                      ShardedCellOutcome{});
+      for (auto& out : outcomes) {
+        out.warm_failure = true;
+        out.error = st.error;
+      }
+      settle_unit(unit, std::move(outcomes));
+      return;
+    }
     try {
-      outcomes = run_unit(spec, unit, *rings[unit.workload]);
+      outcomes = run_unit(spec, unit, *st.capture, st.plan, *st.ring);
     } catch (const std::exception& e) {
       // The whole unit died (e.g. out of memory): every cell fails with
       // the unit error, construction state unknown — report final.
@@ -336,6 +383,75 @@ void run_sharded_sweep(const ShardedSweepSpec& spec) {
       for (auto& out : outcomes) out.error = e.what();
     }
     settle_unit(unit, std::move(outcomes));
+  };
+
+  // Warms one column in place: called by the worker that won the
+  // NotWarmed -> Warming CAS. Settles status Ready or Failed and wakes
+  // any workers parked on the column's deferred units.
+  const auto warm_column = [&](std::size_t workload) {
+    WorkloadState& st = states[workload];
+    // Fresh watchdog budget for the warm-up; the hook's capture/replay
+    // runs under this worker's ambient token.
+    CancellationToken* const token = CancellationToken::current();
+    if (token != nullptr) token->rearm();
+    ShardedWarmResult result;
+    try {
+      result = spec.warm(workload);
+    } catch (const std::exception& e) {
+      result.capture = nullptr;
+      result.error = e.what();
+    }
+    if (result.capture != nullptr && result.error.empty()) {
+      st.capture = result.capture;
+      st.plan = result.plan;
+      try {
+        st.ring = std::make_unique<trace::ChunkBatchRing>(
+            st.capture->residual, ring_capacity);
+        st.status.store(static_cast<int>(WarmStatus::kReady),
+                        std::memory_order_release);
+      } catch (const std::exception& e) {
+        st.error = e.what();
+        st.status.store(static_cast<int>(WarmStatus::kFailed),
+                        std::memory_order_release);
+      }
+    } else {
+      st.error = result.error.empty()
+                     ? "warm-up failed without an error message"
+                     : result.error;
+      st.status.store(static_cast<int>(WarmStatus::kFailed),
+                      std::memory_order_release);
+    }
+    if (token != nullptr) token->rearm();  // fresh budget for the unit
+    { const std::lock_guard<std::mutex> lock(defer_mutex); }
+    defer_cv.notify_all();
+  };
+
+  const auto run_claimed = [&](const Unit& unit) {
+    WorkloadState& st = states[unit.workload];
+    int status = st.status.load(std::memory_order_acquire);
+    if (status == static_cast<int>(WarmStatus::kNotWarmed) &&
+        interrupt_signal() == 0) {
+      int expected = static_cast<int>(WarmStatus::kNotWarmed);
+      if (st.status.compare_exchange_strong(
+              expected, static_cast<int>(WarmStatus::kWarming),
+              std::memory_order_acq_rel, std::memory_order_acquire)) {
+        warm_column(unit.workload);
+        status = st.status.load(std::memory_order_acquire);
+      } else {
+        status = expected;
+      }
+    }
+    if (status == static_cast<int>(WarmStatus::kWarming)) {
+      const std::lock_guard<std::mutex> lock(defer_mutex);
+      // Re-check under the lock: if the column settled since the load
+      // above, fall through and run it now instead of parking.
+      if (st.status.load(std::memory_order_acquire) ==
+          static_cast<int>(WarmStatus::kWarming)) {
+        deferred.push_back(unit);
+        return;
+      }
+    }
+    process_settled(unit);
   };
 
   const auto worker = [&](unsigned self) {
@@ -361,6 +477,30 @@ void run_sharded_sweep(const ShardedSweepSpec& spec) {
         continue;
       }
       run_claimed(queues[victim][i]);
+    }
+    // Drain deferred units. Every deferred unit was pushed by a worker
+    // that reaches this loop after the push, so the deque always empties
+    // before the last worker exits; the wait below terminates because the
+    // warming worker settles the column (success, failure, or interrupt
+    // recorded as failure) and notifies.
+    while (true) {
+      Unit unit;
+      {
+        const std::lock_guard<std::mutex> lock(defer_mutex);
+        if (deferred.empty()) break;
+        unit = deferred.front();
+        deferred.pop_front();
+      }
+      WorkloadState& st = states[unit.workload];
+      {
+        std::unique_lock<std::mutex> lock(defer_mutex);
+        defer_cv.wait(lock, [&] {
+          return st.status.load(std::memory_order_acquire) !=
+                 static_cast<int>(WarmStatus::kWarming);
+        });
+      }
+      token.rearm();  // the park is not the unit's fault
+      process_settled(unit);
     }
   };
 

@@ -43,6 +43,10 @@ struct ShardedCellOutcome {
   /// caller should treat as final. True for replay-stage failures, which
   /// honor the engine's bounded retries.
   bool constructed = false;
+  /// True when the cell never ran because its workload's warm-up (the
+  /// spec.warm hook) failed; `error` then carries the warm-up error
+  /// verbatim, already contextualized by the warm hook.
+  bool warm_failure = false;
   cache::HierarchyProfile profile;  ///< combined front+back when ok
   std::string error;                ///< raw what() when !ok
   /// Per-representative extrapolations when the cell's replay was sampled
@@ -50,8 +54,19 @@ struct ShardedCellOutcome {
   std::vector<RepEstimate> reps;
 };
 
+/// What a spec.warm hook hands back for one workload column: the settled
+/// capture/plan pointers (stable for the rest of the sweep) or a non-empty
+/// error when the warm-up failed.
+struct ShardedWarmResult {
+  const FrontCapture* capture = nullptr;
+  const SamplePlan* plan = nullptr;
+  std::string error;
+};
+
 struct ShardedSweepSpec {
-  /// One front capture per workload column; index = workload slot.
+  /// One front capture per workload column; index = workload slot. An
+  /// entry may be null only when `warm` is set — the engine then warms
+  /// that column on first claim (see `warm`).
   std::vector<const FrontCapture*> captures;
   /// Optional sample plan per workload column (parallel to `captures`;
   /// empty = every workload replays the full stream). A null or exact
@@ -99,6 +114,16 @@ struct ShardedSweepSpec {
   std::function<void(std::size_t config, std::size_t workload,
                      ShardedCellOutcome&&)>
       on_cell;
+  /// Pipelined warm-up hook (optional). When set, a column whose captures
+  /// entry is null is warmed by the first worker to claim one of its
+  /// units: the engine calls warm(workload) exactly once per column — from
+  /// a worker thread, under that worker's watchdog token — and the other
+  /// workers defer the column's units until the warm settles. A returned
+  /// error (or a thrown exception) fails every cell of the column with
+  /// warm_failure=true instead of running it. The returned capture/plan
+  /// pointers must stay valid for the remainder of the sweep. Null = every
+  /// column pre-warmed (all captures non-null).
+  std::function<ShardedWarmResult(std::size_t workload)> warm;
 };
 
 /// See file comment. Settles every (config, workload) cell exactly once

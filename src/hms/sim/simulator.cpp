@@ -1,9 +1,22 @@
 #include "hms/sim/simulator.hpp"
 
 #include "hms/common/cancel.hpp"
+#include "hms/common/env.hpp"
 #include "hms/common/fault.hpp"
+#include "hms/trace/trace_store.hpp"
 
 namespace hms::sim {
+
+namespace {
+
+/// capture_front's body without the fault hit, shared with the cached path
+/// (which must hit "sim/capture_front" exactly once whether the store hits
+/// or misses).
+FrontCapture capture_front_impl(const std::string& workload_name,
+                                const workloads::WorkloadParams& params,
+                                const designs::DesignFactory& factory);
+
+}  // namespace
 
 cache::HierarchyProfile simulate(workloads::Workload& workload,
                                  cache::MemoryHierarchy& h) {
@@ -15,6 +28,14 @@ FrontCapture capture_front(const std::string& workload_name,
                            const workloads::WorkloadParams& params,
                            const designs::DesignFactory& factory) {
   HMS_FAULT_POINT("sim/capture_front");
+  return capture_front_impl(workload_name, params, factory);
+}
+
+namespace {
+
+FrontCapture capture_front_impl(const std::string& workload_name,
+                                const workloads::WorkloadParams& params,
+                                const designs::DesignFactory& factory) {
   FrontCapture capture;
   capture.workload_name = workload_name;
   auto workload = workloads::make_workload(workload_name, params);
@@ -43,6 +64,211 @@ FrontCapture capture_front(const std::string& workload_name,
   capture.residual.attach_interval_profile(nullptr);
   capture.front_profile = front->profile();
   capture.residual.shrink_to_fit();
+  return capture;
+}
+
+void put_tech(trace::StoreWriter& w, const mem::TechnologyParams& t) {
+  w.u8(static_cast<std::uint8_t>(t.technology));
+  w.f64(t.read_latency.value);
+  w.f64(t.write_latency.value);
+  w.f64(t.read_pj_per_bit);
+  w.f64(t.write_pj_per_bit);
+  w.f64(t.static_power_per_mib.value);
+  w.u8(t.non_volatile ? 1 : 0);
+  w.u64(t.endurance_writes);
+}
+
+mem::TechnologyParams get_tech(trace::StoreReader& r) {
+  mem::TechnologyParams t;
+  t.technology = static_cast<mem::Technology>(r.u8());
+  t.read_latency = Time::from_ns(r.f64());
+  t.write_latency = Time::from_ns(r.f64());
+  t.read_pj_per_bit = r.f64();
+  t.write_pj_per_bit = r.f64();
+  t.static_power_per_mib = Power::from_mw(r.f64());
+  t.non_volatile = r.u8() != 0;
+  t.endurance_writes = r.u64();
+  return t;
+}
+
+/// The sim-layer metadata record of a stored capture: a key echo (checked
+/// against the lookup key on load — the file name and stamped hash already
+/// match, this catches hash collisions at the content level), followed by
+/// everything in FrontCapture except the residual stream and interval
+/// profile, which get their own records.
+std::string encode_capture_metadata(const FrontCapture& capture,
+                                    const workloads::WorkloadParams& params,
+                                    const designs::DesignFactory& factory) {
+  trace::StoreWriter w;
+  w.str(capture.workload_name);
+  w.u64(params.footprint_bytes);
+  w.u64(params.seed);
+  w.u64(params.iterations);
+  w.u64(factory.scale_divisor());
+  w.u32(trace::kTraceEncoderVersion);
+
+  w.str(capture.info.name);
+  w.str(capture.info.suite);
+  w.str(capture.info.inputs);
+  w.u64(capture.info.paper_footprint_bytes);
+  w.f64(capture.info.paper_reference_seconds);
+  w.f64(capture.info.memory_bound_fraction);
+  w.u64(capture.footprint_bytes);
+
+  w.varint(capture.ranges.size());
+  for (const auto& range : capture.ranges) {
+    w.str(range.name);
+    w.u64(range.base);
+    w.u64(range.length);
+  }
+
+  const cache::HierarchyProfile& profile = capture.front_profile;
+  w.varint(profile.references);
+  w.varint(profile.levels.size());
+  for (const auto& level : profile.levels) {
+    w.str(level.name);
+    put_tech(w, level.tech);
+    w.u64(level.capacity_bytes);
+    w.u64(level.loads);
+    w.u64(level.stores);
+    w.u64(level.load_bytes);
+    w.u64(level.store_bytes);
+    w.u8(level.is_cache ? 1 : 0);
+    const cache::CacheStats& s = level.cache_stats;
+    w.u64(s.load_hits);
+    w.u64(s.load_misses);
+    w.u64(s.store_hits);
+    w.u64(s.store_misses);
+    w.u64(s.evictions);
+    w.u64(s.writebacks);
+    w.u64(s.prefetch_fills);
+    w.u64(s.prefetch_useful);
+  }
+  return w.take();
+}
+
+/// Decodes a stored entry into a FrontCapture, verifying the key echo
+/// against what the caller is actually asking for. Throws TraceError on
+/// any mismatch or malformed payload (the caller recaptures).
+FrontCapture decode_stored_capture(const trace::TraceStoreEntry& entry,
+                                   const std::string& workload_name,
+                                   const workloads::WorkloadParams& params,
+                                   const designs::DesignFactory& factory) {
+  trace::StoreReader r(entry.metadata);
+  if (r.str() != workload_name || r.u64() != params.footprint_bytes ||
+      r.u64() != params.seed || r.u64() != params.iterations ||
+      r.u64() != factory.scale_divisor() ||
+      r.u32() != trace::kTraceEncoderVersion) {
+    throw TraceError("trace store: capture key mismatch");
+  }
+
+  FrontCapture capture;
+  capture.workload_name = workload_name;
+  capture.info.name = r.str();
+  capture.info.suite = r.str();
+  capture.info.inputs = r.str();
+  capture.info.paper_footprint_bytes = r.u64();
+  capture.info.paper_reference_seconds = r.f64();
+  capture.info.memory_bound_fraction = r.f64();
+  capture.footprint_bytes = r.u64();
+
+  const auto range_count = static_cast<std::size_t>(r.varint());
+  if (range_count > r.remaining()) {
+    throw TraceError("trace store: range count exceeds payload");
+  }
+  capture.ranges.reserve(range_count);
+  for (std::size_t i = 0; i < range_count; ++i) {
+    workloads::AddressRange range;
+    range.name = r.str();
+    range.base = r.u64();
+    range.length = r.u64();
+    capture.ranges.push_back(std::move(range));
+  }
+
+  capture.front_profile.references = r.varint();
+  const auto level_count = static_cast<std::size_t>(r.varint());
+  if (level_count > r.remaining()) {
+    throw TraceError("trace store: level count exceeds payload");
+  }
+  capture.front_profile.levels.reserve(level_count);
+  for (std::size_t i = 0; i < level_count; ++i) {
+    cache::LevelProfile level;
+    level.name = r.str();
+    level.tech = get_tech(r);
+    level.capacity_bytes = r.u64();
+    level.loads = r.u64();
+    level.stores = r.u64();
+    level.load_bytes = r.u64();
+    level.store_bytes = r.u64();
+    level.is_cache = r.u8() != 0;
+    cache::CacheStats& s = level.cache_stats;
+    s.load_hits = r.u64();
+    s.load_misses = r.u64();
+    s.store_hits = r.u64();
+    s.store_misses = r.u64();
+    s.evictions = r.u64();
+    s.writebacks = r.u64();
+    s.prefetch_fills = r.u64();
+    s.prefetch_useful = r.u64();
+    capture.front_profile.levels.push_back(std::move(level));
+  }
+  r.expect_done();
+
+  capture.interval_profile =
+      trace::IntervalProfile::deserialize(entry.interval_profile);
+  capture.residual = trace::ChunkedTraceBuffer::deserialize(entry.residual);
+  return capture;
+}
+
+}  // namespace
+
+std::string default_trace_cache_dir() {
+  return env_string("HMS_TRACE_CACHE", "");
+}
+
+std::uint64_t capture_hash(const std::string& workload_name,
+                           const workloads::WorkloadParams& params,
+                           const designs::DesignFactory& factory) {
+  trace::Fnv1a h;
+  h.mix(std::string_view("hms-front-capture"));
+  h.mix(workload_name);
+  h.mix(params.footprint_bytes);
+  h.mix(params.seed);
+  h.mix(static_cast<std::uint64_t>(params.iterations));
+  h.mix(factory.scale_divisor());
+  h.mix(static_cast<std::uint64_t>(trace::kTraceEncoderVersion));
+  return h.digest();
+}
+
+FrontCapture capture_front_cached(const std::string& workload_name,
+                                  const workloads::WorkloadParams& params,
+                                  const designs::DesignFactory& factory,
+                                  const trace::TraceStore* store) {
+  HMS_FAULT_POINT("sim/capture_front");
+  if (store == nullptr) return capture_front_impl(workload_name, params, factory);
+  const std::uint64_t key = capture_hash(workload_name, params, factory);
+  try {
+    if (std::optional<trace::TraceStoreEntry> entry = store->load(key)) {
+      return decode_stored_capture(*entry, workload_name, params, factory);
+    }
+  } catch (const CancelledError&) {
+    throw;  // the watchdog / an interrupt outranks the cache
+  } catch (const std::exception&) {
+    // Any store-side failure is a miss; fall through to a fresh capture.
+  }
+  FrontCapture capture = capture_front_impl(workload_name, params, factory);
+  try {
+    trace::TraceStoreEntry entry;
+    entry.metadata = encode_capture_metadata(capture, params, factory);
+    capture.interval_profile.serialize(entry.interval_profile);
+    capture.residual.serialize(entry.residual);
+    store->store(key, entry);
+  } catch (const CancelledError&) {
+    throw;
+  } catch (const std::exception&) {
+    // Best-effort append: a read-only or full store directory must not
+    // fail the sweep — the capture in hand is still good.
+  }
   return capture;
 }
 

@@ -15,6 +15,10 @@
 #include "hms/workloads/registry.hpp"
 #include "hms/workloads/workload.hpp"
 
+namespace hms::trace {
+class TraceStore;
+}  // namespace hms::trace
+
 namespace hms::sim {
 
 /// Runs `workload` directly into `hierarchy` (full online simulation) and
@@ -45,6 +49,34 @@ struct FrontCapture {
 [[nodiscard]] FrontCapture capture_front(
     const std::string& workload_name, const workloads::WorkloadParams& params,
     const designs::DesignFactory& factory);
+
+/// Reads HMS_TRACE_CACHE: the persistent trace-store directory, or empty
+/// (the default) for no store.
+[[nodiscard]] std::string default_trace_cache_dir();
+
+/// The trace-store key of one front capture: a pure function of everything
+/// that determines the captured bytes — workload name, the resolved
+/// params, the factory's capacity scale (the L1-L3 front is fully
+/// determined by it), and the trace encoder version. Design options and
+/// the technology registry shape back designs only, so they are
+/// deliberately not mixed in.
+[[nodiscard]] std::uint64_t capture_hash(
+    const std::string& workload_name, const workloads::WorkloadParams& params,
+    const designs::DesignFactory& factory);
+
+/// capture_front with a persistent trace store in front of the simulation.
+/// Takes the "sim/capture_front" fault hit exactly once, hit or miss, so
+/// armings keep their serial meaning; then tries `store` (nullptr = no
+/// cache, plain capture) before running the workload. A store hit decodes
+/// straight from the CRC-verified encoded bytes; any load failure —
+/// corruption, hash or key-echo mismatch, I/O error, an injected
+/// "trace/read" fault — falls back to a fresh capture, which is then
+/// appended back best-effort (append failures are swallowed; the capture
+/// is still returned). Cancellation (watchdog / interrupt) outranks the
+/// cache and propagates.
+[[nodiscard]] FrontCapture capture_front_cached(
+    const std::string& workload_name, const workloads::WorkloadParams& params,
+    const designs::DesignFactory& factory, const trace::TraceStore* store);
 
 /// Replays a capture's residual stream into a design's back hierarchy and
 /// returns the combined (front + back) profile. With a non-exact `plan`,

@@ -6,6 +6,7 @@
 #include "hms/common/error.hpp"
 #include "hms/common/fault.hpp"
 #include "hms/trace/interval_profile.hpp"
+#include "hms/trace/trace_store.hpp"
 
 namespace hms::trace {
 
@@ -218,6 +219,84 @@ void ChunkedTraceBuffer::corrupt_encoded_byte_for_test(
     std::size_t offset, std::uint8_t mask) noexcept {
   if (bytes_.empty()) return;
   bytes_[offset % bytes_.size()] ^= (mask != 0 ? mask : std::uint8_t{1});
+}
+
+void ChunkedTraceBuffer::serialize(std::string& out) const {
+  StoreWriter w;
+  w.varint(target_chunk_bytes_);
+  w.varint(max_chunk_accesses_);
+  w.varint(size_);
+  w.varint(loads_);
+  w.varint(open_begin_);
+  w.varint(open_count_);
+  w.varint(prev_addr_);
+  w.varint(prev_size_);
+  w.varint(prev_core_);
+  w.varint(sealed_.size());
+  for (const auto& chunk : sealed_) {
+    w.varint(chunk.begin);
+    w.varint(chunk.count);
+    w.u32(chunk.crc);
+  }
+  w.varint(bytes_.size());
+  w.bytes(bytes_.data(), bytes_.size());
+  out.append(w.data());
+}
+
+ChunkedTraceBuffer ChunkedTraceBuffer::deserialize(std::string_view data) {
+  StoreReader r(data);
+  const auto target_chunk_bytes = static_cast<std::size_t>(r.varint());
+  const auto max_chunk_accesses = static_cast<std::size_t>(r.varint());
+  if (target_chunk_bytes == 0 || max_chunk_accesses == 0) {
+    throw TraceError("trace: deserialize: zero chunk limits");
+  }
+  ChunkedTraceBuffer buf(target_chunk_bytes, max_chunk_accesses);
+  buf.size_ = static_cast<std::size_t>(r.varint());
+  buf.loads_ = r.varint();
+  buf.open_begin_ = static_cast<std::size_t>(r.varint());
+  buf.open_count_ = static_cast<std::size_t>(r.varint());
+  buf.prev_addr_ = r.varint();
+  buf.prev_size_ = static_cast<std::uint32_t>(r.varint());
+  buf.prev_core_ = static_cast<CoreId>(r.varint());
+  const auto chunks = static_cast<std::size_t>(r.varint());
+  // A sealed-chunk directory entry costs at least 6 encoded bytes, so a
+  // flipped count byte cannot demand a bigger reserve than the payload
+  // could possibly carry.
+  if (chunks > r.remaining() / 6) {
+    throw TraceError("trace: deserialize: chunk directory exceeds payload");
+  }
+  buf.sealed_.reserve(chunks);
+  std::size_t prev_begin = 0;
+  Count total = 0;
+  for (std::size_t i = 0; i < chunks; ++i) {
+    SealedChunk chunk{};
+    chunk.begin = static_cast<std::size_t>(r.varint());
+    chunk.count = static_cast<std::size_t>(r.varint());
+    chunk.crc = r.u32();
+    if (chunk.count == 0 || (i == 0 ? chunk.begin != 0
+                                    : chunk.begin <= prev_begin)) {
+      throw TraceError("trace: deserialize: malformed chunk directory");
+    }
+    prev_begin = chunk.begin;
+    total += chunk.count;
+    buf.sealed_.push_back(chunk);
+  }
+  const auto payload = static_cast<std::size_t>(r.varint());
+  if (payload != r.remaining()) {
+    throw TraceError("trace: deserialize: payload length mismatch");
+  }
+  const std::string_view bytes = r.bytes(payload);
+  buf.bytes_.assign(bytes.begin(), bytes.end());
+  // Structural invariants the decoder relies on; payload contents are
+  // further guarded by the per-chunk CRCs at decode time.
+  if (buf.open_begin_ > buf.bytes_.size() ||
+      (!buf.sealed_.empty() && buf.sealed_.back().begin >= buf.open_begin_) ||
+      (buf.open_count_ == 0 && buf.open_begin_ != buf.bytes_.size()) ||
+      (buf.open_count_ != 0 && buf.open_begin_ == buf.bytes_.size()) ||
+      total + buf.open_count_ != buf.size_ || buf.loads_ > buf.size_) {
+    throw TraceError("trace: deserialize: inconsistent buffer state");
+  }
+  return buf;
 }
 
 std::vector<MemoryAccess> ChunkedTraceBuffer::decode_all() const {

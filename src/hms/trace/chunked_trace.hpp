@@ -27,6 +27,8 @@
 #include <cstddef>
 #include <cstdint>
 #include <span>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "hms/trace/access.hpp"
@@ -120,6 +122,19 @@ class ChunkedTraceBuffer final : public BatchAccessSink {
   /// corruption that the per-chunk CRC must catch.
   void corrupt_encoded_byte_for_test(std::size_t offset,
                                      std::uint8_t mask = 0x01) noexcept;
+
+  /// Appends the buffer's complete state — chunk directory, encoder tail
+  /// state, encoded payload — to `out` (StoreWriter dialect, see
+  /// trace_store.hpp), still in the delta/varint chunk encoding. The
+  /// attached IntervalProfile is not part of the state; profiles
+  /// serialize separately.
+  void serialize(std::string& out) const;
+
+  /// Rebuilds a buffer from serialize()'s bytes — bit-identical to the
+  /// source on every read path (decode_chunk, replay, counters) with no
+  /// flat re-expansion, and recording may continue from the restored
+  /// encoder state. Throws TraceError on malformed input.
+  [[nodiscard]] static ChunkedTraceBuffer deserialize(std::string_view data);
 
   /// Decodes the whole stream in order (round-trip testing / tooling).
   [[nodiscard]] std::vector<MemoryAccess> decode_all() const;

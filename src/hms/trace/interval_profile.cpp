@@ -1,6 +1,7 @@
 #include "hms/trace/interval_profile.hpp"
 
 #include "hms/trace/chunked_trace.hpp"
+#include "hms/trace/trace_store.hpp"
 
 namespace hms::trace {
 
@@ -69,6 +70,45 @@ std::vector<IntervalSignature> IntervalProfile::signatures() const {
   std::vector<IntervalSignature> out = sealed_;
   if (open_.accesses != 0) out.push_back(open_);
   return out;
+}
+
+void IntervalProfile::serialize(std::string& out) const {
+  StoreWriter w;
+  const std::vector<IntervalSignature> sigs = signatures();
+  w.varint(sigs.size());
+  for (const auto& s : sigs) {
+    w.varint(s.accesses);
+    w.varint(s.loads);
+    w.varint(s.new_lines);
+    for (const std::uint64_t bucket : s.strides) w.varint(bucket);
+  }
+  out.append(w.data());
+}
+
+IntervalProfile IntervalProfile::deserialize(std::string_view data) {
+  StoreReader r(data);
+  IntervalProfile profile;
+  const auto count = static_cast<std::size_t>(r.varint());
+  // Each signature costs at least 9 encoded bytes; bound the reserve so a
+  // corrupt count byte cannot demand a giant allocation.
+  if (count > r.remaining() / 9) {
+    throw TraceError("trace: deserialize: signature count exceeds payload");
+  }
+  profile.sealed_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    IntervalSignature s;
+    s.accesses = r.varint();
+    s.loads = r.varint();
+    s.new_lines = r.varint();
+    for (std::uint64_t& bucket : s.strides) bucket = r.varint();
+    if (s.accesses == 0 || s.loads > s.accesses ||
+        s.new_lines > s.accesses) {
+      throw TraceError("trace: deserialize: malformed interval signature");
+    }
+    profile.sealed_.push_back(s);
+  }
+  r.expect_done();
+  return profile;
 }
 
 IntervalProfile IntervalProfile::from_trace(const ChunkedTraceBuffer& trace) {

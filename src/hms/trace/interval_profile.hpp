@@ -27,6 +27,8 @@
 #include <array>
 #include <cstddef>
 #include <cstdint>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "hms/trace/access.hpp"
@@ -79,6 +81,16 @@ class IntervalProfile {
   [[nodiscard]] std::size_t interval_count() const noexcept {
     return sealed_.size() + (open_.accesses != 0 ? 1 : 0);
   }
+
+  /// Appends every signature — exactly what signatures() returns, sealed
+  /// plus open tail — to `out` (StoreWriter dialect, see trace_store.hpp).
+  void serialize(std::string& out) const;
+
+  /// Rebuilds a profile from serialize()'s bytes. Every signature is
+  /// restored as sealed, so signatures()/interval_count() are identical to
+  /// the source; the restored profile is a read-only record — it must not
+  /// observe further accesses. Throws TraceError on malformed input.
+  [[nodiscard]] static IntervalProfile deserialize(std::string_view data);
 
   /// Rebuilds the profile offline by decoding `trace` chunk by chunk —
   /// bit-identical to a live-attached profile of the same stream. For

@@ -1,0 +1,259 @@
+#include "hms/trace/trace_store.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <thread>
+#include <utility>
+
+#include "hms/common/crc32c.hpp"
+#include "hms/common/fault.hpp"
+
+namespace hms::trace {
+
+namespace {
+
+constexpr char kMagic[4] = {'H', 'M', 'S', 'T'};
+constexpr std::uint32_t kFormatVersion = 1;
+
+[[noreturn]] void throw_io(const std::string& doing, const std::string& path) {
+  const int err = errno;
+  throw IoError("trace store: " + doing + ": " + path + ": " +
+                std::strerror(err));
+}
+
+void write_all(int fd, const char* data, std::size_t size,
+               const std::string& path) {
+  std::size_t written = 0;
+  while (written < size) {
+    const ssize_t n = ::write(fd, data + written, size - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_io("write failed", path);
+    }
+    written += static_cast<std::size_t>(n);
+  }
+}
+
+std::string hex16(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return std::string(buf, 16);
+}
+
+/// One framed record: varint length | u32le CRC32C | payload.
+void put_record(StoreWriter& out, const std::string& payload) {
+  out.varint(payload.size());
+  out.u32(crc32c(payload.data(), payload.size()));
+  out.bytes(payload.data(), payload.size());
+}
+
+/// Reads and verifies one framed record; throws TraceError on anything
+/// suspect (caught by load and turned into a miss).
+std::string get_record(StoreReader& in) {
+  const std::uint64_t len = in.varint();
+  if (len > in.remaining()) {
+    throw TraceError("trace store: record length exceeds file size");
+  }
+  const std::uint32_t crc = in.u32();
+  const std::string_view payload = in.bytes(static_cast<std::size_t>(len));
+  if (crc32c(payload.data(), payload.size()) != crc) {
+    throw TraceError("trace store: record CRC mismatch");
+  }
+  return std::string(payload);
+}
+
+}  // namespace
+
+void StoreWriter::varint(std::uint64_t v) {
+  while (v >= 0x80) {
+    buf_.push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  buf_.push_back(static_cast<char>(v));
+}
+
+void StoreWriter::u8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+
+void StoreWriter::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void StoreWriter::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void StoreWriter::f64(double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  u64(bits);
+}
+
+void StoreWriter::str(std::string_view s) {
+  varint(s.size());
+  buf_.append(s.data(), s.size());
+}
+
+void StoreWriter::bytes(const void* data, std::size_t size) {
+  buf_.append(static_cast<const char*>(data), size);
+}
+
+void StoreReader::fail(const char* what) const {
+  throw TraceError(std::string("trace store: ") + what);
+}
+
+std::uint64_t StoreReader::varint() {
+  std::uint64_t v = 0;
+  int shift = 0;
+  while (true) {
+    if (pos_ >= data_.size()) fail("truncated varint");
+    if (shift >= 64) fail("varint overflow");
+    const auto b = static_cast<std::uint8_t>(data_[pos_++]);
+    v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) return v;
+    shift += 7;
+  }
+}
+
+std::uint8_t StoreReader::u8() {
+  if (remaining() < 1) fail("truncated u8");
+  return static_cast<std::uint8_t>(data_[pos_++]);
+}
+
+std::uint32_t StoreReader::u32() {
+  if (remaining() < 4) fail("truncated u32");
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(data_[pos_++]))
+         << (8 * i);
+  }
+  return v;
+}
+
+std::uint64_t StoreReader::u64() {
+  if (remaining() < 8) fail("truncated u64");
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(data_[pos_++]))
+         << (8 * i);
+  }
+  return v;
+}
+
+double StoreReader::f64() {
+  const std::uint64_t bits = u64();
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::string StoreReader::str() {
+  const std::uint64_t len = varint();
+  if (len > remaining()) fail("string length exceeds remaining bytes");
+  std::string s(data_.substr(pos_, static_cast<std::size_t>(len)));
+  pos_ += static_cast<std::size_t>(len);
+  return s;
+}
+
+std::string_view StoreReader::bytes(std::size_t size) {
+  if (size > remaining()) fail("byte run exceeds remaining bytes");
+  const std::string_view view = data_.substr(pos_, size);
+  pos_ += size;
+  return view;
+}
+
+void StoreReader::expect_done() const {
+  if (!done()) fail("trailing bytes after last field");
+}
+
+TraceStore::TraceStore(std::string dir) : dir_(std::move(dir)) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec) {
+    throw IoError("trace store: cannot create directory " + dir_ + ": " +
+                  ec.message());
+  }
+}
+
+std::string TraceStore::entry_path(std::uint64_t capture_hash) const {
+  return dir_ + "/" + hex16(capture_hash) + ".hmst";
+}
+
+std::optional<TraceStoreEntry> TraceStore::load(
+    std::uint64_t capture_hash) const {
+  HMS_FAULT_POINT("trace/read");
+  const std::string path = entry_path(capture_hash);
+  std::string raw;
+  {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return std::nullopt;
+    raw.assign(std::istreambuf_iterator<char>(in),
+               std::istreambuf_iterator<char>());
+    if (in.bad()) return std::nullopt;
+  }
+  try {
+    StoreReader reader(raw);
+    const std::string_view magic = reader.bytes(sizeof(kMagic));
+    if (std::memcmp(magic.data(), kMagic, sizeof(kMagic)) != 0) {
+      return std::nullopt;
+    }
+    if (reader.u32() != kFormatVersion) return std::nullopt;
+    if (reader.u64() != capture_hash) return std::nullopt;
+    TraceStoreEntry entry;
+    entry.metadata = get_record(reader);
+    entry.interval_profile = get_record(reader);
+    entry.residual = get_record(reader);
+    reader.expect_done();
+    return entry;
+  } catch (const TraceError&) {
+    // Truncation, CRC mismatch, garbage framing: a miss, never an error.
+    return std::nullopt;
+  }
+}
+
+void TraceStore::store(std::uint64_t capture_hash,
+                       const TraceStoreEntry& entry) const {
+  HMS_FAULT_POINT("trace/write");
+  StoreWriter out;
+  out.bytes(kMagic, sizeof(kMagic));
+  out.u32(kFormatVersion);
+  out.u64(capture_hash);
+  put_record(out, entry.metadata);
+  put_record(out, entry.interval_profile);
+  put_record(out, entry.residual);
+
+  const std::string path = entry_path(capture_hash);
+  const std::string tmp =
+      path + ".tmp." + std::to_string(::getpid()) + "." +
+      std::to_string(std::hash<std::thread::id>{}(std::this_thread::get_id()));
+  const int fd = ::open(tmp.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+  if (fd < 0) throw_io("cannot open temp file", tmp);
+  try {
+    write_all(fd, out.data().data(), out.data().size(), tmp);
+    while (::fsync(fd) != 0) {
+      if (errno != EINTR) throw_io("fsync failed", tmp);
+    }
+  } catch (...) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    throw;
+  }
+  ::close(fd);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    throw_io("rename failed", path);
+  }
+}
+
+}  // namespace hms::trace

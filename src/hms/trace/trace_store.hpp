@@ -1,0 +1,161 @@
+// Persistent CRC-checked trace store: capture once, replay forever.
+//
+// The warm-up phase of a sweep (front capture + base report) re-simulates
+// every workload from scratch in every process — every fig bench, every
+// chaos-resumed run. The store persists the *encoded* capture to disk so a
+// later process with the same capture key decodes straight from the
+// compressed bytes instead of re-running the workload: the SimPoint-style
+// "capture once, persist, overlap with replay" move applied to the front.
+//
+// On-disk format (one file per capture, `<dir>/<16-hex-hash>.hmst`):
+//
+//   "HMST" | u32le version (1) | u64le capture hash
+//   3 records, each: varint payload length | u32le CRC32C | payload
+//     record 0  capture metadata (sim-layer encoded: key echo, workload
+//               info, footprint, ranges, front hierarchy profile)
+//     record 1  serialized trace::IntervalProfile
+//     record 2  serialized trace::ChunkedTraceBuffer (the residual stream,
+//               still in its delta/varint chunk encoding — loading never
+//               re-expands to flat accesses)
+//
+// The record framing is the checkpoint discipline (sim/checkpoint.cpp):
+// length-prefixed, CRC32C-verified before a byte is trusted, written to a
+// temp file and atomically renamed after fsync. Any load failure — missing
+// file, bad magic/version, hash mismatch, truncation, CRC mismatch, a
+// flipped byte anywhere — returns "miss" and the caller recaptures through
+// the normal degrade path; a corrupt store can cost time, never wrong bits.
+//
+// Store files are keyed AND stamped with the capture hash (workload name,
+// params, capacity scale, seed, encoder version — sim::capture_hash), so a
+// renamed or collided file is rejected by the stamp, and metadata echoes
+// the key fields for a second, content-level check.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "hms/common/error.hpp"
+
+namespace hms::trace {
+
+/// Bumped whenever the ChunkedTraceBuffer / IntervalProfile encodings or
+/// the metadata layout change shape: the version is mixed into the capture
+/// hash, so stores written by older encoders simply miss.
+inline constexpr std::uint32_t kTraceEncoderVersion = 1;
+
+/// FNV-1a accumulator for capture keys (same construction as the
+/// checkpoint's experiment hash: every field is length- or width-framed so
+/// concatenation ambiguities cannot collide).
+class Fnv1a {
+ public:
+  void mix(std::uint64_t v) noexcept {
+    for (int i = 0; i < 8; ++i) {
+      byte(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+  void mix(std::string_view s) noexcept {
+    mix(static_cast<std::uint64_t>(s.size()));
+    for (const char c : s) byte(static_cast<std::uint8_t>(c));
+  }
+  [[nodiscard]] std::uint64_t digest() const noexcept { return hash_; }
+
+ private:
+  void byte(std::uint8_t b) noexcept {
+    hash_ ^= b;
+    hash_ *= 0x100000001b3ull;
+  }
+  std::uint64_t hash_ = 0xcbf29ce484222325ull;
+};
+
+/// Append-only byte encoder shared by the store's record payloads (the
+/// checkpoint framing primitives, packaged so the sim layer and the trace
+/// serializers speak one dialect).
+class StoreWriter {
+ public:
+  void varint(std::uint64_t v);
+  void u8(std::uint8_t v);
+  void u32(std::uint32_t v);   ///< fixed-width little-endian
+  void u64(std::uint64_t v);   ///< fixed-width little-endian
+  void f64(double v);          ///< IEEE-754 bit pattern, little-endian
+  void str(std::string_view s);  ///< varint length + raw bytes
+  void bytes(const void* data, std::size_t size);
+
+  [[nodiscard]] const std::string& data() const noexcept { return buf_; }
+  [[nodiscard]] std::string take() noexcept { return std::move(buf_); }
+
+ private:
+  std::string buf_;
+};
+
+/// Bounds-checked cursor over one record payload. Every read throws
+/// TraceError on truncation or malformed varints, and every
+/// length-prefixed field checks the length against the bytes actually
+/// remaining *before* allocating — a flipped length byte cannot turn into
+/// a giant allocation or an out-of-range substr.
+class StoreReader {
+ public:
+  explicit StoreReader(std::string_view data) : data_(data) {}
+
+  [[nodiscard]] std::uint64_t varint();
+  [[nodiscard]] std::uint8_t u8();
+  [[nodiscard]] std::uint32_t u32();
+  [[nodiscard]] std::uint64_t u64();
+  [[nodiscard]] double f64();
+  [[nodiscard]] std::string str();
+  [[nodiscard]] std::string_view bytes(std::size_t size);
+
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return data_.size() - pos_;
+  }
+  [[nodiscard]] bool done() const noexcept { return pos_ == data_.size(); }
+  /// Throws TraceError if any bytes trail the last expected field.
+  void expect_done() const;
+
+ private:
+  [[noreturn]] void fail(const char* what) const;
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+/// One stored capture: three opaque payload blobs (the store itself never
+/// interprets them — metadata is sim-layer encoded, the other two are the
+/// trace serializers' output).
+struct TraceStoreEntry {
+  std::string metadata;
+  std::string interval_profile;
+  std::string residual;
+};
+
+/// See file comment. A directory of `<16-hex-hash>.hmst` files; safe for
+/// concurrent readers and concurrent writers of distinct hashes (same-hash
+/// writers race benignly: both write identical bytes via rename).
+class TraceStore {
+ public:
+  /// Creates `dir` (and parents) if missing. Throws IoError on failure.
+  explicit TraceStore(std::string dir);
+
+  [[nodiscard]] const std::string& dir() const noexcept { return dir_; }
+  [[nodiscard]] std::string entry_path(std::uint64_t capture_hash) const;
+
+  /// Looks up a capture. Returns the verified entry, or nullopt on any
+  /// miss or validation failure (see file comment — corruption is a miss,
+  /// never an error). Honors the "trace/read" fault site; an injected
+  /// fault propagates to the caller, whose degrade path recaptures.
+  [[nodiscard]] std::optional<TraceStoreEntry> load(
+      std::uint64_t capture_hash) const;
+
+  /// Persists a capture: full file assembled in memory, written to a
+  /// process/thread-unique temp file, fsync'd, then renamed over the final
+  /// path — a concurrent reader sees the old file or the new one, never a
+  /// torn write. Throws IoError on failure (callers append best-effort and
+  /// may swallow it). Honors the "trace/write" fault site.
+  void store(std::uint64_t capture_hash, const TraceStoreEntry& entry) const;
+
+ private:
+  std::string dir_;
+};
+
+}  // namespace hms::trace

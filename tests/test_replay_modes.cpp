@@ -7,6 +7,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <vector>
@@ -294,6 +295,166 @@ TEST(ReplayModes, RetriesRecoverTransientFaultsInChunkMajor) {
     EXPECT_TRUE(r.failures.empty()) << r.config_name;
   }
   expect_suites_identical(results, expected);
+}
+
+/// RAII temp directory for trace-store tests.
+class TempDir {
+ public:
+  explicit TempDir(const std::string& tag)
+      : path_(::testing::TempDir() + "hms_replay_modes_" + tag + ".dir") {
+    std::filesystem::remove_all(path_);
+  }
+  ~TempDir() { std::filesystem::remove_all(path_); }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+TEST(ReplayModes, ParallelWarmupIsBitIdenticalInEveryMode) {
+  // The pipelined warm-up is execution-only: serial (warmup_threads = 1,
+  // threads = 1) and parallel (4 x 4) sweeps must produce bit-identical
+  // SuiteResults in every replay mode, full and sampled.
+  for (const ReplayMode mode : {ReplayMode::ChunkMajor, ReplayMode::ConfigMajor,
+                                ReplayMode::Sharded}) {
+    for (const bool simpoint : {false, true}) {
+      SCOPED_TRACE("mode=" + std::to_string(static_cast<int>(mode)) +
+                   " simpoint=" + std::to_string(simpoint));
+      auto serial_cfg = tiny_config(mode);
+      serial_cfg.threads = 1;
+      serial_cfg.warmup_threads = 1;
+      auto parallel_cfg = tiny_config(mode);
+      parallel_cfg.threads = 4;
+      parallel_cfg.warmup_threads = 4;
+      if (simpoint) {
+        for (auto* cfg : {&serial_cfg, &parallel_cfg}) {
+          cfg->sampling = SamplingMode::SimPoint;
+          cfg->sample_k = 3;
+          cfg->warmup_chunks = 1;
+        }
+      }
+      ExperimentRunner serial(serial_cfg);
+      ExperimentRunner parallel(parallel_cfg);
+      const auto a = serial.nmm_sweep(Technology::PCM, three_configs());
+      const auto b = parallel.nmm_sweep(Technology::PCM, three_configs());
+      expect_suites_identical(a, b);
+    }
+  }
+}
+
+TEST(ReplayModes, TraceCacheColdAndWarmSweepsAreBitIdentical) {
+  // A sweep without a trace store, one that fills it cold, and one per
+  // mode that replays from the warm store must all agree bit-for-bit.
+  TempDir cache("trace_cache");
+  ExperimentRunner none(tiny_config(ReplayMode::ChunkMajor));
+  const auto expected = none.nmm_sweep(Technology::PCM, three_configs());
+
+  auto cold_cfg = tiny_config(ReplayMode::ChunkMajor);
+  cold_cfg.trace_cache_dir = cache.path();
+  ExperimentRunner cold(cold_cfg);
+  expect_suites_identical(expected,
+                          cold.nmm_sweep(Technology::PCM, three_configs()));
+
+  // The cold sweep appended one entry per suite workload.
+  std::size_t entries = 0;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(cache.path())) {
+    (void)entry;
+    ++entries;
+  }
+  EXPECT_EQ(entries, 2u);
+
+  for (const ReplayMode mode : {ReplayMode::ChunkMajor, ReplayMode::ConfigMajor,
+                                ReplayMode::Sharded}) {
+    SCOPED_TRACE("warm mode=" + std::to_string(static_cast<int>(mode)));
+    auto warm_cfg = tiny_config(mode);
+    warm_cfg.trace_cache_dir = cache.path();
+    ExperimentRunner warm(warm_cfg);
+    expect_suites_identical(expected,
+                            warm.nmm_sweep(Technology::PCM, three_configs()));
+  }
+}
+
+TEST(ReplayModes, TraceCacheSampledSweepsAreBitIdentical) {
+  // SimPoint plans are rebuilt from the decoded interval profile, so a
+  // store hit must reproduce the sampled estimates exactly too.
+  TempDir cache("trace_cache_simpoint");
+  auto make_cfg = [&](bool cached) {
+    auto cfg = tiny_config(ReplayMode::ChunkMajor);
+    cfg.sampling = SamplingMode::SimPoint;
+    cfg.sample_k = 3;
+    cfg.warmup_chunks = 1;
+    if (cached) cfg.trace_cache_dir = cache.path();
+    return cfg;
+  };
+  ExperimentRunner none(make_cfg(false));
+  ExperimentRunner cold(make_cfg(true));
+  ExperimentRunner warm(make_cfg(true));
+  const auto expected = none.nmm_sweep(Technology::PCM, three_configs());
+  expect_suites_identical(expected,
+                          cold.nmm_sweep(Technology::PCM, three_configs()));
+  expect_suites_identical(expected,
+                          warm.nmm_sweep(Technology::PCM, three_configs()));
+}
+
+TEST(ReplayModes, WarmupFailureDegradesIdenticallyAtAnyThreadCount) {
+  // capture_front decisions use canonical per-workload slots: max_fires=1
+  // always fails slot 1 (StreamTriad, warm rank 0) no matter how many
+  // warm-up workers race, in every replay mode.
+  auto failed_sweep = [](ReplayMode mode, unsigned threads) {
+    ScopedFaultInjector injector;
+    FaultSpec spec;
+    spec.max_fires = 1;
+    injector->arm("sim/capture_front", spec);
+    auto cfg = tiny_config(mode);
+    cfg.threads = threads;
+    cfg.warmup_threads = threads;
+    ExperimentRunner runner(cfg);
+    return runner.nmm_sweep(Technology::PCM, three_configs());
+  };
+
+  const auto reference = failed_sweep(ReplayMode::ChunkMajor, 1);
+  for (const ReplayMode mode : {ReplayMode::ChunkMajor, ReplayMode::ConfigMajor,
+                                ReplayMode::Sharded}) {
+    for (const unsigned threads : {1u, 4u}) {
+      SCOPED_TRACE("mode=" + std::to_string(static_cast<int>(mode)) +
+                   " threads=" + std::to_string(threads));
+      const auto results = failed_sweep(mode, threads);
+      ASSERT_EQ(results.size(), 3u);
+      for (const auto& suite : results) {
+        EXPECT_TRUE(suite.partial);
+        ASSERT_EQ(suite.failures.size(), 1u);
+        EXPECT_EQ(suite.failures[0].workload, "StreamTriad");
+        EXPECT_NE(suite.failures[0].error.find("warm-up"), std::string::npos)
+            << suite.failures[0].error;
+      }
+      expect_suites_identical(reference, results);
+    }
+  }
+}
+
+TEST(ReplayModes, WarmupThreadsEnvParsesStrictly) {
+  {
+    ScopedEnv env("HMS_WARMUP_THREADS", nullptr);
+    EXPECT_EQ(default_warmup_threads(), 0u);
+  }
+  {
+    ScopedEnv env("HMS_WARMUP_THREADS", "");
+    EXPECT_EQ(default_warmup_threads(), 0u);
+  }
+  {
+    ScopedEnv env("HMS_WARMUP_THREADS", "3");
+    EXPECT_EQ(default_warmup_threads(), 3u);
+  }
+  {
+    // An explicit 0 is rejected (unset the variable to follow threads).
+    ScopedEnv env("HMS_WARMUP_THREADS", "0");
+    EXPECT_THROW((void)default_warmup_threads(), ConfigError);
+  }
+  {
+    ScopedEnv env("HMS_WARMUP_THREADS", "banana");
+    EXPECT_THROW((void)default_warmup_threads(), ConfigError);
+  }
 }
 
 TEST(ReplayModes, CheckpointsResumeAcrossModes) {

@@ -1,0 +1,323 @@
+// Persistent trace store: byte-exact round trips, every-byte corruption
+// fuzz (a flipped bit is a miss, never wrong bytes), capture-hash
+// rejection, concurrent readers, and the cached-capture fallback path
+// (sim::capture_front_cached recaptures through the degrade path on any
+// store failure and repairs the entry).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "hms/common/fault.hpp"
+#include "hms/designs/design.hpp"
+#include "hms/mem/technology.hpp"
+#include "hms/sim/simulator.hpp"
+#include "hms/trace/trace_store.hpp"
+
+namespace hms::trace {
+namespace {
+
+class TempDir {
+ public:
+  explicit TempDir(const std::string& tag)
+      : path_(::testing::TempDir() + "hms_trace_store_" + tag + ".dir") {
+    std::filesystem::remove_all(path_);
+  }
+  ~TempDir() { std::filesystem::remove_all(path_); }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good()) << path;
+}
+
+TraceStoreEntry small_entry() {
+  TraceStoreEntry entry;
+  entry.metadata = "meta: not interpreted by the store";
+  entry.interval_profile = std::string("\x00\x01\x02\xff profile", 12);
+  entry.residual = "residual bytes with \0 embedded";
+  entry.residual.push_back('\0');
+  return entry;
+}
+
+TEST(TraceStore, WriterReaderRoundTripsEveryFieldShape) {
+  StoreWriter w;
+  w.varint(0);
+  w.varint(127);
+  w.varint(128);
+  w.varint(0xffffffffffffffffull);
+  w.u8(0xab);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefull);
+  w.f64(-0.1875);
+  w.str("");
+  w.str(std::string("nul\0byte", 8));
+
+  StoreReader r(w.data());
+  EXPECT_EQ(r.varint(), 0u);
+  EXPECT_EQ(r.varint(), 127u);
+  EXPECT_EQ(r.varint(), 128u);
+  EXPECT_EQ(r.varint(), 0xffffffffffffffffull);
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefull);
+  EXPECT_EQ(r.f64(), -0.1875);
+  EXPECT_EQ(r.str(), "");
+  EXPECT_EQ(r.str(), std::string("nul\0byte", 8));
+  r.expect_done();
+}
+
+TEST(TraceStore, ReaderRejectsTruncationAndOversizedLengths) {
+  StoreWriter w;
+  w.str("payload");
+  const std::string bytes = w.data();
+  // Truncated at every prefix length: always TraceError, never a read past
+  // the end.
+  for (std::size_t n = 0; n < bytes.size(); ++n) {
+    StoreReader r(std::string_view(bytes).substr(0, n));
+    EXPECT_THROW((void)r.str(), TraceError) << n;
+  }
+  // A length claiming more than remains is rejected before allocation.
+  StoreWriter huge;
+  huge.varint(1ull << 40);
+  StoreReader r(huge.data());
+  EXPECT_THROW((void)r.str(), TraceError);
+}
+
+TEST(TraceStore, EntryRoundTripIsByteExact) {
+  TempDir dir("roundtrip");
+  const TraceStore store(dir.path());
+  const TraceStoreEntry entry = small_entry();
+  store.store(0x1122334455667788ull, entry);
+
+  const auto loaded = store.load(0x1122334455667788ull);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->metadata, entry.metadata);
+  EXPECT_EQ(loaded->interval_profile, entry.interval_profile);
+  EXPECT_EQ(loaded->residual, entry.residual);
+
+  // A second store instance over the same directory sees the same bytes.
+  const TraceStore reopened(dir.path());
+  const auto again = reopened.load(0x1122334455667788ull);
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(again->residual, entry.residual);
+}
+
+TEST(TraceStore, MissingEntryAndHashMismatchAreMisses) {
+  TempDir dir("mismatch");
+  const TraceStore store(dir.path());
+  EXPECT_FALSE(store.load(42).has_value());
+
+  // A renamed (or colliding) file is rejected by the embedded hash stamp.
+  store.store(1, small_entry());
+  std::filesystem::rename(store.entry_path(1), store.entry_path(2));
+  EXPECT_FALSE(store.load(2).has_value());
+}
+
+TEST(TraceStoreFuzz, EveryByteFlipIsARejectedMiss) {
+  TempDir dir("fuzz");
+  const TraceStore store(dir.path());
+  const std::uint64_t key = 0xfeedfacecafebeefull;
+  store.store(key, small_entry());
+  const std::string clean = read_file(store.entry_path(key));
+  ASSERT_FALSE(clean.empty());
+
+  for (std::size_t i = 0; i < clean.size(); ++i) {
+    std::string mutated = clean;
+    mutated[i] = static_cast<char>(mutated[i] ^ 0xff);
+    write_file(store.entry_path(key), mutated);
+    EXPECT_FALSE(store.load(key).has_value()) << "flipped byte " << i;
+  }
+  // Truncation at every length is a miss too.
+  for (std::size_t n = 0; n < clean.size(); ++n) {
+    write_file(store.entry_path(key), clean.substr(0, n));
+    EXPECT_FALSE(store.load(key).has_value()) << "truncated to " << n;
+  }
+  // Trailing junk past the last record is rejected as well.
+  write_file(store.entry_path(key), clean + "junk");
+  EXPECT_FALSE(store.load(key).has_value());
+  // The clean bytes still load after all that.
+  write_file(store.entry_path(key), clean);
+  EXPECT_TRUE(store.load(key).has_value());
+}
+
+TEST(TraceStore, ConcurrentReadersShareOneDirectory) {
+  TempDir dir("concurrent");
+  const TraceStore store(dir.path());
+  const TraceStoreEntry entry = small_entry();
+  for (std::uint64_t key = 0; key < 4; ++key) store.store(key, entry);
+
+  std::vector<std::thread> readers;
+  std::vector<int> failures(4, 0);
+  for (std::size_t t = 0; t < 4; ++t) {
+    readers.emplace_back([&, t] {
+      const TraceStore own(dir.path());
+      for (int i = 0; i < 50; ++i) {
+        const auto loaded = own.load(static_cast<std::uint64_t>(i % 4));
+        if (!loaded || loaded->residual != entry.residual) ++failures[t];
+      }
+    });
+  }
+  for (auto& r : readers) r.join();
+  for (std::size_t t = 0; t < 4; ++t) EXPECT_EQ(failures[t], 0) << t;
+}
+
+// -- Cached front-capture integration ------------------------------------
+
+designs::DesignFactory tiny_factory() {
+  return designs::DesignFactory(512, mem::TechnologyRegistry::table1(),
+                                designs::DesignOptions{});
+}
+
+workloads::WorkloadParams tiny_params() {
+  return workloads::WorkloadParams{1ull << 20, 42, 1};
+}
+
+void expect_captures_identical(const sim::FrontCapture& a,
+                               const sim::FrontCapture& b) {
+  EXPECT_EQ(a.workload_name, b.workload_name);
+  EXPECT_EQ(a.info.name, b.info.name);
+  EXPECT_EQ(a.info.suite, b.info.suite);
+  EXPECT_EQ(a.info.paper_footprint_bytes, b.info.paper_footprint_bytes);
+  EXPECT_DOUBLE_EQ(a.info.memory_bound_fraction, b.info.memory_bound_fraction);
+  EXPECT_EQ(a.footprint_bytes, b.footprint_bytes);
+  ASSERT_EQ(a.ranges.size(), b.ranges.size());
+  for (std::size_t i = 0; i < a.ranges.size(); ++i) {
+    EXPECT_EQ(a.ranges[i].name, b.ranges[i].name);
+    EXPECT_EQ(a.ranges[i].base, b.ranges[i].base);
+    EXPECT_EQ(a.ranges[i].length, b.ranges[i].length);
+  }
+  EXPECT_EQ(a.front_profile.references, b.front_profile.references);
+  ASSERT_EQ(a.front_profile.levels.size(), b.front_profile.levels.size());
+  for (std::size_t l = 0; l < a.front_profile.levels.size(); ++l) {
+    EXPECT_EQ(a.front_profile.levels[l].name, b.front_profile.levels[l].name);
+    EXPECT_EQ(a.front_profile.levels[l].loads, b.front_profile.levels[l].loads);
+    EXPECT_EQ(a.front_profile.levels[l].stores,
+              b.front_profile.levels[l].stores);
+    EXPECT_EQ(a.front_profile.levels[l].cache_stats,
+              b.front_profile.levels[l].cache_stats);
+  }
+  // The decisive check: both residual streams and interval profiles encode
+  // to the same bytes, so every downstream replay is bit-identical.
+  std::string residual_a, residual_b, profile_a, profile_b;
+  a.residual.serialize(residual_a);
+  b.residual.serialize(residual_b);
+  EXPECT_EQ(residual_a, residual_b);
+  a.interval_profile.serialize(profile_a);
+  b.interval_profile.serialize(profile_b);
+  EXPECT_EQ(profile_a, profile_b);
+}
+
+TEST(TraceStoreCapture, ColdMissFillsStoreAndWarmHitIsBitIdentical) {
+  TempDir dir("capture");
+  const TraceStore store(dir.path());
+  const auto factory = tiny_factory();
+  const auto params = tiny_params();
+
+  const auto fresh =
+      sim::capture_front_cached("StreamTriad", params, factory, nullptr);
+  const auto cold =
+      sim::capture_front_cached("StreamTriad", params, factory, &store);
+  expect_captures_identical(fresh, cold);
+
+  const std::uint64_t key =
+      sim::capture_hash("StreamTriad", params, factory);
+  EXPECT_TRUE(std::filesystem::exists(store.entry_path(key)));
+
+  const auto warm =
+      sim::capture_front_cached("StreamTriad", params, factory, &store);
+  expect_captures_identical(fresh, warm);
+}
+
+TEST(TraceStoreCapture, KeyDependsOnParamsScaleAndWorkload) {
+  const auto factory = tiny_factory();
+  const auto params = tiny_params();
+  const std::uint64_t base = sim::capture_hash("StreamTriad", params, factory);
+  EXPECT_NE(base, sim::capture_hash("CG", params, factory));
+  auto other = params;
+  other.seed = 43;
+  EXPECT_NE(base, sim::capture_hash("StreamTriad", other, factory));
+  other = params;
+  other.footprint_bytes *= 2;
+  EXPECT_NE(base, sim::capture_hash("StreamTriad", other, factory));
+  const designs::DesignFactory rescaled(
+      1024, mem::TechnologyRegistry::table1(), designs::DesignOptions{});
+  EXPECT_NE(base, sim::capture_hash("StreamTriad", params, rescaled));
+}
+
+TEST(TraceStoreCapture, CorruptEntryRecapturesAndRepairsTheStore) {
+  TempDir dir("repair");
+  const TraceStore store(dir.path());
+  const auto factory = tiny_factory();
+  const auto params = tiny_params();
+  const std::uint64_t key = sim::capture_hash("StreamTriad", params, factory);
+
+  const auto fresh =
+      sim::capture_front_cached("StreamTriad", params, factory, &store);
+  // Corrupt one payload byte (past the 16-byte header): the load misses,
+  // the capture falls back to simulation, and the fresh bytes are written
+  // back over the corrupt entry.
+  std::string bytes = read_file(store.entry_path(key));
+  ASSERT_GT(bytes.size(), 32u);
+  bytes[24] = static_cast<char>(bytes[24] ^ 0xff);
+  write_file(store.entry_path(key), bytes);
+  EXPECT_FALSE(store.load(key).has_value());
+
+  const auto recaptured =
+      sim::capture_front_cached("StreamTriad", params, factory, &store);
+  expect_captures_identical(fresh, recaptured);
+  EXPECT_TRUE(store.load(key).has_value()) << "entry was not repaired";
+}
+
+TEST(TraceStoreCapture, ReadAndWriteFaultsDegradeToFreshCapture) {
+  TempDir dir("faults");
+  const TraceStore store(dir.path());
+  const auto factory = tiny_factory();
+  const auto params = tiny_params();
+  const auto fresh =
+      sim::capture_front_cached("StreamTriad", params, factory, &store);
+
+  {
+    // A read fault on a warm store degrades to recapture.
+    ScopedFaultInjector injector;
+    FaultSpec spec;
+    spec.max_fires = 1;
+    injector->arm("trace/read", spec);
+    const auto degraded =
+        sim::capture_front_cached("StreamTriad", params, factory, &store);
+    expect_captures_identical(fresh, degraded);
+    EXPECT_EQ(injector->fires("trace/read"), 1u);
+  }
+  {
+    // A write fault is swallowed: the capture is still returned.
+    TempDir cold_dir("faults_cold");
+    const TraceStore cold(cold_dir.path());
+    ScopedFaultInjector injector;
+    FaultSpec spec;
+    spec.max_fires = 1;
+    injector->arm("trace/write", spec);
+    const auto captured =
+        sim::capture_front_cached("StreamTriad", params, factory, &cold);
+    expect_captures_identical(fresh, captured);
+    EXPECT_EQ(injector->fires("trace/write"), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace hms::trace

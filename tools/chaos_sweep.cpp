@@ -21,11 +21,17 @@
 //       kill the child mid-run (hard kill at a random instant, or SIGTERM)
 //       -> maybe corrupt the checkpoint (flip a byte / truncate / append
 //          junk)
+//       -> maybe damage the persistent trace store (flip / truncate /
+//          delete / append junk on a random .hmst entry)
 //       -> rerun the child to completion
 //     and asserts the resumed table is byte-identical to the reference.
-//     Any divergence, or a resume that cannot reach a clean exit, fails
-//     the whole soak with exit 1. CHAOS_SEED seeds the (deterministic)
-//     decision stream.
+//     Every child runs against one shared HMS_TRACE_CACHE directory, so
+//     the soak also covers the store's full life cycle: the reference run
+//     cold-fills it, resumes warm-load from it, kills can tear its tmp
+//     files, and a damaged entry must read as a miss and recapture —
+//     never as wrong bits in a resumed table. Any divergence, or a resume
+//     that cannot reach a clean exit, fails the whole soak with exit 1.
+//     CHAOS_SEED seeds the (deterministic) decision stream.
 #include <fcntl.h>
 #include <signal.h>
 #include <sys/wait.h>
@@ -227,6 +233,55 @@ std::string corrupt_checkpoint(const std::string& path, Rng& rng) {
   }
 }
 
+/// Damages one random trace-store entry (or reports "none" on an empty
+/// store). The store's contract makes every outcome a cache miss at
+/// worst: a resumed run must recapture and still match the reference bit
+/// for bit.
+std::string corrupt_trace_store(const std::filesystem::path& dir, Rng& rng) {
+  std::vector<std::filesystem::path> entries;
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir, ec), end;
+  if (ec) return "none";
+  for (; it != end; ++it) {
+    if (it->path().extension() == ".hmst") entries.push_back(it->path());
+  }
+  if (entries.empty()) return "none";
+  const auto path = entries[rng.below(entries.size())];
+  const std::string name = path.filename().string();
+  const auto size = std::filesystem::file_size(path, ec);
+  if (ec || size == 0) return "none";
+  switch (rng.below(4)) {
+    case 0: {  // flip one byte anywhere (magic, CRC, payload, hash stamp)
+      std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+      const auto offset = static_cast<std::streamoff>(rng.below(size));
+      f.seekg(offset);
+      char byte = 0;
+      f.get(byte);
+      byte = static_cast<char>(byte ^ static_cast<char>(1u << rng.below(8)));
+      f.seekp(offset);
+      f.put(byte);
+      return "store-flip@" + std::to_string(offset) + ":" + name;
+    }
+    case 1: {  // tear the tail off
+      const auto keep = rng.below(size);
+      std::filesystem::resize_file(path, keep, ec);
+      return "store-truncate->" + std::to_string(keep) + ":" + name;
+    }
+    case 2: {  // lose the entry outright
+      std::filesystem::remove(path, ec);
+      return "store-delete:" + name;
+    }
+    default: {  // junk past the last record
+      std::ofstream f(path, std::ios::app | std::ios::binary);
+      const auto n = 1 + rng.below(64);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        f.put(static_cast<char>(rng.below(256)));
+      }
+      return "store-append+" + std::to_string(n) + ":" + name;
+    }
+  }
+}
+
 int run_driver(int argc, char** argv) {
   const std::uint64_t cycles =
       argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 20;
@@ -252,8 +307,12 @@ int run_driver(int argc, char** argv) {
   const std::filesystem::path dir(tmpl);
   const std::string ckpt = (dir / "ckpt.bin").string();
   const std::string table = (dir / "table.txt").string();
+  const std::filesystem::path store_dir = dir / "trace_cache";
   setenv("CHAOS_CHECKPOINT", ckpt.c_str(), 1);
   setenv("CHAOS_TABLE", table.c_str(), 1);
+  // Shared across every child and mode: the reference run cold-fills the
+  // store, later runs warm-load from it — and must match regardless.
+  setenv("HMS_TRACE_CACHE", store_dir.string().c_str(), 1);
 
   int rc = kExitOk;
   for (const char* mode : {"chunk", "config", "shard"}) {
@@ -283,7 +342,7 @@ int run_driver(int argc, char** argv) {
         std::max<std::uint64_t>(static_cast<std::uint64_t>(ref_ms), 20);
 
     std::uint64_t hard_kills = 0, sigterms = 0, corruptions = 0,
-                  survived = 0;
+                  store_corruptions = 0, survived = 0;
     for (std::uint64_t cycle = 0; cycle < cycles; ++cycle) {
       std::filesystem::remove(ckpt);
       std::filesystem::remove(table);
@@ -307,11 +366,17 @@ int run_driver(int argc, char** argv) {
         ++survived;  // the grid finished before the disruption landed
       }
 
-      // Half the cycles also corrupt whatever the kill left behind.
+      // Half the cycles also corrupt whatever the kill left behind, and
+      // (independently) half damage a persistent trace-store entry.
       std::string corruption = "none";
       if (rng.below(2) == 0) {
         corruption = corrupt_checkpoint(ckpt, rng);
         if (corruption != "none") ++corruptions;
+      }
+      std::string store_chaos = "none";
+      if (rng.below(2) == 0) {
+        store_chaos = corrupt_trace_store(store_dir, rng);
+        if (store_chaos != "none") ++store_corruptions;
       }
 
       // Resume to completion and compare bit patterns.
@@ -319,7 +384,8 @@ int run_driver(int argc, char** argv) {
       if (!WIFEXITED(status) || WEXITSTATUS(status) != kExitOk) {
         std::cerr << "chaos driver: resume failed (mode " << mode
                   << ", cycle " << cycle << ", corruption " << corruption
-                  << ", status " << status << ")\n";
+                  << ", store " << store_chaos << ", status " << status
+                  << ")\n";
         rc = kExitError;
         break;
       }
@@ -327,14 +393,17 @@ int run_driver(int argc, char** argv) {
         std::cerr << "chaos driver: table diverged from reference (mode "
                   << mode << ", cycle " << cycle << ", kill "
                   << (hard ? "hard" : "sigterm") << "@" << delay
-                  << "ms, corruption " << corruption << ")\n";
+                  << "ms, corruption " << corruption << ", store "
+                  << store_chaos << ")\n";
         rc = kExitError;
         break;
       }
     }
     std::cerr << "mode " << mode << ": " << cycles << " cycles ("
               << hard_kills << " hard kills, " << sigterms << " sigterms, "
-              << corruptions << " corruptions, " << survived
+              << corruptions << " checkpoint corruptions, "
+              << store_corruptions << " trace-store corruptions, "
+              << survived
               << " finished before the kill), tables bit-identical\n";
     if (rc != kExitOk) break;
   }
